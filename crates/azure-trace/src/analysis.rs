@@ -1,0 +1,123 @@
+//! Fig 10 analysis: TMR CDFs over per-function execution times.
+
+use stats::cdf::Cdf;
+
+use crate::record::{DurationClass, FunctionDurationRecord};
+
+/// Result of the paper's §VII-B analysis.
+#[derive(Debug, Clone)]
+pub struct TmrAnalysis {
+    /// TMR CDF over all functions.
+    pub all: Cdf,
+    /// TMR CDF over sub-second functions (if any).
+    pub short: Option<Cdf>,
+    /// TMR CDF over 1–10 s functions (if any).
+    pub medium: Option<Cdf>,
+    /// TMR CDF over ≥10 s functions (if any).
+    pub long: Option<Cdf>,
+}
+
+impl TmrAnalysis {
+    /// Analyses a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty.
+    pub fn compute(records: &[FunctionDurationRecord]) -> TmrAnalysis {
+        assert!(!records.is_empty(), "cannot analyse an empty trace");
+        let tmrs_of = |class: Option<DurationClass>| -> Vec<f64> {
+            records
+                .iter()
+                .filter(|r| class.is_none_or(|c| r.class() == c))
+                .map(FunctionDurationRecord::tmr)
+                .filter(|t| t.is_finite())
+                .collect()
+        };
+        let make = |class| {
+            let tmrs = tmrs_of(Some(class));
+            (!tmrs.is_empty()).then(|| Cdf::from_samples(&tmrs))
+        };
+        TmrAnalysis {
+            all: Cdf::from_samples(&tmrs_of(None)),
+            short: make(DurationClass::Short),
+            medium: make(DurationClass::Medium),
+            long: make(DurationClass::Long),
+        }
+    }
+
+    /// Fraction of all functions with TMR below `threshold` (the paper
+    /// uses 10).
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        self.all.eval(threshold)
+    }
+
+    /// Fraction of functions of `class` with TMR below `threshold`;
+    /// `None` if the class is empty.
+    pub fn class_fraction_below(&self, class: DurationClass, threshold: f64) -> Option<f64> {
+        let cdf = match class {
+            DurationClass::Short => self.short.as_ref(),
+            DurationClass::Medium => self.medium.as_ref(),
+            DurationClass::Long => self.long.as_ref(),
+        };
+        cdf.map(|c| c.eval(threshold))
+    }
+
+    /// The Fig 10 plot: `(tmr, cumulative fraction)` points for the
+    /// all-functions CDF.
+    pub fn fig10_points(&self, n: usize) -> Vec<(f64, f64)> {
+        self.all.points(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn paper_fig10_facts_hold_on_synthetic_trace() {
+        let records = generate(&SynthConfig::paper_defaults(30_000), 42);
+        let analysis = TmrAnalysis::compute(&records);
+        // §VII-B: ~70% of all functions have TMR < 10.
+        let all = analysis.fraction_below(10.0);
+        assert!((all - 0.70).abs() < 0.05, "all-function fraction {all}");
+        // ~60% of sub-second functions...
+        let short = analysis.class_fraction_below(DurationClass::Short, 10.0).unwrap();
+        assert!((short - 0.60).abs() < 0.06, "short fraction {short}");
+        // ...and ~90% of >10 s functions.
+        let long = analysis.class_fraction_below(DurationClass::Long, 10.0).unwrap();
+        assert!((long - 0.90).abs() < 0.05, "long fraction {long}");
+        // Short functions are noisier than long ones.
+        assert!(short < long);
+    }
+
+    #[test]
+    fn fig10_points_are_monotone() {
+        let records = generate(&SynthConfig::paper_defaults(5_000), 1);
+        let analysis = TmrAnalysis::compute(&records);
+        let pts = analysis.fig10_points(21);
+        assert_eq!(pts.len(), 21);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+        assert!(pts[0].0 >= 1.0, "TMR is at least 1");
+    }
+
+    #[test]
+    fn empty_class_yields_none() {
+        let records = generate(&SynthConfig::paper_defaults(50), 2);
+        let short_only: Vec<_> = records
+            .into_iter()
+            .filter(|r| r.class() == DurationClass::Short)
+            .collect();
+        let analysis = TmrAnalysis::compute(&short_only);
+        assert!(analysis.class_fraction_below(DurationClass::Long, 10.0).is_none());
+        assert!(analysis.class_fraction_below(DurationClass::Short, 10.0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        TmrAnalysis::compute(&[]);
+    }
+}

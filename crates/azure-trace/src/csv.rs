@@ -1,0 +1,153 @@
+//! CSV load/store in the public trace's column layout.
+//!
+//! The genuine `function_durations_percentiles.anon.dN.csv` files use the
+//! columns below; this module parses that layout (and writes it back), so
+//! the Fig 10 analysis can run on the real artifact when available, and on
+//! our synthetic traces otherwise.
+
+use crate::record::FunctionDurationRecord;
+
+/// The header of the public trace's duration table.
+pub const HEADER: &str = "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,\
+percentile_Average_0,percentile_Average_1,percentile_Average_25,percentile_Average_50,\
+percentile_Average_75,percentile_Average_99,percentile_Average_100";
+
+/// Parses a trace CSV document.
+///
+/// # Errors
+///
+/// Returns `(line_number, message)` for the first malformed line. The
+/// header line is validated loosely (column count only) to tolerate the
+/// minor naming differences across trace releases.
+pub fn parse(text: &str) -> Result<Vec<FunctionDurationRecord>, (usize, String)> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or((0, "empty document".to_string()))?;
+    let header_cols = header.split(',').count();
+    if header_cols != 14 {
+        return Err((1, format!("expected 14 columns, header has {header_cols}")));
+    }
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 14 {
+            return Err((line_no, format!("expected 14 columns, got {}", cols.len())));
+        }
+        let num = |i: usize| -> Result<f64, (usize, String)> {
+            cols[i]
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| (line_no, format!("column {i}: {e}")))
+        };
+        let record = FunctionDurationRecord {
+            owner: cols[0].trim().to_string(),
+            app: cols[1].trim().to_string(),
+            function: cols[2].trim().to_string(),
+            average_ms: num(3)?,
+            count: num(4)? as u64,
+            p0: num(7)?.max(num(5)?.min(num(7)?)), // Minimum and p0 coincide
+            p1: num(8)?,
+            p25: num(9)?,
+            p50: num(10)?,
+            p75: num(11)?,
+            p99: num(12)?,
+            p100: num(13)?.max(num(6)?),
+        };
+        record.validate().map_err(|e| (line_no, e))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Serialises records in the trace's CSV layout.
+pub fn write(records: &[FunctionDurationRecord]) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.owner,
+            r.app,
+            r.function,
+            r.average_ms,
+            r.count,
+            r.p0,
+            r.p100,
+            r.p0,
+            r.p1,
+            r.p25,
+            r.p50,
+            r.p75,
+            r.p99,
+            r.p100
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FunctionDurationRecord {
+        FunctionDurationRecord {
+            owner: "o1".into(),
+            app: "a1".into(),
+            function: "f1".into(),
+            count: 42,
+            average_ms: 120.0,
+            p0: 10.0,
+            p1: 20.0,
+            p25: 50.0,
+            p50: 100.0,
+            p75: 200.0,
+            p99: 900.0,
+            p100: 1500.0,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let records = vec![sample()];
+        let text = write(&records);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn rejects_short_rows() {
+        let text = format!("{HEADER}\no,a,f,1,2\n");
+        let err = parse(&text).unwrap_err();
+        assert_eq!(err.0, 2);
+        assert!(err.1.contains("columns"));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let mut text = write(&[sample()]);
+        text = text.replace("120", "not-a-number");
+        assert!(parse(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_records() {
+        let mut r = sample();
+        r.p75 = 1e9; // above p99 -> record invalid
+        let text = write(&[r]);
+        assert!(parse(&text).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = format!("{}\n", write(&[sample()]));
+        assert_eq!(parse(&text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_document_is_an_error() {
+        assert!(parse("").is_err());
+    }
+}

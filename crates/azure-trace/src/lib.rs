@@ -1,0 +1,30 @@
+//! # azure-trace — Azure Functions trace tooling for Fig 10
+//!
+//! The paper's §VII-B analyses the public Azure Functions trace (Shahrad
+//! et al., ATC'20) to compare infrastructure-induced variability against
+//! variability in function execution times, producing Fig 10 (a CDF of
+//! per-function tail-to-median ratios).
+//!
+//! This crate provides the [`record`] schema of the trace's duration
+//! table, a [`csv`] loader/writer compatible with the real artifact, a
+//! calibrated [`synth`]etic generator (we cannot redistribute the trace),
+//! and the Fig 10 [`analysis`].
+//!
+//! ```
+//! use azure_trace::analysis::TmrAnalysis;
+//! use azure_trace::synth::{generate, SynthConfig};
+//!
+//! let trace = generate(&SynthConfig::paper_defaults(10_000), 1);
+//! let analysis = TmrAnalysis::compute(&trace);
+//! // ~70% of functions have TMR < 10 (paper Fig 10).
+//! assert!((analysis.fraction_below(10.0) - 0.70).abs() < 0.06);
+//! ```
+
+pub mod analysis;
+pub mod csv;
+pub mod record;
+pub mod synth;
+
+pub use analysis::TmrAnalysis;
+pub use record::{DurationClass, FunctionDurationRecord};
+pub use synth::{generate, SynthConfig};

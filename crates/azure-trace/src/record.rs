@@ -1,0 +1,157 @@
+//! Per-function execution-time records, matching the schema of the public
+//! Azure Functions trace (Shahrad et al., ATC'20) that the paper analyses
+//! in §VII-B / Fig 10.
+//!
+//! The trace's duration table reports, per function, the distribution of
+//! execution times as a set of percentiles (excluding cold-start delays).
+
+use serde::{Deserialize, Serialize};
+
+/// Execution-time percentiles of one function, milliseconds.
+///
+/// Field names mirror the public trace's columns (`percentile_Average_N`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionDurationRecord {
+    /// Hashed owner id.
+    pub owner: String,
+    /// Hashed app id.
+    pub app: String,
+    /// Hashed function id.
+    pub function: String,
+    /// Number of invocations aggregated.
+    pub count: u64,
+    /// Mean execution time, ms.
+    pub average_ms: f64,
+    /// Minimum (percentile 0), ms.
+    pub p0: f64,
+    /// 1st percentile, ms.
+    pub p1: f64,
+    /// 25th percentile, ms.
+    pub p25: f64,
+    /// Median, ms.
+    pub p50: f64,
+    /// 75th percentile, ms.
+    pub p75: f64,
+    /// 99th percentile, ms.
+    pub p99: f64,
+    /// Maximum (percentile 100), ms.
+    pub p100: f64,
+}
+
+/// Duration class used by the paper's Fig 10 discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DurationClass {
+    /// Median under one second.
+    Short,
+    /// Median between one and ten seconds.
+    Medium,
+    /// Median of ten seconds or more.
+    Long,
+}
+
+impl FunctionDurationRecord {
+    /// Tail-to-median ratio (p99 / p50), the paper's Fig 10 metric.
+    pub fn tmr(&self) -> f64 {
+        if self.p50 > 0.0 {
+            self.p99 / self.p50
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The record's duration class by median execution time.
+    pub fn class(&self) -> DurationClass {
+        if self.p50 < 1_000.0 {
+            DurationClass::Short
+        } else if self.p50 < 10_000.0 {
+            DurationClass::Medium
+        } else {
+            DurationClass::Long
+        }
+    }
+
+    /// Validates percentile monotonicity and positivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.count == 0 {
+            return Err(format!("{}: zero invocation count", self.function));
+        }
+        let ps = [self.p0, self.p1, self.p25, self.p50, self.p75, self.p99, self.p100];
+        for (i, &p) in ps.iter().enumerate() {
+            if !p.is_finite() || p < 0.0 {
+                return Err(format!("{}: percentile {i} invalid: {p}", self.function));
+            }
+        }
+        if ps.windows(2).any(|w| w[0] > w[1]) {
+            return Err(format!("{}: percentiles not monotone: {ps:?}", self.function));
+        }
+        if self.average_ms < self.p0 || self.average_ms > self.p100 {
+            return Err(format!(
+                "{}: average {} outside [min, max]",
+                self.function, self.average_ms
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(p50: f64, p99: f64) -> FunctionDurationRecord {
+        FunctionDurationRecord {
+            owner: "o".into(),
+            app: "a".into(),
+            function: "f".into(),
+            count: 100,
+            average_ms: p50,
+            p0: p50 / 10.0,
+            p1: p50 / 5.0,
+            p25: p50 / 2.0,
+            p50,
+            p75: p50 * 1.5,
+            p99,
+            p100: p99 * 2.0,
+        }
+    }
+
+    #[test]
+    fn tmr_is_p99_over_median() {
+        assert_eq!(record(100.0, 900.0).tmr(), 9.0);
+        let zero = FunctionDurationRecord { p50: 0.0, ..record(100.0, 900.0) };
+        assert!(zero.tmr().is_infinite());
+    }
+
+    #[test]
+    fn classes_split_at_one_and_ten_seconds() {
+        assert_eq!(record(500.0, 900.0).class(), DurationClass::Short);
+        assert_eq!(record(5_000.0, 9_000.0).class(), DurationClass::Medium);
+        assert_eq!(record(60_000.0, 90_000.0).class(), DurationClass::Long);
+    }
+
+    #[test]
+    fn validation_accepts_good_record() {
+        record(100.0, 900.0).validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_non_monotone() {
+        let mut r = record(100.0, 900.0);
+        r.p75 = 5_000.0; // above p99
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_count_and_bad_average() {
+        let mut r = record(100.0, 900.0);
+        r.count = 0;
+        assert!(r.validate().is_err());
+        let mut r = record(100.0, 900.0);
+        r.average_ms = 1e9;
+        assert!(r.validate().is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Synthetic trace generation.
+//!
+//! We do not ship the real Azure trace; instead this generator produces a
+//! population of per-function duration records whose *published aggregate
+//! properties* match what the paper reads off the trace:
+//!
+//! * medians span milliseconds to minutes, with roughly half the functions
+//!   around one second (§VI-D3) and >70% under ten seconds (§VI-C1);
+//! * per-function variability such that ~70% of all functions have
+//!   TMR < 10, ~60% of sub-second functions, and ~90% of >10 s functions
+//!   (§VII-B / Fig 10) — short functions are noisier.
+//!
+//! Each function's execution time is modelled as a log-normal whose shape
+//! parameter is drawn per function, negatively correlated with the median.
+
+use simkit::dist::Z99;
+use simkit::rng::Rng;
+
+use crate::record::FunctionDurationRecord;
+
+/// Tunable generator parameters; [`SynthConfig::paper_defaults`] matches
+/// the marginals above.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// Number of functions to generate.
+    pub functions: usize,
+    /// Mixture weights for (short <1 s, medium 1–10 s, long ≥10 s) median
+    /// classes; normalised internally.
+    pub class_weights: [f64; 3],
+    /// Per-class log10-median ranges (ms).
+    pub class_log10_median_ms: [(f64, f64); 3],
+    /// Per-class log-normal parameters of the per-function shape σ:
+    /// `(median_sigma, sigma_of_log_sigma)`.
+    pub class_sigma: [(f64, f64); 3],
+}
+
+impl SynthConfig {
+    /// Parameters calibrated to the trace properties the paper cites.
+    pub fn paper_defaults(functions: usize) -> SynthConfig {
+        SynthConfig {
+            functions,
+            class_weights: [0.45, 0.30, 0.25],
+            class_log10_median_ms: [
+                (0.7, 3.0),  // 5 ms .. 1 s
+                (3.0, 4.0),  // 1 s .. 10 s
+                (4.0, 5.5),  // 10 s .. ~5 min
+            ],
+            // P(sigma < ln(10)/Z99 = 0.99) per class: ~0.60 / ~0.68 / ~0.90.
+            class_sigma: [(0.85, 0.50), (0.78, 0.55), (0.45, 0.55)],
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.functions == 0 {
+            return Err("functions must be positive".into());
+        }
+        if self.class_weights.iter().any(|&w| w < 0.0)
+            || self.class_weights.iter().sum::<f64>() <= 0.0
+        {
+            return Err("class weights must be non-negative and not all zero".into());
+        }
+        for (lo, hi) in self.class_log10_median_ms {
+            if lo > hi {
+                return Err(format!("log10 median range inverted: [{lo}, {hi}]"));
+            }
+        }
+        for (med, spread) in self.class_sigma {
+            if med <= 0.0 || spread <= 0.0 {
+                return Err("sigma parameters must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+fn sample_standard_normal(rng: &mut Rng) -> f64 {
+    let u1 = rng.next_f64_open();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates a synthetic trace.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn generate(cfg: &SynthConfig, seed: u64) -> Vec<FunctionDurationRecord> {
+    cfg.validate().expect("invalid synth config");
+    let mut rng = Rng::seed_from(seed).fork("azure-trace-synth");
+    let total_weight: f64 = cfg.class_weights.iter().sum();
+    let mut records = Vec::with_capacity(cfg.functions);
+    for i in 0..cfg.functions {
+        // Pick a duration class.
+        let mut pick = rng.next_f64() * total_weight;
+        let mut class = 2;
+        for (c, &w) in cfg.class_weights.iter().enumerate() {
+            if pick < w {
+                class = c;
+                break;
+            }
+            pick -= w;
+        }
+        let (lo, hi) = cfg.class_log10_median_ms[class];
+        let median_ms = 10f64.powf(rng.range_f64(lo, hi));
+        // Per-function shape, log-normally distributed around the class
+        // median sigma.
+        let (sig_med, sig_spread) = cfg.class_sigma[class];
+        let sigma = (sig_med.ln() + sig_spread * sample_standard_normal(&mut rng)).exp();
+
+        let mu = median_ms.ln();
+        let q = |z: f64| (mu + sigma * z).exp();
+        let p0 = q(-3.2);
+        let p100 = q(3.2 + rng.next_f64() * 1.2);
+        let average = (mu + sigma * sigma / 2.0).exp().clamp(p0, p100);
+        // Invocation counts follow a heavy-tailed popularity distribution.
+        let count = (10.0 / rng.next_f64_open().powf(1.2)) as u64 + 1;
+        records.push(FunctionDurationRecord {
+            owner: format!("owner{:04}", i % 977),
+            app: format!("app{:05}", i % 4931),
+            function: format!("func{i:06}"),
+            count,
+            average_ms: average,
+            p0,
+            p1: q(-Z99),
+            p25: q(-0.6745),
+            p50: median_ms,
+            p75: q(0.6745),
+            p99: q(Z99),
+            p100,
+        });
+    }
+    records
+}
+
+/// Generates a Poisson invocation schedule for one trace function over
+/// `[0, horizon)`, with the arrival rate derived from the record's
+/// invocation `count` interpreted against `trace_window` (the real trace
+/// aggregates two weeks of invocations).
+///
+/// # Panics
+///
+/// Panics if `horizon` or `trace_window` is zero.
+pub fn invocation_schedule(
+    record: &FunctionDurationRecord,
+    horizon: simkit::time::SimTime,
+    trace_window: simkit::time::SimTime,
+    rng: &mut Rng,
+) -> Vec<simkit::time::SimTime> {
+    assert!(!horizon.is_zero(), "horizon must be positive");
+    assert!(!trace_window.is_zero(), "trace window must be positive");
+    let rate_per_ms = record.count as f64 / trace_window.as_millis();
+    let mean_iat_ms = 1.0 / rate_per_ms.max(1e-12);
+    let mut schedule = Vec::new();
+    let mut t = simkit::time::SimTime::ZERO;
+    loop {
+        t += simkit::time::SimTime::from_millis(-mean_iat_ms * rng.next_f64_open().ln());
+        if t >= horizon {
+            return schedule;
+        }
+        schedule.push(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::DurationClass;
+    use simkit::time::SimTime;
+
+    fn trace() -> Vec<FunctionDurationRecord> {
+        generate(&SynthConfig::paper_defaults(20_000), 7)
+    }
+
+    #[test]
+    fn all_records_are_valid() {
+        for r in trace() {
+            r.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(&SynthConfig::paper_defaults(100), 3);
+        let b = generate(&SynthConfig::paper_defaults(100), 3);
+        assert_eq!(a, b);
+        let c = generate(&SynthConfig::paper_defaults(100), 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn class_mix_matches_weights() {
+        let records = trace();
+        let n = records.len() as f64;
+        let short =
+            records.iter().filter(|r| r.class() == DurationClass::Short).count() as f64 / n;
+        let long =
+            records.iter().filter(|r| r.class() == DurationClass::Long).count() as f64 / n;
+        assert!((short - 0.45).abs() < 0.03, "short fraction {short}");
+        assert!((long - 0.25).abs() < 0.03, "long fraction {long}");
+    }
+
+    #[test]
+    fn majority_run_under_ten_seconds() {
+        // §VI-C1: >70% of functions run <10 s.
+        let records = trace();
+        let under = records.iter().filter(|r| r.p50 < 10_000.0).count() as f64
+            / records.len() as f64;
+        assert!(under > 0.70, "under-10s fraction {under}");
+    }
+
+    #[test]
+    fn tmr_is_exp_z99_sigma() {
+        // By construction TMR = p99/p50 = exp(Z99 * sigma) > 1.
+        for r in generate(&SynthConfig::paper_defaults(500), 5) {
+            assert!(r.tmr() >= 1.0);
+            assert!(r.p99 >= r.p50);
+        }
+    }
+
+    #[test]
+    fn invocation_schedule_matches_rate() {
+        let mut records = generate(&SynthConfig::paper_defaults(1), 3);
+        let record = &mut records[0];
+        record.count = 1000;
+        let window = SimTime::from_mins(1000); // rate = 1/min
+        let horizon = SimTime::from_mins(600);
+        let mut rng = Rng::seed_from(9);
+        let schedule = invocation_schedule(record, horizon, window, &mut rng);
+        // Expect ~600 arrivals; Poisson std ≈ 24.5.
+        assert!(
+            (500..700).contains(&schedule.len()),
+            "got {} arrivals",
+            schedule.len()
+        );
+        // Strictly increasing and inside the horizon.
+        assert!(schedule.windows(2).all(|w| w[0] < w[1]));
+        assert!(schedule.iter().all(|&t| t < horizon));
+    }
+
+    #[test]
+    fn invocation_schedule_rare_function_may_be_empty() {
+        let mut records = generate(&SynthConfig::paper_defaults(1), 4);
+        records[0].count = 1;
+        let mut rng = Rng::seed_from(1);
+        let schedule = invocation_schedule(
+            &records[0],
+            SimTime::from_secs(1.0),
+            SimTime::from_mins(20_160), // two weeks
+            &mut rng,
+        );
+        assert!(schedule.len() <= 1);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = SynthConfig::paper_defaults(0);
+        assert!(cfg.validate().is_err());
+        cfg = SynthConfig::paper_defaults(10);
+        cfg.class_weights = [0.0, 0.0, 0.0];
+        assert!(cfg.validate().is_err());
+        cfg = SynthConfig::paper_defaults(10);
+        cfg.class_log10_median_ms[0] = (5.0, 1.0);
+        assert!(cfg.validate().is_err());
+        cfg = SynthConfig::paper_defaults(10);
+        cfg.class_sigma[1] = (-1.0, 0.5);
+        assert!(cfg.validate().is_err());
+    }
+}

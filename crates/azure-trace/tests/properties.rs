@@ -1,0 +1,97 @@
+//! Property-based tests of the trace tooling.
+
+use azure_trace::analysis::TmrAnalysis;
+use azure_trace::csv;
+use azure_trace::record::FunctionDurationRecord;
+use azure_trace::synth::{generate, SynthConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated record validates and its percentiles are monotone,
+    /// for any generator size and seed.
+    #[test]
+    fn generator_produces_valid_records(functions in 1usize..500, seed in any::<u64>()) {
+        let records = generate(&SynthConfig::paper_defaults(functions), seed);
+        prop_assert_eq!(records.len(), functions);
+        for r in &records {
+            prop_assert!(r.validate().is_ok(), "{:?}", r.validate());
+            prop_assert!(r.tmr() >= 1.0);
+        }
+        // Function ids are unique.
+        let mut names: Vec<_> = records.iter().map(|r| r.function.clone()).collect();
+        names.sort();
+        names.dedup();
+        prop_assert_eq!(names.len(), functions);
+    }
+
+    /// CSV write→parse round-trips the whole trace.
+    #[test]
+    fn csv_round_trip(functions in 1usize..100, seed in any::<u64>()) {
+        let records = generate(&SynthConfig::paper_defaults(functions), seed);
+        let text = csv::write(&records);
+        let parsed = csv::parse(&text).expect("round-trip parse");
+        prop_assert_eq!(parsed.len(), records.len());
+        for (a, b) in records.iter().zip(&parsed) {
+            prop_assert_eq!(&a.function, &b.function);
+            prop_assert!((a.p50 - b.p50).abs() < 1e-9);
+            prop_assert!((a.p99 - b.p99).abs() < 1e-9);
+        }
+    }
+
+    /// The analysis' fraction_below is a CDF: monotone in the threshold
+    /// and bounded by [0, 1].
+    #[test]
+    fn analysis_fraction_monotone(seed in any::<u64>(), t1 in 1.0f64..50.0, t2 in 1.0f64..50.0) {
+        let records = generate(&SynthConfig::paper_defaults(300), seed);
+        let analysis = TmrAnalysis::compute(&records);
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let f_lo = analysis.fraction_below(lo);
+        let f_hi = analysis.fraction_below(hi);
+        prop_assert!((0.0..=1.0).contains(&f_lo));
+        prop_assert!(f_lo <= f_hi);
+    }
+
+    /// Class fractions are consistent with the overall fraction (the
+    /// overall is a weighted average of the class-conditional values).
+    #[test]
+    fn class_fractions_average_to_overall(seed in any::<u64>()) {
+        use azure_trace::record::DurationClass::*;
+        let records = generate(&SynthConfig::paper_defaults(2000), seed);
+        let analysis = TmrAnalysis::compute(&records);
+        let count = |class| records.iter().filter(|r| r.class() == class).count() as f64;
+        let total = records.len() as f64;
+        let mut weighted = 0.0;
+        for class in [Short, Medium, Long] {
+            if let Some(f) = analysis.class_fraction_below(class, 10.0) {
+                weighted += f * count(class) / total;
+            }
+        }
+        let overall = analysis.fraction_below(10.0);
+        prop_assert!((weighted - overall).abs() < 1e-9, "{weighted} vs {overall}");
+    }
+}
+
+/// Non-proptest: handcrafted CSV corner cases.
+#[test]
+fn csv_handles_whitespace_and_order() {
+    let rec = FunctionDurationRecord {
+        owner: "o".into(),
+        app: "a".into(),
+        function: "f".into(),
+        count: 10,
+        average_ms: 50.0,
+        p0: 1.0,
+        p1: 2.0,
+        p25: 10.0,
+        p50: 40.0,
+        p75: 80.0,
+        p99: 200.0,
+        p100: 300.0,
+    };
+    let mut text = csv::write(&[rec]);
+    text = text.replace(",50,", ", 50 ,");
+    let parsed = csv::parse(&text).unwrap();
+    assert_eq!(parsed[0].average_ms, 50.0);
+}

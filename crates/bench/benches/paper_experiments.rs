@@ -1,0 +1,68 @@
+//! Criterion benches: one per paper artifact.
+//!
+//! Each bench runs the corresponding experiment end to end (at a reduced
+//! sample count so `cargo bench` stays minutes, not hours) and reports the
+//! simulation throughput. The *scientific* output — paper-vs-measured
+//! tables — is printed once per bench via the experiment's `report()`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::experiments;
+
+/// Reduced per-configuration sample count for benchmarking runs.
+const BENCH_SAMPLES: u32 = 300;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+
+    group.bench_function("fig3_warm_cold", |b| {
+        b.iter(|| experiments::fig3::measure(BENCH_SAMPLES))
+    });
+    println!("{}", experiments::fig3::measure(BENCH_SAMPLES).report().render());
+
+    group.bench_function("fig4_image_size", |b| {
+        b.iter(|| experiments::fig4::measure(BENCH_SAMPLES))
+    });
+    println!("{}", experiments::fig4::measure(BENCH_SAMPLES).report().render());
+
+    group.bench_function("fig5_runtime_deployment", |b| {
+        b.iter(|| experiments::fig5::measure(BENCH_SAMPLES))
+    });
+    println!("{}", experiments::fig5::measure(BENCH_SAMPLES).report().render());
+
+    group.bench_function("fig6_inline_transfers", |b| {
+        b.iter(|| experiments::fig6::measure(BENCH_SAMPLES))
+    });
+    println!("{}", experiments::fig6::measure(BENCH_SAMPLES).report().render());
+
+    group.bench_function("fig7_storage_transfers", |b| {
+        b.iter(|| experiments::fig7::measure(BENCH_SAMPLES))
+    });
+    println!("{}", experiments::fig7::measure(BENCH_SAMPLES).report().render());
+
+    group.bench_function("fig8_bursts", |b| {
+        b.iter(|| experiments::fig8::measure(BENCH_SAMPLES))
+    });
+    println!("{}", experiments::fig8::measure(BENCH_SAMPLES).report().render());
+
+    group.bench_function("fig9_scheduling_policy", |b| {
+        b.iter(|| experiments::fig9::measure(BENCH_SAMPLES))
+    });
+    println!("{}", experiments::fig9::measure(BENCH_SAMPLES).report().render());
+
+    group.bench_function("table1_factor_metrics", |b| {
+        b.iter(|| experiments::table1::measure(BENCH_SAMPLES))
+    });
+    println!("{}", experiments::table1::measure(BENCH_SAMPLES).report().render());
+
+    group.bench_function("fig10_trace_tmr", |b| {
+        b.iter(|| experiments::fig10::measure(10_000))
+    });
+    println!("{}", experiments::fig10::measure(10_000).report().render());
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Micro-benchmarks of the simulator substrate: event throughput, cold
+//! starts, bursts, distribution sampling and statistics kernels. These
+//! quantify the cost of the design choices called out in DESIGN.md
+//! (shared vs committed queues, cache bookkeeping, dispatch accounting).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use faas_sim::cloud::CloudSim;
+use faas_sim::config::ScalePolicy;
+use faas_sim::spec::FunctionSpec;
+use faas_sim::testutil::test_provider;
+use providers::profiles::aws_like;
+use simkit::dist::Dist;
+use simkit::rng::Rng;
+use simkit::time::SimTime;
+
+fn warm_invocation_throughput(c: &mut Criterion) {
+    c.bench_function("sim/warm_1k_invocations", |b| {
+        b.iter_batched(
+            || {
+                let mut cloud = CloudSim::new(test_provider(), 1);
+                let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+                // Warm the instance up front.
+                cloud.submit(f, 0, SimTime::ZERO);
+                cloud.run_until(SimTime::from_secs(5.0));
+                cloud.drain_completions();
+                (cloud, f)
+            },
+            |(mut cloud, f)| {
+                for i in 0..1000u64 {
+                    cloud.submit(f, i, SimTime::from_secs(6.0) + SimTime::from_millis(i as f64));
+                }
+                cloud.run_until(SimTime::from_secs(30.0));
+                assert_eq!(cloud.drain_completions().len(), 1000);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn cold_start_cost(c: &mut Criterion) {
+    c.bench_function("sim/100_cold_starts", |b| {
+        b.iter_batched(
+            || {
+                let mut cloud = CloudSim::new(aws_like(), 2);
+                let mut fns = Vec::new();
+                for i in 0..100 {
+                    fns.push(
+                        cloud.deploy(FunctionSpec::builder(format!("f{i}")).build()).unwrap(),
+                    );
+                }
+                (cloud, fns)
+            },
+            |(mut cloud, fns)| {
+                for (i, f) in fns.iter().enumerate() {
+                    cloud.submit(*f, i as u64, SimTime::from_millis(i as f64));
+                }
+                cloud.run_until(SimTime::from_secs(60.0));
+                assert_eq!(cloud.drain_completions().len(), 100);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Ablation: burst handling cost under the three scheduling policies.
+fn burst_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/burst500_policy");
+    for (label, policy) in [
+        ("per_request", ScalePolicy::PerRequest),
+        ("target_concurrency", ScalePolicy::TargetConcurrency { target: 4.0 }),
+        ("periodic", ScalePolicy::Periodic { interval_ms: 2000.0, step: 2 }),
+    ] {
+        let policy = policy.clone();
+        group.bench_function(label, |b| {
+            let policy = policy.clone();
+            b.iter_batched(
+                move || {
+                    let mut cfg = test_provider();
+                    cfg.scaling.policy = policy.clone();
+                    let mut cloud = CloudSim::new(cfg, 3);
+                    let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+                    (cloud, f)
+                },
+                |(mut cloud, f)| {
+                    for i in 0..500u64 {
+                        cloud.submit(f, i, SimTime::ZERO);
+                    }
+                    cloud.run_until(SimTime::from_secs(600.0));
+                    assert_eq!(cloud.drain_completions().len(), 500);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn distribution_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simkit/sample_100k");
+    let dists = [
+        ("lognormal", Dist::lognormal_median_p99(100.0, 400.0)),
+        (
+            "bimodal",
+            Dist::bimodal(
+                Dist::lognormal_median_p99(40.0, 100.0),
+                Dist::lognormal_median_p99(650.0, 3200.0),
+                0.02,
+            ),
+        ),
+        ("gamma", Dist::Gamma { shape: 2.5, scale: 10.0 }),
+    ];
+    for (label, dist) in dists {
+        group.bench_function(label, |b| {
+            let mut rng = Rng::seed_from(7);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..100_000 {
+                    acc += dist.sample(&mut rng);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn statistics_kernels(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(9);
+    let samples: Vec<f64> = (0..100_000).map(|_| rng.next_f64() * 1000.0).collect();
+    c.bench_function("stats/summary_100k", |b| {
+        b.iter(|| stats::Summary::from_samples(&samples))
+    });
+    c.bench_function("stats/ks_10k_vs_10k", |b| {
+        let a = &samples[..10_000];
+        let bb = &samples[10_000..20_000];
+        b.iter(|| stats::ks::ks_statistic(a, bb))
+    });
+}
+
+criterion_group!(
+    benches,
+    warm_invocation_throughput,
+    cold_start_cost,
+    burst_policies,
+    distribution_sampling,
+    statistics_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Runs the extension studies: scheduling-policy trade-off (Obs 7's
+//! optimisation space) and mechanism knockouts.
+
+fn main() {
+    let seed = 20210711;
+    println!("{}", bench::experiments::ablation::report(seed).render());
+}

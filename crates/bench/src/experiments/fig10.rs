@@ -1,0 +1,69 @@
+//! Fig 10: tail-to-median ratio CDFs for per-function execution times from
+//! the Azure Functions trace (§VII-B).
+
+use azure_trace::analysis::TmrAnalysis;
+use azure_trace::record::DurationClass;
+use azure_trace::synth::{generate, SynthConfig};
+use stats::table::TextTable;
+
+use crate::report::{Report, BASE_SEED};
+
+/// Functions in the synthetic trace (the real duration table has tens of
+/// thousands).
+pub const TRACE_FUNCTIONS: usize = 40_000;
+
+/// Measured data behind Fig 10.
+#[derive(Debug)]
+pub struct Fig10 {
+    /// The TMR analysis over the synthetic trace.
+    pub analysis: TmrAnalysis,
+}
+
+/// Generates the synthetic trace and analyses it.
+pub fn measure(functions: usize) -> Fig10 {
+    let trace = generate(&SynthConfig::paper_defaults(functions), BASE_SEED + 70);
+    Fig10 { analysis: TmrAnalysis::compute(&trace) }
+}
+
+impl Fig10 {
+    /// Renders the report: headline fractions plus CDF points.
+    pub fn report(&self) -> Report {
+        let mut table = TextTable::new(vec!["population", "frac TMR<10", "paper"]);
+        table.row(vec![
+            "all functions".into(),
+            format!("{:.2}", self.analysis.fraction_below(10.0)),
+            "0.70".into(),
+        ]);
+        if let Some(f) = self.analysis.class_fraction_below(DurationClass::Short, 10.0) {
+            table.row(vec!["run < 1s".into(), format!("{f:.2}"), "0.60".into()]);
+        }
+        if let Some(f) = self.analysis.class_fraction_below(DurationClass::Long, 10.0) {
+            table.row(vec!["run > 10s".into(), format!("{f:.2}"), "0.90".into()]);
+        }
+        let mut body = table.render();
+        body.push_str("\nTMR CDF points (all functions):\n");
+        for (tmr, q) in self.analysis.fig10_points(11) {
+            body.push_str(&format!("  q={q:.1}: TMR {tmr:.2}\n"));
+        }
+        Report {
+            id: "fig10",
+            title: "TMR CDFs for per-function execution times (Azure trace)",
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_headline_fractions() {
+        let data = measure(20_000);
+        let all = data.analysis.fraction_below(10.0);
+        assert!((all - 0.70).abs() < 0.06, "all {all}");
+        let report = data.report().render();
+        assert!(report.contains("all functions"));
+        assert!(report.contains("TMR CDF points"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Keep-alive policy study (extension).
+//!
+//! The paper's related work points at Shahrad et al.'s exploration of
+//! instance keep-alive policies; our simulator makes that design space
+//! directly measurable: longer keep-alives trade wasted instance-seconds
+//! (provider cost) for fewer cold starts (user latency). This study sweeps
+//! the keep-alive window against a mixed-rate invocation pattern.
+
+use faas_sim::cloud::CloudSim;
+use faas_sim::spec::FunctionSpec;
+use providers::profiles::aws_like;
+use simkit::dist::Dist;
+use simkit::rng::Rng;
+use simkit::time::SimTime;
+use stats::table::{fmt_latency, TextTable};
+
+use crate::report::Report;
+
+/// One keep-alive setting's outcome.
+#[derive(Debug, Clone)]
+pub struct KeepAliveCell {
+    /// Keep-alive window, minutes.
+    pub keepalive_min: f64,
+    /// Fraction of requests that cold started.
+    pub cold_fraction: f64,
+    /// Median end-to-end latency, ms.
+    pub median_ms: f64,
+    /// p99 end-to-end latency, ms.
+    pub p99_ms: f64,
+    /// Idle (non-busy) instance-seconds burned per request.
+    pub idle_seconds_per_request: f64,
+}
+
+/// Sweeps keep-alive windows against three functions with 1, 7 and 20
+/// minute mean inter-arrival times (spanning the warm/cold boundary).
+pub fn sweep(seed: u64) -> Vec<KeepAliveCell> {
+    let mut cells = Vec::new();
+    for &minutes in &[1.0f64, 5.0, 10.0, 30.0, 60.0] {
+        let mut cfg = aws_like();
+        cfg.keepalive.idle_timeout_ms = Dist::constant(minutes * 60_000.0);
+        let mut cloud = CloudSim::new(cfg, seed);
+        let mut rng = Rng::seed_from(seed).fork("keepalive-arrivals");
+        let mut fns = Vec::new();
+        for (i, mean_iat_min) in [1.0f64, 7.0, 20.0].iter().enumerate() {
+            let f = cloud
+                .deploy(FunctionSpec::builder(format!("ka{i}")).exec_constant_ms(50.0).build())
+                .expect("deploy");
+            // Poisson arrivals over 4 simulated hours.
+            let mut t = SimTime::ZERO;
+            let horizon = SimTime::from_mins(240);
+            let mut tag = 0u64;
+            loop {
+                t += SimTime::from_millis(
+                    -mean_iat_min * 60_000.0 * rng.next_f64_open().ln(),
+                );
+                if t >= horizon {
+                    break;
+                }
+                cloud.submit(f, tag, t);
+                tag += 1;
+            }
+            fns.push(f);
+        }
+        cloud.run_until(SimTime::from_mins(260));
+        let done = cloud.drain_completions();
+        assert!(!done.is_empty());
+        let latencies: Vec<f64> = done.iter().map(|c| c.latency_ms()).collect();
+        let cold = done.iter().filter(|c| c.cold).count() as f64 / done.len() as f64;
+        let mut idle_seconds = 0.0;
+        for &f in &fns {
+            let usage = cloud.resource_usage(f);
+            idle_seconds += usage.instance_seconds - usage.busy_seconds;
+        }
+        cells.push(KeepAliveCell {
+            keepalive_min: minutes,
+            cold_fraction: cold,
+            median_ms: stats::percentile::median(&latencies),
+            p99_ms: stats::percentile::p99(&latencies),
+            idle_seconds_per_request: idle_seconds / done.len() as f64,
+        });
+    }
+    cells
+}
+
+/// Renders the study.
+pub fn report(seed: u64) -> Report {
+    let mut table = TextTable::new(vec![
+        "keepalive_min",
+        "cold_frac",
+        "median_ms",
+        "p99_ms",
+        "idle_sec/req",
+    ]);
+    for cell in sweep(seed) {
+        table.row(vec![
+            format!("{}", cell.keepalive_min),
+            format!("{:.3}", cell.cold_fraction),
+            fmt_latency(cell.median_ms),
+            fmt_latency(cell.p99_ms),
+            format!("{:.1}", cell.idle_seconds_per_request),
+        ]);
+    }
+    let mut body = String::from(
+        "Three functions with 1/7/20-minute mean IATs over 4 simulated hours\n\
+         on aws-like; longer keep-alives buy tail latency with idle capacity:\n",
+    );
+    body.push_str(&table.render());
+    Report {
+        id: "keepalive",
+        title: "Keep-alive window vs cold-start exposure (extension)",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longer_keepalive_trades_cost_for_cold_starts() {
+        let cells = sweep(5);
+        assert_eq!(cells.len(), 5);
+        let first = &cells[0]; // 1 minute
+        let last = &cells[4]; // 60 minutes
+        // Cold fraction falls monotonically-ish with the window.
+        assert!(
+            last.cold_fraction < first.cold_fraction / 2.0,
+            "cold {} -> {}",
+            first.cold_fraction,
+            last.cold_fraction
+        );
+        // ...while idle capacity burned per request rises.
+        assert!(
+            last.idle_seconds_per_request > 2.0 * first.idle_seconds_per_request,
+            "idle {} -> {}",
+            first.idle_seconds_per_request,
+            last.idle_seconds_per_request
+        );
+        // Tail latency improves with fewer cold starts.
+        assert!(last.p99_ms < first.p99_ms);
+        assert!(report(5).render().contains("keepalive_min"));
+    }
+}

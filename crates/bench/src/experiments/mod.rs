@@ -1,0 +1,14 @@
+//! One module per paper artifact; each exposes `measure(...)` returning a
+//! structured result with a `report()` renderer.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod keepalive;
+pub mod table1;

@@ -1,0 +1,55 @@
+//! # stellar-bench — the reproduction harness
+//!
+//! For every table and figure in the paper's evaluation, this crate holds
+//! the code that regenerates it against the simulated providers: workload
+//! construction, parameter sweeps, measurement and paper-vs-measured
+//! rendering.
+//!
+//! Run the full reproduction with:
+//!
+//! ```bash
+//! cargo run --release -p stellar-bench --bin reproduce
+//! ```
+//!
+//! or a single artifact, e.g. `--bin fig8`. Criterion benches covering the
+//! same experiments live under `benches/`.
+
+pub mod experiments;
+pub mod report;
+
+use report::Report;
+
+/// Runs every experiment at the given sample count and returns the
+/// reports in paper order. `samples = 3000` matches the paper; smaller
+/// values trade fidelity for speed.
+pub fn run_all(samples: u32) -> Vec<Report> {
+    vec![
+        experiments::fig3::measure(samples).report(),
+        experiments::fig4::measure(samples).report(),
+        experiments::fig5::measure(samples).report(),
+        experiments::fig6::measure(samples).report(),
+        experiments::fig7::measure(samples).report(),
+        experiments::fig8::measure(samples).report(),
+        experiments::fig9::measure(samples).report(),
+        experiments::table1::measure(samples).report(),
+        experiments::fig10::measure(experiments::fig10::TRACE_FUNCTIONS).report(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    /// Smoke: the full reproduction path runs end to end at a tiny sample
+    /// count and yields all ten report sections in paper order.
+    #[test]
+    fn run_all_produces_every_artifact() {
+        let reports = super::run_all(60);
+        let ids: Vec<&str> = reports.iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            vec!["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "fig10"]
+        );
+        for report in &reports {
+            assert!(!report.body.is_empty(), "{} has an empty body", report.id);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Command-line argument parsing (dependency-free).
+
+/// Options of `stellar run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Path to the static function configuration JSON.
+    pub static_path: String,
+    /// Path to the runtime (client) configuration JSON.
+    pub runtime_path: String,
+    /// Provider: a built-in name (`aws-like`, `google-like`,
+    /// `azure-like`) or a path to a provider-config JSON.
+    pub provider: String,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Print the per-component breakdown table.
+    pub breakdown: bool,
+    /// Print an ASCII CDF.
+    pub cdf: bool,
+    /// Write quantile CSV to this path.
+    pub csv: Option<String>,
+    /// Write an SVG CDF to this path.
+    pub svg: Option<String>,
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `stellar run …`
+    Run(RunOptions),
+    /// `stellar providers`
+    Providers,
+    /// `stellar dump-provider <name>`
+    DumpProvider(String),
+    /// `stellar sample-config`
+    SampleConfig,
+    /// `stellar help` / no args / `--help`.
+    Help,
+}
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage-style message for unknown commands, unknown flags or
+/// missing flag values.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "providers" => Ok(Command::Providers),
+        "sample-config" => Ok(Command::SampleConfig),
+        "dump-provider" => {
+            let name = it.next().ok_or("dump-provider needs a profile name")?;
+            Ok(Command::DumpProvider(name.clone()))
+        }
+        "run" => {
+            let mut static_path = None;
+            let mut runtime_path = None;
+            let mut provider = "aws-like".to_string();
+            let mut seed = 0u64;
+            let mut breakdown = false;
+            let mut cdf = false;
+            let mut csv = None;
+            let mut svg = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--static" => static_path = Some(value("--static")?),
+                    "--runtime" => runtime_path = Some(value("--runtime")?),
+                    "--provider" => provider = value("--provider")?,
+                    "--seed" => {
+                        seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?;
+                    }
+                    "--breakdown" => breakdown = true,
+                    "--cdf" => cdf = true,
+                    "--csv" => csv = Some(value("--csv")?),
+                    "--svg" => svg = Some(value("--svg")?),
+                    other => return Err(format!("unknown flag: {other}")),
+                }
+            }
+            Ok(Command::Run(RunOptions {
+                static_path: static_path.ok_or("run needs --static <file>")?,
+                runtime_path: runtime_path.ok_or("run needs --runtime <file>")?,
+                provider,
+                seed,
+                breakdown,
+                cdf,
+                csv,
+                svg,
+            }))
+        }
+        other => Err(format!("unknown command: {other} (try `stellar help`)")),
+    }
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+STeLLAR — Serverless Tail-Latency Analyzer (simulation-backed reproduction)
+
+USAGE:
+    stellar run --static <fns.json> --runtime <load.json> [OPTIONS]
+    stellar providers
+    stellar dump-provider <aws-like|google-like|azure-like>
+    stellar sample-config
+    stellar help
+
+RUN OPTIONS:
+    --provider <name|file>   built-in profile or provider-config JSON
+                             [default: aws-like]
+    --seed <n>               deterministic seed [default: 0]
+    --breakdown              print per-component latency attribution
+    --cdf                    print an ASCII CDF of end-to-end latency
+    --csv <file>             write quantile CSV
+    --svg <file>             write an SVG CDF plot
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_with_all_flags() {
+        let cmd = parse_args(&strs(&[
+            "run", "--static", "s.json", "--runtime", "r.json", "--provider",
+            "google-like", "--seed", "9", "--breakdown", "--cdf", "--csv", "out.csv",
+            "--svg", "out.svg",
+        ]))
+        .unwrap();
+        let Command::Run(opts) = cmd else { panic!("expected run") };
+        assert_eq!(opts.static_path, "s.json");
+        assert_eq!(opts.runtime_path, "r.json");
+        assert_eq!(opts.provider, "google-like");
+        assert_eq!(opts.seed, 9);
+        assert!(opts.breakdown && opts.cdf);
+        assert_eq!(opts.csv.as_deref(), Some("out.csv"));
+        assert_eq!(opts.svg.as_deref(), Some("out.svg"));
+    }
+
+    #[test]
+    fn run_defaults() {
+        let cmd =
+            parse_args(&strs(&["run", "--static", "s.json", "--runtime", "r.json"])).unwrap();
+        let Command::Run(opts) = cmd else { panic!("expected run") };
+        assert_eq!(opts.provider, "aws-like");
+        assert_eq!(opts.seed, 0);
+        assert!(!opts.breakdown && !opts.cdf);
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(parse_args(&strs(&["run", "--static", "s.json"])).is_err());
+        assert!(parse_args(&strs(&["run"])).is_err());
+        assert!(parse_args(&strs(&["run", "--static"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_error() {
+        assert!(parse_args(&strs(&["run", "--static", "a", "--runtime", "b", "--bogus"]))
+            .is_err());
+        assert!(parse_args(&strs(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn simple_commands() {
+        assert_eq!(parse_args(&strs(&["providers"])).unwrap(), Command::Providers);
+        assert_eq!(
+            parse_args(&strs(&["dump-provider", "azure-like"])).unwrap(),
+            Command::DumpProvider("azure-like".into())
+        );
+        assert_eq!(parse_args(&strs(&["sample-config"])).unwrap(), Command::SampleConfig);
+        assert_eq!(parse_args(&strs(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn bad_seed_errors() {
+        assert!(parse_args(&strs(&[
+            "run", "--static", "a", "--runtime", "b", "--seed", "not-a-number"
+        ]))
+        .is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Command execution.
+
+use std::fmt;
+
+use faas_sim::config::ProviderConfig;
+use providers::paper::ProviderKind;
+use providers::profiles::config_for;
+use stats::svg::{SvgPlot, SvgSeries};
+use stellar_core::breakdown::BreakdownAnalysis;
+use stellar_core::config::{RuntimeConfig, StaticConfig};
+use stellar_core::experiment::Experiment;
+use stellar_core::visualize::{export_cdf_csv, render_cdf, Series};
+
+use crate::args::{Command, RunOptions, USAGE};
+
+/// CLI failures (all user-facing).
+#[derive(Debug)]
+pub enum CliError {
+    /// File IO problem.
+    Io(String, std::io::Error),
+    /// Configuration parse/validation problem.
+    Config(String),
+    /// Experiment failure.
+    Experiment(stellar_core::experiment::ExperimentError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io(path, e) => write!(f, "{path}: {e}"),
+            CliError::Config(msg) => write!(f, "configuration error: {msg}"),
+            CliError::Experiment(e) => write!(f, "experiment failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))
+}
+
+fn resolve_provider(name_or_path: &str) -> Result<ProviderConfig, CliError> {
+    for kind in ProviderKind::ALL {
+        if config_for(kind).name == name_or_path
+            || kind.label() == name_or_path
+            || format!("{}-like", kind.label()) == name_or_path
+        {
+            return Ok(config_for(kind));
+        }
+    }
+    // Otherwise treat it as a path to a provider-config JSON.
+    let text = read(name_or_path)?;
+    let cfg: ProviderConfig = serde_json::from_str(&text)
+        .map_err(|e| CliError::Config(format!("{name_or_path}: {e}")))?;
+    cfg.validate().map_err(CliError::Config)?;
+    Ok(cfg)
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for IO, configuration or experiment failures.
+pub fn execute(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Providers => {
+            let mut out = String::from("built-in provider profiles:\n");
+            for kind in ProviderKind::ALL {
+                let cfg = config_for(kind);
+                out.push_str(&format!(
+                    "  {:<12} policy={:?} prop_rtt={:.0}ms\n",
+                    cfg.name,
+                    policy_label(&cfg),
+                    kind.prop_one_way_ms() * 2.0,
+                ));
+            }
+            Ok(out)
+        }
+        Command::DumpProvider(name) => {
+            let cfg = resolve_provider(name)?;
+            serde_json::to_string_pretty(&cfg).map_err(|e| CliError::Config(e.to_string()))
+        }
+        Command::SampleConfig => Ok(sample_config()),
+        Command::Run(opts) => run(opts),
+    }
+}
+
+fn policy_label(cfg: &ProviderConfig) -> &'static str {
+    use faas_sim::config::ScalePolicy::*;
+    match cfg.scaling.policy {
+        PerRequest => "per-request",
+        TargetConcurrency { .. } => "target-concurrency",
+        Periodic { .. } => "periodic",
+        CostAware { .. } => "cost-aware",
+    }
+}
+
+fn run(opts: &RunOptions) -> Result<String, CliError> {
+    let static_cfg =
+        StaticConfig::from_json(&read(&opts.static_path)?).map_err(CliError::Config)?;
+    let runtime_cfg =
+        RuntimeConfig::from_json(&read(&opts.runtime_path)?).map_err(CliError::Config)?;
+    let provider = resolve_provider(&opts.provider)?;
+    let provider_name = provider.name.clone();
+
+    let outcome = Experiment::new(provider)
+        .functions(static_cfg)
+        .workload(runtime_cfg)
+        .seed(opts.seed)
+        .run()
+        .map_err(CliError::Experiment)?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "provider {provider_name}, seed {}: {}\n",
+        opts.seed, outcome.summary
+    ));
+    out.push_str(&format!(
+        "cold-start fraction: {:.1}%\n",
+        outcome.result.cold_fraction() * 100.0
+    ));
+    if let Some(ts) = &outcome.transfer_summary {
+        out.push_str(&format!("transfers: {ts}\n"));
+    }
+    if opts.cdf {
+        out.push('\n');
+        out.push_str(&render_cdf("end-to-end latency (ms)", &outcome.latencies_ms()));
+    }
+    if opts.breakdown {
+        out.push('\n');
+        out.push_str(&BreakdownAnalysis::compute(&outcome.result.completions).render());
+    }
+    if let Some(path) = &opts.csv {
+        let csv = export_cdf_csv(
+            &[Series::new(provider_name.clone(), outcome.latencies_ms())],
+            101,
+        );
+        std::fs::write(path, csv).map_err(|e| CliError::Io(path.clone(), e))?;
+        out.push_str(&format!("wrote quantile CSV to {path}\n"));
+    }
+    if let Some(path) = &opts.svg {
+        let svg = SvgPlot::cdf(format!("{provider_name} end-to-end latency"))
+            .render(&[SvgSeries::new(provider_name, outcome.latencies_ms())]);
+        std::fs::write(path, svg).map_err(|e| CliError::Io(path.clone(), e))?;
+        out.push_str(&format!("wrote SVG CDF to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn sample_config() -> String {
+    let static_json = r#"{
+  "functions": [
+    { "name": "api", "runtime": "python3", "deployment": "zip",
+      "memory_mb": 2048, "replicas": 4 }
+  ]
+}"#;
+    let runtime_json = r#"{
+  "iat": { "kind": "fixed", "ms": 3000.0 },
+  "burst_size": 1,
+  "samples": 3000,
+  "warmup_rounds": 2,
+  "exec_ms": 0.0
+}"#;
+    format!(
+        "# static configuration (save as fns.json):\n{static_json}\n\n\
+         # runtime configuration (save as load.json):\n{runtime_json}\n\n\
+         # then: stellar run --static fns.json --runtime load.json --cdf\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("stellar-cli-test-{name}"));
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_providers_and_dump() {
+        assert!(execute(&Command::Help).unwrap().contains("USAGE"));
+        let providers = execute(&Command::Providers).unwrap();
+        assert!(providers.contains("aws-like"));
+        assert!(providers.contains("per-request"));
+        let dump = execute(&Command::DumpProvider("azure-like".into())).unwrap();
+        assert!(dump.contains("\"periodic\""));
+        assert!(execute(&Command::DumpProvider("nope".into())).is_err());
+    }
+
+    #[test]
+    fn sample_config_round_trips() {
+        let text = execute(&Command::SampleConfig).unwrap();
+        let static_part = text
+            .split("# static configuration (save as fns.json):\n")
+            .nth(1)
+            .unwrap()
+            .split("\n\n#")
+            .next()
+            .unwrap();
+        assert!(StaticConfig::from_json(static_part).is_ok());
+    }
+
+    #[test]
+    fn run_end_to_end_with_exports() {
+        let static_path = write_temp(
+            "static.json",
+            r#"{"functions": [{"name": "f", "runtime": "go", "deployment": "zip", "memory_mb": 2048}]}"#,
+        );
+        let runtime_path = write_temp(
+            "runtime.json",
+            r#"{"iat": {"kind": "fixed", "ms": 1000.0}, "samples": 40, "warmup_rounds": 1}"#,
+        );
+        let csv_path = write_temp("out.csv", "");
+        let svg_path = write_temp("out.svg", "");
+        let opts = RunOptions {
+            static_path,
+            runtime_path,
+            provider: "google-like".into(),
+            seed: 3,
+            breakdown: true,
+            cdf: true,
+            csv: Some(csv_path.clone()),
+            svg: Some(svg_path.clone()),
+        };
+        let out = execute(&Command::Run(opts)).unwrap();
+        assert!(out.contains("provider google-like"));
+        assert!(out.contains("per-component attribution"));
+        assert!(out.contains("median"));
+        let csv = std::fs::read_to_string(csv_path).unwrap();
+        assert!(csv.starts_with("series,quantile,latency_ms"));
+        let svg = std::fs::read_to_string(svg_path).unwrap();
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn run_reports_config_errors() {
+        let static_path = write_temp("bad-static.json", r#"{"functions": []}"#);
+        let runtime_path = write_temp(
+            "ok-runtime.json",
+            r#"{"iat": {"kind": "fixed", "ms": 1000.0}, "samples": 5}"#,
+        );
+        let opts = RunOptions {
+            static_path,
+            runtime_path,
+            provider: "aws-like".into(),
+            seed: 0,
+            breakdown: false,
+            cdf: false,
+            csv: None,
+            svg: None,
+        };
+        let err = execute(&Command::Run(opts)).unwrap_err();
+        assert!(matches!(err, CliError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_files_error() {
+        let opts = RunOptions {
+            static_path: "/nonexistent/s.json".into(),
+            runtime_path: "/nonexistent/r.json".into(),
+            provider: "aws-like".into(),
+            seed: 0,
+            breakdown: false,
+            cdf: false,
+            csv: None,
+            svg: None,
+        };
+        assert!(matches!(execute(&Command::Run(opts)).unwrap_err(), CliError::Io(..)));
+    }
+
+    #[test]
+    fn provider_from_json_file() {
+        let cfg = config_for(ProviderKind::Aws);
+        let path = write_temp("provider.json", &serde_json::to_string(&cfg).unwrap());
+        let resolved = resolve_provider(&path).unwrap();
+        assert_eq!(resolved.name, "aws-like");
+    }
+}

@@ -1,0 +1,20 @@
+//! # stellar-cli — the STeLLAR command-line front end
+//!
+//! Mirrors how the paper's tool is used in practice: the deployer and
+//! client are driven by JSON configuration files from the command line
+//! (§IV), producing latency statistics, CDFs, per-component breakdowns and
+//! optional CSV/SVG exports.
+//!
+//! ```bash
+//! stellar providers                  # list built-in provider profiles
+//! stellar dump-provider aws-like     # print a profile as editable JSON
+//! stellar sample-config              # print starter static/runtime JSON
+//! stellar run --static fns.json --runtime load.json \
+//!             --provider google-like --seed 7 --breakdown --cdf
+//! ```
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command, RunOptions};
+pub use commands::{execute, CliError};

@@ -1,0 +1,265 @@
+//! Per-component latency analysis.
+//!
+//! STeLLAR's selling point over end-to-end-only benchmarks is measuring
+//! *where* latency comes from (§IV: "accurate measurement of latency
+//! contributions from different cloud infrastructure components"). This
+//! module aggregates the per-request [`faas_sim::Breakdown`]s of a run
+//! into per-component distributions and renders the attribution table.
+
+use faas_sim::request::Completion;
+use stats::summary::Summary;
+use stats::table::{fmt_latency, TextTable};
+
+/// The latency components in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// WAN propagation (both directions).
+    Propagation,
+    /// Front-end processing.
+    Frontend,
+    /// Load-balancer routing decision.
+    Routing,
+    /// Serial dispatch wait (bursts).
+    DispatchWait,
+    /// Inline payload transmission.
+    InlineTransfer,
+    /// Queue / buffering wait (includes cold boots).
+    QueueWait,
+    /// Steering to the instance.
+    Steer,
+    /// In-instance handling overhead.
+    Handling,
+    /// Storage GET of an incoming payload.
+    PayloadGet,
+    /// User code execution.
+    Execution,
+    /// Downstream chain round-trip.
+    Chain,
+    /// Response path (datacenter internal).
+    Response,
+}
+
+impl Component {
+    /// All components in pipeline order.
+    pub const ALL: [Component; 12] = [
+        Component::Propagation,
+        Component::Frontend,
+        Component::Routing,
+        Component::DispatchWait,
+        Component::InlineTransfer,
+        Component::QueueWait,
+        Component::Steer,
+        Component::Handling,
+        Component::PayloadGet,
+        Component::Execution,
+        Component::Chain,
+        Component::Response,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Propagation => "propagation",
+            Component::Frontend => "frontend",
+            Component::Routing => "routing",
+            Component::DispatchWait => "dispatch wait",
+            Component::InlineTransfer => "inline transfer",
+            Component::QueueWait => "queue wait",
+            Component::Steer => "steer",
+            Component::Handling => "handling",
+            Component::PayloadGet => "payload get",
+            Component::Execution => "execution",
+            Component::Chain => "chain round-trip",
+            Component::Response => "response",
+        }
+    }
+
+    /// Extracts this component's value (ms) from one completion.
+    pub fn extract(self, c: &Completion) -> f64 {
+        let b = &c.breakdown;
+        match self {
+            Component::Propagation => b.prop_out_ms + b.prop_back_ms,
+            Component::Frontend => b.frontend_ms,
+            Component::Routing => b.routing_ms,
+            Component::DispatchWait => b.dispatch_wait_ms,
+            Component::InlineTransfer => b.inline_transfer_ms,
+            Component::QueueWait => b.queue_wait_ms,
+            Component::Steer => b.steer_ms,
+            Component::Handling => b.handling_ms,
+            Component::PayloadGet => b.payload_get_ms,
+            Component::Execution => b.exec_ms,
+            Component::Chain => b.chain_ms,
+            Component::Response => b.response_ms,
+        }
+    }
+}
+
+/// Aggregated per-component attribution over a set of completions.
+#[derive(Debug, Clone)]
+pub struct BreakdownAnalysis {
+    components: Vec<(Component, Summary)>,
+    total_median_ms: f64,
+    count: usize,
+}
+
+impl BreakdownAnalysis {
+    /// Aggregates `completions` (which must be non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `completions` is empty.
+    pub fn compute(completions: &[Completion]) -> BreakdownAnalysis {
+        assert!(!completions.is_empty(), "breakdown of empty run");
+        let latencies: Vec<f64> = completions.iter().map(Completion::latency_ms).collect();
+        let components = Component::ALL
+            .iter()
+            .map(|&comp| {
+                let values: Vec<f64> =
+                    completions.iter().map(|c| comp.extract(c)).collect();
+                (comp, Summary::from_samples(&values))
+            })
+            .collect();
+        BreakdownAnalysis {
+            components,
+            total_median_ms: stats::percentile::median(&latencies),
+            count: completions.len(),
+        }
+    }
+
+    /// Summary of one component.
+    pub fn component(&self, comp: Component) -> &Summary {
+        &self.components.iter().find(|(c, _)| *c == comp).expect("all components present").1
+    }
+
+    /// The component with the largest median contribution.
+    pub fn dominant(&self) -> Component {
+        self.components
+            .iter()
+            .max_by(|a, b| a.1.median.partial_cmp(&b.1.median).expect("no NaN medians"))
+            .expect("non-empty")
+            .0
+    }
+
+    /// The component with the largest p99 − median gap (the tail source).
+    pub fn tail_source(&self) -> Component {
+        self.components
+            .iter()
+            .max_by(|a, b| {
+                (a.1.tail - a.1.median)
+                    .partial_cmp(&(b.1.tail - b.1.median))
+                    .expect("no NaN tails")
+            })
+            .expect("non-empty")
+            .0
+    }
+
+    /// Median end-to-end latency of the analysed run, ms.
+    pub fn total_median_ms(&self) -> f64 {
+        self.total_median_ms
+    }
+
+    /// Renders the attribution table (median share per component).
+    pub fn render(&self) -> String {
+        let mut table =
+            TextTable::new(vec!["component", "median_ms", "p99_ms", "share_of_median"]);
+        for (comp, summary) in &self.components {
+            if summary.max == 0.0 {
+                continue; // component never exercised in this run
+            }
+            let share = if self.total_median_ms > 0.0 {
+                summary.median / self.total_median_ms * 100.0
+            } else {
+                0.0
+            };
+            table.row(vec![
+                comp.label().to_string(),
+                fmt_latency(summary.median),
+                fmt_latency(summary.tail),
+                format!("{share:.1}%"),
+            ]);
+        }
+        format!(
+            "per-component attribution over {} requests (median e2e {} ms):\n{}",
+            self.count,
+            fmt_latency(self.total_median_ms),
+            table.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{IatSpec, RuntimeConfig, StaticConfig, StaticFunction};
+    use crate::experiment::Experiment;
+    use faas_sim::testutil::test_provider;
+
+    fn run(exec_ms: f64, warmup: u32, samples: u32) -> Vec<Completion> {
+        let mut workload = RuntimeConfig::single(IatSpec::Fixed { ms: 1000.0 }, samples);
+        workload.warmup_rounds = warmup;
+        workload.exec_ms = exec_ms;
+        Experiment::new(test_provider())
+            .functions(StaticConfig { functions: vec![StaticFunction::python_zip("b")] })
+            .workload(workload)
+            .seed(1)
+            .run()
+            .unwrap()
+            .result
+            .completions
+    }
+
+    #[test]
+    fn warm_run_is_dominated_by_propagation() {
+        // Test provider: 2×10ms propagation vs 20ms overhead split 5 ways.
+        let analysis = BreakdownAnalysis::compute(&run(0.0, 1, 50));
+        assert_eq!(analysis.dominant(), Component::Propagation);
+        let prop = analysis.component(Component::Propagation);
+        assert!((prop.median - 20.0).abs() < 0.1);
+        assert_eq!(analysis.component(Component::Chain).max, 0.0);
+    }
+
+    #[test]
+    fn execution_dominates_long_functions() {
+        let analysis = BreakdownAnalysis::compute(&run(500.0, 1, 30));
+        assert_eq!(analysis.dominant(), Component::Execution);
+        assert!((analysis.component(Component::Execution).median - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_runs_blame_queue_wait_for_the_tail() {
+        // No warm-up: the cold start sits in queue_wait of sample 0.
+        let analysis = BreakdownAnalysis::compute(&run(0.0, 0, 20));
+        assert_eq!(analysis.tail_source(), Component::QueueWait);
+    }
+
+    #[test]
+    fn shares_sum_to_total_for_constant_runs() {
+        let completions = run(100.0, 1, 40);
+        let analysis = BreakdownAnalysis::compute(&completions);
+        let sum: f64 = Component::ALL
+            .iter()
+            .map(|&c| analysis.component(c).median)
+            .sum();
+        // With near-constant components, medians are additive.
+        assert!(
+            (sum - analysis.total_median_ms()).abs() / analysis.total_median_ms() < 0.05,
+            "sum of medians {sum} vs total {}",
+            analysis.total_median_ms()
+        );
+    }
+
+    #[test]
+    fn render_lists_components() {
+        let analysis = BreakdownAnalysis::compute(&run(0.0, 1, 10));
+        let text = analysis.render();
+        assert!(text.contains("propagation"));
+        assert!(text.contains("share_of_median"));
+        assert!(!text.contains("chain round-trip"), "unused components hidden");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty run")]
+    fn empty_panics() {
+        BreakdownAnalysis::compute(&[]);
+    }
+}

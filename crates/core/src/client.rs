@@ -1,0 +1,281 @@
+//! The client: provider-agnostic load generation and measurement.
+//!
+//! Mirrors STeLLAR's client (§IV): invokes the endpoints produced by the
+//! deployer in round-robin order at the configured inter-arrival time,
+//! optionally issuing `burst_size` simultaneous requests per round, and
+//! collects per-request latency samples plus the intra-function transfer
+//! timestamps.
+
+use faas_sim::cloud::CloudSim;
+use faas_sim::request::{Completion, TransferSample};
+use simkit::rng::Rng;
+use simkit::time::SimTime;
+
+use crate::config::{IatSpec, RuntimeConfig};
+use crate::deployer::Deployment;
+
+/// Everything the client measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Completions from measured rounds, in completion order.
+    pub completions: Vec<Completion>,
+    /// Completions from warm-up rounds (excluded from statistics).
+    pub warmup_completions: Vec<Completion>,
+    /// Cross-function transfer samples from measured rounds.
+    pub transfers: Vec<TransferSample>,
+    /// Wall-clock (simulated) duration of the whole run.
+    pub duration: SimTime,
+}
+
+impl RunResult {
+    /// End-to-end latencies of measured completions, ms.
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.completions.iter().map(Completion::latency_ms).collect()
+    }
+
+    /// Effective transfer times of measured transfer samples, ms.
+    pub fn transfer_ms(&self) -> Vec<f64> {
+        self.transfers.iter().map(TransferSample::transfer_ms).collect()
+    }
+
+    /// Fraction of measured completions that waited on a cold start.
+    pub fn cold_fraction(&self) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        self.completions.iter().filter(|c| c.cold).count() as f64
+            / self.completions.len() as f64
+    }
+}
+
+/// Errors from a client run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The runtime configuration failed validation.
+    InvalidConfig(String),
+    /// The deployment has no endpoints.
+    EmptyDeployment,
+    /// Not all requests completed within the simulation horizon.
+    IncompleteRun {
+        /// Completions received.
+        received: usize,
+        /// Completions expected.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::InvalidConfig(msg) => write!(f, "invalid runtime config: {msg}"),
+            ClientError::EmptyDeployment => write!(f, "deployment has no endpoints"),
+            ClientError::IncompleteRun { received, expected } => {
+                write!(f, "run incomplete: {received}/{expected} completions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Samples the next inter-arrival gap.
+fn sample_iat_ms(iat: &IatSpec, rng: &mut Rng) -> f64 {
+    match iat {
+        IatSpec::Fixed { ms } => *ms,
+        IatSpec::Exponential { mean_ms } => -mean_ms * rng.next_f64_open().ln(),
+        IatSpec::Uniform { lo_ms, hi_ms } => rng.range_f64(*lo_ms, *hi_ms),
+    }
+}
+
+/// Drives the workload described by `cfg` against `deployment` on
+/// `cloud`, starting at the cloud's current time.
+///
+/// Rounds are issued at the configured IAT; each round sends
+/// `cfg.burst_size` simultaneous requests to one endpoint, cycling through
+/// endpoints round-robin (§IV/§V). The first `cfg.warmup_rounds` rounds
+/// are collected separately and excluded from statistics. Requests are
+/// tagged with their round number.
+///
+/// # Errors
+///
+/// Returns [`ClientError`] for invalid configs, empty deployments, or if
+/// requests fail to complete within a generous horizon (which would
+/// indicate a simulator bug).
+pub fn run_workload(
+    cloud: &mut CloudSim,
+    deployment: &Deployment,
+    cfg: &RuntimeConfig,
+    seed: u64,
+) -> Result<RunResult, ClientError> {
+    cfg.validate().map_err(ClientError::InvalidConfig)?;
+    if deployment.is_empty() {
+        return Err(ClientError::EmptyDeployment);
+    }
+    let mut rng = Rng::seed_from(seed).fork("client-iat");
+    let start = cloud.now();
+    let total_rounds = cfg.warmup_rounds + cfg.measured_rounds();
+
+    let mut t = start;
+    let mut last_issue = start;
+    for round in 0..total_rounds {
+        let endpoint = &deployment.endpoints[round as usize % deployment.len()];
+        for _ in 0..cfg.burst_size {
+            cloud.submit(endpoint.function, round as u64, t);
+        }
+        last_issue = t;
+        t += SimTime::from_millis(sample_iat_ms(&cfg.iat, &mut rng));
+    }
+
+    let expected = (total_rounds * cfg.burst_size) as usize;
+    // Generous completion horizon: bursts can queue for minutes on slow
+    // scale-out policies (Fig 9 observes ~39 s; chains and 1 GB transfers
+    // take tens of seconds too).
+    let mut horizon = last_issue + SimTime::from_secs(300.0);
+    let mut completions = Vec::with_capacity(expected);
+    let mut transfers = Vec::new();
+    for _ in 0..20 {
+        cloud.run_until(horizon);
+        completions.extend(cloud.drain_completions());
+        transfers.extend(cloud.drain_transfers());
+        if completions.len() >= expected {
+            break;
+        }
+        horizon += SimTime::from_secs(600.0);
+    }
+    if completions.len() < expected {
+        return Err(ClientError::IncompleteRun { received: completions.len(), expected });
+    }
+
+    let warmup_tag = cfg.warmup_rounds as u64;
+    let (warmup, measured): (Vec<Completion>, Vec<Completion>) =
+        completions.into_iter().partition(|c| c.tag < warmup_tag);
+    let transfers =
+        transfers.into_iter().filter(|tr| tr.parent_tag >= warmup_tag).collect();
+    Ok(RunResult {
+        completions: measured,
+        warmup_completions: warmup,
+        transfers,
+        duration: cloud.now() - start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChainConfig, StaticConfig, StaticFunction};
+    use crate::deployer::deploy;
+    use faas_sim::testutil::test_provider;
+    use faas_sim::types::TransferMode;
+
+    fn setup(
+        static_cfg: &StaticConfig,
+        runtime_cfg: &RuntimeConfig,
+    ) -> (CloudSim, Deployment) {
+        let mut cloud = CloudSim::new(test_provider(), 7);
+        let d = deploy(&mut cloud, static_cfg, runtime_cfg).unwrap();
+        (cloud, d)
+    }
+
+    #[test]
+    fn collects_exactly_the_requested_samples() {
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::python_zip("f")] };
+        let cfg = RuntimeConfig::single(IatSpec::Fixed { ms: 1000.0 }, 50);
+        let (mut cloud, d) = setup(&static_cfg, &cfg);
+        let result = run_workload(&mut cloud, &d, &cfg, 1).unwrap();
+        assert_eq!(result.completions.len(), 50);
+        assert!(result.warmup_completions.is_empty());
+        assert_eq!(result.latencies_ms().len(), 50);
+    }
+
+    #[test]
+    fn warmup_rounds_are_partitioned_out() {
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::python_zip("f")] };
+        let mut cfg = RuntimeConfig::single(IatSpec::Fixed { ms: 1000.0 }, 20);
+        cfg.warmup_rounds = 5;
+        let (mut cloud, d) = setup(&static_cfg, &cfg);
+        let result = run_workload(&mut cloud, &d, &cfg, 1).unwrap();
+        assert_eq!(result.completions.len(), 20);
+        assert_eq!(result.warmup_completions.len(), 5);
+        // The cold start happened in warm-up; measured samples are warm.
+        assert_eq!(result.cold_fraction(), 0.0);
+    }
+
+    #[test]
+    fn bursts_issue_simultaneous_requests() {
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::python_zip("f")] };
+        let mut cfg = RuntimeConfig::single(IatSpec::Fixed { ms: 10_000.0 }, 100);
+        cfg.burst_size = 50;
+        let (mut cloud, d) = setup(&static_cfg, &cfg);
+        let result = run_workload(&mut cloud, &d, &cfg, 1).unwrap();
+        assert_eq!(result.completions.len(), 100);
+        // Two rounds: tags 0 and 1, 50 requests each.
+        let round0 = result.completions.iter().filter(|c| c.tag == 0).count();
+        assert_eq!(round0, 50);
+    }
+
+    #[test]
+    fn round_robin_spreads_rounds_over_endpoints() {
+        let static_cfg = StaticConfig {
+            functions: vec![StaticFunction::python_zip("f").with_replicas(4)],
+        };
+        let cfg = RuntimeConfig::single(IatSpec::Fixed { ms: 100.0 }, 8);
+        let (mut cloud, d) = setup(&static_cfg, &cfg);
+        let result = run_workload(&mut cloud, &d, &cfg, 1).unwrap();
+        // 8 rounds over 4 endpoints: each function invoked exactly twice.
+        for e in &d.endpoints {
+            let count =
+                result.completions.iter().filter(|c| c.function == e.function).count();
+            assert_eq!(count, 2, "endpoint {}", e.name);
+        }
+    }
+
+    #[test]
+    fn chain_transfers_are_collected() {
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::go_zip("xfer")] };
+        let mut cfg = RuntimeConfig::single(IatSpec::Fixed { ms: 1000.0 }, 10);
+        cfg.warmup_rounds = 2;
+        cfg.chain = Some(ChainConfig {
+            length: 2,
+            mode: TransferMode::Storage,
+            payload_bytes: 1_000_000,
+        });
+        let (mut cloud, d) = setup(&static_cfg, &cfg);
+        let result = run_workload(&mut cloud, &d, &cfg, 1).unwrap();
+        assert_eq!(result.completions.len(), 10);
+        assert_eq!(result.transfers.len(), 10, "one transfer per measured round");
+        assert!(result.transfer_ms().iter().all(|&ms| ms > 0.0));
+    }
+
+    #[test]
+    fn empty_deployment_is_an_error() {
+        let mut cloud = CloudSim::new(test_provider(), 1);
+        let cfg = RuntimeConfig::single(IatSpec::short(), 10);
+        let d = Deployment { endpoints: vec![] };
+        assert_eq!(
+            run_workload(&mut cloud, &d, &cfg, 1).unwrap_err(),
+            ClientError::EmptyDeployment
+        );
+    }
+
+    #[test]
+    fn poisson_iat_works() {
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::python_zip("f")] };
+        let mut cfg = RuntimeConfig::single(IatSpec::Exponential { mean_ms: 500.0 }, 30);
+        cfg.warmup_rounds = 1;
+        let (mut cloud, d) = setup(&static_cfg, &cfg);
+        let result = run_workload(&mut cloud, &d, &cfg, 1).unwrap();
+        assert_eq!(result.completions.len(), 30);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::python_zip("f")] };
+        let cfg = RuntimeConfig::single(IatSpec::Exponential { mean_ms: 200.0 }, 25);
+        let run = |seed: u64| {
+            let (mut cloud, d) = setup(&static_cfg, &cfg);
+            run_workload(&mut cloud, &d, &cfg, seed).unwrap().latencies_ms()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -1,0 +1,197 @@
+//! One-call experiments: provider + static config + runtime config → stats.
+//!
+//! [`Experiment`] wraps the deploy→drive→measure pipeline behind a builder
+//! so that benchmark code (and downstream users) can express a paper
+//! experiment in a few lines.
+
+use faas_sim::cloud::CloudSim;
+use faas_sim::config::ProviderConfig;
+use stats::Summary;
+
+use crate::client::{run_workload, ClientError, RunResult};
+use crate::config::{RuntimeConfig, StaticConfig};
+use crate::deployer::deploy;
+
+/// Errors from running an experiment.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Deployment failed.
+    Deploy(faas_sim::cloud::DeployError),
+    /// The client run failed.
+    Client(ClientError),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Deploy(e) => write!(f, "deploy: {e}"),
+            ExperimentError::Client(e) => write!(f, "client: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<faas_sim::cloud::DeployError> for ExperimentError {
+    fn from(e: faas_sim::cloud::DeployError) -> Self {
+        ExperimentError::Deploy(e)
+    }
+}
+
+impl From<ClientError> for ExperimentError {
+    fn from(e: ClientError) -> Self {
+        ExperimentError::Client(e)
+    }
+}
+
+/// A fully specified experiment.
+///
+/// # Examples
+///
+/// ```
+/// use stellar_core::config::{IatSpec, RuntimeConfig, StaticConfig, StaticFunction};
+/// use stellar_core::experiment::Experiment;
+/// use faas_sim::testutil::test_provider;
+///
+/// let outcome = Experiment::new(test_provider())
+///     .functions(StaticConfig { functions: vec![StaticFunction::python_zip("probe")] })
+///     .workload(RuntimeConfig::single(IatSpec::short(), 100))
+///     .seed(7)
+///     .run()
+///     .unwrap();
+/// assert_eq!(outcome.result.completions.len(), 100);
+/// assert!(outcome.summary.median > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    provider: ProviderConfig,
+    static_cfg: StaticConfig,
+    runtime_cfg: RuntimeConfig,
+    seed: u64,
+}
+
+/// What an experiment produced.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Raw client measurements.
+    pub result: RunResult,
+    /// Summary statistics over the measured end-to-end latencies, ms.
+    pub summary: Summary,
+    /// Summary over transfer times (chains only), ms.
+    pub transfer_summary: Option<Summary>,
+}
+
+impl Outcome {
+    /// Measured end-to-end latencies, ms.
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.result.latencies_ms()
+    }
+}
+
+impl Experiment {
+    /// Starts building an experiment against `provider` with defaults:
+    /// one Python ZIP function, 100 single invocations at the short IAT,
+    /// seed 0.
+    pub fn new(provider: ProviderConfig) -> Experiment {
+        Experiment {
+            provider,
+            static_cfg: StaticConfig {
+                functions: vec![crate::config::StaticFunction::python_zip("fn")],
+            },
+            runtime_cfg: RuntimeConfig::single(crate::config::IatSpec::short(), 100),
+            seed: 0,
+        }
+    }
+
+    /// Sets the static (deployer) configuration.
+    pub fn functions(mut self, cfg: StaticConfig) -> Experiment {
+        self.static_cfg = cfg;
+        self
+    }
+
+    /// Sets the runtime (client) configuration.
+    pub fn workload(mut self, cfg: RuntimeConfig) -> Experiment {
+        self.runtime_cfg = cfg;
+        self
+    }
+
+    /// Sets the deterministic seed (both cloud and client streams).
+    pub fn seed(mut self, seed: u64) -> Experiment {
+        self.seed = seed;
+        self
+    }
+
+    /// Deploys, drives the workload and summarises.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] on deploy or client failure.
+    pub fn run(&self) -> Result<Outcome, ExperimentError> {
+        let mut cloud = CloudSim::new(self.provider.clone(), self.seed);
+        let deployment = deploy(&mut cloud, &self.static_cfg, &self.runtime_cfg)?;
+        let result = run_workload(&mut cloud, &deployment, &self.runtime_cfg, self.seed)?;
+        let summary = Summary::from_samples(&result.latencies_ms());
+        let transfer_summary = if result.transfers.is_empty() {
+            None
+        } else {
+            Some(Summary::from_samples(&result.transfer_ms()))
+        };
+        Ok(Outcome { result, summary, transfer_summary })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChainConfig, IatSpec, StaticFunction};
+    use faas_sim::testutil::test_provider;
+    use faas_sim::types::TransferMode;
+
+    #[test]
+    fn default_experiment_runs() {
+        let outcome = Experiment::new(test_provider()).seed(1).run().unwrap();
+        assert_eq!(outcome.summary.count, 100);
+        assert!(outcome.transfer_summary.is_none());
+    }
+
+    #[test]
+    fn chain_experiment_summarises_transfers() {
+        let mut runtime = RuntimeConfig::single(IatSpec::Fixed { ms: 1000.0 }, 20);
+        runtime.warmup_rounds = 2;
+        runtime.chain = Some(ChainConfig {
+            length: 2,
+            mode: TransferMode::Inline,
+            payload_bytes: 1_000_000,
+        });
+        let outcome = Experiment::new(test_provider())
+            .functions(StaticConfig { functions: vec![StaticFunction::go_zip("xfer")] })
+            .workload(runtime)
+            .seed(2)
+            .run()
+            .unwrap();
+        let ts = outcome.transfer_summary.expect("transfers summarised");
+        assert_eq!(ts.count, 20);
+        // 1 MB at 100 MB/s inline = 10ms wire + warm overhead.
+        assert!(ts.median > 10.0 && ts.median < 60.0, "median {}", ts.median);
+    }
+
+    #[test]
+    fn seed_controls_reproducibility() {
+        let latencies = |seed| {
+            Experiment::new(test_provider()).seed(seed).run().unwrap().latencies_ms()
+        };
+        assert_eq!(latencies(3), latencies(3));
+    }
+
+    #[test]
+    fn deploy_errors_propagate() {
+        let mut runtime = RuntimeConfig::single(IatSpec::short(), 10);
+        runtime.chain = Some(ChainConfig {
+            length: 2,
+            mode: TransferMode::Inline,
+            payload_bytes: 100_000_000,
+        });
+        let err = Experiment::new(test_provider()).workload(runtime).run().unwrap_err();
+        assert!(matches!(err, ExperimentError::Deploy(_)));
+    }
+}

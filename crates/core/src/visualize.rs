@@ -1,0 +1,130 @@
+//! Measurement visualisation: CDFs, percentile series and CSV export.
+//!
+//! STeLLAR ships plotting utilities that render latency measurements as
+//! CDFs or percentile-vs-parameter curves (§IV). This module produces the
+//! text/CSV equivalents used by the benchmark harness and recorded in
+//! `EXPERIMENTS.md`.
+
+use stats::cdf::Cdf;
+use stats::summary::Summary;
+use stats::table::{fmt_latency, fmt_ratio, TextTable};
+
+/// Renders a latency CDF as ASCII art with headline stats underneath.
+///
+/// # Panics
+///
+/// Panics if `latencies_ms` is empty.
+pub fn render_cdf(title: &str, latencies_ms: &[f64]) -> String {
+    let cdf = Cdf::from_samples(latencies_ms);
+    let summary = Summary::from_samples(latencies_ms);
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&cdf.render_ascii(64, 12, true));
+    out.push_str(&format!(
+        "median {} ms | p99 {} ms | TMR {}\n",
+        fmt_latency(summary.median),
+        fmt_latency(summary.tail),
+        fmt_ratio(summary.tmr),
+    ));
+    out
+}
+
+/// One labelled latency series (e.g. one provider, one burst size).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Label shown in tables ("aws", "burst=100", …).
+    pub label: String,
+    /// Latency samples, ms.
+    pub samples: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a labelled series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn new<S: Into<String>>(label: S, samples: Vec<f64>) -> Series {
+        assert!(!samples.is_empty(), "series needs samples");
+        Series { label: label.into(), samples }
+    }
+
+    /// Summary statistics of this series.
+    pub fn summary(&self) -> Summary {
+        Summary::from_samples(&self.samples)
+    }
+}
+
+/// Renders a median/p99/TMR comparison table across several series.
+pub fn render_comparison(series: &[Series]) -> String {
+    let mut table =
+        TextTable::new(vec!["series", "n", "median_ms", "p99_ms", "tmr", "mean_ms"]);
+    for s in series {
+        let sum = s.summary();
+        table.row(vec![
+            s.label.clone(),
+            sum.count.to_string(),
+            fmt_latency(sum.median),
+            fmt_latency(sum.tail),
+            fmt_ratio(sum.tmr),
+            fmt_latency(sum.mean),
+        ]);
+    }
+    table.render()
+}
+
+/// Exports series as CSV: one row per (series, quantile) pair, with
+/// `points` quantiles per series — the format the paper's CDF figures plot.
+pub fn export_cdf_csv(series: &[Series], points: usize) -> String {
+    let mut out = String::from("series,quantile,latency_ms\n");
+    for s in series {
+        let cdf = Cdf::from_samples(&s.samples);
+        for (value, q) in cdf.points(points) {
+            out.push_str(&format!("{},{q:.4},{value:.3}\n", s.label));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_render_contains_stats() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let art = render_cdf("warm", &xs);
+        assert!(art.contains("== warm =="));
+        assert!(art.contains("median"));
+        assert!(art.contains("TMR"));
+    }
+
+    #[test]
+    fn comparison_table_lists_all_series() {
+        let series = vec![
+            Series::new("aws", vec![1.0, 2.0, 3.0]),
+            Series::new("google", vec![4.0, 5.0, 6.0]),
+        ];
+        let table = render_comparison(&series);
+        assert!(table.contains("aws"));
+        assert!(table.contains("google"));
+        assert!(table.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_has_expected_rows() {
+        let series = vec![Series::new("s", (1..=50).map(f64::from).collect())];
+        let csv = export_cdf_csv(&series, 11);
+        // Header + 11 quantile rows.
+        assert_eq!(csv.lines().count(), 12);
+        assert!(csv.starts_with("series,quantile,latency_ms"));
+        assert!(csv.contains("s,0.0000,1.000"));
+        assert!(csv.contains("s,1.0000,50.000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "series needs samples")]
+    fn empty_series_panics() {
+        Series::new("x", vec![]);
+    }
+}

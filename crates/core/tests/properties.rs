@@ -1,0 +1,132 @@
+//! Property-based tests of the framework layer: config round-trips and
+//! client scheduling invariants.
+
+use faas_sim::testutil::test_provider;
+use faas_sim::types::{DeploymentMethod, Runtime, TransferMode};
+use proptest::prelude::*;
+use stellar_core::client::run_workload;
+use stellar_core::config::{ChainConfig, IatSpec, RuntimeConfig, StaticConfig, StaticFunction};
+use stellar_core::deployer::deploy;
+
+fn runtime_strategy() -> impl Strategy<Value = Runtime> {
+    prop_oneof![Just(Runtime::Python3), Just(Runtime::Go)]
+}
+
+fn deployment_strategy() -> impl Strategy<Value = DeploymentMethod> {
+    prop_oneof![Just(DeploymentMethod::Zip), Just(DeploymentMethod::Container)]
+}
+
+fn iat_strategy() -> impl Strategy<Value = IatSpec> {
+    prop_oneof![
+        (1.0f64..1e6).prop_map(|ms| IatSpec::Fixed { ms }),
+        (1.0f64..1e6).prop_map(|mean_ms| IatSpec::Exponential { mean_ms }),
+        (1.0f64..1e5, 1.0f64..1e5).prop_map(|(a, b)| IatSpec::Uniform {
+            lo_ms: a.min(b),
+            hi_ms: a.max(b),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Static configs round-trip through JSON for arbitrary field values.
+    #[test]
+    fn static_config_json_round_trip(
+        name in "[a-z][a-z0-9-]{0,20}",
+        runtime in runtime_strategy(),
+        deployment in deployment_strategy(),
+        memory_mb in 1u32..10_000,
+        extra_mb in 0.0f64..1000.0,
+        replicas in 1u32..500,
+    ) {
+        let cfg = StaticConfig {
+            functions: vec![StaticFunction {
+                name, runtime, deployment, memory_mb,
+                extra_image_mb: extra_mb, replicas,
+            }],
+        };
+        let parsed = StaticConfig::from_json(&cfg.to_json()).expect("round trip");
+        prop_assert_eq!(cfg, parsed);
+    }
+
+    /// Runtime configs round-trip through JSON and preserve validity.
+    #[test]
+    fn runtime_config_json_round_trip(
+        iat in iat_strategy(),
+        burst in 1u32..600,
+        samples in 1u32..10_000,
+        warmup in 0u32..20,
+        exec in 0.0f64..60_000.0,
+        chain_payload in prop::option::of(1u64..1_000_000_000u64),
+    ) {
+        let cfg = RuntimeConfig {
+            iat,
+            burst_size: burst,
+            samples,
+            warmup_rounds: warmup,
+            exec_ms: exec,
+            chain: chain_payload.map(|payload_bytes| ChainConfig {
+                length: 2,
+                mode: TransferMode::Storage,
+                payload_bytes,
+            }),
+        };
+        prop_assert!(cfg.validate().is_ok());
+        let parsed = RuntimeConfig::from_json(&cfg.to_json()).expect("round trip");
+        prop_assert_eq!(cfg, parsed);
+    }
+
+    /// measured_rounds() × burst_size always covers the requested samples
+    /// without overshooting by more than one round.
+    #[test]
+    fn measured_rounds_cover_samples(burst in 1u32..1000, samples in 1u32..100_000) {
+        let cfg = RuntimeConfig {
+            iat: IatSpec::short(),
+            burst_size: burst,
+            samples,
+            warmup_rounds: 0,
+            exec_ms: 0.0,
+            chain: None,
+        };
+        let produced = cfg.measured_rounds() * burst;
+        prop_assert!(produced >= samples);
+        prop_assert!(produced < samples + burst);
+    }
+
+    /// The client collects exactly the requested number of measured
+    /// samples for arbitrary (small) workload shapes, and warm-up samples
+    /// never leak into the measurement.
+    #[test]
+    fn client_sample_accounting(
+        seed in any::<u64>(),
+        burst in 1u32..8,
+        samples in 1u32..40,
+        warmup in 0u32..4,
+        replicas in 1u32..5,
+    ) {
+        let static_cfg = StaticConfig {
+            functions: vec![StaticFunction::python_zip("p").with_replicas(replicas)],
+        };
+        let runtime_cfg = RuntimeConfig {
+            iat: IatSpec::Fixed { ms: 500.0 },
+            burst_size: burst,
+            samples,
+            warmup_rounds: warmup,
+            exec_ms: 0.0,
+            chain: None,
+        };
+        let mut cloud = faas_sim::cloud::CloudSim::new(test_provider(), seed);
+        let deployment = deploy(&mut cloud, &static_cfg, &runtime_cfg).expect("deploy");
+        let result = run_workload(&mut cloud, &deployment, &runtime_cfg, seed).expect("run");
+        let expected = runtime_cfg.measured_rounds() * burst;
+        prop_assert_eq!(result.completions.len() as u32, expected);
+        prop_assert_eq!(result.warmup_completions.len() as u32, warmup * burst);
+        for c in &result.completions {
+            prop_assert!(c.tag >= u64::from(warmup));
+        }
+        for c in &result.warmup_completions {
+            prop_assert!(c.tag < u64::from(warmup));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Resource accounting: the cost side of the latency/cost trade-off.
+//!
+//! Serverless billing is pay-per-use (GB-seconds of busy instances, §II-A)
+//! while the *provider's* cost follows instance lifetime. Obs 7 frames
+//! scheduling policy as a balance between request completion time and the
+//! number of active instances; [`ResourceUsage`] quantifies that second
+//! axis so experiments (and the ablation harness) can report both.
+
+use simkit::time::SimTime;
+
+/// Accumulated resource usage of one function's fleet.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceUsage {
+    /// Total instance lifetime (boot completion → reap/now), seconds.
+    /// Tracks the provider's capacity cost.
+    pub instance_seconds: f64,
+    /// Total busy time across instances, seconds. Tracks the user's
+    /// pay-per-use bill (× memory = GB-seconds).
+    pub busy_seconds: f64,
+    /// Instances spawned.
+    pub spawns: u64,
+    /// Requests served.
+    pub requests: u64,
+}
+
+impl ResourceUsage {
+    /// Fleet utilisation: busy time over lifetime (0 when no lifetime).
+    pub fn utilization(&self) -> f64 {
+        if self.instance_seconds > 0.0 {
+            self.busy_seconds / self.instance_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Billed compute per request, milliseconds (0 when no requests).
+    pub fn busy_ms_per_request(&self) -> f64 {
+        if self.requests > 0 {
+            self.busy_seconds * 1000.0 / self.requests as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Tracks lifetime/busy integrals for one function's instances.
+#[derive(Debug, Default)]
+pub(crate) struct UsageTracker {
+    usage: ResourceUsage,
+    /// Per-instance (alive_since, busy_since) markers; `None` when not in
+    /// that state. Indexed like the instance vector.
+    marks: Vec<InstanceMarks>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct InstanceMarks {
+    alive_since: Option<SimTime>,
+    busy_since: Option<SimTime>,
+}
+
+impl UsageTracker {
+    pub(crate) fn on_spawn(&mut self) {
+        self.usage.spawns += 1;
+        self.marks.push(InstanceMarks::default());
+    }
+
+    pub(crate) fn on_boot_complete(&mut self, idx: usize, now: SimTime) {
+        self.marks[idx].alive_since = Some(now);
+    }
+
+    pub(crate) fn on_assign(&mut self, idx: usize, now: SimTime) {
+        self.usage.requests += 1;
+        self.marks[idx].busy_since = Some(now);
+    }
+
+    pub(crate) fn on_release(&mut self, idx: usize, now: SimTime) {
+        if let Some(since) = self.marks[idx].busy_since.take() {
+            self.usage.busy_seconds += (now - since).as_secs();
+        }
+    }
+
+    pub(crate) fn on_reap(&mut self, idx: usize, now: SimTime) {
+        if let Some(since) = self.marks[idx].alive_since.take() {
+            self.usage.instance_seconds += (now - since).as_secs();
+        }
+    }
+
+    /// Usage snapshot with still-alive instances accounted up to `now`.
+    pub(crate) fn snapshot(&self, now: SimTime) -> ResourceUsage {
+        let mut usage = self.usage;
+        for marks in &self.marks {
+            if let Some(since) = marks.alive_since {
+                usage.instance_seconds += now.saturating_sub(since).as_secs();
+            }
+            if let Some(since) = marks.busy_since {
+                usage.busy_seconds += now.saturating_sub(since).as_secs();
+            }
+        }
+        usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: fn(f64) -> SimTime = SimTime::from_secs;
+
+    #[test]
+    fn lifetime_and_busy_integrals() {
+        let mut t = UsageTracker::default();
+        t.on_spawn();
+        t.on_boot_complete(0, S(1.0));
+        t.on_assign(0, S(2.0));
+        t.on_release(0, S(3.5));
+        t.on_reap(0, S(10.0));
+        let u = t.snapshot(S(20.0));
+        assert!((u.instance_seconds - 9.0).abs() < 1e-9);
+        assert!((u.busy_seconds - 1.5).abs() < 1e-9);
+        assert_eq!(u.spawns, 1);
+        assert_eq!(u.requests, 1);
+        assert!((u.utilization() - 1.5 / 9.0).abs() < 1e-9);
+        assert!((u.busy_ms_per_request() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_accounts_live_instances() {
+        let mut t = UsageTracker::default();
+        t.on_spawn();
+        t.on_boot_complete(0, S(0.0));
+        t.on_assign(0, S(1.0));
+        // Still alive & busy at snapshot time.
+        let u = t.snapshot(S(4.0));
+        assert!((u.instance_seconds - 4.0).abs() < 1e-9);
+        assert!((u.busy_seconds - 3.0).abs() < 1e-9);
+        // Snapshot is non-destructive.
+        let again = t.snapshot(S(5.0));
+        assert!((again.instance_seconds - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_usage_is_zero() {
+        let u = ResourceUsage::default();
+        assert_eq!(u.utilization(), 0.0);
+        assert_eq!(u.busy_ms_per_request(), 0.0);
+    }
+
+    #[test]
+    fn multiple_instances_accumulate() {
+        let mut t = UsageTracker::default();
+        for i in 0..3 {
+            t.on_spawn();
+            t.on_boot_complete(i, S(0.0));
+        }
+        t.on_reap(0, S(2.0));
+        t.on_reap(1, S(3.0));
+        let u = t.snapshot(S(5.0));
+        // 2 + 3 + 5 (third still alive) = 10.
+        assert!((u.instance_seconds - 10.0).abs() < 1e-9);
+        assert_eq!(u.spawns, 3);
+    }
+}

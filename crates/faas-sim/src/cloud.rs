@@ -1,0 +1,1123 @@
+//! The cloud: gluing front end, load balancer, scheduler, workers,
+//! instances and storage into one discrete-event model.
+//!
+//! [`CloudSim`] is the public entry point: deploy [`FunctionSpec`]s, submit
+//! requests, advance simulated time, and drain [`Completion`]s and
+//! [`TransferSample`]s. Internally a [`Cloud`] implements
+//! [`simkit::engine::Model`] over [`CloudEvent`]s; each event corresponds
+//! to a hand-off point of the invocation lifecycle in the paper's Fig 1.
+
+use std::collections::HashMap;
+
+use simkit::engine::{Model, Scheduler, Simulation};
+use simkit::queue::FifoQueue;
+use simkit::rng::Rng;
+use simkit::time::SimTime;
+
+use crate::billing::{ResourceUsage, UsageTracker};
+use crate::config::{ProviderConfig, ScalePolicy};
+use crate::events::CloudEvent;
+use crate::instance::Instance;
+use crate::loadbalancer::DispatchServer;
+use crate::request::{Breakdown, ColdBreakdown, Completion, RequestOrigin, TransferSample};
+use crate::scheduler::{desired_spawns, periodic_step, CapacitySnapshot, SpawnGovernor};
+use crate::spec::FunctionSpec;
+use crate::storage::{ImageStore, PayloadStore};
+use crate::types::{
+    bytes_to_mb, DeploymentMethod, FunctionId, InstanceId, RequestId, TransferMode,
+};
+
+/// Errors returned by [`CloudSim::deploy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The spec failed validation.
+    InvalidSpec(String),
+    /// The chain references a function that was not deployed.
+    UnknownChainTarget(FunctionId),
+    /// An inline chained payload exceeds the provider's inline cap.
+    InlinePayloadTooLarge {
+        /// Requested payload, bytes.
+        requested: u64,
+        /// Provider limit, bytes.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::InvalidSpec(msg) => write!(f, "invalid function spec: {msg}"),
+            DeployError::UnknownChainTarget(id) => {
+                write!(f, "chain references unknown function {id}")
+            }
+            DeployError::InlinePayloadTooLarge { requested, limit } => write!(
+                f,
+                "inline payload of {requested} bytes exceeds provider limit of {limit} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// Aggregate counters for tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CloudStats {
+    /// External requests submitted.
+    pub submitted: u64,
+    /// Internal (chain) requests issued.
+    pub internal: u64,
+    /// External completions recorded.
+    pub completed: u64,
+    /// Instance spawns started.
+    pub spawns: u64,
+    /// Instances reaped by keep-alive expiry.
+    pub reaps: u64,
+    /// Requests that missed the idle-instance lookup (dedicated spawn).
+    pub lb_misses: u64,
+    /// Requests that found a warm idle instance at enqueue time.
+    pub warm_hits: u64,
+    /// Boots that failed at completion and were retried.
+    pub boot_failures: u64,
+}
+
+/// One telemetry sample of a function's fleet state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineSample {
+    /// Sample timestamp.
+    pub at: SimTime,
+    /// The sampled function.
+    pub function: FunctionId,
+    /// Idle instances.
+    pub idle: u32,
+    /// Busy instances.
+    pub busy: u32,
+    /// Booting instances.
+    pub booting: u32,
+    /// Requests waiting (shared + committed queues).
+    pub queued: u32,
+}
+
+#[derive(Debug)]
+struct TimelineRecorder {
+    interval: SimTime,
+    samples: Vec<TimelineSample>,
+}
+
+/// Cross-function data transfer info attached to a consumer request.
+#[derive(Debug, Clone, Copy)]
+struct XferInfo {
+    mode: TransferMode,
+    payload_bytes: u64,
+    send_start: SimTime,
+    parent: RequestId,
+    parent_tag: u64,
+}
+
+/// Mutable per-request state.
+#[derive(Debug)]
+struct ReqState {
+    function: FunctionId,
+    origin: RequestOrigin,
+    tag: u64,
+    issued_at: SimTime,
+    breakdown: Breakdown,
+    warm_overhead_ms: f64,
+    instance: Option<InstanceId>,
+    /// When the request entered the pending queue / triggered its spawn.
+    wait_started: Option<SimTime>,
+    /// Incoming transfer to account at execution start (consumer side).
+    xfer_in: Option<XferInfo>,
+    /// Outgoing chain call start (producer side), set at `ComputeDone`.
+    chain_started: Option<SimTime>,
+    cold: bool,
+    done: bool,
+}
+
+/// Per-function runtime state.
+#[derive(Debug)]
+struct FunctionState {
+    spec: FunctionSpec,
+    instances: Vec<Instance>,
+    /// Pending requests awaiting an instance (shared pull queue; used by
+    /// pull-style policies such as `Periodic`).
+    queue: FifoQueue<RequestId>,
+    /// Per-instance committed queues (used by committed-assignment
+    /// policies: `PerRequest`, `TargetConcurrency`). Parallel to
+    /// `instances`.
+    committed: Vec<std::collections::VecDeque<RequestId>>,
+    /// Total requests sitting in committed queues.
+    committed_total: u32,
+    /// Indices into `instances` believed idle (validated on pop).
+    idle_stack: Vec<u32>,
+    n_idle: u32,
+    n_busy: u32,
+    n_booting: u32,
+    scale_tick_armed: bool,
+    /// Image size in decimal MB (base + extra file).
+    image_mb: f64,
+    /// Lifetime/busy-time resource accounting.
+    usage: UsageTracker,
+}
+
+impl FunctionState {
+    fn snapshot(&self) -> CapacitySnapshot {
+        CapacitySnapshot {
+            queued: self.queue.len() as u32 + self.committed_total,
+            busy: self.n_busy,
+            idle: self.n_idle,
+            booting: self.n_booting,
+        }
+    }
+
+    fn total_instances(&self) -> u32 {
+        self.n_idle + self.n_busy + self.n_booting
+    }
+
+    /// Outstanding load committed to instance `idx`: queued commitments
+    /// plus the request it is executing.
+    fn load(&self, idx: usize) -> usize {
+        self.committed[idx].len() + usize::from(self.instances[idx].is_busy())
+    }
+}
+
+/// Requests-per-instance cap for committed-assignment policies given the
+/// function's expected per-request service time; `None` selects the shared
+/// pull queue.
+fn commit_cap(policy: &ScalePolicy, service_estimate_ms: f64) -> Option<usize> {
+    match policy {
+        ScalePolicy::PerRequest => Some(1),
+        ScalePolicy::TargetConcurrency { target } => Some((*target).ceil().max(1.0) as usize),
+        ScalePolicy::Periodic { .. } => None,
+        // Obs 7 extension: queue while the expected wait (load × service)
+        // stays below the expected cold-start delay, else spawn.
+        ScalePolicy::CostAware { cold_estimate_ms } => {
+            let cap = (cold_estimate_ms / service_estimate_ms.max(1e-3)).floor();
+            Some(cap.clamp(1.0, 10_000.0) as usize)
+        }
+    }
+}
+
+/// The cloud model (see module docs). Use through [`CloudSim`].
+#[derive(Debug)]
+pub struct Cloud {
+    cfg: ProviderConfig,
+    functions: Vec<FunctionState>,
+    requests: Vec<ReqState>,
+    /// Sticky assignment: instance -> request it was spawned for.
+    sticky: HashMap<InstanceId, RequestId>,
+    /// Cold-start stage attribution per instance.
+    cold_breakdowns: HashMap<InstanceId, ColdBreakdown>,
+    dispatch: DispatchServer,
+    governor: SpawnGovernor,
+    image_store: ImageStore,
+    payload_store: PayloadStore,
+    rng_net: Rng,
+    rng_path: Rng,
+    rng_exec: Rng,
+    rng_cold: Rng,
+    rng_lb: Rng,
+    completions: Vec<Completion>,
+    transfers: Vec<TransferSample>,
+    timeline: Option<TimelineRecorder>,
+    stats: CloudStats,
+}
+
+impl Cloud {
+    fn new(cfg: ProviderConfig, seed: u64) -> Cloud {
+        cfg.validate().expect("invalid provider config");
+        let root = Rng::seed_from(seed);
+        Cloud {
+            dispatch: DispatchServer::new(cfg.dispatch.clone()),
+            governor: SpawnGovernor::new(&cfg.scaling),
+            image_store: ImageStore::new(cfg.image_store.clone(), root.fork("image-store")),
+            payload_store: PayloadStore::new(
+                cfg.payload_store.clone(),
+                root.fork("payload-store"),
+            ),
+            rng_net: root.fork("network"),
+            rng_path: root.fork("warm-path"),
+            rng_exec: root.fork("exec"),
+            rng_cold: root.fork("cold-start"),
+            rng_lb: root.fork("load-balancer"),
+            cfg,
+            functions: Vec::new(),
+            requests: Vec::new(),
+            sticky: HashMap::new(),
+            cold_breakdowns: HashMap::new(),
+            completions: Vec::new(),
+            transfers: Vec::new(),
+            timeline: None,
+            stats: CloudStats::default(),
+        }
+    }
+
+    fn fstate(&self, fid: FunctionId) -> &FunctionState {
+        &self.functions[fid.index()]
+    }
+
+    fn fstate_mut(&mut self, fid: FunctionId) -> &mut FunctionState {
+        &mut self.functions[fid.index()]
+    }
+
+
+    /// Expected per-request service time of `fid`'s instances, ms: median
+    /// execution plus the in-instance shares of the warm overhead. Used by
+    /// load-dependent commit caps (`CostAware`).
+    fn service_estimate_ms(&self, fid: FunctionId) -> f64 {
+        let spec = &self.fstate(fid).spec;
+        let exec = spec.exec_ms.median_exact().unwrap_or(0.0);
+        let overhead = self.cfg.warm_path.overhead_ms.median_exact().unwrap_or(10.0);
+        let shares = self.cfg.warm_path.shares;
+        exec + overhead * (shares.steer + shares.handling)
+    }
+
+    /// The commit cap for `fid` under the configured policy.
+    fn committed_cap(&self, fid: FunctionId) -> Option<usize> {
+        commit_cap(&self.cfg.scaling.policy, self.service_estimate_ms(fid))
+    }
+
+    fn create_request(
+        &mut self,
+        function: FunctionId,
+        origin: RequestOrigin,
+        tag: u64,
+        issued_at: SimTime,
+        xfer_in: Option<XferInfo>,
+    ) -> RequestId {
+        let id = RequestId(self.requests.len() as u64);
+        self.requests.push(ReqState {
+            function,
+            origin,
+            tag,
+            issued_at,
+            breakdown: Breakdown::default(),
+            warm_overhead_ms: 0.0,
+            instance: None,
+            wait_started: None,
+            xfer_in,
+            chain_started: None,
+            cold: false,
+            done: false,
+        });
+        id
+    }
+
+    // ---- event handlers ---------------------------------------------------
+
+    fn on_frontend_arrive(
+        &mut self,
+        now: SimTime,
+        rid: RequestId,
+        sched: &mut Scheduler<CloudEvent>,
+    ) {
+        let overhead = self.cfg.warm_path.overhead_ms.sample(&mut self.rng_path);
+        let shares = self.cfg.warm_path.shares;
+        let frontend_ms = overhead * shares.frontend;
+        let routing_ms = overhead * shares.routing;
+
+        // Inline payload travels with the request into the datacenter.
+        let xfer = self.requests[rid.index()].xfer_in;
+        let inline_ms = match xfer {
+            Some(x) if x.mode == TransferMode::Inline => {
+                let bw = self
+                    .cfg
+                    .network
+                    .inline_bandwidth_mbps
+                    .sample(&mut self.rng_net)
+                    .max(0.01);
+                bytes_to_mb(x.payload_bytes) / bw * 1000.0
+            }
+            _ => 0.0,
+        };
+
+        let req = &mut self.requests[rid.index()];
+        req.warm_overhead_ms = overhead;
+        req.breakdown.frontend_ms = frontend_ms;
+        req.breakdown.routing_ms = routing_ms;
+        req.breakdown.inline_transfer_ms = inline_ms;
+        let delay = SimTime::from_millis(frontend_ms + routing_ms + inline_ms);
+        sched.schedule_in(now, delay, CloudEvent::RoutingDone(rid));
+    }
+
+    fn on_routing_done(
+        &mut self,
+        now: SimTime,
+        rid: RequestId,
+        sched: &mut Scheduler<CloudEvent>,
+    ) {
+        let outcome = self.dispatch.dispatch(now, &mut self.rng_lb);
+        self.requests[rid.index()].breakdown.dispatch_wait_ms =
+            (outcome.ready_at - now).as_millis();
+        sched.schedule_at(outcome.ready_at, CloudEvent::Enqueued(rid));
+    }
+
+    fn on_enqueued(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
+        let fid = self.requests[rid.index()].function;
+        self.requests[rid.index()].wait_started = Some(now);
+
+        // LB lookup miss: a dedicated spawn for this request. Misses are a
+        // concurrency artefact (racing idle-instance lookups), so they
+        // require live instances to race over AND other work in flight
+        // (§VI-D1 burst tails) — and capacity to spawn into.
+        let concurrent = {
+            let state = self.fstate(fid);
+            (state.n_busy > 0 || state.n_idle > 0)
+                && (state.n_busy > 0
+                    || state.committed_total > 0
+                    || !state.queue.is_empty())
+        };
+        if concurrent
+            && self.fstate(fid).total_instances() < self.cfg.limits.max_instances_per_function
+            && self.dispatch.rolls_miss(&mut self.rng_lb)
+        {
+            self.stats.lb_misses += 1;
+            let iid = self.spawn_instance(now, fid, sched);
+            self.sticky.insert(iid, rid);
+            return;
+        }
+
+        match self.committed_cap(fid) {
+            Some(cap) => self.enqueue_committed(now, rid, fid, cap, sched),
+            None => {
+                if self.fstate(fid).n_idle > 0 {
+                    self.stats.warm_hits += 1;
+                }
+                self.fstate_mut(fid).queue.push(now, rid);
+                self.serve_queue(now, fid, sched);
+                self.scale(now, fid, sched);
+            }
+        }
+    }
+
+    /// Committed assignment (AWS / Google style): pick the least-loaded
+    /// live instance; spawn a fresh one if every instance is at the cap
+    /// and headroom remains. The request then belongs to that instance.
+    fn enqueue_committed(
+        &mut self,
+        now: SimTime,
+        rid: RequestId,
+        fid: FunctionId,
+        cap: usize,
+        sched: &mut Scheduler<CloudEvent>,
+    ) {
+        let best = {
+            let state = self.fstate(fid);
+            state
+                .instances
+                .iter()
+                .enumerate()
+                .filter(|(_, inst)| !inst.is_dead())
+                .map(|(idx, _)| (state.load(idx), idx))
+                .min()
+        };
+        let headroom = self.fstate(fid).total_instances()
+            < self.cfg.limits.max_instances_per_function;
+        let target_idx = match best {
+            Some((load, idx)) if load < cap => {
+                if self.fstate(fid).instances[idx].is_idle() {
+                    self.stats.warm_hits += 1;
+                }
+                idx
+            }
+            _ if headroom => {
+                let iid = self.spawn_instance(now, fid, sched);
+                iid.idx as usize
+            }
+            Some((_, idx)) => idx, // at the cap but no headroom: overcommit
+            None => unreachable!("no instances and no headroom"),
+        };
+        let state = self.fstate_mut(fid);
+        let iid = state.instances[target_idx].id();
+        if state.instances[target_idx].is_idle() && state.committed[target_idx].is_empty() {
+            self.assign(now, rid, iid, sched);
+        } else {
+            state.committed[target_idx].push_back(rid);
+            state.committed_total += 1;
+        }
+    }
+
+    /// Hands the next committed request (if any) to a just-freed instance.
+    /// Returns whether an assignment happened.
+    fn serve_committed(
+        &mut self,
+        now: SimTime,
+        iid: InstanceId,
+        sched: &mut Scheduler<CloudEvent>,
+    ) -> bool {
+        let fid = iid.function();
+        let next = {
+            let state = self.fstate_mut(fid);
+            let queue = &mut state.committed[iid.idx as usize];
+            match queue.pop_front() {
+                Some(rid) => {
+                    state.committed_total -= 1;
+                    Some(rid)
+                }
+                None => None,
+            }
+        };
+        match next {
+            Some(rid) => {
+                self.assign(now, rid, iid, sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Assigns queued requests to idle instances while both exist.
+    fn serve_queue(&mut self, now: SimTime, fid: FunctionId, sched: &mut Scheduler<CloudEvent>) {
+        loop {
+            let next = {
+                let state = self.fstate_mut(fid);
+                if state.queue.is_empty() {
+                    None
+                } else {
+                    // Pop a valid idle instance (stack may hold stale
+                    // entries from state changes since the push).
+                    let mut found = None;
+                    while let Some(idx) = state.idle_stack.pop() {
+                        if state.instances[idx as usize].is_idle() {
+                            found = Some(idx);
+                            break;
+                        }
+                    }
+                    found.map(|idx| {
+                        let rid = state.queue.pop(now).expect("non-empty queue").item;
+                        (rid, InstanceId { function: fid, idx })
+                    })
+                }
+            };
+            match next {
+                Some((rid, iid)) => self.assign(now, rid, iid, sched),
+                None => break,
+            }
+        }
+    }
+
+    /// Applies the provider's scale-out policy after a queue change.
+    fn scale(&mut self, now: SimTime, fid: FunctionId, sched: &mut Scheduler<CloudEvent>) {
+        let snap = self.fstate(fid).snapshot();
+        let policy = self.cfg.scaling.policy.clone();
+        let headroom = self
+            .cfg
+            .limits
+            .max_instances_per_function
+            .saturating_sub(self.fstate(fid).total_instances());
+        let want = desired_spawns(&policy, snap).min(headroom);
+        for _ in 0..want {
+            self.spawn_instance(now, fid, sched);
+        }
+        // Arm the periodic scale controller if needed.
+        if let ScalePolicy::Periodic { interval_ms, .. } = policy {
+            let state = self.fstate_mut(fid);
+            if !state.scale_tick_armed && !state.queue.is_empty() {
+                state.scale_tick_armed = true;
+                sched.schedule_in(
+                    now,
+                    SimTime::from_millis(interval_ms),
+                    CloudEvent::ScaleTick(fid),
+                );
+            }
+        }
+    }
+
+    fn on_scale_tick(&mut self, now: SimTime, fid: FunctionId, sched: &mut Scheduler<CloudEvent>) {
+        let policy = self.cfg.scaling.policy.clone();
+        let snap = self.fstate(fid).snapshot();
+        let headroom = self
+            .cfg
+            .limits
+            .max_instances_per_function
+            .saturating_sub(self.fstate(fid).total_instances());
+        let add = periodic_step(&policy, snap).min(headroom);
+        for _ in 0..add {
+            self.spawn_instance(now, fid, sched);
+        }
+        let backlog = !self.fstate(fid).queue.is_empty();
+        let state = self.fstate_mut(fid);
+        if !backlog {
+            state.scale_tick_armed = false;
+        } else if let ScalePolicy::Periodic { interval_ms, .. } = policy {
+            sched.schedule_in(now, SimTime::from_millis(interval_ms), CloudEvent::ScaleTick(fid));
+        }
+    }
+
+    /// Starts one instance boot, returning its id.
+    fn spawn_instance(
+        &mut self,
+        now: SimTime,
+        fid: FunctionId,
+        sched: &mut Scheduler<CloudEvent>,
+    ) -> InstanceId {
+        self.stats.spawns += 1;
+        let decision_ms = self.cfg.scaling.decision_ms.sample(&mut self.rng_cold);
+        let reserved = self.governor.reserve(now);
+        let spawn_wait_ms = (reserved - now).as_millis();
+        let fetch_at = reserved + SimTime::from_millis(decision_ms);
+
+        let (image_mb, runtime, deployment) = {
+            let state = self.fstate(fid);
+            (state.image_mb, state.spec.runtime, state.spec.deployment)
+        };
+        let fetch = self.image_store.fetch(fid, image_mb, fetch_at);
+        let sandbox_ms = self.cfg.cold_start.sandbox_boot_ms.sample(&mut self.rng_cold);
+        let boot_core_ms = if self.cfg.cold_start.fetch_overlaps_boot {
+            sandbox_ms.max(fetch.latency_ms)
+        } else {
+            sandbox_ms + fetch.latency_ms
+        };
+
+        let runtime_model = self.cfg.runtimes.model(runtime).clone();
+        let mut chunk_ms = 0.0;
+        if deployment == DeploymentMethod::Container {
+            if let Some(chunks) = &runtime_model.container_chunks {
+                let count =
+                    self.rng_cold.range_u64(chunks.count_lo as u64, chunks.count_hi as u64);
+                for _ in 0..count {
+                    chunk_ms += chunks.chunk_latency_ms.sample(&mut self.rng_cold);
+                }
+            }
+        }
+        let runtime_init_ms = runtime_model.init_ms.sample(&mut self.rng_cold);
+        let handler_init_ms = self.cfg.cold_start.handler_init_ms.sample(&mut self.rng_cold);
+
+        let total_ms = spawn_wait_ms
+            + decision_ms
+            + boot_core_ms
+            + chunk_ms
+            + runtime_init_ms
+            + handler_init_ms;
+        let ready_at = now + SimTime::from_millis(total_ms);
+
+        let state = self.fstate_mut(fid);
+        let iid = InstanceId { function: fid, idx: state.instances.len() as u32 };
+        state.instances.push(Instance::boot(iid, now, ready_at));
+        state.committed.push(std::collections::VecDeque::new());
+        state.usage.on_spawn();
+        state.n_booting += 1;
+        self.cold_breakdowns.insert(
+            iid,
+            ColdBreakdown {
+                decision_ms,
+                spawn_wait_ms,
+                sandbox_ms,
+                image_fetch_ms: fetch.latency_ms,
+                chunk_fetch_ms: chunk_ms,
+                runtime_init_ms,
+                handler_init_ms,
+                total_ms,
+            },
+        );
+        sched.schedule_at(ready_at, CloudEvent::BootComplete(iid));
+        iid
+    }
+
+    fn on_boot_complete(
+        &mut self,
+        now: SimTime,
+        iid: InstanceId,
+        sched: &mut Scheduler<CloudEvent>,
+    ) {
+        self.governor.spawn_started();
+        let fid = iid.function();
+
+        // Failure injection: the boot may fail at completion and be
+        // retried on a fresh instance, carrying its commitments along.
+        let p_fail = self.cfg.cold_start.boot_failure_prob;
+        if p_fail > 0.0 && self.rng_cold.bernoulli(p_fail) {
+            self.stats.boot_failures += 1;
+            {
+                let state = self.fstate_mut(fid);
+                state.instances[iid.idx as usize].fail_boot();
+                state.n_booting -= 1;
+            }
+            let replacement = self.spawn_instance(now, fid, sched);
+            if let Some(rid) = self.sticky.remove(&iid) {
+                self.sticky.insert(replacement, rid);
+            }
+            let orphaned =
+                std::mem::take(&mut self.fstate_mut(fid).committed[iid.idx as usize]);
+            self.fstate_mut(fid).committed[replacement.idx as usize].extend(orphaned);
+            return;
+        }
+
+        {
+            let state = self.fstate_mut(fid);
+            state.instances[iid.idx as usize].boot_complete(now);
+            state.usage.on_boot_complete(iid.idx as usize, now);
+            state.n_booting -= 1;
+            state.n_idle += 1;
+            state.idle_stack.push(iid.idx);
+        }
+        if let Some(rid) = self.sticky.remove(&iid) {
+            // Serve the request this instance was spawned for. The stale
+            // idle-stack entry is filtered out when popped later.
+            self.assign(now, rid, iid, sched);
+            return;
+        }
+        if self.committed_cap(fid).is_some() {
+            if !self.serve_committed(now, iid, sched) {
+                self.maybe_schedule_reap(now, iid, sched);
+            }
+            return;
+        }
+        self.serve_queue(now, fid, sched);
+        self.maybe_schedule_reap(now, iid, sched);
+    }
+
+    /// Common assignment: instance goes busy, request timing recorded,
+    /// compute scheduled.
+    fn assign(
+        &mut self,
+        now: SimTime,
+        rid: RequestId,
+        iid: InstanceId,
+        sched: &mut Scheduler<CloudEvent>,
+    ) {
+        let fid = iid.function();
+        let first_use = {
+            let state = self.fstate_mut(fid);
+            let inst = &mut state.instances[iid.idx as usize];
+            let first_use = inst.served() == 0;
+            inst.assign(rid);
+            state.usage.on_assign(iid.idx as usize, now);
+            state.n_idle -= 1;
+            state.n_busy += 1;
+            first_use
+        };
+
+        let shares = self.cfg.warm_path.shares;
+        let (memory_mb, exec_dist) = {
+            let spec = &self.fstate(fid).spec;
+            (spec.memory_mb, spec.exec_ms.clone())
+        };
+        let throttle =
+            (self.cfg.limits.full_speed_memory_mb as f64 / memory_mb as f64).max(1.0);
+        let exec_ms = exec_dist.sample(&mut self.rng_exec) * throttle;
+
+        // Consumer-side payload retrieval for storage transfers (step ⑧).
+        let xfer = self.requests[rid.index()].xfer_in;
+        let payload_get_ms = match xfer {
+            Some(x) if x.mode == TransferMode::Storage => {
+                self.payload_store.get_ms(x.payload_bytes)
+            }
+            _ => 0.0,
+        };
+
+        let cold_breakdown = first_use.then(|| self.cold_breakdowns.get(&iid).copied()).flatten();
+        let req = &mut self.requests[rid.index()];
+        req.instance = Some(iid);
+        req.cold = first_use;
+        let steer_ms = req.warm_overhead_ms * shares.steer;
+        let handling_ms = req.warm_overhead_ms * shares.handling;
+        req.breakdown.steer_ms = steer_ms;
+        req.breakdown.handling_ms = handling_ms;
+        req.breakdown.payload_get_ms = payload_get_ms;
+        req.breakdown.exec_ms = exec_ms;
+        if let Some(started) = req.wait_started {
+            req.breakdown.queue_wait_ms = (now - started).as_millis();
+        }
+        req.breakdown.cold = cold_breakdown;
+
+        // Record the transfer sample at the instant the payload is in the
+        // consumer's hands (paper §V methodology).
+        if let Some(x) = xfer {
+            let received =
+                now + SimTime::from_millis(steer_ms + handling_ms + payload_get_ms);
+            self.transfers.push(TransferSample {
+                parent: x.parent,
+                parent_tag: x.parent_tag,
+                mode: x.mode,
+                payload_bytes: x.payload_bytes,
+                send_start: x.send_start,
+                received,
+            });
+        }
+
+        let compute_at =
+            now + SimTime::from_millis(steer_ms + handling_ms + payload_get_ms + exec_ms);
+        sched.schedule_at(compute_at, CloudEvent::ComputeDone(rid, iid));
+    }
+
+    fn on_compute_done(
+        &mut self,
+        now: SimTime,
+        rid: RequestId,
+        iid: InstanceId,
+        sched: &mut Scheduler<CloudEvent>,
+    ) {
+        let fid = self.requests[rid.index()].function;
+        let chain = self.fstate(fid).spec.chain.clone();
+        match chain {
+            Some(chain) => {
+                // Producer side of a chain hop (step ⑨): PUT (for storage
+                // transfers), then invoke the consumer and wait for it.
+                self.requests[rid.index()].chain_started = Some(now);
+                let tag = self.requests[rid.index()].tag;
+                let child_issue_at = match chain.mode {
+                    TransferMode::Inline => now,
+                    TransferMode::Storage => {
+                        let put_ms = self.payload_store.put_ms(chain.payload_bytes);
+                        now + SimTime::from_millis(put_ms)
+                    }
+                };
+                let child = self.create_request(
+                    chain.next,
+                    RequestOrigin::Internal { parent: rid },
+                    tag,
+                    child_issue_at,
+                    Some(XferInfo {
+                        mode: chain.mode,
+                        payload_bytes: chain.payload_bytes,
+                        send_start: now,
+                        parent: rid,
+                        parent_tag: tag,
+                    }),
+                );
+                self.stats.internal += 1;
+                sched.schedule_at(child_issue_at, CloudEvent::FrontendArrive(child));
+                // The producer instance stays busy until the child returns.
+            }
+            None => {
+                sched.schedule_at(now, CloudEvent::ExecDone(rid, iid));
+            }
+        }
+    }
+
+    fn on_exec_done(
+        &mut self,
+        now: SimTime,
+        rid: RequestId,
+        iid: InstanceId,
+        sched: &mut Scheduler<CloudEvent>,
+    ) {
+        let fid = iid.function();
+        {
+            let state = self.fstate_mut(fid);
+            state.instances[iid.idx as usize].release(rid, now);
+            state.usage.on_release(iid.idx as usize, now);
+            state.n_busy -= 1;
+            state.n_idle += 1;
+            state.idle_stack.push(iid.idx);
+        }
+
+        let is_external = self.requests[rid.index()].origin.is_external();
+        let response_ms =
+            self.requests[rid.index()].warm_overhead_ms * self.cfg.warm_path.shares.response;
+        let prop_back_ms = if is_external {
+            self.cfg.network.prop_delay_ms.sample(&mut self.rng_net)
+        } else {
+            0.0
+        };
+        {
+            let req = &mut self.requests[rid.index()];
+            req.breakdown.response_ms = response_ms;
+            req.breakdown.prop_back_ms = prop_back_ms;
+        }
+        sched.schedule_in(
+            now,
+            SimTime::from_millis(response_ms + prop_back_ms),
+            CloudEvent::Completed(rid),
+        );
+
+        // The instance is free: serve more work or schedule a reap.
+        if self.committed_cap(fid).is_some() {
+            if !self.serve_committed(now, iid, sched) {
+                self.maybe_schedule_reap(now, iid, sched);
+            }
+        } else {
+            self.serve_queue(now, fid, sched);
+            self.maybe_schedule_reap(now, iid, sched);
+        }
+    }
+
+    fn on_completed(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
+        let (origin, function, tag, issued_at, cold) = {
+            let req = &mut self.requests[rid.index()];
+            assert!(!req.done, "request {rid} completed twice");
+            req.done = true;
+            (req.origin, req.function, req.tag, req.issued_at, req.cold)
+        };
+        match origin {
+            RequestOrigin::External => {
+                self.stats.completed += 1;
+                let breakdown = self.requests[rid.index()].breakdown.clone();
+                self.completions.push(Completion {
+                    id: rid,
+                    function,
+                    tag,
+                    origin,
+                    issued_at,
+                    completed_at: now,
+                    cold,
+                    breakdown,
+                });
+            }
+            RequestOrigin::Internal { parent } => {
+                // Resume the producer: its chain round-trip is over.
+                let (pinst, chain_started) = {
+                    let preq = &self.requests[parent.index()];
+                    (
+                        preq.instance.expect("parent without instance"),
+                        preq.chain_started.expect("parent without chain start"),
+                    )
+                };
+                self.requests[parent.index()].breakdown.chain_ms =
+                    (now - chain_started).as_millis();
+                sched.schedule_at(now, CloudEvent::ExecDone(parent, pinst));
+            }
+        }
+    }
+
+    fn maybe_schedule_reap(
+        &mut self,
+        now: SimTime,
+        iid: InstanceId,
+        sched: &mut Scheduler<CloudEvent>,
+    ) {
+        let inst = &self.fstate(iid.function()).instances[iid.idx as usize];
+        if inst.is_idle() {
+            let epoch = inst.epoch();
+            let timeout = self.cfg.keepalive.idle_timeout_ms.sample(&mut self.rng_cold);
+            sched.schedule_in(
+                now,
+                SimTime::from_millis(timeout),
+                CloudEvent::ReapCheck(iid, epoch),
+            );
+        }
+    }
+
+    fn on_reap_check(&mut self, now: SimTime, iid: InstanceId, epoch: u64) {
+        let state = self.fstate_mut(iid.function());
+        if state.instances[iid.idx as usize].try_reap(epoch) {
+            state.usage.on_reap(iid.idx as usize, now);
+            state.n_idle -= 1;
+            self.stats.reaps += 1;
+        }
+    }
+}
+
+impl Cloud {
+    fn on_telemetry_tick(&mut self, now: SimTime, sched: &mut Scheduler<CloudEvent>) {
+        let Some(recorder) = &mut self.timeline else { return };
+        for (i, state) in self.functions.iter().enumerate() {
+            recorder.samples.push(TimelineSample {
+                at: now,
+                function: FunctionId(i as u32),
+                idle: state.n_idle,
+                busy: state.n_busy,
+                booting: state.n_booting,
+                queued: state.queue.len() as u32 + state.committed_total,
+            });
+        }
+        // Keep ticking only while other work is pending, so runs that
+        // drain to idle still terminate.
+        if !sched.is_empty() {
+            let interval = recorder.interval;
+            sched.schedule_in(now, interval, CloudEvent::TelemetryTick);
+        }
+    }
+}
+
+impl Model for Cloud {
+    type Event = CloudEvent;
+
+    fn handle(&mut self, now: SimTime, event: CloudEvent, sched: &mut Scheduler<CloudEvent>) {
+        match event {
+            CloudEvent::FrontendArrive(rid) => self.on_frontend_arrive(now, rid, sched),
+            CloudEvent::RoutingDone(rid) => self.on_routing_done(now, rid, sched),
+            CloudEvent::Enqueued(rid) => self.on_enqueued(now, rid, sched),
+            CloudEvent::BootComplete(iid) => self.on_boot_complete(now, iid, sched),
+            CloudEvent::ComputeDone(rid, iid) => self.on_compute_done(now, rid, iid, sched),
+            CloudEvent::ExecDone(rid, iid) => self.on_exec_done(now, rid, iid, sched),
+            CloudEvent::Completed(rid) => self.on_completed(now, rid, sched),
+            CloudEvent::ReapCheck(iid, epoch) => self.on_reap_check(now, iid, epoch),
+            CloudEvent::ScaleTick(fid) => self.on_scale_tick(now, fid, sched),
+            CloudEvent::TelemetryTick => self.on_telemetry_tick(now, sched),
+        }
+    }
+}
+
+/// A running serverless cloud: the public façade over [`Cloud`] plus its
+/// event queue.
+///
+/// # Examples
+///
+/// ```
+/// use faas_sim::cloud::CloudSim;
+/// use faas_sim::spec::FunctionSpec;
+/// use faas_sim::testutil::test_provider;
+/// use simkit::time::SimTime;
+///
+/// let mut cloud = CloudSim::new(test_provider(), 42);
+/// let f = cloud.deploy(FunctionSpec::builder("hello").build()).unwrap();
+/// cloud.submit(f, 0, SimTime::ZERO);
+/// cloud.run_until(SimTime::from_secs(10.0));
+/// let done = cloud.drain_completions();
+/// assert_eq!(done.len(), 1);
+/// assert!(done[0].cold, "first request must cold start");
+/// ```
+#[derive(Debug)]
+pub struct CloudSim {
+    sim: Simulation<Cloud>,
+}
+
+impl CloudSim {
+    /// Creates a cloud for `cfg` with a deterministic `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn new(cfg: ProviderConfig, seed: u64) -> CloudSim {
+        CloudSim { sim: Simulation::new(Cloud::new(cfg, seed)) }
+    }
+
+    /// Deploys a function; returns its id for [`CloudSim::submit`] and
+    /// chain references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] for invalid specs, dangling chain targets or
+    /// over-limit inline payloads.
+    pub fn deploy(&mut self, spec: FunctionSpec) -> Result<FunctionId, DeployError> {
+        spec.validate().map_err(DeployError::InvalidSpec)?;
+        let cloud = self.sim.model_mut();
+        if let Some(chain) = &spec.chain {
+            if chain.next.index() >= cloud.functions.len() {
+                return Err(DeployError::UnknownChainTarget(chain.next));
+            }
+            if chain.mode == TransferMode::Inline
+                && chain.payload_bytes > cloud.cfg.network.max_inline_payload
+            {
+                return Err(DeployError::InlinePayloadTooLarge {
+                    requested: chain.payload_bytes,
+                    limit: cloud.cfg.network.max_inline_payload,
+                });
+            }
+        }
+        let image_mb =
+            cloud.cfg.runtimes.model(spec.runtime).base_image_mb + spec.extra_image_mb;
+        let fid = FunctionId(cloud.functions.len() as u32);
+        cloud.functions.push(FunctionState {
+            spec,
+            instances: Vec::new(),
+            queue: FifoQueue::new(),
+            committed: Vec::new(),
+            committed_total: 0,
+            idle_stack: Vec::new(),
+            n_idle: 0,
+            n_busy: 0,
+            n_booting: 0,
+            scale_tick_armed: false,
+            image_mb,
+            usage: UsageTracker::default(),
+        });
+        Ok(fid)
+    }
+
+    /// Submits an external invocation of `function` issued at `at`,
+    /// tagged with a caller-chosen `tag`. Returns the request id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `function` was not deployed or `at` is in the simulated
+    /// past.
+    pub fn submit(&mut self, function: FunctionId, tag: u64, at: SimTime) -> RequestId {
+        assert!(
+            function.index() < self.sim.model().functions.len(),
+            "submit to unknown function {function}"
+        );
+        let cloud = self.sim.model_mut();
+        cloud.stats.submitted += 1;
+        let prop_ms = cloud.cfg.network.prop_delay_ms.sample(&mut cloud.rng_net);
+        let rid = cloud.create_request(function, RequestOrigin::External, tag, at, None);
+        cloud.requests[rid.index()].breakdown.prop_out_ms = prop_ms;
+        self.sim
+            .schedule_at(at + SimTime::from_millis(prop_ms), CloudEvent::FrontendArrive(rid));
+        rid
+    }
+
+    /// Advances the simulation until `horizon` (inclusive).
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.sim.run_until(horizon);
+    }
+
+    /// Runs the simulation until no events remain.
+    ///
+    /// Note: keep-alive reap checks count as events, so this runs past the
+    /// last idle timeout.
+    pub fn run_to_idle(&mut self) {
+        self.sim.run();
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Removes and returns finished external completions.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.sim.model_mut().completions)
+    }
+
+    /// Removes and returns recorded cross-function transfer samples.
+    pub fn drain_transfers(&mut self) -> Vec<TransferSample> {
+        std::mem::take(&mut self.sim.model_mut().transfers)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> CloudStats {
+        self.sim.model().stats
+    }
+
+    /// Number of live (idle + busy) instances of `function`.
+    pub fn live_instances(&self, function: FunctionId) -> u32 {
+        let state = &self.sim.model().functions[function.index()];
+        state.n_idle + state.n_busy
+    }
+
+    /// Enables periodic fleet telemetry: every `interval` the simulator
+    /// records one [`TimelineSample`] per deployed function (instances by
+    /// state, queued requests). Sampling stops automatically when the
+    /// event queue drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn enable_timeline(&mut self, interval: SimTime) {
+        assert!(!interval.is_zero(), "telemetry interval must be positive");
+        let start = self.sim.now() + interval;
+        self.sim.model_mut().timeline =
+            Some(TimelineRecorder { interval, samples: Vec::new() });
+        self.sim.schedule_at(start, CloudEvent::TelemetryTick);
+    }
+
+    /// Telemetry samples recorded so far (empty unless
+    /// [`CloudSim::enable_timeline`] was called).
+    pub fn timeline(&self) -> &[TimelineSample] {
+        self.sim
+            .model()
+            .timeline
+            .as_ref()
+            .map_or(&[], |recorder| recorder.samples.as_slice())
+    }
+
+    /// Resource usage of `function`'s fleet, accounted up to the current
+    /// simulated time (Obs 7's cost axis: active-instance seconds and
+    /// billed busy time).
+    pub fn resource_usage(&self, function: FunctionId) -> ResourceUsage {
+        self.sim.model().functions[function.index()].usage.snapshot(self.sim.now())
+    }
+
+    /// Image-store statistics (cache hit counters etc.).
+    pub fn image_store_stats(&self) -> crate::storage::ImageStoreStats {
+        self.sim.model().image_store.stats()
+    }
+
+    /// The provider configuration this cloud runs.
+    pub fn config(&self) -> &ProviderConfig {
+        &self.sim.model().cfg
+    }
+}

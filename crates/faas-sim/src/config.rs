@@ -1,0 +1,503 @@
+//! Provider configuration: every knob of the simulated serverless cloud.
+//!
+//! A [`ProviderConfig`] fully describes one provider's infrastructure
+//! behaviour — network propagation, warm-path overheads, burst dispatch,
+//! autoscaling policy, cold-start stages, per-runtime models, image and
+//! payload storage services, keep-alive policy and limits. The `providers`
+//! crate ships calibrated configurations for the three clouds the paper
+//! studies; this module only defines the schema and its validation.
+//!
+//! All latency distributions are in **milliseconds**; all bandwidths in
+//! **decimal megabytes per second (MB/s)**; all sizes in **bytes** unless a
+//! field name says otherwise.
+
+use serde::{Deserialize, Serialize};
+use simkit::dist::Dist;
+
+use crate::types::Runtime;
+
+/// Complete description of one simulated provider.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProviderConfig {
+    /// Human-readable provider name (e.g. "aws-like").
+    pub name: String,
+    /// Client↔datacenter network model.
+    pub network: NetworkConfig,
+    /// Warm invocation path overheads.
+    pub warm_path: WarmPathConfig,
+    /// Load-balancer burst dispatch behaviour.
+    pub dispatch: DispatchConfig,
+    /// Autoscaling policy and instance-spawn throughput.
+    pub scaling: ScalingConfig,
+    /// Cold-start stage latencies.
+    pub cold_start: ColdStartConfig,
+    /// Per-language-runtime models.
+    pub runtimes: RuntimeTable,
+    /// Function image storage service.
+    pub image_store: ImageStoreConfig,
+    /// Payload (cross-function data) storage service.
+    pub payload_store: PayloadStoreConfig,
+    /// Idle instance keep-alive policy.
+    pub keepalive: KeepAliveConfig,
+    /// Hard limits and resource knobs.
+    pub limits: LimitsConfig,
+}
+
+/// Client↔datacenter network model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// One-way propagation delay between the benchmarking client and the
+    /// provider's datacenter, in ms (paper §V measured 26/14/32 ms RTT
+    /// contributions for AWS/Google/Azure).
+    pub prop_delay_ms: Dist,
+    /// Effective bandwidth for inline payloads carried inside invocation
+    /// requests, MB/s (paper §VI-C1 measures 264/152 Mb/s ≈ 33/19 MB/s).
+    pub inline_bandwidth_mbps: Dist,
+    /// Maximum inline payload size in bytes (6 MB AWS, 10 MB Google).
+    pub max_inline_payload: u64,
+}
+
+/// Warm invocation path overhead and its decomposition.
+///
+/// A single end-to-end warm overhead is sampled per request (calibrated to
+/// the provider's measured warm median/p99) and split across the pipeline
+/// stages by the fixed [`PathShares`], preserving a meaningful
+/// per-component breakdown while keeping end-to-end calibration exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmPathConfig {
+    /// Intra-datacenter warm overhead distribution, ms (excludes
+    /// propagation).
+    pub overhead_ms: Dist,
+    /// Stage shares of the sampled overhead; must sum to 1.
+    pub shares: PathShares,
+}
+
+/// Fractions of the warm overhead attributed to each pipeline stage
+/// (Fig 1 steps ①, ②, ⑥, ⑦ and the response leg).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathShares {
+    /// Front-end authentication (step ①).
+    pub frontend: f64,
+    /// Load-balancer routing decision (step ②).
+    pub routing: f64,
+    /// Steering through the instance manager (steps ⑥–⑦).
+    pub steer: f64,
+    /// In-instance request handling around user code (step ⑧).
+    pub handling: f64,
+    /// Response path back out of the datacenter.
+    pub response: f64,
+}
+
+impl PathShares {
+    /// A reasonable default split.
+    pub fn balanced() -> PathShares {
+        PathShares { frontend: 0.20, routing: 0.15, steer: 0.15, handling: 0.30, response: 0.20 }
+    }
+
+    fn sum(&self) -> f64 {
+        self.frontend + self.routing + self.steer + self.handling + self.response
+    }
+}
+
+/// Load-balancer burst dispatch behaviour (paper §VI-D).
+///
+/// Simultaneous requests drain through a serial dispatch server; per-request
+/// service time degrades as the backlog grows (observed most strongly on
+/// Azure). With probability `miss_prob` the balancer fails to locate an idle
+/// instance and spawns a fresh one for the request — the source of occasional
+/// cold-latency samples inside otherwise-warm bursts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchConfig {
+    /// Per-request dispatch service time, ms.
+    pub service_ms: Dist,
+    /// Multiplicative degradation: effective service time is
+    /// `service * (1 + degradation_per_100_backlog * backlog/100)`.
+    pub degradation_per_100_backlog: f64,
+    /// Probability that a request misses the idle-instance lookup and
+    /// triggers a dedicated cold start.
+    pub miss_prob: f64,
+}
+
+/// Autoscaling policy choices observed across providers (paper §VI-D3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "kind")]
+pub enum ScalePolicy {
+    /// Spawn one instance per queued request; requests never share an
+    /// instance (AWS Lambda's documented behaviour).
+    PerRequest,
+    /// Size the fleet to keep about `target` outstanding requests per
+    /// instance (Knative-style; matches Google's ≤4-deep queuing).
+    TargetConcurrency {
+        /// Desired outstanding requests per instance.
+        target: f64,
+    },
+    /// A scale controller adds `step` instances every `interval_ms` while a
+    /// backlog exists (matches Azure's slow scale-out and deep queuing).
+    Periodic {
+        /// Controller period in ms.
+        interval_ms: f64,
+        /// Instances added per period.
+        step: u32,
+    },
+    /// Queue at a warm instance only while the expected queueing delay
+    /// stays below the expected cold-start delay, otherwise spawn. This is
+    /// the optimisation the paper's Obs 7 points at: balancing request
+    /// completion time against the number of active instances. Not
+    /// observed in any production cloud; provided as an extension.
+    CostAware {
+        /// Expected cold-start delay used in the trade-off, ms.
+        cold_estimate_ms: f64,
+    },
+}
+
+/// Autoscaling configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingConfig {
+    /// Which scale-out policy the provider uses.
+    pub policy: ScalePolicy,
+    /// Cluster-scheduler placement decision latency, ms (Fig 1 steps ③–④).
+    pub decision_ms: Dist,
+    /// Sustained instance spawn throughput, instances/second.
+    pub spawn_rate_per_sec: f64,
+    /// Spawn burst capacity (token bucket burst size), instances.
+    pub spawn_burst: f64,
+    /// Pending-spawn backlog that flips the scheduler into boosted batch
+    /// provisioning; 0 disables (models Google's burst-500 improvement,
+    /// §VI-D2).
+    pub adaptive_spawn_threshold: u32,
+    /// Spawn-rate multiplier while boosted (≥ 1).
+    pub adaptive_spawn_mult: f64,
+}
+
+/// Cold-start stage latencies other than image fetch and runtime init
+/// (paper §III, §VI-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColdStartConfig {
+    /// Sandbox (microVM / container) boot time, ms.
+    pub sandbox_boot_ms: Dist,
+    /// User handler initialisation after runtime init, ms.
+    pub handler_init_ms: Dist,
+    /// Whether image fetch overlaps sandbox boot (`max` instead of sum) —
+    /// models Google's image-size insensitivity (§VI-B2).
+    pub fetch_overlaps_boot: bool,
+    /// Probability that a boot fails at completion and must be retried on
+    /// a fresh instance (failure injection; must be < 1).
+    #[serde(default)]
+    pub boot_failure_prob: f64,
+}
+
+/// Per-runtime cold-start model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeModel {
+    /// Language runtime initialisation, ms.
+    pub init_ms: Dist,
+    /// Size of the base image without user payload, decimal MB.
+    pub base_image_mb: f64,
+    /// Lazy chunk-load model applied when deployed as a container; `None`
+    /// means a container image loads exactly like a ZIP (single read).
+    pub container_chunks: Option<ChunkModel>,
+}
+
+/// Container splinter-loading model (§VI-B3): `count` extra on-demand chunk
+/// fetches against image storage during startup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkModel {
+    /// Minimum number of chunk fetches.
+    pub count_lo: u32,
+    /// Maximum number of chunk fetches (inclusive).
+    pub count_hi: u32,
+    /// Latency of a single chunk fetch, ms.
+    pub chunk_latency_ms: Dist,
+}
+
+/// The two runtimes the paper evaluates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeTable {
+    /// Model for Python 3.
+    pub python3: RuntimeModel,
+    /// Model for Go.
+    pub go: RuntimeModel,
+}
+
+impl RuntimeTable {
+    /// Looks up the model for `runtime`.
+    pub fn model(&self, runtime: Runtime) -> &RuntimeModel {
+        match runtime {
+            Runtime::Python3 => &self.python3,
+            Runtime::Go => &self.go,
+        }
+    }
+}
+
+/// Function image storage service (cost-optimised, §III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageStoreConfig {
+    /// Per-fetch base latency, ms.
+    pub base_latency_ms: Dist,
+    /// Fetch bandwidth, MB/s.
+    pub bandwidth_mbps: Dist,
+    /// Caching / load-adaptation behaviour.
+    pub cache: ImageCacheConfig,
+}
+
+/// Image-store caching model.
+///
+/// * **Warm cache** — a fetch completed within `warm_ttl_s` leaves the image
+///   cached: later fetches see `warm_latency_mult`×base latency and
+///   `warm_bandwidth_mult`×bandwidth. Explains AWS bursts getting *faster*
+///   with long IAT (§VI-D2).
+/// * **Load adaptation** — when at least `adaptive_threshold` fetches of the
+///   image are in flight, bandwidth is boosted by `adaptive_bandwidth_mult`
+///   (Google's burst-500 improvement, §VI-D2).
+/// * **Contention** — effective bandwidth divides by
+///   `1 + inflight / contention_parallelism` when `contention_parallelism`
+///   is positive (shared storage frontends).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageCacheConfig {
+    /// Whether the warm-cache path exists.
+    pub enabled: bool,
+    /// Fetches required within the TTL window before the cache admits the
+    /// image (popularity threshold). Individual long-IAT cold starts never
+    /// warm it; concurrent burst fetches do (§VI-D2).
+    pub warm_min_recent: u32,
+    /// How long a completed fetch keeps the image warm, seconds.
+    pub warm_ttl_s: f64,
+    /// Base-latency multiplier when warm (≤ 1).
+    pub warm_latency_mult: f64,
+    /// Bandwidth multiplier when warm (≥ 1).
+    pub warm_bandwidth_mult: f64,
+    /// In-flight fetch count that triggers load adaptation; 0 disables.
+    pub adaptive_threshold: u32,
+    /// Bandwidth multiplier under load adaptation (≥ 1).
+    pub adaptive_bandwidth_mult: f64,
+    /// Parallelism before contention kicks in; 0 disables contention.
+    pub contention_parallelism: f64,
+}
+
+impl ImageCacheConfig {
+    /// No caching, no adaptation, no contention.
+    pub fn none() -> ImageCacheConfig {
+        ImageCacheConfig {
+            enabled: false,
+            warm_min_recent: 1,
+            warm_ttl_s: 0.0,
+            warm_latency_mult: 1.0,
+            warm_bandwidth_mult: 1.0,
+            adaptive_threshold: 0,
+            adaptive_bandwidth_mult: 1.0,
+            contention_parallelism: 0.0,
+        }
+    }
+}
+
+/// Payload storage service used for storage-based transfers (§VI-C2).
+///
+/// Per-operation latency is `base + size/bandwidth`, where the base latency
+/// distribution should carry the cost-optimised slow mode that produces the
+/// paper's TMRs of 10–37 for storage transfers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PayloadStoreConfig {
+    /// PUT base latency, ms.
+    pub put_base_ms: Dist,
+    /// GET base latency, ms.
+    pub get_base_ms: Dist,
+    /// Transfer bandwidth, MB/s.
+    pub bandwidth_mbps: Dist,
+}
+
+/// Idle-instance keep-alive policy (§V footnote 5: AWS reaps after a fixed
+/// 10 min; others are stochastic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeepAliveConfig {
+    /// Idle lifetime sampled per idle period, ms.
+    pub idle_timeout_ms: Dist,
+}
+
+/// Limits and resource knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LimitsConfig {
+    /// Maximum concurrently existing instances per function.
+    pub max_instances_per_function: u32,
+    /// Memory size at which an instance gets a full CPU core; smaller
+    /// memories are CPU-throttled linearly (§V).
+    pub full_speed_memory_mb: u32,
+}
+
+impl ProviderConfig {
+    /// Validates every distribution and structural invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let ctx = |field: &str, e: String| format!("{}: {field}: {e}", self.name);
+        self.network.prop_delay_ms.validate().map_err(|e| ctx("prop_delay_ms", e))?;
+        self.network
+            .inline_bandwidth_mbps
+            .validate()
+            .map_err(|e| ctx("inline_bandwidth_mbps", e))?;
+        if self.network.max_inline_payload == 0 {
+            return Err(ctx("max_inline_payload", "must be positive".into()));
+        }
+        self.warm_path.overhead_ms.validate().map_err(|e| ctx("warm overhead_ms", e))?;
+        let share_sum = self.warm_path.shares.sum();
+        if (share_sum - 1.0).abs() > 1e-6 {
+            return Err(ctx("warm_path.shares", format!("sum to {share_sum}, expected 1.0")));
+        }
+        self.dispatch.service_ms.validate().map_err(|e| ctx("dispatch service_ms", e))?;
+        if self.dispatch.degradation_per_100_backlog < 0.0 {
+            return Err(ctx("dispatch.degradation", "must be non-negative".into()));
+        }
+        if !(0.0..=1.0).contains(&self.dispatch.miss_prob) {
+            return Err(ctx("dispatch.miss_prob", "must be a probability".into()));
+        }
+        self.scaling.decision_ms.validate().map_err(|e| ctx("scaling decision_ms", e))?;
+        if self.scaling.spawn_rate_per_sec <= 0.0 || self.scaling.spawn_burst <= 0.0 {
+            return Err(ctx("scaling", "spawn rate and burst must be positive".into()));
+        }
+        if self.scaling.adaptive_spawn_mult < 1.0 {
+            return Err(ctx("scaling.adaptive_spawn_mult", "must be >= 1".into()));
+        }
+        match &self.scaling.policy {
+            ScalePolicy::PerRequest => {}
+            ScalePolicy::TargetConcurrency { target } => {
+                if *target < 1.0 {
+                    return Err(ctx("scaling.policy", "target must be >= 1".into()));
+                }
+            }
+            ScalePolicy::Periodic { interval_ms, step } => {
+                if *interval_ms <= 0.0 || *step == 0 {
+                    return Err(ctx("scaling.policy", "periodic needs positive interval and step".into()));
+                }
+            }
+            ScalePolicy::CostAware { cold_estimate_ms } => {
+                if *cold_estimate_ms <= 0.0 || cold_estimate_ms.is_nan() {
+                    return Err(ctx("scaling.policy", "cost-aware needs a positive cold estimate".into()));
+                }
+            }
+        }
+        self.cold_start.sandbox_boot_ms.validate().map_err(|e| ctx("sandbox_boot_ms", e))?;
+        self.cold_start.handler_init_ms.validate().map_err(|e| ctx("handler_init_ms", e))?;
+        if !(0.0..1.0).contains(&self.cold_start.boot_failure_prob) {
+            return Err(ctx(
+                "cold_start.boot_failure_prob",
+                "must be in [0, 1) — retries at 1 would never terminate".into(),
+            ));
+        }
+        for (label, model) in [("python3", &self.runtimes.python3), ("go", &self.runtimes.go)] {
+            model.init_ms.validate().map_err(|e| ctx(&format!("{label}.init_ms"), e))?;
+            if model.base_image_mb < 0.0 {
+                return Err(ctx(&format!("{label}.base_image_mb"), "negative".into()));
+            }
+            if let Some(chunks) = &model.container_chunks {
+                if chunks.count_lo > chunks.count_hi {
+                    return Err(ctx(&format!("{label}.container_chunks"), "lo > hi".into()));
+                }
+                chunks
+                    .chunk_latency_ms
+                    .validate()
+                    .map_err(|e| ctx(&format!("{label}.chunk_latency_ms"), e))?;
+            }
+        }
+        self.image_store.base_latency_ms.validate().map_err(|e| ctx("image base_latency", e))?;
+        self.image_store.bandwidth_mbps.validate().map_err(|e| ctx("image bandwidth", e))?;
+        let cache = &self.image_store.cache;
+        if cache.warm_latency_mult < 0.0
+            || cache.warm_bandwidth_mult < 1.0
+            || cache.adaptive_bandwidth_mult < 1.0
+            || cache.contention_parallelism < 0.0
+            || cache.warm_ttl_s < 0.0
+        {
+            return Err(ctx("image cache", "multiplier/ttl out of range".into()));
+        }
+        self.payload_store.put_base_ms.validate().map_err(|e| ctx("payload put_base", e))?;
+        self.payload_store.get_base_ms.validate().map_err(|e| ctx("payload get_base", e))?;
+        self.payload_store.bandwidth_mbps.validate().map_err(|e| ctx("payload bandwidth", e))?;
+        self.keepalive.idle_timeout_ms.validate().map_err(|e| ctx("keepalive", e))?;
+        if self.limits.max_instances_per_function == 0 {
+            return Err(ctx("limits.max_instances_per_function", "must be positive".into()));
+        }
+        if self.limits.full_speed_memory_mb == 0 {
+            return Err(ctx("limits.full_speed_memory_mb", "must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_provider;
+
+    #[test]
+    fn test_provider_validates() {
+        test_provider().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_shares_rejected() {
+        let mut cfg = test_provider();
+        cfg.warm_path.shares.frontend = 0.9;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("shares"), "{err}");
+    }
+
+    #[test]
+    fn bad_miss_prob_rejected() {
+        let mut cfg = test_provider();
+        cfg.dispatch.miss_prob = 1.5;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn bad_policy_rejected() {
+        let mut cfg = test_provider();
+        cfg.scaling.policy = ScalePolicy::TargetConcurrency { target: 0.2 };
+        assert!(cfg.validate().is_err());
+        cfg.scaling.policy = ScalePolicy::Periodic { interval_ms: 0.0, step: 1 };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn chunk_model_bounds_checked() {
+        let mut cfg = test_provider();
+        cfg.runtimes.python3.container_chunks = Some(ChunkModel {
+            count_lo: 5,
+            count_hi: 2,
+            chunk_latency_ms: Dist::constant(1.0),
+        });
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_limits_rejected() {
+        let mut cfg = test_provider();
+        cfg.limits.max_instances_per_function = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn runtime_table_lookup() {
+        let cfg = test_provider();
+        assert_eq!(
+            cfg.runtimes.model(Runtime::Go).base_image_mb,
+            cfg.runtimes.go.base_image_mb
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = test_provider();
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        let back: ProviderConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn cache_none_is_inert() {
+        let c = ImageCacheConfig::none();
+        assert!(!c.enabled);
+        assert_eq!(c.adaptive_threshold, 0);
+        assert_eq!(c.contention_parallelism, 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Events dispatched inside the cloud simulation.
+
+use crate::types::{FunctionId, InstanceId, RequestId};
+
+/// The event alphabet of the serverless cloud simulation.
+///
+/// Each variant corresponds to a hand-off point in the invocation
+/// lifecycle of the paper's Fig 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloudEvent {
+    /// The request reached the front-end fleet (step ①).
+    FrontendArrive(RequestId),
+    /// Front-end + routing processing finished; enter burst dispatch
+    /// (step ②).
+    RoutingDone(RequestId),
+    /// The request cleared dispatch and is ready to be queued/served
+    /// (step ③).
+    Enqueued(RequestId),
+    /// An instance finished booting (step ⑤ done).
+    BootComplete(InstanceId),
+    /// User compute of the request finished on the instance; chain hops
+    /// happen next (steps ⑧–⑨).
+    ComputeDone(RequestId, InstanceId),
+    /// The request's work on the instance is fully done (including chain);
+    /// the response leaves the instance.
+    ExecDone(RequestId, InstanceId),
+    /// The response reached the requester.
+    Completed(RequestId),
+    /// Keep-alive check for an idle instance at the given epoch.
+    ReapCheck(InstanceId, u64),
+    /// Periodic scale-controller tick for a function (Azure-style).
+    ScaleTick(FunctionId),
+    /// Telemetry sampling tick (enabled via `CloudSim::enable_timeline`).
+    TelemetryTick,
+}

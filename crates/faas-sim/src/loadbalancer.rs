@@ -1,0 +1,144 @@
+//! The load balancer's burst dispatch stage.
+//!
+//! Requests that arrive simultaneously drain through a serial dispatch
+//! server (one per provider region in this model). Per-request service
+//! time is sampled from the provider's distribution and degrades as the
+//! backlog grows — the mechanism behind the burst-size sensitivity of
+//! §VI-D1, most pronounced on Azure (33× median at burst 500).
+
+use simkit::ratelimit::SerialServer;
+use simkit::rng::Rng;
+use simkit::time::SimTime;
+
+use crate::config::DispatchConfig;
+
+/// Outcome of routing one request through the dispatch stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatchOutcome {
+    /// Time the request exits the dispatch stage.
+    pub ready_at: SimTime,
+    /// Time spent waiting behind earlier requests, ms.
+    pub wait_ms: f64,
+    /// This request's own service time, ms.
+    pub service_ms: f64,
+}
+
+/// Serial burst-dispatch server with load-dependent degradation.
+#[derive(Debug)]
+pub struct DispatchServer {
+    cfg: DispatchConfig,
+    server: SerialServer,
+    /// Exit times of dispatched-but-not-yet-exited requests (the backlog).
+    pending_exits: std::collections::VecDeque<SimTime>,
+}
+
+impl DispatchServer {
+    /// Creates a dispatch server from the provider configuration.
+    pub fn new(cfg: DispatchConfig) -> DispatchServer {
+        DispatchServer {
+            cfg,
+            server: SerialServer::new(),
+            pending_exits: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Routes a request arriving at `now`.
+    pub fn dispatch(&mut self, now: SimTime, rng: &mut Rng) -> DispatchOutcome {
+        while self.pending_exits.front().is_some_and(|&t| t <= now) {
+            self.pending_exits.pop_front();
+        }
+        let backlog = self.pending_exits.len() as f64;
+        let degradation = 1.0 + self.cfg.degradation_per_100_backlog * backlog / 100.0;
+        let service_ms = self.cfg.service_ms.sample(rng) * degradation;
+        let (start, end) = self.server.reserve(now, SimTime::from_millis(service_ms));
+        self.pending_exits.push_back(end);
+        DispatchOutcome {
+            ready_at: end,
+            wait_ms: (start - now).as_millis(),
+            service_ms,
+        }
+    }
+
+    /// Whether this request should miss the idle-instance lookup and get a
+    /// dedicated cold start (paper §VI-D1 tail behaviour).
+    pub fn rolls_miss(&self, rng: &mut Rng) -> bool {
+        self.cfg.miss_prob > 0.0 && rng.bernoulli(self.cfg.miss_prob)
+    }
+
+    /// Requests dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.server.served()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::dist::Dist;
+
+    fn cfg(service: f64, degradation: f64, miss: f64) -> DispatchConfig {
+        DispatchConfig {
+            service_ms: Dist::constant(service),
+            degradation_per_100_backlog: degradation,
+            miss_prob: miss,
+        }
+    }
+
+    #[test]
+    fn serial_drain_of_simultaneous_burst() {
+        let mut d = DispatchServer::new(cfg(2.0, 0.0, 0.0));
+        let mut rng = Rng::seed_from(1);
+        let t0 = SimTime::ZERO;
+        let a = d.dispatch(t0, &mut rng);
+        let b = d.dispatch(t0, &mut rng);
+        let c = d.dispatch(t0, &mut rng);
+        assert_eq!(a.ready_at, SimTime::from_millis(2.0));
+        assert_eq!(b.ready_at, SimTime::from_millis(4.0));
+        assert_eq!(c.ready_at, SimTime::from_millis(6.0));
+        assert_eq!(c.wait_ms, 4.0);
+        assert_eq!(d.dispatched(), 3);
+    }
+
+    #[test]
+    fn degradation_slows_large_backlogs() {
+        let mut fast = DispatchServer::new(cfg(1.0, 0.0, 0.0));
+        let mut slow = DispatchServer::new(cfg(1.0, 200.0, 0.0));
+        let mut rng1 = Rng::seed_from(1);
+        let mut rng2 = Rng::seed_from(1);
+        let t0 = SimTime::ZERO;
+        let mut last_fast = SimTime::ZERO;
+        let mut last_slow = SimTime::ZERO;
+        for _ in 0..200 {
+            last_fast = fast.dispatch(t0, &mut rng1).ready_at;
+            last_slow = slow.dispatch(t0, &mut rng2).ready_at;
+        }
+        assert_eq!(last_fast, SimTime::from_millis(200.0));
+        assert!(
+            last_slow > last_fast * 2,
+            "degraded drain should be superlinear: {last_slow} vs {last_fast}"
+        );
+    }
+
+    #[test]
+    fn idle_server_has_no_wait() {
+        let mut d = DispatchServer::new(cfg(1.0, 100.0, 0.0));
+        let mut rng = Rng::seed_from(1);
+        let out = d.dispatch(SimTime::from_secs(5.0), &mut rng);
+        assert_eq!(out.wait_ms, 0.0);
+        assert_eq!(out.service_ms, 1.0, "no degradation when idle");
+    }
+
+    #[test]
+    fn miss_probability_zero_never_misses() {
+        let d = DispatchServer::new(cfg(1.0, 0.0, 0.0));
+        let mut rng = Rng::seed_from(1);
+        assert!((0..1000).all(|_| !d.rolls_miss(&mut rng)));
+    }
+
+    #[test]
+    fn miss_probability_one_always_misses() {
+        let d = DispatchServer::new(cfg(1.0, 0.0, 1.0));
+        let mut rng = Rng::seed_from(1);
+        assert!((0..100).all(|_| d.rolls_miss(&mut rng)));
+    }
+}

@@ -1,0 +1,241 @@
+//! The cluster scheduler: spawn pacing and scale-out decisions.
+//!
+//! [`SpawnGovernor`] paces instance spawns at the provider's sustained
+//! rate, with burst capacity and an optional adaptive boost under large
+//! backlogs (paper §VI-D2 infers such load adaptation from Google's
+//! burst-500 behaviour). [`desired_spawns`] computes how many new
+//! instances a [`ScalePolicy`] wants given the current function state.
+
+use simkit::ratelimit::TokenBucket;
+use simkit::time::SimTime;
+
+use crate::config::{ScalePolicy, ScalingConfig};
+
+/// Paces instance spawns.
+#[derive(Debug)]
+pub struct SpawnGovernor {
+    bucket: TokenBucket,
+    boosted: Option<TokenBucket>,
+    threshold: u32,
+    pending: u32,
+    total_spawns: u64,
+}
+
+impl SpawnGovernor {
+    /// Creates a governor from the provider's scaling configuration.
+    pub fn new(cfg: &ScalingConfig) -> SpawnGovernor {
+        let boosted = (cfg.adaptive_spawn_threshold > 0).then(|| {
+            TokenBucket::new(
+                cfg.spawn_burst,
+                cfg.spawn_rate_per_sec * cfg.adaptive_spawn_mult,
+            )
+        });
+        SpawnGovernor {
+            bucket: TokenBucket::new(cfg.spawn_burst, cfg.spawn_rate_per_sec),
+            boosted,
+            threshold: cfg.adaptive_spawn_threshold,
+            pending: 0,
+            total_spawns: 0,
+        }
+    }
+
+    /// Reserves one spawn slot requested at `now`; returns when the spawn
+    /// may start. Call [`SpawnGovernor::spawn_started`] when the boot
+    /// actually begins so the backlog count stays accurate.
+    pub fn reserve(&mut self, now: SimTime) -> SimTime {
+        self.pending += 1;
+        self.total_spawns += 1;
+        let use_boost = self.threshold > 0 && self.pending >= self.threshold;
+        match (&mut self.boosted, use_boost) {
+            (Some(fast), true) => {
+                // Keep the normal bucket drained in step so a later fall
+                // back to it does not grant a stale burst.
+                let _ = self.bucket.acquire_at(now, 1.0);
+                fast.acquire_at(now, 1.0)
+            }
+            _ => {
+                if let Some(fast) = &mut self.boosted {
+                    let _ = fast.acquire_at(now, 1.0);
+                }
+                self.bucket.acquire_at(now, 1.0)
+            }
+        }
+    }
+
+    /// Marks a reserved spawn as started (boot beginning).
+    pub fn spawn_started(&mut self) {
+        self.pending = self.pending.saturating_sub(1);
+    }
+
+    /// Spawns reserved so far.
+    pub fn total_spawns(&self) -> u64 {
+        self.total_spawns
+    }
+
+    /// Current reserved-but-not-started backlog.
+    pub fn pending(&self) -> u32 {
+        self.pending
+    }
+}
+
+/// A snapshot of one function's capacity state used for scaling decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacitySnapshot {
+    /// Requests waiting in the function's pending queue.
+    pub queued: u32,
+    /// Instances currently executing a request.
+    pub busy: u32,
+    /// Instances idle and ready.
+    pub idle: u32,
+    /// Instances currently booting.
+    pub booting: u32,
+}
+
+impl CapacitySnapshot {
+    /// Total live + in-progress instances.
+    pub fn total_instances(&self) -> u32 {
+        self.busy + self.idle + self.booting
+    }
+}
+
+/// How many *additional* instances the policy wants to spawn right now.
+///
+/// * `PerRequest`: one instance per queued request not already covered by
+///   an idle or booting instance.
+/// * `TargetConcurrency`: enough instances that outstanding work per
+///   instance stays at or below `target`.
+/// * `Periodic`: zero here — growth happens on scale ticks (see
+///   [`periodic_step`]); only the bootstrap instance is requested when the
+///   function has no capacity at all.
+pub fn desired_spawns(policy: &ScalePolicy, snap: CapacitySnapshot) -> u32 {
+    match policy {
+        ScalePolicy::PerRequest => {
+            snap.queued.saturating_sub(snap.idle + snap.booting)
+        }
+        ScalePolicy::TargetConcurrency { target } => {
+            let outstanding = snap.queued + snap.busy;
+            let desired = (outstanding as f64 / target).ceil() as u32;
+            desired.saturating_sub(snap.total_instances())
+        }
+        ScalePolicy::Periodic { .. } => {
+            if snap.total_instances() == 0 && snap.queued > 0 {
+                1
+            } else {
+                0
+            }
+        }
+        // Committed-assignment policies spawn inline at enqueue time.
+        ScalePolicy::CostAware { .. } => 0,
+    }
+}
+
+/// Instances to add on one periodic scale tick (Azure-style controller):
+/// `step` while a backlog exists, 0 otherwise.
+pub fn periodic_step(policy: &ScalePolicy, snap: CapacitySnapshot) -> u32 {
+    match policy {
+        ScalePolicy::Periodic { step, .. } if snap.queued > 0 => *step,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::dist::Dist;
+
+    fn scaling(policy: ScalePolicy) -> ScalingConfig {
+        ScalingConfig {
+            policy,
+            decision_ms: Dist::constant(1.0),
+            spawn_rate_per_sec: 10.0,
+            spawn_burst: 2.0,
+            adaptive_spawn_threshold: 0,
+            adaptive_spawn_mult: 1.0,
+        }
+    }
+
+    #[test]
+    fn governor_paces_at_rate() {
+        let mut gov = SpawnGovernor::new(&scaling(ScalePolicy::PerRequest));
+        let t0 = SimTime::ZERO;
+        // Burst of 2 goes immediately, then 10/s pacing.
+        assert_eq!(gov.reserve(t0), t0);
+        assert_eq!(gov.reserve(t0), t0);
+        assert_eq!(gov.reserve(t0), SimTime::from_millis(100.0));
+        assert_eq!(gov.reserve(t0), SimTime::from_millis(200.0));
+        assert_eq!(gov.total_spawns(), 4);
+    }
+
+    #[test]
+    fn governor_boosts_over_threshold() {
+        let mut cfg = scaling(ScalePolicy::PerRequest);
+        cfg.adaptive_spawn_threshold = 3;
+        cfg.adaptive_spawn_mult = 10.0;
+        cfg.spawn_burst = 1.0;
+        let mut gov = SpawnGovernor::new(&cfg);
+        let t0 = SimTime::ZERO;
+        let t1 = gov.reserve(t0); // pending 1, normal: burst token
+        let t2 = gov.reserve(t0); // pending 2, normal: 100ms
+        let t3 = gov.reserve(t0); // pending 3 >= threshold, boosted 100/s
+        let t4 = gov.reserve(t0);
+        assert_eq!(t1, t0);
+        assert_eq!(t2, SimTime::from_millis(100.0));
+        assert!(t3 < SimTime::from_millis(100.0), "boosted spawn was {t3}");
+        assert!(t4 <= SimTime::from_millis(100.0), "boosted spawn was {t4}");
+    }
+
+    #[test]
+    fn pending_tracks_started_spawns() {
+        let mut gov = SpawnGovernor::new(&scaling(ScalePolicy::PerRequest));
+        gov.reserve(SimTime::ZERO);
+        gov.reserve(SimTime::ZERO);
+        assert_eq!(gov.pending(), 2);
+        gov.spawn_started();
+        assert_eq!(gov.pending(), 1);
+    }
+
+    fn snap(queued: u32, busy: u32, idle: u32, booting: u32) -> CapacitySnapshot {
+        CapacitySnapshot { queued, busy, idle, booting }
+    }
+
+    #[test]
+    fn per_request_spawns_one_per_uncovered_request() {
+        let p = ScalePolicy::PerRequest;
+        assert_eq!(desired_spawns(&p, snap(5, 0, 0, 0)), 5);
+        assert_eq!(desired_spawns(&p, snap(5, 0, 2, 1)), 2);
+        assert_eq!(desired_spawns(&p, snap(1, 3, 2, 0)), 0);
+    }
+
+    #[test]
+    fn target_concurrency_sizes_fleet() {
+        let p = ScalePolicy::TargetConcurrency { target: 4.0 };
+        // 100 outstanding / 4 = 25 desired.
+        assert_eq!(desired_spawns(&p, snap(100, 0, 0, 0)), 25);
+        assert_eq!(desired_spawns(&p, snap(100, 0, 0, 20)), 5);
+        // 3 queued + 1 busy = 4 outstanding, covered by the busy instance.
+        assert_eq!(desired_spawns(&p, snap(3, 1, 0, 0)), 0);
+        assert_eq!(desired_spawns(&p, snap(5, 1, 0, 0)), 1);
+        assert_eq!(desired_spawns(&p, snap(0, 0, 5, 0)), 0);
+    }
+
+    #[test]
+    fn periodic_only_bootstraps() {
+        let p = ScalePolicy::Periodic { interval_ms: 1000.0, step: 2 };
+        assert_eq!(desired_spawns(&p, snap(50, 0, 0, 0)), 1);
+        assert_eq!(desired_spawns(&p, snap(50, 0, 0, 1)), 0);
+        assert_eq!(desired_spawns(&p, snap(50, 1, 0, 0)), 0);
+    }
+
+    #[test]
+    fn periodic_step_adds_while_backlogged() {
+        let p = ScalePolicy::Periodic { interval_ms: 1000.0, step: 2 };
+        assert_eq!(periodic_step(&p, snap(10, 1, 0, 0)), 2);
+        assert_eq!(periodic_step(&p, snap(0, 1, 0, 0)), 0);
+        assert_eq!(periodic_step(&ScalePolicy::PerRequest, snap(10, 0, 0, 0)), 0);
+    }
+
+    #[test]
+    fn capacity_snapshot_totals() {
+        assert_eq!(snap(9, 1, 2, 3).total_instances(), 6);
+    }
+}

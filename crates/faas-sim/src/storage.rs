@@ -1,0 +1,375 @@
+//! Storage services: the image store and the payload store.
+//!
+//! Both model cost-optimised object storage (paper §III): per-operation
+//! base latency with a heavy tail plus a size/bandwidth term. The image
+//! store additionally models the behaviours the paper infers from its burst
+//! experiments (§VI-D2):
+//!
+//! * a storage-side **cache** that keeps recently fetched images hot (AWS
+//!   bursts completing *faster* than individual cold starts),
+//! * **request coalescing** of concurrent fetches for the same image,
+//! * **load adaptation** boosting bandwidth under many in-flight fetches,
+//! * **contention** dividing bandwidth across concurrent fetches.
+
+use std::collections::HashMap;
+
+use simkit::rng::Rng;
+use simkit::time::SimTime;
+
+use crate::config::{ImageStoreConfig, PayloadStoreConfig};
+use crate::types::FunctionId;
+
+/// Outcome of one image fetch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchOutcome {
+    /// Total fetch latency, ms.
+    pub latency_ms: f64,
+    /// Whether the storage-side cache was warm.
+    pub cache_warm: bool,
+    /// Whether the fetch was coalesced onto an in-flight fetch.
+    pub coalesced: bool,
+    /// Whether load adaptation boosted the bandwidth.
+    pub adaptive: bool,
+}
+
+/// Counters exposed for tests and experiment diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImageStoreStats {
+    /// Total fetches issued.
+    pub fetches: u64,
+    /// Fetches served from the warm cache.
+    pub warm_hits: u64,
+    /// Fetches coalesced onto an in-flight fetch.
+    pub coalesced: u64,
+    /// Fetches served under load adaptation.
+    pub adaptive_hits: u64,
+}
+
+#[derive(Debug)]
+struct ImageState {
+    /// Earliest instant the cache holds the image (first admitting fetch
+    /// completion).
+    warm_from: SimTime,
+    /// Cache stays warm until this instant.
+    warm_until: SimTime,
+    /// Completion times of in-flight fetches (pruned lazily).
+    inflight_ends: Vec<SimTime>,
+    /// Start times of recent fetches within the TTL window (popularity).
+    recent_starts: Vec<SimTime>,
+}
+
+impl Default for ImageState {
+    fn default() -> Self {
+        ImageState {
+            warm_from: SimTime::MAX,
+            warm_until: SimTime::ZERO,
+            inflight_ends: Vec::new(),
+            recent_starts: Vec::new(),
+        }
+    }
+}
+
+/// The function-image storage service.
+#[derive(Debug)]
+pub struct ImageStore {
+    cfg: ImageStoreConfig,
+    rng: Rng,
+    images: HashMap<FunctionId, ImageState>,
+    stats: ImageStoreStats,
+}
+
+impl ImageStore {
+    /// Creates a store from its configuration and a forked RNG stream.
+    pub fn new(cfg: ImageStoreConfig, rng: Rng) -> ImageStore {
+        ImageStore { cfg, rng, images: HashMap::new(), stats: ImageStoreStats::default() }
+    }
+
+    /// Counters for tests/diagnostics.
+    pub fn stats(&self) -> ImageStoreStats {
+        self.stats
+    }
+
+    /// Fetches the image of `function` (`size_mb` decimal megabytes) at
+    /// time `now`, returning the sampled latency and cache behaviour.
+    pub fn fetch(&mut self, function: FunctionId, size_mb: f64, now: SimTime) -> FetchOutcome {
+        self.stats.fetches += 1;
+        let cache = self.cfg.cache.clone();
+        let state = self.images.entry(function).or_default();
+        state.inflight_ends.retain(|&end| end > now);
+        if now >= state.warm_until {
+            // The cache entry (if any) has expired; forget the old window.
+            state.warm_from = SimTime::MAX;
+        }
+        let inflight = state.inflight_ends.len() as u32;
+
+        let cache_warm = cache.enabled && now >= state.warm_from && now < state.warm_until;
+        let adaptive =
+            cache.adaptive_threshold > 0 && inflight >= cache.adaptive_threshold;
+
+        let mut base = self.cfg.base_latency_ms.sample(&mut self.rng);
+        let mut bw = self.cfg.bandwidth_mbps.sample(&mut self.rng).max(0.01);
+        if cache_warm {
+            base *= cache.warm_latency_mult;
+            bw *= cache.warm_bandwidth_mult;
+            self.stats.warm_hits += 1;
+        }
+        if adaptive {
+            bw *= cache.adaptive_bandwidth_mult;
+            self.stats.adaptive_hits += 1;
+        }
+        if cache.contention_parallelism > 0.0 {
+            bw /= 1.0 + inflight as f64 / cache.contention_parallelism;
+        }
+
+        let mut latency_ms = base + size_mb / bw * 1000.0;
+        let mut coalesced = false;
+
+        // Request coalescing: a cold fetch that overlaps an in-flight fetch
+        // of the same image completes shortly after the earliest in-flight
+        // completion rather than paying the full transfer again.
+        if cache.enabled && !cache_warm {
+            if let Some(&earliest) = state
+                .inflight_ends
+                .iter()
+                .min()
+                .filter(|&&end| end < now + SimTime::from_millis(latency_ms))
+            {
+                let tail = earliest.saturating_sub(now).as_millis();
+                let warm_cost = base * cache.warm_latency_mult
+                    + size_mb / (bw * cache.warm_bandwidth_mult) * 1000.0;
+                latency_ms = tail + warm_cost;
+                coalesced = true;
+                self.stats.coalesced += 1;
+            }
+        }
+
+        let end = now + SimTime::from_millis(latency_ms);
+        state.inflight_ends.push(end);
+        if cache.enabled {
+            let window = SimTime::from_secs(cache.warm_ttl_s);
+            state.recent_starts.retain(|&s| s + window > now);
+            state.recent_starts.push(now);
+            // Admit to the cache only once the image is popular enough.
+            if state.recent_starts.len() >= cache.warm_min_recent.max(1) as usize {
+                state.warm_from = state.warm_from.min(end);
+                state.warm_until = state.warm_until.max(end + window);
+            }
+        }
+        FetchOutcome { latency_ms, cache_warm, coalesced, adaptive }
+    }
+}
+
+/// The payload storage service (S3 / Cloud Storage analogue).
+#[derive(Debug)]
+pub struct PayloadStore {
+    cfg: PayloadStoreConfig,
+    rng: Rng,
+    puts: u64,
+    gets: u64,
+}
+
+impl PayloadStore {
+    /// Creates a store from its configuration and a forked RNG stream.
+    pub fn new(cfg: PayloadStoreConfig, rng: Rng) -> PayloadStore {
+        PayloadStore { cfg, rng, puts: 0, gets: 0 }
+    }
+
+    /// Latency of writing `bytes` at `now`, ms.
+    pub fn put_ms(&mut self, bytes: u64) -> f64 {
+        self.puts += 1;
+        let base = self.cfg.put_base_ms.sample(&mut self.rng);
+        base + self.transfer_ms(bytes)
+    }
+
+    /// Latency of reading `bytes` at `now`, ms.
+    pub fn get_ms(&mut self, bytes: u64) -> f64 {
+        self.gets += 1;
+        let base = self.cfg.get_base_ms.sample(&mut self.rng);
+        base + self.transfer_ms(bytes)
+    }
+
+    /// `(puts, gets)` issued so far.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.puts, self.gets)
+    }
+
+    fn transfer_ms(&mut self, bytes: u64) -> f64 {
+        let bw = self.cfg.bandwidth_mbps.sample(&mut self.rng).max(0.01);
+        bytes as f64 / 1e6 / bw * 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ImageCacheConfig;
+    use simkit::dist::Dist;
+
+    fn store_cfg(cache: ImageCacheConfig) -> ImageStoreConfig {
+        ImageStoreConfig {
+            base_latency_ms: Dist::constant(50.0),
+            bandwidth_mbps: Dist::constant(100.0),
+            cache,
+        }
+    }
+
+    fn fid(n: u32) -> FunctionId {
+        FunctionId(n)
+    }
+
+    #[test]
+    fn uncached_fetch_is_base_plus_transfer() {
+        let mut store = ImageStore::new(store_cfg(ImageCacheConfig::none()), Rng::seed_from(1));
+        let out = store.fetch(fid(0), 10.0, SimTime::ZERO);
+        // 50ms base + 10MB / 100MB/s = 100ms -> 150ms
+        assert_eq!(out.latency_ms, 150.0);
+        assert!(!out.cache_warm && !out.coalesced && !out.adaptive);
+    }
+
+    #[test]
+    fn warm_cache_speeds_up_later_fetch() {
+        let cache = ImageCacheConfig {
+            enabled: true,
+            warm_ttl_s: 100.0,
+            warm_latency_mult: 0.2,
+            warm_bandwidth_mult: 10.0,
+            ..ImageCacheConfig::none()
+        };
+        let mut store = ImageStore::new(store_cfg(cache), Rng::seed_from(1));
+        let first = store.fetch(fid(0), 10.0, SimTime::ZERO);
+        assert!(!first.cache_warm);
+        // Well after the first fetch completed, within TTL:
+        let later = SimTime::from_secs(10.0);
+        let second = store.fetch(fid(0), 10.0, later);
+        assert!(second.cache_warm);
+        // 50*0.2 + 10MB/(1000MB/s) = 10 + 10 = 20ms
+        assert_eq!(second.latency_ms, 20.0);
+        assert_eq!(store.stats().warm_hits, 1);
+    }
+
+    #[test]
+    fn cache_expires_after_ttl() {
+        let cache = ImageCacheConfig {
+            enabled: true,
+            warm_ttl_s: 1.0,
+            warm_latency_mult: 0.2,
+            warm_bandwidth_mult: 10.0,
+            ..ImageCacheConfig::none()
+        };
+        let mut store = ImageStore::new(store_cfg(cache), Rng::seed_from(1));
+        store.fetch(fid(0), 10.0, SimTime::ZERO);
+        let after_ttl = SimTime::from_secs(5.0);
+        let out = store.fetch(fid(0), 10.0, after_ttl);
+        assert!(!out.cache_warm);
+    }
+
+    #[test]
+    fn concurrent_fetches_coalesce() {
+        let cache = ImageCacheConfig {
+            enabled: true,
+            warm_ttl_s: 100.0,
+            warm_latency_mult: 0.1,
+            warm_bandwidth_mult: 10.0,
+            ..ImageCacheConfig::none()
+        };
+        let mut store = ImageStore::new(store_cfg(cache), Rng::seed_from(1));
+        let first = store.fetch(fid(0), 100.0, SimTime::ZERO); // 50 + 1000 = 1050ms
+        assert_eq!(first.latency_ms, 1050.0);
+        // Second starts 100ms in; coalesces onto the first (ends at 1050ms):
+        let second = store.fetch(fid(0), 100.0, SimTime::from_millis(100.0));
+        assert!(second.coalesced);
+        // tail (950) + warm cost (5 + 100) = 1055
+        assert_eq!(second.latency_ms, 1055.0);
+        assert!(second.latency_ms < 1050.0 + 100.0);
+    }
+
+    #[test]
+    fn distinct_images_do_not_share_cache() {
+        let cache = ImageCacheConfig {
+            enabled: true,
+            warm_ttl_s: 100.0,
+            warm_latency_mult: 0.2,
+            warm_bandwidth_mult: 10.0,
+            ..ImageCacheConfig::none()
+        };
+        let mut store = ImageStore::new(store_cfg(cache), Rng::seed_from(1));
+        store.fetch(fid(0), 10.0, SimTime::ZERO);
+        let other = store.fetch(fid(1), 10.0, SimTime::from_secs(10.0));
+        assert!(!other.cache_warm);
+    }
+
+    #[test]
+    fn adaptive_boost_kicks_in_under_load() {
+        let cache = ImageCacheConfig {
+            enabled: false,
+            adaptive_threshold: 3,
+            adaptive_bandwidth_mult: 10.0,
+            ..ImageCacheConfig::none()
+        };
+        let mut store = ImageStore::new(store_cfg(cache), Rng::seed_from(1));
+        let t = SimTime::ZERO;
+        for _ in 0..3 {
+            let out = store.fetch(fid(0), 100.0, t);
+            assert!(!out.adaptive);
+        }
+        let boosted = store.fetch(fid(0), 100.0, t);
+        assert!(boosted.adaptive);
+        // 50 + 100MB/(1000MB/s) = 150ms, vs 1050 unboosted.
+        assert_eq!(boosted.latency_ms, 150.0);
+        assert_eq!(store.stats().adaptive_hits, 1);
+    }
+
+    #[test]
+    fn contention_divides_bandwidth() {
+        let cache = ImageCacheConfig {
+            contention_parallelism: 1.0,
+            ..ImageCacheConfig::none()
+        };
+        let mut store = ImageStore::new(store_cfg(cache), Rng::seed_from(1));
+        let t = SimTime::ZERO;
+        let first = store.fetch(fid(0), 100.0, t);
+        assert_eq!(first.latency_ms, 1050.0); // no contention yet
+        let second = store.fetch(fid(0), 100.0, t);
+        // one inflight: bw / (1 + 1) -> 2050ms
+        assert_eq!(second.latency_ms, 2050.0);
+    }
+
+    #[test]
+    fn inflight_prunes_after_completion() {
+        let cache = ImageCacheConfig {
+            contention_parallelism: 1.0,
+            ..ImageCacheConfig::none()
+        };
+        let mut store = ImageStore::new(store_cfg(cache), Rng::seed_from(1));
+        store.fetch(fid(0), 100.0, SimTime::ZERO); // ends at 1050ms
+        let late = store.fetch(fid(0), 100.0, SimTime::from_secs(10.0));
+        assert_eq!(late.latency_ms, 1050.0, "old inflight should be pruned");
+    }
+
+    #[test]
+    fn payload_store_put_get() {
+        let cfg = PayloadStoreConfig {
+            put_base_ms: Dist::constant(20.0),
+            get_base_ms: Dist::constant(10.0),
+            bandwidth_mbps: Dist::constant(50.0),
+        };
+        let mut store = PayloadStore::new(cfg, Rng::seed_from(1));
+        // 1MB at 50MB/s = 20ms transfer.
+        assert_eq!(store.put_ms(1_000_000), 40.0);
+        assert_eq!(store.get_ms(1_000_000), 30.0);
+        assert_eq!(store.op_counts(), (1, 1));
+    }
+
+    #[test]
+    fn payload_store_scales_with_size() {
+        let cfg = PayloadStoreConfig {
+            put_base_ms: Dist::constant(0.0),
+            get_base_ms: Dist::constant(0.0),
+            bandwidth_mbps: Dist::constant(100.0),
+        };
+        let mut store = PayloadStore::new(cfg, Rng::seed_from(1));
+        let small = store.get_ms(1_000_000);
+        let large = store.get_ms(1_000_000_000);
+        assert!((large / small - 1000.0).abs() < 1e-6);
+    }
+}

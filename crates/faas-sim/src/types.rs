@@ -1,0 +1,188 @@
+//! Identifier newtypes and small domain enums shared across the simulator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a deployed function within a [`crate::cloud::Cloud`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FunctionId(pub(crate) u32);
+
+impl FunctionId {
+    /// Raw index (stable within one cloud instance).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs an id from a raw index — only for tests that need a
+    /// dangling reference; real ids come from `CloudSim::deploy`.
+    #[doc(hidden)]
+    pub fn from_raw_for_tests(raw: u32) -> FunctionId {
+        FunctionId(raw)
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// Identifies an instance of a particular function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceId {
+    pub(crate) function: FunctionId,
+    pub(crate) idx: u32,
+}
+
+impl InstanceId {
+    /// The function this instance belongs to.
+    pub fn function(self) -> FunctionId {
+        self.function
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.function, self.idx)
+    }
+}
+
+/// Identifies one invocation request (external or internal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub(crate) u64);
+
+impl RequestId {
+    /// Raw index (stable within one cloud instance).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// Language runtime of a function (paper §VI-B3 studies one interpreted and
+/// one compiled representative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Runtime {
+    /// Interpreted runtime (CPython); modules import lazily.
+    Python3,
+    /// Compiled runtime (Go); ships a single static binary.
+    Go,
+}
+
+impl Runtime {
+    /// Whether the runtime loads code lazily at import time (drives the
+    /// container chunk-fetch model, §VI-B3).
+    pub fn is_interpreted(self) -> bool {
+        matches!(self, Runtime::Python3)
+    }
+}
+
+impl fmt::Display for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Runtime::Python3 => write!(f, "python3"),
+            Runtime::Go => write!(f, "go"),
+        }
+    }
+}
+
+/// How the function image is packaged and deployed (paper §IV, §VI-B3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DeploymentMethod {
+    /// ZIP archive of sources/binary; fetched in one storage read.
+    Zip,
+    /// Container image; supports splintered, on-demand chunk loading.
+    Container,
+}
+
+impl fmt::Display for DeploymentMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeploymentMethod::Zip => write!(f, "zip"),
+            DeploymentMethod::Container => write!(f, "container"),
+        }
+    }
+}
+
+/// Transport used for payload transfers between chained functions
+/// (paper §VI-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TransferMode {
+    /// Payload embedded in the invocation request (size-capped).
+    Inline,
+    /// Payload written to / read from a storage service.
+    Storage,
+}
+
+impl fmt::Display for TransferMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferMode::Inline => write!(f, "inline"),
+            TransferMode::Storage => write!(f, "storage"),
+        }
+    }
+}
+
+/// Number of bytes in a kibibyte-style decimal KB as used by the paper's
+/// payload axes (1 KB = 1000 bytes).
+pub const KB: u64 = 1_000;
+/// Decimal megabyte.
+pub const MB: u64 = 1_000_000;
+/// Decimal gigabyte.
+pub const GB: u64 = 1_000_000_000;
+
+/// Converts a byte count to (decimal) megabytes.
+pub fn bytes_to_mb(bytes: u64) -> f64 {
+    bytes as f64 / MB as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(FunctionId(3).to_string(), "fn3");
+        assert_eq!(InstanceId { function: FunctionId(3), idx: 7 }.to_string(), "fn3#7");
+        assert_eq!(RequestId(9).to_string(), "req9");
+        assert_eq!(Runtime::Python3.to_string(), "python3");
+        assert_eq!(DeploymentMethod::Container.to_string(), "container");
+        assert_eq!(TransferMode::Storage.to_string(), "storage");
+    }
+
+    #[test]
+    fn interpreted_flag() {
+        assert!(Runtime::Python3.is_interpreted());
+        assert!(!Runtime::Go.is_interpreted());
+    }
+
+    #[test]
+    fn byte_units() {
+        assert_eq!(KB * 1000, MB);
+        assert_eq!(MB * 1000, GB);
+        assert_eq!(bytes_to_mb(2 * MB), 2.0);
+        assert_eq!(bytes_to_mb(500 * KB), 0.5);
+    }
+
+    #[test]
+    fn serde_enums_snake_case() {
+        assert_eq!(serde_json::to_string(&Runtime::Go).unwrap(), "\"go\"");
+        assert_eq!(
+            serde_json::to_string(&DeploymentMethod::Zip).unwrap(),
+            "\"zip\""
+        );
+        assert_eq!(
+            serde_json::to_string(&TransferMode::Inline).unwrap(),
+            "\"inline\""
+        );
+    }
+}

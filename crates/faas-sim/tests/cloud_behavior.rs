@@ -1,0 +1,385 @@
+//! End-to-end behaviour tests of the simulated cloud using the neutral
+//! test provider (round numbers, deterministic distributions).
+
+use faas_sim::cloud::{CloudSim, DeployError};
+use faas_sim::config::{ProviderConfig, ScalePolicy};
+use faas_sim::spec::FunctionSpec;
+use faas_sim::testutil::test_provider;
+use faas_sim::types::{FunctionId, Runtime, TransferMode, MB};
+use simkit::dist::Dist;
+use simkit::time::SimTime;
+
+const SEC: fn(f64) -> SimTime = SimTime::from_secs;
+
+fn run_one(cloud: &mut CloudSim, f: FunctionId, at: SimTime) -> faas_sim::Completion {
+    cloud.submit(f, 0, at);
+    cloud.run_until(at + SEC(20.0));
+    let mut done = cloud.drain_completions();
+    assert_eq!(done.len(), 1, "expected exactly one completion");
+    done.pop().unwrap()
+}
+
+#[test]
+fn warm_latency_is_propagation_plus_overhead() {
+    let mut cloud = CloudSim::new(test_provider(), 1);
+    let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+    let _cold = run_one(&mut cloud, f, SimTime::ZERO);
+    let warm = run_one(&mut cloud, f, SEC(30.0));
+    assert!(!warm.cold);
+    // 2x10ms propagation + 20ms overhead + 0.5ms dispatch service.
+    let expected = 10.0 + 10.0 + 20.0 + 0.5;
+    assert!(
+        (warm.latency_ms() - expected).abs() < 0.6,
+        "warm latency {} vs expected {expected}",
+        warm.latency_ms()
+    );
+}
+
+#[test]
+fn cold_latency_includes_boot_stages() {
+    let mut cloud = CloudSim::new(test_provider(), 2);
+    let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+    let cold = run_one(&mut cloud, f, SimTime::ZERO);
+    assert!(cold.cold);
+    let breakdown = cold.breakdown.cold.expect("cold breakdown present");
+    // decision 10 + sandbox 100 + image (40 base + 5MB/100MBps = 50) + 90
+    // runtime 30 + handler 10 = 240ms
+    assert!((breakdown.total_ms - 240.0).abs() < 1.0, "boot {}", breakdown.total_ms);
+    // End-to-end = warm path (40.5) + boot (240)
+    assert!(
+        (cold.latency_ms() - 280.5).abs() < 1.5,
+        "cold latency {}",
+        cold.latency_ms()
+    );
+    // Conservation: breakdown sums to end-to-end latency.
+    assert!(
+        (cold.breakdown.total_ms() - cold.latency_ms()).abs() < 1e-3,
+        "breakdown {} vs latency {}",
+        cold.breakdown.total_ms(),
+        cold.latency_ms()
+    );
+}
+
+#[test]
+fn breakdown_conservation_holds_for_every_request() {
+    let mut cloud = CloudSim::new(test_provider(), 3);
+    let f = cloud.deploy(FunctionSpec::builder("f").exec_constant_ms(25.0).build()).unwrap();
+    for i in 0..50 {
+        cloud.submit(f, i, SimTime::from_millis(i as f64 * 200.0));
+    }
+    cloud.run_until(SEC(120.0));
+    let done = cloud.drain_completions();
+    assert_eq!(done.len(), 50);
+    for c in &done {
+        assert!(
+            (c.breakdown.total_ms() - c.latency_ms()).abs() < 1e-3,
+            "request {} breakdown {} vs latency {}",
+            c.id,
+            c.breakdown.total_ms(),
+            c.latency_ms()
+        );
+    }
+}
+
+#[test]
+fn keepalive_reaps_idle_instances() {
+    let mut cloud = CloudSim::new(test_provider(), 4);
+    let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+    let _ = run_one(&mut cloud, f, SimTime::ZERO);
+    assert_eq!(cloud.live_instances(f), 1);
+    // Keep-alive is 60s in the test provider; idle from ~0.3s.
+    cloud.run_until(SEC(120.0));
+    assert_eq!(cloud.live_instances(f), 0);
+    assert_eq!(cloud.stats().reaps, 1);
+    // The next request after the reap is cold again.
+    let again = run_one(&mut cloud, f, SEC(150.0));
+    assert!(again.cold);
+}
+
+#[test]
+fn short_iat_keeps_instance_warm() {
+    let mut cloud = CloudSim::new(test_provider(), 5);
+    let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+    // 3s IAT < 60s keep-alive: only the first request is cold.
+    for i in 0..20 {
+        cloud.submit(f, i, SEC(3.0 * i as f64));
+    }
+    cloud.run_until(SEC(120.0));
+    let done = cloud.drain_completions();
+    assert_eq!(done.len(), 20);
+    assert_eq!(done.iter().filter(|c| c.cold).count(), 1);
+    assert_eq!(cloud.stats().spawns, 1);
+}
+
+#[test]
+fn per_request_policy_spawns_one_instance_per_burst_request() {
+    let mut cloud = CloudSim::new(test_provider(), 6);
+    let f = cloud.deploy(FunctionSpec::builder("f").exec_constant_ms(1000.0).build()).unwrap();
+    for i in 0..50 {
+        cloud.submit(f, i, SimTime::ZERO);
+    }
+    cloud.run_until(SEC(120.0));
+    let done = cloud.drain_completions();
+    assert_eq!(done.len(), 50);
+    assert_eq!(cloud.stats().spawns, 50, "AWS-style: one instance per request");
+    // With 1s execution and ~0.3s boots, nobody should wait ~2s.
+    let max = done.iter().map(|c| c.latency_ms()).fold(0.0, f64::max);
+    assert!(max < 2000.0, "max latency {max}");
+}
+
+#[test]
+fn target_concurrency_policy_queues_up_to_target() {
+    let mut cfg = test_provider();
+    cfg.scaling.policy = ScalePolicy::TargetConcurrency { target: 4.0 };
+    let mut cloud = CloudSim::new(cfg, 7);
+    let f = cloud.deploy(FunctionSpec::builder("f").exec_constant_ms(1000.0).build()).unwrap();
+    for i in 0..100 {
+        cloud.submit(f, i, SimTime::ZERO);
+    }
+    cloud.run_until(SEC(300.0));
+    let done = cloud.drain_completions();
+    assert_eq!(done.len(), 100);
+    // Google-style: ~25 instances for 100 requests at target 4.
+    let spawns = cloud.stats().spawns;
+    assert!((20..=30).contains(&spawns), "spawned {spawns}");
+    // Tail requests waited for up to ~3 executions ahead of them.
+    let max = done.iter().map(|c| c.latency_ms()).fold(0.0, f64::max);
+    assert!(max > 3000.0, "deep-queued request should exceed 3 execs, max {max}");
+    assert!(max < 6000.0, "queue depth bounded by target, max {max}");
+}
+
+#[test]
+fn periodic_policy_scales_slowly_and_queues_deeply() {
+    let mut cfg = test_provider();
+    cfg.scaling.policy = ScalePolicy::Periodic { interval_ms: 5000.0, step: 1 };
+    let mut cloud = CloudSim::new(cfg, 8);
+    let f = cloud.deploy(FunctionSpec::builder("f").exec_constant_ms(1000.0).build()).unwrap();
+    for i in 0..30 {
+        cloud.submit(f, i, SimTime::ZERO);
+    }
+    cloud.run_until(SEC(300.0));
+    let done = cloud.drain_completions();
+    assert_eq!(done.len(), 30);
+    // Azure-style: far fewer instances than requests, very deep queueing.
+    assert!(cloud.stats().spawns <= 6, "spawns {}", cloud.stats().spawns);
+    let max = done.iter().map(|c| c.latency_ms()).fold(0.0, f64::max);
+    assert!(max > 10_000.0, "deep queue expected, max {max}");
+}
+
+#[test]
+fn inline_chain_transfers_payload() {
+    let mut cloud = CloudSim::new(test_provider(), 9);
+    let consumer = cloud.deploy(FunctionSpec::builder("consumer").build()).unwrap();
+    let producer = cloud
+        .deploy(
+            FunctionSpec::builder("producer")
+                .chain(consumer, TransferMode::Inline, 2 * MB)
+                .build(),
+        )
+        .unwrap();
+    let done = run_one(&mut cloud, producer, SimTime::ZERO);
+    assert!(done.breakdown.chain_ms > 0.0, "chain time recorded");
+    let transfers = cloud.drain_transfers();
+    assert_eq!(transfers.len(), 1);
+    let t = transfers[0];
+    assert_eq!(t.mode, TransferMode::Inline);
+    assert_eq!(t.payload_bytes, 2 * MB);
+    // 2MB at 100MB/s = 20ms wire time, plus the consumer's cold-start
+    // (first use) and warm-path segments.
+    assert!(t.transfer_ms() > 20.0, "transfer {}", t.transfer_ms());
+    // Parent end-to-end covers the chain round trip.
+    assert!(done.latency_ms() > t.transfer_ms());
+}
+
+#[test]
+fn storage_chain_pays_put_and_get() {
+    let mut cloud = CloudSim::new(test_provider(), 10);
+    let consumer = cloud.deploy(FunctionSpec::builder("consumer").build()).unwrap();
+    let producer = cloud
+        .deploy(
+            FunctionSpec::builder("producer")
+                .chain(consumer, TransferMode::Storage, 10 * MB)
+                .build(),
+        )
+        .unwrap();
+    // Warm both functions first so the transfer sample is warm-path only.
+    let _ = run_one(&mut cloud, producer, SimTime::ZERO);
+    cloud.drain_transfers();
+    let _ = run_one(&mut cloud, producer, SEC(25.0));
+    let transfers = cloud.drain_transfers();
+    assert_eq!(transfers.len(), 1);
+    let t = transfers[0];
+    // put: 15 + 100ms transfer; get: 10 + 100; consumer warm path ~20ms.
+    // Transfer window covers put + invocation + get.
+    assert!(t.transfer_ms() > 225.0, "transfer {}", t.transfer_ms());
+    assert!(t.transfer_ms() < 300.0, "transfer {}", t.transfer_ms());
+}
+
+#[test]
+fn inline_payload_over_limit_is_rejected() {
+    let mut cloud = CloudSim::new(test_provider(), 11);
+    let consumer = cloud.deploy(FunctionSpec::builder("consumer").build()).unwrap();
+    let err = cloud
+        .deploy(
+            FunctionSpec::builder("producer")
+                .chain(consumer, TransferMode::Inline, 100 * MB)
+                .build(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, DeployError::InlinePayloadTooLarge { .. }));
+    // Storage transfers have no such limit.
+    assert!(cloud
+        .deploy(
+            FunctionSpec::builder("producer")
+                .chain(consumer, TransferMode::Storage, 100 * MB)
+                .build(),
+        )
+        .is_ok());
+}
+
+#[test]
+fn chain_to_unknown_function_is_rejected() {
+    let mut cloud = CloudSim::new(test_provider(), 12);
+    let err = cloud
+        .deploy(
+            FunctionSpec::builder("producer")
+                .chain(FunctionId::from_raw_for_tests(7), TransferMode::Inline, 1024)
+                .build(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, DeployError::UnknownChainTarget(_)));
+}
+
+#[test]
+fn lb_miss_forces_dedicated_cold_start() {
+    let mut cfg = test_provider();
+    cfg.dispatch.miss_prob = 1.0; // every concurrent request misses
+    let mut cloud = CloudSim::new(cfg, 13);
+    let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+    // Misses are a concurrency artefact: sequential requests never miss...
+    for i in 0..3 {
+        cloud.submit(f, i, SEC(i as f64 * 2.0));
+    }
+    cloud.run_until(SEC(30.0));
+    let done = cloud.drain_completions();
+    assert_eq!(done.len(), 3);
+    assert_eq!(cloud.stats().lb_misses, 0, "no misses without concurrency");
+    assert_eq!(done.iter().filter(|c| c.cold).count(), 1);
+
+    // ...but requests racing an in-flight one all miss and cold start.
+    for i in 0..5 {
+        cloud.submit(f, 10 + i, SEC(40.0));
+    }
+    cloud.run_until(SEC(80.0));
+    let done = cloud.drain_completions();
+    assert_eq!(done.len(), 5);
+    // The first of the burst reuses the warm instance; the rest miss.
+    assert_eq!(cloud.stats().lb_misses, 4);
+    assert_eq!(done.iter().filter(|c| c.cold).count(), 4);
+}
+
+#[test]
+fn memory_throttling_slows_execution() {
+    let mut cloud = CloudSim::new(test_provider(), 14);
+    let full = cloud
+        .deploy(FunctionSpec::builder("full").memory_mb(1024).exec_constant_ms(100.0).build())
+        .unwrap();
+    let small = cloud
+        .deploy(FunctionSpec::builder("small").memory_mb(256).exec_constant_ms(100.0).build())
+        .unwrap();
+    let a = run_one(&mut cloud, full, SimTime::ZERO);
+    let b = run_one(&mut cloud, small, SEC(200.0));
+    assert!((a.breakdown.exec_ms - 100.0).abs() < 1e-9);
+    assert!((b.breakdown.exec_ms - 400.0).abs() < 1e-9, "256MB = 1/4 speed");
+}
+
+#[test]
+fn bigger_image_boots_slower() {
+    let mut cloud = CloudSim::new(test_provider(), 15);
+    let small = cloud.deploy(FunctionSpec::builder("s").runtime(Runtime::Go).build()).unwrap();
+    let big = cloud
+        .deploy(FunctionSpec::builder("b").runtime(Runtime::Go).extra_image_mb(100.0).build())
+        .unwrap();
+    let a = run_one(&mut cloud, small, SimTime::ZERO);
+    let b = run_one(&mut cloud, big, SEC(200.0));
+    let fa = a.breakdown.cold.unwrap().image_fetch_ms;
+    let fb = b.breakdown.cold.unwrap().image_fetch_ms;
+    // 2MB vs 102MB at 100MB/s: 20ms vs 1020ms of transfer.
+    assert!((fb - fa - 1000.0).abs() < 1.0, "fetch {fa} vs {fb}");
+    assert!(b.latency_ms() - a.latency_ms() > 900.0);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let collect = |seed: u64| {
+        let mut cloud = CloudSim::new(test_provider_with_noise(), seed);
+        let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+        for i in 0..50 {
+            cloud.submit(f, i, SimTime::from_millis(500.0 * i as f64));
+        }
+        cloud.run_until(SEC(120.0));
+        cloud
+            .drain_completions()
+            .into_iter()
+            .map(|c| c.latency_ms())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(collect(1), collect(1));
+    assert_ne!(collect(1), collect(2));
+}
+
+/// A test provider with real randomness, for determinism checks.
+fn test_provider_with_noise() -> ProviderConfig {
+    let mut cfg = test_provider();
+    cfg.warm_path.overhead_ms = Dist::lognormal_median_p99(20.0, 60.0);
+    cfg.network.prop_delay_ms = Dist::Normal { mean: 10.0, std: 0.5 };
+    cfg
+}
+
+#[test]
+fn max_instances_limit_is_respected() {
+    let mut cfg = test_provider();
+    cfg.limits.max_instances_per_function = 3;
+    let mut cloud = CloudSim::new(cfg, 16);
+    let f = cloud.deploy(FunctionSpec::builder("f").exec_constant_ms(500.0).build()).unwrap();
+    for i in 0..20 {
+        cloud.submit(f, i, SimTime::ZERO);
+    }
+    cloud.run_until(SEC(120.0));
+    assert_eq!(cloud.drain_completions().len(), 20, "all served despite the cap");
+    assert!(cloud.stats().spawns <= 3, "spawns {}", cloud.stats().spawns);
+}
+
+#[test]
+fn submit_to_unknown_function_panics() {
+    let result = std::panic::catch_unwind(|| {
+        let mut cloud = CloudSim::new(test_provider(), 17);
+        cloud.submit(FunctionId::from_raw_for_tests(0), 0, SimTime::ZERO);
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn cost_aware_policy_balances_queueing_and_spawning() {
+    // Obs 7 extension: with short functions it queues (few spawns); with
+    // long functions it spawns per request (no queueing worth > a cold
+    // start).
+    let run = |exec_ms: f64| {
+        let mut cfg = test_provider();
+        cfg.scaling.policy = ScalePolicy::CostAware { cold_estimate_ms: 250.0 };
+        let mut cloud = CloudSim::new(cfg, 21);
+        let f = cloud
+            .deploy(FunctionSpec::builder("f").exec_constant_ms(exec_ms).build())
+            .unwrap();
+        for i in 0..40 {
+            cloud.submit(f, i, SimTime::ZERO);
+        }
+        cloud.run_until(SEC(600.0));
+        assert_eq!(cloud.drain_completions().len(), 40);
+        cloud.stats().spawns
+    };
+    assert!(run(0.0) <= 3, "near-zero exec: one instance absorbs the burst");
+    assert_eq!(run(1000.0), 40, "long exec: per-request spawning");
+    let mid = run(50.0);
+    assert!(mid > 3 && mid < 40, "mid exec balances: {mid} spawns");
+}

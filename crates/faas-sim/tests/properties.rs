@@ -1,0 +1,141 @@
+//! Property-based tests of individual simulator components (the cloud's
+//! global invariants live in the workspace-level `tests/invariants.rs`).
+
+use faas_sim::config::{DispatchConfig, ImageCacheConfig, ImageStoreConfig, PayloadStoreConfig};
+use faas_sim::loadbalancer::DispatchServer;
+use faas_sim::storage::{ImageStore, PayloadStore};
+use faas_sim::types::FunctionId;
+use proptest::prelude::*;
+use simkit::dist::Dist;
+use simkit::rng::Rng;
+use simkit::time::SimTime;
+
+fn image_store(cache: ImageCacheConfig, seed: u64) -> ImageStore {
+    ImageStore::new(
+        ImageStoreConfig {
+            base_latency_ms: Dist::constant(50.0),
+            bandwidth_mbps: Dist::constant(100.0),
+            cache,
+        },
+        Rng::seed_from(seed),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fetch latency is always positive and at least the transfer time at
+    /// the configured bandwidth ceiling (accounting for boosts).
+    #[test]
+    fn image_fetch_latency_bounds(
+        seed in any::<u64>(),
+        size_mb in 0.1f64..500.0,
+        fetches in 1usize..20,
+    ) {
+        let cache = ImageCacheConfig {
+            enabled: true,
+            warm_min_recent: 2,
+            warm_ttl_s: 100.0,
+            warm_latency_mult: 0.3,
+            warm_bandwidth_mult: 8.0,
+            adaptive_threshold: 0,
+            adaptive_bandwidth_mult: 1.0,
+            contention_parallelism: 0.0,
+        };
+        let mut store = image_store(cache, seed);
+        for i in 0..fetches {
+            let now = SimTime::from_secs(i as f64);
+            let out = store.fetch(FunctionId::from_raw_for_tests(0), size_mb, now);
+            prop_assert!(out.latency_ms > 0.0);
+            // Never faster than the boosted-bandwidth floor.
+            let floor = size_mb / (100.0 * 8.0) * 1000.0;
+            prop_assert!(out.latency_ms >= floor - 1e-9);
+        }
+        prop_assert_eq!(store.stats().fetches, fetches as u64);
+    }
+
+    /// Cache hits never make a fetch slower than the cold path.
+    #[test]
+    fn warm_fetches_never_slower(seed in any::<u64>(), size_mb in 0.1f64..200.0) {
+        let cache = ImageCacheConfig {
+            enabled: true,
+            warm_min_recent: 1,
+            warm_ttl_s: 1000.0,
+            warm_latency_mult: 0.2,
+            warm_bandwidth_mult: 10.0,
+            adaptive_threshold: 0,
+            adaptive_bandwidth_mult: 1.0,
+            contention_parallelism: 0.0,
+        };
+        let mut store = image_store(cache, seed);
+        let fid = FunctionId::from_raw_for_tests(1);
+        let cold = store.fetch(fid, size_mb, SimTime::ZERO);
+        let warm = store.fetch(fid, size_mb, SimTime::from_secs(10.0));
+        prop_assert!(warm.cache_warm);
+        prop_assert!(warm.latency_ms <= cold.latency_ms + 1e-9);
+    }
+
+    /// Payload-store latency is monotone in payload size (same op index),
+    /// and every op pays at least its base latency.
+    #[test]
+    fn payload_store_monotone_in_size(seed in any::<u64>(), small in 1u64..1_000_000, factor in 2u64..1000) {
+        let cfg = PayloadStoreConfig {
+            put_base_ms: Dist::constant(20.0),
+            get_base_ms: Dist::constant(10.0),
+            bandwidth_mbps: Dist::constant(100.0),
+        };
+        let mut a = PayloadStore::new(cfg.clone(), Rng::seed_from(seed));
+        let mut b = PayloadStore::new(cfg, Rng::seed_from(seed));
+        let large = small.saturating_mul(factor);
+        let t_small = a.put_ms(small);
+        let t_large = b.put_ms(large);
+        prop_assert!(t_large >= t_small);
+        prop_assert!(t_small >= 20.0);
+        prop_assert!(b.get_ms(large) >= 10.0);
+    }
+
+    /// The dispatch server preserves arrival order: later arrivals never
+    /// exit before earlier ones.
+    #[test]
+    fn dispatch_preserves_order(
+        seed in any::<u64>(),
+        gaps in prop::collection::vec(0u64..5_000_000, 1..100),
+        degradation in 0.0f64..2.0,
+    ) {
+        let mut server = DispatchServer::new(DispatchConfig {
+            service_ms: Dist::Uniform { lo: 0.1, hi: 3.0 },
+            degradation_per_100_backlog: degradation,
+            miss_prob: 0.0,
+        });
+        let mut rng = Rng::seed_from(seed);
+        let mut now = SimTime::ZERO;
+        let mut last_exit = SimTime::ZERO;
+        for gap in gaps {
+            now += SimTime::from_nanos(gap);
+            let out = server.dispatch(now, &mut rng);
+            prop_assert!(out.ready_at >= now);
+            prop_assert!(out.ready_at >= last_exit, "FIFO exit order violated");
+            last_exit = out.ready_at;
+        }
+    }
+
+    /// Degradation can only slow dispatch down, never speed it up, for
+    /// identical arrival patterns and seeds.
+    #[test]
+    fn degradation_is_monotone(seed in any::<u64>(), n in 2usize..80) {
+        let run = |deg: f64| {
+            let mut server = DispatchServer::new(DispatchConfig {
+                service_ms: Dist::constant(1.0),
+                degradation_per_100_backlog: deg,
+                miss_prob: 0.0,
+            });
+            let mut rng = Rng::seed_from(seed);
+            let mut last = SimTime::ZERO;
+            for _ in 0..n {
+                last = server.dispatch(SimTime::ZERO, &mut rng).ready_at;
+            }
+            last
+        };
+        prop_assert!(run(1.0) >= run(0.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Calibration report: run every paper experiment against the profiles and
+//! print paper-vs-measured. Used while tuning the provider profiles;
+//! `cargo run -p stellar-providers --example calibrate --release`.
+
+use faas_sim::types::{DeploymentMethod, Runtime, TransferMode};
+use providers::paper::{self, ProviderKind};
+use providers::profiles::config_for;
+use stellar_core::protocols::{
+    bursty_invocations, cold_invocations, transfer_chain, warm_invocations, BurstIat, ColdSetup,
+};
+
+fn row(name: &str, paper_med: f64, med: f64, paper_p99: f64, p99: f64) {
+    let dm = if paper_med.is_finite() { format!("{:+.0}%", (med / paper_med - 1.0) * 100.0) } else { "-".into() };
+    let dt = if paper_p99.is_finite() { format!("{:+.0}%", (p99 / paper_p99 - 1.0) * 100.0) } else { "-".into() };
+    println!(
+        "{name:<38} med {med:>8.1} (paper {paper_med:>8.1} {dm:>6})   p99 {p99:>8.1} (paper {paper_p99:>8.1} {dt:>6})"
+    );
+}
+
+fn main() {
+    let samples = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1000u32);
+
+    for kind in ProviderKind::ALL {
+        let cfg = config_for(kind);
+        println!("==== {kind} ====");
+
+        // E1 warm
+        let warm = warm_invocations(cfg.clone(), samples, 11).unwrap();
+        let (pm, pt) = paper::warm_internal_ms(kind);
+        let rtt = kind.prop_one_way_ms() * 2.0;
+        row("warm (observed)", pm + rtt, warm.summary.median, pt + rtt, warm.summary.tail);
+
+        // E2 cold baseline
+        let cold =
+            cold_invocations(cfg.clone(), ColdSetup::baseline(), samples, 100, 12).unwrap();
+        let (cm, ctmr) = paper::cold_observed_ms(kind);
+        row("cold python zip", cm, cold.summary.median, cm * ctmr, cold.summary.tail);
+
+        // E3 image size (Go zip +10 / +100 MB)
+        for (mb, idx) in [(10.0, 0usize), (100.0, 1)] {
+            let setup = ColdSetup {
+                runtime: Runtime::Go,
+                deployment: DeploymentMethod::Zip,
+                extra_image_mb: mb,
+            };
+            let out = cold_invocations(cfg.clone(), setup, samples, 100, 13).unwrap();
+            let (m10, m100, t100) = paper::image_size_observed_ms(kind);
+            let (p_med, p_tail) =
+                if idx == 0 { (m10, f64::NAN) } else { (m100, t100) };
+            row(&format!("cold go zip +{mb}MB"), p_med, out.summary.median, p_tail, out.summary.tail);
+        }
+
+        // E4 runtimes/deployments (AWS only in the paper)
+        if kind == ProviderKind::Aws {
+            for (runtime, deployment, target) in [
+                (Runtime::Go, DeploymentMethod::Zip, paper::fig5_aws::GO_ZIP),
+                (Runtime::Python3, DeploymentMethod::Zip, paper::fig5_aws::PYTHON_ZIP),
+                (Runtime::Go, DeploymentMethod::Container, paper::fig5_aws::GO_CONTAINER),
+                (Runtime::Python3, DeploymentMethod::Container, paper::fig5_aws::PYTHON_CONTAINER),
+            ] {
+                let setup = ColdSetup { runtime, deployment, extra_image_mb: 0.0 };
+                let out = cold_invocations(cfg.clone(), setup, samples, 100, 14).unwrap();
+                row(
+                    &format!("cold {runtime:?}+{deployment:?}"),
+                    target.0,
+                    out.summary.median,
+                    target.1,
+                    out.summary.tail,
+                );
+            }
+        }
+
+        // E5/E6 transfers (AWS + Google in the paper)
+        if kind != ProviderKind::Azure {
+            for &(bytes, p_med) in paper::inline_transfer_points(kind) {
+                let out =
+                    transfer_chain(cfg.clone(), TransferMode::Inline, bytes, samples, 15)
+                        .unwrap();
+                let ts = out.transfer_summary.unwrap();
+                let p_tail = if bytes == 1_000_000 {
+                    p_med * paper::inline_tmr_1mb(kind)
+                } else {
+                    f64::NAN
+                };
+                row(&format!("inline {bytes}B"), p_med, ts.median, p_tail, ts.tail);
+            }
+            let (sm, st) = paper::storage_transfer_1mb_ms(kind);
+            let out =
+                transfer_chain(cfg.clone(), TransferMode::Storage, 1_000_000, samples, 16)
+                    .unwrap();
+            let ts = out.transfer_summary.unwrap();
+            row("storage 1MB", sm, ts.median, st, ts.tail);
+            // Large-payload effective bandwidth.
+            for bytes in [100_000_000u64, 1_000_000_000] {
+                let out = transfer_chain(cfg.clone(), TransferMode::Storage, bytes, 200, 17)
+                    .unwrap();
+                let ts = out.transfer_summary.unwrap();
+                let eff_mbit = bytes as f64 * 8.0 / 1e6 / (ts.median / 1000.0);
+                let (_, target_large) = paper::storage_bandwidth_mbit(kind);
+                println!(
+                    "storage {bytes}B: eff bw {eff_mbit:.0} Mb/s (paper >=100MB: {target_large} Mb/s)"
+                );
+            }
+        }
+
+        // E7 bursts
+        let base = paper::warm_base_observed_ms(kind);
+        for burst in [100u32, 500] {
+            let out = bursty_invocations(
+                cfg.clone(),
+                BurstIat::Short,
+                burst,
+                0.0,
+                samples.max(burst * 10),
+                1,
+                18,
+            )
+            .unwrap();
+            // Table I row "Bursty warm" is burst 100.
+            let (pmr, ptr) = match kind {
+                ProviderKind::Aws => (2.0, 11.0),
+                ProviderKind::Google => (3.0, 5.0),
+                ProviderKind::Azure => (5.0, 41.0),
+            };
+            let (p_med, p_tail) =
+                if burst == 100 { (pmr * base, ptr * base) } else { (f64::NAN, f64::NAN) };
+            row(&format!("burst short {burst}"), p_med, out.summary.median, p_tail, out.summary.tail);
+        }
+        {
+            let burst = 100u32;
+            let out = bursty_invocations(
+                cfg.clone(),
+                BurstIat::Long,
+                burst,
+                0.0,
+                samples.max(burst * 10),
+                3,
+                19,
+            )
+            .unwrap();
+            let (pmr, ptr) = match kind {
+                ProviderKind::Aws => (6.0, 12.0),
+                ProviderKind::Google => (59.0, 100.0),
+                ProviderKind::Azure => (41.0, 58.0),
+            };
+            row(&format!("burst long {burst}"), pmr * base, out.summary.median, ptr * base, out.summary.tail);
+        }
+
+        // E8 fig9: 1s exec, burst 100, long IAT
+        let out = bursty_invocations(cfg.clone(), BurstIat::Long, 100, 1000.0, 1000, 3, 20)
+            .unwrap();
+        let (fm, ft) = paper::fig9_burst100_ms(kind);
+        row("fig9 burst100 exec1s", fm, out.summary.median, ft, out.summary.tail);
+        println!();
+    }
+}

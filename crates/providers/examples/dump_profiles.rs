@@ -1,0 +1,18 @@
+//! Writes the built-in profiles as JSON files under `crates/providers/profiles/`.
+//! Run after editing `profiles.rs` to keep the shipped artifacts in sync:
+//! `cargo run -p stellar-providers --example dump_profiles`.
+
+use providers::paper::ProviderKind;
+use providers::profiles::config_for;
+
+fn main() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/profiles");
+    std::fs::create_dir_all(dir).expect("create profiles dir");
+    for kind in ProviderKind::ALL {
+        let cfg = config_for(kind);
+        let path = format!("{dir}/{}.json", cfg.name);
+        let json = serde_json::to_string_pretty(&cfg).expect("serialise profile");
+        std::fs::write(&path, json + "\n").expect("write profile");
+        println!("wrote {path}");
+    }
+}

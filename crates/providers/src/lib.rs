@@ -1,0 +1,30 @@
+//! # stellar-providers — calibrated cloud profiles
+//!
+//! Three [`faas_sim::ProviderConfig`]s modelling the serverless clouds the
+//! paper studies:
+//!
+//! * [`profiles::aws_like`] — per-request scaling, fixed 10-min keep-alive,
+//!   image-store caching, fast spawns;
+//! * [`profiles::google_like`] — target-concurrency (≤4) scaling,
+//!   boot/fetch overlap, paced spawns with adaptive batch boost;
+//! * [`profiles::azure_like`] — periodic scale controller with deep
+//!   queuing, degrading burst dispatch, slow container cold starts.
+//!
+//! The [`paper`] module collects every number the paper reports, used both
+//! as calibration targets and as the "paper" column in benchmark output.
+//!
+//! ```
+//! use providers::paper::ProviderKind;
+//! use providers::profiles::config_for;
+//!
+//! for kind in ProviderKind::ALL {
+//!     let cfg = config_for(kind);
+//!     assert!(cfg.validate().is_ok());
+//! }
+//! ```
+
+pub mod paper;
+pub mod profiles;
+
+pub use paper::ProviderKind;
+pub use profiles::{aws_like, azure_like, config_for, google_like};

@@ -1,0 +1,603 @@
+//! Calibration tests: hold the provider profiles to the paper.
+//!
+//! Two kinds of assertions, per DESIGN.md:
+//!
+//! * **Bands** — measured medians within ±25% of the paper's value and
+//!   matched p99s within ±40% (simulated pipeline vs. the authors'
+//!   testbed; absolute agreement is not the goal).
+//! * **Shape facts** — orderings, crossovers and orders of magnitude that
+//!   must hold exactly (who wins, what explodes, what is insensitive).
+//!
+//! Known divergences (documented in EXPERIMENTS.md) are asserted with
+//! their own, honest bands rather than skipped.
+
+use faas_sim::types::{DeploymentMethod, Runtime, TransferMode};
+use providers::paper::{self, ProviderKind};
+use providers::profiles::config_for;
+use stellar_core::protocols::{
+    bursty_invocations, cold_invocations, transfer_chain, warm_invocations, BurstIat, ColdSetup,
+};
+
+const SAMPLES: u32 = 1500;
+
+fn assert_band(label: &str, measured: f64, target: f64, tolerance: f64) {
+    let rel = (measured / target - 1.0).abs();
+    assert!(
+        rel <= tolerance,
+        "{label}: measured {measured:.1} vs target {target:.1} ({:+.0}%, band ±{:.0}%)",
+        (measured / target - 1.0) * 100.0,
+        tolerance * 100.0
+    );
+}
+
+// ---------- E1: warm invocations (Fig 3a, Obs 1) ----------
+
+#[test]
+fn warm_latency_bands() {
+    for kind in ProviderKind::ALL {
+        let out = warm_invocations(config_for(kind), SAMPLES, 101).unwrap();
+        let (med, p99) = paper::warm_internal_ms(kind);
+        let rtt = kind.prop_one_way_ms() * 2.0;
+        assert_band(&format!("{kind} warm median"), out.summary.median, med + rtt, 0.15);
+        assert_band(&format!("{kind} warm p99"), out.summary.tail, p99 + rtt, 0.30);
+        assert!(out.summary.tmr < 2.5, "{kind}: warm TMR {}", out.summary.tmr);
+    }
+}
+
+#[test]
+fn warm_ordering_google_fastest_internally() {
+    // Obs: internal medians order Google <= AWS < Azure (17/18/25).
+    let mut medians = Vec::new();
+    for kind in ProviderKind::ALL {
+        let out = warm_invocations(config_for(kind), SAMPLES, 102).unwrap();
+        medians.push((kind, out.summary.median - kind.prop_one_way_ms() * 2.0));
+    }
+    let aws = medians[0].1;
+    let google = medians[1].1;
+    let azure = medians[2].1;
+    assert!(google <= aws + 2.0, "google {google} vs aws {aws}");
+    assert!(aws < azure, "aws {aws} vs azure {azure}");
+}
+
+// ---------- E2: cold invocations (Fig 3b, Obs 2) ----------
+
+#[test]
+fn cold_latency_bands() {
+    for kind in ProviderKind::ALL {
+        let out =
+            cold_invocations(config_for(kind), ColdSetup::baseline(), SAMPLES, 100, 103)
+                .unwrap();
+        let (med, tmr) = paper::cold_observed_ms(kind);
+        assert_band(&format!("{kind} cold median"), out.summary.median, med, 0.15);
+        assert_band(&format!("{kind} cold p99"), out.summary.tail, med * tmr, 0.30);
+        assert!(out.result.cold_fraction() > 0.8, "{kind}: mostly cold samples");
+    }
+}
+
+#[test]
+fn cold_is_an_order_of_magnitude_above_warm() {
+    // Obs 2: cold medians are 10–28× the warm medians.
+    for kind in ProviderKind::ALL {
+        let warm = warm_invocations(config_for(kind), 800, 104).unwrap().summary.median;
+        let cold = cold_invocations(config_for(kind), ColdSetup::baseline(), 800, 100, 104)
+            .unwrap()
+            .summary
+            .median;
+        let ratio = cold / warm;
+        assert!((7.0..40.0).contains(&ratio), "{kind}: cold/warm ratio {ratio:.1}");
+    }
+}
+
+#[test]
+fn cold_ordering_aws_fastest_azure_slowest() {
+    let mut med = Vec::new();
+    for kind in ProviderKind::ALL {
+        let out = cold_invocations(config_for(kind), ColdSetup::baseline(), 800, 100, 105)
+            .unwrap();
+        med.push(out.summary.median);
+    }
+    assert!(med[0] < med[1], "aws {} < google {}", med[0], med[1]);
+    assert!(med[1] < med[2], "google {} < azure {}", med[1], med[2]);
+}
+
+// ---------- E3: image size (Fig 4, Obs 2) ----------
+
+fn image_cold(kind: ProviderKind, extra_mb: f64, seed: u64) -> stats::Summary {
+    let setup = ColdSetup {
+        runtime: Runtime::Go,
+        deployment: DeploymentMethod::Zip,
+        extra_image_mb: extra_mb,
+    };
+    cold_invocations(config_for(kind), setup, SAMPLES, 100, seed).unwrap().summary
+}
+
+#[test]
+fn image_size_bands() {
+    for kind in ProviderKind::ALL {
+        let (m10, m100, t100) = paper::image_size_observed_ms(kind);
+        let s10 = image_cold(kind, 10.0, 106);
+        let s100 = image_cold(kind, 100.0, 107);
+        assert_band(&format!("{kind} +10MB median"), s10.median, m10, 0.25);
+        assert_band(&format!("{kind} +100MB median"), s100.median, m100, 0.25);
+        assert_band(&format!("{kind} +100MB p99"), s100.tail, t100, 0.40);
+    }
+}
+
+#[test]
+fn google_is_image_size_insensitive_others_are_not() {
+    // Fig 4's key shape: Google's 10MB and 100MB CDFs nearly coincide
+    // (fetch hidden behind boot); AWS grows ~3.5×, Azure ~2.4×.
+    let g10 = image_cold(ProviderKind::Google, 10.0, 108).median;
+    let g100 = image_cold(ProviderKind::Google, 100.0, 109).median;
+    assert!(
+        (g100 / g10 - 1.0).abs() < 0.10,
+        "google should be insensitive: {g10:.0} vs {g100:.0}"
+    );
+    let a10 = image_cold(ProviderKind::Aws, 10.0, 110).median;
+    let a100 = image_cold(ProviderKind::Aws, 100.0, 111).median;
+    assert!(a100 / a10 > 2.2, "aws sensitivity {:.1}x", a100 / a10);
+    let z10 = image_cold(ProviderKind::Azure, 10.0, 112).median;
+    let z100 = image_cold(ProviderKind::Azure, 100.0, 113).median;
+    assert!(z100 / z10 > 1.8, "azure sensitivity {:.1}x", z100 / z10);
+}
+
+// ---------- E4: runtime & deployment method (Fig 5, Obs 3) ----------
+
+fn aws_cold(runtime: Runtime, deployment: DeploymentMethod, seed: u64) -> stats::Summary {
+    let setup = ColdSetup { runtime, deployment, extra_image_mb: 0.0 };
+    cold_invocations(config_for(ProviderKind::Aws), setup, SAMPLES, 100, seed)
+        .unwrap()
+        .summary
+}
+
+#[test]
+fn python_container_blows_up_the_tail() {
+    // Obs 3: container deployment of an interpreted runtime raises the
+    // tail ~8× over ZIP; TMR ~4.7.
+    let zip = aws_cold(Runtime::Python3, DeploymentMethod::Zip, 114);
+    let container = aws_cold(Runtime::Python3, DeploymentMethod::Container, 115);
+    assert!(
+        container.tail / zip.tail > 3.5,
+        "container tail {:.0} vs zip tail {:.0}",
+        container.tail,
+        zip.tail
+    );
+    assert!(container.tmr > 3.0, "container TMR {:.1}", container.tmr);
+    assert!(zip.tmr < 2.0, "zip TMR {:.1}", zip.tmr);
+    assert_band("python container median", container.median, 612.0, 0.30);
+    assert_band("python container p99", container.tail, 2882.0, 0.40);
+}
+
+#[test]
+fn go_container_is_close_to_zip() {
+    // Obs 3: a compiled runtime's container CDF stays close to ZIP.
+    let zip = aws_cold(Runtime::Go, DeploymentMethod::Zip, 116);
+    let container = aws_cold(Runtime::Go, DeploymentMethod::Container, 117);
+    assert!(
+        container.median / zip.median < 1.3,
+        "go container median {:.0} vs zip {:.0}",
+        container.median,
+        zip.median
+    );
+    // ...with a moderately heavier tail (TMR 2.4 vs 1.5).
+    assert!(container.tmr > zip.tmr);
+    assert!(container.tmr < 3.5, "go container TMR {:.1}", container.tmr);
+}
+
+#[test]
+fn runtime_choice_barely_matters_for_zip() {
+    // Obs 3: <15 ms median difference in the paper; our Go image is
+    // smaller so we allow a wider (still same-regime) band.
+    let py = aws_cold(Runtime::Python3, DeploymentMethod::Zip, 118);
+    let go = aws_cold(Runtime::Go, DeploymentMethod::Zip, 119);
+    assert!(
+        go.median / py.median > 0.6 && go.median / py.median < 1.2,
+        "zip medians should be the same regime: go {:.0} python {:.0}",
+        go.median,
+        py.median
+    );
+}
+
+// ---------- E5: inline transfers (Fig 6, Obs 4) ----------
+
+#[test]
+fn inline_transfer_bands() {
+    for kind in [ProviderKind::Aws, ProviderKind::Google] {
+        for &(bytes, med) in paper::inline_transfer_points(kind) {
+            let out =
+                transfer_chain(config_for(kind), TransferMode::Inline, bytes, SAMPLES, 120)
+                    .unwrap();
+            let ts = out.transfer_summary.unwrap();
+            assert_band(&format!("{kind} inline {bytes}B median"), ts.median, med, 0.25);
+        }
+    }
+}
+
+#[test]
+fn inline_transfers_are_predictable() {
+    // Obs 4: inline TMRs stay below ~2 (1.7 AWS, 1.4 Google at 1 MB).
+    for kind in [ProviderKind::Aws, ProviderKind::Google] {
+        let out =
+            transfer_chain(config_for(kind), TransferMode::Inline, 1_000_000, SAMPLES, 121)
+                .unwrap();
+        let tmr = out.transfer_summary.unwrap().tmr;
+        assert!(tmr < 2.5, "{kind}: inline TMR {tmr:.1}");
+    }
+}
+
+#[test]
+fn google_beats_aws_for_small_inline_payloads() {
+    // §VI-C1: 1 KB completes ~1.6× faster on Google.
+    let aws = transfer_chain(config_for(ProviderKind::Aws), TransferMode::Inline, 1_000, 800, 122)
+        .unwrap()
+        .transfer_summary
+        .unwrap()
+        .median;
+    let google =
+        transfer_chain(config_for(ProviderKind::Google), TransferMode::Inline, 1_000, 800, 123)
+            .unwrap()
+            .transfer_summary
+            .unwrap()
+            .median;
+    assert!(google < aws, "google {google:.1} vs aws {aws:.1}");
+    // ...but AWS wins for large payloads (higher inline bandwidth).
+    let aws4 =
+        transfer_chain(config_for(ProviderKind::Aws), TransferMode::Inline, 4_000_000, 800, 124)
+            .unwrap()
+            .transfer_summary
+            .unwrap()
+            .median;
+    let google4 = transfer_chain(
+        config_for(ProviderKind::Google),
+        TransferMode::Inline,
+        4_000_000,
+        800,
+        125,
+    )
+    .unwrap()
+    .transfer_summary
+    .unwrap()
+    .median;
+    assert!(aws4 < google4, "aws {aws4:.0} vs google {google4:.0} at 4MB");
+}
+
+// ---------- E6: storage transfers (Fig 7, Obs 4) ----------
+
+#[test]
+fn storage_transfer_bands() {
+    for kind in [ProviderKind::Aws, ProviderKind::Google] {
+        let (med, p99) = paper::storage_transfer_1mb_ms(kind);
+        let out =
+            transfer_chain(config_for(kind), TransferMode::Storage, 1_000_000, 3000, 126)
+                .unwrap();
+        let ts = out.transfer_summary.unwrap();
+        assert_band(&format!("{kind} storage 1MB median"), ts.median, med, 0.25);
+        assert_band(&format!("{kind} storage 1MB p99"), ts.tail, p99, 0.40);
+    }
+}
+
+#[test]
+fn storage_is_the_tail_problem_inline_is_not() {
+    // Obs 4, the paper's headline: storage TMR ≈ 10.6 (AWS) / 37.3
+    // (Google), vs inline TMRs below 2.
+    let aws = transfer_chain(
+        config_for(ProviderKind::Aws),
+        TransferMode::Storage,
+        1_000_000,
+        3000,
+        127,
+    )
+    .unwrap()
+    .transfer_summary
+    .unwrap();
+    assert!(aws.tmr > 6.0, "aws storage TMR {:.1}", aws.tmr);
+    let google = transfer_chain(
+        config_for(ProviderKind::Google),
+        TransferMode::Storage,
+        1_000_000,
+        3000,
+        128,
+    )
+    .unwrap()
+    .transfer_summary
+    .unwrap();
+    assert!(google.tmr > 20.0, "google storage TMR {:.1}", google.tmr);
+    assert!(google.tmr > aws.tmr, "google tail is worse than aws");
+}
+
+#[test]
+fn storage_bandwidth_grows_with_payload() {
+    // §VI-C2: effective bandwidth at ≥100 MB approaches 960 / 408 Mb/s
+    // and greatly exceeds the 1 MB effective bandwidth.
+    for kind in [ProviderKind::Aws, ProviderKind::Google] {
+        let eff = |bytes: u64, seed| {
+            let out =
+                transfer_chain(config_for(kind), TransferMode::Storage, bytes, 300, seed)
+                    .unwrap();
+            bytes as f64 * 8.0 / 1e6 / (out.transfer_summary.unwrap().median / 1000.0)
+        };
+        let small = eff(1_000_000, 129);
+        let large = eff(100_000_000, 130);
+        let (small_target, large_target) = paper::storage_bandwidth_mbit(kind);
+        assert_band(&format!("{kind} bw 1MB"), small, small_target, 0.30);
+        assert_band(&format!("{kind} bw 100MB"), large, large_target, 0.30);
+        assert!(large > 4.0 * small, "{kind}: {small:.0} -> {large:.0} Mb/s");
+    }
+}
+
+#[test]
+fn storage_beats_inline_bandwidth_but_loses_predictability() {
+    // §VI-C2: storage yields higher effective bandwidth at 1 MB than the
+    // corresponding inline transfer... at the price of the tail.
+    let kind = ProviderKind::Aws;
+    let inline =
+        transfer_chain(config_for(kind), TransferMode::Inline, 1_000_000, 1000, 131)
+            .unwrap()
+            .transfer_summary
+            .unwrap();
+    let storage =
+        transfer_chain(config_for(kind), TransferMode::Storage, 4_000_000, 1000, 132)
+            .unwrap()
+            .transfer_summary
+            .unwrap();
+    // 4 MB via storage is faster than 4 MB inline would extrapolate to,
+    // and the storage tail dwarfs the inline tail.
+    assert!(storage.tmr > 3.0 * inline.tmr);
+}
+
+// ---------- E7: bursts (Fig 8, Obs 5/6) ----------
+
+#[test]
+fn short_iat_burst_bands() {
+    // Table I "Bursty warm" (burst 100): MR/TR per provider. Google's MR
+    // is a known divergence (we underestimate its warm-burst bump; its
+    // insensitivity fact below is preserved), so it gets a wide band.
+    let base = |kind: ProviderKind| paper::warm_base_observed_ms(kind);
+    let run = |kind: ProviderKind, burst: u32, seed| {
+        bursty_invocations(config_for(kind), BurstIat::Short, burst, 0.0, 3000, 1, seed)
+            .unwrap()
+            .summary
+    };
+    let aws = run(ProviderKind::Aws, 100, 133);
+    assert_band("aws burst100 median", aws.median, 2.0 * base(ProviderKind::Aws), 0.30);
+    assert!(aws.tail > 4.0 * base(ProviderKind::Aws), "aws burst tail {:.0}", aws.tail);
+
+    let azure = run(ProviderKind::Azure, 100, 134);
+    assert_band("azure burst100 median", azure.median, 5.0 * base(ProviderKind::Azure), 0.30);
+    assert!(
+        azure.tail > 25.0 * base(ProviderKind::Azure),
+        "azure burst tail {:.0}",
+        azure.tail
+    );
+
+    let google = run(ProviderKind::Google, 100, 135);
+    assert!(
+        google.median < 3.5 * base(ProviderKind::Google),
+        "google burst median {:.0}",
+        google.median
+    );
+}
+
+#[test]
+fn azure_explodes_at_burst_500_google_stays_flat() {
+    // §VI-D1: Azure's burst-500 median reaches ~33× its warm base;
+    // Google's medians move by only ~tens of ms from 100 to 500.
+    let azure500 = bursty_invocations(
+        config_for(ProviderKind::Azure),
+        BurstIat::Short,
+        500,
+        0.0,
+        5000,
+        1,
+        136,
+    )
+    .unwrap()
+    .summary;
+    let base = paper::warm_base_observed_ms(ProviderKind::Azure);
+    assert!(
+        azure500.median > 20.0 * base,
+        "azure burst500 median {:.0} ({}x base)",
+        azure500.median,
+        (azure500.median / base) as u32
+    );
+
+    let g100 = bursty_invocations(
+        config_for(ProviderKind::Google),
+        BurstIat::Short,
+        100,
+        0.0,
+        3000,
+        1,
+        137,
+    )
+    .unwrap()
+    .summary;
+    let g500 = bursty_invocations(
+        config_for(ProviderKind::Google),
+        BurstIat::Short,
+        500,
+        0.0,
+        5000,
+        1,
+        138,
+    )
+    .unwrap()
+    .summary;
+    assert!(
+        (g500.median - g100.median).abs() < 60.0,
+        "google insensitivity: {:.0} vs {:.0}",
+        g100.median,
+        g500.median
+    );
+}
+
+#[test]
+fn aws_long_bursts_get_faster_not_slower() {
+    // §VI-D2's surprise: AWS burst-100 cold invocations are *faster* than
+    // individual colds (storage-side image caching).
+    let single = cold_invocations(
+        config_for(ProviderKind::Aws),
+        ColdSetup::baseline(),
+        1000,
+        100,
+        139,
+    )
+    .unwrap()
+    .summary;
+    let burst = bursty_invocations(
+        config_for(ProviderKind::Aws),
+        BurstIat::Long,
+        100,
+        0.0,
+        3000,
+        3,
+        140,
+    )
+    .unwrap()
+    .summary;
+    assert!(
+        burst.median < 0.9 * single.median,
+        "aws long burst median {:.0} vs single cold {:.0}",
+        burst.median,
+        single.median
+    );
+}
+
+#[test]
+fn google_long_bursts_get_slower() {
+    // §VI-D2: Google burst-100 long-IAT median roughly doubles vs single
+    // cold invocations (spawn pacing).
+    let single = cold_invocations(
+        config_for(ProviderKind::Google),
+        ColdSetup::baseline(),
+        1000,
+        100,
+        141,
+    )
+    .unwrap()
+    .summary;
+    let burst = bursty_invocations(
+        config_for(ProviderKind::Google),
+        BurstIat::Long,
+        100,
+        0.0,
+        3000,
+        3,
+        142,
+    )
+    .unwrap()
+    .summary;
+    assert!(
+        burst.median > 1.3 * single.median,
+        "google long burst {:.0} vs single {:.0}",
+        burst.median,
+        single.median
+    );
+    assert_band("google long burst median", burst.median, 1818.0, 0.35);
+}
+
+#[test]
+fn long_iat_bursts_have_low_tmr() {
+    // Obs 6: TMRs of 1.3–2.6 for long-IAT bursts.
+    for kind in ProviderKind::ALL {
+        let out =
+            bursty_invocations(config_for(kind), BurstIat::Long, 100, 0.0, 3000, 3, 143)
+                .unwrap();
+        assert!(out.summary.tmr < 4.0, "{kind}: long burst TMR {:.1}", out.summary.tmr);
+    }
+}
+
+// ---------- E8: scheduling policy (Fig 9, Obs 7) ----------
+
+#[test]
+fn fig9_policy_separation() {
+    // The paper's two-orders-of-magnitude spread between no-queuing (AWS)
+    // and deep queuing (Azure), with Google in between (≤4 queue).
+    let run = |kind: ProviderKind, seed| {
+        bursty_invocations(config_for(kind), BurstIat::Long, 100, 1000.0, 2000, 3, seed)
+            .unwrap()
+            .summary
+    };
+    let aws = run(ProviderKind::Aws, 144);
+    let google = run(ProviderKind::Google, 145);
+    let azure = run(ProviderKind::Azure, 146);
+
+    let (aws_med, aws_p99) = paper::fig9_burst100_ms(ProviderKind::Aws);
+    assert_band("fig9 aws median", aws.median, aws_med, 0.25);
+    assert_band("fig9 aws p99", aws.tail, aws_p99, 0.40);
+    // AWS: no request waits for another => everything under ~2.5 s.
+    assert!(aws.tail < 2500.0, "aws fig9 p99 {:.0}", aws.tail);
+
+    // Google: up to ~4 requests queue per instance (known +~35% median
+    // divergence documented in EXPERIMENTS.md).
+    let (g_med, _) = paper::fig9_burst100_ms(ProviderKind::Google);
+    assert_band("fig9 google median", google.median, g_med, 0.45);
+    assert!(google.median > 2.0 * aws.median);
+    assert!(google.tail < 9000.0, "google queue depth bounded: {:.0}", google.tail);
+
+    // Azure: deep queuing, median tens of seconds.
+    let (z_med, z_p99) = paper::fig9_burst100_ms(ProviderKind::Azure);
+    assert_band("fig9 azure median", azure.median, z_med, 0.30);
+    assert_band("fig9 azure p99", azure.tail, z_p99, 0.35);
+    // Paper ratio is 6.3×; our Google runs ~35% high (documented), so the
+    // separation we can assert is ≳3.5×.
+    assert!(
+        azure.median > 3.5 * google.median,
+        "azure {:.0} vs google {:.0}",
+        azure.median,
+        google.median
+    );
+    // Two orders of magnitude over AWS's (exec-subtracted) latency.
+    assert!(azure.median > 10_000.0);
+}
+
+// ---------- Table I sanity ----------
+
+#[test]
+fn table_one_problematic_cells_reproduce() {
+    // Every red cell (MR or TR > 10) in Table I must be red in our
+    // reproduction too, for the factors we can measure end to end.
+    let warm_aws = warm_invocations(config_for(ProviderKind::Aws), 2000, 147).unwrap();
+    let base_aws = stats::percentile::median(&warm_aws.latencies_ms());
+
+    // "Base cold" AWS: MR 10, TR 15.
+    let cold = cold_invocations(
+        config_for(ProviderKind::Aws),
+        ColdSetup::baseline(),
+        1500,
+        100,
+        148,
+    )
+    .unwrap();
+    let ratios = stats::metrics::FactorRatios::compute(&cold.latencies_ms(), &warm_aws.latencies_ms());
+    assert!(ratios.mr > 7.0 && ratios.mr < 14.0, "aws cold MR {:.1}", ratios.mr);
+    assert!(ratios.is_problematic());
+    let _ = base_aws;
+}
+
+// ---------- shipped profile artifacts ----------
+
+#[test]
+fn shipped_profile_json_matches_code() {
+    // The JSON files under profiles/ are user-editable artifacts (loadable
+    // by `stellar run --provider <file>`); they must stay in sync with the
+    // code. Regenerate with `cargo run -p stellar-providers --example
+    // dump_profiles`.
+    for kind in ProviderKind::ALL {
+        let cfg = config_for(kind);
+        let path = format!(
+            "{}/profiles/{}.json",
+            env!("CARGO_MANIFEST_DIR"),
+            cfg.name
+        );
+        let shipped = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
+        let parsed: faas_sim::config::ProviderConfig =
+            serde_json::from_str(&shipped).expect("shipped profile parses");
+        assert_eq!(
+            serde_json::to_string(&parsed).unwrap(),
+            serde_json::to_string(&cfg).unwrap(),
+            "{path} is stale; regenerate with the dump_profiles example"
+        );
+    }
+}

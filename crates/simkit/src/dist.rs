@@ -1,0 +1,607 @@
+//! Probability distributions for latency modelling.
+//!
+//! [`Dist`] is a *data-driven* distribution type: a serde-serialisable enum
+//! rather than a trait object, so that provider profiles and experiment
+//! configurations can be written to / read from JSON configuration files
+//! (mirroring STeLLAR's file-driven configuration, paper §IV).
+//!
+//! All sampling is done through [`Dist::sample`] with a [`Rng`] supplied by
+//! the caller, keeping the distribution values immutable and shareable.
+//!
+//! Latency components in the serverless simulator are mostly modelled as
+//! log-normals (multiplicative noise), mixtures with a slow mode
+//! (cost-optimised storage, paper §VI-C2) and shifted/scaled combinations.
+//! The convenience constructor [`Dist::lognormal_median_p99`] builds a
+//! log-normal directly from the two numbers the paper reports: a median and
+//! a 99th percentile.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::Rng;
+
+/// The 99th-percentile quantile of the standard normal distribution.
+pub const Z99: f64 = 2.326_347_874_040_841;
+
+/// A probability distribution over non-negative `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::dist::Dist;
+/// use simkit::rng::Rng;
+///
+/// // A latency component with 10ms median and 40ms p99:
+/// let d = Dist::lognormal_median_p99(10.0, 40.0);
+/// let mut rng = Rng::seed_from(1);
+/// let x = d.sample(&mut rng);
+/// assert!(x > 0.0);
+/// assert!((d.median_exact().unwrap() - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Dist {
+    /// Always returns `value`.
+    Constant { value: f64 },
+    /// Uniform on `[lo, hi)`.
+    Uniform { lo: f64, hi: f64 },
+    /// Exponential with the given `mean` (= 1/rate).
+    Exponential { mean: f64 },
+    /// Normal (Gaussian), truncated at zero on sampling.
+    Normal { mean: f64, std: f64 },
+    /// Log-normal with location `mu` and shape `sigma` (of the underlying
+    /// normal).
+    LogNormal { mu: f64, sigma: f64 },
+    /// Pareto (Lomax-style heavy tail) with minimum `scale` and tail index
+    /// `shape` (`alpha`). Smaller `shape` means heavier tail.
+    Pareto { scale: f64, shape: f64 },
+    /// Weibull with the given `scale` (lambda) and `shape` (k).
+    Weibull { scale: f64, shape: f64 },
+    /// Gamma with `shape` (k) and `scale` (theta).
+    Gamma { shape: f64, scale: f64 },
+    /// Resamples uniformly from an empirical set of values.
+    Empirical { values: Vec<f64> },
+    /// Weighted mixture of component distributions.
+    Mixture { components: Vec<Weighted> },
+    /// `offset + inner`: additive shift of another distribution.
+    Shifted { offset: f64, inner: Box<Dist> },
+    /// `factor * inner`: multiplicative scaling of another distribution.
+    Scaled { factor: f64, inner: Box<Dist> },
+    /// Sum of two independent draws.
+    SumOf { a: Box<Dist>, b: Box<Dist> },
+    /// Larger of two independent draws.
+    MaxOf { a: Box<Dist>, b: Box<Dist> },
+}
+
+/// A weighted mixture component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Weighted {
+    /// Relative (unnormalised) weight of this component.
+    pub weight: f64,
+    /// The component distribution.
+    pub dist: Dist,
+}
+
+impl Dist {
+    /// A distribution that always returns `value`.
+    pub fn constant(value: f64) -> Dist {
+        Dist::Constant { value }
+    }
+
+    /// Log-normal parameterised by its median and 99th percentile.
+    ///
+    /// For a log-normal, `median = exp(mu)` and `p99 = exp(mu + Z99*sigma)`,
+    /// so `mu = ln(median)` and `sigma = ln(p99/median)/Z99`. This is the
+    /// natural way to encode the paper's reported (median, tail) pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median <= 0` or `p99 < median`.
+    pub fn lognormal_median_p99(median: f64, p99: f64) -> Dist {
+        assert!(median > 0.0, "median must be positive, got {median}");
+        assert!(p99 >= median, "p99 {p99} below median {median}");
+        Dist::LogNormal {
+            mu: median.ln(),
+            sigma: (p99 / median).ln() / Z99,
+        }
+    }
+
+    /// Fits a log-normal to positive `samples` by matching log-moments
+    /// (maximum likelihood for the log-normal family). Useful for turning
+    /// measured latency samples back into a model — e.g. replaying a trace
+    /// function's execution-time distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or any sample is non-positive or
+    /// non-finite.
+    pub fn fit_lognormal(samples: &[f64]) -> Dist {
+        assert!(!samples.is_empty(), "cannot fit an empty sample set");
+        assert!(
+            samples.iter().all(|&x| x.is_finite() && x > 0.0),
+            "log-normal fit needs positive finite samples"
+        );
+        let n = samples.len() as f64;
+        let mu = samples.iter().map(|x| x.ln()).sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x.ln() - mu).powi(2)).sum::<f64>() / n;
+        Dist::LogNormal { mu, sigma: var.sqrt() }
+    }
+
+    /// A two-mode mixture: with probability `p_slow` sample the `slow`
+    /// distribution, otherwise the `fast` one. Models cost-optimised
+    /// services with an occasional slow path.
+    pub fn bimodal(fast: Dist, slow: Dist, p_slow: f64) -> Dist {
+        assert!((0.0..=1.0).contains(&p_slow), "p_slow out of range: {p_slow}");
+        Dist::Mixture {
+            components: vec![
+                Weighted { weight: 1.0 - p_slow, dist: fast },
+                Weighted { weight: p_slow, dist: slow },
+            ],
+        }
+    }
+
+    /// Additively shifts this distribution by `offset`.
+    pub fn shifted(self, offset: f64) -> Dist {
+        Dist::Shifted { offset, inner: Box::new(self) }
+    }
+
+    /// Multiplicatively scales this distribution by `factor`.
+    pub fn scaled(self, factor: f64) -> Dist {
+        Dist::Scaled { factor, inner: Box::new(self) }
+    }
+
+    /// Draws a sample. All variants clamp the result at zero so that
+    /// latency components can never be negative.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let v = match self {
+            Dist::Constant { value } => *value,
+            Dist::Uniform { lo, hi } => rng.range_f64(*lo, *hi),
+            Dist::Exponential { mean } => -mean * rng.next_f64_open().ln(),
+            Dist::Normal { mean, std } => mean + std * sample_standard_normal(rng),
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sample_standard_normal(rng)).exp(),
+            Dist::Pareto { scale, shape } => scale / rng.next_f64_open().powf(1.0 / shape),
+            Dist::Weibull { scale, shape } => {
+                scale * (-rng.next_f64_open().ln()).powf(1.0 / shape)
+            }
+            Dist::Gamma { shape, scale } => sample_gamma(rng, *shape) * scale,
+            Dist::Empirical { values } => {
+                assert!(!values.is_empty(), "empirical distribution has no values");
+                *rng.choose(values)
+            }
+            Dist::Mixture { components } => {
+                assert!(!components.is_empty(), "mixture has no components");
+                let total: f64 = components.iter().map(|c| c.weight).sum();
+                let mut pick = rng.next_f64() * total;
+                let mut chosen = &components[components.len() - 1].dist;
+                for c in components {
+                    if pick < c.weight {
+                        chosen = &c.dist;
+                        break;
+                    }
+                    pick -= c.weight;
+                }
+                chosen.sample(rng)
+            }
+            Dist::Shifted { offset, inner } => offset + inner.sample(rng),
+            Dist::Scaled { factor, inner } => factor * inner.sample(rng),
+            Dist::SumOf { a, b } => a.sample(rng) + b.sample(rng),
+            Dist::MaxOf { a, b } => a.sample(rng).max(b.sample(rng)),
+        };
+        v.max(0.0)
+    }
+
+    /// Analytic mean, where one exists in closed form.
+    ///
+    /// Returns `None` for variants whose mean is not implemented
+    /// (`MaxOf`) or does not exist (Pareto with `shape <= 1`).
+    pub fn mean_exact(&self) -> Option<f64> {
+        match self {
+            Dist::Constant { value } => Some(*value),
+            Dist::Uniform { lo, hi } => Some((lo + hi) / 2.0),
+            Dist::Exponential { mean } => Some(*mean),
+            Dist::Normal { mean, .. } => Some(*mean),
+            Dist::LogNormal { mu, sigma } => Some((mu + sigma * sigma / 2.0).exp()),
+            Dist::Pareto { scale, shape } => {
+                if *shape > 1.0 {
+                    Some(shape * scale / (shape - 1.0))
+                } else {
+                    None
+                }
+            }
+            Dist::Weibull { scale, shape } => Some(scale * gamma_fn(1.0 + 1.0 / shape)),
+            Dist::Gamma { shape, scale } => Some(shape * scale),
+            Dist::Empirical { values } => {
+                if values.is_empty() {
+                    None
+                } else {
+                    Some(values.iter().sum::<f64>() / values.len() as f64)
+                }
+            }
+            Dist::Mixture { components } => {
+                let total: f64 = components.iter().map(|c| c.weight).sum();
+                let mut acc = 0.0;
+                for c in components {
+                    acc += c.weight * c.dist.mean_exact()?;
+                }
+                Some(acc / total)
+            }
+            Dist::Shifted { offset, inner } => Some(offset + inner.mean_exact()?),
+            Dist::Scaled { factor, inner } => Some(factor * inner.mean_exact()?),
+            Dist::SumOf { a, b } => Some(a.mean_exact()? + b.mean_exact()?),
+            Dist::MaxOf { .. } => None,
+        }
+    }
+
+    /// Analytic median, where one exists in closed form.
+    pub fn median_exact(&self) -> Option<f64> {
+        match self {
+            Dist::Constant { value } => Some(*value),
+            Dist::Uniform { lo, hi } => Some((lo + hi) / 2.0),
+            Dist::Exponential { mean } => Some(mean * std::f64::consts::LN_2),
+            Dist::Normal { mean, .. } => Some(*mean),
+            Dist::LogNormal { mu, .. } => Some(mu.exp()),
+            Dist::Pareto { scale, shape } => Some(scale * 2f64.powf(1.0 / shape)),
+            Dist::Weibull { scale, shape } => {
+                Some(scale * std::f64::consts::LN_2.powf(1.0 / shape))
+            }
+            Dist::Shifted { offset, inner } => Some(offset + inner.median_exact()?),
+            Dist::Scaled { factor, inner } => Some(factor * inner.median_exact()?),
+            _ => None,
+        }
+    }
+
+    /// Validates structural invariants (non-empty mixtures/empiricals,
+    /// finite parameters, valid ranges). Returns a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        fn finite(name: &str, v: f64) -> Result<(), String> {
+            if v.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("{name} is not finite: {v}"))
+            }
+        }
+        match self {
+            Dist::Constant { value } => finite("value", *value),
+            Dist::Uniform { lo, hi } => {
+                finite("lo", *lo)?;
+                finite("hi", *hi)?;
+                if lo > hi {
+                    return Err(format!("uniform lo {lo} > hi {hi}"));
+                }
+                Ok(())
+            }
+            Dist::Exponential { mean } => {
+                finite("mean", *mean)?;
+                if *mean <= 0.0 {
+                    return Err(format!("exponential mean must be positive: {mean}"));
+                }
+                Ok(())
+            }
+            Dist::Normal { mean, std } => {
+                finite("mean", *mean)?;
+                finite("std", *std)?;
+                if *std < 0.0 {
+                    return Err(format!("normal std must be non-negative: {std}"));
+                }
+                Ok(())
+            }
+            Dist::LogNormal { mu, sigma } => {
+                finite("mu", *mu)?;
+                finite("sigma", *sigma)?;
+                if *sigma < 0.0 {
+                    return Err(format!("lognormal sigma must be non-negative: {sigma}"));
+                }
+                Ok(())
+            }
+            Dist::Pareto { scale, shape } | Dist::Weibull { scale, shape } => {
+                finite("scale", *scale)?;
+                finite("shape", *shape)?;
+                if *scale <= 0.0 || *shape <= 0.0 {
+                    return Err("pareto/weibull parameters must be positive".to_string());
+                }
+                Ok(())
+            }
+            Dist::Gamma { shape, scale } => {
+                finite("shape", *shape)?;
+                finite("scale", *scale)?;
+                if *shape <= 0.0 || *scale <= 0.0 {
+                    return Err("gamma parameters must be positive".to_string());
+                }
+                Ok(())
+            }
+            Dist::Empirical { values } => {
+                if values.is_empty() {
+                    return Err("empirical distribution has no values".to_string());
+                }
+                for v in values {
+                    finite("empirical value", *v)?;
+                }
+                Ok(())
+            }
+            Dist::Mixture { components } => {
+                if components.is_empty() {
+                    return Err("mixture has no components".to_string());
+                }
+                let total: f64 = components.iter().map(|c| c.weight).sum();
+                if total <= 0.0 || total.is_nan() {
+                    return Err(format!("mixture weights sum to {total}"));
+                }
+                for c in components {
+                    if c.weight < 0.0 {
+                        return Err(format!("negative mixture weight {}", c.weight));
+                    }
+                    c.dist.validate()?;
+                }
+                Ok(())
+            }
+            Dist::Shifted { offset, inner } => {
+                finite("offset", *offset)?;
+                inner.validate()
+            }
+            Dist::Scaled { factor, inner } => {
+                finite("factor", *factor)?;
+                if *factor < 0.0 {
+                    return Err(format!("negative scale factor {factor}"));
+                }
+                inner.validate()
+            }
+            Dist::SumOf { a, b } | Dist::MaxOf { a, b } => {
+                a.validate()?;
+                b.validate()
+            }
+        }
+    }
+}
+
+/// Standard normal variate via Box–Muller (polar form avoided for
+/// determinism simplicity; each call consumes exactly two uniforms).
+fn sample_standard_normal(rng: &mut Rng) -> f64 {
+    let u1 = rng.next_f64_open();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Gamma(shape, 1) via Marsaglia–Tsang, with the boost trick for shape < 1.
+fn sample_gamma(rng: &mut Rng, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+        let u = rng.next_f64_open();
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = rng.next_f64_open();
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Lanczos approximation of the gamma function (for Weibull mean).
+fn gamma_fn(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(d: &Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng::seed_from(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    fn sample_quantile(d: &Dist, q: f64, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng::seed_from(seed);
+        let mut v: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[((n as f64 - 1.0) * q).round() as usize]
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::constant(3.5);
+        let mut rng = Rng::seed_from(0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::Uniform { lo: 2.0, hi: 4.0 };
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..4.0).contains(&x));
+        }
+        assert!((sample_mean(&d, 50_000, 2) - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Dist::Exponential { mean: 5.0 };
+        assert!((sample_mean(&d, 100_000, 3) - 5.0).abs() < 0.1);
+        assert!((d.median_exact().unwrap() - 5.0 * std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_mean_and_clamp() {
+        let d = Dist::Normal { mean: 10.0, std: 2.0 };
+        assert!((sample_mean(&d, 100_000, 4) - 10.0).abs() < 0.05);
+        // Heavily negative normal clamps to zero:
+        let neg = Dist::Normal { mean: -100.0, std: 1.0 };
+        assert_eq!(neg.sample(&mut Rng::seed_from(5)), 0.0);
+    }
+
+    #[test]
+    fn lognormal_median_p99_constructor() {
+        let d = Dist::lognormal_median_p99(100.0, 400.0);
+        assert!((d.median_exact().unwrap() - 100.0).abs() < 1e-9);
+        let med = sample_quantile(&d, 0.5, 100_000, 6);
+        let p99 = sample_quantile(&d, 0.99, 100_000, 6);
+        assert!((med - 100.0).abs() / 100.0 < 0.03, "median {med}");
+        assert!((p99 - 400.0).abs() / 400.0 < 0.10, "p99 {p99}");
+    }
+
+    #[test]
+    fn lognormal_mean_exact() {
+        let d = Dist::LogNormal { mu: 0.0, sigma: 1.0 };
+        let expected = (0.5f64).exp();
+        assert!((sample_mean(&d, 200_000, 7) - expected).abs() / expected < 0.03);
+        assert!((d.mean_exact().unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_heavy_tail() {
+        let d = Dist::Pareto { scale: 1.0, shape: 2.0 };
+        assert!((d.mean_exact().unwrap() - 2.0).abs() < 1e-12);
+        let mut rng = Rng::seed_from(8);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 1.0);
+        }
+        assert_eq!(Dist::Pareto { scale: 1.0, shape: 0.9 }.mean_exact(), None);
+    }
+
+    #[test]
+    fn weibull_mean_exact() {
+        // shape=1 degenerates to exponential with mean=scale.
+        let d = Dist::Weibull { scale: 3.0, shape: 1.0 };
+        assert!((d.mean_exact().unwrap() - 3.0).abs() < 1e-9);
+        assert!((sample_mean(&d, 100_000, 9) - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gamma_mean_matches() {
+        let d = Dist::Gamma { shape: 3.0, scale: 2.0 };
+        assert!((sample_mean(&d, 100_000, 10) - 6.0).abs() < 0.1);
+        let small = Dist::Gamma { shape: 0.5, scale: 1.0 };
+        assert!((sample_mean(&small, 200_000, 11) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn empirical_resamples_values() {
+        let d = Dist::Empirical { values: vec![1.0, 2.0, 3.0] };
+        let mut rng = Rng::seed_from(12);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            assert!(x == 1.0 || x == 2.0 || x == 3.0);
+        }
+        assert!((d.mean_exact().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_weights_respected() {
+        let d = Dist::bimodal(Dist::constant(1.0), Dist::constant(100.0), 0.25);
+        let mean = sample_mean(&d, 100_000, 13);
+        let expected = 0.75 * 1.0 + 0.25 * 100.0;
+        assert!((mean - expected).abs() / expected < 0.03, "mean {mean}");
+        assert!((d.mean_exact().unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shifted_and_scaled() {
+        let d = Dist::constant(2.0).scaled(3.0).shifted(1.0);
+        assert_eq!(d.sample(&mut Rng::seed_from(0)), 7.0);
+        assert_eq!(d.mean_exact(), Some(7.0));
+        assert_eq!(d.median_exact(), Some(7.0));
+    }
+
+    #[test]
+    fn sum_and_max_of() {
+        let s = Dist::SumOf {
+            a: Box::new(Dist::constant(1.0)),
+            b: Box::new(Dist::constant(2.0)),
+        };
+        assert_eq!(s.sample(&mut Rng::seed_from(0)), 3.0);
+        assert_eq!(s.mean_exact(), Some(3.0));
+        let m = Dist::MaxOf {
+            a: Box::new(Dist::constant(1.0)),
+            b: Box::new(Dist::constant(2.0)),
+        };
+        assert_eq!(m.sample(&mut Rng::seed_from(0)), 2.0);
+        assert_eq!(m.mean_exact(), None);
+    }
+
+    #[test]
+    fn validate_catches_errors() {
+        assert!(Dist::Uniform { lo: 5.0, hi: 1.0 }.validate().is_err());
+        assert!(Dist::Exponential { mean: -1.0 }.validate().is_err());
+        assert!(Dist::Empirical { values: vec![] }.validate().is_err());
+        assert!(Dist::Mixture { components: vec![] }.validate().is_err());
+        assert!(Dist::constant(1.0).validate().is_ok());
+        assert!(Dist::lognormal_median_p99(10.0, 50.0).validate().is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Dist::bimodal(
+            Dist::lognormal_median_p99(10.0, 40.0),
+            Dist::Pareto { scale: 100.0, shape: 1.5 },
+            0.03,
+        )
+        .shifted(2.0);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dist = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn fit_lognormal_recovers_parameters() {
+        let truth = Dist::LogNormal { mu: 3.0, sigma: 0.5 };
+        let mut rng = Rng::seed_from(99);
+        let samples: Vec<f64> = (0..20_000).map(|_| truth.sample(&mut rng)).collect();
+        let fitted = Dist::fit_lognormal(&samples);
+        let Dist::LogNormal { mu, sigma } = fitted else { panic!("wrong variant") };
+        assert!((mu - 3.0).abs() < 0.02, "mu {mu}");
+        assert!((sigma - 0.5).abs() < 0.02, "sigma {sigma}");
+    }
+
+    #[test]
+    fn fit_lognormal_on_constant_data() {
+        let fitted = Dist::fit_lognormal(&[5.0, 5.0, 5.0]);
+        assert!((fitted.median_exact().unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn fit_lognormal_rejects_nonpositive() {
+        Dist::fit_lognormal(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn gamma_fn_known_values() {
+        assert!((gamma_fn(1.0) - 1.0).abs() < 1e-9);
+        assert!((gamma_fn(2.0) - 1.0).abs() < 1e-9);
+        assert!((gamma_fn(5.0) - 24.0).abs() < 1e-6);
+        assert!((gamma_fn(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,317 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine is a time-ordered priority queue of typed events plus a
+//! dispatch loop. A simulation is a [`Model`] (user state + event handler)
+//! driven by a [`Simulation`], which owns the event queue via a
+//! [`Scheduler`]. The handler receives the scheduler so it can post future
+//! events while processing the current one.
+//!
+//! Events at equal timestamps are delivered in FIFO insertion order (a
+//! monotone sequence number breaks ties), which makes simulations fully
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// User-provided simulation state and event handler.
+pub trait Model {
+    /// The event type dispatched by the engine.
+    type Event;
+
+    /// Handles one event occurring at simulated time `now`. New events may
+    /// be posted through `sched`; they must not be scheduled in the past.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The pending-event queue handed to [`Model::handle`].
+#[derive(Default)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule in the past: {at} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` at `now + delay`.
+    pub fn schedule_in(&mut self, now: SimTime, delay: SimTime, event: E) {
+        self.schedule_at(now + delay, event);
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+impl<E> std::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+/// A running simulation: a [`Model`] plus its event queue and clock.
+///
+/// # Examples
+///
+/// See the crate-level documentation for a complete example.
+pub struct Simulation<M: Model> {
+    model: M,
+    sched: Scheduler<M::Event>,
+    processed: u64,
+}
+
+impl<M: Model + std::fmt::Debug> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("model", &self.model)
+            .field("sched", &self.sched)
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation around `model` with an empty event queue at
+    /// time zero.
+    pub fn new(model: M) -> Self {
+        Simulation { model, sched: Scheduler::new(), processed: 0 }
+    }
+
+    /// Current simulated time (time of the last dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedules an event at absolute time `at` (before or during a run).
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
+        self.sched.schedule_at(at, event);
+    }
+
+    /// Dispatches the next event, if any. Returns `false` when the queue
+    /// is empty.
+    pub fn step(&mut self) -> bool {
+        match self.sched.heap.pop() {
+            Some(entry) => {
+                debug_assert!(entry.at >= self.sched.now);
+                self.sched.now = entry.at;
+                self.processed += 1;
+                self.model.handle(entry.at, entry.event, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue is empty or the next event is later than
+    /// `horizon`. Events exactly at `horizon` are processed, and the clock
+    /// always advances to `horizon` so repeated calls compose and state
+    /// snapshots taken afterwards see the full elapsed time.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some(t) = self.sched.peek_time() {
+            if t > horizon {
+                break;
+            }
+            self.step();
+        }
+        if self.sched.now < horizon {
+            self.sched.now = horizon;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Mark(u32),
+        Chain(u32),
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<Ev>) {
+            match event {
+                Ev::Mark(id) => self.seen.push((now, id)),
+                Ev::Chain(n) => {
+                    self.seen.push((now, n));
+                    if n > 0 {
+                        sched.schedule_in(now, SimTime::from_millis(1.0), Ev::Chain(n - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_dispatch_in_time_order() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(SimTime::from_millis(30.0), Ev::Mark(3));
+        sim.schedule_at(SimTime::from_millis(10.0), Ev::Mark(1));
+        sim.schedule_at(SimTime::from_millis(20.0), Ev::Mark(2));
+        sim.run();
+        let ids: Vec<u32> = sim.model().seen.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_millis(30.0));
+        assert_eq!(sim.processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut sim = Simulation::new(Recorder::default());
+        let t = SimTime::from_millis(5.0);
+        for id in 0..20 {
+            sim.schedule_at(t, Ev::Mark(id));
+        }
+        sim.run();
+        let ids: Vec<u32> = sim.model().seen.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(SimTime::ZERO, Ev::Chain(4));
+        sim.run();
+        assert_eq!(sim.model().seen.len(), 5);
+        assert_eq!(sim.now(), SimTime::from_millis(4.0));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(SimTime::ZERO, Ev::Chain(100));
+        sim.run_until(SimTime::from_millis(10.0));
+        assert_eq!(sim.model().seen.len(), 11); // t = 0..=10ms
+        assert_eq!(sim.now(), SimTime::from_millis(10.0));
+        // Remaining events still fire on the next run.
+        sim.run();
+        assert_eq!(sim.model().seen.len(), 101);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.run_until(SimTime::from_secs(1.0));
+        assert_eq!(sim.now(), SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn scheduling_in_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _: (), sched: &mut Scheduler<()>) {
+                sched.schedule_at(now.saturating_sub(SimTime::from_nanos(1)), ());
+            }
+        }
+        let mut sim = Simulation::new(Bad);
+        sim.schedule_at(SimTime::from_millis(1.0), ());
+        sim.run();
+    }
+
+    #[test]
+    fn step_returns_false_when_empty() {
+        let mut sim = Simulation::new(Recorder::default());
+        assert!(!sim.step());
+    }
+
+    #[test]
+    fn into_model_returns_state() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(SimTime::ZERO, Ev::Mark(7));
+        sim.run();
+        let model = sim.into_model();
+        assert_eq!(model.seen, vec![(SimTime::ZERO, 7)]);
+    }
+}

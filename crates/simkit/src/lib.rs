@@ -1,0 +1,52 @@
+//! # simkit — deterministic discrete-event simulation toolkit
+//!
+//! `simkit` is the foundation of the STeLLAR reproduction: a small,
+//! dependency-light discrete-event simulation (DES) engine together with a
+//! deterministic pseudo-random number generator and a library of probability
+//! distributions used to model latency components of serverless clouds.
+//!
+//! The crate deliberately ships its own PRNG ([`rng::Rng`], xoshiro256++)
+//! instead of depending on `rand`: simulation results must be bit-stable
+//! across toolchain and dependency upgrades so that the calibration tests in
+//! the `providers` crate keep their meaning.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use simkit::time::SimTime;
+//! use simkit::engine::{Model, Scheduler, Simulation};
+//!
+//! // A model that counts ticks re-scheduling itself every 10 ms.
+//! struct Ticker { ticks: u32 }
+//!
+//! #[derive(Debug)]
+//! struct Tick;
+//!
+//! impl Model for Ticker {
+//!     type Event = Tick;
+//!     fn handle(&mut self, now: SimTime, _e: Tick, sched: &mut Scheduler<Tick>) {
+//!         self.ticks += 1;
+//!         if self.ticks < 5 {
+//!             sched.schedule_in(now, SimTime::from_millis(10.0), Tick);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Ticker { ticks: 0 });
+//! sim.schedule_at(SimTime::ZERO, Tick);
+//! sim.run();
+//! assert_eq!(sim.model().ticks, 5);
+//! assert_eq!(sim.now(), SimTime::from_millis(40.0));
+//! ```
+
+pub mod dist;
+pub mod engine;
+pub mod queue;
+pub mod ratelimit;
+pub mod rng;
+pub mod time;
+
+pub use dist::Dist;
+pub use engine::{Model, Scheduler, Simulation};
+pub use rng::Rng;
+pub use time::SimTime;

@@ -1,0 +1,173 @@
+//! Instrumented FIFO queues.
+//!
+//! [`FifoQueue`] is a `VecDeque` wrapper that records arrival timestamps so
+//! that the simulator can account queueing delay per item (e.g. invocations
+//! buffered at the load balancer while the cluster scheduler spawns new
+//! instances, paper Fig 1 step ③).
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// An item waiting in a [`FifoQueue`] together with its arrival time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Queued<T> {
+    /// When the item entered the queue.
+    pub enqueued_at: SimTime,
+    /// The queued payload.
+    pub item: T,
+}
+
+/// A FIFO queue that tracks arrival times and high-watermark statistics.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::queue::FifoQueue;
+/// use simkit::time::SimTime;
+///
+/// let mut q = FifoQueue::new();
+/// q.push(SimTime::from_millis(1.0), "a");
+/// q.push(SimTime::from_millis(2.0), "b");
+/// let first = q.pop(SimTime::from_millis(5.0)).unwrap();
+/// assert_eq!(first.item, "a");
+/// assert_eq!(first.wait.as_millis(), 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoQueue<T> {
+    items: VecDeque<Queued<T>>,
+    max_len: usize,
+    total_enqueued: u64,
+}
+
+/// A dequeued item together with the time it spent waiting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dequeued<T> {
+    /// The item itself.
+    pub item: T,
+    /// When the item entered the queue.
+    pub enqueued_at: SimTime,
+    /// Time spent in the queue.
+    pub wait: SimTime,
+}
+
+impl<T> FifoQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        FifoQueue { items: VecDeque::new(), max_len: 0, total_enqueued: 0 }
+    }
+
+    /// Appends an item arriving at time `now`.
+    pub fn push(&mut self, now: SimTime, item: T) {
+        self.items.push_back(Queued { enqueued_at: now, item });
+        self.total_enqueued += 1;
+        self.max_len = self.max_len.max(self.items.len());
+    }
+
+    /// Removes the oldest item at time `now`, reporting its waiting time.
+    ///
+    /// Returns `None` if the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than the item's enqueue time (time moving
+    /// backwards indicates a simulator bug).
+    pub fn pop(&mut self, now: SimTime) -> Option<Dequeued<T>> {
+        self.items.pop_front().map(|q| {
+            assert!(now >= q.enqueued_at, "dequeue before enqueue");
+            Dequeued { wait: now - q.enqueued_at, enqueued_at: q.enqueued_at, item: q.item }
+        })
+    }
+
+    /// Looks at the oldest item without removing it.
+    pub fn peek(&self) -> Option<&Queued<T>> {
+        self.items.front()
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Largest length the queue has ever reached.
+    pub fn high_watermark(&self) -> usize {
+        self.max_len
+    }
+
+    /// Total number of items ever enqueued.
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+
+    /// Iterates over queued items from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Queued<T>> {
+        self.items.iter()
+    }
+
+    /// Removes and returns all items, oldest first.
+    pub fn drain(&mut self) -> Vec<Queued<T>> {
+        self.items.drain(..).collect()
+    }
+}
+
+impl<T> Default for FifoQueue<T> {
+    fn default() -> Self {
+        FifoQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_wait_times() {
+        let mut q = FifoQueue::new();
+        q.push(SimTime::from_millis(0.0), 1u32);
+        q.push(SimTime::from_millis(3.0), 2u32);
+        let a = q.pop(SimTime::from_millis(10.0)).unwrap();
+        assert_eq!(a.item, 1);
+        assert_eq!(a.wait, SimTime::from_millis(10.0));
+        let b = q.pop(SimTime::from_millis(10.0)).unwrap();
+        assert_eq!(b.item, 2);
+        assert_eq!(b.wait, SimTime::from_millis(7.0));
+        assert!(q.pop(SimTime::from_millis(11.0)).is_none());
+    }
+
+    #[test]
+    fn statistics_track_watermark_and_totals() {
+        let mut q = FifoQueue::new();
+        for i in 0..5 {
+            q.push(SimTime::from_millis(i as f64), i);
+        }
+        q.pop(SimTime::from_millis(5.0));
+        q.push(SimTime::from_millis(6.0), 99);
+        assert_eq!(q.high_watermark(), 5);
+        assert_eq!(q.total_enqueued(), 6);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn peek_and_drain() {
+        let mut q = FifoQueue::new();
+        q.push(SimTime::ZERO, "x");
+        q.push(SimTime::ZERO, "y");
+        assert_eq!(q.peek().unwrap().item, "x");
+        let all = q.drain();
+        assert_eq!(all.len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dequeue before enqueue")]
+    fn pop_in_past_panics() {
+        let mut q = FifoQueue::new();
+        q.push(SimTime::from_millis(5.0), ());
+        q.pop(SimTime::from_millis(1.0));
+    }
+}

@@ -1,0 +1,215 @@
+//! Rate limiting primitives in simulated time.
+//!
+//! Two primitives model throughput-limited services:
+//!
+//! * [`SerialServer`]: a single server that processes reservations one at a
+//!   time (back-to-back), used for dispatch loops that drain a burst at a
+//!   bounded rate (the load balancer's burst dispatch in the paper's §VI-D).
+//! * [`TokenBucket`]: a classic token bucket for sustained-rate limits with
+//!   burst capacity (the cluster scheduler's instance spawn rate).
+
+use crate::time::SimTime;
+
+/// A serial work-conserving server: each reservation occupies the server
+/// for its service time; reservations queue behind one another.
+///
+/// `reserve(now, service)` returns the interval `[start, end)` during which
+/// the reservation holds the server.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::ratelimit::SerialServer;
+/// use simkit::time::SimTime;
+///
+/// let mut s = SerialServer::new();
+/// let ms = SimTime::from_millis;
+/// let (start, end) = s.reserve(ms(0.0), ms(2.0));
+/// assert_eq!((start, end), (ms(0.0), ms(2.0)));
+/// // A second arrival at t=1ms queues behind the first:
+/// let (start, end) = s.reserve(ms(1.0), ms(2.0));
+/// assert_eq!((start, end), (ms(2.0), ms(4.0)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SerialServer {
+    busy_until: SimTime,
+    served: u64,
+}
+
+impl SerialServer {
+    /// Creates an idle server.
+    pub fn new() -> Self {
+        SerialServer::default()
+    }
+
+    /// Reserves the server for `service` starting no earlier than `now`.
+    /// Returns the `(start, end)` of the granted slot.
+    pub fn reserve(&mut self, now: SimTime, service: SimTime) -> (SimTime, SimTime) {
+        let start = now.max(self.busy_until);
+        let end = start + service;
+        self.busy_until = end;
+        self.served += 1;
+        (start, end)
+    }
+
+    /// Time at which the server next becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Number of reservations granted.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Queue depth implied for an arrival at `now`: how long it would wait.
+    pub fn wait_at(&self, now: SimTime) -> SimTime {
+        self.busy_until.saturating_sub(now)
+    }
+}
+
+/// A token bucket: capacity `burst` tokens, refilled at `rate_per_sec`.
+///
+/// `acquire_at` computes the earliest time at or after `now` when the
+/// requested tokens are available, and consumes them for that time.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::ratelimit::TokenBucket;
+/// use simkit::time::SimTime;
+///
+/// // 2 tokens of burst, 1 token/second refill.
+/// let mut tb = TokenBucket::new(2.0, 1.0);
+/// let t0 = SimTime::ZERO;
+/// assert_eq!(tb.acquire_at(t0, 1.0), t0);            // burst token
+/// assert_eq!(tb.acquire_at(t0, 1.0), t0);            // burst token
+/// let t = tb.acquire_at(t0, 1.0);                    // must wait for refill
+/// assert_eq!(t, SimTime::from_secs(1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    rate_per_sec: f64,
+    tokens: f64,
+    updated_at: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a full bucket with the given burst `capacity` and refill
+    /// `rate_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity <= 0` or `rate_per_sec <= 0`.
+    pub fn new(capacity: f64, rate_per_sec: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive: {capacity}");
+        assert!(rate_per_sec > 0.0, "rate must be positive: {rate_per_sec}");
+        TokenBucket { capacity, rate_per_sec, tokens: capacity, updated_at: SimTime::ZERO }
+    }
+
+    fn refill_to(&mut self, now: SimTime) {
+        if now > self.updated_at {
+            let dt = (now - self.updated_at).as_secs();
+            self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.capacity);
+            self.updated_at = now;
+        }
+    }
+
+    /// Earliest time at or after `now` when `tokens` can be consumed;
+    /// consumes them for that instant (virtual scheduling: the balance may
+    /// go negative, representing reservations of future refill).
+    ///
+    /// Multiple acquisitions at the same `now` are allowed and queue up at
+    /// the refill rate, which is what a burst of simultaneous spawn
+    /// requests needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens <= 0` or `now` precedes the last acquisition time.
+    pub fn acquire_at(&mut self, now: SimTime, tokens: f64) -> SimTime {
+        assert!(tokens > 0.0, "tokens must be positive: {tokens}");
+        assert!(now >= self.updated_at, "time went backwards in token bucket");
+        self.refill_to(now);
+        self.tokens -= tokens;
+        if self.tokens >= 0.0 {
+            return now;
+        }
+        let wait_secs = -self.tokens / self.rate_per_sec;
+        now + SimTime::from_secs(wait_secs)
+    }
+
+    /// Tokens currently available at time `now` (without consuming).
+    /// Negative values mean future refill is already reserved.
+    pub fn available_at(&mut self, now: SimTime) -> f64 {
+        self.refill_to(now);
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: fn(f64) -> SimTime = SimTime::from_millis;
+
+    #[test]
+    fn serial_server_queues_arrivals() {
+        let mut s = SerialServer::new();
+        let (a0, a1) = s.reserve(MS(0.0), MS(10.0));
+        let (b0, b1) = s.reserve(MS(0.0), MS(10.0));
+        let (c0, _c1) = s.reserve(MS(25.0), MS(10.0));
+        assert_eq!((a0, a1), (MS(0.0), MS(10.0)));
+        assert_eq!((b0, b1), (MS(10.0), MS(20.0)));
+        assert_eq!(c0, MS(25.0), "idle server starts immediately");
+        assert_eq!(s.served(), 3);
+    }
+
+    #[test]
+    fn serial_server_wait_at() {
+        let mut s = SerialServer::new();
+        s.reserve(MS(0.0), MS(10.0));
+        assert_eq!(s.wait_at(MS(4.0)), MS(6.0));
+        assert_eq!(s.wait_at(MS(50.0)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn token_bucket_burst_then_rate() {
+        let mut tb = TokenBucket::new(3.0, 10.0); // 3 burst, 10/s
+        let t0 = SimTime::ZERO;
+        assert_eq!(tb.acquire_at(t0, 1.0), t0);
+        assert_eq!(tb.acquire_at(t0, 1.0), t0);
+        assert_eq!(tb.acquire_at(t0, 1.0), t0);
+        // Fourth must wait 100ms for one token at 10/s.
+        assert_eq!(tb.acquire_at(t0, 1.0), MS(100.0));
+        // Fifth waits another 100ms.
+        assert_eq!(tb.acquire_at(MS(100.0), 1.0), MS(200.0));
+    }
+
+    #[test]
+    fn token_bucket_refills_up_to_capacity() {
+        let mut tb = TokenBucket::new(2.0, 1.0);
+        let t0 = SimTime::ZERO;
+        tb.acquire_at(t0, 2.0);
+        assert_eq!(tb.available_at(t0), 0.0);
+        // After 10s it refills but caps at capacity 2.
+        let later = SimTime::from_secs(10.0);
+        assert_eq!(tb.available_at(later), 2.0);
+    }
+
+    #[test]
+    fn token_bucket_fractional_tokens() {
+        let mut tb = TokenBucket::new(1.0, 2.0);
+        let t0 = SimTime::ZERO;
+        assert_eq!(tb.acquire_at(t0, 0.5), t0);
+        assert_eq!(tb.acquire_at(t0, 0.5), t0);
+        // Next 0.5 token takes 0.25s at 2 tokens/s.
+        assert_eq!(tb.acquire_at(t0, 0.5), SimTime::from_secs(0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn token_bucket_zero_capacity_panics() {
+        TokenBucket::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator requires bit-stable randomness across platforms, compiler
+//! versions and dependency upgrades, so this module implements its own small
+//! generator rather than depending on `rand`: [`Rng`] is
+//! [xoshiro256++](https://prng.di.unimi.it/) seeded through SplitMix64, the
+//! combination recommended by the xoshiro authors.
+//!
+//! Independent *streams* can be forked from a parent generator with
+//! [`Rng::fork`], which hashes a label into the child seed. Forked streams
+//! are used to give each simulated component (storage, scheduler, network…)
+//! its own decorrelated sequence so that adding draws in one component does
+//! not perturb another — essential for comparing experiments.
+
+/// SplitMix64 step; used for seeding and label hashing.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::rng::Rng;
+/// let mut rng = Rng::seed_from(7);
+/// let x = rng.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// // Same seed, same sequence:
+/// assert_eq!(Rng::seed_from(7).next_u64(), Rng::seed_from(7).next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // xoshiro must not be seeded with all zeros; splitmix64 of any seed
+        // cannot produce four zero words, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            Rng { s: [1, 2, 3, 4] }
+        } else {
+            Rng { s }
+        }
+    }
+
+    /// Forks an independent child stream identified by `label`.
+    ///
+    /// The child's seed mixes the parent's current state with a hash of the
+    /// label, so distinct labels produce decorrelated streams and the same
+    /// (parent seed, label) pair always produces the same child. Forking
+    /// does not advance the parent.
+    pub fn fork(&self, label: &str) -> Rng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mixed = self.s[0] ^ self.s[2] ^ h;
+        Rng::seed_from(mixed)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the open interval `(0, 1)`.
+    ///
+    /// Useful where a log of the variate is taken (never returns 0).
+    pub fn next_f64_open(&mut self) -> f64 {
+        loop {
+            let x = self.next_f64();
+            if x > 0.0 {
+                return x;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's unbiased method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire's multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "bad range [{lo}, {hi}]");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Picks a uniformly random element of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose from empty slice");
+        &slice[self.below(slice.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::seed_from(123);
+        let mut b = Rng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should be decorrelated");
+    }
+
+    #[test]
+    fn fork_is_stable_and_label_sensitive() {
+        let parent = Rng::seed_from(9);
+        let mut c1 = parent.fork("storage");
+        let mut c2 = parent.fork("storage");
+        let mut c3 = parent.fork("network");
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn fork_does_not_advance_parent() {
+        let mut a = Rng::seed_from(5);
+        let mut b = Rng::seed_from(5);
+        let _ = b.fork("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seed_from(42);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut rng = Rng::seed_from(42);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = Rng::seed_from(7);
+        let mut counts = [0u32; 5];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[rng.below(5) as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.2).abs() < 0.02, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn range_u64_inclusive() {
+        let mut rng = Rng::seed_from(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = rng.range_u64(2, 4);
+            assert!((2..=4).contains(&v));
+            seen_lo |= v == 2;
+            seen_hi |= v == 4;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = Rng::seed_from(11);
+        let hits = (0..100_000).filter(|_| rng.bernoulli(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = Rng::seed_from(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input in order");
+    }
+
+    #[test]
+    fn choose_uniformity() {
+        let mut rng = Rng::seed_from(2);
+        let items = [10, 20, 30];
+        let mut c = [0u32; 3];
+        for _ in 0..30_000 {
+            match rng.choose(&items) {
+                10 => c[0] += 1,
+                20 => c[1] += 1,
+                _ => c[2] += 1,
+            }
+        }
+        for &x in &c {
+            assert!((x as f64 / 30_000.0 - 1.0 / 3.0).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn below_zero_panics() {
+        Rng::seed_from(0).below(0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the simulation toolkit.
+
+use proptest::prelude::*;
+use simkit::dist::Dist;
+use simkit::engine::{Model, Scheduler, Simulation};
+use simkit::ratelimit::{SerialServer, TokenBucket};
+use simkit::rng::Rng;
+use simkit::time::SimTime;
+
+/// Records dispatch order for ordering properties.
+struct Recorder {
+    seen: Vec<(SimTime, u64)>,
+}
+
+impl Model for Recorder {
+    type Event = u64;
+    fn handle(&mut self, now: SimTime, event: u64, _sched: &mut Scheduler<u64>) {
+        self.seen.push((now, event));
+    }
+}
+
+proptest! {
+    /// Events dispatch in non-decreasing time order, with FIFO tie-breaks,
+    /// for any schedule.
+    #[test]
+    fn engine_dispatch_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Simulation::new(Recorder { seen: Vec::new() });
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_nanos(t), i as u64);
+        }
+        sim.run();
+        let seen = &sim.model().seen;
+        prop_assert_eq!(seen.len(), times.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0, "time order violated");
+            if w[1].0 == w[0].0 {
+                prop_assert!(w[1].1 > w[0].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// run_until splits a run without changing what gets processed.
+    #[test]
+    fn engine_run_until_is_prefix_stable(
+        times in prop::collection::vec(0u64..1_000_000, 1..100),
+        split in 0u64..1_000_000,
+    ) {
+        let schedule = |sim: &mut Simulation<Recorder>| {
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_nanos(t), i as u64);
+            }
+        };
+        let mut whole = Simulation::new(Recorder { seen: Vec::new() });
+        schedule(&mut whole);
+        whole.run();
+
+        let mut parts = Simulation::new(Recorder { seen: Vec::new() });
+        schedule(&mut parts);
+        parts.run_until(SimTime::from_nanos(split));
+        parts.run();
+        prop_assert_eq!(&whole.model().seen, &parts.model().seen);
+    }
+
+    /// Samples never go negative, and the empirical median of a shifted
+    /// lognormal brackets its analytic median.
+    #[test]
+    fn dist_samples_nonnegative(seed in any::<u64>(), median in 1.0f64..1000.0, ratio in 1.0f64..20.0) {
+        let d = Dist::lognormal_median_p99(median, median * ratio);
+        let mut rng = Rng::seed_from(seed);
+        let mut values: Vec<f64> = (0..400).map(|_| d.sample(&mut rng)).collect();
+        prop_assert!(values.iter().all(|&v| v >= 0.0));
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let emp_median = values[200];
+        // 400 samples: generous band around the analytic median.
+        prop_assert!(emp_median > median * 0.5 && emp_median < median * 2.0,
+            "median {median} vs empirical {emp_median}");
+    }
+
+    /// Mixture sampling respects the support of its components.
+    #[test]
+    fn mixture_support(seed in any::<u64>(), a in 0.1f64..10.0, b in 20.0f64..100.0, p in 0.0f64..1.0) {
+        let d = Dist::bimodal(Dist::constant(a), Dist::constant(b), p);
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x == a || x == b);
+        }
+    }
+
+    /// Forked RNG streams are independent of fork order and label-stable.
+    #[test]
+    fn rng_fork_stability(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let parent = Rng::seed_from(seed);
+        let mut c1 = parent.fork(&label);
+        let mut c2 = parent.fork(&label);
+        prop_assert_eq!(c1.next_u64(), c2.next_u64());
+    }
+
+    /// below(n) stays in range for any n.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// Token bucket grants are monotone for monotone request times.
+    #[test]
+    fn token_bucket_monotone_grants(
+        capacity in 1.0f64..50.0,
+        rate in 0.5f64..100.0,
+        gaps in prop::collection::vec(0u64..2_000_000_000, 1..50),
+    ) {
+        let mut tb = TokenBucket::new(capacity, rate);
+        let mut now = SimTime::ZERO;
+        let mut last_grant = SimTime::ZERO;
+        for gap in gaps {
+            now += SimTime::from_nanos(gap);
+            let grant = tb.acquire_at(now, 1.0);
+            prop_assert!(grant >= now);
+            prop_assert!(grant >= last_grant, "grants must be monotone");
+            last_grant = grant;
+        }
+    }
+
+    /// A serial server is work-conserving: total busy time equals the sum
+    /// of service times when requests arrive together.
+    #[test]
+    fn serial_server_work_conserving(services in prop::collection::vec(1u64..1_000_000, 1..50)) {
+        let mut server = SerialServer::new();
+        let mut expected_end = SimTime::ZERO;
+        for &s in &services {
+            let (_, end) = server.reserve(SimTime::ZERO, SimTime::from_nanos(s));
+            expected_end += SimTime::from_nanos(s);
+            prop_assert_eq!(end, expected_end);
+        }
+    }
+
+    /// SimTime add/sub round-trips.
+    #[test]
+    fn simtime_arithmetic_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let ta = SimTime::from_nanos(a);
+        let tb = SimTime::from_nanos(b);
+        prop_assert_eq!((ta + tb) - tb, ta);
+        prop_assert_eq!((ta + tb).saturating_sub(ta + tb), SimTime::ZERO);
+        prop_assert_eq!(ta.max(tb).min(ta.max(tb)), ta.max(tb));
+    }
+
+    /// Validated distributions always sample without panicking.
+    #[test]
+    fn valid_dists_sample(seed in any::<u64>(), kind in 0usize..6, p1 in 0.1f64..100.0, p2 in 0.1f64..100.0) {
+        let d = match kind {
+            0 => Dist::constant(p1),
+            1 => Dist::Uniform { lo: p1.min(p2), hi: p1.max(p2) },
+            2 => Dist::Exponential { mean: p1 },
+            3 => Dist::LogNormal { mu: p1.ln(), sigma: p2 / 100.0 },
+            4 => Dist::Weibull { scale: p1, shape: (p2 / 20.0).max(0.2) },
+            _ => Dist::Gamma { shape: (p1 / 10.0).max(0.1), scale: p2 },
+        };
+        prop_assert!(d.validate().is_ok());
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..16 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Bootstrap confidence intervals.
+//!
+//! Percentile-bootstrap intervals quantify how much a reported median or
+//! p99 could move under resampling — used in `EXPERIMENTS.md` to report
+//! uncertainty next to paper-vs-measured comparisons.
+
+use simkit::rng::Rng;
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// Draws `resamples` bootstrap resamples of `samples`, applies `statistic`
+/// to each, and returns the `[alpha/2, 1-alpha/2]` percentile interval.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, `resamples == 0`, or `alpha` is outside
+/// `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use stats::bootstrap::bootstrap_ci;
+/// use stats::percentile::median;
+/// let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+/// let ci = bootstrap_ci(&xs, median, 500, 0.05, 42);
+/// assert!(ci.contains(50.5));
+/// ```
+pub fn bootstrap_ci<F>(
+    samples: &[f64],
+    statistic: F,
+    resamples: usize,
+    alpha: f64,
+    seed: u64,
+) -> ConfidenceInterval
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!samples.is_empty(), "bootstrap of empty sample set");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha out of range: {alpha}");
+    let mut rng = Rng::seed_from(seed);
+    let estimate = statistic(samples);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; samples.len()];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = samples[rng.below(samples.len() as u64) as usize];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN bootstrap statistic"));
+    let lo = crate::percentile::sorted_percentile(&stats, alpha / 2.0);
+    let hi = crate::percentile::sorted_percentile(&stats, 1.0 - alpha / 2.0);
+    ConfidenceInterval { lo, estimate, hi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::percentile::{median, p99};
+
+    #[test]
+    fn median_ci_brackets_truth() {
+        let xs: Vec<f64> = (1..=1000).map(f64::from).collect();
+        let ci = bootstrap_ci(&xs, median, 300, 0.05, 1);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.contains(500.5));
+        assert!(ci.width() < 100.0);
+    }
+
+    #[test]
+    fn constant_data_gives_degenerate_interval() {
+        let xs = vec![7.0; 50];
+        let ci = bootstrap_ci(&xs, median, 100, 0.05, 2);
+        assert_eq!((ci.lo, ci.estimate, ci.hi), (7.0, 7.0, 7.0));
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn p99_interval_is_wider_than_median_interval() {
+        // Heavy-tailed data: the p99 estimator is far noisier than the median.
+        let mut rng = Rng::seed_from(3);
+        let xs: Vec<f64> = (0..2000).map(|_| (-rng.next_f64_open().ln()).powi(3) * 100.0).collect();
+        let m = bootstrap_ci(&xs, median, 200, 0.05, 4);
+        let t = bootstrap_ci(&xs, p99, 200, 0.05, 4);
+        assert!(t.width() > m.width());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let a = bootstrap_ci(&xs, median, 100, 0.05, 9);
+        let b = bootstrap_ci(&xs, median, 100, 0.05, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        bootstrap_ci(&[], median, 10, 0.05, 0);
+    }
+}

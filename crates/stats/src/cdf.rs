@@ -1,0 +1,201 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's latency figures are CDF plots; [`Cdf`] provides evaluation,
+//! quantiles, down-sampling to plot points, and an ASCII rendering used by
+//! the benchmark harness output and `EXPERIMENTS.md` appendices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::percentile::{sort_samples, sorted_percentile};
+
+/// An empirical CDF over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use stats::Cdf;
+/// let cdf = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.eval(2.0), 0.5);
+/// assert_eq!(cdf.quantile(0.5), 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn from_samples(samples: &[f64]) -> Cdf {
+        assert!(!samples.is_empty(), "CDF of empty sample set");
+        let mut sorted = samples.to_vec();
+        sort_samples(&mut sorted);
+        Cdf { sorted }
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether there are no samples (never true for a constructed `Cdf`).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of samples <= x on a sorted vec.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Interpolated `q`-quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        sorted_percentile(&self.sorted, q)
+    }
+
+    /// Down-samples to `n` evenly spaced `(value, cumulative_prob)` points
+    /// suitable for plotting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two plot points");
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1) as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+
+    /// Renders an ASCII plot of the CDF, `width` columns by `height` rows,
+    /// with the x-axis spanning `[min, max]` of the samples (log-scaled if
+    /// `log_x` and all samples are positive).
+    pub fn render_ascii(&self, width: usize, height: usize, log_x: bool) -> String {
+        let width = width.max(16);
+        let height = height.max(4);
+        let min = self.sorted[0];
+        let max = self.sorted[self.sorted.len() - 1];
+        let use_log = log_x && min > 0.0 && max > min;
+        let to_axis = |x: f64| -> f64 {
+            if use_log {
+                x.ln()
+            } else {
+                x
+            }
+        };
+        let (amin, amax) = (to_axis(min), to_axis(max));
+        let span = if amax > amin { amax - amin } else { 1.0 };
+        let mut grid = vec![vec![' '; width]; height];
+        #[allow(clippy::needless_range_loop)] // col drives both the x-axis math and the grid index
+        for col in 0..width {
+            let ax = amin + span * col as f64 / (width - 1) as f64;
+            let x = if use_log { ax.exp() } else { ax };
+            let p = self.eval(x);
+            let row = ((1.0 - p) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = '*';
+        }
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                "1.0 |"
+            } else if i == height - 1 {
+                "0.0 |"
+            } else {
+                "    |"
+            };
+            out.push_str(label);
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "     x: [{:.3}, {:.3}]{}\n",
+            min,
+            max,
+            if use_log { " (log scale)" } else { "" }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_step_function() {
+        let cdf = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.5), 0.5);
+        assert_eq!(cdf.eval(4.0), 1.0);
+        assert_eq!(cdf.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn eval_handles_duplicates() {
+        let cdf = Cdf::from_samples(&[1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(cdf.eval(1.0), 0.75);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let cdf = Cdf::from_samples(&[10.0, 20.0]);
+        assert_eq!(cdf.quantile(0.5), 15.0);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let samples: Vec<f64> = (0..100).map(|i| (i as f64).powi(2)).collect();
+        let cdf = Cdf::from_samples(&samples);
+        let pts = cdf.points(11);
+        assert_eq!(pts.len(), 11);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(pts[0].1, 0.0);
+        assert_eq!(pts[10].1, 1.0);
+    }
+
+    #[test]
+    fn ascii_render_has_expected_shape() {
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let cdf = Cdf::from_samples(&samples);
+        let art = cdf.render_ascii(40, 10, false);
+        assert!(art.contains("1.0 |"));
+        assert!(art.contains("0.0 |"));
+        assert!(art.lines().count() >= 10);
+        let log_art = cdf.render_ascii(40, 10, true);
+        assert!(log_art.contains("log scale"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cdf = Cdf::from_samples(&[3.0, 1.0, 2.0]);
+        let json = serde_json::to_string(&cdf).unwrap();
+        let back: Cdf = serde_json::from_str(&json).unwrap();
+        assert_eq!(cdf, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        Cdf::from_samples(&[]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Log-spaced histograms.
+//!
+//! Latencies in serverless systems span four orders of magnitude (tens of
+//! milliseconds warm to tens of seconds queued-cold), so the natural bin
+//! layout is logarithmic.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with logarithmically spaced bins over `[lo, hi)` plus
+/// underflow/overflow buckets.
+///
+/// # Examples
+///
+/// ```
+/// use stats::histogram::LogHistogram;
+/// let mut h = LogHistogram::new(1.0, 1000.0, 3);
+/// h.record(5.0);
+/// h.record(50.0);
+/// h.record(500.0);
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.counts(), &[1, 1, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram with `bins` log-spaced bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `hi <= lo`, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> LogHistogram {
+        assert!(lo > 0.0, "log histogram needs positive lower bound");
+        assert!(hi > lo, "hi must exceed lo");
+        assert!(bins > 0, "need at least one bin");
+        LogHistogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (value / self.lo).ln() / (self.hi / self.lo).ln();
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Records many values.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Per-bin counts (excluding under/overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count below the lower bound.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded values including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(lo, hi)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin {i} out of range");
+        let k = self.counts.len() as f64;
+        let ratio = self.hi / self.lo;
+        let lo = self.lo * ratio.powf(i as f64 / k);
+        let hi = self.lo * ratio.powf((i + 1) as f64 / k);
+        (lo, hi)
+    }
+
+    /// Renders the histogram as ASCII bars with bin ranges.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.max(10);
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat((c as f64 / max as f64 * width as f64).round() as usize);
+            out.push_str(&format!("[{lo:>10.2}, {hi:>10.2}) {c:>7} {bar}\n"));
+        }
+        if self.underflow > 0 {
+            out.push_str(&format!("underflow: {}\n", self.underflow));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("overflow: {}\n", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decade_bins_land_correctly() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3);
+        h.record(2.0); // decade [1,10)
+        h.record(20.0); // [10,100)
+        h.record(200.0); // [100,1000)
+        assert_eq!(h.counts(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = LogHistogram::new(10.0, 100.0, 2);
+        h.record(1.0);
+        h.record(100.0);
+        h.record(1e9);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2);
+        h.record(1.0); // exactly lo -> first bin
+        h.record(10.0); // edge between bins -> second bin
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 1);
+    }
+
+    #[test]
+    fn bin_edges_are_logarithmic() {
+        let h = LogHistogram::new(1.0, 1000.0, 3);
+        let (lo, hi) = h.bin_edges(1);
+        assert!((lo - 10.0).abs() < 1e-9);
+        assert!((hi - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_all_and_render() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3);
+        h.record_all([2.0, 3.0, 30.0]);
+        let art = h.render_ascii(20);
+        assert!(art.contains('#'));
+        assert_eq!(art.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lower bound")]
+    fn zero_lo_panics() {
+        LogHistogram::new(0.0, 10.0, 2);
+    }
+}

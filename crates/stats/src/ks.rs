@@ -1,0 +1,118 @@
+//! Two-sample Kolmogorov–Smirnov distance.
+//!
+//! Calibration tests compare simulated latency distributions against
+//! target shapes; the KS distance gives a scale-free measure of agreement.
+
+use crate::percentile::sort_samples;
+
+/// The two-sample KS statistic: the supremum of the absolute difference
+/// between the two empirical CDFs.
+///
+/// # Panics
+///
+/// Panics if either sample set is empty or contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// use stats::ks::ks_statistic;
+/// let a = [1.0, 2.0, 3.0];
+/// let b = [1.0, 2.0, 3.0];
+/// assert_eq!(ks_statistic(&a, &b), 0.0);
+/// ```
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS of empty sample set");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sort_samples(&mut sa);
+    sort_samples(&mut sb);
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let xa = sa[i];
+        let xb = sb[j];
+        if xa <= xb {
+            i += 1;
+        }
+        if xb <= xa {
+            j += 1;
+        }
+        let fa = i as f64 / na;
+        let fb = j as f64 / nb;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Approximate critical KS distance at significance `alpha` for sample
+/// sizes `na`, `nb` (asymptotic formula).
+///
+/// # Panics
+///
+/// Panics if sample sizes are zero or `alpha` is outside `(0, 1)`.
+pub fn ks_critical(na: usize, nb: usize, alpha: f64) -> f64 {
+    assert!(na > 0 && nb > 0, "sample sizes must be positive");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha out of range: {alpha}");
+    let c = (-0.5 * (alpha / 2.0).ln()).sqrt();
+    let n = (na as f64 * nb as f64) / (na as f64 + nb as f64);
+    c / n.sqrt()
+}
+
+/// Whether the two samples are consistent with a common distribution at
+/// significance `alpha` (true = cannot reject).
+pub fn ks_consistent(a: &[f64], b: &[f64], alpha: f64) -> bool {
+    ks_statistic(a, b) <= ks_critical(a.len(), b.len(), alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::dist::Dist;
+    use simkit::rng::Rng;
+
+    fn draw(d: &Dist, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::seed_from(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = [3.0, 1.0, 2.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        assert_eq!(ks_statistic(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn same_distribution_is_consistent() {
+        let d = Dist::LogNormal { mu: 1.0, sigma: 0.5 };
+        let a = draw(&d, 2000, 1);
+        let b = draw(&d, 2000, 2);
+        assert!(ks_consistent(&a, &b, 0.01), "ks = {}", ks_statistic(&a, &b));
+    }
+
+    #[test]
+    fn different_distributions_are_detected() {
+        let a = draw(&Dist::LogNormal { mu: 1.0, sigma: 0.5 }, 2000, 1);
+        let b = draw(&Dist::LogNormal { mu: 1.5, sigma: 0.5 }, 2000, 2);
+        assert!(!ks_consistent(&a, &b, 0.01));
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_samples() {
+        assert!(ks_critical(100, 100, 0.05) > ks_critical(10_000, 10_000, 0.05));
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let a = [1.0, 5.0, 9.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert_eq!(ks_statistic(&a, &b), ks_statistic(&b, &a));
+    }
+}

@@ -1,0 +1,167 @@
+//! The paper's normalised tail-latency metrics.
+//!
+//! §V defines three metrics used throughout the evaluation and in Table I:
+//!
+//! * **TMR** (tail-to-median ratio): p99 of a distribution normalised to
+//!   its own median — a per-experiment predictability measure;
+//! * **MR** (*median to base median ratio*): the median latency of a
+//!   factor experiment normalised to the median latency of an individual
+//!   warm invocation on the same provider;
+//! * **TR** (*tail to base median ratio*): the p99 of a factor experiment
+//!   normalised to the same warm-invocation base median.
+//!
+//! The paper flags MR or TR above 10 as potentially problematic.
+
+use crate::percentile::{median, p99};
+
+/// Threshold above which the paper considers MR/TR/TMR problematic.
+pub const PROBLEMATIC_THRESHOLD: f64 = 10.0;
+
+/// Tail-to-median ratio of one sample set.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use stats::metrics::tmr;
+/// let mut xs = vec![10.0; 95];
+/// xs.extend(std::iter::repeat(1000.0).take(5));
+/// assert!(tmr(&xs) > 10.0);
+/// ```
+pub fn tmr(samples: &[f64]) -> f64 {
+    ratio(p99(samples), median(samples))
+}
+
+/// MR: median of `factor_samples` over the median of `base_samples`
+/// (the provider's individual warm invocations).
+///
+/// # Panics
+///
+/// Panics if either sample set is empty.
+pub fn median_ratio(factor_samples: &[f64], base_samples: &[f64]) -> f64 {
+    ratio(median(factor_samples), median(base_samples))
+}
+
+/// TR: p99 of `factor_samples` over the median of `base_samples`.
+///
+/// # Panics
+///
+/// Panics if either sample set is empty.
+pub fn tail_ratio(factor_samples: &[f64], base_samples: &[f64]) -> f64 {
+    ratio(p99(factor_samples), median(base_samples))
+}
+
+/// One row of the paper's Table I for a single provider: a factor's MR and
+/// TR against the warm-invocation base.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorRatios {
+    /// Median-to-base-median ratio.
+    pub mr: f64,
+    /// Tail-to-base-median ratio.
+    pub tr: f64,
+}
+
+impl FactorRatios {
+    /// Computes MR and TR for `factor_samples` against `base_samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sample set is empty.
+    pub fn compute(factor_samples: &[f64], base_samples: &[f64]) -> FactorRatios {
+        FactorRatios {
+            mr: median_ratio(factor_samples, base_samples),
+            tr: tail_ratio(factor_samples, base_samples),
+        }
+    }
+
+    /// Computes MR and TR after subtracting a constant from every factor
+    /// sample — Table I footnote 7 subtracts the 1 s execution time in the
+    /// "Bursty long" row so only infrastructure and queueing delays remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sample set is empty.
+    pub fn compute_minus_exec(
+        factor_samples: &[f64],
+        base_samples: &[f64],
+        exec_ms: f64,
+    ) -> FactorRatios {
+        let adjusted: Vec<f64> =
+            factor_samples.iter().map(|&x| (x - exec_ms).max(0.0)).collect();
+        FactorRatios::compute(&adjusted, base_samples)
+    }
+
+    /// Whether either ratio crosses the paper's problematic threshold
+    /// (highlighted red in Table I).
+    pub fn is_problematic(&self) -> bool {
+        self.mr > PROBLEMATIC_THRESHOLD || self.tr > PROBLEMATIC_THRESHOLD
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tmr_of_flat_distribution_is_one() {
+        assert_eq!(tmr(&[5.0; 100]), 1.0);
+    }
+
+    #[test]
+    fn mr_tr_against_base() {
+        let base = vec![10.0; 100]; // warm median 10
+        let mut factor = vec![100.0; 95]; // factor median 100
+        factor.extend(std::iter::repeat_n(2000.0, 5)); // p99 in straggler mode
+        let r = FactorRatios::compute(&factor, &base);
+        assert_eq!(r.mr, 10.0);
+        assert!(r.tr > 100.0);
+        assert!(r.is_problematic());
+    }
+
+    #[test]
+    fn non_problematic_factor() {
+        let base = vec![10.0; 100];
+        let factor = vec![20.0; 100];
+        let r = FactorRatios::compute(&factor, &base);
+        assert_eq!(r.mr, 2.0);
+        assert_eq!(r.tr, 2.0);
+        assert!(!r.is_problematic());
+    }
+
+    #[test]
+    fn exec_subtraction_matches_footnote() {
+        let base = vec![10.0; 100];
+        // 1s execution + 100ms infra per request.
+        let factor = vec![1100.0; 100];
+        let r = FactorRatios::compute_minus_exec(&factor, &base, 1000.0);
+        assert_eq!(r.mr, 10.0);
+        assert_eq!(r.tr, 10.0);
+    }
+
+    #[test]
+    fn exec_subtraction_clamps_at_zero() {
+        let base = vec![10.0; 10];
+        let factor = vec![500.0; 10];
+        let r = FactorRatios::compute_minus_exec(&factor, &base, 1000.0);
+        assert_eq!(r.mr, 0.0);
+    }
+
+    #[test]
+    fn zero_base_median_is_infinite() {
+        let base = vec![0.0; 10];
+        let factor = vec![1.0; 10];
+        assert!(median_ratio(&factor, &base).is_infinite());
+        assert!(tail_ratio(&factor, &base).is_infinite());
+    }
+}

@@ -1,0 +1,142 @@
+//! Interpolated percentiles.
+//!
+//! Percentiles use the linear-interpolation definition (type 7 in the
+//! Hyndman–Fan taxonomy, the default of R and NumPy): for `n` sorted
+//! samples the `q`-quantile sits at rank `(n-1)·q`, interpolating between
+//! neighbouring order statistics.
+
+/// Returns the `q`-quantile (`0.0 ..= 1.0`) of `samples`.
+///
+/// The input does not need to be sorted; a sorted copy is made internally.
+/// For repeated queries over the same data prefer [`sorted_percentile`]
+/// with a pre-sorted slice.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, `q` is outside `[0, 1]`, or any sample is
+/// NaN.
+///
+/// # Examples
+///
+/// ```
+/// use stats::percentile::percentile;
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(percentile(&xs, 0.5), 2.5);
+/// assert_eq!(percentile(&xs, 0.0), 1.0);
+/// assert_eq!(percentile(&xs, 1.0), 4.0);
+/// ```
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sort_samples(&mut sorted);
+    sorted_percentile(&sorted, q)
+}
+
+/// [`percentile`] over an already-sorted ascending slice (no allocation).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`. Debug builds
+/// additionally assert that the slice is sorted.
+pub fn sorted_percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = (n - 1) as f64 * q;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (the 0.5 quantile).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn median(samples: &[f64]) -> f64 {
+    percentile(samples, 0.5)
+}
+
+/// 99th percentile — the paper's "tail latency".
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn p99(samples: &[f64]) -> f64 {
+    percentile(samples, 0.99)
+}
+
+/// Sorts samples ascending, panicking on NaN.
+///
+/// # Panics
+///
+/// Panics if any sample is NaN.
+pub fn sort_samples(samples: &mut [f64]) {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample() {
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+        assert_eq!(percentile(&[7.0], 1.0), 7.0);
+    }
+
+    #[test]
+    fn interpolation_matches_numpy() {
+        // numpy.percentile([1,2,3,4], [25, 50, 75]) -> [1.75, 2.5, 3.25]
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.25), 1.75);
+        assert_eq!(percentile(&xs, 0.50), 2.5);
+        assert_eq!(percentile(&xs, 0.75), 3.25);
+    }
+
+    #[test]
+    fn odd_length_median_is_exact() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn p99_of_uniform_ladder() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        // rank = 99*0.99 = 98.01 -> between 99 and 100
+        let v = p99(&xs);
+        assert!((v - 99.01).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(median(&xs), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        percentile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_quantile_panics() {
+        percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        percentile(&[1.0, f64::NAN], 0.5);
+    }
+}

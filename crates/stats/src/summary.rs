@@ -1,0 +1,186 @@
+//! One-struct latency summaries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::percentile::{sort_samples, sorted_percentile};
+
+/// Summary statistics of a latency sample set, in the units of the input
+/// (the STeLLAR reproduction uses milliseconds throughout).
+///
+/// `tail` is the 99th percentile and `tmr` the tail-to-median ratio, the
+/// paper's predictability metric (§V): a TMR above 10 is considered
+/// "potentially problematic".
+///
+/// # Examples
+///
+/// ```
+/// use stats::Summary;
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.median, 3.0);
+/// assert!(s.tmr > 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile — the paper's "tail latency".
+    pub tail: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Tail-to-median ratio (p99 / median).
+    pub tmr: f64,
+}
+
+impl Summary {
+    /// Computes a summary from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn from_samples(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "summary of empty sample set");
+        let mut sorted = samples.to_vec();
+        sort_samples(&mut sorted);
+        Summary::from_sorted(&sorted)
+    }
+
+    /// Computes a summary from an ascending-sorted slice (no allocation
+    /// beyond the struct).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sorted` is empty.
+    pub fn from_sorted(sorted: &[f64]) -> Summary {
+        assert!(!sorted.is_empty(), "summary of empty sample set");
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let q = |p: f64| sorted_percentile(sorted, p);
+        let median = q(0.5);
+        let tail = q(0.99);
+        Summary {
+            count: n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p25: q(0.25),
+            median,
+            p75: q(0.75),
+            p90: q(0.90),
+            p95: q(0.95),
+            tail,
+            p999: q(0.999),
+            tmr: if median > 0.0 { tail / median } else { f64::INFINITY },
+        }
+    }
+
+    /// Whether the paper would flag this distribution as having
+    /// problematic variability (TMR > 10, §V).
+    pub fn is_tail_problematic(&self) -> bool {
+        self.tmr > 10.0
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} median={:.2} p99={:.2} tmr={:.2} mean={:.2} min={:.2} max={:.2}",
+            self.count, self.median, self.tail, self.tmr, self.mean, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std - 2.138).abs() < 0.001);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn single_sample_degenerate() {
+        let s = Summary::from_samples(&[3.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.tail, 3.0);
+        assert_eq!(s.tmr, 1.0);
+    }
+
+    #[test]
+    fn tmr_flags_heavy_tail() {
+        // 5% stragglers so the interpolated p99 lands inside the slow mode.
+        let mut xs = vec![10.0; 95];
+        xs.extend(std::iter::repeat_n(500.0, 5));
+        let s = Summary::from_samples(&xs);
+        assert!(s.tmr > 10.0);
+        assert!(s.is_tail_problematic());
+        let flat = Summary::from_samples(&vec![10.0; 100]);
+        assert_eq!(flat.tmr, 1.0);
+        assert!(!flat.is_tail_problematic());
+    }
+
+    #[test]
+    fn zero_median_gives_infinite_tmr() {
+        let s = Summary::from_samples(&[0.0, 0.0, 0.0, 1.0]);
+        assert!(s.tmr.is_infinite());
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("median=2.00"));
+        assert!(text.contains("n=3"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Summary = serde_json::from_str(&json).unwrap();
+        // JSON float text may differ in the last ulp; compare key fields.
+        assert_eq!(s.count, back.count);
+        assert_eq!(s.median, back.median);
+        assert_eq!(s.tail, back.tail);
+        assert!((s.p999 - back.p999).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        Summary::from_samples(&[]);
+    }
+}

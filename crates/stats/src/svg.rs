@@ -1,0 +1,433 @@
+//! Minimal SVG plotting: CDF line charts in the style of the paper's
+//! figures (latency on a log x-axis, cumulative probability on y).
+//!
+//! No plotting dependency is used; the output is plain SVG 1.1 markup
+//! suitable for embedding in docs or opening in a browser.
+
+use crate::cdf::Cdf;
+
+/// A named curve on a CDF plot.
+#[derive(Debug, Clone)]
+pub struct SvgSeries {
+    /// Legend label.
+    pub label: String,
+    /// Samples the CDF is built from.
+    pub samples: Vec<f64>,
+}
+
+impl SvgSeries {
+    /// Creates a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn new<S: Into<String>>(label: S, samples: Vec<f64>) -> SvgSeries {
+        assert!(!samples.is_empty(), "SVG series needs samples");
+        SvgSeries { label: label.into(), samples }
+    }
+}
+
+/// Plot configuration.
+#[derive(Debug, Clone)]
+pub struct SvgPlot {
+    /// Title rendered above the axes.
+    pub title: String,
+    /// X-axis label (e.g. "latency (ms)").
+    pub x_label: String,
+    /// Logarithmic x-axis (the paper's Figs 6–7 are log-log; CDF figures
+    /// use linear or log x).
+    pub log_x: bool,
+    /// Canvas width, px.
+    pub width: u32,
+    /// Canvas height, px.
+    pub height: u32,
+}
+
+impl SvgPlot {
+    /// A 640×400 CDF plot with a log x-axis.
+    pub fn cdf<S: Into<String>>(title: S) -> SvgPlot {
+        SvgPlot {
+            title: title.into(),
+            x_label: "latency (ms)".to_string(),
+            log_x: true,
+            width: 640,
+            height: 400,
+        }
+    }
+
+    /// Renders the CDFs of `series` as SVG markup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is empty.
+    pub fn render(&self, series: &[SvgSeries]) -> String {
+        assert!(!series.is_empty(), "plot needs at least one series");
+        const COLORS: [&str; 6] =
+            ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+        let margin_l = 60.0;
+        let margin_r = 20.0;
+        let margin_t = 36.0;
+        let margin_b = 48.0;
+        let plot_w = self.width as f64 - margin_l - margin_r;
+        let plot_h = self.height as f64 - margin_t - margin_b;
+
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        for s in series {
+            for &v in &s.samples {
+                min_x = min_x.min(v);
+                max_x = max_x.max(v);
+            }
+        }
+        let use_log = self.log_x && min_x > 0.0 && max_x > min_x;
+        let to_axis = |x: f64| if use_log { x.ln() } else { x };
+        let (amin, amax) = (to_axis(min_x), to_axis(max_x));
+        let span = if amax > amin { amax - amin } else { 1.0 };
+        let sx = |x: f64| margin_l + (to_axis(x) - amin) / span * plot_w;
+        let sy = |p: f64| margin_t + (1.0 - p) * plot_h;
+
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#,
+            w = self.width,
+            h = self.height
+        ));
+        svg.push_str(&format!(
+            r#"<rect width="{}" height="{}" fill="white"/>"#,
+            self.width, self.height
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{}" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">{}</text>"#,
+            self.width / 2,
+            escape(&self.title)
+        ));
+
+        // Axes and grid lines at each y decile.
+        svg.push_str(&format!(
+            r#"<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>"#,
+            x0 = margin_l,
+            y0 = margin_t,
+            y1 = margin_t + plot_h
+        ));
+        svg.push_str(&format!(
+            r#"<line x1="{x0}" y1="{y1}" x2="{x1}" y2="{y1}" stroke="black"/>"#,
+            x0 = margin_l,
+            x1 = margin_l + plot_w,
+            y1 = margin_t + plot_h
+        ));
+        for decile in 0..=10 {
+            let p = decile as f64 / 10.0;
+            let y = sy(p);
+            svg.push_str(&format!(
+                r##"<line x1="{x0}" y1="{y}" x2="{x1}" y2="{y}" stroke="#dddddd"/>"##,
+                x0 = margin_l,
+                x1 = margin_l + plot_w,
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{x}" y="{ty}" font-family="sans-serif" font-size="10" text-anchor="end">{p:.1}</text>"#,
+                x = margin_l - 6.0,
+                ty = y + 3.0,
+            ));
+        }
+        // X tick labels at min / mid / max.
+        for (frac, value) in [(0.0, min_x), (0.5, inv_axis(amin + span / 2.0, use_log)), (1.0, max_x)] {
+            svg.push_str(&format!(
+                r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="10" text-anchor="middle">{value:.1}</text>"#,
+                x = margin_l + frac * plot_w,
+                y = margin_t + plot_h + 16.0,
+            ));
+        }
+        svg.push_str(&format!(
+            r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="12" text-anchor="middle">{label}{log}</text>"#,
+            x = margin_l + plot_w / 2.0,
+            y = margin_t + plot_h + 36.0,
+            label = escape(&self.x_label),
+            log = if use_log { " (log scale)" } else { "" },
+        ));
+
+        // Series polylines + legend.
+        for (i, s) in series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let cdf = Cdf::from_samples(&s.samples);
+            let points: Vec<String> = cdf
+                .points(120)
+                .into_iter()
+                .map(|(x, p)| format!("{:.2},{:.2}", sx(x), sy(p)))
+                .collect();
+            svg.push_str(&format!(
+                r#"<polyline fill="none" stroke="{color}" stroke-width="1.8" points="{}"/>"#,
+                points.join(" ")
+            ));
+            let ly = margin_t + 14.0 * i as f64 + 10.0;
+            svg.push_str(&format!(
+                r#"<line x1="{x0}" y1="{ly}" x2="{x1}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                x0 = margin_l + 8.0,
+                x1 = margin_l + 28.0,
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{x}" y="{ty}" font-family="sans-serif" font-size="11">{label}</text>"#,
+                x = margin_l + 34.0,
+                ty = ly + 4.0,
+                label = escape(&s.label),
+            ));
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+/// A named polyline for [`SvgLineChart`]: `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct SvgLine {
+    /// Legend label.
+    pub label: String,
+    /// Points, in ascending x order.
+    pub points: Vec<(f64, f64)>,
+    /// Dashed stroke (the paper uses dashes for tails).
+    pub dashed: bool,
+}
+
+impl SvgLine {
+    /// Creates a solid line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn new<S: Into<String>>(label: S, points: Vec<(f64, f64)>) -> SvgLine {
+        assert!(!points.is_empty(), "SVG line needs points");
+        SvgLine { label: label.into(), points, dashed: false }
+    }
+
+    /// Marks the line dashed (consuming).
+    pub fn dashed(mut self) -> SvgLine {
+        self.dashed = true;
+        self
+    }
+}
+
+/// A log-log line chart in the style of the paper's Figs 6a/7a
+/// (latency percentiles as a function of payload size).
+#[derive(Debug, Clone)]
+pub struct SvgLineChart {
+    /// Title above the axes.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Canvas width, px.
+    pub width: u32,
+    /// Canvas height, px.
+    pub height: u32,
+}
+
+impl SvgLineChart {
+    /// A 640×400 log-log chart.
+    pub fn log_log<S: Into<String>>(title: S, x_label: S, y_label: S) -> SvgLineChart {
+        SvgLineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 640,
+            height: 400,
+        }
+    }
+
+    /// Renders `lines` on log-log axes (all coordinates must be positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is empty or any coordinate is non-positive.
+    pub fn render(&self, lines: &[SvgLine]) -> String {
+        assert!(!lines.is_empty(), "chart needs at least one line");
+        const COLORS: [&str; 6] =
+            ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+        let (margin_l, margin_r, margin_t, margin_b) = (64.0, 20.0, 36.0, 48.0);
+        let plot_w = self.width as f64 - margin_l - margin_r;
+        let plot_h = self.height as f64 - margin_t - margin_b;
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for line in lines {
+            for &(x, y) in &line.points {
+                assert!(x > 0.0 && y > 0.0, "log-log chart needs positive coordinates");
+                min_x = min_x.min(x);
+                max_x = max_x.max(x);
+                min_y = min_y.min(y);
+                max_y = max_y.max(y);
+            }
+        }
+        let span = |lo: f64, hi: f64| if hi > lo { hi.ln() - lo.ln() } else { 1.0 };
+        let (sx_span, sy_span) = (span(min_x, max_x), span(min_y, max_y));
+        let sx = |x: f64| margin_l + (x.ln() - min_x.ln()) / sx_span * plot_w;
+        let sy = |y: f64| margin_t + plot_h - (y.ln() - min_y.ln()) / sy_span * plot_h;
+
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#,
+            w = self.width,
+            h = self.height
+        ));
+        svg.push_str(&format!(
+            r#"<rect width="{}" height="{}" fill="white"/>"#,
+            self.width, self.height
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{}" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">{}</text>"#,
+            self.width / 2,
+            escape(&self.title)
+        ));
+        svg.push_str(&format!(
+            r#"<line x1="{l}" y1="{t}" x2="{l}" y2="{b}" stroke="black"/><line x1="{l}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/>"#,
+            l = margin_l,
+            t = margin_t,
+            b = margin_t + plot_h,
+            r = margin_l + plot_w,
+        ));
+        for (label, x, y, anchor) in [
+            (format!("{:.1}", min_x), margin_l, margin_t + plot_h + 16.0, "middle"),
+            (format!("{:.1}", max_x), margin_l + plot_w, margin_t + plot_h + 16.0, "middle"),
+            (format!("{:.1}", min_y), margin_l - 6.0, margin_t + plot_h + 3.0, "end"),
+            (format!("{:.1}", max_y), margin_l - 6.0, margin_t + 3.0, "end"),
+        ] {
+            svg.push_str(&format!(
+                r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="10" text-anchor="{anchor}">{label}</text>"#,
+            ));
+        }
+        svg.push_str(&format!(
+            r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="12" text-anchor="middle">{label} (log)</text>"#,
+            x = margin_l + plot_w / 2.0,
+            y = margin_t + plot_h + 36.0,
+            label = escape(&self.x_label),
+        ));
+        svg.push_str(&format!(
+            r#"<text x="14" y="{y}" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 {y})">{label} (log)</text>"#,
+            y = margin_t + plot_h / 2.0,
+            label = escape(&self.y_label),
+        ));
+        for (i, line) in lines.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let points: Vec<String> = line
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y)))
+                .collect();
+            let dash = if line.dashed { r#" stroke-dasharray="6,4""# } else { "" };
+            svg.push_str(&format!(
+                r#"<polyline fill="none" stroke="{color}" stroke-width="1.8"{dash} points="{}"/>"#,
+                points.join(" ")
+            ));
+            let ly = margin_t + 14.0 * i as f64 + 10.0;
+            svg.push_str(&format!(
+                r#"<line x1="{x0}" y1="{ly}" x2="{x1}" y2="{ly}" stroke="{color}" stroke-width="2"{dash}/>"#,
+                x0 = margin_l + 8.0,
+                x1 = margin_l + 28.0,
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{x}" y="{ty}" font-family="sans-serif" font-size="11">{label}</text>"#,
+                x = margin_l + 34.0,
+                ty = ly + 4.0,
+                label = escape(&line.label),
+            ));
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn inv_axis(a: f64, log: bool) -> f64 {
+    if log {
+        a.exp()
+    } else {
+        a
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> Vec<SvgSeries> {
+        vec![
+            SvgSeries::new("aws", (1..=100).map(|i| i as f64).collect()),
+            SvgSeries::new("google", (1..=100).map(|i| i as f64 * 0.7).collect()),
+        ]
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = SvgPlot::cdf("warm invocations").render(&sample_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("warm invocations"));
+        assert!(svg.contains("aws"));
+        assert!(svg.contains("log scale"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let series = vec![SvgSeries::new("a<b&c", vec![1.0, 2.0])];
+        let svg = SvgPlot::cdf("t<t").render(&series);
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(svg.contains("t&lt;t"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn linear_axis_when_values_include_zero() {
+        let series = vec![SvgSeries::new("s", vec![0.0, 1.0, 2.0])];
+        let svg = SvgPlot::cdf("zeros").render(&series);
+        assert!(!svg.contains("log scale"));
+    }
+
+    #[test]
+    fn polyline_coordinates_stay_in_canvas() {
+        let plot = SvgPlot::cdf("bounds");
+        let svg = plot.render(&sample_series());
+        let points_part = svg.split("points=\"").nth(1).unwrap();
+        let points = points_part.split('"').next().unwrap();
+        for pair in points.split(' ') {
+            let (x, y) = pair.split_once(',').unwrap();
+            let (x, y): (f64, f64) = (x.parse().unwrap(), y.parse().unwrap());
+            assert!(x >= 0.0 && x <= plot.width as f64);
+            assert!(y >= 0.0 && y <= plot.height as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_plot_panics() {
+        SvgPlot::cdf("x").render(&[]);
+    }
+
+    #[test]
+    fn line_chart_renders_solid_and_dashed() {
+        let lines = vec![
+            SvgLine::new("median", vec![(1.0, 10.0), (10.0, 50.0), (100.0, 400.0)]),
+            SvgLine::new("p99", vec![(1.0, 20.0), (10.0, 90.0), (100.0, 900.0)]).dashed(),
+        ];
+        let svg = SvgLineChart::log_log("Fig 6a", "payload (KB)", "latency (ms)").render(&lines);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("payload (KB) (log)"));
+        assert!(svg.contains("rotate(-90"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive coordinates")]
+    fn line_chart_rejects_nonpositive() {
+        let lines = vec![SvgLine::new("bad", vec![(0.0, 1.0)])];
+        SvgLineChart::log_log("t", "x", "y").render(&lines);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs points")]
+    fn empty_line_panics() {
+        SvgLine::new("e", vec![]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Plain-text table rendering.
+//!
+//! The benchmark harness prints paper-style rows (Table I, per-figure
+//! series); [`TextTable`] right-aligns numeric columns and keeps the output
+//! diff-friendly for `EXPERIMENTS.md`.
+
+/// A simple text table builder.
+///
+/// # Examples
+///
+/// ```
+/// use stats::table::TextTable;
+/// let mut t = TextTable::new(vec!["factor", "MR", "TR"]);
+/// t.row(vec!["base warm".into(), "1".into(), "2".into()]);
+/// let s = t.render();
+/// assert!(s.contains("factor"));
+/// assert!(s.contains("base warm"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "table needs at least one column");
+        TextTable { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header separator, columns padded to fit.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting; cells must not contain commas).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            debug_assert!(row.iter().all(|c| !c.contains(',')), "CSV cell contains comma");
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with a sensible number of digits for latency tables:
+/// two decimals under 10, one under 100, none above.
+pub fn fmt_latency(ms: f64) -> String {
+    if !ms.is_finite() {
+        return "inf".to_string();
+    }
+    if ms < 10.0 {
+        format!("{ms:.2}")
+    } else if ms < 100.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{ms:.0}")
+    }
+}
+
+/// Formats a ratio (TMR/MR/TR) with one decimal place, marking values the
+/// paper highlights (>10) with a trailing `*`.
+pub fn fmt_ratio(r: f64) -> String {
+    if !r.is_finite() {
+        return "inf*".to_string();
+    }
+    if r > 10.0 {
+        format!("{r:.1}*")
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[2].starts_with("xxxxx"));
+    }
+
+    #[test]
+    fn markdown_and_csv() {
+        let mut t = TextTable::new(vec!["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.render_markdown(), "| x | y |\n|---|---|\n| 1 | 2 |\n");
+        assert_eq!(t.render_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn latency_formatting_scales_digits() {
+        assert_eq!(fmt_latency(7.123), "7.12");
+        assert_eq!(fmt_latency(42.19), "42.2");
+        assert_eq!(fmt_latency(1234.6), "1235");
+        assert_eq!(fmt_latency(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn ratio_formatting_flags_problematic() {
+        assert_eq!(fmt_ratio(1.49), "1.5");
+        assert_eq!(fmt_ratio(37.3), "37.3*");
+        assert_eq!(fmt_ratio(f64::INFINITY), "inf*");
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["only"]);
+        t.row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = TextTable::new(vec!["c"]);
+        assert!(t.is_empty());
+        t.row(vec!["v".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the statistics crate.
+
+use proptest::prelude::*;
+use stats::bootstrap::bootstrap_ci;
+use stats::cdf::Cdf;
+use stats::histogram::LogHistogram;
+use stats::ks::{ks_critical, ks_statistic};
+use stats::metrics::FactorRatios;
+use stats::percentile::{median, percentile, sorted_percentile};
+use stats::summary::Summary;
+
+fn samples_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e6, 1..300)
+}
+
+proptest! {
+    /// Percentiles are monotone in q and bounded by min/max.
+    #[test]
+    fn percentile_monotone_and_bounded(xs in samples_strategy(), qs in prop::collection::vec(0.0f64..=1.0, 2..10)) {
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut last = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = percentile(&xs, q);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            prop_assert!(v >= last);
+            last = v;
+        }
+        prop_assert_eq!(percentile(&xs, 0.0), lo);
+        prop_assert_eq!(percentile(&xs, 1.0), hi);
+    }
+
+    /// percentile() equals sorted_percentile() on pre-sorted data.
+    #[test]
+    fn percentile_agrees_with_sorted(xs in samples_strategy(), q in 0.0f64..=1.0) {
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(percentile(&xs, q), sorted_percentile(&sorted, q));
+    }
+
+    /// Summary quantiles are ordered and the mean sits within [min, max].
+    #[test]
+    fn summary_ordering(xs in samples_strategy()) {
+        let s = Summary::from_samples(&xs);
+        prop_assert!(s.min <= s.p25);
+        prop_assert!(s.p25 <= s.median);
+        prop_assert!(s.median <= s.p75);
+        prop_assert!(s.p75 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.tail);
+        prop_assert!(s.tail <= s.p999 && s.p999 <= s.max);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+        prop_assert_eq!(s.count, xs.len());
+    }
+
+    /// A CDF evaluates to [0,1], is monotone, and inverts its quantiles.
+    #[test]
+    fn cdf_properties(xs in samples_strategy(), q in 0.01f64..=0.99) {
+        let cdf = Cdf::from_samples(&xs);
+        let v = cdf.quantile(q);
+        let f = cdf.eval(v);
+        // At least a q-fraction of mass lies at or below the q-quantile.
+        prop_assert!(f >= q - 1.0 / xs.len() as f64 - 1e-9, "q={q} f={f}");
+        prop_assert!(cdf.eval(f64::NEG_INFINITY) == 0.0);
+        prop_assert!((cdf.eval(f64::INFINITY) - 1.0).abs() < 1e-12);
+        // Monotone in x.
+        let lo = cdf.eval(v - 1.0);
+        prop_assert!(lo <= f + 1e-12);
+    }
+
+    /// KS distance is within [0, 1], symmetric, and zero against itself.
+    #[test]
+    fn ks_bounds(a in samples_strategy(), b in samples_strategy()) {
+        let d = ks_statistic(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(d, ks_statistic(&b, &a));
+        prop_assert_eq!(ks_statistic(&a, &a), 0.0);
+        prop_assert!(ks_critical(a.len(), b.len(), 0.05) > 0.0);
+    }
+
+    /// Histogram counts are conserved.
+    #[test]
+    fn histogram_conserves_mass(xs in prop::collection::vec(0.001f64..1e7, 1..200), bins in 1usize..30) {
+        let mut h = LogHistogram::new(1.0, 1e6, bins);
+        h.record_all(xs.iter().copied());
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
+    }
+
+    /// Factor ratios: MR/TR scale linearly when the factor scales.
+    #[test]
+    fn factor_ratios_scale(base in prop::collection::vec(1.0f64..100.0, 10..50), k in 1.0f64..20.0) {
+        let factor: Vec<f64> = base.iter().map(|x| x * k).collect();
+        let r = FactorRatios::compute(&factor, &base);
+        let m = median(&base);
+        prop_assert!((r.mr - k * median(&base) / m).abs() < 1e-9);
+        prop_assert!(r.tr >= r.mr - 1e-9, "p99 >= median implies TR >= MR");
+    }
+
+    /// Bootstrap CIs bracket their point estimate.
+    #[test]
+    fn bootstrap_brackets_estimate(xs in prop::collection::vec(0.0f64..1000.0, 5..80), seed in any::<u64>()) {
+        let ci = bootstrap_ci(&xs, median, 60, 0.1, seed);
+        prop_assert!(ci.lo <= ci.estimate + 1e-9);
+        prop_assert!(ci.estimate <= ci.hi + 1e-9);
+        prop_assert!(ci.contains(ci.estimate));
+    }
+}

@@ -1,0 +1,98 @@
+//! Provider shoot-out: compare the three simulated clouds on the traffic
+//! pattern *your* application cares about, across the paper's four factor
+//! vectors (warm, cold, transfer, burst), and print a ranking per metric.
+//!
+//! ```bash
+//! cargo run --release -p stellar-examples --bin provider_shootout
+//! ```
+
+use faas_sim::types::{TransferMode, MB};
+use providers::paper::ProviderKind;
+use providers::profiles::config_for;
+use stats::table::{fmt_latency, fmt_ratio, TextTable};
+use stellar_core::protocols::{
+    bursty_invocations, cold_invocations, transfer_chain, warm_invocations, BurstIat, ColdSetup,
+};
+
+const SAMPLES: u32 = 1000;
+
+struct Row {
+    metric: &'static str,
+    values: Vec<(ProviderKind, f64)>,
+    unit: &'static str,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    let mut warm_medians = Vec::new();
+    let mut warm_tmrs = Vec::new();
+    let mut cold_medians = Vec::new();
+    let mut burst_p99s = Vec::new();
+    for kind in ProviderKind::ALL {
+        let warm = warm_invocations(config_for(kind), SAMPLES, 1).unwrap().summary;
+        warm_medians.push((kind, warm.median));
+        warm_tmrs.push((kind, warm.tmr));
+        let cold =
+            cold_invocations(config_for(kind), ColdSetup::baseline(), SAMPLES, 100, 2)
+                .unwrap()
+                .summary;
+        cold_medians.push((kind, cold.median));
+        let burst =
+            bursty_invocations(config_for(kind), BurstIat::Short, 100, 0.0, 2000, 1, 3)
+                .unwrap()
+                .summary;
+        burst_p99s.push((kind, burst.tail));
+    }
+    rows.push(Row { metric: "warm median", values: warm_medians, unit: "ms" });
+    rows.push(Row { metric: "warm TMR", values: warm_tmrs, unit: "x" });
+    rows.push(Row { metric: "cold median", values: cold_medians, unit: "ms" });
+    rows.push(Row { metric: "burst100 p99", values: burst_p99s, unit: "ms" });
+
+    // Data-plane comparison: 1 MB producer→consumer transfers.
+    let mut inline = Vec::new();
+    let mut storage_tmr = Vec::new();
+    for kind in [ProviderKind::Aws, ProviderKind::Google] {
+        let i = transfer_chain(config_for(kind), TransferMode::Inline, MB, SAMPLES, 4)
+            .unwrap()
+            .transfer_summary
+            .unwrap();
+        inline.push((kind, i.median));
+        let s = transfer_chain(config_for(kind), TransferMode::Storage, MB, SAMPLES, 5)
+            .unwrap()
+            .transfer_summary
+            .unwrap();
+        storage_tmr.push((kind, s.tmr));
+    }
+    rows.push(Row { metric: "1MB inline median", values: inline, unit: "ms" });
+    rows.push(Row { metric: "1MB storage TMR", values: storage_tmr, unit: "x" });
+
+    let mut table = TextTable::new(vec!["metric", "aws", "google", "azure", "winner"]);
+    for row in &rows {
+        let get = |kind: ProviderKind| {
+            row.values
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|&(_, v)| if row.unit == "x" { fmt_ratio(v) } else { fmt_latency(v) })
+                .unwrap_or_else(|| "n/a".to_string())
+        };
+        let winner = row
+            .values
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|&(k, _)| k.label())
+            .unwrap_or("-");
+        table.row(vec![
+            row.metric.to_string(),
+            get(ProviderKind::Aws),
+            get(ProviderKind::Google),
+            get(ProviderKind::Azure),
+            winner.to_string(),
+        ]);
+    }
+    println!("Provider shoot-out (lower is better):\n");
+    println!("{}", table.render());
+    println!("Paper's take: warm paths are uniformly fast (Obs 1); cold starts and");
+    println!("storage transfers dominate the tail (Obs 2/4); burst behaviour separates");
+    println!("the providers most (Obs 5-7).");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: deploy one function to a simulated provider, drive warm
+//! traffic at it, and read the latency statistics — the three-call core
+//! of the STeLLAR API.
+//!
+//! ```bash
+//! cargo run -p stellar-examples --bin quickstart
+//! ```
+
+use providers::profiles::aws_like;
+use stellar_core::config::{IatSpec, RuntimeConfig, StaticConfig, StaticFunction};
+use stellar_core::experiment::Experiment;
+use stellar_core::visualize::render_cdf;
+
+fn main() {
+    // 1. Describe the deployment (STeLLAR's static function configuration).
+    let functions = StaticConfig {
+        functions: vec![StaticFunction::python_zip("hello").with_replicas(2)],
+    };
+
+    // 2. Describe the workload (STeLLAR's runtime configuration): single
+    //    invocations at the paper's short 3 s inter-arrival time, with one
+    //    warm-up round so the cold start is excluded.
+    let mut workload = RuntimeConfig::single(IatSpec::short(), 500);
+    workload.warmup_rounds = 2;
+
+    // 3. Deploy, drive and measure.
+    let outcome = Experiment::new(aws_like())
+        .functions(functions)
+        .workload(workload)
+        .seed(42)
+        .run()
+        .expect("experiment runs");
+
+    println!("{}", render_cdf("warm invocations on aws-like", &outcome.latencies_ms()));
+    println!(
+        "cold starts among measured samples: {:.1}%",
+        outcome.result.cold_fraction() * 100.0
+    );
+    println!(
+        "per-component medians of a typical request (ms): \
+         propagation {:.1}, infra overhead {:.1}, execution {:.1}",
+        outcome.result.completions[0].breakdown.prop_out_ms
+            + outcome.result.completions[0].breakdown.prop_back_ms,
+        outcome.result.completions[0].breakdown.infra_ms(),
+        outcome.result.completions[0].breakdown.exec_ms,
+    );
+}

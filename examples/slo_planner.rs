@@ -1,0 +1,54 @@
+//! SLO planner: given a p99 latency objective, find the largest burst each
+//! provider can absorb — capacity planning for flash-crowd traffic like
+//! the click storms the paper's introduction motivates.
+//!
+//! ```bash
+//! cargo run --release -p stellar-examples --bin slo_planner [p99_ms]
+//! ```
+
+use providers::paper::ProviderKind;
+use providers::profiles::config_for;
+use stats::table::{fmt_latency, TextTable};
+use stellar_core::protocols::{bursty_invocations, BurstIat};
+
+const BURSTS: [u32; 6] = [1, 50, 100, 200, 300, 500];
+
+fn p99_at(kind: ProviderKind, burst: u32) -> f64 {
+    bursty_invocations(config_for(kind), BurstIat::Short, burst, 0.0, 2000.max(burst * 6), 1, 11)
+        .expect("burst run")
+        .summary
+        .tail
+}
+
+fn main() {
+    let slo_ms: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500.0);
+    println!("Planning for a p99 SLO of {slo_ms} ms on warm bursty traffic.\n");
+
+    let mut table = TextTable::new(vec!["burst", "aws p99", "google p99", "azure p99"]);
+    let mut max_ok = [0u32; 3];
+    let mut grid = Vec::new();
+    for &burst in &BURSTS {
+        let mut row = vec![burst.to_string()];
+        for (i, kind) in ProviderKind::ALL.iter().enumerate() {
+            let p99 = p99_at(*kind, burst);
+            if p99 <= slo_ms {
+                max_ok[i] = max_ok[i].max(burst);
+            }
+            row.push(fmt_latency(p99));
+            grid.push((kind.label(), burst, p99));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    println!("Largest measured burst meeting the SLO:");
+    for (i, kind) in ProviderKind::ALL.iter().enumerate() {
+        match max_ok[i] {
+            0 => println!("  {kind}: none — even single requests miss the SLO"),
+            b => println!("  {kind}: {b} simultaneous requests"),
+        }
+    }
+    println!();
+    println!("The paper's Obs 5 predicts the ordering: Google degrades least with");
+    println!("burst size, AWS moderately, Azure most (its dispatch path serialises).");
+}

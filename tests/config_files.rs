@@ -1,0 +1,108 @@
+//! Integration: the file-driven configuration path — JSON documents in,
+//! experiments out — mirroring how STeLLAR users drive the tool (§IV).
+
+use providers::profiles::{aws_like, azure_like, google_like};
+use stellar_core::client::run_workload;
+use stellar_core::config::{RuntimeConfig, StaticConfig};
+use stellar_core::deployer::deploy;
+use faas_sim::cloud::CloudSim;
+
+const STATIC_JSON: &str = r#"{
+  "functions": [
+    {
+      "name": "api-frontend",
+      "runtime": "python3",
+      "deployment": "zip",
+      "memory_mb": 2048,
+      "replicas": 4
+    },
+    {
+      "name": "thumbnailer",
+      "runtime": "go",
+      "deployment": "container",
+      "memory_mb": 1024,
+      "extra_image_mb": 10.0
+    }
+  ]
+}"#;
+
+const RUNTIME_JSON: &str = r#"{
+  "iat": { "kind": "fixed", "ms": 3000.0 },
+  "burst_size": 1,
+  "samples": 60,
+  "warmup_rounds": 5
+}"#;
+
+const CHAIN_JSON: &str = r#"{
+  "iat": { "kind": "exponential", "mean_ms": 1500.0 },
+  "samples": 40,
+  "warmup_rounds": 2,
+  "chain": { "length": 2, "mode": "inline", "payload_bytes": 500000 }
+}"#;
+
+#[test]
+fn json_configs_drive_a_full_run() {
+    let static_cfg = StaticConfig::from_json(STATIC_JSON).unwrap();
+    let runtime_cfg = RuntimeConfig::from_json(RUNTIME_JSON).unwrap();
+    let mut cloud = CloudSim::new(aws_like(), 1);
+    let deployment = deploy(&mut cloud, &static_cfg, &runtime_cfg).unwrap();
+    assert_eq!(deployment.len(), 5, "4 replicas + 1 thumbnailer");
+    assert!(deployment.endpoints[0].url.contains("aws-like"));
+    let result = run_workload(&mut cloud, &deployment, &runtime_cfg, 1).unwrap();
+    assert_eq!(result.completions.len(), 60);
+    assert_eq!(result.warmup_completions.len(), 5);
+}
+
+#[test]
+fn chain_json_round_trips_and_runs() {
+    let runtime_cfg = RuntimeConfig::from_json(CHAIN_JSON).unwrap();
+    // Round-trip through to_json.
+    let again = RuntimeConfig::from_json(&runtime_cfg.to_json()).unwrap();
+    assert_eq!(runtime_cfg, again);
+
+    let static_cfg = StaticConfig::from_json(
+        r#"{"functions": [{"name": "p", "runtime": "go", "deployment": "zip", "memory_mb": 2048}]}"#,
+    )
+    .unwrap();
+    let mut cloud = CloudSim::new(google_like(), 2);
+    let deployment = deploy(&mut cloud, &static_cfg, &runtime_cfg).unwrap();
+    let result = run_workload(&mut cloud, &deployment, &runtime_cfg, 2).unwrap();
+    assert_eq!(result.transfers.len(), 40);
+}
+
+#[test]
+fn provider_profiles_serialise_as_config_files() {
+    // Profiles themselves are serde documents: a user can dump, edit and
+    // reload one — the simulator-side analogue of STeLLAR's provider
+    // plugins being configuration-driven.
+    for cfg in [aws_like(), google_like(), azure_like()] {
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        let back: faas_sim::config::ProviderConfig = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(cfg.name, back.name);
+        // An edited copy still validates and runs.
+        let mut edited = back;
+        edited.network.max_inline_payload = 1_000_000;
+        edited.validate().unwrap();
+        let mut cloud = CloudSim::new(edited, 3);
+        let f = cloud
+            .deploy(faas_sim::spec::FunctionSpec::builder("probe").build())
+            .unwrap();
+        cloud.submit(f, 0, simkit::time::SimTime::ZERO);
+        cloud.run_until(simkit::time::SimTime::from_secs(60.0));
+        assert_eq!(cloud.drain_completions().len(), 1);
+    }
+}
+
+#[test]
+fn malformed_documents_are_rejected_with_context() {
+    assert!(StaticConfig::from_json("{}").is_err());
+    assert!(StaticConfig::from_json(r#"{"functions": []}"#).is_err());
+    let err = RuntimeConfig::from_json(r#"{"iat": {"kind": "fixed", "ms": -5.0}, "samples": 1}"#)
+        .unwrap_err();
+    assert!(err.contains("positive"), "{err}");
+    let err =
+        RuntimeConfig::from_json(r#"{"iat": {"kind": "fixed", "ms": 10.0}, "samples": 0}"#)
+            .unwrap_err();
+    assert!(err.contains("samples"), "{err}");
+}

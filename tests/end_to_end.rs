@@ -1,0 +1,133 @@
+//! End-to-end integration: configuration → deployer → client → statistics
+//! across all crates, on each calibrated provider.
+
+use faas_sim::types::{DeploymentMethod, Runtime, TransferMode};
+use providers::paper::ProviderKind;
+use providers::profiles::{aws_like, config_for, google_like};
+use stats::Summary;
+use stellar_core::client::run_workload;
+use stellar_core::config::{
+    ChainConfig, IatSpec, RuntimeConfig, StaticConfig, StaticFunction,
+};
+use stellar_core::experiment::Experiment;
+use stellar_integration_tests::deployed;
+
+#[test]
+fn full_pipeline_on_every_provider() {
+    for kind in ProviderKind::ALL {
+        let static_cfg = StaticConfig {
+            functions: vec![StaticFunction::python_zip("e2e").with_replicas(3)],
+        };
+        let mut runtime_cfg = RuntimeConfig::single(IatSpec::Fixed { ms: 2000.0 }, 200);
+        runtime_cfg.warmup_rounds = 3;
+        let (mut cloud, deployment) =
+            deployed(config_for(kind), &static_cfg, &runtime_cfg, 9);
+        assert_eq!(deployment.len(), 3);
+        let result = run_workload(&mut cloud, &deployment, &runtime_cfg, 9).unwrap();
+        assert_eq!(result.completions.len(), 200);
+        let summary = Summary::from_samples(&result.latencies_ms());
+        assert!(summary.median > 10.0 && summary.median < 200.0, "{kind}: {summary}");
+        // Conservation: every completion's breakdown sums to its latency.
+        for c in &result.completions {
+            assert!(
+                (c.breakdown.total_ms() - c.latency_ms()).abs() < 1e-3,
+                "{kind}: breakdown mismatch on {}",
+                c.id
+            );
+        }
+    }
+}
+
+#[test]
+fn experiment_builder_equals_manual_pipeline() {
+    let static_cfg =
+        StaticConfig { functions: vec![StaticFunction::python_zip("same").with_replicas(2)] };
+    let runtime_cfg = RuntimeConfig::single(IatSpec::short(), 100);
+
+    let outcome = Experiment::new(aws_like())
+        .functions(static_cfg.clone())
+        .workload(runtime_cfg.clone())
+        .seed(123)
+        .run()
+        .unwrap();
+
+    let (mut cloud, deployment) = deployed(aws_like(), &static_cfg, &runtime_cfg, 123);
+    let manual = run_workload(&mut cloud, &deployment, &runtime_cfg, 123).unwrap();
+
+    assert_eq!(outcome.result.latencies_ms(), manual.latencies_ms());
+}
+
+#[test]
+fn chained_experiment_produces_consistent_timestamps() {
+    let mut runtime_cfg = RuntimeConfig::single(IatSpec::Fixed { ms: 2000.0 }, 100);
+    runtime_cfg.warmup_rounds = 2;
+    runtime_cfg.chain = Some(ChainConfig {
+        length: 2,
+        mode: TransferMode::Storage,
+        payload_bytes: 1_000_000,
+    });
+    let outcome = Experiment::new(google_like())
+        .functions(StaticConfig { functions: vec![StaticFunction::go_zip("chain")] })
+        .workload(runtime_cfg)
+        .seed(5)
+        .run()
+        .unwrap();
+    // Cross-validation the paper describes (§IV): the in-function transfer
+    // window must sit inside the client-observed end-to-end latency.
+    assert_eq!(outcome.result.transfers.len(), 100);
+    for (completion, transfer) in
+        outcome.result.completions.iter().zip(&outcome.result.transfers)
+    {
+        assert!(transfer.transfer_ms() > 0.0);
+        assert!(
+            transfer.transfer_ms() < completion.latency_ms(),
+            "transfer {} must be contained in e2e {}",
+            transfer.transfer_ms(),
+            completion.latency_ms()
+        );
+        assert!(transfer.send_start >= completion.issued_at);
+        assert!(transfer.received <= completion.completed_at);
+    }
+}
+
+#[test]
+fn multi_entry_static_config_deploys_all_functions() {
+    let static_cfg = StaticConfig {
+        functions: vec![
+            StaticFunction::python_zip("small"),
+            StaticFunction::go_zip("large").with_extra_image_mb(100.0).with_replicas(2),
+            StaticFunction {
+                name: "container".into(),
+                runtime: Runtime::Python3,
+                deployment: DeploymentMethod::Container,
+                memory_mb: 1024,
+                extra_image_mb: 0.0,
+                replicas: 1,
+            },
+        ],
+    };
+    let runtime_cfg = RuntimeConfig::single(IatSpec::Fixed { ms: 1000.0 }, 8);
+    let (mut cloud, deployment) = deployed(aws_like(), &static_cfg, &runtime_cfg, 3);
+    assert_eq!(deployment.len(), 4); // 1 + 2 + 1 replicas
+    let result = run_workload(&mut cloud, &deployment, &runtime_cfg, 3).unwrap();
+    assert_eq!(result.completions.len(), 8);
+}
+
+#[test]
+fn replicas_accelerate_cold_measurements_without_warming() {
+    // The paper's trick (§IV): many replicas let cold starts be measured
+    // quickly; every sample must still be a genuine cold start.
+    let outcome = stellar_core::protocols::cold_invocations(
+        aws_like(),
+        stellar_core::protocols::ColdSetup::baseline(),
+        120,
+        60,
+        77,
+    )
+    .unwrap();
+    assert_eq!(outcome.result.completions.len(), 120);
+    assert!(outcome.result.cold_fraction() > 0.95);
+    // Wall-clock (simulated) is ~ samples/replicas × 15 min, far below
+    // samples × 15 min.
+    assert!(outcome.result.duration < simkit::time::SimTime::from_mins(45));
+}

@@ -1,0 +1,129 @@
+//! Integration tests asserting the paper's seven Observations end to end,
+//! through the public API only.
+
+use faas_sim::types::{DeploymentMethod, Runtime, TransferMode, MB};
+use providers::paper::ProviderKind;
+use providers::profiles::config_for;
+use stellar_core::protocols::{
+    bursty_invocations, cold_invocations, transfer_chain, warm_invocations, BurstIat, ColdSetup,
+};
+
+const N: u32 = 1000;
+
+#[test]
+fn observation_1_warm_invocations_are_fast_and_predictable() {
+    // "median latency <= 25ms (internal) and TMRs < 2" (+ our band).
+    for kind in ProviderKind::ALL {
+        let s = warm_invocations(config_for(kind), N, 201).unwrap().summary;
+        let internal_median = s.median - kind.prop_one_way_ms() * 2.0;
+        assert!(internal_median <= 30.0, "{kind}: internal median {internal_median:.1}");
+        assert!(s.tmr < 2.5, "{kind}: TMR {:.2}", s.tmr);
+    }
+}
+
+#[test]
+fn observation_2_cold_starts_hurt_median_not_variability() {
+    for kind in ProviderKind::ALL {
+        let cold =
+            cold_invocations(config_for(kind), ColdSetup::baseline(), N, 100, 202)
+                .unwrap()
+                .summary;
+        assert!(cold.median > 400.0, "{kind}: cold median {:.0}", cold.median);
+        // "variability of cold-starts is moderate, with TMR < 3.6"
+        assert!(cold.tmr < 3.6, "{kind}: cold TMR {:.2}", cold.tmr);
+    }
+}
+
+#[test]
+fn observation_3_deployment_method_matters_runtime_does_not() {
+    let aws = || config_for(ProviderKind::Aws);
+    let cold = |runtime, deployment, seed| {
+        cold_invocations(
+            aws(),
+            ColdSetup { runtime, deployment, extra_image_mb: 0.0 },
+            N,
+            100,
+            seed,
+        )
+        .unwrap()
+        .summary
+    };
+    let py_zip = cold(Runtime::Python3, DeploymentMethod::Zip, 203);
+    let go_zip = cold(Runtime::Go, DeploymentMethod::Zip, 204);
+    let py_container = cold(Runtime::Python3, DeploymentMethod::Container, 205);
+    // Runtime choice: same regime for ZIP deployments.
+    assert!(
+        (go_zip.median / py_zip.median - 1.0).abs() < 0.45,
+        "zip runtimes: go {:.0} vs python {:.0}",
+        go_zip.median,
+        py_zip.median
+    );
+    // Deployment method: container blows up median and tail for Python.
+    assert!(py_container.median > 1.3 * py_zip.median);
+    assert!(py_container.tail > 3.5 * py_zip.tail);
+}
+
+#[test]
+fn observation_4_storage_transfers_dominate_tail_latency() {
+    let kind = ProviderKind::Google;
+    let inline =
+        transfer_chain(config_for(kind), TransferMode::Inline, MB, 2000, 206)
+            .unwrap()
+            .transfer_summary
+            .unwrap();
+    let storage =
+        transfer_chain(config_for(kind), TransferMode::Storage, MB, 2000, 207)
+            .unwrap()
+            .transfer_summary
+            .unwrap();
+    // "155ms median and 5774ms tail ... TMR 37.3 / inline TMR 1.4".
+    assert!(storage.tmr > 15.0, "storage TMR {:.1}", storage.tmr);
+    assert!(inline.tmr < 2.5, "inline TMR {:.1}", inline.tmr);
+    assert!(storage.tail > 20.0 * inline.tail);
+}
+
+#[test]
+fn observation_5_short_iat_bursts_ordered_by_provider_sensitivity() {
+    // Azure >> AWS > Google in burst sensitivity.
+    let p99_500 = |kind, seed| {
+        bursty_invocations(config_for(kind), BurstIat::Short, 500, 0.0, 4000, 1, seed)
+            .unwrap()
+            .summary
+            .tail
+    };
+    let azure = p99_500(ProviderKind::Azure, 208);
+    let aws = p99_500(ProviderKind::Aws, 209);
+    let google = p99_500(ProviderKind::Google, 210);
+    assert!(azure > 4.0 * aws, "azure {azure:.0} vs aws {aws:.0}");
+    assert!(aws > google, "aws {aws:.0} vs google {google:.0}");
+}
+
+#[test]
+fn observation_6_long_iat_bursts_have_moderate_tmr() {
+    for kind in ProviderKind::ALL {
+        let s = bursty_invocations(config_for(kind), BurstIat::Long, 100, 0.0, 3000, 3, 211)
+            .unwrap()
+            .summary;
+        assert!(s.tmr < 4.0, "{kind}: long-burst TMR {:.2}", s.tmr);
+    }
+}
+
+#[test]
+fn observation_7_queueing_policy_costs_two_orders_of_magnitude() {
+    // 1 s functions, burst 100, long IAT: queuing policies (Azure) may
+    // cost two orders of magnitude vs no-queuing (AWS), measured on the
+    // infrastructure+queueing component (minus the 1 s execution).
+    let run = |kind, seed| {
+        bursty_invocations(config_for(kind), BurstIat::Long, 100, 1000.0, 2000, 3, seed)
+            .unwrap()
+            .summary
+    };
+    let aws = run(ProviderKind::Aws, 212);
+    let azure = run(ProviderKind::Azure, 213);
+    let aws_infra = aws.median - 1000.0;
+    let azure_infra = azure.median - 1000.0;
+    assert!(
+        azure_infra > 30.0 * aws_infra,
+        "infra+queue: azure {azure_infra:.0} vs aws {aws_infra:.0}"
+    );
+}

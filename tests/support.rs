@@ -1,0 +1,17 @@
+//! Shared helpers for the integration tests.
+
+use faas_sim::cloud::CloudSim;
+use stellar_core::config::{RuntimeConfig, StaticConfig};
+use stellar_core::deployer::{deploy, Deployment};
+
+/// Deploys onto a fresh cloud and returns both.
+pub fn deployed(
+    provider: faas_sim::config::ProviderConfig,
+    static_cfg: &StaticConfig,
+    runtime_cfg: &RuntimeConfig,
+    seed: u64,
+) -> (CloudSim, Deployment) {
+    let mut cloud = CloudSim::new(provider, seed);
+    let deployment = deploy(&mut cloud, static_cfg, runtime_cfg).expect("deploy");
+    (cloud, deployment)
+}
