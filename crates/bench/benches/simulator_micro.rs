@@ -96,6 +96,46 @@ fn burst_policies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tracing overhead: the same warm 1k-invocation workload with tracing
+/// off (the default: one `Option` check per emission site) and with the
+/// ring collector enabled. The acceptance bar is <5% overhead for the
+/// disabled path relative to the seed's untraced simulator.
+fn trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/trace_1k_invocations");
+    for (label, capacity) in [("disabled", None), ("ring_enabled", Some(32_768))] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                move || {
+                    let mut cloud = CloudSim::new(test_provider(), 1);
+                    if let Some(capacity) = capacity {
+                        cloud.enable_tracing(capacity);
+                    }
+                    let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+                    cloud.submit(f, 0, SimTime::ZERO);
+                    cloud.run_until(SimTime::from_secs(5.0));
+                    cloud.drain_completions();
+                    cloud.drain_spans();
+                    (cloud, f)
+                },
+                |(mut cloud, f)| {
+                    for i in 0..1000u64 {
+                        cloud.submit(
+                            f,
+                            i,
+                            SimTime::from_secs(6.0) + SimTime::from_millis(i as f64),
+                        );
+                    }
+                    cloud.run_until(SimTime::from_secs(30.0));
+                    assert_eq!(cloud.drain_completions().len(), 1000);
+                    cloud.drain_spans()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 fn distribution_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("simkit/sample_100k");
     let dists = [
@@ -140,7 +180,11 @@ fn statistics_kernels(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    // trace_overhead runs right after warm_1k so the tracing-disabled
+    // variant is measured adjacent to the identical untraced workload
+    // (separating them lets machine drift masquerade as overhead).
     warm_invocation_throughput,
+    trace_overhead,
     cold_start_cost,
     burst_policies,
     distribution_sampling,

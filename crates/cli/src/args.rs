@@ -22,11 +22,43 @@ pub struct RunOptions {
     pub svg: Option<String>,
 }
 
+/// Export format of `stellar trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per span per line.
+    Jsonl,
+    /// CSV with a header row.
+    Csv,
+}
+
+/// Options of `stellar trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOptions {
+    /// Path to the static function configuration JSON (default workload
+    /// when omitted).
+    pub static_path: Option<String>,
+    /// Path to the runtime (client) configuration JSON (default workload
+    /// when omitted).
+    pub runtime_path: Option<String>,
+    /// Provider: built-in name or provider-config JSON path.
+    pub provider: String,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Export format.
+    pub format: TraceFormat,
+    /// Output file; stdout when omitted.
+    pub out: Option<String>,
+    /// Trace ring capacity (oldest spans dropped beyond it).
+    pub capacity: usize,
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `stellar run …`
     Run(RunOptions),
+    /// `stellar trace …`
+    Trace(TraceOptions),
     /// `stellar providers`
     Providers,
     /// `stellar dump-provider <name>`
@@ -96,6 +128,60 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 svg,
             }))
         }
+        "trace" => {
+            let mut static_path = None;
+            let mut runtime_path = None;
+            let mut provider = "aws-like".to_string();
+            let mut seed = 0u64;
+            let mut format = TraceFormat::Jsonl;
+            let mut out = None;
+            let mut capacity = 1 << 20;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--static" => static_path = Some(value("--static")?),
+                    "--runtime" => runtime_path = Some(value("--runtime")?),
+                    "--provider" => provider = value("--provider")?,
+                    "--seed" => {
+                        seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?;
+                    }
+                    "--format" => {
+                        format = match value("--format")?.as_str() {
+                            "jsonl" => TraceFormat::Jsonl,
+                            "csv" => TraceFormat::Csv,
+                            other => {
+                                return Err(format!(
+                                    "--format must be jsonl or csv, got {other}"
+                                ))
+                            }
+                        };
+                    }
+                    "--out" => out = Some(value("--out")?),
+                    "--capacity" => {
+                        capacity = value("--capacity")?
+                            .parse()
+                            .map_err(|e| format!("--capacity: {e}"))?;
+                        if capacity == 0 {
+                            return Err("--capacity must be positive".to_string());
+                        }
+                    }
+                    other => return Err(format!("unknown flag: {other}")),
+                }
+            }
+            Ok(Command::Trace(TraceOptions {
+                static_path,
+                runtime_path,
+                provider,
+                seed,
+                format,
+                out,
+                capacity,
+            }))
+        }
         other => Err(format!("unknown command: {other} (try `stellar help`)")),
     }
 }
@@ -106,6 +192,7 @@ STeLLAR — Serverless Tail-Latency Analyzer (simulation-backed reproduction)
 
 USAGE:
     stellar run --static <fns.json> --runtime <load.json> [OPTIONS]
+    stellar trace [OPTIONS]
     stellar providers
     stellar dump-provider <aws-like|google-like|azure-like>
     stellar sample-config
@@ -119,6 +206,15 @@ RUN OPTIONS:
     --cdf                    print an ASCII CDF of end-to-end latency
     --csv <file>             write quantile CSV
     --svg <file>             write an SVG CDF plot
+
+TRACE OPTIONS:
+    --static <file>          static function config [default: one function]
+    --runtime <file>         runtime config [default: 100 invocations]
+    --provider <name|file>   as for run [default: aws-like]
+    --seed <n>               deterministic seed [default: 0]
+    --format <jsonl|csv>     export format [default: jsonl]
+    --out <file>             write the export here instead of stdout
+    --capacity <n>           span ring capacity [default: 1048576]
 ";
 
 #[cfg(test)]
@@ -181,6 +277,39 @@ mod tests {
         assert_eq!(parse_args(&strs(&["sample-config"])).unwrap(), Command::SampleConfig);
         assert_eq!(parse_args(&strs(&["help"])).unwrap(), Command::Help);
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_trace_with_all_flags() {
+        let cmd = parse_args(&strs(&[
+            "trace", "--static", "s.json", "--runtime", "r.json", "--provider",
+            "azure-like", "--seed", "4", "--format", "csv", "--out", "trace.csv",
+            "--capacity", "512",
+        ]))
+        .unwrap();
+        let Command::Trace(opts) = cmd else { panic!("expected trace") };
+        assert_eq!(opts.static_path.as_deref(), Some("s.json"));
+        assert_eq!(opts.runtime_path.as_deref(), Some("r.json"));
+        assert_eq!(opts.provider, "azure-like");
+        assert_eq!(opts.seed, 4);
+        assert_eq!(opts.format, TraceFormat::Csv);
+        assert_eq!(opts.out.as_deref(), Some("trace.csv"));
+        assert_eq!(opts.capacity, 512);
+    }
+
+    #[test]
+    fn trace_defaults_and_errors() {
+        let Command::Trace(opts) = parse_args(&strs(&["trace"])).unwrap() else {
+            panic!("expected trace")
+        };
+        assert_eq!(opts.static_path, None);
+        assert_eq!(opts.provider, "aws-like");
+        assert_eq!(opts.format, TraceFormat::Jsonl);
+        assert_eq!(opts.out, None);
+        assert_eq!(opts.capacity, 1 << 20);
+        assert!(parse_args(&strs(&["trace", "--format", "xml"])).is_err());
+        assert!(parse_args(&strs(&["trace", "--capacity", "0"])).is_err());
+        assert!(parse_args(&strs(&["trace", "--bogus"])).is_err());
     }
 
     #[test]

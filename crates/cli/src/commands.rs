@@ -9,9 +9,10 @@ use stats::svg::{SvgPlot, SvgSeries};
 use stellar_core::breakdown::BreakdownAnalysis;
 use stellar_core::config::{RuntimeConfig, StaticConfig};
 use stellar_core::experiment::Experiment;
+use stellar_core::traceio;
 use stellar_core::visualize::{export_cdf_csv, render_cdf, Series};
 
-use crate::args::{Command, RunOptions, USAGE};
+use crate::args::{Command, RunOptions, TraceFormat, TraceOptions, USAGE};
 
 /// CLI failures (all user-facing).
 #[derive(Debug)]
@@ -84,6 +85,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         }
         Command::SampleConfig => Ok(sample_config()),
         Command::Run(opts) => run(opts),
+        Command::Trace(opts) => trace(opts),
     }
 }
 
@@ -147,6 +149,38 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
         out.push_str(&format!("wrote SVG CDF to {path}\n"));
     }
     Ok(out)
+}
+
+fn trace(opts: &TraceOptions) -> Result<String, CliError> {
+    let provider = resolve_provider(&opts.provider)?;
+    let provider_name = provider.name.clone();
+    let mut experiment = Experiment::new(provider).seed(opts.seed).trace(opts.capacity);
+    if let Some(path) = &opts.static_path {
+        experiment = experiment
+            .functions(StaticConfig::from_json(&read(path)?).map_err(CliError::Config)?);
+    }
+    if let Some(path) = &opts.runtime_path {
+        experiment = experiment
+            .workload(RuntimeConfig::from_json(&read(path)?).map_err(CliError::Config)?);
+    }
+    let outcome = experiment.run().map_err(CliError::Experiment)?;
+    let (label, export) = match opts.format {
+        TraceFormat::Jsonl => ("jsonl", traceio::to_jsonl(&outcome.spans)),
+        TraceFormat::Csv => ("csv", traceio::to_csv(&outcome.spans)),
+    };
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &export).map_err(|e| CliError::Io(path.clone(), e))?;
+            Ok(format!(
+                "provider {provider_name}, seed {}: wrote {} spans to {path} \
+                 ({label}, digest {:016x})\n",
+                opts.seed,
+                outcome.spans.len(),
+                traceio::digest64(&export),
+            ))
+        }
+        None => Ok(export),
+    }
 }
 
 fn sample_config() -> String {
@@ -234,6 +268,36 @@ mod tests {
         assert!(csv.starts_with("series,quantile,latency_ms"));
         let svg = std::fs::read_to_string(svg_path).unwrap();
         assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn trace_exports_jsonl_and_csv() {
+        let base = TraceOptions {
+            static_path: None,
+            runtime_path: Some(write_temp(
+                "trace-runtime.json",
+                r#"{"iat": {"kind": "fixed", "ms": 1000.0}, "samples": 10, "warmup_rounds": 1}"#,
+            )),
+            provider: "aws-like".into(),
+            seed: 7,
+            format: TraceFormat::Jsonl,
+            out: None,
+            capacity: 4096,
+        };
+        let jsonl = execute(&Command::Trace(base.clone())).unwrap();
+        assert!(jsonl.lines().count() > 10, "one span per line");
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"span_id\":")));
+        assert!(jsonl.contains("\"component\":\"request\""));
+        assert!(jsonl.contains("\"component\":\"execution\""));
+
+        let out_path = write_temp("trace-out.csv", "");
+        let opts =
+            TraceOptions { format: TraceFormat::Csv, out: Some(out_path.clone()), ..base };
+        let msg = execute(&Command::Trace(opts)).unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        assert!(msg.contains("digest"));
+        let csv = std::fs::read_to_string(out_path).unwrap();
+        assert!(csv.starts_with("span_id,parent,request,component,start_ns,end_ns"));
     }
 
     #[test]

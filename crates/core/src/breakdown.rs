@@ -74,6 +74,33 @@ impl Component {
         }
     }
 
+    /// Machine-readable tag, identical to the `component` field of the
+    /// trace spans `faas_sim` emits for this pipeline stage (see
+    /// [`faas_sim::span_tag`]). Referencing the simulator's constants
+    /// keeps the 1:1 alignment checked by the compiler.
+    pub fn code(self) -> &'static str {
+        match self {
+            Component::Propagation => faas_sim::span_tag::PROPAGATION,
+            Component::Frontend => faas_sim::span_tag::FRONTEND,
+            Component::Routing => faas_sim::span_tag::ROUTING,
+            Component::DispatchWait => faas_sim::span_tag::DISPATCH_WAIT,
+            Component::InlineTransfer => faas_sim::span_tag::INLINE_TRANSFER,
+            Component::QueueWait => faas_sim::span_tag::QUEUE_WAIT,
+            Component::Steer => faas_sim::span_tag::STEER,
+            Component::Handling => faas_sim::span_tag::HANDLING,
+            Component::PayloadGet => faas_sim::span_tag::PAYLOAD_GET,
+            Component::Execution => faas_sim::span_tag::EXECUTION,
+            Component::Chain => faas_sim::span_tag::CHAIN,
+            Component::Response => faas_sim::span_tag::RESPONSE,
+        }
+    }
+
+    /// Looks up the component carrying trace tag `code`, if any (the
+    /// `"request"` root tag maps to no component).
+    pub fn from_code(code: &str) -> Option<Component> {
+        Component::ALL.iter().copied().find(|c| c.code() == code)
+    }
+
     /// Extracts this component's value (ms) from one completion.
     pub fn extract(self, c: &Completion) -> f64 {
         let b = &c.breakdown;
@@ -261,5 +288,17 @@ mod tests {
     #[should_panic(expected = "empty run")]
     fn empty_panics() {
         BreakdownAnalysis::compute(&[]);
+    }
+
+    #[test]
+    fn codes_align_with_simulator_span_tags() {
+        let unique: std::collections::HashSet<&str> =
+            Component::ALL.iter().map(|c| c.code()).collect();
+        assert_eq!(unique.len(), Component::ALL.len(), "codes must be distinct");
+        for &c in &Component::ALL {
+            assert_eq!(Component::from_code(c.code()), Some(c));
+        }
+        // The root tag marks whole requests, not a pipeline component.
+        assert_eq!(Component::from_code(faas_sim::span_tag::REQUEST), None);
     }
 }

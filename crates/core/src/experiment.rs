@@ -6,6 +6,8 @@
 
 use faas_sim::cloud::CloudSim;
 use faas_sim::config::ProviderConfig;
+use simkit::metrics::Metrics;
+use simkit::trace::SpanRecord;
 use stats::Summary;
 
 use crate::client::{run_workload, ClientError, RunResult};
@@ -68,6 +70,7 @@ pub struct Experiment {
     static_cfg: StaticConfig,
     runtime_cfg: RuntimeConfig,
     seed: u64,
+    trace_capacity: Option<usize>,
 }
 
 /// What an experiment produced.
@@ -79,6 +82,11 @@ pub struct Outcome {
     pub summary: Summary,
     /// Summary over transfer times (chains only), ms.
     pub transfer_summary: Option<Summary>,
+    /// Spans captured by the trace ring; empty unless
+    /// [`Experiment::trace`] enabled tracing.
+    pub spans: Vec<SpanRecord>,
+    /// Lifecycle counters maintained by the cloud (always on).
+    pub metrics: Metrics,
 }
 
 impl Outcome {
@@ -100,6 +108,7 @@ impl Experiment {
             },
             runtime_cfg: RuntimeConfig::single(crate::config::IatSpec::short(), 100),
             seed: 0,
+            trace_capacity: None,
         }
     }
 
@@ -121,6 +130,14 @@ impl Experiment {
         self
     }
 
+    /// Enables invocation tracing into a ring of `capacity` spans; the
+    /// captured spans land in [`Outcome::spans`]. Tracing draws no
+    /// randomness, so results are identical with or without it.
+    pub fn trace(mut self, capacity: usize) -> Experiment {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
     /// Deploys, drives the workload and summarises.
     ///
     /// # Errors
@@ -128,6 +145,9 @@ impl Experiment {
     /// Returns [`ExperimentError`] on deploy or client failure.
     pub fn run(&self) -> Result<Outcome, ExperimentError> {
         let mut cloud = CloudSim::new(self.provider.clone(), self.seed);
+        if let Some(capacity) = self.trace_capacity {
+            cloud.enable_tracing(capacity);
+        }
         let deployment = deploy(&mut cloud, &self.static_cfg, &self.runtime_cfg)?;
         let result = run_workload(&mut cloud, &deployment, &self.runtime_cfg, self.seed)?;
         let summary = Summary::from_samples(&result.latencies_ms());
@@ -136,7 +156,9 @@ impl Experiment {
         } else {
             Some(Summary::from_samples(&result.transfer_ms()))
         };
-        Ok(Outcome { result, summary, transfer_summary })
+        let spans = cloud.drain_spans();
+        let metrics = cloud.metrics().clone();
+        Ok(Outcome { result, summary, transfer_summary, spans, metrics })
     }
 }
 
@@ -173,6 +195,22 @@ mod tests {
         assert_eq!(ts.count, 20);
         // 1 MB at 100 MB/s inline = 10ms wire + warm overhead.
         assert!(ts.median > 10.0 && ts.median < 60.0, "median {}", ts.median);
+    }
+
+    #[test]
+    fn tracing_captures_spans_without_changing_results() {
+        let base = Experiment::new(test_provider()).seed(5);
+        let plain = base.clone().run().unwrap();
+        let traced = base.trace(100_000).run().unwrap();
+        assert_eq!(plain.latencies_ms(), traced.latencies_ms());
+        assert!(plain.spans.is_empty(), "tracing is off by default");
+        assert!(!traced.spans.is_empty());
+        let total = (traced.result.completions.len()
+            + traced.result.warmup_completions.len()) as u64;
+        assert_eq!(
+            traced.metrics.counter(faas_sim::cloud::metric::REQUESTS_COMPLETED),
+            total
+        );
     }
 
     #[test]

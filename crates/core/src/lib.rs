@@ -39,6 +39,7 @@ pub mod config;
 pub mod deployer;
 pub mod experiment;
 pub mod protocols;
+pub mod traceio;
 pub mod visualize;
 
 pub use breakdown::{BreakdownAnalysis, Component};

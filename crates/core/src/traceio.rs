@@ -1,0 +1,121 @@
+//! Trace export: serialising captured spans to JSONL and CSV.
+//!
+//! Spans come out of the simulator in deterministic emission order, so
+//! both formats are byte-stable for a fixed seed — [`digest64`] over the
+//! exported text is the cheap way to assert that in tests (and to compare
+//! runs without storing full golden files).
+//!
+//! A JSONL export carries one span object per line, in the simulator's
+//! emission order:
+//!
+//! ```text
+//! {"span_id":2,"parent":1,"request":0,"component":"propagation","start":0,"end":10000000}
+//! {"span_id":3,"parent":1,"request":0,"component":"frontend","start":10000000,"end":14000000}
+//! {"span_id":1,"parent":null,"request":0,"component":"request","start":0,"end":52000000}
+//! ```
+//!
+//! `start`/`end` are nanoseconds of simulated time ([`SimTime`]'s wire
+//! format); root spans appear when their request completes, hence after
+//! their children.
+
+use simkit::trace::SpanRecord;
+
+/// Renders `spans` as JSON Lines, one span object per line.
+pub fn to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        out.push_str(&serde_json::to_string(span).expect("span serialises"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders `spans` as CSV with a header row. `parent` is empty for trace
+/// roots; `duration_ms` is derived for spreadsheet convenience.
+pub fn to_csv(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("span_id,parent,request,component,start_ns,end_ns,duration_ms\n");
+    for span in spans {
+        let parent = span.parent.map_or(String::new(), |p| p.to_string());
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            span.span_id,
+            parent,
+            span.request,
+            span.component,
+            span.start.as_nanos(),
+            span.end.as_nanos(),
+            span.duration_ms(),
+        ));
+    }
+    out
+}
+
+/// FNV-1a hash of `text`: a stable 64-bit digest for comparing exports
+/// across runs without storing them.
+pub fn digest64(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::time::SimTime;
+
+    fn spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                span_id: 1,
+                parent: None,
+                request: 0,
+                component: "request",
+                start: SimTime::ZERO,
+                end: SimTime::from_millis(5.0),
+            },
+            SpanRecord {
+                span_id: 2,
+                parent: Some(1),
+                request: 0,
+                component: "execution",
+                start: SimTime::from_millis(1.0),
+                end: SimTime::from_millis(3.5),
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let text = to_jsonl(&spans());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"span_id":1,"parent":null,"request":0,"component":"request","start":0,"end":5000000}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"span_id":2,"parent":1,"request":0,"component":"execution","start":1000000,"end":3500000}"#
+        );
+    }
+
+    #[test]
+    fn csv_has_header_and_derived_duration() {
+        let text = to_csv(&spans());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "span_id,parent,request,component,start_ns,end_ns,duration_ms");
+        assert_eq!(lines[1], "1,,0,request,0,5000000,5");
+        assert_eq!(lines[2], "2,1,0,execution,1000000,3500000,2.5");
+    }
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        let text = to_jsonl(&spans());
+        assert_eq!(digest64(&text), digest64(&text));
+        assert_ne!(digest64(&text), digest64(&text[1..]));
+        assert_eq!(digest64(""), 0xcbf2_9ce4_8422_2325);
+    }
+}

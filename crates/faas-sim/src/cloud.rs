@@ -10,9 +10,11 @@
 use std::collections::HashMap;
 
 use simkit::engine::{Model, Scheduler, Simulation};
+use simkit::metrics::Metrics;
 use simkit::queue::FifoQueue;
 use simkit::rng::Rng;
 use simkit::time::SimTime;
+use simkit::trace::{RingCollector, SpanRecord, TraceSink, Tracer};
 
 use crate::billing::{ResourceUsage, UsageTracker};
 use crate::config::{ProviderConfig, ScalePolicy};
@@ -26,6 +28,72 @@ use crate::storage::{ImageStore, PayloadStore};
 use crate::types::{
     bytes_to_mb, DeploymentMethod, FunctionId, InstanceId, RequestId, TransferMode,
 };
+
+/// Component tags carried by emitted [`SpanRecord`]s: one per stage of the
+/// invocation lifecycle in the paper's Fig 1, plus [`span_tag::REQUEST`]
+/// for whole-request root spans.
+///
+/// `stellar-core`'s `Component` enum aligns 1:1 with the lifecycle tags;
+/// a test in that crate keeps the two in sync.
+pub mod span_tag {
+    /// Whole-request root span (trace root for external requests; child of
+    /// the producer's chain span for internal ones).
+    pub const REQUEST: &str = "request";
+    /// Client ↔ datacenter network propagation (outbound and return legs
+    /// are separate spans under the same tag).
+    pub const PROPAGATION: &str = "propagation";
+    /// Front-end fleet processing.
+    pub const FRONTEND: &str = "frontend";
+    /// Load-balancer routing decision.
+    pub const ROUTING: &str = "routing";
+    /// Waiting for the dispatch server.
+    pub const DISPATCH_WAIT: &str = "dispatch_wait";
+    /// Inline payload travelling with the request.
+    pub const INLINE_TRANSFER: &str = "inline_transfer";
+    /// Waiting in the scheduler queue (or for a cold boot).
+    pub const QUEUE_WAIT: &str = "queue_wait";
+    /// Worker steering to the chosen instance.
+    pub const STEER: &str = "steer";
+    /// In-instance request handling overhead.
+    pub const HANDLING: &str = "handling";
+    /// Consumer-side payload retrieval from storage.
+    pub const PAYLOAD_GET: &str = "payload_get";
+    /// Handler execution.
+    pub const EXECUTION: &str = "execution";
+    /// Producer-side wait for a chained invocation round trip.
+    pub const CHAIN: &str = "chain";
+    /// Response-path overhead back through the front end.
+    pub const RESPONSE: &str = "response";
+}
+
+/// Counter and gauge names maintained in the cloud's [`Metrics`] registry.
+pub mod metric {
+    /// External requests submitted.
+    pub const REQUESTS_SUBMITTED: &str = "requests_submitted";
+    /// External requests completed.
+    pub const REQUESTS_COMPLETED: &str = "requests_completed";
+    /// Instance boots started.
+    pub const INSTANCES_SPAWNED: &str = "instances_spawned";
+    /// Requests whose instance served them as its first use.
+    pub const COLD_STARTS: &str = "cold_starts";
+    /// Requests served by an already-used instance.
+    pub const WARM_STARTS: &str = "warm_starts";
+    /// Image fetches answered from a warm cache.
+    pub const IMAGE_CACHE_HITS: &str = "image_cache_hits";
+    /// Image fetches that missed the cache.
+    pub const IMAGE_CACHE_MISSES: &str = "image_cache_misses";
+    /// Boots that failed at completion and were retried.
+    pub const BOOT_FAILURE_RETRIES: &str = "boot_failure_retries";
+    /// Internal chain invocations issued.
+    pub const CHAIN_INVOCATIONS: &str = "chain_invocations";
+    /// Gauge: requests waiting (shared + committed queues), keyed by
+    /// function index. Sampled on telemetry ticks.
+    pub const QUEUE_DEPTH: &str = "queue_depth";
+    /// Gauge: idle + busy instances, keyed by function index.
+    pub const INSTANCES_LIVE: &str = "instances_live";
+    /// Gauge: booting instances, keyed by function index.
+    pub const INSTANCES_BOOTING: &str = "instances_booting";
+}
 
 /// Errors returned by [`CloudSim::deploy`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +200,11 @@ struct ReqState {
     chain_started: Option<SimTime>,
     cold: bool,
     done: bool,
+    /// Root span id (allocated at creation when tracing is on).
+    root_span: Option<u64>,
+    /// Chain span id, pre-allocated at `ComputeDone` so it precedes the
+    /// child's root span in allocation order.
+    chain_span: Option<u64>,
 }
 
 /// Per-function runtime state.
@@ -221,6 +294,11 @@ pub struct Cloud {
     transfers: Vec<TransferSample>,
     timeline: Option<TimelineRecorder>,
     stats: CloudStats,
+    /// Span tracing; `None` (the default) costs one discriminant check per
+    /// emission site.
+    trace: Option<Tracer>,
+    /// Always-on counters plus tick-sampled gauges.
+    metrics: Metrics,
 }
 
 impl Cloud {
@@ -249,6 +327,8 @@ impl Cloud {
             transfers: Vec::new(),
             timeline: None,
             stats: CloudStats::default(),
+            trace: None,
+            metrics: Metrics::new(),
         }
     }
 
@@ -286,6 +366,7 @@ impl Cloud {
         xfer_in: Option<XferInfo>,
     ) -> RequestId {
         let id = RequestId(self.requests.len() as u64);
+        let root_span = self.trace.as_mut().map(Tracer::alloc_id);
         self.requests.push(ReqState {
             function,
             origin,
@@ -299,8 +380,51 @@ impl Cloud {
             chain_started: None,
             cold: false,
             done: false,
+            root_span,
+            chain_span: None,
         });
         id
+    }
+
+    /// Emits one component span under `rid`'s root span. No-op when
+    /// tracing is off or the request predates it. Emission draws no
+    /// randomness and schedules no events, so enabling a trace cannot
+    /// perturb simulation results.
+    fn emit_span(
+        &mut self,
+        rid: RequestId,
+        component: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let Some(tracer) = self.trace.as_mut() else { return };
+        let Some(parent) = self.requests[rid.index()].root_span else { return };
+        let span_id = tracer.alloc_id();
+        tracer.emit(SpanRecord {
+            span_id,
+            parent: Some(parent),
+            request: rid.index() as u64,
+            component,
+            start,
+            end,
+        });
+    }
+
+    /// Emits `rid`'s root span, covering issue to completion. `parent` is
+    /// `None` for external requests and the producer's chain span for
+    /// internal ones.
+    fn emit_root_span(&mut self, rid: RequestId, end: SimTime, parent: Option<u64>) {
+        let Some(tracer) = self.trace.as_mut() else { return };
+        let req = &self.requests[rid.index()];
+        let Some(span_id) = req.root_span else { return };
+        tracer.emit(SpanRecord {
+            span_id,
+            parent,
+            request: rid.index() as u64,
+            component: span_tag::REQUEST,
+            start: req.issued_at,
+            end,
+        });
     }
 
     // ---- event handlers ---------------------------------------------------
@@ -337,6 +461,18 @@ impl Cloud {
         req.breakdown.routing_ms = routing_ms;
         req.breakdown.inline_transfer_ms = inline_ms;
         let delay = SimTime::from_millis(frontend_ms + routing_ms + inline_ms);
+        if self.trace.is_some() {
+            // Cumulative boundaries telescope, so the spans tile
+            // [now, now + delay] exactly despite nanosecond rounding.
+            let s1 = now + SimTime::from_millis(frontend_ms);
+            let s2 = now + SimTime::from_millis(frontend_ms + routing_ms);
+            let s3 = now + delay;
+            self.emit_span(rid, span_tag::FRONTEND, now, s1);
+            self.emit_span(rid, span_tag::ROUTING, s1, s2);
+            if inline_ms > 0.0 {
+                self.emit_span(rid, span_tag::INLINE_TRANSFER, s2, s3);
+            }
+        }
         sched.schedule_in(now, delay, CloudEvent::RoutingDone(rid));
     }
 
@@ -349,6 +485,7 @@ impl Cloud {
         let outcome = self.dispatch.dispatch(now, &mut self.rng_lb);
         self.requests[rid.index()].breakdown.dispatch_wait_ms =
             (outcome.ready_at - now).as_millis();
+        self.emit_span(rid, span_tag::DISPATCH_WAIT, now, outcome.ready_at);
         sched.schedule_at(outcome.ready_at, CloudEvent::Enqueued(rid));
     }
 
@@ -552,6 +689,7 @@ impl Cloud {
         sched: &mut Scheduler<CloudEvent>,
     ) -> InstanceId {
         self.stats.spawns += 1;
+        self.metrics.inc(metric::INSTANCES_SPAWNED);
         let decision_ms = self.cfg.scaling.decision_ms.sample(&mut self.rng_cold);
         let reserved = self.governor.reserve(now);
         let spawn_wait_ms = (reserved - now).as_millis();
@@ -562,6 +700,11 @@ impl Cloud {
             (state.image_mb, state.spec.runtime, state.spec.deployment)
         };
         let fetch = self.image_store.fetch(fid, image_mb, fetch_at);
+        self.metrics.inc(if fetch.cache_warm {
+            metric::IMAGE_CACHE_HITS
+        } else {
+            metric::IMAGE_CACHE_MISSES
+        });
         let sandbox_ms = self.cfg.cold_start.sandbox_boot_ms.sample(&mut self.rng_cold);
         let boot_core_ms = if self.cfg.cold_start.fetch_overlaps_boot {
             sandbox_ms.max(fetch.latency_ms)
@@ -628,6 +771,7 @@ impl Cloud {
         let p_fail = self.cfg.cold_start.boot_failure_prob;
         if p_fail > 0.0 && self.rng_cold.bernoulli(p_fail) {
             self.stats.boot_failures += 1;
+            self.metrics.inc(metric::BOOT_FAILURE_RETRIES);
             {
                 let state = self.fstate_mut(fid);
                 state.instances[iid.idx as usize].fail_boot();
@@ -687,6 +831,7 @@ impl Cloud {
             state.n_busy += 1;
             first_use
         };
+        self.metrics.inc(if first_use { metric::COLD_STARTS } else { metric::WARM_STARTS });
 
         let shares = self.cfg.warm_path.shares;
         let (memory_mb, exec_dist) = {
@@ -736,6 +881,23 @@ impl Cloud {
             });
         }
 
+        if self.trace.is_some() {
+            if let Some(started) = self.requests[rid.index()].wait_started {
+                self.emit_span(rid, span_tag::QUEUE_WAIT, started, now);
+            }
+            let t1 = now + SimTime::from_millis(steer_ms);
+            let t2 = now + SimTime::from_millis(steer_ms + handling_ms);
+            let t3 = now + SimTime::from_millis(steer_ms + handling_ms + payload_get_ms);
+            let t4 = now
+                + SimTime::from_millis(steer_ms + handling_ms + payload_get_ms + exec_ms);
+            self.emit_span(rid, span_tag::STEER, now, t1);
+            self.emit_span(rid, span_tag::HANDLING, t1, t2);
+            if payload_get_ms > 0.0 {
+                self.emit_span(rid, span_tag::PAYLOAD_GET, t2, t3);
+            }
+            self.emit_span(rid, span_tag::EXECUTION, t3, t4);
+        }
+
         let compute_at =
             now + SimTime::from_millis(steer_ms + handling_ms + payload_get_ms + exec_ms);
         sched.schedule_at(compute_at, CloudEvent::ComputeDone(rid, iid));
@@ -755,6 +917,9 @@ impl Cloud {
                 // Producer side of a chain hop (step ⑨): PUT (for storage
                 // transfers), then invoke the consumer and wait for it.
                 self.requests[rid.index()].chain_started = Some(now);
+                self.requests[rid.index()].chain_span =
+                    self.trace.as_mut().map(Tracer::alloc_id);
+                self.metrics.inc(metric::CHAIN_INVOCATIONS);
                 let tag = self.requests[rid.index()].tag;
                 let child_issue_at = match chain.mode {
                     TransferMode::Inline => now,
@@ -816,6 +981,14 @@ impl Cloud {
             req.breakdown.response_ms = response_ms;
             req.breakdown.prop_back_ms = prop_back_ms;
         }
+        if self.trace.is_some() {
+            let r1 = now + SimTime::from_millis(response_ms);
+            let r2 = now + SimTime::from_millis(response_ms + prop_back_ms);
+            self.emit_span(rid, span_tag::RESPONSE, now, r1);
+            if is_external {
+                self.emit_span(rid, span_tag::PROPAGATION, r1, r2);
+            }
+        }
         sched.schedule_in(
             now,
             SimTime::from_millis(response_ms + prop_back_ms),
@@ -843,6 +1016,8 @@ impl Cloud {
         match origin {
             RequestOrigin::External => {
                 self.stats.completed += 1;
+                self.metrics.inc(metric::REQUESTS_COMPLETED);
+                self.emit_root_span(rid, now, None);
                 let breakdown = self.requests[rid.index()].breakdown.clone();
                 self.completions.push(Completion {
                     id: rid,
@@ -866,6 +1041,21 @@ impl Cloud {
                 };
                 self.requests[parent.index()].breakdown.chain_ms =
                     (now - chain_started).as_millis();
+                let chain_span = self.requests[parent.index()].chain_span;
+                if let Some(chain_id) = chain_span {
+                    let producer_root = self.requests[parent.index()].root_span;
+                    if let Some(tracer) = self.trace.as_mut() {
+                        tracer.emit(SpanRecord {
+                            span_id: chain_id,
+                            parent: producer_root,
+                            request: parent.index() as u64,
+                            component: span_tag::CHAIN,
+                            start: chain_started,
+                            end: now,
+                        });
+                    }
+                }
+                self.emit_root_span(rid, now, chain_span);
                 sched.schedule_at(now, CloudEvent::ExecDone(parent, pinst));
             }
         }
@@ -903,14 +1093,28 @@ impl Cloud {
     fn on_telemetry_tick(&mut self, now: SimTime, sched: &mut Scheduler<CloudEvent>) {
         let Some(recorder) = &mut self.timeline else { return };
         for (i, state) in self.functions.iter().enumerate() {
+            let queued = state.queue.len() as u32 + state.committed_total;
             recorder.samples.push(TimelineSample {
                 at: now,
                 function: FunctionId(i as u32),
                 idle: state.n_idle,
                 busy: state.n_busy,
                 booting: state.n_booting,
-                queued: state.queue.len() as u32 + state.committed_total,
+                queued,
             });
+            self.metrics.gauge(now, metric::QUEUE_DEPTH, i as u64, f64::from(queued));
+            self.metrics.gauge(
+                now,
+                metric::INSTANCES_LIVE,
+                i as u64,
+                f64::from(state.n_idle + state.n_busy),
+            );
+            self.metrics.gauge(
+                now,
+                metric::INSTANCES_BOOTING,
+                i as u64,
+                f64::from(state.n_booting),
+            );
         }
         // Keep ticking only while other work is pending, so runs that
         // drain to idle still terminate.
@@ -1031,9 +1235,11 @@ impl CloudSim {
         );
         let cloud = self.sim.model_mut();
         cloud.stats.submitted += 1;
+        cloud.metrics.inc(metric::REQUESTS_SUBMITTED);
         let prop_ms = cloud.cfg.network.prop_delay_ms.sample(&mut cloud.rng_net);
         let rid = cloud.create_request(function, RequestOrigin::External, tag, at, None);
         cloud.requests[rid.index()].breakdown.prop_out_ms = prop_ms;
+        cloud.emit_span(rid, span_tag::PROPAGATION, at, at + SimTime::from_millis(prop_ms));
         self.sim
             .schedule_at(at + SimTime::from_millis(prop_ms), CloudEvent::FrontendArrive(rid));
         rid
@@ -1114,6 +1320,39 @@ impl CloudSim {
     /// Image-store statistics (cache hit counters etc.).
     pub fn image_store_stats(&self) -> crate::storage::ImageStoreStats {
         self.sim.model().image_store.stats()
+    }
+
+    /// Enables span tracing into a bounded in-memory ring holding the
+    /// newest `capacity` spans (see [`RingCollector`]). Call before
+    /// submitting work: requests created earlier have no root span and
+    /// are not traced.
+    ///
+    /// Tracing draws no randomness and schedules no events, so enabling
+    /// it does not change simulation results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.set_trace_sink(Box::new(RingCollector::with_capacity(capacity)));
+    }
+
+    /// Directs emitted spans into a custom [`TraceSink`].
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sim.model_mut().trace = Some(Tracer::new(sink));
+    }
+
+    /// Removes and returns spans buffered by the trace sink. Empty when
+    /// tracing is off or the sink forwards spans elsewhere.
+    pub fn drain_spans(&mut self) -> Vec<SpanRecord> {
+        self.sim.model_mut().trace.as_mut().map_or_else(Vec::new, Tracer::drain)
+    }
+
+    /// The metrics registry: always-on lifecycle counters (see [`metric`])
+    /// plus gauges sampled on telemetry ticks when
+    /// [`CloudSim::enable_timeline`] is active.
+    pub fn metrics(&self) -> &Metrics {
+        &self.sim.model().metrics
     }
 
     /// The provider configuration this cloud runs.

@@ -41,12 +41,16 @@
 
 pub mod dist;
 pub mod engine;
+pub mod metrics;
 pub mod queue;
 pub mod ratelimit;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use dist::Dist;
 pub use engine::{Model, Scheduler, Simulation};
+pub use metrics::{MetricSample, Metrics};
 pub use rng::Rng;
 pub use time::SimTime;
+pub use trace::{RingCollector, SpanRecord, TraceSink, Tracer};

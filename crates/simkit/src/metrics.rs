@@ -1,0 +1,122 @@
+//! Lightweight metrics registry for simulation models.
+//!
+//! Two primitive kinds, mirroring what production observability stacks
+//! offer:
+//!
+//! * **Counters** — monotonically increasing `u64`s maintained on the hot
+//!   path ([`Metrics::inc`] is a name lookup in a handful-sized table plus
+//!   one add, so models keep them always-on).
+//! * **Gauges** — point-in-time values recorded as [`MetricSample`]s,
+//!   intended to be sampled on periodic simulated-time ticks rather than
+//!   on every event.
+//!
+//! Names are `&'static str`s registered implicitly on first use; iteration
+//! order is first-use order, which is deterministic for a fixed seed.
+
+use serde::Serialize;
+
+use crate::time::SimTime;
+
+/// One gauge observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MetricSample {
+    /// Simulated time of the observation.
+    pub at: SimTime,
+    /// Gauge name, e.g. `"queue_depth"`.
+    pub name: &'static str,
+    /// Sub-key distinguishing instances of the gauge (e.g. a function
+    /// index); 0 when unused.
+    pub key: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// Registry of counters and gauge samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    counters: Vec<(&'static str, u64)>,
+    samples: Vec<MetricSample>,
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero on first use.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        for (existing, value) in &mut self.counters {
+            if *existing == name {
+                *value += n;
+                return;
+            }
+        }
+        self.counters.push((name, n));
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(existing, _)| *existing == name)
+            .map_or(0, |(_, value)| *value)
+    }
+
+    /// All counters in first-use order.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    /// Records one gauge observation.
+    pub fn gauge(&mut self, at: SimTime, name: &'static str, key: u64, value: f64) {
+        self.samples.push(MetricSample { at, name, key, value });
+    }
+
+    /// All gauge samples in recording order.
+    pub fn samples(&self) -> &[MetricSample] {
+        &self.samples
+    }
+
+    /// Gauge samples of one name, in recording order.
+    pub fn samples_of<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a MetricSample> + 'a {
+        self.samples.iter().filter(move |s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = Metrics::new();
+        m.inc("cold_starts");
+        m.inc("cold_starts");
+        m.add("spawns", 5);
+        assert_eq!(m.counter("cold_starts"), 2);
+        assert_eq!(m.counter("spawns"), 5);
+        assert_eq!(m.counter("never"), 0);
+        let names: Vec<&str> = m.counters().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["cold_starts", "spawns"], "first-use order");
+    }
+
+    #[test]
+    fn gauges_record_samples() {
+        let mut m = Metrics::new();
+        m.gauge(SimTime::from_secs(1.0), "queue_depth", 0, 3.0);
+        m.gauge(SimTime::from_secs(2.0), "queue_depth", 1, 5.0);
+        m.gauge(SimTime::from_secs(2.0), "instances_live", 0, 2.0);
+        assert_eq!(m.samples().len(), 3);
+        let depths: Vec<f64> = m.samples_of("queue_depth").map(|s| s.value).collect();
+        assert_eq!(depths, [3.0, 5.0]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Structured span tracing for simulations.
+//!
+//! A *span* is a named interval of simulated time attributed to one request
+//! and one pipeline component — the simulator-side analogue of the
+//! per-component timestamps STeLLAR's client extracts from provider logs
+//! (§IV). Models emit [`SpanRecord`]s into a [`TraceSink`]; the shipped
+//! sink is [`RingCollector`], a bounded in-memory ring that drops the
+//! oldest spans under pressure instead of growing without bound.
+//!
+//! Tracing is designed to be zero-cost when disabled: a model stores an
+//! `Option<Tracer>` and every emission site is gated on one `Option`
+//! discriminant check. Emission draws no randomness and schedules no
+//! events, so enabling a trace never perturbs simulation results.
+//!
+//! Span identifiers are allocated in creation order by [`Tracer::alloc_id`],
+//! starting at 1; `parent` links spans into a per-request tree whose root
+//! covers the whole request lifetime. Records may reach the sink out of
+//! id order (a span is recorded when its interval is known, which for
+//! request roots is at completion), but the order itself is deterministic
+//! for a fixed seed.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::Serialize;
+
+use crate::time::SimTime;
+
+/// One closed interval of simulated time attributed to a request component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SpanRecord {
+    /// Unique within one simulation, allocated from 1 in creation order.
+    pub span_id: u64,
+    /// Enclosing span, if any; `None` marks a trace root.
+    pub parent: Option<u64>,
+    /// The request this span belongs to (raw request index).
+    pub request: u64,
+    /// Component tag, e.g. `"frontend"`; the simulator aligns these 1:1
+    /// with its breakdown components.
+    pub component: &'static str,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end; never before `start`.
+    pub end: SimTime,
+}
+
+impl SpanRecord {
+    /// Span duration.
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+
+    /// Span duration in milliseconds.
+    pub fn duration_ms(&self) -> f64 {
+        self.duration().as_millis()
+    }
+}
+
+impl fmt::Display for SpanRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "span {} req{} {} [{} .. {}]",
+            self.span_id, self.request, self.component, self.start, self.end
+        )
+    }
+}
+
+/// Destination for emitted spans.
+///
+/// `Debug` is a supertrait so sinks can live inside `#[derive(Debug)]`
+/// simulation models.
+pub trait TraceSink: fmt::Debug {
+    /// Accepts one finished span.
+    fn record(&mut self, span: SpanRecord);
+
+    /// Removes and returns everything buffered so far. Sinks that forward
+    /// spans elsewhere (files, sockets) may return nothing; the default
+    /// does exactly that.
+    fn drain(&mut self) -> Vec<SpanRecord> {
+        Vec::new()
+    }
+}
+
+/// Span-id allocator in front of a [`TraceSink`].
+#[derive(Debug)]
+pub struct Tracer {
+    sink: Box<dyn TraceSink>,
+    next_id: u64,
+}
+
+impl Tracer {
+    /// Wraps `sink`; ids start at 1.
+    pub fn new(sink: Box<dyn TraceSink>) -> Tracer {
+        Tracer { sink, next_id: 1 }
+    }
+
+    /// Reserves the next span id. Ids can be handed out before the span's
+    /// interval is known (e.g. a root span allocated at request creation
+    /// and recorded at completion).
+    pub fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Forwards a finished span to the sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span interval is inverted (`end < start`); emission
+    /// sites compute both endpoints, so an inverted span is a model bug.
+    pub fn emit(&mut self, span: SpanRecord) {
+        assert!(span.end >= span.start, "inverted span: {span}");
+        self.sink.record(span);
+    }
+
+    /// Drains the underlying sink.
+    pub fn drain(&mut self) -> Vec<SpanRecord> {
+        self.sink.drain()
+    }
+
+    /// Spans allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.next_id - 1
+    }
+}
+
+/// Bounded in-memory span buffer: keeps the newest `capacity` spans,
+/// counting what it had to drop.
+#[derive(Debug, Clone)]
+pub struct RingCollector {
+    capacity: usize,
+    spans: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+impl RingCollector {
+    /// Creates a collector holding at most `capacity` spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> RingCollector {
+        assert!(capacity > 0, "ring collector needs capacity > 0");
+        RingCollector { capacity, spans: VecDeque::new(), dropped: 0 }
+    }
+
+    /// Buffered spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter()
+    }
+
+    /// Number of buffered spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingCollector {
+    fn record(&mut self, span: SpanRecord) {
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(span);
+    }
+
+    fn drain(&mut self) -> Vec<SpanRecord> {
+        self.spans.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>) -> SpanRecord {
+        SpanRecord {
+            span_id: id,
+            parent,
+            request: 0,
+            component: "execution",
+            start: SimTime::from_millis(1.0),
+            end: SimTime::from_millis(3.0),
+        }
+    }
+
+    #[test]
+    fn tracer_allocates_sequential_ids() {
+        let mut tracer = Tracer::new(Box::new(RingCollector::with_capacity(8)));
+        assert_eq!(tracer.alloc_id(), 1);
+        assert_eq!(tracer.alloc_id(), 2);
+        tracer.emit(span(1, None));
+        tracer.emit(span(2, Some(1)));
+        assert_eq!(tracer.allocated(), 2);
+        let spans = tracer.drain();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].parent, Some(1));
+        assert!(tracer.drain().is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut ring = RingCollector::with_capacity(2);
+        ring.record(span(1, None));
+        ring.record(span(2, None));
+        ring.record(span(3, None));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let ids: Vec<u64> = ring.spans().map(|s| s.span_id).collect();
+        assert_eq!(ids, [2, 3]);
+    }
+
+    #[test]
+    fn duration_and_display() {
+        let s = span(7, None);
+        assert_eq!(s.duration(), SimTime::from_millis(2.0));
+        assert_eq!(s.duration_ms(), 2.0);
+        assert!(s.to_string().contains("req0 execution"));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted span")]
+    fn inverted_span_panics() {
+        let mut tracer = Tracer::new(Box::new(RingCollector::with_capacity(1)));
+        let mut bad = span(1, None);
+        bad.end = SimTime::ZERO;
+        tracer.emit(bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity > 0")]
+    fn zero_capacity_panics() {
+        RingCollector::with_capacity(0);
+    }
+}

@@ -4,9 +4,12 @@
 
 use faas_sim::cloud::CloudSim;
 use faas_sim::spec::FunctionSpec;
+use faas_sim::types::TransferMode;
 use providers::profiles::{aws_like, azure_like, google_like};
 use simkit::time::SimTime;
-use stellar_core::protocols::{warm_invocations, cold_invocations, ColdSetup};
+use stellar_core::protocols::{
+    bursty_invocations, cold_invocations, transfer_chain, warm_invocations, BurstIat, ColdSetup,
+};
 
 #[test]
 fn identical_seeds_identical_latencies_per_provider() {
@@ -55,6 +58,71 @@ fn subsystem_streams_are_isolated() {
             .collect::<Vec<_>>()
     };
     assert_eq!(run(600_000.0), run(900_000.0));
+}
+
+/// Runs each closure on its own crossbeam-scoped thread and collects the
+/// results in spawn order.
+fn sharded<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs.into_iter().map(|job| scope.spawn(move |_| job())).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .collect()
+    })
+    .expect("scope")
+}
+
+#[test]
+fn fig3_warm_sweep_sharded_across_threads_matches_serial() {
+    // The Fig 3 measurement sweep — one warm run per provider — run once
+    // serially and once with each provider on its own thread. Each run
+    // owns its RNG state, so sharding the sweep must be bit-identical.
+    let providers = [aws_like(), google_like(), azure_like()];
+    let serial: Vec<Vec<f64>> = providers
+        .iter()
+        .map(|cfg| warm_invocations(cfg.clone(), 120, 2021).unwrap().latencies_ms())
+        .collect();
+    let threaded = sharded(
+        providers
+            .iter()
+            .map(|cfg| {
+                let cfg = cfg.clone();
+                move || warm_invocations(cfg, 120, 2021).unwrap().latencies_ms()
+            })
+            .collect(),
+    );
+    assert_eq!(serial, threaded, "sharded fig3 sweep must match serial");
+}
+
+#[test]
+fn fig8_and_table1_shards_match_serial() {
+    // The cold-start (Fig 8) and transfer/bursty (Table 1) paths run as a
+    // mixed shard set: heterogeneous experiments concurrently on separate
+    // threads must reproduce their serial latency sequences exactly.
+    let cold =
+        || cold_invocations(aws_like(), ColdSetup::baseline(), 60, 20, 31).unwrap().latencies_ms();
+    let xfer = || {
+        transfer_chain(google_like(), TransferMode::Storage, 1_000_000, 40, 32)
+            .unwrap()
+            .latencies_ms()
+    };
+    let burst = || {
+        bursty_invocations(azure_like(), BurstIat::Short, 10, 20.0, 40, 3, 33)
+            .unwrap()
+            .latencies_ms()
+    };
+    let serial = vec![cold(), xfer(), burst()];
+    let threaded = sharded::<Vec<f64>, Box<dyn FnOnce() -> Vec<f64> + Send>>(vec![
+        Box::new(cold),
+        Box::new(xfer),
+        Box::new(burst),
+    ]);
+    assert_eq!(serial, threaded, "sharded fig8/table1 runs must match serial");
 }
 
 #[test]

@@ -1,0 +1,193 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/type surface this workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`] — backed by a
+//! plain wall-clock sampler: warm-up, N timed samples, min/median/max report.
+//! No statistical analysis, plots, or baseline storage.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Batch sizing hint; accepted for API compatibility. Every batch runs the
+/// routine once (matching `SmallInput` semantics closely enough for timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        report(name, &bencher.samples);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: None }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher { samples: Vec::new(), sample_size };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher.samples);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    /// Seconds per routine invocation, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly. Fast routines are batched so each sample
+    /// spans at least ~2ms of wall clock.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up + calibration: how many invocations fill ~2ms?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        let batch = ((2e-3 / once) as usize).clamp(1, 1_000_000);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        // Warm-up.
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+fn report(name: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_time(sorted[0]),
+        fmt_time(median),
+        fmt_time(sorted[sorted.len() - 1]),
+    );
+}
+
+/// Defines `pub fn $name()` running each target against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5), "2.5000 s");
+        assert_eq!(fmt_time(2.5e-3), "2.5000 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.5000 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5000 ns");
+    }
+}

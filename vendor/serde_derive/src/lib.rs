@@ -1,0 +1,526 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's [`Value`]-tree data model, without `syn` or
+//! `quote`: the input item is parsed directly from its token stream and the
+//! impl is emitted as source text. Supported shapes (everything this
+//! workspace derives on):
+//!
+//! * structs with named fields, honouring `#[serde(default)]` and
+//!   `#[serde(default = "path")]`
+//! * newtype (single-field tuple) structs, incl. `#[serde(transparent)]`
+//! * enums of unit / newtype / struct variants, honouring
+//!   `#[serde(rename_all = "snake_case")]` and `#[serde(tag = "...")]`
+//!
+//! Generics are not supported (none of the workspace's serde types are
+//! generic); deriving on a generic item produces a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- item model -----------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct ContainerAttrs {
+    rename_all_snake: bool,
+    tag: Option<String>,
+    transparent: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `None`: required. `Some(None)`: `#[serde(default)]`.
+    /// `Some(Some(path))`: `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+#[derive(Debug)]
+enum VariantData {
+    Unit,
+    Newtype,
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+// ---- parsing --------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(stream: TokenStream) -> Parser {
+        Parser { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Consumes leading attributes, folding `#[serde(...)]` ones into
+    /// `attrs` via `apply`.
+    fn take_attrs(&mut self, mut apply: impl FnMut(&[TokenTree])) {
+        while self.at_punct('#') {
+            self.next(); // '#'
+            let Some(TokenTree::Group(g)) = self.next() else { return };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(head)) = inner.first() {
+                if head.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                        apply(&args);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(...)`.
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips a type (or any tokens) until a top-level comma, tracking
+    /// angle-bracket depth so `HashMap<String, V>` does not split early.
+    fn skip_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+/// `lit` including surrounding quotes → bare string.
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Applies one `#[serde(...)]` argument list to container attrs.
+fn container_attr(attrs: &mut ContainerAttrs, args: &[TokenTree]) {
+    let mut i = 0;
+    while i < args.len() {
+        let word = args[i].to_string();
+        match word.as_str() {
+            "transparent" => attrs.transparent = true,
+            "rename_all" => {
+                // rename_all = "snake_case"
+                if let Some(TokenTree::Literal(l)) = args.get(i + 2) {
+                    if unquote(&l.to_string()) == "snake_case" {
+                        attrs.rename_all_snake = true;
+                    }
+                    i += 2;
+                }
+            }
+            "tag" => {
+                if let Some(TokenTree::Literal(l)) = args.get(i + 2) {
+                    attrs.tag = Some(unquote(&l.to_string()));
+                    i += 2;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Applies one `#[serde(...)]` argument list to a field's default spec.
+fn field_attr(default: &mut Option<Option<String>>, args: &[TokenTree]) {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].to_string() == "default" {
+            if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(l))) =
+                (args.get(i + 1), args.get(i + 2))
+            {
+                if eq.as_char() == '=' {
+                    *default = Some(Some(unquote(&l.to_string())));
+                    i += 2;
+                }
+            } else {
+                *default = Some(None);
+            }
+        }
+        i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut p = Parser::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let mut default = None;
+        p.take_attrs(|args| field_attr(&mut default, args));
+        p.skip_vis();
+        let Some(TokenTree::Ident(name)) = p.next() else { break };
+        // ':'
+        p.next();
+        p.skip_until_comma();
+        p.next(); // ','
+        fields.push(Field { name: name.to_string(), default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut p = Parser::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        p.take_attrs(|_| {});
+        let Some(TokenTree::Ident(name)) = p.next() else { break };
+        let data = match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                p.next();
+                VariantData::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                p.next();
+                VariantData::Newtype
+            }
+            _ => VariantData::Unit,
+        };
+        if p.at_punct(',') {
+            p.next();
+        }
+        variants.push(Variant { name: name.to_string(), data });
+    }
+    variants
+}
+
+fn parse_input(stream: TokenStream) -> Result<Input, String> {
+    let mut p = Parser::new(stream);
+    let mut attrs = ContainerAttrs::default();
+    p.take_attrs(|args| container_attr(&mut attrs, args));
+    p.skip_vis();
+    let Some(TokenTree::Ident(kw)) = p.next() else {
+        return Err("expected `struct` or `enum`".into());
+    };
+    let kw = kw.to_string();
+    let Some(TokenTree::Ident(name)) = p.next() else {
+        return Err("expected item name".into());
+    };
+    if p.at_punct('<') {
+        return Err("generic types are not supported by the vendored serde_derive".into());
+    }
+    let data = match (kw.as_str(), p.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            // Count top-level fields: must be a newtype.
+            let mut depth = 0i32;
+            let mut fields = 1usize;
+            for t in g.stream() {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+                    _ => {}
+                }
+            }
+            if fields != 1 {
+                return Err("only single-field tuple structs are supported".into());
+            }
+            Data::NewtypeStruct
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::Enum(parse_variants(g.stream()))
+        }
+        _ => return Err(format!("unsupported item shape for `{name}`")),
+    };
+    Ok(Input { name: name.to_string(), attrs, data })
+}
+
+// ---- codegen --------------------------------------------------------------
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_key(attrs: &ContainerAttrs, variant: &str) -> String {
+    if attrs.rename_all_snake {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NewtypeStruct => "serde::Serialize::serialize(&self.0)".to_string(),
+        Data::NamedStruct(fields) => {
+            let mut s = String::from(
+                "{ let mut entries: Vec<(String, serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "entries.push((String::from(\"{0}\"), serde::Serialize::serialize(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("serde::Value::Map(entries) }");
+            s
+        }
+        Data::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let key = variant_key(&input.attrs, &v.name);
+                match (&v.data, &input.attrs.tag) {
+                    (VariantData::Unit, None) => s.push_str(&format!(
+                        "{name}::{0} => serde::Value::Str(String::from(\"{key}\")),\n",
+                        v.name
+                    )),
+                    (VariantData::Unit, Some(tag)) => s.push_str(&format!(
+                        "{name}::{0} => serde::Value::Map(vec![(String::from(\"{tag}\"), serde::Value::Str(String::from(\"{key}\")))]),\n",
+                        v.name
+                    )),
+                    (VariantData::Newtype, None) => s.push_str(&format!(
+                        "{name}::{0}(inner) => serde::Value::Map(vec![(String::from(\"{key}\"), serde::Serialize::serialize(inner))]),\n",
+                        v.name
+                    )),
+                    (VariantData::Newtype, Some(_)) => s.push_str(&format!(
+                        "{name}::{0}(_) => panic!(\"internally tagged newtype variants unsupported\"),\n",
+                        v.name
+                    )),
+                    (VariantData::Named(fields), tag) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        s.push_str(&format!(
+                            "{name}::{0} {{ {1} }} => {{\n",
+                            v.name,
+                            binders.join(", ")
+                        ));
+                        s.push_str(
+                            "let mut fields: Vec<(String, serde::Value)> = Vec::new();\n",
+                        );
+                        if let Some(tag) = tag {
+                            s.push_str(&format!(
+                                "fields.push((String::from(\"{tag}\"), serde::Value::Str(String::from(\"{key}\"))));\n"
+                            ));
+                        }
+                        for f in fields {
+                            s.push_str(&format!(
+                                "fields.push((String::from(\"{0}\"), serde::Serialize::serialize({0})));\n",
+                                f.name
+                            ));
+                        }
+                        if tag.is_some() {
+                            s.push_str("serde::Value::Map(fields)\n}\n");
+                        } else {
+                            s.push_str(&format!(
+                                "serde::Value::Map(vec![(String::from(\"{key}\"), serde::Value::Map(fields))])\n}}\n"
+                            ));
+                        }
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_field_extract(f: &Field, source: &str) -> String {
+    match &f.default {
+        None => format!("{0}: serde::field({source}, \"{0}\")?,\n", f.name),
+        Some(None) => format!(
+            "{0}: serde::field_or({source}, \"{0}\", Default::default)?,\n",
+            f.name
+        ),
+        Some(Some(path)) => {
+            format!("{0}: serde::field_or({source}, \"{0}\", {path})?,\n", f.name)
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NewtypeStruct => {
+            format!("Ok({name}(serde::Deserialize::deserialize(v)?))")
+        }
+        Data::NamedStruct(fields) => {
+            let mut s = format!(
+                "let entries = v.as_map().ok_or_else(|| serde::DeError::expected(\"map for {name}\", v))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&gen_field_extract(f, "entries"));
+            }
+            s.push_str("})");
+            s
+        }
+        Data::Enum(variants) => match &input.attrs.tag {
+            Some(tag) => {
+                let mut s = format!(
+                    "let entries = v.as_map().ok_or_else(|| serde::DeError::expected(\"tagged map for {name}\", v))?;\n\
+                     let tag = serde::lookup(entries, \"{tag}\")\
+                         .and_then(serde::Value::as_str)\
+                         .ok_or_else(|| serde::DeError::missing(\"{tag}\"))?;\n\
+                     match tag {{\n"
+                );
+                for v in variants {
+                    let key = variant_key(&input.attrs, &v.name);
+                    match &v.data {
+                        VariantData::Unit => {
+                            s.push_str(&format!("\"{key}\" => Ok({name}::{0}),\n", v.name));
+                        }
+                        VariantData::Newtype => {
+                            s.push_str(&format!(
+                                "\"{key}\" => Err(serde::DeError(String::from(\"internally tagged newtype variants unsupported\"))),\n"
+                            ));
+                        }
+                        VariantData::Named(fields) => {
+                            s.push_str(&format!("\"{key}\" => Ok({name}::{0} {{\n", v.name));
+                            for f in fields {
+                                s.push_str(&gen_field_extract(f, "entries"));
+                            }
+                            s.push_str("}),\n");
+                        }
+                    }
+                }
+                s.push_str(&format!(
+                    "other => Err(serde::DeError::unknown_variant(other, \"{name}\")),\n}}"
+                ));
+                s
+            }
+            None => {
+                let mut s = String::from("match v {\n");
+                // Unit variants arrive as bare strings.
+                s.push_str("serde::Value::Str(s) => match s.as_str() {\n");
+                for v in variants {
+                    if matches!(v.data, VariantData::Unit) {
+                        let key = variant_key(&input.attrs, &v.name);
+                        s.push_str(&format!("\"{key}\" => Ok({name}::{0}),\n", v.name));
+                    }
+                }
+                s.push_str(&format!(
+                    "other => Err(serde::DeError::unknown_variant(other, \"{name}\")),\n}},\n"
+                ));
+                // Data variants arrive as single-entry maps.
+                s.push_str(
+                    "serde::Value::Map(entries) if entries.len() == 1 => {\n\
+                     let (key, inner) = &entries[0];\n\
+                     let _ = inner;\n\
+                     match key.as_str() {\n",
+                );
+                for v in variants {
+                    let key = variant_key(&input.attrs, &v.name);
+                    match &v.data {
+                        VariantData::Unit => {}
+                        VariantData::Newtype => s.push_str(&format!(
+                            "\"{key}\" => Ok({name}::{0}(serde::Deserialize::deserialize(inner)?)),\n",
+                            v.name
+                        )),
+                        VariantData::Named(fields) => {
+                            s.push_str(&format!(
+                                "\"{key}\" => {{\n\
+                                 let fields = inner.as_map().ok_or_else(|| serde::DeError::expected(\"variant map\", inner))?;\n\
+                                 let _ = fields;\n\
+                                 Ok({name}::{0} {{\n",
+                                v.name
+                            ));
+                            for f in fields {
+                                s.push_str(&gen_field_extract(f, "fields"));
+                            }
+                            s.push_str("})\n},\n");
+                        }
+                    }
+                }
+                s.push_str(&format!(
+                    "other => Err(serde::DeError::unknown_variant(other, \"{name}\")),\n}}\n}},\n"
+                ));
+                s.push_str(&format!(
+                    "other => Err(serde::DeError::expected(\"variant of {name}\", other)),\n}}"
+                ));
+                s
+            }
+        },
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen(&item).parse().expect("vendored serde_derive emitted invalid Rust"),
+        Err(msg) => format!("compile_error!(\"{msg}\");").parse().unwrap(),
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
