@@ -106,10 +106,8 @@ mod tests {
     #[test]
     fn empty_class_yields_none() {
         let records = generate(&SynthConfig::paper_defaults(50), 2);
-        let short_only: Vec<_> = records
-            .into_iter()
-            .filter(|r| r.class() == DurationClass::Short)
-            .collect();
+        let short_only: Vec<_> =
+            records.into_iter().filter(|r| r.class() == DurationClass::Short).collect();
         let analysis = TmrAnalysis::compute(&short_only);
         assert!(analysis.class_fraction_below(DurationClass::Long, 10.0).is_none());
         assert!(analysis.class_fraction_below(DurationClass::Short, 10.0).is_some());

@@ -37,10 +37,7 @@ pub fn parse(text: &str) -> Result<Vec<FunctionDurationRecord>, (usize, String)>
             return Err((line_no, format!("expected 14 columns, got {}", cols.len())));
         }
         let num = |i: usize| -> Result<f64, (usize, String)> {
-            cols[i]
-                .trim()
-                .parse::<f64>()
-                .map_err(|e| (line_no, format!("column {i}: {e}")))
+            cols[i].trim().parse::<f64>().map_err(|e| (line_no, format!("column {i}: {e}")))
         };
         let record = FunctionDurationRecord {
             owner: cols[0].trim().to_string(),

@@ -41,9 +41,9 @@ impl SynthConfig {
             functions,
             class_weights: [0.45, 0.30, 0.25],
             class_log10_median_ms: [
-                (0.7, 3.0),  // 5 ms .. 1 s
-                (3.0, 4.0),  // 1 s .. 10 s
-                (4.0, 5.5),  // 10 s .. ~5 min
+                (0.7, 3.0), // 5 ms .. 1 s
+                (3.0, 4.0), // 1 s .. 10 s
+                (4.0, 5.5), // 10 s .. ~5 min
             ],
             // P(sigma < ln(10)/Z99 = 0.99) per class: ~0.60 / ~0.68 / ~0.90.
             class_sigma: [(0.85, 0.50), (0.78, 0.55), (0.45, 0.55)],
@@ -196,10 +196,8 @@ mod tests {
     fn class_mix_matches_weights() {
         let records = trace();
         let n = records.len() as f64;
-        let short =
-            records.iter().filter(|r| r.class() == DurationClass::Short).count() as f64 / n;
-        let long =
-            records.iter().filter(|r| r.class() == DurationClass::Long).count() as f64 / n;
+        let short = records.iter().filter(|r| r.class() == DurationClass::Short).count() as f64 / n;
+        let long = records.iter().filter(|r| r.class() == DurationClass::Long).count() as f64 / n;
         assert!((short - 0.45).abs() < 0.03, "short fraction {short}");
         assert!((long - 0.25).abs() < 0.03, "long fraction {long}");
     }
@@ -208,8 +206,8 @@ mod tests {
     fn majority_run_under_ten_seconds() {
         // §VI-C1: >70% of functions run <10 s.
         let records = trace();
-        let under = records.iter().filter(|r| r.p50 < 10_000.0).count() as f64
-            / records.len() as f64;
+        let under =
+            records.iter().filter(|r| r.p50 < 10_000.0).count() as f64 / records.len() as f64;
         assert!(under > 0.70, "under-10s fraction {under}");
     }
 
@@ -232,11 +230,7 @@ mod tests {
         let mut rng = Rng::seed_from(9);
         let schedule = invocation_schedule(record, horizon, window, &mut rng);
         // Expect ~600 arrivals; Poisson std ≈ 24.5.
-        assert!(
-            (500..700).contains(&schedule.len()),
-            "got {} arrivals",
-            schedule.len()
-        );
+        assert!((500..700).contains(&schedule.len()), "got {} arrivals", schedule.len());
         // Strictly increasing and inside the horizon.
         assert!(schedule.windows(2).all(|w| w[0] < w[1]));
         assert!(schedule.iter().all(|&t| t < horizon));

@@ -16,9 +16,8 @@ fn bench_experiments(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper");
     group.sample_size(10);
 
-    group.bench_function("fig3_warm_cold", |b| {
-        b.iter(|| experiments::fig3::measure(BENCH_SAMPLES))
-    });
+    group
+        .bench_function("fig3_warm_cold", |b| b.iter(|| experiments::fig3::measure(BENCH_SAMPLES)));
     println!("{}", experiments::fig3::measure(BENCH_SAMPLES).report().render());
 
     group.bench_function("fig4_image_size", |b| {
@@ -41,9 +40,7 @@ fn bench_experiments(c: &mut Criterion) {
     });
     println!("{}", experiments::fig7::measure(BENCH_SAMPLES).report().render());
 
-    group.bench_function("fig8_bursts", |b| {
-        b.iter(|| experiments::fig8::measure(BENCH_SAMPLES))
-    });
+    group.bench_function("fig8_bursts", |b| b.iter(|| experiments::fig8::measure(BENCH_SAMPLES)));
     println!("{}", experiments::fig8::measure(BENCH_SAMPLES).report().render());
 
     group.bench_function("fig9_scheduling_policy", |b| {
@@ -56,9 +53,7 @@ fn bench_experiments(c: &mut Criterion) {
     });
     println!("{}", experiments::table1::measure(BENCH_SAMPLES).report().render());
 
-    group.bench_function("fig10_trace_tmr", |b| {
-        b.iter(|| experiments::fig10::measure(10_000))
-    });
+    group.bench_function("fig10_trace_tmr", |b| b.iter(|| experiments::fig10::measure(10_000)));
     println!("{}", experiments::fig10::measure(10_000).report().render());
 
     group.finish();

@@ -13,6 +13,7 @@ use providers::profiles::aws_like;
 use simkit::dist::Dist;
 use simkit::rng::Rng;
 use simkit::time::SimTime;
+use stellar_core::runner::SweepRunner;
 
 fn warm_invocation_throughput(c: &mut Criterion) {
     c.bench_function("sim/warm_1k_invocations", |b| {
@@ -45,9 +46,7 @@ fn cold_start_cost(c: &mut Criterion) {
                 let mut cloud = CloudSim::new(aws_like(), 2);
                 let mut fns = Vec::new();
                 for i in 0..100 {
-                    fns.push(
-                        cloud.deploy(FunctionSpec::builder(format!("f{i}")).build()).unwrap(),
-                    );
+                    fns.push(cloud.deploy(FunctionSpec::builder(format!("f{i}")).build()).unwrap());
                 }
                 (cloud, fns)
             },
@@ -71,13 +70,11 @@ fn burst_policies(c: &mut Criterion) {
         ("target_concurrency", ScalePolicy::TargetConcurrency { target: 4.0 }),
         ("periodic", ScalePolicy::Periodic { interval_ms: 2000.0, step: 2 }),
     ] {
-        let policy = policy.clone();
         group.bench_function(label, |b| {
-            let policy = policy.clone();
             b.iter_batched(
                 move || {
                     let mut cfg = test_provider();
-                    cfg.scaling.policy = policy.clone();
+                    cfg.scaling.policy = policy;
                     let mut cloud = CloudSim::new(cfg, 3);
                     let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
                     (cloud, f)
@@ -136,6 +133,55 @@ fn trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parallel grid runner over the 3-provider × 4-seed canonical grid:
+/// serial baseline vs a 4-worker pool. The gap quantifies the runner's
+/// scaling on an embarrassingly parallel sweep.
+fn sweep_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/sweep_grid");
+    group.sample_size(10);
+    for (label, threads) in [("threads1", 1usize), ("threads4", 4usize)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let grid = bench::provider_seed_grid(400, 4);
+                let report = SweepRunner::new(threads).run(&grid);
+                assert_eq!(report.ok_count(), 12);
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The submit→dispatch→complete hot path in isolation: 5k warm requests
+/// against one pre-warmed instance, drained into a reused buffer. This is
+/// the path the allocation overhaul targets (no per-request `Dist` or
+/// chain clones, pre-sized request/event buffers).
+fn submit_hot_path(c: &mut Criterion) {
+    c.bench_function("sim/submit_hot_path", |b| {
+        b.iter_batched(
+            || {
+                let mut cloud = CloudSim::new(test_provider(), 4);
+                let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+                cloud.submit(f, 0, SimTime::ZERO);
+                cloud.run_until(SimTime::from_secs(5.0));
+                cloud.drain_completions();
+                cloud.reserve_requests(5000);
+                (cloud, f, Vec::with_capacity(5000))
+            },
+            |(mut cloud, f, mut done)| {
+                for i in 0..5000u64 {
+                    cloud.submit(f, i, SimTime::from_secs(6.0) + SimTime::from_millis(i as f64));
+                }
+                cloud.run_until(SimTime::from_secs(30.0));
+                cloud.drain_completions_into(&mut done);
+                assert_eq!(done.len(), 5000);
+                done
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 fn distribution_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("simkit/sample_100k");
     let dists = [
@@ -168,9 +214,7 @@ fn distribution_sampling(c: &mut Criterion) {
 fn statistics_kernels(c: &mut Criterion) {
     let mut rng = Rng::seed_from(9);
     let samples: Vec<f64> = (0..100_000).map(|_| rng.next_f64() * 1000.0).collect();
-    c.bench_function("stats/summary_100k", |b| {
-        b.iter(|| stats::Summary::from_samples(&samples))
-    });
+    c.bench_function("stats/summary_100k", |b| b.iter(|| stats::Summary::from_samples(&samples)));
     c.bench_function("stats/ks_10k_vs_10k", |b| {
         let a = &samples[..10_000];
         let bb = &samples[10_000..20_000];
@@ -187,6 +231,8 @@ criterion_group!(
     trace_overhead,
     cold_start_cost,
     burst_policies,
+    submit_hot_path,
+    sweep_grid,
     distribution_sampling,
     statistics_kernels
 );

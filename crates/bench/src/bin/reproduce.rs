@@ -15,7 +15,8 @@ fn arg_after(flag: &str) -> Option<String> {
 }
 
 fn main() {
-    let samples = arg_after("--samples").and_then(|s| s.parse().ok()).unwrap_or(bench::report::PAPER_SAMPLES);
+    let samples =
+        arg_after("--samples").and_then(|s| s.parse().ok()).unwrap_or(bench::report::PAPER_SAMPLES);
     println!("# STeLLAR reproduction — paper vs measured");
     println!();
     println!(
@@ -41,21 +42,15 @@ fn main() {
 fn write_figures(dir: &str, samples: u32) {
     std::fs::create_dir_all(dir).expect("create figure directory");
     let fig3 = bench::experiments::fig3::measure(samples);
-    let warm: Vec<SvgSeries> = fig3
-        .warm
-        .iter()
-        .map(|(kind, s)| SvgSeries::new(kind.label(), s.clone()))
-        .collect();
+    let warm: Vec<SvgSeries> =
+        fig3.warm.iter().map(|(kind, s)| SvgSeries::new(kind.label(), s.clone())).collect();
     std::fs::write(
         format!("{dir}/fig3a_warm.svg"),
         SvgPlot::cdf("Fig 3a: warm invocations").render(&warm),
     )
     .expect("write fig3a");
-    let cold: Vec<SvgSeries> = fig3
-        .cold
-        .iter()
-        .map(|(kind, s)| SvgSeries::new(kind.label(), s.clone()))
-        .collect();
+    let cold: Vec<SvgSeries> =
+        fig3.cold.iter().map(|(kind, s)| SvgSeries::new(kind.label(), s.clone())).collect();
     std::fs::write(
         format!("{dir}/fig3b_cold.svg"),
         SvgPlot::cdf("Fig 3b: cold invocations").render(&cold),
@@ -76,8 +71,7 @@ fn write_figures(dir: &str, samples: u32) {
         ),
     ] {
         let mut lines = Vec::new();
-        for kind in [providers::paper::ProviderKind::Aws, providers::paper::ProviderKind::Google]
-        {
+        for kind in [providers::paper::ProviderKind::Aws, providers::paper::ProviderKind::Google] {
             let mut medians = Vec::new();
             let mut tails = Vec::new();
             for (k, bytes, samples) in &cells {

@@ -177,7 +177,13 @@ pub fn knockouts(seed: u64) -> Vec<Knockout> {
 pub fn report(seed: u64) -> Report {
     let mut body = String::from("Policy trade-off: cold 100-burst latency vs instances spawned\n");
     let mut table = TextTable::new(vec![
-        "exec_ms", "policy", "median_ms", "p99_ms", "spawns", "inst_sec", "util",
+        "exec_ms",
+        "policy",
+        "median_ms",
+        "p99_ms",
+        "spawns",
+        "inst_sec",
+        "util",
     ]);
     for cell in policy_tradeoff(seed) {
         table.row(vec![

@@ -90,11 +90,7 @@ impl Fig3 {
             .chain(self.cold.iter().map(|(k, s)| Series::new(format!("cold-{k}"), s.clone())))
             .collect();
         body.push_str(&render_comparison(&series));
-        Report {
-            id: "fig3",
-            title: "Warm and cold invocation latency distributions",
-            body,
-        }
+        Report { id: "fig3", title: "Warm and cold invocation latency distributions", body }
     }
 }
 

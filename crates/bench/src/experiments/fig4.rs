@@ -25,9 +25,7 @@ pub fn measure(samples: u32) -> Fig4 {
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = ProviderKind::ALL
             .iter()
-            .flat_map(|&kind| {
-                SIZES_MB.iter().map(move |&mb| (kind, mb))
-            })
+            .flat_map(|&kind| SIZES_MB.iter().map(move |&mb| (kind, mb)))
             .map(|(kind, mb)| {
                 scope.spawn(move |_| {
                     let setup = ColdSetup {
@@ -97,11 +95,7 @@ impl Fig4 {
                 body.push_str(&format!("{kind}: median(100MB)/median(10MB) = {s:.2}x\n"));
             }
         }
-        Report {
-            id: "fig4",
-            title: "Cold-start latency vs. function image size",
-            body,
-        }
+        Report { id: "fig4", title: "Cold-start latency vs. function image size", body }
     }
 }
 

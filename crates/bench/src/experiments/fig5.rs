@@ -72,9 +72,7 @@ impl Fig5 {
                     (Runtime::Go, DeploymentMethod::Zip) => fig5_aws::GO_ZIP,
                     (Runtime::Python3, DeploymentMethod::Zip) => fig5_aws::PYTHON_ZIP,
                     (Runtime::Go, DeploymentMethod::Container) => fig5_aws::GO_CONTAINER,
-                    (Runtime::Python3, DeploymentMethod::Container) => {
-                        fig5_aws::PYTHON_CONTAINER
-                    }
+                    (Runtime::Python3, DeploymentMethod::Container) => fig5_aws::PYTHON_CONTAINER,
                 };
                 Comparison::from_summary(
                     format!("aws {runtime}+{deployment}"),

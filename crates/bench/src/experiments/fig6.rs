@@ -81,11 +81,8 @@ impl Fig6 {
                 .iter()
                 .find(|(b, _)| b == bytes)
                 .map_or(f64::NAN, |&(_, m)| m);
-            let paper_p99 = if *bytes == MB {
-                paper_med * paper::inline_tmr_1mb(*kind)
-            } else {
-                f64::NAN
-            };
+            let paper_p99 =
+                if *bytes == MB { paper_med * paper::inline_tmr_1mb(*kind) } else { f64::NAN };
             rows.push(Comparison::from_summary(
                 format!("{kind} inline {}", fmt_bytes(*bytes)),
                 &Summary::from_samples(samples),

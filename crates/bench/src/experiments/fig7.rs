@@ -108,11 +108,7 @@ impl Fig7 {
                  {large:.0} Mb/s @1GB (paper up to {large_t:.0})\n"
             ));
         }
-        Report {
-            id: "fig7",
-            title: "Storage-based data-transfer latency vs. payload size",
-            body,
-        }
+        Report { id: "fig7", title: "Storage-based data-transfer latency vs. payload size", body }
     }
 }
 

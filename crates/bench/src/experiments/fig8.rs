@@ -149,11 +149,7 @@ impl Fig8 {
                 z500.median / z1.median
             ));
         }
-        Report {
-            id: "fig8",
-            title: "Burst latency CDFs for short and long IATs",
-            body,
-        }
+        Report { id: "fig8", title: "Burst latency CDFs for short and long IATs", body }
     }
 }
 

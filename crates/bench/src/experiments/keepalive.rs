@@ -50,9 +50,7 @@ pub fn sweep(seed: u64) -> Vec<KeepAliveCell> {
             let horizon = SimTime::from_mins(240);
             let mut tag = 0u64;
             loop {
-                t += SimTime::from_millis(
-                    -mean_iat_min * 60_000.0 * rng.next_f64_open().ln(),
-                );
+                t += SimTime::from_millis(-mean_iat_min * 60_000.0 * rng.next_f64_open().ln());
                 if t >= horizon {
                     break;
                 }
@@ -84,13 +82,8 @@ pub fn sweep(seed: u64) -> Vec<KeepAliveCell> {
 
 /// Renders the study.
 pub fn report(seed: u64) -> Report {
-    let mut table = TextTable::new(vec![
-        "keepalive_min",
-        "cold_frac",
-        "median_ms",
-        "p99_ms",
-        "idle_sec/req",
-    ]);
+    let mut table =
+        TextTable::new(vec!["keepalive_min", "cold_frac", "median_ms", "p99_ms", "idle_sec/req"]);
     for cell in sweep(seed) {
         table.row(vec![
             format!("{}", cell.keepalive_min),
@@ -105,11 +98,7 @@ pub fn report(seed: u64) -> Report {
          on aws-like; longer keep-alives buy tail latency with idle capacity:\n",
     );
     body.push_str(&table.render());
-    Report {
-        id: "keepalive",
-        title: "Keep-alive window vs cold-start exposure (extension)",
-        body,
-    }
+    Report { id: "keepalive", title: "Keep-alive window vs cold-start exposure (extension)", body }
 }
 
 #[cfg(test)]
@@ -122,7 +111,7 @@ mod tests {
         assert_eq!(cells.len(), 5);
         let first = &cells[0]; // 1 minute
         let last = &cells[4]; // 60 minutes
-        // Cold fraction falls monotonically-ish with the window.
+                              // Cold fraction falls monotonically-ish with the window.
         assert!(
             last.cold_fraction < first.cold_fraction / 2.0,
             "cold {} -> {}",

@@ -43,15 +43,10 @@ fn provider_column(kind: ProviderKind, samples: u32) -> [Cell; 8] {
     // Base warm (row 0) normalises to itself.
     let warm = ratios(&base);
 
-    let cold = cold_invocations(
-        config_for(kind),
-        ColdSetup::baseline(),
-        samples,
-        100,
-        BASE_SEED + 62,
-    )
-    .expect("cold")
-    .latencies_ms();
+    let cold =
+        cold_invocations(config_for(kind), ColdSetup::baseline(), samples, 100, BASE_SEED + 62)
+            .expect("cold")
+            .latencies_ms();
 
     let image = cold_invocations(
         config_for(kind),
@@ -71,26 +66,16 @@ fn provider_column(kind: ProviderKind, samples: u32) -> [Cell; 8] {
     let (inline, storage) = if kind == ProviderKind::Azure {
         (None, None)
     } else {
-        let inline = transfer_chain(
-            config_for(kind),
-            TransferMode::Inline,
-            MB,
-            samples,
-            BASE_SEED + 64,
-        )
-        .expect("inline")
-        .result
-        .transfer_ms();
-        let storage = transfer_chain(
-            config_for(kind),
-            TransferMode::Storage,
-            MB,
-            samples,
-            BASE_SEED + 65,
-        )
-        .expect("storage")
-        .result
-        .transfer_ms();
+        let inline =
+            transfer_chain(config_for(kind), TransferMode::Inline, MB, samples, BASE_SEED + 64)
+                .expect("inline")
+                .result
+                .transfer_ms();
+        let storage =
+            transfer_chain(config_for(kind), TransferMode::Storage, MB, samples, BASE_SEED + 65)
+                .expect("storage")
+                .result
+                .transfer_ms();
         (ratios(&inline), ratios(&storage))
     };
 
@@ -173,8 +158,8 @@ impl Table1 {
     /// Renders measured-vs-paper as one table.
     pub fn report(&self) -> Report {
         let mut table = TextTable::new(vec![
-            "factor", "aws MR", "(paper)", "aws TR", "(paper)", "goog MR", "(paper)",
-            "goog TR", "(paper)", "azure MR", "(paper)", "azure TR", "(paper)",
+            "factor", "aws MR", "(paper)", "aws TR", "(paper)", "goog MR", "(paper)", "goog TR",
+            "(paper)", "azure MR", "(paper)", "azure TR", "(paper)",
         ]);
         for (f, name) in FACTORS.iter().enumerate() {
             let paper_row = Self::paper_row(f);

@@ -17,7 +17,10 @@
 pub mod experiments;
 pub mod report;
 
+use providers::profiles::{aws_like, azure_like, google_like};
 use report::Report;
+use stellar_core::config::{IatSpec, RuntimeConfig};
+use stellar_core::runner::{Scenario, SweepGrid};
 
 /// Runs every experiment at the given sample count and returns the
 /// reports in paper order. `samples = 3000` matches the paper; smaller
@@ -36,6 +39,19 @@ pub fn run_all(samples: u32) -> Vec<Report> {
     ]
 }
 
+/// The canonical sweep grid used by the `sim/sweep_grid` Criterion group
+/// and the cross-thread determinism tests: every calibrated provider
+/// crossed with `seeds` consecutive seeds, each cell a warm-invocation
+/// workload of `samples` requests at the paper's short IAT.
+pub fn provider_seed_grid(samples: u32, seeds: u64) -> SweepGrid {
+    let workload = RuntimeConfig::single(IatSpec::short(), samples);
+    let scenarios = [aws_like(), google_like(), azure_like()]
+        .into_iter()
+        .map(|cfg| Scenario::new(cfg.name.clone(), cfg).workload(workload.clone()))
+        .collect();
+    SweepGrid::new(scenarios, (0..seeds).collect())
+}
+
 #[cfg(test)]
 mod tests {
     /// Smoke: the full reproduction path runs end to end at a tiny sample
@@ -51,5 +67,13 @@ mod tests {
         for report in &reports {
             assert!(!report.body.is_empty(), "{} has an empty body", report.id);
         }
+    }
+
+    #[test]
+    fn provider_seed_grid_covers_all_providers() {
+        let grid = super::provider_seed_grid(20, 4);
+        assert_eq!(grid.len(), 12);
+        let labels: Vec<&str> = grid.scenarios.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["aws-like", "google-like", "azure-like"]);
     }
 }

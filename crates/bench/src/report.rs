@@ -58,9 +58,7 @@ impl Comparison {
 
     /// Relative median deviation from the paper (None if unreported).
     pub fn median_deviation(&self) -> Option<f64> {
-        self.paper_median
-            .is_finite()
-            .then(|| self.measured_median / self.paper_median - 1.0)
+        self.paper_median.is_finite().then(|| self.measured_median / self.paper_median - 1.0)
     }
 }
 

@@ -52,11 +52,36 @@ pub struct TraceOptions {
     pub capacity: usize,
 }
 
+/// Options of `stellar sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOptions {
+    /// Path to the static function configuration JSON (default workload
+    /// when omitted).
+    pub static_path: Option<String>,
+    /// Path to the runtime (client) configuration JSON (default workload
+    /// when omitted).
+    pub runtime_path: Option<String>,
+    /// Providers to sweep: built-in names or provider-config JSON paths.
+    pub providers: Vec<String>,
+    /// Number of seeds per provider.
+    pub seeds: u64,
+    /// First seed; the sweep uses `base_seed..base_seed + seeds`.
+    pub base_seed: u64,
+    /// Samples per cell when `--runtime` is omitted.
+    pub samples: u32,
+    /// Worker threads; 0 selects the machine's parallelism.
+    pub threads: usize,
+    /// Write the CSV report here instead of stdout.
+    pub out: Option<String>,
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `stellar run …`
     Run(RunOptions),
+    /// `stellar sweep …`
+    Sweep(SweepOptions),
     /// `stellar trace …`
     Trace(TraceOptions),
     /// `stellar providers`
@@ -106,9 +131,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--runtime" => runtime_path = Some(value("--runtime")?),
                     "--provider" => provider = value("--provider")?,
                     "--seed" => {
-                        seed = value("--seed")?
-                            .parse()
-                            .map_err(|e| format!("--seed: {e}"))?;
+                        seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
                     }
                     "--breakdown" => breakdown = true,
                     "--cdf" => cdf = true,
@@ -128,6 +151,70 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 svg,
             }))
         }
+        "sweep" => {
+            let mut static_path = None;
+            let mut runtime_path = None;
+            let mut providers =
+                vec!["aws-like".to_string(), "google-like".to_string(), "azure-like".to_string()];
+            let mut seeds = 4u64;
+            let mut base_seed = 0u64;
+            let mut samples = 100u32;
+            let mut threads = 0usize;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--static" => static_path = Some(value("--static")?),
+                    "--runtime" => runtime_path = Some(value("--runtime")?),
+                    "--providers" => {
+                        providers = value("--providers")?
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                        if providers.is_empty() {
+                            return Err("--providers needs at least one name".to_string());
+                        }
+                    }
+                    "--seeds" => {
+                        seeds = value("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?;
+                        if seeds == 0 {
+                            return Err("--seeds must be positive".to_string());
+                        }
+                    }
+                    "--base-seed" => {
+                        base_seed = value("--base-seed")?
+                            .parse()
+                            .map_err(|e| format!("--base-seed: {e}"))?;
+                    }
+                    "--samples" => {
+                        samples =
+                            value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?;
+                        if samples == 0 {
+                            return Err("--samples must be positive".to_string());
+                        }
+                    }
+                    "--threads" => {
+                        threads =
+                            value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                    }
+                    "--out" => out = Some(value("--out")?),
+                    other => return Err(format!("unknown flag: {other}")),
+                }
+            }
+            Ok(Command::Sweep(SweepOptions {
+                static_path,
+                runtime_path,
+                providers,
+                seeds,
+                base_seed,
+                samples,
+                threads,
+                out,
+            }))
+        }
         "trace" => {
             let mut static_path = None;
             let mut runtime_path = None;
@@ -145,26 +232,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--runtime" => runtime_path = Some(value("--runtime")?),
                     "--provider" => provider = value("--provider")?,
                     "--seed" => {
-                        seed = value("--seed")?
-                            .parse()
-                            .map_err(|e| format!("--seed: {e}"))?;
+                        seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
                     }
                     "--format" => {
                         format = match value("--format")?.as_str() {
                             "jsonl" => TraceFormat::Jsonl,
                             "csv" => TraceFormat::Csv,
                             other => {
-                                return Err(format!(
-                                    "--format must be jsonl or csv, got {other}"
-                                ))
+                                return Err(format!("--format must be jsonl or csv, got {other}"))
                             }
                         };
                     }
                     "--out" => out = Some(value("--out")?),
                     "--capacity" => {
-                        capacity = value("--capacity")?
-                            .parse()
-                            .map_err(|e| format!("--capacity: {e}"))?;
+                        capacity =
+                            value("--capacity")?.parse().map_err(|e| format!("--capacity: {e}"))?;
                         if capacity == 0 {
                             return Err("--capacity must be positive".to_string());
                         }
@@ -192,6 +274,7 @@ STeLLAR — Serverless Tail-Latency Analyzer (simulation-backed reproduction)
 
 USAGE:
     stellar run --static <fns.json> --runtime <load.json> [OPTIONS]
+    stellar sweep [OPTIONS]
     stellar trace [OPTIONS]
     stellar providers
     stellar dump-provider <aws-like|google-like|azure-like>
@@ -206,6 +289,17 @@ RUN OPTIONS:
     --cdf                    print an ASCII CDF of end-to-end latency
     --csv <file>             write quantile CSV
     --svg <file>             write an SVG CDF plot
+
+SWEEP OPTIONS:
+    --static <file>          static function config [default: one function]
+    --runtime <file>         runtime config [default: --samples invocations]
+    --providers <a,b,c>      comma-separated profiles or config paths
+                             [default: aws-like,google-like,azure-like]
+    --seeds <n>              seeds per provider [default: 4]
+    --base-seed <n>          first seed [default: 0]
+    --samples <n>            samples per cell without --runtime [default: 100]
+    --threads <n>            worker threads, 0 = all cores [default: 0]
+    --out <file>             write the CSV report here instead of stdout
 
 TRACE OPTIONS:
     --static <file>          static function config [default: one function]
@@ -228,9 +322,21 @@ mod tests {
     #[test]
     fn parses_run_with_all_flags() {
         let cmd = parse_args(&strs(&[
-            "run", "--static", "s.json", "--runtime", "r.json", "--provider",
-            "google-like", "--seed", "9", "--breakdown", "--cdf", "--csv", "out.csv",
-            "--svg", "out.svg",
+            "run",
+            "--static",
+            "s.json",
+            "--runtime",
+            "r.json",
+            "--provider",
+            "google-like",
+            "--seed",
+            "9",
+            "--breakdown",
+            "--cdf",
+            "--csv",
+            "out.csv",
+            "--svg",
+            "out.svg",
         ]))
         .unwrap();
         let Command::Run(opts) = cmd else { panic!("expected run") };
@@ -245,8 +351,7 @@ mod tests {
 
     #[test]
     fn run_defaults() {
-        let cmd =
-            parse_args(&strs(&["run", "--static", "s.json", "--runtime", "r.json"])).unwrap();
+        let cmd = parse_args(&strs(&["run", "--static", "s.json", "--runtime", "r.json"])).unwrap();
         let Command::Run(opts) = cmd else { panic!("expected run") };
         assert_eq!(opts.provider, "aws-like");
         assert_eq!(opts.seed, 0);
@@ -262,8 +367,7 @@ mod tests {
 
     #[test]
     fn unknown_flags_and_commands_error() {
-        assert!(parse_args(&strs(&["run", "--static", "a", "--runtime", "b", "--bogus"]))
-            .is_err());
+        assert!(parse_args(&strs(&["run", "--static", "a", "--runtime", "b", "--bogus"])).is_err());
         assert!(parse_args(&strs(&["frobnicate"])).is_err());
     }
 
@@ -280,11 +384,73 @@ mod tests {
     }
 
     #[test]
+    fn parses_sweep_with_all_flags() {
+        let cmd = parse_args(&strs(&[
+            "sweep",
+            "--static",
+            "s.json",
+            "--runtime",
+            "r.json",
+            "--providers",
+            "aws-like,azure-like",
+            "--seeds",
+            "6",
+            "--base-seed",
+            "100",
+            "--samples",
+            "50",
+            "--threads",
+            "8",
+            "--out",
+            "report.csv",
+        ]))
+        .unwrap();
+        let Command::Sweep(opts) = cmd else { panic!("expected sweep") };
+        assert_eq!(opts.static_path.as_deref(), Some("s.json"));
+        assert_eq!(opts.runtime_path.as_deref(), Some("r.json"));
+        assert_eq!(opts.providers, ["aws-like", "azure-like"]);
+        assert_eq!(opts.seeds, 6);
+        assert_eq!(opts.base_seed, 100);
+        assert_eq!(opts.samples, 50);
+        assert_eq!(opts.threads, 8);
+        assert_eq!(opts.out.as_deref(), Some("report.csv"));
+    }
+
+    #[test]
+    fn sweep_defaults_and_errors() {
+        let Command::Sweep(opts) = parse_args(&strs(&["sweep"])).unwrap() else {
+            panic!("expected sweep")
+        };
+        assert_eq!(opts.providers, ["aws-like", "google-like", "azure-like"]);
+        assert_eq!(opts.seeds, 4);
+        assert_eq!(opts.base_seed, 0);
+        assert_eq!(opts.samples, 100);
+        assert_eq!(opts.threads, 0);
+        assert_eq!(opts.out, None);
+        assert!(parse_args(&strs(&["sweep", "--seeds", "0"])).is_err());
+        assert!(parse_args(&strs(&["sweep", "--samples", "0"])).is_err());
+        assert!(parse_args(&strs(&["sweep", "--providers", ""])).is_err());
+        assert!(parse_args(&strs(&["sweep", "--bogus"])).is_err());
+    }
+
+    #[test]
     fn parses_trace_with_all_flags() {
         let cmd = parse_args(&strs(&[
-            "trace", "--static", "s.json", "--runtime", "r.json", "--provider",
-            "azure-like", "--seed", "4", "--format", "csv", "--out", "trace.csv",
-            "--capacity", "512",
+            "trace",
+            "--static",
+            "s.json",
+            "--runtime",
+            "r.json",
+            "--provider",
+            "azure-like",
+            "--seed",
+            "4",
+            "--format",
+            "csv",
+            "--out",
+            "trace.csv",
+            "--capacity",
+            "512",
         ]))
         .unwrap();
         let Command::Trace(opts) = cmd else { panic!("expected trace") };
@@ -315,7 +481,13 @@ mod tests {
     #[test]
     fn bad_seed_errors() {
         assert!(parse_args(&strs(&[
-            "run", "--static", "a", "--runtime", "b", "--seed", "not-a-number"
+            "run",
+            "--static",
+            "a",
+            "--runtime",
+            "b",
+            "--seed",
+            "not-a-number"
         ]))
         .is_err());
     }

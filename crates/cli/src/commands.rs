@@ -9,10 +9,11 @@ use stats::svg::{SvgPlot, SvgSeries};
 use stellar_core::breakdown::BreakdownAnalysis;
 use stellar_core::config::{RuntimeConfig, StaticConfig};
 use stellar_core::experiment::Experiment;
+use stellar_core::runner::{Scenario, SweepGrid, SweepRunner};
 use stellar_core::traceio;
 use stellar_core::visualize::{export_cdf_csv, render_cdf, Series};
 
-use crate::args::{Command, RunOptions, TraceFormat, TraceOptions, USAGE};
+use crate::args::{Command, RunOptions, SweepOptions, TraceFormat, TraceOptions, USAGE};
 
 /// CLI failures (all user-facing).
 #[derive(Debug)]
@@ -85,6 +86,7 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         }
         Command::SampleConfig => Ok(sample_config()),
         Command::Run(opts) => run(opts),
+        Command::Sweep(opts) => sweep(opts),
         Command::Trace(opts) => trace(opts),
     }
 }
@@ -115,14 +117,8 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
         .map_err(CliError::Experiment)?;
 
     let mut out = String::new();
-    out.push_str(&format!(
-        "provider {provider_name}, seed {}: {}\n",
-        opts.seed, outcome.summary
-    ));
-    out.push_str(&format!(
-        "cold-start fraction: {:.1}%\n",
-        outcome.result.cold_fraction() * 100.0
-    ));
+    out.push_str(&format!("provider {provider_name}, seed {}: {}\n", opts.seed, outcome.summary));
+    out.push_str(&format!("cold-start fraction: {:.1}%\n", outcome.result.cold_fraction() * 100.0));
     if let Some(ts) = &outcome.transfer_summary {
         out.push_str(&format!("transfers: {ts}\n"));
     }
@@ -135,10 +131,8 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
         out.push_str(&BreakdownAnalysis::compute(&outcome.result.completions).render());
     }
     if let Some(path) = &opts.csv {
-        let csv = export_cdf_csv(
-            &[Series::new(provider_name.clone(), outcome.latencies_ms())],
-            101,
-        );
+        let csv =
+            export_cdf_csv(&[Series::new(provider_name.clone(), outcome.latencies_ms())], 101);
         std::fs::write(path, csv).map_err(|e| CliError::Io(path.clone(), e))?;
         out.push_str(&format!("wrote quantile CSV to {path}\n"));
     }
@@ -151,17 +145,74 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
+    let static_cfg = match &opts.static_path {
+        Some(path) => Some(StaticConfig::from_json(&read(path)?).map_err(CliError::Config)?),
+        None => None,
+    };
+    let runtime_cfg = match &opts.runtime_path {
+        Some(path) => RuntimeConfig::from_json(&read(path)?).map_err(CliError::Config)?,
+        None => RuntimeConfig::single(stellar_core::config::IatSpec::short(), opts.samples),
+    };
+    let scenarios = opts
+        .providers
+        .iter()
+        .map(|name| {
+            let provider = resolve_provider(name)?;
+            let mut scenario =
+                Scenario::new(provider.name.clone(), provider).workload(runtime_cfg.clone());
+            if let Some(cfg) = &static_cfg {
+                scenario = scenario.functions(cfg.clone());
+            }
+            Ok(scenario)
+        })
+        .collect::<Result<Vec<_>, CliError>>()?;
+    let seeds = (opts.base_seed..opts.base_seed + opts.seeds).collect();
+    let grid = SweepGrid::new(scenarios, seeds);
+    let cells = grid.len();
+    let report = SweepRunner::new(opts.threads).run(&grid);
+
+    // The summary deliberately omits the worker count: the report must be
+    // byte-identical however the sweep was parallelised.
+    let mut out = format!(
+        "sweep: {} providers x {} seeds = {} cells ({} ok, {} failed)\n",
+        opts.providers.len(),
+        opts.seeds,
+        cells,
+        report.ok_count(),
+        report.failed_count(),
+    );
+    out.push_str(&format!(
+        "requests: {} submitted, {} completed, {} cold starts\n",
+        report.metrics.counter(faas_sim::cloud::metric::REQUESTS_SUBMITTED),
+        report.metrics.counter(faas_sim::cloud::metric::REQUESTS_COMPLETED),
+        report.metrics.counter(faas_sim::cloud::metric::COLD_STARTS),
+    ));
+    let csv = report.to_csv();
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| CliError::Io(path.clone(), e))?;
+            out.push_str(&format!("wrote report CSV to {path}\n"));
+        }
+        None => {
+            out.push('\n');
+            out.push_str(&csv);
+        }
+    }
+    Ok(out)
+}
+
 fn trace(opts: &TraceOptions) -> Result<String, CliError> {
     let provider = resolve_provider(&opts.provider)?;
     let provider_name = provider.name.clone();
     let mut experiment = Experiment::new(provider).seed(opts.seed).trace(opts.capacity);
     if let Some(path) = &opts.static_path {
-        experiment = experiment
-            .functions(StaticConfig::from_json(&read(path)?).map_err(CliError::Config)?);
+        experiment =
+            experiment.functions(StaticConfig::from_json(&read(path)?).map_err(CliError::Config)?);
     }
     if let Some(path) = &opts.runtime_path {
-        experiment = experiment
-            .workload(RuntimeConfig::from_json(&read(path)?).map_err(CliError::Config)?);
+        experiment =
+            experiment.workload(RuntimeConfig::from_json(&read(path)?).map_err(CliError::Config)?);
     }
     let outcome = experiment.run().map_err(CliError::Experiment)?;
     let (label, export) = match opts.format {
@@ -291,13 +342,59 @@ mod tests {
         assert!(jsonl.contains("\"component\":\"execution\""));
 
         let out_path = write_temp("trace-out.csv", "");
-        let opts =
-            TraceOptions { format: TraceFormat::Csv, out: Some(out_path.clone()), ..base };
+        let opts = TraceOptions { format: TraceFormat::Csv, out: Some(out_path.clone()), ..base };
         let msg = execute(&Command::Trace(opts)).unwrap();
         assert!(msg.contains("wrote"), "{msg}");
         assert!(msg.contains("digest"));
         let csv = std::fs::read_to_string(out_path).unwrap();
         assert!(csv.starts_with("span_id,parent,request,component,start_ns,end_ns"));
+    }
+
+    #[test]
+    fn sweep_output_is_byte_identical_across_thread_counts() {
+        // 3 providers x 4 seeds = 12 cells; the merged report (summary +
+        // CSV) must not depend on how many workers executed the grid.
+        let base = SweepOptions {
+            static_path: None,
+            runtime_path: None,
+            providers: vec!["aws-like".into(), "google-like".into(), "azure-like".into()],
+            seeds: 4,
+            base_seed: 0,
+            samples: 40,
+            threads: 1,
+            out: None,
+        };
+        let serial = execute(&Command::Sweep(base.clone())).unwrap();
+        let threaded = execute(&Command::Sweep(SweepOptions { threads: 4, ..base })).unwrap();
+        assert_eq!(serial, threaded, "sweep output must not depend on worker count");
+        assert!(serial.contains("3 providers x 4 seeds = 12 cells (12 ok, 0 failed)"));
+        assert!(serial.contains("cell,scenario,seed,status"));
+        assert!(serial.contains("0,aws-like,0,ok,40,"));
+        assert!(serial.contains("11,azure-like,3,ok,40,"));
+    }
+
+    #[test]
+    fn sweep_writes_csv_report_to_file() {
+        let out_path = write_temp("sweep-report.csv", "");
+        let opts = SweepOptions {
+            static_path: None,
+            runtime_path: Some(write_temp(
+                "sweep-runtime.json",
+                r#"{"iat": {"kind": "fixed", "ms": 1000.0}, "samples": 10, "warmup_rounds": 1}"#,
+            )),
+            providers: vec!["aws-like".into()],
+            seeds: 2,
+            base_seed: 5,
+            samples: 100,
+            threads: 0,
+            out: Some(out_path.clone()),
+        };
+        let msg = execute(&Command::Sweep(opts)).unwrap();
+        assert!(msg.contains("wrote report CSV"), "{msg}");
+        let csv = std::fs::read_to_string(out_path).unwrap();
+        assert!(csv.starts_with("cell,scenario,seed,status"));
+        assert_eq!(csv.lines().count(), 3, "header plus one row per cell");
+        assert!(csv.contains("0,aws-like,5,ok,10,"));
     }
 
     #[test]

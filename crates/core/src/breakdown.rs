@@ -141,8 +141,7 @@ impl BreakdownAnalysis {
         let components = Component::ALL
             .iter()
             .map(|&comp| {
-                let values: Vec<f64> =
-                    completions.iter().map(|c| comp.extract(c)).collect();
+                let values: Vec<f64> = completions.iter().map(|c| comp.extract(c)).collect();
                 (comp, Summary::from_samples(&values))
             })
             .collect();
@@ -172,9 +171,7 @@ impl BreakdownAnalysis {
         self.components
             .iter()
             .max_by(|a, b| {
-                (a.1.tail - a.1.median)
-                    .partial_cmp(&(b.1.tail - b.1.median))
-                    .expect("no NaN tails")
+                (a.1.tail - a.1.median).partial_cmp(&(b.1.tail - b.1.median)).expect("no NaN tails")
             })
             .expect("non-empty")
             .0
@@ -187,8 +184,7 @@ impl BreakdownAnalysis {
 
     /// Renders the attribution table (median share per component).
     pub fn render(&self) -> String {
-        let mut table =
-            TextTable::new(vec!["component", "median_ms", "p99_ms", "share_of_median"]);
+        let mut table = TextTable::new(vec!["component", "median_ms", "p99_ms", "share_of_median"]);
         for (comp, summary) in &self.components {
             if summary.max == 0.0 {
                 continue; // component never exercised in this run
@@ -263,10 +259,7 @@ mod tests {
     fn shares_sum_to_total_for_constant_runs() {
         let completions = run(100.0, 1, 40);
         let analysis = BreakdownAnalysis::compute(&completions);
-        let sum: f64 = Component::ALL
-            .iter()
-            .map(|&c| analysis.component(c).median)
-            .sum();
+        let sum: f64 = Component::ALL.iter().map(|&c| analysis.component(c).median).sum();
         // With near-constant components, medians are additive.
         assert!(
             (sum - analysis.total_median_ms()).abs() / analysis.total_median_ms() < 0.05,

@@ -43,13 +43,12 @@ impl RunResult {
         if self.completions.is_empty() {
             return 0.0;
         }
-        self.completions.iter().filter(|c| c.cold).count() as f64
-            / self.completions.len() as f64
+        self.completions.iter().filter(|c| c.cold).count() as f64 / self.completions.len() as f64
     }
 }
 
 /// Errors from a client run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ClientError {
     /// The runtime configuration failed validation.
     InvalidConfig(String),
@@ -61,6 +60,8 @@ pub enum ClientError {
         received: usize,
         /// Completions expected.
         expected: usize,
+        /// The completions that did arrive, for post-mortem debugging.
+        completions: Vec<Completion>,
     },
 }
 
@@ -69,7 +70,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::InvalidConfig(msg) => write!(f, "invalid runtime config: {msg}"),
             ClientError::EmptyDeployment => write!(f, "deployment has no endpoints"),
-            ClientError::IncompleteRun { received, expected } => {
+            ClientError::IncompleteRun { received, expected, .. } => {
                 write!(f, "run incomplete: {received}/{expected} completions")
             }
         }
@@ -114,6 +115,7 @@ pub fn run_workload(
     let mut rng = Rng::seed_from(seed).fork("client-iat");
     let start = cloud.now();
     let total_rounds = cfg.warmup_rounds + cfg.measured_rounds();
+    cloud.reserve_requests((total_rounds * cfg.burst_size) as usize);
 
     let mut t = start;
     let mut last_issue = start;
@@ -135,22 +137,27 @@ pub fn run_workload(
     let mut transfers = Vec::new();
     for _ in 0..20 {
         cloud.run_until(horizon);
-        completions.extend(cloud.drain_completions());
-        transfers.extend(cloud.drain_transfers());
+        // Drain in place: the simulator appends into our buffers, so the
+        // loop allocates nothing once the buffers reach steady size.
+        cloud.drain_completions_into(&mut completions);
+        cloud.drain_transfers_into(&mut transfers);
         if completions.len() >= expected {
             break;
         }
         horizon += SimTime::from_secs(600.0);
     }
     if completions.len() < expected {
-        return Err(ClientError::IncompleteRun { received: completions.len(), expected });
+        return Err(ClientError::IncompleteRun {
+            received: completions.len(),
+            expected,
+            completions,
+        });
     }
 
     let warmup_tag = cfg.warmup_rounds as u64;
     let (warmup, measured): (Vec<Completion>, Vec<Completion>) =
         completions.into_iter().partition(|c| c.tag < warmup_tag);
-    let transfers =
-        transfers.into_iter().filter(|tr| tr.parent_tag >= warmup_tag).collect();
+    let transfers = transfers.into_iter().filter(|tr| tr.parent_tag >= warmup_tag).collect();
     Ok(RunResult {
         completions: measured,
         warmup_completions: warmup,
@@ -167,10 +174,7 @@ mod tests {
     use faas_sim::testutil::test_provider;
     use faas_sim::types::TransferMode;
 
-    fn setup(
-        static_cfg: &StaticConfig,
-        runtime_cfg: &RuntimeConfig,
-    ) -> (CloudSim, Deployment) {
+    fn setup(static_cfg: &StaticConfig, runtime_cfg: &RuntimeConfig) -> (CloudSim, Deployment) {
         let mut cloud = CloudSim::new(test_provider(), 7);
         let d = deploy(&mut cloud, static_cfg, runtime_cfg).unwrap();
         (cloud, d)
@@ -215,16 +219,14 @@ mod tests {
 
     #[test]
     fn round_robin_spreads_rounds_over_endpoints() {
-        let static_cfg = StaticConfig {
-            functions: vec![StaticFunction::python_zip("f").with_replicas(4)],
-        };
+        let static_cfg =
+            StaticConfig { functions: vec![StaticFunction::python_zip("f").with_replicas(4)] };
         let cfg = RuntimeConfig::single(IatSpec::Fixed { ms: 100.0 }, 8);
         let (mut cloud, d) = setup(&static_cfg, &cfg);
         let result = run_workload(&mut cloud, &d, &cfg, 1).unwrap();
         // 8 rounds over 4 endpoints: each function invoked exactly twice.
         for e in &d.endpoints {
-            let count =
-                result.completions.iter().filter(|c| c.function == e.function).count();
+            let count = result.completions.iter().filter(|c| c.function == e.function).count();
             assert_eq!(count, 2, "endpoint {}", e.name);
         }
     }
@@ -234,11 +236,8 @@ mod tests {
         let static_cfg = StaticConfig { functions: vec![StaticFunction::go_zip("xfer")] };
         let mut cfg = RuntimeConfig::single(IatSpec::Fixed { ms: 1000.0 }, 10);
         cfg.warmup_rounds = 2;
-        cfg.chain = Some(ChainConfig {
-            length: 2,
-            mode: TransferMode::Storage,
-            payload_bytes: 1_000_000,
-        });
+        cfg.chain =
+            Some(ChainConfig { length: 2, mode: TransferMode::Storage, payload_bytes: 1_000_000 });
         let (mut cloud, d) = setup(&static_cfg, &cfg);
         let result = run_workload(&mut cloud, &d, &cfg, 1).unwrap();
         assert_eq!(result.completions.len(), 10);

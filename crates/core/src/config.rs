@@ -366,11 +366,8 @@ mod tests {
         bad.samples = 0;
         assert!(bad.validate().is_err());
         let mut bad = good.clone();
-        bad.chain = Some(ChainConfig {
-            length: 1,
-            mode: TransferMode::Inline,
-            payload_bytes: 1024,
-        });
+        bad.chain =
+            Some(ChainConfig { length: 1, mode: TransferMode::Inline, payload_bytes: 1024 });
         assert!(bad.validate().is_err());
         let mut bad = good;
         bad.exec_ms = f64::NAN;

@@ -133,9 +133,8 @@ mod tests {
     #[test]
     fn deploys_replicas_as_separate_endpoints() {
         let mut cloud = cloud();
-        let static_cfg = StaticConfig {
-            functions: vec![StaticFunction::python_zip("probe").with_replicas(5)],
-        };
+        let static_cfg =
+            StaticConfig { functions: vec![StaticFunction::python_zip("probe").with_replicas(5)] };
         let runtime_cfg = RuntimeConfig::single(IatSpec::short(), 10);
         let d = deploy(&mut cloud, &static_cfg, &runtime_cfg).unwrap();
         assert_eq!(d.len(), 5);
@@ -151,14 +150,10 @@ mod tests {
     #[test]
     fn deploys_chain_head_and_hops() {
         let mut cloud = cloud();
-        let static_cfg =
-            StaticConfig { functions: vec![StaticFunction::go_zip("xfer")] };
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::go_zip("xfer")] };
         let mut runtime_cfg = RuntimeConfig::single(IatSpec::short(), 10);
-        runtime_cfg.chain = Some(ChainConfig {
-            length: 3,
-            mode: TransferMode::Inline,
-            payload_bytes: 1_000,
-        });
+        runtime_cfg.chain =
+            Some(ChainConfig { length: 3, mode: TransferMode::Inline, payload_bytes: 1_000 });
         let d = deploy(&mut cloud, &static_cfg, &runtime_cfg).unwrap();
         assert_eq!(d.len(), 1, "one endpoint: the chain head");
         // Invoking the head must traverse the whole chain: two transfers.

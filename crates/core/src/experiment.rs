@@ -180,11 +180,8 @@ mod tests {
     fn chain_experiment_summarises_transfers() {
         let mut runtime = RuntimeConfig::single(IatSpec::Fixed { ms: 1000.0 }, 20);
         runtime.warmup_rounds = 2;
-        runtime.chain = Some(ChainConfig {
-            length: 2,
-            mode: TransferMode::Inline,
-            payload_bytes: 1_000_000,
-        });
+        runtime.chain =
+            Some(ChainConfig { length: 2, mode: TransferMode::Inline, payload_bytes: 1_000_000 });
         let outcome = Experiment::new(test_provider())
             .functions(StaticConfig { functions: vec![StaticFunction::go_zip("xfer")] })
             .workload(runtime)
@@ -205,30 +202,23 @@ mod tests {
         assert_eq!(plain.latencies_ms(), traced.latencies_ms());
         assert!(plain.spans.is_empty(), "tracing is off by default");
         assert!(!traced.spans.is_empty());
-        let total = (traced.result.completions.len()
-            + traced.result.warmup_completions.len()) as u64;
-        assert_eq!(
-            traced.metrics.counter(faas_sim::cloud::metric::REQUESTS_COMPLETED),
-            total
-        );
+        let total =
+            (traced.result.completions.len() + traced.result.warmup_completions.len()) as u64;
+        assert_eq!(traced.metrics.counter(faas_sim::cloud::metric::REQUESTS_COMPLETED), total);
     }
 
     #[test]
     fn seed_controls_reproducibility() {
-        let latencies = |seed| {
-            Experiment::new(test_provider()).seed(seed).run().unwrap().latencies_ms()
-        };
+        let latencies =
+            |seed| Experiment::new(test_provider()).seed(seed).run().unwrap().latencies_ms();
         assert_eq!(latencies(3), latencies(3));
     }
 
     #[test]
     fn deploy_errors_propagate() {
         let mut runtime = RuntimeConfig::single(IatSpec::short(), 10);
-        runtime.chain = Some(ChainConfig {
-            length: 2,
-            mode: TransferMode::Inline,
-            payload_bytes: 100_000_000,
-        });
+        runtime.chain =
+            Some(ChainConfig { length: 2, mode: TransferMode::Inline, payload_bytes: 100_000_000 });
         let err = Experiment::new(test_provider()).workload(runtime).run().unwrap_err();
         assert!(matches!(err, ExperimentError::Deploy(_)));
     }

@@ -39,6 +39,7 @@ pub mod config;
 pub mod deployer;
 pub mod experiment;
 pub mod protocols;
+pub mod runner;
 pub mod traceio;
 pub mod visualize;
 
@@ -47,3 +48,4 @@ pub use client::{run_workload, ClientError, RunResult};
 pub use config::{ChainConfig, IatSpec, RuntimeConfig, StaticConfig, StaticFunction};
 pub use deployer::{deploy, Deployment, Endpoint};
 pub use experiment::{Experiment, ExperimentError, Outcome};
+pub use runner::{CellRow, CellStats, Scenario, SweepGrid, SweepReport, SweepRunner};

@@ -253,8 +253,7 @@ mod tests {
 
     #[test]
     fn cold_protocol_measures_cold_requests() {
-        let outcome =
-            cold_invocations(test_provider(), ColdSetup::baseline(), 30, 10, 2).unwrap();
+        let outcome = cold_invocations(test_provider(), ColdSetup::baseline(), 30, 10, 2).unwrap();
         assert_eq!(outcome.summary.count, 30);
         assert_eq!(outcome.result.cold_fraction(), 1.0, "every sample cold");
     }
@@ -280,13 +279,11 @@ mod tests {
 
     #[test]
     fn burst_protocol_short_vs_long() {
-        let warm = bursty_invocations(test_provider(), BurstIat::Short, 10, 0.0, 50, 1, 4)
-            .unwrap();
+        let warm = bursty_invocations(test_provider(), BurstIat::Short, 10, 0.0, 50, 1, 4).unwrap();
         assert_eq!(warm.summary.count, 50);
         assert_eq!(warm.result.cold_fraction(), 0.0, "short-IAT bursts stay warm");
 
-        let cold = bursty_invocations(test_provider(), BurstIat::Long, 10, 0.0, 50, 5, 4)
-            .unwrap();
+        let cold = bursty_invocations(test_provider(), BurstIat::Long, 10, 0.0, 50, 5, 4).unwrap();
         assert_eq!(cold.summary.count, 50);
         assert!(cold.result.cold_fraction() > 0.9, "long-IAT bursts are cold");
     }

@@ -1,0 +1,418 @@
+//! Parallel experiment grid execution.
+//!
+//! The paper's methodology (§V) sweeps burst sizes × payload sizes ×
+//! providers × IATs — an embarrassingly parallel grid of independent
+//! `(scenario, seed)` cells. [`SweepRunner`] executes such a grid across a
+//! pool of scoped worker threads while preserving the determinism contract
+//! the rest of the stack guarantees:
+//!
+//! * **Work stealing** — workers claim cells from a shared atomic cursor,
+//!   so a slow cell (a long cold-start sweep, say) never idles the pool.
+//! * **Deterministic merge** — results are keyed by cell index and merged
+//!   in index order, so the report is byte-identical regardless of worker
+//!   count or completion interleaving.
+//! * **Panic isolation** — each cell runs under `catch_unwind`; a failing
+//!   cell becomes an error row instead of killing the sweep.
+//! * **Progress counters** — the merged [`simkit::metrics::Metrics`]
+//!   registry carries `sweep_cells_*` counters plus the summed lifecycle
+//!   counters of every successful cell.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use faas_sim::config::ProviderConfig;
+use simkit::metrics::Metrics;
+use stats::Summary;
+
+use crate::config::{RuntimeConfig, StaticConfig};
+use crate::experiment::{Experiment, Outcome};
+
+/// Counter names published by the sweep runner.
+pub mod counter {
+    /// Cells in the grid.
+    pub const CELLS_TOTAL: &str = "sweep_cells_total";
+    /// Cells that produced a summary.
+    pub const CELLS_OK: &str = "sweep_cells_ok";
+    /// Cells that errored or panicked.
+    pub const CELLS_FAILED: &str = "sweep_cells_failed";
+}
+
+/// One named experiment configuration; crossed with every seed in a
+/// [`SweepGrid`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Label used in report rows (e.g. the provider name).
+    pub label: String,
+    /// Provider profile the cell simulates.
+    pub provider: ProviderConfig,
+    /// Deployer configuration.
+    pub static_cfg: StaticConfig,
+    /// Client workload configuration.
+    pub runtime_cfg: RuntimeConfig,
+}
+
+impl Scenario {
+    /// A scenario with the [`Experiment`] defaults (one Python ZIP
+    /// function, 100 single invocations at the short IAT).
+    pub fn new<S: Into<String>>(label: S, provider: ProviderConfig) -> Scenario {
+        Scenario {
+            label: label.into(),
+            provider,
+            static_cfg: StaticConfig {
+                functions: vec![crate::config::StaticFunction::python_zip("fn")],
+            },
+            runtime_cfg: RuntimeConfig::single(crate::config::IatSpec::short(), 100),
+        }
+    }
+
+    /// Replaces the static (deployer) configuration.
+    pub fn functions(mut self, cfg: StaticConfig) -> Scenario {
+        self.static_cfg = cfg;
+        self
+    }
+
+    /// Replaces the runtime (client) configuration.
+    pub fn workload(mut self, cfg: RuntimeConfig) -> Scenario {
+        self.runtime_cfg = cfg;
+        self
+    }
+}
+
+/// A scenarios × seeds experiment grid, laid out scenario-major: cell
+/// `i` is `(scenarios[i / seeds.len()], seeds[i % seeds.len()])`.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// The scenarios (rows of the grid).
+    pub scenarios: Vec<Scenario>,
+    /// The seeds (columns of the grid).
+    pub seeds: Vec<u64>,
+}
+
+impl SweepGrid {
+    /// Builds a grid from scenarios and seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty.
+    pub fn new(scenarios: Vec<Scenario>, seeds: Vec<u64>) -> SweepGrid {
+        assert!(!scenarios.is_empty(), "sweep grid needs at least one scenario");
+        assert!(!seeds.is_empty(), "sweep grid needs at least one seed");
+        SweepGrid { scenarios, seeds }
+    }
+
+    /// Number of cells (scenarios × seeds).
+    pub fn len(&self) -> usize {
+        self.scenarios.len() * self.seeds.len()
+    }
+
+    /// Whether the grid has no cells (never true for a constructed grid).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn cell(&self, index: usize) -> (&Scenario, u64) {
+        (&self.scenarios[index / self.seeds.len()], self.seeds[index % self.seeds.len()])
+    }
+}
+
+/// The statistics a successful cell contributes to the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStats {
+    /// Measured samples.
+    pub count: usize,
+    /// Median end-to-end latency, ms.
+    pub median_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// 99th percentile (the paper's tail), ms.
+    pub p99_ms: f64,
+    /// Tail-to-median ratio.
+    pub tmr: f64,
+    /// Fraction of measured completions that waited on a cold start.
+    pub cold_fraction: f64,
+}
+
+impl CellStats {
+    fn from_outcome(outcome: &Outcome) -> CellStats {
+        let Summary { count, median, p95, tail, tmr, .. } = outcome.summary;
+        CellStats {
+            count,
+            median_ms: median,
+            p95_ms: p95,
+            p99_ms: tail,
+            tmr,
+            cold_fraction: outcome.result.cold_fraction(),
+        }
+    }
+}
+
+/// One merged result row: a cell either summarised or failed.
+#[derive(Debug, Clone)]
+pub struct CellRow {
+    /// Cell index in grid order.
+    pub index: usize,
+    /// Label of the cell's scenario.
+    pub scenario: String,
+    /// Seed of the cell.
+    pub seed: u64,
+    /// Summary statistics, or the failure message (experiment errors and
+    /// caught panics both land here).
+    pub result: Result<CellStats, String>,
+}
+
+/// The merged output of a sweep: rows in cell-index order plus aggregated
+/// counters.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// One row per cell, in grid order.
+    pub rows: Vec<CellRow>,
+    /// `sweep_cells_*` progress counters followed by the summed lifecycle
+    /// counters of every successful cell, merged in cell order.
+    pub metrics: Metrics,
+}
+
+impl SweepReport {
+    /// Rows that produced statistics.
+    pub fn ok_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.result.is_ok()).count()
+    }
+
+    /// Rows that failed (error or panic).
+    pub fn failed_count(&self) -> usize {
+        self.rows.len() - self.ok_count()
+    }
+
+    /// Renders the report as CSV, one row per cell in grid order. The
+    /// output depends only on the grid (not on worker count), so it is
+    /// byte-identical across thread configurations.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "cell,scenario,seed,status,samples,median_ms,p95_ms,p99_ms,tmr,cold_fraction,error\n",
+        );
+        for row in &self.rows {
+            match &row.result {
+                Ok(s) => out.push_str(&format!(
+                    "{},{},{},ok,{},{:.3},{:.3},{:.3},{:.3},{:.4},\n",
+                    row.index,
+                    row.scenario,
+                    row.seed,
+                    s.count,
+                    s.median_ms,
+                    s.p95_ms,
+                    s.p99_ms,
+                    s.tmr,
+                    s.cold_fraction,
+                )),
+                Err(msg) => {
+                    let msg = msg.replace(',', ";").replace('\n', " ");
+                    out.push_str(&format!(
+                        "{},{},{},error,,,,,,,{}\n",
+                        row.index, row.scenario, row.seed, msg
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Executes a [`SweepGrid`] across a pool of scoped worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner with the given worker count; `0` selects the machine's
+    /// available parallelism.
+    pub fn new(threads: usize) -> SweepRunner {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        SweepRunner { threads }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every cell of `grid` and merges the results in cell-index
+    /// order. Cells are claimed work-stealing style from a shared cursor;
+    /// a panicking cell is isolated into an error row.
+    pub fn run(&self, grid: &SweepGrid) -> SweepReport {
+        let total = grid.len();
+        let slots: Vec<Mutex<Option<(CellRow, Metrics)>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(total);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let cell = run_cell(grid, index);
+                    *slots[index].lock().expect("sweep slot poisoned") = Some(cell);
+                });
+            }
+        })
+        .expect("sweep worker panicked outside a cell");
+
+        let mut rows = Vec::with_capacity(total);
+        let mut metrics = Metrics::new();
+        metrics.add(counter::CELLS_TOTAL, total as u64);
+        metrics.add(counter::CELLS_OK, 0);
+        metrics.add(counter::CELLS_FAILED, 0);
+        for slot in slots {
+            let (row, cell_metrics) =
+                slot.into_inner().expect("sweep slot poisoned").expect("cell never ran");
+            metrics.inc(if row.result.is_ok() { counter::CELLS_OK } else { counter::CELLS_FAILED });
+            metrics.merge(&cell_metrics);
+            rows.push(row);
+        }
+        SweepReport { rows, metrics }
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::new(0)
+    }
+}
+
+fn run_cell(grid: &SweepGrid, index: usize) -> (CellRow, Metrics) {
+    let (scenario, seed) = grid.cell(index);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        Experiment::new(scenario.provider.clone())
+            .functions(scenario.static_cfg.clone())
+            .workload(scenario.runtime_cfg.clone())
+            .seed(seed)
+            .run()
+    }));
+    let (result, metrics) = match outcome {
+        Ok(Ok(outcome)) => (Ok(CellStats::from_outcome(&outcome)), outcome.metrics),
+        Ok(Err(e)) => (Err(e.to_string()), Metrics::new()),
+        Err(payload) => (Err(format!("panic: {}", panic_message(&payload))), Metrics::new()),
+    };
+    (CellRow { index, scenario: scenario.label.clone(), seed, result }, metrics)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IatSpec;
+    use faas_sim::testutil::test_provider;
+
+    fn small_grid() -> SweepGrid {
+        let scenarios = ["a", "b"]
+            .iter()
+            .map(|label| {
+                Scenario::new(*label, test_provider())
+                    .workload(RuntimeConfig::single(IatSpec::short(), 30))
+            })
+            .collect();
+        SweepGrid::new(scenarios, vec![1, 2, 3])
+    }
+
+    #[test]
+    fn runs_every_cell_in_grid_order() {
+        let report = SweepRunner::new(2).run(&small_grid());
+        assert_eq!(report.rows.len(), 6);
+        assert_eq!(report.ok_count(), 6);
+        for (i, row) in report.rows.iter().enumerate() {
+            assert_eq!(row.index, i);
+        }
+        assert_eq!(report.rows[0].scenario, "a");
+        assert_eq!(report.rows[0].seed, 1);
+        assert_eq!(report.rows[5].scenario, "b");
+        assert_eq!(report.rows[5].seed, 3);
+    }
+
+    #[test]
+    fn output_is_identical_across_thread_counts() {
+        let grid = small_grid();
+        let csv1 = SweepRunner::new(1).run(&grid).to_csv();
+        let csv4 = SweepRunner::new(4).run(&grid).to_csv();
+        assert_eq!(csv1, csv4, "merge order must not depend on worker count");
+    }
+
+    #[test]
+    fn metrics_carry_progress_and_merged_lifecycle_counters() {
+        let report = SweepRunner::new(3).run(&small_grid());
+        assert_eq!(report.metrics.counter(counter::CELLS_TOTAL), 6);
+        assert_eq!(report.metrics.counter(counter::CELLS_OK), 6);
+        assert_eq!(report.metrics.counter(counter::CELLS_FAILED), 0);
+        // 6 cells × 30 requests each.
+        assert_eq!(report.metrics.counter(faas_sim::cloud::metric::REQUESTS_SUBMITTED), 180);
+    }
+
+    #[test]
+    fn experiment_errors_become_error_rows() {
+        // Zero samples fails RuntimeConfig validation inside the cell.
+        let bad = Scenario::new("bad", test_provider())
+            .workload(RuntimeConfig::single(IatSpec::short(), 0));
+        let good = Scenario::new("good", test_provider())
+            .workload(RuntimeConfig::single(IatSpec::short(), 20));
+        let grid = SweepGrid::new(vec![bad, good], vec![7]);
+        let report = SweepRunner::new(2).run(&grid);
+        assert_eq!(report.ok_count(), 1);
+        assert_eq!(report.failed_count(), 1);
+        let err = report.rows[0].result.as_ref().unwrap_err();
+        assert!(err.contains("invalid"), "unexpected error: {err}");
+        assert_eq!(report.metrics.counter(counter::CELLS_FAILED), 1);
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_into_an_error_row() {
+        // An invalid provider config panics inside CloudSim::new; the
+        // sweep must keep going and report the panic message.
+        let mut broken = test_provider();
+        broken.limits.max_instances_per_function = 0;
+        let grid = SweepGrid::new(
+            vec![
+                Scenario::new("broken", broken),
+                Scenario::new("ok", test_provider())
+                    .workload(RuntimeConfig::single(IatSpec::short(), 20)),
+            ],
+            vec![1, 2],
+        );
+        let report = SweepRunner::new(2).run(&grid);
+        assert_eq!(report.failed_count(), 2);
+        assert_eq!(report.ok_count(), 2);
+        let err = report.rows[0].result.as_ref().unwrap_err();
+        assert!(err.starts_with("panic:"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn more_workers_than_cells_is_fine() {
+        let grid = SweepGrid::new(
+            vec![Scenario::new("one", test_provider())
+                .workload(RuntimeConfig::single(IatSpec::short(), 10))],
+            vec![9],
+        );
+        let report = SweepRunner::new(16).run(&grid);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.ok_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_axis_panics() {
+        SweepGrid::new(vec![Scenario::new("a", test_provider())], vec![]);
+    }
+}

@@ -57,8 +57,7 @@ impl Series {
 
 /// Renders a median/p99/TMR comparison table across several series.
 pub fn render_comparison(series: &[Series]) -> String {
-    let mut table =
-        TextTable::new(vec!["series", "n", "median_ms", "p99_ms", "tmr", "mean_ms"]);
+    let mut table = TextTable::new(vec!["series", "n", "median_ms", "p99_ms", "tmr", "mean_ms"]);
     for s in series {
         let sum = s.summary();
         table.row(vec![

@@ -20,10 +20,8 @@ fn iat_strategy() -> impl Strategy<Value = IatSpec> {
     prop_oneof![
         (1.0f64..1e6).prop_map(|ms| IatSpec::Fixed { ms }),
         (1.0f64..1e6).prop_map(|mean_ms| IatSpec::Exponential { mean_ms }),
-        (1.0f64..1e5, 1.0f64..1e5).prop_map(|(a, b)| IatSpec::Uniform {
-            lo_ms: a.min(b),
-            hi_ms: a.max(b),
-        }),
+        (1.0f64..1e5, 1.0f64..1e5)
+            .prop_map(|(a, b)| IatSpec::Uniform { lo_ms: a.min(b), hi_ms: a.max(b) }),
     ]
 }
 

@@ -309,10 +309,7 @@ impl Cloud {
             dispatch: DispatchServer::new(cfg.dispatch.clone()),
             governor: SpawnGovernor::new(&cfg.scaling),
             image_store: ImageStore::new(cfg.image_store.clone(), root.fork("image-store")),
-            payload_store: PayloadStore::new(
-                cfg.payload_store.clone(),
-                root.fork("payload-store"),
-            ),
+            payload_store: PayloadStore::new(cfg.payload_store.clone(), root.fork("payload-store")),
             rng_net: root.fork("network"),
             rng_path: root.fork("warm-path"),
             rng_exec: root.fork("exec"),
@@ -339,7 +336,6 @@ impl Cloud {
     fn fstate_mut(&mut self, fid: FunctionId) -> &mut FunctionState {
         &mut self.functions[fid.index()]
     }
-
 
     /// Expected per-request service time of `fid`'s instances, ms: median
     /// execution plus the in-instance shares of the warm overhead. Used by
@@ -390,13 +386,7 @@ impl Cloud {
     /// tracing is off or the request predates it. Emission draws no
     /// randomness and schedules no events, so enabling a trace cannot
     /// perturb simulation results.
-    fn emit_span(
-        &mut self,
-        rid: RequestId,
-        component: &'static str,
-        start: SimTime,
-        end: SimTime,
-    ) {
+    fn emit_span(&mut self, rid: RequestId, component: &'static str, start: SimTime, end: SimTime) {
         let Some(tracer) = self.trace.as_mut() else { return };
         let Some(parent) = self.requests[rid.index()].root_span else { return };
         let span_id = tracer.alloc_id();
@@ -444,12 +434,7 @@ impl Cloud {
         let xfer = self.requests[rid.index()].xfer_in;
         let inline_ms = match xfer {
             Some(x) if x.mode == TransferMode::Inline => {
-                let bw = self
-                    .cfg
-                    .network
-                    .inline_bandwidth_mbps
-                    .sample(&mut self.rng_net)
-                    .max(0.01);
+                let bw = self.cfg.network.inline_bandwidth_mbps.sample(&mut self.rng_net).max(0.01);
                 bytes_to_mb(x.payload_bytes) / bw * 1000.0
             }
             _ => 0.0,
@@ -476,12 +461,7 @@ impl Cloud {
         sched.schedule_in(now, delay, CloudEvent::RoutingDone(rid));
     }
 
-    fn on_routing_done(
-        &mut self,
-        now: SimTime,
-        rid: RequestId,
-        sched: &mut Scheduler<CloudEvent>,
-    ) {
+    fn on_routing_done(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
         let outcome = self.dispatch.dispatch(now, &mut self.rng_lb);
         self.requests[rid.index()].breakdown.dispatch_wait_ms =
             (outcome.ready_at - now).as_millis();
@@ -500,9 +480,7 @@ impl Cloud {
         let concurrent = {
             let state = self.fstate(fid);
             (state.n_busy > 0 || state.n_idle > 0)
-                && (state.n_busy > 0
-                    || state.committed_total > 0
-                    || !state.queue.is_empty())
+                && (state.n_busy > 0 || state.committed_total > 0 || !state.queue.is_empty())
         };
         if concurrent
             && self.fstate(fid).total_instances() < self.cfg.limits.max_instances_per_function
@@ -548,8 +526,8 @@ impl Cloud {
                 .map(|(idx, _)| (state.load(idx), idx))
                 .min()
         };
-        let headroom = self.fstate(fid).total_instances()
-            < self.cfg.limits.max_instances_per_function;
+        let headroom =
+            self.fstate(fid).total_instances() < self.cfg.limits.max_instances_per_function;
         let target_idx = match best {
             Some((load, idx)) if load < cap => {
                 if self.fstate(fid).instances[idx].is_idle() {
@@ -636,7 +614,7 @@ impl Cloud {
     /// Applies the provider's scale-out policy after a queue change.
     fn scale(&mut self, now: SimTime, fid: FunctionId, sched: &mut Scheduler<CloudEvent>) {
         let snap = self.fstate(fid).snapshot();
-        let policy = self.cfg.scaling.policy.clone();
+        let policy = self.cfg.scaling.policy;
         let headroom = self
             .cfg
             .limits
@@ -661,7 +639,7 @@ impl Cloud {
     }
 
     fn on_scale_tick(&mut self, now: SimTime, fid: FunctionId, sched: &mut Scheduler<CloudEvent>) {
-        let policy = self.cfg.scaling.policy.clone();
+        let policy = self.cfg.scaling.policy;
         let snap = self.fstate(fid).snapshot();
         let headroom = self
             .cfg
@@ -712,12 +690,14 @@ impl Cloud {
             sandbox_ms + fetch.latency_ms
         };
 
-        let runtime_model = self.cfg.runtimes.model(runtime).clone();
+        // Borrow the runtime model in place (it holds heap-backed `Dist`s,
+        // so cloning it per spawn was measurable allocation churn); the
+        // `self.cfg.runtimes` path is disjoint from `self.rng_cold`.
+        let runtime_model = self.cfg.runtimes.model(runtime);
         let mut chunk_ms = 0.0;
         if deployment == DeploymentMethod::Container {
             if let Some(chunks) = &runtime_model.container_chunks {
-                let count =
-                    self.rng_cold.range_u64(chunks.count_lo as u64, chunks.count_hi as u64);
+                let count = self.rng_cold.range_u64(chunks.count_lo as u64, chunks.count_hi as u64);
                 for _ in 0..count {
                     chunk_ms += chunks.chunk_latency_ms.sample(&mut self.rng_cold);
                 }
@@ -781,8 +761,7 @@ impl Cloud {
             if let Some(rid) = self.sticky.remove(&iid) {
                 self.sticky.insert(replacement, rid);
             }
-            let orphaned =
-                std::mem::take(&mut self.fstate_mut(fid).committed[iid.idx as usize]);
+            let orphaned = std::mem::take(&mut self.fstate_mut(fid).committed[iid.idx as usize]);
             self.fstate_mut(fid).committed[replacement.idx as usize].extend(orphaned);
             return;
         }
@@ -834,13 +813,13 @@ impl Cloud {
         self.metrics.inc(if first_use { metric::COLD_STARTS } else { metric::WARM_STARTS });
 
         let shares = self.cfg.warm_path.shares;
-        let (memory_mb, exec_dist) = {
-            let spec = &self.fstate(fid).spec;
-            (spec.memory_mb, spec.exec_ms.clone())
-        };
-        let throttle =
-            (self.cfg.limits.full_speed_memory_mb as f64 / memory_mb as f64).max(1.0);
-        let exec_ms = exec_dist.sample(&mut self.rng_exec) * throttle;
+        let memory_mb = self.functions[fid.index()].spec.memory_mb;
+        let throttle = (self.cfg.limits.full_speed_memory_mb as f64 / memory_mb as f64).max(1.0);
+        // Sample through a direct field borrow: `exec_ms` is a heap-backed
+        // `Dist`, and this runs once per request, so the previous
+        // per-request clone dominated the dispatch path's allocations.
+        let exec_ms =
+            self.functions[fid.index()].spec.exec_ms.sample(&mut self.rng_exec) * throttle;
 
         // Consumer-side payload retrieval for storage transfers (step ⑧).
         let xfer = self.requests[rid.index()].xfer_in;
@@ -869,8 +848,7 @@ impl Cloud {
         // Record the transfer sample at the instant the payload is in the
         // consumer's hands (paper §V methodology).
         if let Some(x) = xfer {
-            let received =
-                now + SimTime::from_millis(steer_ms + handling_ms + payload_get_ms);
+            let received = now + SimTime::from_millis(steer_ms + handling_ms + payload_get_ms);
             self.transfers.push(TransferSample {
                 parent: x.parent,
                 parent_tag: x.parent_tag,
@@ -888,8 +866,7 @@ impl Cloud {
             let t1 = now + SimTime::from_millis(steer_ms);
             let t2 = now + SimTime::from_millis(steer_ms + handling_ms);
             let t3 = now + SimTime::from_millis(steer_ms + handling_ms + payload_get_ms);
-            let t4 = now
-                + SimTime::from_millis(steer_ms + handling_ms + payload_get_ms + exec_ms);
+            let t4 = now + SimTime::from_millis(steer_ms + handling_ms + payload_get_ms + exec_ms);
             self.emit_span(rid, span_tag::STEER, now, t1);
             self.emit_span(rid, span_tag::HANDLING, t1, t2);
             if payload_get_ms > 0.0 {
@@ -911,14 +888,13 @@ impl Cloud {
         sched: &mut Scheduler<CloudEvent>,
     ) {
         let fid = self.requests[rid.index()].function;
-        let chain = self.fstate(fid).spec.chain.clone();
+        let chain = self.fstate(fid).spec.chain;
         match chain {
             Some(chain) => {
                 // Producer side of a chain hop (step ⑨): PUT (for storage
                 // transfers), then invoke the consumer and wait for it.
                 self.requests[rid.index()].chain_started = Some(now);
-                self.requests[rid.index()].chain_span =
-                    self.trace.as_mut().map(Tracer::alloc_id);
+                self.requests[rid.index()].chain_span = self.trace.as_mut().map(Tracer::alloc_id);
                 self.metrics.inc(metric::CHAIN_INVOCATIONS);
                 let tag = self.requests[rid.index()].tag;
                 let child_issue_at = match chain.mode {
@@ -1201,16 +1177,19 @@ impl CloudSim {
                 });
             }
         }
-        let image_mb =
-            cloud.cfg.runtimes.model(spec.runtime).base_image_mb + spec.extra_image_mb;
+        let image_mb = cloud.cfg.runtimes.model(spec.runtime).base_image_mb + spec.extra_image_mb;
         let fid = FunctionId(cloud.functions.len() as u32);
+        // Pre-size instance bookkeeping from the provider limit so the
+        // first scale-out burst never reallocates; capped so deployments
+        // under a generous limit stay cheap.
+        let cap = cloud.cfg.limits.max_instances_per_function.min(128) as usize;
         cloud.functions.push(FunctionState {
             spec,
-            instances: Vec::new(),
+            instances: Vec::with_capacity(cap),
             queue: FifoQueue::new(),
-            committed: Vec::new(),
+            committed: Vec::with_capacity(cap),
             committed_total: 0,
-            idle_stack: Vec::new(),
+            idle_stack: Vec::with_capacity(cap),
             n_idle: 0,
             n_busy: 0,
             n_booting: 0,
@@ -1240,8 +1219,7 @@ impl CloudSim {
         let rid = cloud.create_request(function, RequestOrigin::External, tag, at, None);
         cloud.requests[rid.index()].breakdown.prop_out_ms = prop_ms;
         cloud.emit_span(rid, span_tag::PROPAGATION, at, at + SimTime::from_millis(prop_ms));
-        self.sim
-            .schedule_at(at + SimTime::from_millis(prop_ms), CloudEvent::FrontendArrive(rid));
+        self.sim.schedule_at(at + SimTime::from_millis(prop_ms), CloudEvent::FrontendArrive(rid));
         rid
     }
 
@@ -1268,9 +1246,35 @@ impl CloudSim {
         std::mem::take(&mut self.sim.model_mut().completions)
     }
 
+    /// Moves finished external completions into `out`, preserving order.
+    /// Unlike [`CloudSim::drain_completions`] this allocates nothing: the
+    /// caller's buffer is reused across rounds (its capacity survives a
+    /// `clear`), which is what the workload driver's drain loop wants.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.sim.model_mut().completions);
+    }
+
     /// Removes and returns recorded cross-function transfer samples.
     pub fn drain_transfers(&mut self) -> Vec<TransferSample> {
         std::mem::take(&mut self.sim.model_mut().transfers)
+    }
+
+    /// Moves recorded transfer samples into `out`, preserving order; the
+    /// allocation-free counterpart of [`CloudSim::drain_transfers`].
+    pub fn drain_transfers_into(&mut self, out: &mut Vec<TransferSample>) {
+        out.append(&mut self.sim.model_mut().transfers);
+    }
+
+    /// Pre-sizes hot-path buffers for a workload of `expected` external
+    /// requests: the request table, the completion buffer, and the event
+    /// heap (every pending external arrival occupies a heap slot until it
+    /// is dispatched, so a submitted-up-front workload peaks near
+    /// `expected` pending events).
+    pub fn reserve_requests(&mut self, expected: usize) {
+        let cloud = self.sim.model_mut();
+        cloud.requests.reserve(expected);
+        cloud.completions.reserve(expected);
+        self.sim.reserve_events(expected + expected / 4);
     }
 
     /// Aggregate counters.
@@ -1295,19 +1299,14 @@ impl CloudSim {
     pub fn enable_timeline(&mut self, interval: SimTime) {
         assert!(!interval.is_zero(), "telemetry interval must be positive");
         let start = self.sim.now() + interval;
-        self.sim.model_mut().timeline =
-            Some(TimelineRecorder { interval, samples: Vec::new() });
+        self.sim.model_mut().timeline = Some(TimelineRecorder { interval, samples: Vec::new() });
         self.sim.schedule_at(start, CloudEvent::TelemetryTick);
     }
 
     /// Telemetry samples recorded so far (empty unless
     /// [`CloudSim::enable_timeline`] was called).
     pub fn timeline(&self) -> &[TimelineSample] {
-        self.sim
-            .model()
-            .timeline
-            .as_ref()
-            .map_or(&[], |recorder| recorder.samples.as_slice())
+        self.sim.model().timeline.as_ref().map_or(&[], |recorder| recorder.samples.as_slice())
     }
 
     /// Resource usage of `function`'s fleet, accounted up to the current

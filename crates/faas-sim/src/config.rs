@@ -119,7 +119,7 @@ pub struct DispatchConfig {
 }
 
 /// Autoscaling policy choices observed across providers (paper §VI-D3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case", tag = "kind")]
 pub enum ScalePolicy {
     /// Spawn one instance per queued request; requests never share an
@@ -367,12 +367,18 @@ impl ProviderConfig {
             }
             ScalePolicy::Periodic { interval_ms, step } => {
                 if *interval_ms <= 0.0 || *step == 0 {
-                    return Err(ctx("scaling.policy", "periodic needs positive interval and step".into()));
+                    return Err(ctx(
+                        "scaling.policy",
+                        "periodic needs positive interval and step".into(),
+                    ));
                 }
             }
             ScalePolicy::CostAware { cold_estimate_ms } => {
                 if *cold_estimate_ms <= 0.0 || cold_estimate_ms.is_nan() {
-                    return Err(ctx("scaling.policy", "cost-aware needs a positive cold estimate".into()));
+                    return Err(ctx(
+                        "scaling.policy",
+                        "cost-aware needs a positive cold estimate".into(),
+                    ));
                 }
             }
         }
@@ -461,11 +467,8 @@ mod tests {
     #[test]
     fn chunk_model_bounds_checked() {
         let mut cfg = test_provider();
-        cfg.runtimes.python3.container_chunks = Some(ChunkModel {
-            count_lo: 5,
-            count_hi: 2,
-            chunk_latency_ms: Dist::constant(1.0),
-        });
+        cfg.runtimes.python3.container_chunks =
+            Some(ChunkModel { count_lo: 5, count_hi: 2, chunk_latency_ms: Dist::constant(1.0) });
         assert!(cfg.validate().is_err());
     }
 
@@ -479,10 +482,7 @@ mod tests {
     #[test]
     fn runtime_table_lookup() {
         let cfg = test_provider();
-        assert_eq!(
-            cfg.runtimes.model(Runtime::Go).base_image_mb,
-            cfg.runtimes.go.base_image_mb
-        );
+        assert_eq!(cfg.runtimes.model(Runtime::Go).base_image_mb, cfg.runtimes.go.base_image_mb);
     }
 
     #[test]

@@ -52,11 +52,7 @@ impl DispatchServer {
         let service_ms = self.cfg.service_ms.sample(rng) * degradation;
         let (start, end) = self.server.reserve(now, SimTime::from_millis(service_ms));
         self.pending_exits.push_back(end);
-        DispatchOutcome {
-            ready_at: end,
-            wait_ms: (start - now).as_millis(),
-            service_ms,
-        }
+        DispatchOutcome { ready_at: end, wait_ms: (start - now).as_millis(), service_ms }
     }
 
     /// Whether this request should miss the idle-instance lookup and get a

@@ -25,10 +25,7 @@ impl SpawnGovernor {
     /// Creates a governor from the provider's scaling configuration.
     pub fn new(cfg: &ScalingConfig) -> SpawnGovernor {
         let boosted = (cfg.adaptive_spawn_threshold > 0).then(|| {
-            TokenBucket::new(
-                cfg.spawn_burst,
-                cfg.spawn_rate_per_sec * cfg.adaptive_spawn_mult,
-            )
+            TokenBucket::new(cfg.spawn_burst, cfg.spawn_rate_per_sec * cfg.adaptive_spawn_mult)
         });
         SpawnGovernor {
             bucket: TokenBucket::new(cfg.spawn_burst, cfg.spawn_rate_per_sec),
@@ -109,9 +106,7 @@ impl CapacitySnapshot {
 ///   function has no capacity at all.
 pub fn desired_spawns(policy: &ScalePolicy, snap: CapacitySnapshot) -> u32 {
     match policy {
-        ScalePolicy::PerRequest => {
-            snap.queued.saturating_sub(snap.idle + snap.booting)
-        }
+        ScalePolicy::PerRequest => snap.queued.saturating_sub(snap.idle + snap.booting),
         ScalePolicy::TargetConcurrency { target } => {
             let outstanding = snap.queued + snap.busy;
             let desired = (outstanding as f64 / target).ceil() as u32;

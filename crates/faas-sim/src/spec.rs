@@ -48,7 +48,7 @@ pub struct FunctionSpec {
 }
 
 /// One chain hop: invoke `next` with a payload over `mode`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChainSpec {
     /// The function to invoke (must already be deployed).
     pub next: FunctionId,
@@ -232,9 +232,8 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let spec = FunctionSpec::builder("h")
-            .chain(FunctionId(2), TransferMode::Inline, 1024)
-            .build();
+        let spec =
+            FunctionSpec::builder("h").chain(FunctionId(2), TransferMode::Inline, 1024).build();
         let json = serde_json::to_string(&spec).unwrap();
         let back: FunctionSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(spec, back);

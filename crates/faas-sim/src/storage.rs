@@ -103,8 +103,7 @@ impl ImageStore {
         let inflight = state.inflight_ends.len() as u32;
 
         let cache_warm = cache.enabled && now >= state.warm_from && now < state.warm_until;
-        let adaptive =
-            cache.adaptive_threshold > 0 && inflight >= cache.adaptive_threshold;
+        let adaptive = cache.adaptive_threshold > 0 && inflight >= cache.adaptive_threshold;
 
         let mut base = self.cfg.base_latency_ms.sample(&mut self.rng);
         let mut bw = self.cfg.bandwidth_mbps.sample(&mut self.rng).max(0.01);
@@ -321,10 +320,7 @@ mod tests {
 
     #[test]
     fn contention_divides_bandwidth() {
-        let cache = ImageCacheConfig {
-            contention_parallelism: 1.0,
-            ..ImageCacheConfig::none()
-        };
+        let cache = ImageCacheConfig { contention_parallelism: 1.0, ..ImageCacheConfig::none() };
         let mut store = ImageStore::new(store_cfg(cache), Rng::seed_from(1));
         let t = SimTime::ZERO;
         let first = store.fetch(fid(0), 100.0, t);
@@ -336,10 +332,7 @@ mod tests {
 
     #[test]
     fn inflight_prunes_after_completion() {
-        let cache = ImageCacheConfig {
-            contention_parallelism: 1.0,
-            ..ImageCacheConfig::none()
-        };
+        let cache = ImageCacheConfig { contention_parallelism: 1.0, ..ImageCacheConfig::none() };
         let mut store = ImageStore::new(store_cfg(cache), Rng::seed_from(1));
         store.fetch(fid(0), 100.0, SimTime::ZERO); // ends at 1050ms
         let late = store.fetch(fid(0), 100.0, SimTime::from_secs(10.0));

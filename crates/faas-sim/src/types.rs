@@ -176,13 +176,7 @@ mod tests {
     #[test]
     fn serde_enums_snake_case() {
         assert_eq!(serde_json::to_string(&Runtime::Go).unwrap(), "\"go\"");
-        assert_eq!(
-            serde_json::to_string(&DeploymentMethod::Zip).unwrap(),
-            "\"zip\""
-        );
-        assert_eq!(
-            serde_json::to_string(&TransferMode::Inline).unwrap(),
-            "\"inline\""
-        );
+        assert_eq!(serde_json::to_string(&DeploymentMethod::Zip).unwrap(), "\"zip\"");
+        assert_eq!(serde_json::to_string(&TransferMode::Inline).unwrap(), "\"inline\"");
     }
 }

@@ -46,11 +46,7 @@ fn cold_latency_includes_boot_stages() {
     // runtime 30 + handler 10 = 240ms
     assert!((breakdown.total_ms - 240.0).abs() < 1.0, "boot {}", breakdown.total_ms);
     // End-to-end = warm path (40.5) + boot (240)
-    assert!(
-        (cold.latency_ms() - 280.5).abs() < 1.5,
-        "cold latency {}",
-        cold.latency_ms()
-    );
+    assert!((cold.latency_ms() - 280.5).abs() < 1.5, "cold latency {}", cold.latency_ms());
     // Conservation: breakdown sums to end-to-end latency.
     assert!(
         (cold.breakdown.total_ms() - cold.latency_ms()).abs() < 1e-3,
@@ -172,9 +168,7 @@ fn inline_chain_transfers_payload() {
     let consumer = cloud.deploy(FunctionSpec::builder("consumer").build()).unwrap();
     let producer = cloud
         .deploy(
-            FunctionSpec::builder("producer")
-                .chain(consumer, TransferMode::Inline, 2 * MB)
-                .build(),
+            FunctionSpec::builder("producer").chain(consumer, TransferMode::Inline, 2 * MB).build(),
         )
         .unwrap();
     let done = run_one(&mut cloud, producer, SimTime::ZERO);
@@ -318,11 +312,7 @@ fn deterministic_across_runs() {
             cloud.submit(f, i, SimTime::from_millis(500.0 * i as f64));
         }
         cloud.run_until(SEC(120.0));
-        cloud
-            .drain_completions()
-            .into_iter()
-            .map(|c| c.latency_ms())
-            .collect::<Vec<_>>()
+        cloud.drain_completions().into_iter().map(|c| c.latency_ms()).collect::<Vec<_>>()
     };
     assert_eq!(collect(1), collect(1));
     assert_ne!(collect(1), collect(2));
@@ -368,9 +358,7 @@ fn cost_aware_policy_balances_queueing_and_spawning() {
         let mut cfg = test_provider();
         cfg.scaling.policy = ScalePolicy::CostAware { cold_estimate_ms: 250.0 };
         let mut cloud = CloudSim::new(cfg, 21);
-        let f = cloud
-            .deploy(FunctionSpec::builder("f").exec_constant_ms(exec_ms).build())
-            .unwrap();
+        let f = cloud.deploy(FunctionSpec::builder("f").exec_constant_ms(exec_ms).build()).unwrap();
         for i in 0..40 {
             cloud.submit(f, i, SimTime::ZERO);
         }

@@ -34,10 +34,7 @@ fn periodic_controller_rearms_after_queue_drains() {
     submit_burst(&mut cloud, f, 10, SEC(40.0));
     cloud.run_until(SEC(80.0));
     assert_eq!(cloud.drain_completions().len(), 10);
-    assert!(
-        cloud.stats().spawns >= spawns_first,
-        "controller must still react after idle period"
-    );
+    assert!(cloud.stats().spawns >= spawns_first, "controller must still react after idle period");
 }
 
 #[test]
@@ -88,10 +85,7 @@ fn fetch_overlap_hides_image_inside_boot() {
         let mut cloud = CloudSim::new(cfg, 4);
         let f = cloud
             .deploy(
-                FunctionSpec::builder("f")
-                    .runtime(Runtime::Go)
-                    .extra_image_mb(extra_mb)
-                    .build(),
+                FunctionSpec::builder("f").runtime(Runtime::Go).extra_image_mb(extra_mb).build(),
             )
             .unwrap();
         cloud.submit(f, 0, SimTime::ZERO);
@@ -143,15 +137,9 @@ fn dispatch_wait_shows_up_in_breakdown() {
     submit_burst(&mut cloud, f, 50, SimTime::ZERO);
     cloud.run_until(SEC(60.0));
     let done = cloud.drain_completions();
-    let max_wait = done
-        .iter()
-        .map(|c| c.breakdown.dispatch_wait_ms)
-        .fold(0.0f64, f64::max);
+    let max_wait = done.iter().map(|c| c.breakdown.dispatch_wait_ms).fold(0.0f64, f64::max);
     // Position 50 of a serial 2 ms dispatcher waits ~100 ms.
-    assert!(
-        (90.0..=110.0).contains(&max_wait),
-        "last dispatch wait {max_wait:.1}"
-    );
+    assert!((90.0..=110.0).contains(&max_wait), "last dispatch wait {max_wait:.1}");
 }
 
 #[test]
@@ -301,10 +289,7 @@ fn boot_failures_are_retried_transparently() {
         "each failure costs exactly one retry spawn"
     );
     // Requests behind failed boots pay the retry in queue wait.
-    let max_wait = done
-        .iter()
-        .map(|c| c.breakdown.queue_wait_ms)
-        .fold(0.0f64, f64::max);
+    let max_wait = done.iter().map(|c| c.breakdown.queue_wait_ms).fold(0.0f64, f64::max);
     assert!(max_wait > 400.0, "retried boots double the wait: {max_wait:.0}");
 }
 

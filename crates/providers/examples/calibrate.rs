@@ -10,8 +10,16 @@ use stellar_core::protocols::{
 };
 
 fn row(name: &str, paper_med: f64, med: f64, paper_p99: f64, p99: f64) {
-    let dm = if paper_med.is_finite() { format!("{:+.0}%", (med / paper_med - 1.0) * 100.0) } else { "-".into() };
-    let dt = if paper_p99.is_finite() { format!("{:+.0}%", (p99 / paper_p99 - 1.0) * 100.0) } else { "-".into() };
+    let dm = if paper_med.is_finite() {
+        format!("{:+.0}%", (med / paper_med - 1.0) * 100.0)
+    } else {
+        "-".into()
+    };
+    let dt = if paper_p99.is_finite() {
+        format!("{:+.0}%", (p99 / paper_p99 - 1.0) * 100.0)
+    } else {
+        "-".into()
+    };
     println!(
         "{name:<38} med {med:>8.1} (paper {paper_med:>8.1} {dm:>6})   p99 {p99:>8.1} (paper {paper_p99:>8.1} {dt:>6})"
     );
@@ -31,8 +39,7 @@ fn main() {
         row("warm (observed)", pm + rtt, warm.summary.median, pt + rtt, warm.summary.tail);
 
         // E2 cold baseline
-        let cold =
-            cold_invocations(cfg.clone(), ColdSetup::baseline(), samples, 100, 12).unwrap();
+        let cold = cold_invocations(cfg.clone(), ColdSetup::baseline(), samples, 100, 12).unwrap();
         let (cm, ctmr) = paper::cold_observed_ms(kind);
         row("cold python zip", cm, cold.summary.median, cm * ctmr, cold.summary.tail);
 
@@ -45,9 +52,14 @@ fn main() {
             };
             let out = cold_invocations(cfg.clone(), setup, samples, 100, 13).unwrap();
             let (m10, m100, t100) = paper::image_size_observed_ms(kind);
-            let (p_med, p_tail) =
-                if idx == 0 { (m10, f64::NAN) } else { (m100, t100) };
-            row(&format!("cold go zip +{mb}MB"), p_med, out.summary.median, p_tail, out.summary.tail);
+            let (p_med, p_tail) = if idx == 0 { (m10, f64::NAN) } else { (m100, t100) };
+            row(
+                &format!("cold go zip +{mb}MB"),
+                p_med,
+                out.summary.median,
+                p_tail,
+                out.summary.tail,
+            );
         }
 
         // E4 runtimes/deployments (AWS only in the paper)
@@ -74,26 +86,21 @@ fn main() {
         if kind != ProviderKind::Azure {
             for &(bytes, p_med) in paper::inline_transfer_points(kind) {
                 let out =
-                    transfer_chain(cfg.clone(), TransferMode::Inline, bytes, samples, 15)
-                        .unwrap();
+                    transfer_chain(cfg.clone(), TransferMode::Inline, bytes, samples, 15).unwrap();
                 let ts = out.transfer_summary.unwrap();
-                let p_tail = if bytes == 1_000_000 {
-                    p_med * paper::inline_tmr_1mb(kind)
-                } else {
-                    f64::NAN
-                };
+                let p_tail =
+                    if bytes == 1_000_000 { p_med * paper::inline_tmr_1mb(kind) } else { f64::NAN };
                 row(&format!("inline {bytes}B"), p_med, ts.median, p_tail, ts.tail);
             }
             let (sm, st) = paper::storage_transfer_1mb_ms(kind);
             let out =
-                transfer_chain(cfg.clone(), TransferMode::Storage, 1_000_000, samples, 16)
-                    .unwrap();
+                transfer_chain(cfg.clone(), TransferMode::Storage, 1_000_000, samples, 16).unwrap();
             let ts = out.transfer_summary.unwrap();
             row("storage 1MB", sm, ts.median, st, ts.tail);
             // Large-payload effective bandwidth.
             for bytes in [100_000_000u64, 1_000_000_000] {
-                let out = transfer_chain(cfg.clone(), TransferMode::Storage, bytes, 200, 17)
-                    .unwrap();
+                let out =
+                    transfer_chain(cfg.clone(), TransferMode::Storage, bytes, 200, 17).unwrap();
                 let ts = out.transfer_summary.unwrap();
                 let eff_mbit = bytes as f64 * 8.0 / 1e6 / (ts.median / 1000.0);
                 let (_, target_large) = paper::storage_bandwidth_mbit(kind);
@@ -124,7 +131,13 @@ fn main() {
             };
             let (p_med, p_tail) =
                 if burst == 100 { (pmr * base, ptr * base) } else { (f64::NAN, f64::NAN) };
-            row(&format!("burst short {burst}"), p_med, out.summary.median, p_tail, out.summary.tail);
+            row(
+                &format!("burst short {burst}"),
+                p_med,
+                out.summary.median,
+                p_tail,
+                out.summary.tail,
+            );
         }
         {
             let burst = 100u32;
@@ -143,12 +156,18 @@ fn main() {
                 ProviderKind::Google => (59.0, 100.0),
                 ProviderKind::Azure => (41.0, 58.0),
             };
-            row(&format!("burst long {burst}"), pmr * base, out.summary.median, ptr * base, out.summary.tail);
+            row(
+                &format!("burst long {burst}"),
+                pmr * base,
+                out.summary.median,
+                ptr * base,
+                out.summary.tail,
+            );
         }
 
         // E8 fig9: 1s exec, burst 100, long IAT
-        let out = bursty_invocations(cfg.clone(), BurstIat::Long, 100, 1000.0, 1000, 3, 20)
-            .unwrap();
+        let out =
+            bursty_invocations(cfg.clone(), BurstIat::Long, 100, 1000.0, 1000, 3, 20).unwrap();
         let (fm, ft) = paper::fig9_burst100_ms(kind);
         row("fig9 burst100 exec1s", fm, out.summary.median, ft, out.summary.tail);
         println!();

@@ -10,11 +10,8 @@
 //! including WAN propagation) unless a name says `INTERNAL`.
 
 /// Round-trip propagation delay client↔datacenter measured by ping (§V).
-pub const PROP_RTT_MS: [(ProviderKind, f64); 3] = [
-    (ProviderKind::Aws, 26.0),
-    (ProviderKind::Google, 14.0),
-    (ProviderKind::Azure, 32.0),
-];
+pub const PROP_RTT_MS: [(ProviderKind, f64); 3] =
+    [(ProviderKind::Aws, 26.0), (ProviderKind::Google, 14.0), (ProviderKind::Azure, 32.0)];
 
 /// Which provider a constant refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -134,8 +131,7 @@ pub fn storage_bandwidth_mbit(p: ProviderKind) -> (f64, f64) {
 }
 
 /// §VI-D2: Google long-IAT bursts `(burst_size, median, p99)`.
-pub const GOOGLE_LONG_BURSTS: [(u32, f64, f64); 2] =
-    [(1, 870.0, 1567.0), (100, 1818.0, 3095.0)];
+pub const GOOGLE_LONG_BURSTS: [(u32, f64, f64); 2] = [(1, 870.0, 1567.0), (100, 1818.0, 3095.0)];
 
 /// §VI-D3 (Fig 9): 1 s functions, burst 100, long IAT: `(median, p99)`.
 pub fn fig9_burst100_ms(p: ProviderKind) -> (f64, f64) {
@@ -162,14 +158,44 @@ pub struct TableOneRow {
 
 /// The paper's Table I.
 pub const TABLE_ONE: [TableOneRow; 8] = [
-    TableOneRow { factor: "Base warm", aws: (1.0, 2.0), google: (1.0, 2.0), azure: Some((1.0, 1.0)) },
-    TableOneRow { factor: "Base cold", aws: (10.0, 15.0), google: (28.0, 50.0), azure: Some((25.0, 64.0)) },
-    TableOneRow { factor: "Image size, 100MB", aws: (29.0, 49.0), google: (17.0, 60.0), azure: Some((59.0, 100.0)) },
+    TableOneRow {
+        factor: "Base warm",
+        aws: (1.0, 2.0),
+        google: (1.0, 2.0),
+        azure: Some((1.0, 1.0)),
+    },
+    TableOneRow {
+        factor: "Base cold",
+        aws: (10.0, 15.0),
+        google: (28.0, 50.0),
+        azure: Some((25.0, 64.0)),
+    },
+    TableOneRow {
+        factor: "Image size, 100MB",
+        aws: (29.0, 49.0),
+        google: (17.0, 60.0),
+        azure: Some((59.0, 100.0)),
+    },
     TableOneRow { factor: "Inline transfer", aws: (1.0, 2.0), google: (2.0, 3.0), azure: None },
     TableOneRow { factor: "Storage transfer", aws: (3.0, 27.0), google: (5.0, 187.0), azure: None },
-    TableOneRow { factor: "Bursty warm", aws: (2.0, 11.0), google: (3.0, 5.0), azure: Some((5.0, 41.0)) },
-    TableOneRow { factor: "Bursty cold", aws: (6.0, 12.0), google: (59.0, 100.0), azure: Some((41.0, 58.0)) },
-    TableOneRow { factor: "Bursty long", aws: (12.0, 16.0), google: (64.0, 102.0), azure: Some((309.0, 619.0)) },
+    TableOneRow {
+        factor: "Bursty warm",
+        aws: (2.0, 11.0),
+        google: (3.0, 5.0),
+        azure: Some((5.0, 41.0)),
+    },
+    TableOneRow {
+        factor: "Bursty cold",
+        aws: (6.0, 12.0),
+        google: (59.0, 100.0),
+        azure: Some((41.0, 58.0)),
+    },
+    TableOneRow {
+        factor: "Bursty long",
+        aws: (12.0, 16.0),
+        google: (64.0, 102.0),
+        azure: Some((309.0, 619.0)),
+    },
 ];
 
 /// Client-observed warm median (base for MR/TR): internal median + RTT.

@@ -9,9 +9,9 @@
 //! profiles to tolerance bands.
 
 use faas_sim::config::{
-    ColdStartConfig, DispatchConfig, ImageCacheConfig, ImageStoreConfig, KeepAliveConfig,
-    LimitsConfig, NetworkConfig, PathShares, PayloadStoreConfig, ProviderConfig, RuntimeModel,
-    RuntimeTable, ScalePolicy, ScalingConfig, WarmPathConfig, ChunkModel,
+    ChunkModel, ColdStartConfig, DispatchConfig, ImageCacheConfig, ImageStoreConfig,
+    KeepAliveConfig, LimitsConfig, NetworkConfig, PathShares, PayloadStoreConfig, ProviderConfig,
+    RuntimeModel, RuntimeTable, ScalePolicy, ScalingConfig, WarmPathConfig,
 };
 use simkit::dist::Dist;
 
@@ -372,10 +372,7 @@ mod tests {
     #[test]
     fn profiles_have_expected_policies() {
         assert!(matches!(aws_like().scaling.policy, ScalePolicy::PerRequest));
-        assert!(matches!(
-            google_like().scaling.policy,
-            ScalePolicy::TargetConcurrency { .. }
-        ));
+        assert!(matches!(google_like().scaling.policy, ScalePolicy::TargetConcurrency { .. }));
         assert!(matches!(azure_like().scaling.policy, ScalePolicy::Periodic { .. }));
     }
 

@@ -65,8 +65,7 @@ fn warm_ordering_google_fastest_internally() {
 fn cold_latency_bands() {
     for kind in ProviderKind::ALL {
         let out =
-            cold_invocations(config_for(kind), ColdSetup::baseline(), SAMPLES, 100, 103)
-                .unwrap();
+            cold_invocations(config_for(kind), ColdSetup::baseline(), SAMPLES, 100, 103).unwrap();
         let (med, tmr) = paper::cold_observed_ms(kind);
         assert_band(&format!("{kind} cold median"), out.summary.median, med, 0.15);
         assert_band(&format!("{kind} cold p99"), out.summary.tail, med * tmr, 0.30);
@@ -92,8 +91,7 @@ fn cold_is_an_order_of_magnitude_above_warm() {
 fn cold_ordering_aws_fastest_azure_slowest() {
     let mut med = Vec::new();
     for kind in ProviderKind::ALL {
-        let out = cold_invocations(config_for(kind), ColdSetup::baseline(), 800, 100, 105)
-            .unwrap();
+        let out = cold_invocations(config_for(kind), ColdSetup::baseline(), 800, 100, 105).unwrap();
         med.push(out.summary.median);
     }
     assert!(med[0] < med[1], "aws {} < google {}", med[0], med[1]);
@@ -129,10 +127,7 @@ fn google_is_image_size_insensitive_others_are_not() {
     // (fetch hidden behind boot); AWS grows ~3.5×, Azure ~2.4×.
     let g10 = image_cold(ProviderKind::Google, 10.0, 108).median;
     let g100 = image_cold(ProviderKind::Google, 100.0, 109).median;
-    assert!(
-        (g100 / g10 - 1.0).abs() < 0.10,
-        "google should be insensitive: {g10:.0} vs {g100:.0}"
-    );
+    assert!((g100 / g10 - 1.0).abs() < 0.10, "google should be insensitive: {g10:.0} vs {g100:.0}");
     let a10 = image_cold(ProviderKind::Aws, 10.0, 110).median;
     let a100 = image_cold(ProviderKind::Aws, 100.0, 111).median;
     assert!(a100 / a10 > 2.2, "aws sensitivity {:.1}x", a100 / a10);
@@ -145,9 +140,7 @@ fn google_is_image_size_insensitive_others_are_not() {
 
 fn aws_cold(runtime: Runtime, deployment: DeploymentMethod, seed: u64) -> stats::Summary {
     let setup = ColdSetup { runtime, deployment, extra_image_mb: 0.0 };
-    cold_invocations(config_for(ProviderKind::Aws), setup, SAMPLES, 100, seed)
-        .unwrap()
-        .summary
+    cold_invocations(config_for(ProviderKind::Aws), setup, SAMPLES, 100, seed).unwrap().summary
 }
 
 #[test]
@@ -204,9 +197,8 @@ fn runtime_choice_barely_matters_for_zip() {
 fn inline_transfer_bands() {
     for kind in [ProviderKind::Aws, ProviderKind::Google] {
         for &(bytes, med) in paper::inline_transfer_points(kind) {
-            let out =
-                transfer_chain(config_for(kind), TransferMode::Inline, bytes, SAMPLES, 120)
-                    .unwrap();
+            let out = transfer_chain(config_for(kind), TransferMode::Inline, bytes, SAMPLES, 120)
+                .unwrap();
             let ts = out.transfer_summary.unwrap();
             assert_band(&format!("{kind} inline {bytes}B median"), ts.median, med, 0.25);
         }
@@ -217,9 +209,8 @@ fn inline_transfer_bands() {
 fn inline_transfers_are_predictable() {
     // Obs 4: inline TMRs stay below ~2 (1.7 AWS, 1.4 Google at 1 MB).
     for kind in [ProviderKind::Aws, ProviderKind::Google] {
-        let out =
-            transfer_chain(config_for(kind), TransferMode::Inline, 1_000_000, SAMPLES, 121)
-                .unwrap();
+        let out = transfer_chain(config_for(kind), TransferMode::Inline, 1_000_000, SAMPLES, 121)
+            .unwrap();
         let tmr = out.transfer_summary.unwrap().tmr;
         assert!(tmr < 2.5, "{kind}: inline TMR {tmr:.1}");
     }
@@ -247,17 +238,12 @@ fn google_beats_aws_for_small_inline_payloads() {
             .transfer_summary
             .unwrap()
             .median;
-    let google4 = transfer_chain(
-        config_for(ProviderKind::Google),
-        TransferMode::Inline,
-        4_000_000,
-        800,
-        125,
-    )
-    .unwrap()
-    .transfer_summary
-    .unwrap()
-    .median;
+    let google4 =
+        transfer_chain(config_for(ProviderKind::Google), TransferMode::Inline, 4_000_000, 800, 125)
+            .unwrap()
+            .transfer_summary
+            .unwrap()
+            .median;
     assert!(aws4 < google4, "aws {aws4:.0} vs google {google4:.0} at 4MB");
 }
 
@@ -268,8 +254,7 @@ fn storage_transfer_bands() {
     for kind in [ProviderKind::Aws, ProviderKind::Google] {
         let (med, p99) = paper::storage_transfer_1mb_ms(kind);
         let out =
-            transfer_chain(config_for(kind), TransferMode::Storage, 1_000_000, 3000, 126)
-                .unwrap();
+            transfer_chain(config_for(kind), TransferMode::Storage, 1_000_000, 3000, 126).unwrap();
         let ts = out.transfer_summary.unwrap();
         assert_band(&format!("{kind} storage 1MB median"), ts.median, med, 0.25);
         assert_band(&format!("{kind} storage 1MB p99"), ts.tail, p99, 0.40);
@@ -280,16 +265,11 @@ fn storage_transfer_bands() {
 fn storage_is_the_tail_problem_inline_is_not() {
     // Obs 4, the paper's headline: storage TMR ≈ 10.6 (AWS) / 37.3
     // (Google), vs inline TMRs below 2.
-    let aws = transfer_chain(
-        config_for(ProviderKind::Aws),
-        TransferMode::Storage,
-        1_000_000,
-        3000,
-        127,
-    )
-    .unwrap()
-    .transfer_summary
-    .unwrap();
+    let aws =
+        transfer_chain(config_for(ProviderKind::Aws), TransferMode::Storage, 1_000_000, 3000, 127)
+            .unwrap()
+            .transfer_summary
+            .unwrap();
     assert!(aws.tmr > 6.0, "aws storage TMR {:.1}", aws.tmr);
     let google = transfer_chain(
         config_for(ProviderKind::Google),
@@ -312,8 +292,7 @@ fn storage_bandwidth_grows_with_payload() {
     for kind in [ProviderKind::Aws, ProviderKind::Google] {
         let eff = |bytes: u64, seed| {
             let out =
-                transfer_chain(config_for(kind), TransferMode::Storage, bytes, 300, seed)
-                    .unwrap();
+                transfer_chain(config_for(kind), TransferMode::Storage, bytes, 300, seed).unwrap();
             bytes as f64 * 8.0 / 1e6 / (out.transfer_summary.unwrap().median / 1000.0)
         };
         let small = eff(1_000_000, 129);
@@ -330,16 +309,14 @@ fn storage_beats_inline_bandwidth_but_loses_predictability() {
     // §VI-C2: storage yields higher effective bandwidth at 1 MB than the
     // corresponding inline transfer... at the price of the tail.
     let kind = ProviderKind::Aws;
-    let inline =
-        transfer_chain(config_for(kind), TransferMode::Inline, 1_000_000, 1000, 131)
-            .unwrap()
-            .transfer_summary
-            .unwrap();
-    let storage =
-        transfer_chain(config_for(kind), TransferMode::Storage, 4_000_000, 1000, 132)
-            .unwrap()
-            .transfer_summary
-            .unwrap();
+    let inline = transfer_chain(config_for(kind), TransferMode::Inline, 1_000_000, 1000, 131)
+        .unwrap()
+        .transfer_summary
+        .unwrap();
+    let storage = transfer_chain(config_for(kind), TransferMode::Storage, 4_000_000, 1000, 132)
+        .unwrap()
+        .transfer_summary
+        .unwrap();
     // 4 MB via storage is faster than 4 MB inline would extrapolate to,
     // and the storage tail dwarfs the inline tail.
     assert!(storage.tmr > 3.0 * inline.tmr);
@@ -364,11 +341,7 @@ fn short_iat_burst_bands() {
 
     let azure = run(ProviderKind::Azure, 100, 134);
     assert_band("azure burst100 median", azure.median, 5.0 * base(ProviderKind::Azure), 0.30);
-    assert!(
-        azure.tail > 25.0 * base(ProviderKind::Azure),
-        "azure burst tail {:.0}",
-        azure.tail
-    );
+    assert!(azure.tail > 25.0 * base(ProviderKind::Azure), "azure burst tail {:.0}", azure.tail);
 
     let google = run(ProviderKind::Google, 100, 135);
     assert!(
@@ -435,26 +408,14 @@ fn azure_explodes_at_burst_500_google_stays_flat() {
 fn aws_long_bursts_get_faster_not_slower() {
     // §VI-D2's surprise: AWS burst-100 cold invocations are *faster* than
     // individual colds (storage-side image caching).
-    let single = cold_invocations(
-        config_for(ProviderKind::Aws),
-        ColdSetup::baseline(),
-        1000,
-        100,
-        139,
-    )
-    .unwrap()
-    .summary;
-    let burst = bursty_invocations(
-        config_for(ProviderKind::Aws),
-        BurstIat::Long,
-        100,
-        0.0,
-        3000,
-        3,
-        140,
-    )
-    .unwrap()
-    .summary;
+    let single =
+        cold_invocations(config_for(ProviderKind::Aws), ColdSetup::baseline(), 1000, 100, 139)
+            .unwrap()
+            .summary;
+    let burst =
+        bursty_invocations(config_for(ProviderKind::Aws), BurstIat::Long, 100, 0.0, 3000, 3, 140)
+            .unwrap()
+            .summary;
     assert!(
         burst.median < 0.9 * single.median,
         "aws long burst median {:.0} vs single cold {:.0}",
@@ -467,15 +428,10 @@ fn aws_long_bursts_get_faster_not_slower() {
 fn google_long_bursts_get_slower() {
     // §VI-D2: Google burst-100 long-IAT median roughly doubles vs single
     // cold invocations (spawn pacing).
-    let single = cold_invocations(
-        config_for(ProviderKind::Google),
-        ColdSetup::baseline(),
-        1000,
-        100,
-        141,
-    )
-    .unwrap()
-    .summary;
+    let single =
+        cold_invocations(config_for(ProviderKind::Google), ColdSetup::baseline(), 1000, 100, 141)
+            .unwrap()
+            .summary;
     let burst = bursty_invocations(
         config_for(ProviderKind::Google),
         BurstIat::Long,
@@ -501,8 +457,7 @@ fn long_iat_bursts_have_low_tmr() {
     // Obs 6: TMRs of 1.3–2.6 for long-IAT bursts.
     for kind in ProviderKind::ALL {
         let out =
-            bursty_invocations(config_for(kind), BurstIat::Long, 100, 0.0, 3000, 3, 143)
-                .unwrap();
+            bursty_invocations(config_for(kind), BurstIat::Long, 100, 0.0, 3000, 3, 143).unwrap();
         assert!(out.summary.tmr < 4.0, "{kind}: long burst TMR {:.1}", out.summary.tmr);
     }
 }
@@ -561,15 +516,11 @@ fn table_one_problematic_cells_reproduce() {
     let base_aws = stats::percentile::median(&warm_aws.latencies_ms());
 
     // "Base cold" AWS: MR 10, TR 15.
-    let cold = cold_invocations(
-        config_for(ProviderKind::Aws),
-        ColdSetup::baseline(),
-        1500,
-        100,
-        148,
-    )
-    .unwrap();
-    let ratios = stats::metrics::FactorRatios::compute(&cold.latencies_ms(), &warm_aws.latencies_ms());
+    let cold =
+        cold_invocations(config_for(ProviderKind::Aws), ColdSetup::baseline(), 1500, 100, 148)
+            .unwrap();
+    let ratios =
+        stats::metrics::FactorRatios::compute(&cold.latencies_ms(), &warm_aws.latencies_ms());
     assert!(ratios.mr > 7.0 && ratios.mr < 14.0, "aws cold MR {:.1}", ratios.mr);
     assert!(ratios.is_problematic());
     let _ = base_aws;
@@ -585,13 +536,8 @@ fn shipped_profile_json_matches_code() {
     // dump_profiles`.
     for kind in ProviderKind::ALL {
         let cfg = config_for(kind);
-        let path = format!(
-            "{}/profiles/{}.json",
-            env!("CARGO_MANIFEST_DIR"),
-            cfg.name
-        );
-        let shipped = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("{path}: {e}"));
+        let path = format!("{}/profiles/{}.json", env!("CARGO_MANIFEST_DIR"), cfg.name);
+        let shipped = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
         let parsed: faas_sim::config::ProviderConfig =
             serde_json::from_str(&shipped).expect("shipped profile parses");
         assert_eq!(

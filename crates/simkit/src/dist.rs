@@ -99,10 +99,7 @@ impl Dist {
     pub fn lognormal_median_p99(median: f64, p99: f64) -> Dist {
         assert!(median > 0.0, "median must be positive, got {median}");
         assert!(p99 >= median, "p99 {p99} below median {median}");
-        Dist::LogNormal {
-            mu: median.ln(),
-            sigma: (p99 / median).ln() / Z99,
-        }
+        Dist::LogNormal { mu: median.ln(), sigma: (p99 / median).ln() / Z99 }
     }
 
     /// Fits a log-normal to positive `samples` by matching log-moments
@@ -159,9 +156,7 @@ impl Dist {
             Dist::Normal { mean, std } => mean + std * sample_standard_normal(rng),
             Dist::LogNormal { mu, sigma } => (mu + sigma * sample_standard_normal(rng)).exp(),
             Dist::Pareto { scale, shape } => scale / rng.next_f64_open().powf(1.0 / shape),
-            Dist::Weibull { scale, shape } => {
-                scale * (-rng.next_f64_open().ln()).powf(1.0 / shape)
-            }
+            Dist::Weibull { scale, shape } => scale * (-rng.next_f64_open().ln()).powf(1.0 / shape),
             Dist::Gamma { shape, scale } => sample_gamma(rng, *shape) * scale,
             Dist::Empirical { values } => {
                 assert!(!values.is_empty(), "empirical distribution has no values");
@@ -537,16 +532,10 @@ mod tests {
 
     #[test]
     fn sum_and_max_of() {
-        let s = Dist::SumOf {
-            a: Box::new(Dist::constant(1.0)),
-            b: Box::new(Dist::constant(2.0)),
-        };
+        let s = Dist::SumOf { a: Box::new(Dist::constant(1.0)), b: Box::new(Dist::constant(2.0)) };
         assert_eq!(s.sample(&mut Rng::seed_from(0)), 3.0);
         assert_eq!(s.mean_exact(), Some(3.0));
-        let m = Dist::MaxOf {
-            a: Box::new(Dist::constant(1.0)),
-            b: Box::new(Dist::constant(2.0)),
-        };
+        let m = Dist::MaxOf { a: Box::new(Dist::constant(1.0)), b: Box::new(Dist::constant(2.0)) };
         assert_eq!(m.sample(&mut Rng::seed_from(0)), 2.0);
         assert_eq!(m.mean_exact(), None);
     }

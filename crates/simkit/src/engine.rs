@@ -45,10 +45,7 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -95,6 +92,12 @@ impl<E> Scheduler<E> {
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
+    }
+
+    /// Reserves capacity for at least `additional` more pending events, so
+    /// a workload of known size never reallocates the heap mid-run.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 }
 
@@ -163,6 +166,12 @@ impl<M: Model> Simulation<M> {
     /// Schedules an event at absolute time `at` (before or during a run).
     pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
         self.sched.schedule_at(at, event);
+    }
+
+    /// Pre-sizes the event queue for at least `additional` more pending
+    /// events (see [`Scheduler::reserve`]).
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.sched.reserve(additional);
     }
 
     /// Dispatches the next event, if any. Returns `false` when the queue

@@ -62,15 +62,23 @@ impl Metrics {
 
     /// Current value of counter `name` (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters
-            .iter()
-            .find(|(existing, _)| *existing == name)
-            .map_or(0, |(_, value)| *value)
+        self.counters.iter().find(|(existing, _)| *existing == name).map_or(0, |(_, value)| *value)
     }
 
     /// All counters in first-use order.
     pub fn counters(&self) -> &[(&'static str, u64)] {
         &self.counters
+    }
+
+    /// Folds `other` into this registry: counters are summed (created in
+    /// `other`'s first-use order when absent here) and gauge samples are
+    /// appended. Merging registries in a fixed order therefore yields a
+    /// deterministic result, which the sweep runner relies on.
+    pub fn merge(&mut self, other: &Metrics) {
+        for &(name, value) in &other.counters {
+            self.add(name, value);
+        }
+        self.samples.extend_from_slice(&other.samples);
     }
 
     /// Records one gauge observation.
@@ -84,10 +92,7 @@ impl Metrics {
     }
 
     /// Gauge samples of one name, in recording order.
-    pub fn samples_of<'a>(
-        &'a self,
-        name: &'a str,
-    ) -> impl Iterator<Item = &'a MetricSample> + 'a {
+    pub fn samples_of<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a MetricSample> + 'a {
         self.samples.iter().filter(move |s| s.name == name)
     }
 }
@@ -107,6 +112,23 @@ mod tests {
         assert_eq!(m.counter("never"), 0);
         let names: Vec<&str> = m.counters().iter().map(|(n, _)| *n).collect();
         assert_eq!(names, ["cold_starts", "spawns"], "first-use order");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_appends_samples() {
+        let mut a = Metrics::new();
+        a.add("completed", 3);
+        a.gauge(SimTime::from_secs(1.0), "depth", 0, 1.0);
+        let mut b = Metrics::new();
+        b.add("cold_starts", 1);
+        b.add("completed", 2);
+        b.gauge(SimTime::from_secs(2.0), "depth", 0, 4.0);
+        a.merge(&b);
+        assert_eq!(a.counter("completed"), 5);
+        assert_eq!(a.counter("cold_starts"), 1);
+        let names: Vec<&str> = a.counters().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["completed", "cold_starts"]);
+        assert_eq!(a.samples().len(), 2);
     }
 
     #[test]

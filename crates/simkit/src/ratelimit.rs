@@ -141,9 +141,17 @@ impl TokenBucket {
 
     /// Tokens currently available at time `now` (without consuming).
     /// Negative values mean future refill is already reserved.
-    pub fn available_at(&mut self, now: SimTime) -> f64 {
-        self.refill_to(now);
-        self.tokens
+    ///
+    /// This is a pure peek: it does not commit the refill, so a later
+    /// `acquire_at` at any time at or after the last *acquisition* remains
+    /// valid even if it precedes `now`.
+    pub fn available_at(&self, now: SimTime) -> f64 {
+        if now > self.updated_at {
+            let dt = (now - self.updated_at).as_secs();
+            (self.tokens + dt * self.rate_per_sec).min(self.capacity)
+        } else {
+            self.tokens
+        }
     }
 }
 
@@ -211,5 +219,29 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn token_bucket_zero_capacity_panics() {
         TokenBucket::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn available_at_is_a_pure_peek() {
+        // Regression: peeking availability at a future time used to commit
+        // the refill (advancing `updated_at`), so a later acquisition at an
+        // earlier time panicked "time went backwards" despite nothing having
+        // been acquired.
+        let mut tb = TokenBucket::new(2.0, 1.0);
+        tb.acquire_at(SimTime::from_secs(1.0), 2.0);
+        assert_eq!(tb.available_at(SimTime::from_secs(5.0)), 2.0);
+        // Acquire at t=1s, *before* the peeked time: must not panic, and the
+        // bucket must still be empty at t=1s.
+        let granted = tb.acquire_at(SimTime::from_secs(1.0), 1.0);
+        assert_eq!(granted, SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    fn available_at_past_time_reports_current_balance() {
+        let mut tb = TokenBucket::new(3.0, 1.0);
+        tb.acquire_at(SimTime::from_secs(10.0), 3.0);
+        // A query for a time before the last update reports the balance as
+        // of the last update rather than extrapolating backwards.
+        assert_eq!(tb.available_at(SimTime::from_secs(1.0)), 0.0);
     }
 }

@@ -42,12 +42,8 @@ impl Rng {
     /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
     pub fn seed_from(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         // xoshiro must not be seeded with all zeros; splitmix64 of any seed
         // cannot produce four zero words, but guard anyway.
         if s == [0, 0, 0, 0] {
@@ -76,10 +72,7 @@ impl Rng {
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

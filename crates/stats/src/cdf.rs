@@ -52,7 +52,13 @@ impl Cdf {
     }
 
     /// Fraction of samples `<= x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN, consistent with [`Cdf::from_samples`] (with a
+    /// NaN, `v <= x` is vacuously false and the result would silently be 0).
     pub fn eval(&self, x: f64) -> f64 {
+        assert!(!x.is_nan(), "CDF evaluated at NaN");
         // partition_point gives the count of samples <= x on a sorted vec.
         let count = self.sorted.partition_point(|&v| v <= x);
         count as f64 / self.sorted.len() as f64
@@ -197,5 +203,12 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_panics() {
         Cdf::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn eval_nan_panics() {
+        // Regression: eval(NaN) used to silently return 0.0.
+        Cdf::from_samples(&[1.0, 2.0]).eval(f64::NAN);
     }
 }

@@ -43,14 +43,34 @@ impl LogHistogram {
     }
 
     /// Records one value.
+    ///
+    /// The bin chosen is always consistent with [`LogHistogram::bin_edges`]:
+    /// `record(v)` increments the bin `i` with `bin_edges(i).0 <= v` and
+    /// `v < bin_edges(i).1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN (a NaN used to fall through both range
+    /// checks and land silently in bin 0 because `NaN as usize == 0`).
     pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN in a histogram");
         if value < self.lo {
             self.underflow += 1;
         } else if value >= self.hi {
             self.overflow += 1;
         } else {
+            let k = self.counts.len();
             let frac = (value / self.lo).ln() / (self.hi / self.lo).ln();
-            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            let mut idx = ((frac * k as f64) as usize).min(k - 1);
+            // The ln-ratio mapping above and the powf mapping in
+            // `bin_edges` can disagree by one ULP right at a bin boundary;
+            // nudge to the bin whose edges actually contain the value.
+            while idx > 0 && value < self.bin_edges(idx).0 {
+                idx -= 1;
+            }
+            while idx + 1 < k && value >= self.bin_edges(idx).1 {
+                idx += 1;
+            }
             self.counts[idx] += 1;
         }
     }
@@ -91,8 +111,15 @@ impl LogHistogram {
         assert!(i < self.counts.len(), "bin {i} out of range");
         let k = self.counts.len() as f64;
         let ratio = self.hi / self.lo;
-        let lo = self.lo * ratio.powf(i as f64 / k);
-        let hi = self.lo * ratio.powf((i + 1) as f64 / k);
+        // Pin the outermost edges to the exact bounds: `lo * ratio` can be
+        // a ULP off `hi`, which would leave values right under `hi` outside
+        // every bin. The bins must tile `[lo, hi)` exactly.
+        let lo = if i == 0 { self.lo } else { self.lo * ratio.powf(i as f64 / k) };
+        let hi = if i + 1 == self.counts.len() {
+            self.hi
+        } else {
+            self.lo * ratio.powf((i + 1) as f64 / k)
+        };
         (lo, hi)
     }
 
@@ -170,5 +197,39 @@ mod tests {
     #[should_panic(expected = "positive lower bound")]
     fn zero_lo_panics() {
         LogHistogram::new(0.0, 10.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot record NaN")]
+    fn record_nan_panics() {
+        // Regression: NaN used to fall through both range checks and be
+        // counted silently in bin 0.
+        let mut h = LogHistogram::new(1.0, 1000.0, 3);
+        h.record(f64::NAN);
+    }
+
+    #[test]
+    fn infinities_hit_the_flow_buckets() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 3);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.counts(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn recorded_bin_agrees_with_bin_edges_at_boundaries() {
+        // Exercise exact powf bin edges, where the ln-ratio index mapping
+        // can land one bin off before the nudge.
+        let h0 = LogHistogram::new(1.0, 1000.0, 7);
+        for i in 0..7 {
+            let (lo, hi) = h0.bin_edges(i);
+            for v in [lo, (lo + hi) / 2.0, hi - hi * 1e-15] {
+                let mut h = h0.clone();
+                h.record(v);
+                assert_eq!(h.counts()[i], 1, "value {v} must land in bin {i}");
+            }
+        }
     }
 }

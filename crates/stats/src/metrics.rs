@@ -89,8 +89,7 @@ impl FactorRatios {
         base_samples: &[f64],
         exec_ms: f64,
     ) -> FactorRatios {
-        let adjusted: Vec<f64> =
-            factor_samples.iter().map(|&x| (x - exec_ms).max(0.0)).collect();
+        let adjusted: Vec<f64> = factor_samples.iter().map(|&x| (x - exec_ms).max(0.0)).collect();
         FactorRatios::compute(&adjusted, base_samples)
     }
 

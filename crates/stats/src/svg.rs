@@ -130,7 +130,9 @@ impl SvgPlot {
             ));
         }
         // X tick labels at min / mid / max.
-        for (frac, value) in [(0.0, min_x), (0.5, inv_axis(amin + span / 2.0, use_log)), (1.0, max_x)] {
+        for (frac, value) in
+            [(0.0, min_x), (0.5, inv_axis(amin + span / 2.0, use_log)), (1.0, max_x)]
+        {
             svg.push_str(&format!(
                 r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="10" text-anchor="middle">{value:.1}</text>"#,
                 x = margin_l + frac * plot_w,
@@ -306,11 +308,8 @@ impl SvgLineChart {
         ));
         for (i, line) in lines.iter().enumerate() {
             let color = COLORS[i % COLORS.len()];
-            let points: Vec<String> = line
-                .points
-                .iter()
-                .map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y)))
-                .collect();
+            let points: Vec<String> =
+                line.points.iter().map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y))).collect();
             let dash = if line.dashed { r#" stroke-dasharray="6,4""# } else { "" };
             svg.push_str(&format!(
                 r#"<polyline fill="none" stroke="{color}" stroke-width="1.8"{dash} points="{}"/>"#,

@@ -96,10 +96,7 @@ impl TextTable {
     pub fn render_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }

@@ -89,6 +89,31 @@ proptest! {
         prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
     }
 
+    /// A recorded value lands in the bin whose edges contain it: the
+    /// ln-ratio index mapping in `record` and the powf mapping in
+    /// `bin_edges` can disagree by a ULP at bin boundaries, which `record`
+    /// must reconcile.
+    #[test]
+    fn histogram_bin_contains_recorded_value(
+        v in 0.001f64..1e7,
+        lo in 0.01f64..10.0,
+        decades in 1u32..6,
+        bins in 1usize..40,
+    ) {
+        let hi = lo * 10f64.powi(decades as i32);
+        let mut h = LogHistogram::new(lo, hi, bins);
+        h.record(v);
+        if v < lo {
+            prop_assert_eq!(h.underflow(), 1);
+        } else if v >= hi {
+            prop_assert_eq!(h.overflow(), 1);
+        } else {
+            let i = h.counts().iter().position(|&c| c == 1).expect("one bin incremented");
+            let (e_lo, e_hi) = h.bin_edges(i);
+            prop_assert!(e_lo <= v && v < e_hi, "v={v} outside bin {i} edges [{e_lo}, {e_hi})");
+        }
+    }
+
     /// Factor ratios: MR/TR scale linearly when the factor scales.
     #[test]
     fn factor_ratios_scale(base in prop::collection::vec(1.0f64..100.0, 10..50), k in 1.0f64..20.0) {

@@ -43,13 +43,10 @@ fn main() {
     ]);
     for &bytes in &[100 * KB, MB, 4 * MB, 20 * MB] {
         let inline = run_pipeline(bytes, TransferMode::Inline);
-        let storage = run_pipeline(bytes, TransferMode::Storage)
-            .expect("storage transfers have no size cap");
-        let label = if bytes >= MB {
-            format!("{}MB", bytes / MB)
-        } else {
-            format!("{}KB", bytes / KB)
-        };
+        let storage =
+            run_pipeline(bytes, TransferMode::Storage).expect("storage transfers have no size cap");
+        let label =
+            if bytes >= MB { format!("{}MB", bytes / MB) } else { format!("{}KB", bytes / KB) };
         table.row(vec![
             label,
             inline.as_ref().map_or("over cap".into(), |s| fmt_latency(s.median)),

@@ -33,15 +33,13 @@ fn main() {
         let warm = warm_invocations(config_for(kind), SAMPLES, 1).unwrap().summary;
         warm_medians.push((kind, warm.median));
         warm_tmrs.push((kind, warm.tmr));
-        let cold =
-            cold_invocations(config_for(kind), ColdSetup::baseline(), SAMPLES, 100, 2)
-                .unwrap()
-                .summary;
+        let cold = cold_invocations(config_for(kind), ColdSetup::baseline(), SAMPLES, 100, 2)
+            .unwrap()
+            .summary;
         cold_medians.push((kind, cold.median));
-        let burst =
-            bursty_invocations(config_for(kind), BurstIat::Short, 100, 0.0, 2000, 1, 3)
-                .unwrap()
-                .summary;
+        let burst = bursty_invocations(config_for(kind), BurstIat::Short, 100, 0.0, 2000, 1, 3)
+            .unwrap()
+            .summary;
         burst_p99s.push((kind, burst.tail));
     }
     rows.push(Row { metric: "warm median", values: warm_medians, unit: "ms" });

@@ -13,9 +13,8 @@ use stellar_core::visualize::render_cdf;
 
 fn main() {
     // 1. Describe the deployment (STeLLAR's static function configuration).
-    let functions = StaticConfig {
-        functions: vec![StaticFunction::python_zip("hello").with_replicas(2)],
-    };
+    let functions =
+        StaticConfig { functions: vec![StaticFunction::python_zip("hello").with_replicas(2)] };
 
     // 2. Describe the workload (STeLLAR's runtime configuration): single
     //    invocations at the paper's short 3 s inter-arrival time, with one
@@ -32,10 +31,7 @@ fn main() {
         .expect("experiment runs");
 
     println!("{}", render_cdf("warm invocations on aws-like", &outcome.latencies_ms()));
-    println!(
-        "cold starts among measured samples: {:.1}%",
-        outcome.result.cold_fraction() * 100.0
-    );
+    println!("cold starts among measured samples: {:.1}%", outcome.result.cold_fraction() * 100.0);
     println!(
         "per-component medians of a typical request (ms): \
          propagation {:.1}, infra overhead {:.1}, execution {:.1}",

@@ -57,11 +57,8 @@ fn main() {
         "function", "exec p50", "trace TMR", "e2e TMR", "infra share"
     );
     for (record, f) in &deployed {
-        let lat: Vec<f64> = completions
-            .iter()
-            .filter(|c| c.function == *f)
-            .map(|c| c.latency_ms())
-            .collect();
+        let lat: Vec<f64> =
+            completions.iter().filter(|c| c.function == *f).map(|c| c.latency_ms()).collect();
         let s = Summary::from_samples(&lat);
         let infra_share = completions
             .iter()

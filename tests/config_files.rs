@@ -1,11 +1,11 @@
 //! Integration: the file-driven configuration path — JSON documents in,
 //! experiments out — mirroring how STeLLAR users drive the tool (§IV).
 
+use faas_sim::cloud::CloudSim;
 use providers::profiles::{aws_like, azure_like, google_like};
 use stellar_core::client::run_workload;
 use stellar_core::config::{RuntimeConfig, StaticConfig};
 use stellar_core::deployer::deploy;
-use faas_sim::cloud::CloudSim;
 
 const STATIC_JSON: &str = r#"{
   "functions": [
@@ -85,9 +85,7 @@ fn provider_profiles_serialise_as_config_files() {
         edited.network.max_inline_payload = 1_000_000;
         edited.validate().unwrap();
         let mut cloud = CloudSim::new(edited, 3);
-        let f = cloud
-            .deploy(faas_sim::spec::FunctionSpec::builder("probe").build())
-            .unwrap();
+        let f = cloud.deploy(faas_sim::spec::FunctionSpec::builder("probe").build()).unwrap();
         cloud.submit(f, 0, simkit::time::SimTime::ZERO);
         cloud.run_until(simkit::time::SimTime::from_secs(60.0));
         assert_eq!(cloud.drain_completions().len(), 1);
@@ -101,8 +99,7 @@ fn malformed_documents_are_rejected_with_context() {
     let err = RuntimeConfig::from_json(r#"{"iat": {"kind": "fixed", "ms": -5.0}, "samples": 1}"#)
         .unwrap_err();
     assert!(err.contains("positive"), "{err}");
-    let err =
-        RuntimeConfig::from_json(r#"{"iat": {"kind": "fixed", "ms": 10.0}, "samples": 0}"#)
-            .unwrap_err();
+    let err = RuntimeConfig::from_json(r#"{"iat": {"kind": "fixed", "ms": 10.0}, "samples": 0}"#)
+        .unwrap_err();
     assert!(err.contains("samples"), "{err}");
 }

@@ -7,18 +7,16 @@ use faas_sim::spec::FunctionSpec;
 use faas_sim::types::TransferMode;
 use providers::profiles::{aws_like, azure_like, google_like};
 use simkit::time::SimTime;
+use stellar_core::config::{IatSpec, RuntimeConfig};
 use stellar_core::protocols::{
     bursty_invocations, cold_invocations, transfer_chain, warm_invocations, BurstIat, ColdSetup,
 };
+use stellar_core::runner::{Scenario, SweepGrid, SweepRunner};
 
 #[test]
 fn identical_seeds_identical_latencies_per_provider() {
     for cfg in [aws_like(), google_like(), azure_like()] {
-        let run = || {
-            warm_invocations(cfg.clone(), 200, 12345)
-                .unwrap()
-                .latencies_ms()
-        };
+        let run = || warm_invocations(cfg.clone(), 200, 12345).unwrap().latencies_ms();
         let a = run();
         let b = run();
         assert_eq!(a, b, "{} must be bit-deterministic", cfg.name);
@@ -69,10 +67,7 @@ where
 {
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = jobs.into_iter().map(|job| scope.spawn(move |_| job())).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("worker thread")).collect()
     })
     .expect("scope")
 }
@@ -126,17 +121,42 @@ fn fig8_and_table1_shards_match_serial() {
 }
 
 #[test]
+fn sweep_runner_is_byte_identical_across_thread_counts() {
+    // The sweep runner extends the sharding guarantee above to the whole
+    // grid pipeline: a 3-provider × 4-seed grid merged from 1, 2 and 8
+    // workers must render byte-identical reports (rows keyed by cell
+    // index, metrics merged in cell order).
+    let workload = RuntimeConfig::single(IatSpec::short(), 60);
+    let grid = SweepGrid::new(
+        [aws_like(), google_like(), azure_like()]
+            .into_iter()
+            .map(|cfg| Scenario::new(cfg.name.clone(), cfg).workload(workload.clone()))
+            .collect(),
+        vec![2021, 2022, 2023, 2024],
+    );
+    let serial = SweepRunner::new(1).run(&grid);
+    let csv = serial.to_csv();
+    assert_eq!(serial.rows.len(), 12);
+    assert_eq!(serial.ok_count(), 12);
+    for threads in [2, 8] {
+        let threaded = SweepRunner::new(threads).run(&grid);
+        assert_eq!(csv, threaded.to_csv(), "{threads}-worker sweep must match serial");
+        assert_eq!(
+            serial.metrics, threaded.metrics,
+            "{threads}-worker merged metrics must match serial"
+        );
+    }
+}
+
+#[test]
 fn cold_start_measurements_are_reproducible_across_replica_counts_only_in_shape() {
     // Replica count changes the event interleaving (different wall-clock
     // spacing), so sequences differ — but the latency *distribution*
     // stays put. This guards the §IV replica-acceleration trick against
     // accidentally changing what is measured.
-    let a = cold_invocations(aws_like(), ColdSetup::baseline(), 300, 50, 5)
-        .unwrap()
-        .latencies_ms();
-    let b = cold_invocations(aws_like(), ColdSetup::baseline(), 300, 150, 5)
-        .unwrap()
-        .latencies_ms();
+    let a = cold_invocations(aws_like(), ColdSetup::baseline(), 300, 50, 5).unwrap().latencies_ms();
+    let b =
+        cold_invocations(aws_like(), ColdSetup::baseline(), 300, 150, 5).unwrap().latencies_ms();
     let (ma, mb) = (stats::percentile::median(&a), stats::percentile::median(&b));
     assert!(
         (ma / mb - 1.0).abs() < 0.08,

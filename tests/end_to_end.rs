@@ -6,22 +6,18 @@ use providers::paper::ProviderKind;
 use providers::profiles::{aws_like, config_for, google_like};
 use stats::Summary;
 use stellar_core::client::run_workload;
-use stellar_core::config::{
-    ChainConfig, IatSpec, RuntimeConfig, StaticConfig, StaticFunction,
-};
+use stellar_core::config::{ChainConfig, IatSpec, RuntimeConfig, StaticConfig, StaticFunction};
 use stellar_core::experiment::Experiment;
 use stellar_integration_tests::deployed;
 
 #[test]
 fn full_pipeline_on_every_provider() {
     for kind in ProviderKind::ALL {
-        let static_cfg = StaticConfig {
-            functions: vec![StaticFunction::python_zip("e2e").with_replicas(3)],
-        };
+        let static_cfg =
+            StaticConfig { functions: vec![StaticFunction::python_zip("e2e").with_replicas(3)] };
         let mut runtime_cfg = RuntimeConfig::single(IatSpec::Fixed { ms: 2000.0 }, 200);
         runtime_cfg.warmup_rounds = 3;
-        let (mut cloud, deployment) =
-            deployed(config_for(kind), &static_cfg, &runtime_cfg, 9);
+        let (mut cloud, deployment) = deployed(config_for(kind), &static_cfg, &runtime_cfg, 9);
         assert_eq!(deployment.len(), 3);
         let result = run_workload(&mut cloud, &deployment, &runtime_cfg, 9).unwrap();
         assert_eq!(result.completions.len(), 200);
@@ -61,11 +57,8 @@ fn experiment_builder_equals_manual_pipeline() {
 fn chained_experiment_produces_consistent_timestamps() {
     let mut runtime_cfg = RuntimeConfig::single(IatSpec::Fixed { ms: 2000.0 }, 100);
     runtime_cfg.warmup_rounds = 2;
-    runtime_cfg.chain = Some(ChainConfig {
-        length: 2,
-        mode: TransferMode::Storage,
-        payload_bytes: 1_000_000,
-    });
+    runtime_cfg.chain =
+        Some(ChainConfig { length: 2, mode: TransferMode::Storage, payload_bytes: 1_000_000 });
     let outcome = Experiment::new(google_like())
         .functions(StaticConfig { functions: vec![StaticFunction::go_zip("chain")] })
         .workload(runtime_cfg)
@@ -75,9 +68,7 @@ fn chained_experiment_produces_consistent_timestamps() {
     // Cross-validation the paper describes (§IV): the in-function transfer
     // window must sit inside the client-observed end-to-end latency.
     assert_eq!(outcome.result.transfers.len(), 100);
-    for (completion, transfer) in
-        outcome.result.completions.iter().zip(&outcome.result.transfers)
-    {
+    for (completion, transfer) in outcome.result.completions.iter().zip(&outcome.result.transfers) {
         assert!(transfer.transfer_ms() > 0.0);
         assert!(
             transfer.transfer_ms() < completion.latency_ms(),

@@ -10,12 +10,7 @@ use providers::profiles::{aws_like, azure_like, google_like};
 use simkit::time::SimTime;
 
 fn provider_strategy() -> impl Strategy<Value = faas_sim::config::ProviderConfig> {
-    prop_oneof![
-        Just(test_provider()),
-        Just(aws_like()),
-        Just(google_like()),
-        Just(azure_like()),
-    ]
+    prop_oneof![Just(test_provider()), Just(aws_like()), Just(google_like()), Just(azure_like()),]
 }
 
 proptest! {

@@ -25,9 +25,7 @@ fn observation_1_warm_invocations_are_fast_and_predictable() {
 fn observation_2_cold_starts_hurt_median_not_variability() {
     for kind in ProviderKind::ALL {
         let cold =
-            cold_invocations(config_for(kind), ColdSetup::baseline(), N, 100, 202)
-                .unwrap()
-                .summary;
+            cold_invocations(config_for(kind), ColdSetup::baseline(), N, 100, 202).unwrap().summary;
         assert!(cold.median > 400.0, "{kind}: cold median {:.0}", cold.median);
         // "variability of cold-starts is moderate, with TMR < 3.6"
         assert!(cold.tmr < 3.6, "{kind}: cold TMR {:.2}", cold.tmr);
@@ -66,16 +64,14 @@ fn observation_3_deployment_method_matters_runtime_does_not() {
 #[test]
 fn observation_4_storage_transfers_dominate_tail_latency() {
     let kind = ProviderKind::Google;
-    let inline =
-        transfer_chain(config_for(kind), TransferMode::Inline, MB, 2000, 206)
-            .unwrap()
-            .transfer_summary
-            .unwrap();
-    let storage =
-        transfer_chain(config_for(kind), TransferMode::Storage, MB, 2000, 207)
-            .unwrap()
-            .transfer_summary
-            .unwrap();
+    let inline = transfer_chain(config_for(kind), TransferMode::Inline, MB, 2000, 206)
+        .unwrap()
+        .transfer_summary
+        .unwrap();
+    let storage = transfer_chain(config_for(kind), TransferMode::Storage, MB, 2000, 207)
+        .unwrap()
+        .transfer_summary
+        .unwrap();
     // "155ms median and 5774ms tail ... TMR 37.3 / inline TMR 1.4".
     assert!(storage.tmr > 15.0, "storage TMR {:.1}", storage.tmr);
     assert!(inline.tmr < 2.5, "inline TMR {:.1}", inline.tmr);

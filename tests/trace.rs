@@ -23,9 +23,7 @@ use providers::profiles::{aws_like, azure_like, google_like};
 use simkit::time::SimTime;
 use simkit::trace::SpanRecord;
 use stellar_core::breakdown::Component;
-use stellar_core::config::{
-    ChainConfig, IatSpec, RuntimeConfig, StaticConfig, StaticFunction,
-};
+use stellar_core::config::{ChainConfig, IatSpec, RuntimeConfig, StaticConfig, StaticFunction};
 use stellar_core::experiment::{Experiment, Outcome};
 use stellar_core::traceio;
 
@@ -66,13 +64,9 @@ fn golden_trace_digest_is_stable_across_runs_and_threads() {
     // number of worker threads — must still produce the same bytes.
     for threads in [2usize, 4] {
         let digests = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| scope.spawn(|_| traceio::digest64(&export())))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread"))
-                .collect::<Vec<u64>>()
+            let handles: Vec<_> =
+                (0..threads).map(|_| scope.spawn(|_| traceio::digest64(&export()))).collect();
+            handles.into_iter().map(|h| h.join().expect("worker thread")).collect::<Vec<u64>>()
         })
         .expect("scope");
         for digest in digests {
@@ -129,8 +123,7 @@ fn tracing_does_not_perturb_results() {
 /// the number of completions verified.
 fn verify_trace(outcome: &Outcome) -> usize {
     let spans = &outcome.spans;
-    let by_id: HashMap<u64, &SpanRecord> =
-        spans.iter().map(|s| (s.span_id, s)).collect();
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.span_id, s)).collect();
     assert_eq!(by_id.len(), spans.len(), "span ids must be unique");
 
     let mut children: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
@@ -148,23 +141,15 @@ fn verify_trace(outcome: &Outcome) -> usize {
         }
     }
 
-    let roots: HashMap<u64, &SpanRecord> = spans
-        .iter()
-        .filter(|s| s.component == span_tag::REQUEST)
-        .map(|s| (s.request, s))
-        .collect();
+    let roots: HashMap<u64, &SpanRecord> =
+        spans.iter().filter(|s| s.component == span_tag::REQUEST).map(|s| (s.request, s)).collect();
 
-    let completions: Vec<&Completion> = outcome
-        .result
-        .warmup_completions
-        .iter()
-        .chain(outcome.result.completions.iter())
-        .collect();
+    let completions: Vec<&Completion> =
+        outcome.result.warmup_completions.iter().chain(outcome.result.completions.iter()).collect();
     for completion in &completions {
         let request = completion.id.index() as u64;
-        let root = roots
-            .get(&request)
-            .unwrap_or_else(|| panic!("request {request} has no root span"));
+        let root =
+            roots.get(&request).unwrap_or_else(|| panic!("request {request} has no root span"));
         assert_eq!(root.parent, None, "external roots must be trace roots");
         assert_eq!(root.start, completion.issued_at);
         assert_eq!(root.end, completion.completed_at);

@@ -52,10 +52,8 @@ mod tests {
     fn scoped_threads_borrow_and_join() {
         let data = [1u64, 2, 3, 4];
         let total: u64 = crate::thread::scope(|s| {
-            let handles: Vec<_> = data
-                .chunks(2)
-                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
-                .collect();
+            let handles: Vec<_> =
+                data.chunks(2).map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>())).collect();
             handles.into_iter().map(|h| h.join().expect("join")).sum()
         })
         .expect("scope");
@@ -65,9 +63,7 @@ mod tests {
     #[test]
     fn nested_spawn_through_scope_arg() {
         let n = crate::thread::scope(|s| {
-            s.spawn(|inner| inner.spawn(|_| 7u32).join().expect("inner"))
-                .join()
-                .expect("outer")
+            s.spawn(|inner| inner.spawn(|_| 7u32).join().expect("inner")).join().expect("outer")
         })
         .expect("scope");
         assert_eq!(n, 7);

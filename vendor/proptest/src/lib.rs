@@ -97,7 +97,8 @@ pub fn run_cases(
 ) {
     let base = fnv1a(name.as_bytes());
     for i in 0..cfg.cases {
-        let mut rng = TestRng::new(base.wrapping_add(0x51_7cc1_b727_2202u64.wrapping_mul(i as u64 + 1)));
+        let mut rng =
+            TestRng::new(base.wrapping_add(0x51_7cc1_b727_2202u64.wrapping_mul(i as u64 + 1)));
         if let Err(e) = case(&mut rng) {
             panic!("property `{name}` failed on case {i}: {e}");
         }

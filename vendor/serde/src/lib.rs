@@ -145,8 +145,7 @@ pub fn lookup<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value
 /// default) or fails to deserialise.
 pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, DeError> {
     match lookup(entries, name) {
-        Some(v) => T::deserialize(v)
-            .map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        Some(v) => T::deserialize(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
         None => T::if_missing().ok_or_else(|| DeError::missing(name)),
     }
 }
@@ -163,8 +162,7 @@ pub fn field_or<T: Deserialize>(
     default: impl FnOnce() -> T,
 ) -> Result<T, DeError> {
     match lookup(entries, name) {
-        Some(v) => T::deserialize(v)
-            .map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        Some(v) => T::deserialize(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
         None => Ok(default()),
     }
 }
@@ -354,21 +352,16 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
         // backing does.
         let mut keys: Vec<&String> = self.keys().collect();
         keys.sort();
-        Value::Map(
-            keys.into_iter()
-                .map(|k| (k.clone(), self[k].serialize()))
-                .collect(),
-        )
+        Value::Map(keys.into_iter().map(|k| (k.clone(), self[k].serialize())).collect())
     }
 }
 
 impl<V: Deserialize> Deserialize for HashMap<String, V> {
     fn deserialize(v: &Value) -> Result<Self, DeError> {
         match v {
-            Value::Map(entries) => entries
-                .iter()
-                .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
-                .collect(),
+            Value::Map(entries) => {
+                entries.iter().map(|(k, val)| Ok((k.clone(), V::deserialize(val)?))).collect()
+            }
             other => Err(DeError::expected("map", other)),
         }
     }
@@ -383,10 +376,9 @@ impl<V: Serialize> Serialize for BTreeMap<String, V> {
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     fn deserialize(v: &Value) -> Result<Self, DeError> {
         match v {
-            Value::Map(entries) => entries
-                .iter()
-                .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
-                .collect(),
+            Value::Map(entries) => {
+                entries.iter().map(|(k, val)| Ok((k.clone(), V::deserialize(val)?))).collect()
+            }
             other => Err(DeError::expected("map", other)),
         }
     }

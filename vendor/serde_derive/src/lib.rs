@@ -306,9 +306,8 @@ fn gen_serialize(input: &Input) -> String {
     let body = match &input.data {
         Data::NewtypeStruct => "serde::Serialize::serialize(&self.0)".to_string(),
         Data::NamedStruct(fields) => {
-            let mut s = String::from(
-                "{ let mut entries: Vec<(String, serde::Value)> = Vec::new();\n",
-            );
+            let mut s =
+                String::from("{ let mut entries: Vec<(String, serde::Value)> = Vec::new();\n");
             for f in fields {
                 s.push_str(&format!(
                     "entries.push((String::from(\"{0}\"), serde::Serialize::serialize(&self.{0})));\n",
@@ -385,10 +384,9 @@ fn gen_serialize(input: &Input) -> String {
 fn gen_field_extract(f: &Field, source: &str) -> String {
     match &f.default {
         None => format!("{0}: serde::field({source}, \"{0}\")?,\n", f.name),
-        Some(None) => format!(
-            "{0}: serde::field_or({source}, \"{0}\", Default::default)?,\n",
-            f.name
-        ),
+        Some(None) => {
+            format!("{0}: serde::field_or({source}, \"{0}\", Default::default)?,\n", f.name)
+        }
         Some(Some(path)) => {
             format!("{0}: serde::field_or({source}, \"{0}\", {path})?,\n", f.name)
         }

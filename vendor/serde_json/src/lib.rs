@@ -48,12 +48,7 @@ impl<'a> JsonParser<'a> {
     fn err(&self, msg: impl Into<String>) -> Error {
         let consumed = &self.bytes[..self.pos.min(self.bytes.len())];
         let line = consumed.iter().filter(|&&b| b == b'\n').count() + 1;
-        let column = consumed
-            .iter()
-            .rev()
-            .take_while(|&&b| b != b'\n')
-            .count()
-            + 1;
+        let column = consumed.iter().rev().take_while(|&&b| b != b'\n').count() + 1;
         Error::new(msg, line, column)
     }
 
@@ -188,8 +183,8 @@ impl<'a> JsonParser<'a> {
                                 .bytes
                                 .get(self.pos..self.pos + 4)
                                 .ok_or_else(|| self.err("bad \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             self.pos += 4;
@@ -198,11 +193,7 @@ impl<'a> JsonParser<'a> {
                             // the replacement character.
                             out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         }
-                        other => {
-                            return Err(
-                                self.err(format!("bad escape `\\{}`", other as char))
-                            )
-                        }
+                        other => return Err(self.err(format!("bad escape `\\{}`", other as char))),
                     }
                 }
                 Some(_) => {
