@@ -11,8 +11,12 @@ use faas_sim::spec::FunctionSpec;
 use faas_sim::testutil::test_provider;
 use providers::profiles::aws_like;
 use simkit::dist::Dist;
+use simkit::engine::QueueKind;
 use simkit::rng::Rng;
 use simkit::time::SimTime;
+use stellar_core::client::MeasureSpec;
+use stellar_core::config::{IatSpec, RuntimeConfig};
+use stellar_core::experiment::Experiment;
 use stellar_core::runner::SweepRunner;
 
 fn warm_invocation_throughput(c: &mut Criterion) {
@@ -182,6 +186,60 @@ fn submit_hot_path(c: &mut Criterion) {
     });
 }
 
+/// The tentpole workload: one million warm invocations driven through the
+/// streaming client in sketch mode, once per event-queue backend. With the
+/// whole workload submitted up front the pending-event set stays around a
+/// million entries, which is where the calendar queue's O(1) schedule/pop
+/// pulls away from the binary heap's O(log n) sift with cold cache lines.
+/// Latency storage is O(sketch): the assertion pins the completions vector
+/// empty, so no per-invocation sample survives the run.
+fn million_invocations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/million_invocations");
+    group.sample_size(10);
+    for (label, queue) in
+        [("binary_heap", QueueKind::BinaryHeap), ("calendar", QueueKind::Calendar)]
+    {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let outcome = Experiment::new(test_provider())
+                    .workload(RuntimeConfig::single(IatSpec::Fixed { ms: 1.0 }, 1_000_000))
+                    .seed(1)
+                    .queue(queue)
+                    .measure(MeasureSpec::sketch())
+                    .run()
+                    .unwrap();
+                assert!(
+                    outcome.result.completions.is_empty(),
+                    "sketch mode must not retain per-invocation samples"
+                );
+                assert_eq!(outcome.summary.count, 1_000_000);
+                outcome.summary
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The canonical provider grid at 20k samples per cell in sketch mode:
+/// the large-sweep configuration README recommends for million-request
+/// campaigns, at a size Criterion can still sample.
+fn sweep_grid_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/sweep_grid_large");
+    group.sample_size(10);
+    for (label, threads) in [("threads1", 1usize), ("threads4", 4usize)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let grid = bench::provider_seed_grid(20_000, 2);
+                let report = SweepRunner::new(threads).measure(MeasureSpec::sketch()).run(&grid);
+                assert_eq!(report.ok_count(), 6);
+                assert_eq!(report.latency_agg.count(), 6 * 20_000);
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
 fn distribution_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("simkit/sample_100k");
     let dists = [
@@ -233,6 +291,8 @@ criterion_group!(
     burst_policies,
     submit_hot_path,
     sweep_grid,
+    million_invocations,
+    sweep_grid_large,
     distribution_sampling,
     statistics_kernels
 );

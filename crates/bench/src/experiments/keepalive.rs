@@ -62,18 +62,20 @@ pub fn sweep(seed: u64) -> Vec<KeepAliveCell> {
         cloud.run_until(SimTime::from_mins(260));
         let done = cloud.drain_completions();
         assert!(!done.is_empty());
-        let latencies: Vec<f64> = done.iter().map(|c| c.latency_ms()).collect();
+        let mut latencies: Vec<f64> = done.iter().map(|c| c.latency_ms()).collect();
         let cold = done.iter().filter(|c| c.cold).count() as f64 / done.len() as f64;
         let mut idle_seconds = 0.0;
         for &f in &fns {
             let usage = cloud.resource_usage(f);
             idle_seconds += usage.instance_seconds - usage.busy_seconds;
         }
+        // Sort once; both quantiles read the same sorted vector.
+        stats::percentile::sort_samples(&mut latencies);
         cells.push(KeepAliveCell {
             keepalive_min: minutes,
             cold_fraction: cold,
-            median_ms: stats::percentile::median(&latencies),
-            p99_ms: stats::percentile::p99(&latencies),
+            median_ms: stats::percentile::sorted_percentile(&latencies, 0.5),
+            p99_ms: stats::percentile::sorted_percentile(&latencies, 0.99),
             idle_seconds_per_request: idle_seconds / done.len() as f64,
         });
     }

@@ -1,5 +1,8 @@
 //! Command-line argument parsing (dependency-free).
 
+use simkit::engine::QueueKind;
+use stats::sketch::QuantileMode;
+
 /// Options of `stellar run`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOptions {
@@ -20,6 +23,10 @@ pub struct RunOptions {
     pub csv: Option<String>,
     /// Write an SVG CDF to this path.
     pub svg: Option<String>,
+    /// Event-queue backend (performance knob; results are identical).
+    pub queue: QueueKind,
+    /// Quantile machinery: exact sorting or streaming sketches.
+    pub quantile_mode: QuantileMode,
 }
 
 /// Export format of `stellar trace`.
@@ -73,6 +80,10 @@ pub struct SweepOptions {
     pub threads: usize,
     /// Write the CSV report here instead of stdout.
     pub out: Option<String>,
+    /// Event-queue backend (performance knob; results are identical).
+    pub queue: QueueKind,
+    /// Quantile machinery: exact sorting or streaming sketches.
+    pub quantile_mode: QuantileMode,
 }
 
 /// A parsed CLI invocation.
@@ -100,6 +111,15 @@ pub enum Command {
 ///
 /// Returns a usage-style message for unknown commands, unknown flags or
 /// missing flag values.
+fn parse_queue(s: &str) -> Result<QueueKind, String> {
+    QueueKind::parse(s).ok_or_else(|| format!("--queue must be calendar or binary-heap, got {s}"))
+}
+
+fn parse_quantile_mode(s: &str) -> Result<QuantileMode, String> {
+    QuantileMode::parse(s)
+        .ok_or_else(|| format!("--quantile-mode must be exact or sketch, got {s}"))
+}
+
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
     let Some(cmd) = it.next() else {
@@ -122,6 +142,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut cdf = false;
             let mut csv = None;
             let mut svg = None;
+            let mut queue = QueueKind::default();
+            let mut quantile_mode = QuantileMode::default();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<String, String> {
                     it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
@@ -137,6 +159,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--cdf" => cdf = true,
                     "--csv" => csv = Some(value("--csv")?),
                     "--svg" => svg = Some(value("--svg")?),
+                    "--queue" => queue = parse_queue(&value("--queue")?)?,
+                    "--quantile-mode" => {
+                        quantile_mode = parse_quantile_mode(&value("--quantile-mode")?)?;
+                    }
                     other => return Err(format!("unknown flag: {other}")),
                 }
             }
@@ -149,6 +175,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 cdf,
                 csv,
                 svg,
+                queue,
+                quantile_mode,
             }))
         }
         "sweep" => {
@@ -161,6 +189,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut samples = 100u32;
             let mut threads = 0usize;
             let mut out = None;
+            let mut queue = QueueKind::default();
+            let mut quantile_mode = QuantileMode::default();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<String, String> {
                     it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
@@ -201,6 +231,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
                     }
                     "--out" => out = Some(value("--out")?),
+                    "--queue" => queue = parse_queue(&value("--queue")?)?,
+                    "--quantile-mode" => {
+                        quantile_mode = parse_quantile_mode(&value("--quantile-mode")?)?;
+                    }
                     other => return Err(format!("unknown flag: {other}")),
                 }
             }
@@ -213,6 +247,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 samples,
                 threads,
                 out,
+                queue,
+                quantile_mode,
             }))
         }
         "trace" => {
@@ -289,6 +325,11 @@ RUN OPTIONS:
     --cdf                    print an ASCII CDF of end-to-end latency
     --csv <file>             write quantile CSV
     --svg <file>             write an SVG CDF plot
+    --queue <kind>           event queue: calendar or binary-heap
+                             [default: calendar]
+    --quantile-mode <mode>   exact (sort all samples) or sketch (stream
+                             through t-digests; constant memory)
+                             [default: exact]
 
 SWEEP OPTIONS:
     --static <file>          static function config [default: one function]
@@ -300,6 +341,10 @@ SWEEP OPTIONS:
     --samples <n>            samples per cell without --runtime [default: 100]
     --threads <n>            worker threads, 0 = all cores [default: 0]
     --out <file>             write the CSV report here instead of stdout
+    --queue <kind>           event queue: calendar or binary-heap
+                             [default: calendar]
+    --quantile-mode <mode>   exact or sketch; sketch keeps million-sample
+                             sweeps in constant memory [default: exact]
 
 TRACE OPTIONS:
     --static <file>          static function config [default: one function]
@@ -337,6 +382,10 @@ mod tests {
             "out.csv",
             "--svg",
             "out.svg",
+            "--queue",
+            "binary-heap",
+            "--quantile-mode",
+            "sketch",
         ]))
         .unwrap();
         let Command::Run(opts) = cmd else { panic!("expected run") };
@@ -347,6 +396,8 @@ mod tests {
         assert!(opts.breakdown && opts.cdf);
         assert_eq!(opts.csv.as_deref(), Some("out.csv"));
         assert_eq!(opts.svg.as_deref(), Some("out.svg"));
+        assert_eq!(opts.queue, QueueKind::BinaryHeap);
+        assert_eq!(opts.quantile_mode, QuantileMode::Sketch);
     }
 
     #[test]
@@ -356,6 +407,23 @@ mod tests {
         assert_eq!(opts.provider, "aws-like");
         assert_eq!(opts.seed, 0);
         assert!(!opts.breakdown && !opts.cdf);
+        assert_eq!(opts.queue, QueueKind::Calendar);
+        assert_eq!(opts.quantile_mode, QuantileMode::Exact);
+    }
+
+    #[test]
+    fn bad_queue_or_quantile_mode_errors() {
+        let base = ["run", "--static", "a", "--runtime", "b"];
+        let with = |flag: &str, v: &str| {
+            let mut args = base.to_vec();
+            args.extend([flag, v]);
+            parse_args(&strs(&args))
+        };
+        assert!(with("--queue", "fifo").is_err());
+        assert!(with("--quantile-mode", "histogram").is_err());
+        assert!(with("--queue", "heap").is_ok(), "binary-heap alias");
+        assert!(parse_args(&strs(&["sweep", "--queue", "fifo"])).is_err());
+        assert!(parse_args(&strs(&["sweep", "--quantile-mode", "histogram"])).is_err());
     }
 
     #[test]
@@ -403,6 +471,10 @@ mod tests {
             "8",
             "--out",
             "report.csv",
+            "--queue",
+            "binary-heap",
+            "--quantile-mode",
+            "sketch",
         ]))
         .unwrap();
         let Command::Sweep(opts) = cmd else { panic!("expected sweep") };
@@ -414,6 +486,8 @@ mod tests {
         assert_eq!(opts.samples, 50);
         assert_eq!(opts.threads, 8);
         assert_eq!(opts.out.as_deref(), Some("report.csv"));
+        assert_eq!(opts.queue, QueueKind::BinaryHeap);
+        assert_eq!(opts.quantile_mode, QuantileMode::Sketch);
     }
 
     #[test]
@@ -427,6 +501,8 @@ mod tests {
         assert_eq!(opts.samples, 100);
         assert_eq!(opts.threads, 0);
         assert_eq!(opts.out, None);
+        assert_eq!(opts.queue, QueueKind::Calendar);
+        assert_eq!(opts.quantile_mode, QuantileMode::Exact);
         assert!(parse_args(&strs(&["sweep", "--seeds", "0"])).is_err());
         assert!(parse_args(&strs(&["sweep", "--samples", "0"])).is_err());
         assert!(parse_args(&strs(&["sweep", "--providers", ""])).is_err());

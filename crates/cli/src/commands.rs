@@ -5,8 +5,10 @@ use std::fmt;
 use faas_sim::config::ProviderConfig;
 use providers::paper::ProviderKind;
 use providers::profiles::config_for;
+use stats::sketch::QuantileMode;
 use stats::svg::{SvgPlot, SvgSeries};
 use stellar_core::breakdown::BreakdownAnalysis;
+use stellar_core::client::MeasureSpec;
 use stellar_core::config::{RuntimeConfig, StaticConfig};
 use stellar_core::experiment::Experiment;
 use stellar_core::runner::{Scenario, SweepGrid, SweepRunner};
@@ -109,10 +111,19 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
     let provider = resolve_provider(&opts.provider)?;
     let provider_name = provider.name.clone();
 
+    // Sample-backed outputs (CDF, breakdown, CSV, SVG) need the raw
+    // vectors, so sketch mode only drops them when none are requested.
+    let needs_samples = opts.cdf || opts.breakdown || opts.csv.is_some() || opts.svg.is_some();
+    let measure = match opts.quantile_mode {
+        QuantileMode::Exact => MeasureSpec::exact(),
+        QuantileMode::Sketch => MeasureSpec::sketch().with_keep_samples(needs_samples),
+    };
     let outcome = Experiment::new(provider)
         .functions(static_cfg)
         .workload(runtime_cfg)
         .seed(opts.seed)
+        .queue(opts.queue)
+        .measure(measure)
         .run()
         .map_err(CliError::Experiment)?;
 
@@ -170,7 +181,11 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
     let seeds = (opts.base_seed..opts.base_seed + opts.seeds).collect();
     let grid = SweepGrid::new(scenarios, seeds);
     let cells = grid.len();
-    let report = SweepRunner::new(opts.threads).run(&grid);
+    let measure = match opts.quantile_mode {
+        QuantileMode::Exact => MeasureSpec::exact(),
+        QuantileMode::Sketch => MeasureSpec::sketch(),
+    };
+    let report = SweepRunner::new(opts.threads).queue(opts.queue).measure(measure).run(&grid);
 
     // The summary deliberately omits the worker count: the report must be
     // byte-identical however the sweep was parallelised.
@@ -258,6 +273,7 @@ fn sample_config() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simkit::engine::QueueKind;
 
     fn write_temp(name: &str, contents: &str) -> String {
         let path = std::env::temp_dir().join(format!("stellar-cli-test-{name}"));
@@ -310,6 +326,8 @@ mod tests {
             cdf: true,
             csv: Some(csv_path.clone()),
             svg: Some(svg_path.clone()),
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
         };
         let out = execute(&Command::Run(opts)).unwrap();
         assert!(out.contains("provider google-like"));
@@ -319,6 +337,38 @@ mod tests {
         assert!(csv.starts_with("series,quantile,latency_ms"));
         let svg = std::fs::read_to_string(svg_path).unwrap();
         assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn run_sketch_mode_streams_without_samples() {
+        let static_path = write_temp(
+            "sketch-static.json",
+            r#"{"functions": [{"name": "f", "runtime": "go", "deployment": "zip", "memory_mb": 2048}]}"#,
+        );
+        let runtime_path = write_temp(
+            "sketch-runtime.json",
+            r#"{"iat": {"kind": "fixed", "ms": 1000.0}, "samples": 40, "warmup_rounds": 1}"#,
+        );
+        let opts = RunOptions {
+            static_path,
+            runtime_path,
+            provider: "aws-like".into(),
+            seed: 3,
+            breakdown: false,
+            cdf: false,
+            csv: None,
+            svg: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Sketch,
+        };
+        let out = execute(&Command::Run(opts.clone())).unwrap();
+        assert!(out.contains("provider aws-like"), "{out}");
+        assert!(out.contains("median"), "{out}");
+        assert!(out.contains("cold-start fraction"), "{out}");
+
+        // Asking for a CDF in sketch mode re-enables sample retention.
+        let with_cdf = execute(&Command::Run(RunOptions { cdf: true, ..opts })).unwrap();
+        assert!(with_cdf.contains("end-to-end latency"), "{with_cdf}");
     }
 
     #[test]
@@ -363,14 +413,31 @@ mod tests {
             samples: 40,
             threads: 1,
             out: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
         };
         let serial = execute(&Command::Sweep(base.clone())).unwrap();
-        let threaded = execute(&Command::Sweep(SweepOptions { threads: 4, ..base })).unwrap();
+        let threaded =
+            execute(&Command::Sweep(SweepOptions { threads: 4, ..base.clone() })).unwrap();
         assert_eq!(serial, threaded, "sweep output must not depend on worker count");
         assert!(serial.contains("3 providers x 4 seeds = 12 cells (12 ok, 0 failed)"));
         assert!(serial.contains("cell,scenario,seed,status"));
         assert!(serial.contains("0,aws-like,0,ok,40,"));
         assert!(serial.contains("11,azure-like,3,ok,40,"));
+
+        // The queue backend is a pure performance knob: binary-heap output
+        // must be byte-identical to the calendar default.
+        let heap =
+            execute(&Command::Sweep(SweepOptions { queue: QueueKind::BinaryHeap, ..base.clone() }))
+                .unwrap();
+        assert_eq!(serial, heap, "queue backend must not change results");
+
+        // Sketch mode streams through aggregates; below the exact-mode
+        // threshold its quantiles (and therefore the CSV) match exactly.
+        let sketch =
+            execute(&Command::Sweep(SweepOptions { quantile_mode: QuantileMode::Sketch, ..base }))
+                .unwrap();
+        assert_eq!(serial, sketch, "small sketch-mode sweeps stay exact");
     }
 
     #[test]
@@ -388,6 +455,8 @@ mod tests {
             samples: 100,
             threads: 0,
             out: Some(out_path.clone()),
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
         };
         let msg = execute(&Command::Sweep(opts)).unwrap();
         assert!(msg.contains("wrote report CSV"), "{msg}");
@@ -413,6 +482,8 @@ mod tests {
             cdf: false,
             csv: None,
             svg: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
         };
         let err = execute(&Command::Run(opts)).unwrap_err();
         assert!(matches!(err, CliError::Config(_)), "{err}");
@@ -429,6 +500,8 @@ mod tests {
             cdf: false,
             csv: None,
             svg: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
         };
         assert!(matches!(execute(&Command::Run(opts)).unwrap_err(), CliError::Io(..)));
     }

@@ -10,40 +10,115 @@ use faas_sim::cloud::CloudSim;
 use faas_sim::request::{Completion, TransferSample};
 use simkit::rng::Rng;
 use simkit::time::SimTime;
+use stats::sketch::{LatencyAgg, QuantileMode};
 
 use crate::config::{IatSpec, RuntimeConfig};
 use crate::deployer::Deployment;
 
+/// How the client measures a run: which quantile machinery to use and
+/// whether to retain per-request sample vectors.
+///
+/// The default (`Exact` + `keep_samples`) is the legacy behaviour every
+/// figure pipeline relies on: full completion vectors, exact percentiles.
+/// Large runs switch to [`QuantileMode::Sketch`] without `keep_samples`,
+/// which streams completions through a [`LatencyAgg`] in bounded slices —
+/// peak latency storage is the sketch, not a `Vec<f64>` of every request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasureSpec {
+    /// Quantile machinery for summaries.
+    pub quantile: QuantileMode,
+    /// Whether to retain per-completion vectors (required by the CDF,
+    /// breakdown and figure pipelines).
+    pub keep_samples: bool,
+}
+
+impl Default for MeasureSpec {
+    fn default() -> Self {
+        MeasureSpec { quantile: QuantileMode::Exact, keep_samples: true }
+    }
+}
+
+impl MeasureSpec {
+    /// Exact percentiles over retained samples (the default).
+    pub fn exact() -> MeasureSpec {
+        MeasureSpec::default()
+    }
+
+    /// Streaming sketch quantiles, samples not retained — O(sketch)
+    /// memory however many invocations run.
+    pub fn sketch() -> MeasureSpec {
+        MeasureSpec { quantile: QuantileMode::Sketch, keep_samples: false }
+    }
+
+    /// Overrides sample retention (e.g. sketch quantiles but keep vectors
+    /// for a CDF plot).
+    pub fn with_keep_samples(mut self, keep: bool) -> MeasureSpec {
+        self.keep_samples = keep;
+        self
+    }
+
+    /// Validates the combination: exact quantiles require the samples
+    /// they are computed from.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.quantile == QuantileMode::Exact && !self.keep_samples {
+            return Err("exact quantiles require keep_samples (use sketch mode to drop samples)"
+                .to_string());
+        }
+        Ok(())
+    }
+}
+
 /// Everything the client measured in one run.
+///
+/// Sample vectors (`completions`, `warmup_completions`, `transfers`) are
+/// populated only when the run's [`MeasureSpec`] keeps samples; the
+/// aggregate fields are always populated and are the only O(1)-per-run
+/// representation on streaming runs.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// Completions from measured rounds, in completion order.
+    /// Completions from measured rounds, in completion order (empty on
+    /// streaming runs).
     pub completions: Vec<Completion>,
-    /// Completions from warm-up rounds (excluded from statistics).
+    /// Completions from warm-up rounds (excluded from statistics; empty on
+    /// streaming runs).
     pub warmup_completions: Vec<Completion>,
-    /// Cross-function transfer samples from measured rounds.
+    /// Cross-function transfer samples from measured rounds (empty on
+    /// streaming runs).
     pub transfers: Vec<TransferSample>,
+    /// Streaming aggregate over measured end-to-end latencies, ms.
+    pub latency_agg: LatencyAgg,
+    /// Streaming aggregate over measured transfer times, ms.
+    pub transfer_agg: LatencyAgg,
+    /// Measured completions observed (equals `completions.len()` when
+    /// samples are kept).
+    pub measured_count: u64,
+    /// Warm-up completions observed.
+    pub warmup_count: u64,
+    /// Measured completions that waited on a cold start.
+    pub cold_count: u64,
     /// Wall-clock (simulated) duration of the whole run.
     pub duration: SimTime,
 }
 
 impl RunResult {
-    /// End-to-end latencies of measured completions, ms.
+    /// End-to-end latencies of measured completions, ms. Empty on
+    /// streaming runs — use [`RunResult::latency_agg`] there.
     pub fn latencies_ms(&self) -> Vec<f64> {
         self.completions.iter().map(Completion::latency_ms).collect()
     }
 
-    /// Effective transfer times of measured transfer samples, ms.
+    /// Effective transfer times of measured transfer samples, ms. Empty on
+    /// streaming runs — use [`RunResult::transfer_agg`] there.
     pub fn transfer_ms(&self) -> Vec<f64> {
         self.transfers.iter().map(TransferSample::transfer_ms).collect()
     }
 
     /// Fraction of measured completions that waited on a cold start.
     pub fn cold_fraction(&self) -> f64 {
-        if self.completions.is_empty() {
+        if self.measured_count == 0 {
             return 0.0;
         }
-        self.completions.iter().filter(|c| c.cold).count() as f64 / self.completions.len() as f64
+        self.cold_count as f64 / self.measured_count as f64
     }
 }
 
@@ -108,14 +183,52 @@ pub fn run_workload(
     cfg: &RuntimeConfig,
     seed: u64,
 ) -> Result<RunResult, ClientError> {
+    run_workload_with(cloud, deployment, cfg, seed, &MeasureSpec::default())
+}
+
+/// [`run_workload`] with an explicit [`MeasureSpec`].
+///
+/// With `keep_samples` (the default) this is the legacy path: run to the
+/// horizon, drain everything, partition, retain full vectors. Without it,
+/// the simulation is advanced in bounded time slices and each slice's
+/// completions are folded into the streaming aggregates and discarded, so
+/// peak latency storage is one slice's completions plus the sketch — not
+/// the whole run. Both paths process the identical event sequence (the
+/// engine's `run_until` is prefix-stable), so a streaming run aggregates
+/// exactly the samples the legacy run would have collected, in the same
+/// order.
+///
+/// # Errors
+///
+/// Returns [`ClientError`] for invalid configs or specs, empty
+/// deployments, or if requests fail to complete within a generous horizon
+/// (which would indicate a simulator bug). On streaming runs the
+/// [`ClientError::IncompleteRun`] post-mortem vector only holds
+/// completions from the final slice.
+pub fn run_workload_with(
+    cloud: &mut CloudSim,
+    deployment: &Deployment,
+    cfg: &RuntimeConfig,
+    seed: u64,
+    measure: &MeasureSpec,
+) -> Result<RunResult, ClientError> {
     cfg.validate().map_err(ClientError::InvalidConfig)?;
+    measure.validate().map_err(ClientError::InvalidConfig)?;
     if deployment.is_empty() {
         return Err(ClientError::EmptyDeployment);
     }
     let mut rng = Rng::seed_from(seed).fork("client-iat");
     let start = cloud.now();
     let total_rounds = cfg.warmup_rounds + cfg.measured_rounds();
-    cloud.reserve_requests((total_rounds * cfg.burst_size) as usize);
+    let expected = (total_rounds * cfg.burst_size) as usize;
+    if measure.keep_samples {
+        cloud.reserve_requests(expected);
+    } else {
+        // Streaming runs drain per slice; pre-sizing the completion
+        // buffer for the full run would be the O(n) allocation this mode
+        // exists to avoid.
+        cloud.reserve_submissions(expected);
+    }
 
     let mut t = start;
     let mut last_issue = start;
@@ -128,42 +241,120 @@ pub fn run_workload(
         t += SimTime::from_millis(sample_iat_ms(&cfg.iat, &mut rng));
     }
 
-    let expected = (total_rounds * cfg.burst_size) as usize;
     // Generous completion horizon: bursts can queue for minutes on slow
     // scale-out policies (Fig 9 observes ~39 s; chains and 1 GB transfers
     // take tens of seconds too).
     let mut horizon = last_issue + SimTime::from_secs(300.0);
-    let mut completions = Vec::with_capacity(expected);
-    let mut transfers = Vec::new();
-    for _ in 0..20 {
-        cloud.run_until(horizon);
-        // Drain in place: the simulator appends into our buffers, so the
-        // loop allocates nothing once the buffers reach steady size.
-        cloud.drain_completions_into(&mut completions);
-        cloud.drain_transfers_into(&mut transfers);
-        if completions.len() >= expected {
-            break;
-        }
-        horizon += SimTime::from_secs(600.0);
-    }
-    if completions.len() < expected {
-        return Err(ClientError::IncompleteRun {
-            received: completions.len(),
-            expected,
-            completions,
-        });
-    }
-
     let warmup_tag = cfg.warmup_rounds as u64;
-    let (warmup, measured): (Vec<Completion>, Vec<Completion>) =
-        completions.into_iter().partition(|c| c.tag < warmup_tag);
-    let transfers = transfers.into_iter().filter(|tr| tr.parent_tag >= warmup_tag).collect();
-    Ok(RunResult {
-        completions: measured,
-        warmup_completions: warmup,
-        transfers,
-        duration: cloud.now() - start,
-    })
+    let mut latency_agg = LatencyAgg::with_mode(measure.quantile);
+    let mut transfer_agg = LatencyAgg::with_mode(measure.quantile);
+
+    if measure.keep_samples {
+        let mut completions = Vec::with_capacity(expected);
+        let mut transfers = Vec::new();
+        for _ in 0..20 {
+            cloud.run_until(horizon);
+            // Drain in place: the simulator appends into our buffers, so
+            // the loop allocates nothing once the buffers reach steady
+            // size.
+            cloud.drain_completions_into(&mut completions);
+            cloud.drain_transfers_into(&mut transfers);
+            if completions.len() >= expected {
+                break;
+            }
+            horizon += SimTime::from_secs(600.0);
+        }
+        if completions.len() < expected {
+            return Err(ClientError::IncompleteRun {
+                received: completions.len(),
+                expected,
+                completions,
+            });
+        }
+
+        let (warmup, measured): (Vec<Completion>, Vec<Completion>) =
+            completions.into_iter().partition(|c| c.tag < warmup_tag);
+        let transfers: Vec<TransferSample> =
+            transfers.into_iter().filter(|tr| tr.parent_tag >= warmup_tag).collect();
+        let mut cold_count = 0u64;
+        for c in &measured {
+            if c.cold {
+                cold_count += 1;
+            }
+            latency_agg.record(c.latency_ms());
+        }
+        for tr in &transfers {
+            transfer_agg.record(tr.transfer_ms());
+        }
+        Ok(RunResult {
+            measured_count: measured.len() as u64,
+            warmup_count: warmup.len() as u64,
+            cold_count,
+            completions: measured,
+            warmup_completions: warmup,
+            transfers,
+            latency_agg,
+            transfer_agg,
+            duration: cloud.now() - start,
+        })
+    } else {
+        // Slice width: ~256 slices across the nominal horizon, clamped to
+        // [1 s, 60 s] of simulated time. Slicing only bounds how many
+        // completions accumulate between drains; it does not change what
+        // the simulation computes.
+        let span = horizon.saturating_sub(start);
+        let slice =
+            SimTime::from_nanos((span.as_nanos() / 256).clamp(1_000_000_000, 60_000_000_000));
+        let mut comp_buf: Vec<Completion> = Vec::new();
+        let mut trans_buf: Vec<TransferSample> = Vec::new();
+        let mut received = 0usize;
+        let mut measured_count = 0u64;
+        let mut warmup_count = 0u64;
+        let mut cold_count = 0u64;
+        'drive: for _ in 0..20 {
+            while cloud.now() < horizon {
+                let next = (cloud.now() + slice).min(horizon);
+                cloud.run_until(next);
+                cloud.drain_completions_into(&mut comp_buf);
+                cloud.drain_transfers_into(&mut trans_buf);
+                received += comp_buf.len();
+                for c in comp_buf.drain(..) {
+                    if c.tag < warmup_tag {
+                        warmup_count += 1;
+                    } else {
+                        measured_count += 1;
+                        if c.cold {
+                            cold_count += 1;
+                        }
+                        latency_agg.record(c.latency_ms());
+                    }
+                }
+                for tr in trans_buf.drain(..) {
+                    if tr.parent_tag >= warmup_tag {
+                        transfer_agg.record(tr.transfer_ms());
+                    }
+                }
+                if received >= expected {
+                    break 'drive;
+                }
+            }
+            horizon += SimTime::from_secs(600.0);
+        }
+        if received < expected {
+            return Err(ClientError::IncompleteRun { received, expected, completions: Vec::new() });
+        }
+        Ok(RunResult {
+            completions: Vec::new(),
+            warmup_completions: Vec::new(),
+            transfers: Vec::new(),
+            latency_agg,
+            transfer_agg,
+            measured_count,
+            warmup_count,
+            cold_count,
+            duration: cloud.now() - start,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +455,58 @@ mod tests {
         let (mut cloud, d) = setup(&static_cfg, &cfg);
         let result = run_workload(&mut cloud, &d, &cfg, 1).unwrap();
         assert_eq!(result.completions.len(), 30);
+    }
+
+    #[test]
+    fn streaming_sketch_matches_legacy_run() {
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::python_zip("f")] };
+        let mut cfg = RuntimeConfig::single(IatSpec::Exponential { mean_ms: 50.0 }, 400);
+        cfg.warmup_rounds = 10;
+        let (mut cloud_a, d_a) = setup(&static_cfg, &cfg);
+        let legacy = run_workload(&mut cloud_a, &d_a, &cfg, 9).unwrap();
+        let (mut cloud_b, d_b) = setup(&static_cfg, &cfg);
+        let streaming =
+            run_workload_with(&mut cloud_b, &d_b, &cfg, 9, &MeasureSpec::sketch()).unwrap();
+
+        assert!(streaming.completions.is_empty(), "streaming keeps no samples");
+        assert_eq!(streaming.measured_count, legacy.completions.len() as u64);
+        assert_eq!(streaming.warmup_count, legacy.warmup_completions.len() as u64);
+        assert_eq!(streaming.cold_fraction(), legacy.cold_fraction());
+        // Both paths aggregate the identical completion sequence, so the
+        // moment sums agree bit for bit.
+        let mut agg = streaming.latency_agg.clone();
+        assert_eq!(agg.count(), 400);
+        assert_eq!(agg.mean(), {
+            let lat = legacy.latencies_ms();
+            lat.iter().sum::<f64>() / lat.len() as f64
+        });
+        // Below the sketch threshold the quantiles are exact too.
+        assert_eq!(agg.quantile(0.5), stats::percentile(&legacy.latencies_ms(), 0.5));
+    }
+
+    #[test]
+    fn streaming_transfers_are_aggregated() {
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::go_zip("xfer")] };
+        let mut cfg = RuntimeConfig::single(IatSpec::Fixed { ms: 1000.0 }, 10);
+        cfg.warmup_rounds = 2;
+        cfg.chain =
+            Some(ChainConfig { length: 2, mode: TransferMode::Storage, payload_bytes: 1_000_000 });
+        let (mut cloud, d) = setup(&static_cfg, &cfg);
+        let result = run_workload_with(&mut cloud, &d, &cfg, 1, &MeasureSpec::sketch()).unwrap();
+        assert!(result.transfers.is_empty());
+        assert_eq!(result.transfer_agg.count(), 10, "one transfer per measured round");
+        let mut agg = result.transfer_agg.clone();
+        assert!(agg.quantile(0.5) > 0.0);
+    }
+
+    #[test]
+    fn exact_mode_without_samples_is_rejected() {
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::python_zip("f")] };
+        let cfg = RuntimeConfig::single(IatSpec::short(), 10);
+        let (mut cloud, d) = setup(&static_cfg, &cfg);
+        let spec = MeasureSpec::exact().with_keep_samples(false);
+        let err = run_workload_with(&mut cloud, &d, &cfg, 1, &spec).unwrap_err();
+        assert!(matches!(err, ClientError::InvalidConfig(_)), "got {err:?}");
     }
 
     #[test]

@@ -6,11 +6,13 @@
 
 use faas_sim::cloud::CloudSim;
 use faas_sim::config::ProviderConfig;
+use simkit::engine::QueueKind;
 use simkit::metrics::Metrics;
 use simkit::trace::SpanRecord;
+use stats::sketch::QuantileMode;
 use stats::Summary;
 
-use crate::client::{run_workload, ClientError, RunResult};
+use crate::client::{run_workload_with, ClientError, MeasureSpec, RunResult};
 use crate::config::{RuntimeConfig, StaticConfig};
 use crate::deployer::deploy;
 
@@ -71,6 +73,8 @@ pub struct Experiment {
     runtime_cfg: RuntimeConfig,
     seed: u64,
     trace_capacity: Option<usize>,
+    measure: MeasureSpec,
+    queue: QueueKind,
 }
 
 /// What an experiment produced.
@@ -109,6 +113,8 @@ impl Experiment {
             runtime_cfg: RuntimeConfig::single(crate::config::IatSpec::short(), 100),
             seed: 0,
             trace_capacity: None,
+            measure: MeasureSpec::default(),
+            queue: QueueKind::default(),
         }
     }
 
@@ -138,23 +144,61 @@ impl Experiment {
         self
     }
 
+    /// Sets how the run is measured (quantile machinery, sample
+    /// retention). [`MeasureSpec::sketch`] makes million-invocation runs
+    /// stream through O(sketch)-sized aggregates instead of holding every
+    /// latency.
+    pub fn measure(mut self, measure: MeasureSpec) -> Experiment {
+        self.measure = measure;
+        self
+    }
+
+    /// Selects the event-queue backend (default: calendar queue). Purely
+    /// a performance knob — results are bit-identical across backends.
+    pub fn queue(mut self, queue: QueueKind) -> Experiment {
+        self.queue = queue;
+        self
+    }
+
     /// Deploys, drives the workload and summarises.
     ///
     /// # Errors
     ///
     /// Returns [`ExperimentError`] on deploy or client failure.
     pub fn run(&self) -> Result<Outcome, ExperimentError> {
-        let mut cloud = CloudSim::new(self.provider.clone(), self.seed);
+        let mut cloud = CloudSim::with_queue(self.provider.clone(), self.seed, self.queue);
         if let Some(capacity) = self.trace_capacity {
             cloud.enable_tracing(capacity);
         }
         let deployment = deploy(&mut cloud, &self.static_cfg, &self.runtime_cfg)?;
-        let result = run_workload(&mut cloud, &deployment, &self.runtime_cfg, self.seed)?;
-        let summary = Summary::from_samples(&result.latencies_ms());
-        let transfer_summary = if result.transfers.is_empty() {
-            None
-        } else {
-            Some(Summary::from_samples(&result.transfer_ms()))
+        let mut result = run_workload_with(
+            &mut cloud,
+            &deployment,
+            &self.runtime_cfg,
+            self.seed,
+            &self.measure,
+        )?;
+        // Exact mode keeps the legacy sort-the-samples path (bit-identical
+        // with pre-sketch releases); sketch mode summarises the aggregate.
+        let (summary, transfer_summary) = match self.measure.quantile {
+            QuantileMode::Exact => {
+                let summary = Summary::from_samples(&result.latencies_ms());
+                let transfer_summary = if result.transfers.is_empty() {
+                    None
+                } else {
+                    Some(Summary::from_samples(&result.transfer_ms()))
+                };
+                (summary, transfer_summary)
+            }
+            QuantileMode::Sketch => {
+                let summary = result.latency_agg.summary();
+                let transfer_summary = if result.transfer_agg.is_empty() {
+                    None
+                } else {
+                    Some(result.transfer_agg.summary())
+                };
+                (summary, transfer_summary)
+            }
         };
         let spans = cloud.drain_spans();
         let metrics = cloud.metrics().clone();

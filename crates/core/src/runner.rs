@@ -22,9 +22,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use faas_sim::config::ProviderConfig;
+use simkit::engine::QueueKind;
 use simkit::metrics::Metrics;
+use stats::sketch::LatencyAgg;
 use stats::Summary;
 
+use crate::client::MeasureSpec;
 use crate::config::{RuntimeConfig, StaticConfig};
 use crate::experiment::{Experiment, Outcome};
 
@@ -170,6 +173,11 @@ pub struct SweepReport {
     /// `sweep_cells_*` progress counters followed by the summed lifecycle
     /// counters of every successful cell, merged in cell order.
     pub metrics: Metrics,
+    /// Grid-wide latency aggregate: every successful cell's measured
+    /// latencies merged in cell-index order. Because the merge order is
+    /// fixed by the grid (not by completion interleaving), this is
+    /// byte-identical across worker-thread counts.
+    pub latency_agg: LatencyAgg,
 }
 
 impl SweepReport {
@@ -221,18 +229,21 @@ impl SweepReport {
 #[derive(Debug, Clone, Copy)]
 pub struct SweepRunner {
     threads: usize,
+    queue: QueueKind,
+    measure: MeasureSpec,
 }
 
 impl SweepRunner {
     /// A runner with the given worker count; `0` selects the machine's
-    /// available parallelism.
+    /// available parallelism. Cells use the default queue backend and
+    /// measurement spec unless overridden.
     pub fn new(threads: usize) -> SweepRunner {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
             threads
         };
-        SweepRunner { threads }
+        SweepRunner { threads, queue: QueueKind::default(), measure: MeasureSpec::default() }
     }
 
     /// The resolved worker count.
@@ -240,13 +251,25 @@ impl SweepRunner {
         self.threads
     }
 
+    /// Selects the event-queue backend every cell simulates on.
+    pub fn queue(mut self, queue: QueueKind) -> SweepRunner {
+        self.queue = queue;
+        self
+    }
+
+    /// Sets how every cell is measured; [`MeasureSpec::sketch`] keeps
+    /// large sweeps at O(sketch) latency storage per cell.
+    pub fn measure(mut self, measure: MeasureSpec) -> SweepRunner {
+        self.measure = measure;
+        self
+    }
+
     /// Runs every cell of `grid` and merges the results in cell-index
     /// order. Cells are claimed work-stealing style from a shared cursor;
     /// a panicking cell is isolated into an error row.
     pub fn run(&self, grid: &SweepGrid) -> SweepReport {
         let total = grid.len();
-        let slots: Vec<Mutex<Option<(CellRow, Metrics)>>> =
-            (0..total).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<CellResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(total);
         crossbeam::thread::scope(|scope| {
@@ -256,7 +279,7 @@ impl SweepRunner {
                     if index >= total {
                         break;
                     }
-                    let cell = run_cell(grid, index);
+                    let cell = run_cell(grid, index, self.queue, &self.measure);
                     *slots[index].lock().expect("sweep slot poisoned") = Some(cell);
                 });
             }
@@ -265,17 +288,21 @@ impl SweepRunner {
 
         let mut rows = Vec::with_capacity(total);
         let mut metrics = Metrics::new();
+        let mut latency_agg = LatencyAgg::with_mode(self.measure.quantile);
         metrics.add(counter::CELLS_TOTAL, total as u64);
         metrics.add(counter::CELLS_OK, 0);
         metrics.add(counter::CELLS_FAILED, 0);
         for slot in slots {
-            let (row, cell_metrics) =
+            let (row, cell_metrics, cell_agg) =
                 slot.into_inner().expect("sweep slot poisoned").expect("cell never ran");
             metrics.inc(if row.result.is_ok() { counter::CELLS_OK } else { counter::CELLS_FAILED });
             metrics.merge(&cell_metrics);
+            if let Some(agg) = &cell_agg {
+                latency_agg.merge(agg);
+            }
             rows.push(row);
         }
-        SweepReport { rows, metrics }
+        SweepReport { rows, metrics, latency_agg }
     }
 }
 
@@ -285,21 +312,31 @@ impl Default for SweepRunner {
     }
 }
 
-fn run_cell(grid: &SweepGrid, index: usize) -> (CellRow, Metrics) {
+/// What one sweep cell hands back for merging: its CSV row, lifecycle
+/// counters, and (in sketch mode) the cell's latency aggregate.
+type CellResult = (CellRow, Metrics, Option<LatencyAgg>);
+
+fn run_cell(grid: &SweepGrid, index: usize, queue: QueueKind, measure: &MeasureSpec) -> CellResult {
     let (scenario, seed) = grid.cell(index);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         Experiment::new(scenario.provider.clone())
             .functions(scenario.static_cfg.clone())
             .workload(scenario.runtime_cfg.clone())
             .seed(seed)
+            .queue(queue)
+            .measure(*measure)
             .run()
     }));
-    let (result, metrics) = match outcome {
-        Ok(Ok(outcome)) => (Ok(CellStats::from_outcome(&outcome)), outcome.metrics),
-        Ok(Err(e)) => (Err(e.to_string()), Metrics::new()),
-        Err(payload) => (Err(format!("panic: {}", panic_message(&payload))), Metrics::new()),
+    let (result, metrics, agg) = match outcome {
+        Ok(Ok(outcome)) => (
+            Ok(CellStats::from_outcome(&outcome)),
+            outcome.metrics,
+            Some(outcome.result.latency_agg),
+        ),
+        Ok(Err(e)) => (Err(e.to_string()), Metrics::new(), None),
+        Err(payload) => (Err(format!("panic: {}", panic_message(&payload))), Metrics::new(), None),
     };
-    (CellRow { index, scenario: scenario.label.clone(), seed, result }, metrics)
+    (CellRow { index, scenario: scenario.label.clone(), seed, result }, metrics, agg)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
@@ -349,6 +386,35 @@ mod tests {
         let csv1 = SweepRunner::new(1).run(&grid).to_csv();
         let csv4 = SweepRunner::new(4).run(&grid).to_csv();
         assert_eq!(csv1, csv4, "merge order must not depend on worker count");
+    }
+
+    #[test]
+    fn sketch_mode_reports_identical_across_thread_counts() {
+        let grid = small_grid();
+        let run = |threads| SweepRunner::new(threads).measure(MeasureSpec::sketch()).run(&grid);
+        let r1 = run(1);
+        let r4 = run(4);
+        assert_eq!(r1.to_csv(), r4.to_csv());
+        // The merged aggregate (sketch state included) must also be
+        // bit-identical: cells merge in index order, not completion order.
+        assert_eq!(r1.latency_agg, r4.latency_agg);
+        assert_eq!(r1.latency_agg.count(), 6 * 30);
+    }
+
+    #[test]
+    fn queue_backend_does_not_change_results() {
+        let grid = small_grid();
+        let heap = SweepRunner::new(2).queue(QueueKind::BinaryHeap).run(&grid).to_csv();
+        let calendar = SweepRunner::new(2).queue(QueueKind::Calendar).run(&grid).to_csv();
+        assert_eq!(heap, calendar);
+    }
+
+    #[test]
+    fn merged_aggregate_covers_successful_cells() {
+        let report = SweepRunner::new(2).run(&small_grid());
+        assert_eq!(report.latency_agg.count(), 6 * 30);
+        let mut agg = report.latency_agg.clone();
+        assert!(agg.quantile(0.5) > 0.0);
     }
 
     #[test]

@@ -1154,6 +1154,22 @@ impl CloudSim {
         CloudSim { sim: Simulation::new(Cloud::new(cfg, seed)) }
     }
 
+    /// Creates a cloud with an explicit event-queue backend. Results are
+    /// bit-identical across backends (see [`simkit::engine::QueueKind`]);
+    /// the calendar queue (the default) wins on large pending-event
+    /// counts, the binary heap is kept as a comparison baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn with_queue(
+        cfg: ProviderConfig,
+        seed: u64,
+        queue: simkit::engine::QueueKind,
+    ) -> CloudSim {
+        CloudSim { sim: Simulation::with_queue(Cloud::new(cfg, seed), queue) }
+    }
+
     /// Deploys a function; returns its id for [`CloudSim::submit`] and
     /// chain references.
     ///
@@ -1271,9 +1287,18 @@ impl CloudSim {
     /// is dispatched, so a submitted-up-front workload peaks near
     /// `expected` pending events).
     pub fn reserve_requests(&mut self, expected: usize) {
+        self.reserve_submissions(expected);
+        self.sim.model_mut().completions.reserve(expected);
+    }
+
+    /// Like [`CloudSim::reserve_requests`] but without pre-sizing the
+    /// completion buffer — for streaming drivers that drain completions in
+    /// bounded slices, where the buffer never holds more than one slice's
+    /// worth and reserving `expected` would itself be the O(n) allocation
+    /// the driver is avoiding.
+    pub fn reserve_submissions(&mut self, expected: usize) {
         let cloud = self.sim.model_mut();
         cloud.requests.reserve(expected);
-        cloud.completions.reserve(expected);
         self.sim.reserve_events(expected + expected / 4);
     }
 

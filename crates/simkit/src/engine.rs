@@ -13,7 +13,47 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::calqueue::CalendarQueue;
 use crate::time::SimTime;
+
+/// Which pending-event queue implementation a [`Scheduler`] uses.
+///
+/// Both backends dispatch events in exactly the same total order —
+/// ascending `(time, seq)` — so simulation results are bit-identical
+/// across them; the choice is purely a performance trade-off. The
+/// calendar queue ([`crate::calqueue`]) is amortized O(1) per operation
+/// and wins decisively once the pending-event count is large (e.g. a
+/// million-invocation submission schedule); the binary heap is O(log n)
+/// but has no wheel bookkeeping, kept as a baseline and for comparison
+/// benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// `std::collections::BinaryHeap`, O(log n) push/pop.
+    BinaryHeap,
+    /// Bucketed timer wheel, amortized O(1) push/pop (the default).
+    #[default]
+    Calendar,
+}
+
+impl QueueKind {
+    /// Parses the CLI spelling of a queue kind (`"calendar"` or
+    /// `"binary-heap"`).
+    pub fn parse(s: &str) -> Option<QueueKind> {
+        match s {
+            "calendar" => Some(QueueKind::Calendar),
+            "binary-heap" | "binary_heap" | "heap" => Some(QueueKind::BinaryHeap),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this queue kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueueKind::BinaryHeap => "binary-heap",
+            QueueKind::Calendar => "calendar",
+        }
+    }
+}
 
 /// User-provided simulation state and event handler.
 pub trait Model {
@@ -49,17 +89,85 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// The two interchangeable queue implementations behind a [`Scheduler`].
+enum Backend<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> Backend<E> {
+    fn push(&mut self, entry: Entry<E>) {
+        match self {
+            Backend::Heap(h) => h.push(entry),
+            Backend::Calendar(c) => c.schedule(entry.at, entry.seq, entry.event),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        match self {
+            Backend::Heap(h) => h.pop(),
+            Backend::Calendar(c) => c.pop().map(|(at, seq, event)| Entry { at, seq, event }),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Backend::Heap(h) => h.len(),
+            Backend::Calendar(c) => c.len(),
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            Backend::Heap(h) => h.peek().map(|e| e.at),
+            Backend::Calendar(c) => c.peek_time(),
+        }
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        match self {
+            Backend::Heap(h) => h.reserve(additional),
+            Backend::Calendar(c) => c.reserve(additional),
+        }
+    }
+}
+
 /// The pending-event queue handed to [`Model::handle`].
-#[derive(Default)]
+///
+/// # Tie-break / monotonicity contract
+///
+/// Every scheduled event is stamped with a `u64` sequence number that
+/// increases monotonically for the lifetime of the scheduler and is
+/// **never reset** — not by [`Simulation::run_until`] returning at a
+/// horizon, not by the queue draining empty. Dispatch order is ascending
+/// `(time, seq)`, so events sharing a timestamp are delivered in exactly
+/// the order they were scheduled (FIFO), even when their `schedule_at`
+/// calls are separated by any number of `run_until` horizons. Both queue
+/// backends ([`QueueKind`]) honor this total order bit-for-bit, which is
+/// what keeps simulations deterministic and backend-independent.
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Entry<E>>,
+    queue: Backend<E>,
     seq: u64,
     now: SimTime,
 }
 
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::with_queue(QueueKind::default())
+    }
+}
+
 impl<E> Scheduler<E> {
     fn new() -> Self {
-        Scheduler { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        Scheduler::default()
+    }
+
+    fn with_queue(kind: QueueKind) -> Self {
+        let queue = match kind {
+            QueueKind::BinaryHeap => Backend::Heap(BinaryHeap::new()),
+            QueueKind::Calendar => Backend::Calendar(CalendarQueue::new()),
+        };
+        Scheduler { queue, seq: 0, now: SimTime::ZERO }
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -71,7 +179,7 @@ impl<E> Scheduler<E> {
         assert!(at >= self.now, "cannot schedule in the past: {at} < {}", self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.queue.push(Entry { at, seq, event });
     }
 
     /// Schedules `event` at `now + delay`.
@@ -81,23 +189,39 @@ impl<E> Scheduler<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.queue.len() == 0
     }
 
     /// Timestamp of the next pending event, if any.
+    ///
+    /// O(1) on the binary-heap backend but O(pending) on the calendar
+    /// queue — use it for occasional inspection, never inside a per-event
+    /// loop (the engine's own run loops do not call it).
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.queue.peek_time()
     }
 
     /// Reserves capacity for at least `additional` more pending events, so
-    /// a workload of known size never reallocates the heap mid-run.
+    /// a workload of known size never reallocates the queue mid-run.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        self.queue.reserve(additional);
+    }
+
+    /// Pops the earliest entry without advancing the clock.
+    fn pop_entry(&mut self) -> Option<Entry<E>> {
+        self.queue.pop()
+    }
+
+    /// Puts back an entry just popped by [`Scheduler::pop_entry`],
+    /// preserving its original sequence number (used by `run_until` when
+    /// the earliest event lies beyond the horizon).
+    fn restore(&mut self, entry: Entry<E>) {
+        self.queue.push(entry);
     }
 }
 
@@ -105,7 +229,7 @@ impl<E> std::fmt::Debug for Scheduler<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.queue.len())
             .finish()
     }
 }
@@ -133,9 +257,16 @@ impl<M: Model + std::fmt::Debug> std::fmt::Debug for Simulation<M> {
 
 impl<M: Model> Simulation<M> {
     /// Creates a simulation around `model` with an empty event queue at
-    /// time zero.
+    /// time zero, using the default queue backend ([`QueueKind::Calendar`]).
     pub fn new(model: M) -> Self {
         Simulation { model, sched: Scheduler::new(), processed: 0 }
+    }
+
+    /// Creates a simulation with an explicit queue backend. Results are
+    /// bit-identical across backends (see [`QueueKind`]); this exists for
+    /// performance comparison and as an escape hatch.
+    pub fn with_queue(model: M, kind: QueueKind) -> Self {
+        Simulation { model, sched: Scheduler::with_queue(kind), processed: 0 }
     }
 
     /// Current simulated time (time of the last dispatched event).
@@ -177,7 +308,7 @@ impl<M: Model> Simulation<M> {
     /// Dispatches the next event, if any. Returns `false` when the queue
     /// is empty.
     pub fn step(&mut self) -> bool {
-        match self.sched.heap.pop() {
+        match self.sched.pop_entry() {
             Some(entry) => {
                 debug_assert!(entry.at >= self.sched.now);
                 self.sched.now = entry.at;
@@ -198,12 +329,22 @@ impl<M: Model> Simulation<M> {
     /// `horizon`. Events exactly at `horizon` are processed, and the clock
     /// always advances to `horizon` so repeated calls compose and state
     /// snapshots taken afterwards see the full elapsed time.
+    ///
+    /// The loop pops each entry and dispatches it if it is within the
+    /// horizon, restoring it (with its original sequence number, so FIFO
+    /// order among equal timestamps survives — see [`Scheduler`]) when it
+    /// lies beyond. Pop-then-restore rather than peek-then-pop keeps the
+    /// loop O(1) per event on the calendar backend, where peeking is as
+    /// expensive as a full bucket scan.
     pub fn run_until(&mut self, horizon: SimTime) {
-        while let Some(t) = self.sched.peek_time() {
-            if t > horizon {
+        while let Some(entry) = self.sched.pop_entry() {
+            if entry.at > horizon {
+                self.sched.restore(entry);
                 break;
             }
-            self.step();
+            self.sched.now = entry.at;
+            self.processed += 1;
+            self.model.handle(entry.at, entry.event, &mut self.sched);
         }
         if self.sched.now < horizon {
             self.sched.now = horizon;
@@ -313,6 +454,50 @@ mod tests {
     fn step_returns_false_when_empty() {
         let mut sim = Simulation::new(Recorder::default());
         assert!(!sim.step());
+    }
+
+    /// The seq counter is never reset by `run_until` horizon re-entry:
+    /// same-timestamp events scheduled before, between, and after horizons
+    /// still dispatch in global FIFO order.
+    #[test]
+    fn seq_stays_monotone_across_run_until_horizons() {
+        for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
+            let mut sim = Simulation::with_queue(Recorder::default(), kind);
+            let t = SimTime::from_millis(50.0);
+            sim.schedule_at(t, Ev::Mark(0));
+            sim.schedule_at(t, Ev::Mark(1));
+            // Return at two horizons before t, scheduling more events at t
+            // after each; their seqs must continue where the first batch
+            // left off.
+            sim.run_until(SimTime::from_millis(10.0));
+            sim.schedule_at(t, Ev::Mark(2));
+            sim.schedule_at(t, Ev::Mark(3));
+            sim.run_until(SimTime::from_millis(20.0));
+            sim.schedule_at(t, Ev::Mark(4));
+            // Events exactly at the horizon dispatch now (0..=4); one more
+            // scheduled at `now == t` must still land after them.
+            sim.run_until(t);
+            sim.schedule_at(t, Ev::Mark(5));
+            sim.run();
+            let ids: Vec<u32> = sim.model().seen.iter().map(|&(_, id)| id).collect();
+            assert_eq!(ids, vec![0, 1, 2, 3, 4, 5], "backend {kind:?}");
+        }
+    }
+
+    /// Both queue backends produce identical dispatch sequences on a
+    /// chained workload driven through interleaved horizons.
+    #[test]
+    fn backends_dispatch_identically() {
+        let run = |kind: QueueKind| {
+            let mut sim = Simulation::with_queue(Recorder::default(), kind);
+            sim.schedule_at(SimTime::ZERO, Ev::Chain(60));
+            sim.schedule_at(SimTime::from_millis(7.0), Ev::Mark(100));
+            sim.run_until(SimTime::from_millis(25.0));
+            sim.schedule_at(SimTime::from_millis(30.0), Ev::Mark(200));
+            sim.run();
+            sim.into_model().seen
+        };
+        assert_eq!(run(QueueKind::BinaryHeap), run(QueueKind::Calendar));
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! assert_eq!(sim.now(), SimTime::from_millis(40.0));
 //! ```
 
+pub mod calqueue;
 pub mod dist;
 pub mod engine;
 pub mod metrics;
@@ -48,8 +49,9 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use calqueue::CalendarQueue;
 pub use dist::Dist;
-pub use engine::{Model, Scheduler, Simulation};
+pub use engine::{Model, QueueKind, Scheduler, Simulation};
 pub use metrics::{MetricSample, Metrics};
 pub use rng::Rng;
 pub use time::SimTime;

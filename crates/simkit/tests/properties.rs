@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use simkit::dist::Dist;
-use simkit::engine::{Model, Scheduler, Simulation};
+use simkit::engine::{Model, QueueKind, Scheduler, Simulation};
 use simkit::ratelimit::{SerialServer, TokenBucket};
 use simkit::rng::Rng;
 use simkit::time::SimTime;
@@ -37,6 +37,32 @@ proptest! {
                 prop_assert!(w[1].1 > w[0].1, "FIFO tie-break violated");
             }
         }
+    }
+
+    /// The calendar queue dispatches any schedule in exactly the same
+    /// order as the binary heap, including across a run_until horizon and
+    /// with mid-run scheduling — the backends are observationally
+    /// equivalent.
+    #[test]
+    fn engine_backends_are_equivalent(
+        times in prop::collection::vec(0u64..10_000_000, 1..300),
+        late in prop::collection::vec(0u64..10_000_000, 0..50),
+        split in 0u64..10_000_000,
+    ) {
+        let run = |kind: QueueKind| {
+            let mut sim = Simulation::with_queue(Recorder { seen: Vec::new() }, kind);
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_nanos(t), i as u64);
+            }
+            sim.run_until(SimTime::from_nanos(split));
+            for (i, &t) in late.iter().enumerate() {
+                let at = SimTime::from_nanos(split + t);
+                sim.schedule_at(at, (times.len() + i) as u64);
+            }
+            sim.run();
+            sim.into_model().seen
+        };
+        prop_assert_eq!(run(QueueKind::BinaryHeap), run(QueueKind::Calendar));
     }
 
     /// run_until splits a run without changing what gets processed.

@@ -13,6 +13,9 @@
 //! * [`ks`] — two-sample Kolmogorov–Smirnov distance, used by calibration
 //!   tests to compare simulated and target distributions;
 //! * [`bootstrap`] — bootstrap confidence intervals;
+//! * [`sketch`] — streaming quantile sketches ([`sketch::QuantileSketch`],
+//!   [`sketch::LatencyAgg`]) with a documented rank-error bound, so
+//!   million-invocation runs never materialise their full latency vector;
 //! * [`table`] — plain-text table rendering for the benchmark harness.
 
 pub mod bootstrap;
@@ -21,11 +24,13 @@ pub mod histogram;
 pub mod ks;
 pub mod metrics;
 pub mod percentile;
+pub mod sketch;
 pub mod summary;
 pub mod svg;
 pub mod table;
 
 pub use cdf::Cdf;
 pub use metrics::{median_ratio, tail_ratio, tmr};
-pub use percentile::{median, p99, percentile};
+pub use percentile::{median, p99, percentile, percentile_in_place};
+pub use sketch::{LatencyAgg, QuantileMode, QuantileSketch};
 pub use summary::Summary;

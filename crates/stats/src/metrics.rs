@@ -12,12 +12,14 @@
 //!
 //! The paper flags MR or TR above 10 as potentially problematic.
 
-use crate::percentile::{median, p99};
+use crate::percentile::{sort_samples, sorted_percentile};
 
 /// Threshold above which the paper considers MR/TR/TMR problematic.
 pub const PROBLEMATIC_THRESHOLD: f64 = 10.0;
 
 /// Tail-to-median ratio of one sample set.
+///
+/// Sorts a single copy of the input and derives both quantiles from it.
 ///
 /// # Panics
 ///
@@ -32,7 +34,9 @@ pub const PROBLEMATIC_THRESHOLD: f64 = 10.0;
 /// assert!(tmr(&xs) > 10.0);
 /// ```
 pub fn tmr(samples: &[f64]) -> f64 {
-    ratio(p99(samples), median(samples))
+    let mut sorted = samples.to_vec();
+    sort_samples(&mut sorted);
+    ratio(sorted_percentile(&sorted, 0.99), sorted_percentile(&sorted, 0.5))
 }
 
 /// MR: median of `factor_samples` over the median of `base_samples`
@@ -42,7 +46,7 @@ pub fn tmr(samples: &[f64]) -> f64 {
 ///
 /// Panics if either sample set is empty.
 pub fn median_ratio(factor_samples: &[f64], base_samples: &[f64]) -> f64 {
-    ratio(median(factor_samples), median(base_samples))
+    FactorRatios::compute(factor_samples, base_samples).mr
 }
 
 /// TR: p99 of `factor_samples` over the median of `base_samples`.
@@ -51,7 +55,7 @@ pub fn median_ratio(factor_samples: &[f64], base_samples: &[f64]) -> f64 {
 ///
 /// Panics if either sample set is empty.
 pub fn tail_ratio(factor_samples: &[f64], base_samples: &[f64]) -> f64 {
-    ratio(p99(factor_samples), median(base_samples))
+    FactorRatios::compute(factor_samples, base_samples).tr
 }
 
 /// One row of the paper's Table I for a single provider: a factor's MR and
@@ -67,13 +71,44 @@ pub struct FactorRatios {
 impl FactorRatios {
     /// Computes MR and TR for `factor_samples` against `base_samples`.
     ///
+    /// Each input is copied and sorted exactly once. For a fixed base
+    /// compared against many factors (Table I has eight factor rows per
+    /// provider), pre-compute the base median and use
+    /// [`FactorRatios::against_base_median`].
+    ///
     /// # Panics
     ///
     /// Panics if either sample set is empty.
     pub fn compute(factor_samples: &[f64], base_samples: &[f64]) -> FactorRatios {
+        let mut base = base_samples.to_vec();
+        sort_samples(&mut base);
+        let mut factor = factor_samples.to_vec();
+        sort_samples(&mut factor);
+        FactorRatios::from_sorted(&factor, sorted_percentile(&base, 0.5))
+    }
+
+    /// Computes MR and TR for `factor_samples` against an already-known
+    /// base median, sorting one copy of the factor samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor_samples` is empty.
+    pub fn against_base_median(factor_samples: &[f64], base_median: f64) -> FactorRatios {
+        let mut factor = factor_samples.to_vec();
+        sort_samples(&mut factor);
+        FactorRatios::from_sorted(&factor, base_median)
+    }
+
+    /// Computes MR and TR from an ascending-sorted factor slice and a
+    /// pre-computed base median (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor_sorted` is empty.
+    pub fn from_sorted(factor_sorted: &[f64], base_median: f64) -> FactorRatios {
         FactorRatios {
-            mr: median_ratio(factor_samples, base_samples),
-            tr: tail_ratio(factor_samples, base_samples),
+            mr: ratio(sorted_percentile(factor_sorted, 0.5), base_median),
+            tr: ratio(sorted_percentile(factor_sorted, 0.99), base_median),
         }
     }
 
@@ -89,8 +124,30 @@ impl FactorRatios {
         base_samples: &[f64],
         exec_ms: f64,
     ) -> FactorRatios {
-        let adjusted: Vec<f64> = factor_samples.iter().map(|&x| (x - exec_ms).max(0.0)).collect();
-        FactorRatios::compute(&adjusted, base_samples)
+        let mut base = base_samples.to_vec();
+        sort_samples(&mut base);
+        FactorRatios::minus_exec_against_base_median(
+            factor_samples,
+            sorted_percentile(&base, 0.5),
+            exec_ms,
+        )
+    }
+
+    /// [`FactorRatios::compute_minus_exec`] against an already-known base
+    /// median (skips re-sorting the base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor_samples` is empty.
+    pub fn minus_exec_against_base_median(
+        factor_samples: &[f64],
+        base_median: f64,
+        exec_ms: f64,
+    ) -> FactorRatios {
+        let mut adjusted: Vec<f64> =
+            factor_samples.iter().map(|&x| (x - exec_ms).max(0.0)).collect();
+        sort_samples(&mut adjusted);
+        FactorRatios::from_sorted(&adjusted, base_median)
     }
 
     /// Whether either ratio crosses the paper's problematic threshold

@@ -31,6 +31,31 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
     sorted_percentile(&sorted, q)
 }
 
+/// Returns the `q`-quantile of `samples`, sorting them in place.
+///
+/// Avoids [`percentile`]'s internal copy when the caller owns the buffer
+/// and does not care about its order. After the call the slice is sorted
+/// ascending, so follow-up quantiles of the same data should use
+/// [`sorted_percentile`] directly.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, `q` is outside `[0, 1]`, or any sample is
+/// NaN.
+///
+/// # Examples
+///
+/// ```
+/// use stats::percentile::{percentile_in_place, sorted_percentile};
+/// let mut xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(percentile_in_place(&mut xs, 0.5), 2.5);
+/// assert_eq!(sorted_percentile(&xs, 1.0), 4.0); // already sorted now
+/// ```
+pub fn percentile_in_place(samples: &mut [f64], q: f64) -> f64 {
+    sort_samples(samples);
+    sorted_percentile(samples, q)
+}
+
 /// [`percentile`] over an already-sorted ascending slice (no allocation).
 ///
 /// # Panics

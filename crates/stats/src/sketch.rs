@@ -1,0 +1,631 @@
+//! Streaming quantile estimation with bounded memory.
+//!
+//! Million-invocation runs cannot afford a `Vec<f64>` of every latency
+//! just to read off p50/p99 at the end. [`QuantileSketch`] is a *merging
+//! t-digest* (Dunning & Ertl): samples are buffered and periodically
+//! compressed into a short list of weighted centroids whose sizes shrink
+//! toward the distribution's ends, so extreme quantiles — the ones this
+//! project is about — stay sharp while the middle is summarised coarsely.
+//! Retained state is O(δ·log n) centroids (the quadratic weight limit
+//! keeps the extreme tails at singleton resolution, which costs a
+//! logarithmic factor) — about 1.4 k centroids for 10⁶ samples at the
+//! default δ = 200, versus the 8 MB a raw `Vec<f64>` would hold.
+//!
+//! # Exact-mode fallback
+//!
+//! Below [`QuantileSketch::exact_threshold`] samples (default 1024) the
+//! sketch simply keeps every sample and answers quantiles exactly, with
+//! the same Hyndman–Fan type-7 interpolation as
+//! [`crate::percentile::sorted_percentile`]. Small runs therefore lose
+//! nothing; compression only engages when its error bound is tiny
+//! relative to the sample count.
+//!
+//! # Error bound
+//!
+//! Compression caps the weight of a centroid covering quantile `q` at
+//! `4·n·q(1−q)/δ` (the t-digest `k1` scale), so interpolation between
+//! centroid midpoints can misplace a quantile estimate by at most about
+//! one centroid's worth of rank. The documented guarantee, exposed as
+//! [`QuantileSketch::rank_error_bound`] and asserted by this crate's
+//! property tests, is a **rank error**:
+//!
+//! > `quantile(q)` lies between the exact `(q − ε)`- and `(q + ε)`-
+//! > quantiles of the recorded samples, where
+//! > `ε(q) = 8·q(1−q)/δ + 3/n`.
+//!
+//! (Interpolating between adjacent centroid midpoints can deviate by up
+//! to 1.5 cluster weights of rank, i.e. `6·q(1−q)/δ`; the extra headroom
+//! absorbs neighbour clusters sitting at slightly more central quantiles
+//! and the ±1-rank effects at the extremes.) With the default δ = 200
+//! that is ε(0.5) ≤ 1 % + 3/n in the middle and ε(0.99) ≤ 0.04 % + 3/n
+//! at the paper's headline tail — and exactly 0 below the exact
+//! threshold. (Rank error is the right contract for a quantile sketch:
+//! *value* error additionally depends on the local density of the
+//! distribution and is unbounded in general.)
+//!
+//! # Determinism and merging
+//!
+//! Everything here is deterministic: buffers are compressed with a stable
+//! sort and a fixed left-to-right merge pass, so the same sequence of
+//! `record`/`merge` calls always yields the same centroids, bit for bit.
+//! [`QuantileSketch::merge`] combines two sketches (used by the sweep
+//! runner, which merges per-cell aggregates in cell-index order — making
+//! merged reports independent of worker-thread count).
+
+use serde::{Deserialize, Serialize};
+
+use crate::percentile::{sort_samples, sorted_percentile};
+use crate::summary::Summary;
+
+/// Default compression factor δ: ~2·δ centroids retained at steady state.
+pub const DEFAULT_COMPRESSION: f64 = 200.0;
+/// Default sample count below which the sketch stays exact.
+pub const DEFAULT_EXACT_THRESHOLD: usize = 1024;
+/// Buffered samples between incremental compressions once sketching.
+const BUFFER_CAP: usize = 512;
+
+/// How latency quantiles are computed for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QuantileMode {
+    /// Keep every sample; quantiles are exact (the default).
+    #[default]
+    Exact,
+    /// Stream samples through a [`QuantileSketch`]; memory is O(δ) and
+    /// quantiles carry the documented rank-error bound.
+    Sketch,
+}
+
+impl QuantileMode {
+    /// Parses the CLI spelling (`"exact"` or `"sketch"`).
+    pub fn parse(s: &str) -> Option<QuantileMode> {
+        match s {
+            "exact" => Some(QuantileMode::Exact),
+            "sketch" => Some(QuantileMode::Sketch),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this mode.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QuantileMode::Exact => "exact",
+            QuantileMode::Sketch => "sketch",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Centroid {
+    mean: f64,
+    weight: f64,
+}
+
+/// A mergeable t-digest quantile sketch; see the module docs for the
+/// error bound and determinism guarantees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    compression: f64,
+    exact_threshold: usize,
+    /// Uncompressed recent samples (all samples, while in exact mode).
+    buffer: Vec<f64>,
+    /// Weighted centroids, ascending by mean; empty while in exact mode.
+    centroids: Vec<Centroid>,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch with the default compression (δ = 200) and exact
+    /// threshold (1024 samples).
+    pub fn new() -> Self {
+        QuantileSketch::with_params(DEFAULT_COMPRESSION, DEFAULT_EXACT_THRESHOLD)
+    }
+
+    /// An empty sketch with explicit compression δ (≥ 10) and exact-mode
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compression` is not finite or below 10 (the error bound
+    /// would be meaningless).
+    pub fn with_params(compression: f64, exact_threshold: usize) -> Self {
+        assert!(compression.is_finite() && compression >= 10.0, "compression too small");
+        QuantileSketch {
+            compression,
+            exact_threshold,
+            buffer: Vec::new(),
+            centroids: Vec::new(),
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (NaN-free by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketch is empty.
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "min of empty sketch");
+        self.min
+    }
+
+    /// Largest recorded sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketch is empty.
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "max of empty sketch");
+        self.max
+    }
+
+    /// Sample count below which quantiles are exact.
+    pub fn exact_threshold(&self) -> usize {
+        self.exact_threshold
+    }
+
+    /// Whether compression has engaged (false ⇒ quantiles are exact).
+    pub fn is_sketching(&self) -> bool {
+        !self.centroids.is_empty()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN.
+    pub fn record(&mut self, v: f64) {
+        assert!(!v.is_nan(), "NaN latency sample");
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buffer.push(v);
+        if self.is_sketching() {
+            if self.buffer.len() >= BUFFER_CAP {
+                self.compress();
+            }
+        } else if self.buffer.len() > self.exact_threshold {
+            self.compress();
+        }
+    }
+
+    /// Absorbs all samples recorded by `other`.
+    ///
+    /// Deterministic: merging the same pair of sketch states always
+    /// produces the same result, so reductions that fix their merge order
+    /// (like the sweep runner's cell-index merge) are reproducible across
+    /// thread counts.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.buffer.extend_from_slice(&other.buffer);
+        self.centroids.extend_from_slice(&other.centroids);
+        if self.is_sketching() || self.buffer.len() > self.exact_threshold {
+            self.compress();
+        }
+    }
+
+    /// Returns the `q`-quantile estimate. Exact below the threshold;
+    /// otherwise within the [`rank_error_bound`](Self::rank_error_bound).
+    ///
+    /// Takes `&mut self` because pending buffered samples are folded into
+    /// the centroids first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketch is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!(self.count > 0, "quantile of empty sketch");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if !self.is_sketching() {
+            let mut sorted = self.buffer.clone();
+            sort_samples(&mut sorted);
+            return sorted_percentile(&sorted, q);
+        }
+        if !self.buffer.is_empty() {
+            self.compress();
+        }
+        let n = self.count as f64;
+        let target = q * n;
+        // Interpolate piecewise-linearly between centroid rank midpoints,
+        // anchored at min (rank 0) and max (rank n).
+        let mut cum = 0.0;
+        let mut prev_mid = 0.0;
+        let mut prev_mean = self.min;
+        for c in &self.centroids {
+            let mid = cum + c.weight / 2.0;
+            if target < mid {
+                let t = if mid > prev_mid { (target - prev_mid) / (mid - prev_mid) } else { 0.0 };
+                return (prev_mean + t * (c.mean - prev_mean)).clamp(self.min, self.max);
+            }
+            prev_mid = mid;
+            prev_mean = c.mean;
+            cum += c.weight;
+        }
+        let t = if n > prev_mid { (target - prev_mid) / (n - prev_mid) } else { 1.0 };
+        (prev_mean + t * (self.max - prev_mean)).clamp(self.min, self.max)
+    }
+
+    /// The documented rank-error guarantee at quantile `q`:
+    /// [`quantile`](Self::quantile)`(q)` lies between the exact `(q − ε)`-
+    /// and `(q + ε)`-quantiles of the recorded samples. Zero while in
+    /// exact mode.
+    pub fn rank_error_bound(&self, q: f64) -> f64 {
+        if !self.is_sketching() {
+            return 0.0;
+        }
+        8.0 * q * (1.0 - q) / self.compression + 3.0 / self.count as f64
+    }
+
+    /// Number of retained centroids (0 while in exact mode). Bounded by
+    /// O(δ·log n) — this, plus the fixed-size buffer, is the sketch's
+    /// entire memory footprint.
+    pub fn centroid_count(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Folds buffered samples into the centroid list and re-clusters.
+    fn compress(&mut self) {
+        sort_samples(&mut self.buffer);
+        let mut merged: Vec<Centroid> =
+            Vec::with_capacity(self.centroids.len() + self.buffer.len());
+        merged.extend(self.buffer.drain(..).map(|v| Centroid { mean: v, weight: 1.0 }));
+        merged.append(&mut self.centroids);
+        // Stable sort keeps equal-mean centroids in a deterministic order.
+        merged.sort_by(|a, b| a.mean.partial_cmp(&b.mean).expect("NaN centroid"));
+
+        let n = self.count as f64;
+        let delta = self.compression;
+        let mut out: Vec<Centroid> = Vec::with_capacity((2.0 * delta) as usize + 8);
+        let mut iter = merged.into_iter();
+        let mut cur = iter.next().expect("compress on empty sketch");
+        let mut cum = 0.0; // weight strictly before `cur`
+        for c in iter {
+            let w = cur.weight + c.weight;
+            let q_mid = (cum + w / 2.0) / n;
+            let limit = (4.0 * n * q_mid * (1.0 - q_mid) / delta).max(1.0);
+            if w <= limit {
+                // Weighted mean; `cur.mean <= c.mean` so the result stays
+                // within the pair's span.
+                cur.mean = (cur.mean * cur.weight + c.mean * c.weight) / w;
+                cur.weight = w;
+            } else {
+                cum += cur.weight;
+                out.push(cur);
+                cur = c;
+            }
+        }
+        out.push(cur);
+        self.centroids = out;
+    }
+}
+
+/// Streaming latency aggregate: a quantile sketch plus the moment sums
+/// needed to reproduce a [`Summary`] without retaining samples.
+///
+/// This is what flows through the client, experiment, and sweep layers on
+/// large runs: O(δ) memory however many invocations are recorded, and
+/// mergeable across sweep cells. In exact mode (small runs, or
+/// `keep_samples`) the figure pipelines keep using raw sample vectors and
+/// this aggregate is simply a cheap companion.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyAgg {
+    sketch: QuantileSketch,
+    sum: f64,
+    sumsq: f64,
+}
+
+impl LatencyAgg {
+    /// An empty aggregate with default sketch parameters.
+    pub fn new() -> Self {
+        LatencyAgg::default()
+    }
+
+    /// An empty aggregate with an explicit quantile mode: `Exact` uses a
+    /// threshold no run exceeds (quantiles stay exact at any size, memory
+    /// O(n)); `Sketch` uses the default compression.
+    pub fn with_mode(mode: QuantileMode) -> Self {
+        match mode {
+            QuantileMode::Exact => LatencyAgg {
+                sketch: QuantileSketch::with_params(DEFAULT_COMPRESSION, usize::MAX),
+                ..Default::default()
+            },
+            QuantileMode::Sketch => LatencyAgg::new(),
+        }
+    }
+
+    /// Records one latency sample (milliseconds, by project convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN.
+    pub fn record(&mut self, v: f64) {
+        self.sketch.record(v);
+        self.sum += v;
+        self.sumsq += v * v;
+    }
+
+    /// Absorbs `other` (deterministic; see [`QuantileSketch::merge`]).
+    pub fn merge(&mut self, other: &LatencyAgg) {
+        self.sketch.merge(&other.sketch);
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.sketch.count()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sketch.is_empty()
+    }
+
+    /// Mean of the recorded samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.is_empty(), "mean of empty aggregate");
+        self.sum / self.count() as f64
+    }
+
+    /// Quantile estimate (see [`QuantileSketch::quantile`]).
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        self.sketch.quantile(q)
+    }
+
+    /// The sketch's rank-error bound at `q`.
+    pub fn rank_error_bound(&self, q: f64) -> f64 {
+        self.sketch.rank_error_bound(q)
+    }
+
+    /// Shared access to the underlying sketch.
+    pub fn sketch(&self) -> &QuantileSketch {
+        &self.sketch
+    }
+
+    /// Builds a [`Summary`] from the aggregate. Quantiles come from the
+    /// sketch (exact below the threshold); mean and standard deviation
+    /// come from the moment sums, so on very large runs `std` carries the
+    /// usual one-pass cancellation caveat (irrelevant at latency scales).
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn summary(&mut self) -> Summary {
+        assert!(!self.is_empty(), "summary of empty aggregate");
+        let n = self.count();
+        let mean = self.mean();
+        let var = if n > 1 {
+            ((self.sumsq - n as f64 * mean * mean) / (n as f64 - 1.0)).max(0.0)
+        } else {
+            0.0
+        };
+        let median = self.quantile(0.5);
+        let tail = self.quantile(0.99);
+        Summary {
+            count: n as usize,
+            mean,
+            std: var.sqrt(),
+            min: self.sketch.min(),
+            max: self.sketch.max(),
+            p25: self.quantile(0.25),
+            median,
+            p75: self.quantile(0.75),
+            p90: self.quantile(0.90),
+            p95: self.quantile(0.95),
+            tail,
+            p999: self.quantile(0.999),
+            tmr: if median > 0.0 { tail / median } else { f64::INFINITY },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::percentile::percentile;
+
+    #[test]
+    fn exact_below_threshold_matches_percentile() {
+        let mut s = QuantileSketch::new();
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        for &x in &xs {
+            s.record(x);
+        }
+        assert!(!s.is_sketching());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), percentile(&xs, q), "q={q}");
+            assert_eq!(s.rank_error_bound(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn sketch_mode_engages_past_threshold() {
+        let mut s = QuantileSketch::new();
+        for i in 0..5000 {
+            s.record(i as f64);
+        }
+        assert!(s.is_sketching());
+        assert_eq!(s.count(), 5000);
+        assert!(s.centroid_count() < 1000, "centroids: {}", s.centroid_count());
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 4999.0);
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(1.0), 4999.0);
+    }
+
+    #[test]
+    fn sketch_respects_rank_error_on_uniform_ladder() {
+        let mut s = QuantileSketch::new();
+        let n = 50_000;
+        for i in 0..n {
+            s.record(i as f64);
+        }
+        for q in [0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let est = s.quantile(q);
+            let eps = s.rank_error_bound(q);
+            // On the ladder the value at rank r is r itself, so rank error
+            // is directly readable.
+            let lo = ((q - eps) * (n - 1) as f64).floor();
+            let hi = ((q + eps) * (n - 1) as f64).ceil();
+            assert!(est >= lo && est <= hi, "q={q}: est={est} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let mut s = QuantileSketch::new();
+        for i in 0..200_000 {
+            s.record((i % 9973) as f64);
+        }
+        // O(δ·log n): empirically ~1.2 k centroids at n = 2e5, δ = 200.
+        assert!(s.centroid_count() < 2000, "centroids: {}", s.centroid_count());
+        assert!(s.buffer.len() < BUFFER_CAP);
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording_statistics() {
+        let xs: Vec<f64> = (0..30_000u64).map(|i| ((i * 2654435761) % 100_000) as f64).collect();
+        let mut whole = QuantileSketch::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i < 13_000 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        // Merged and sequential sketches need not be identical, but both
+        // must satisfy the error bound against the exact quantiles.
+        for q in [0.5, 0.99] {
+            let eps = a.rank_error_bound(q) + 1.0 / xs.len() as f64;
+            let exact_lo = percentile(&xs, (q - eps).max(0.0));
+            let exact_hi = percentile(&xs, (q + eps).min(1.0));
+            let est = a.quantile(q);
+            assert!(est >= exact_lo && est <= exact_hi, "q={q}: {est} vs [{exact_lo}, {exact_hi}]");
+        }
+    }
+
+    #[test]
+    fn merge_is_deterministic() {
+        let build = || {
+            let mut parts: Vec<QuantileSketch> = Vec::new();
+            for p in 0..4u64 {
+                let mut s = QuantileSketch::new();
+                for i in 0..5_000u64 {
+                    s.record(((i * 31 + p * 7) % 4096) as f64);
+                }
+                parts.push(s);
+            }
+            let mut acc = QuantileSketch::new();
+            for p in &parts {
+                acc.merge(p);
+            }
+            acc
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn exact_sketches_merge_into_exact_when_small() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for i in 0..100 {
+            a.record(i as f64);
+            b.record((100 + i) as f64);
+        }
+        a.merge(&b);
+        assert!(!a.is_sketching(), "200 samples should stay exact");
+        assert_eq!(a.quantile(0.5), 99.5);
+    }
+
+    #[test]
+    fn agg_summary_matches_exact_on_small_runs() {
+        let xs: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        let mut agg = LatencyAgg::new();
+        for &x in &xs {
+            agg.record(x);
+        }
+        let s = agg.summary();
+        let exact = Summary::from_samples(&xs);
+        assert_eq!(s.count, exact.count);
+        assert_eq!(s.median, exact.median);
+        assert_eq!(s.tail, exact.tail);
+        assert_eq!(s.min, exact.min);
+        assert_eq!(s.max, exact.max);
+        assert!((s.mean - exact.mean).abs() < 1e-9);
+        assert!((s.std - exact.std).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_mode_agg_never_sketches() {
+        let mut agg = LatencyAgg::with_mode(QuantileMode::Exact);
+        for i in 0..10_000 {
+            agg.record(i as f64);
+        }
+        assert!(!agg.sketch().is_sketching());
+        assert_eq!(
+            agg.quantile(0.5),
+            percentile(&(0..10_000).map(|i| i as f64).collect::<Vec<_>>(), 0.5)
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = QuantileSketch::new();
+        for i in 0..3000 {
+            s.record((i % 71) as f64);
+        }
+        let json = serde_json::to_string(&s).unwrap();
+        let mut back: QuantileSketch = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.quantile(0.5), s.quantile(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_record_panics() {
+        QuantileSketch::new().record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_quantile_panics() {
+        QuantileSketch::new().quantile(0.5);
+    }
+}
