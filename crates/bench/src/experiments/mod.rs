@@ -11,4 +11,5 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod keepalive;
+pub mod mmpp;
 pub mod table1;

@@ -36,6 +36,7 @@ pub fn run_all(samples: u32) -> Vec<Report> {
         experiments::fig9::measure(samples).report(),
         experiments::table1::measure(samples).report(),
         experiments::fig10::measure(experiments::fig10::TRACE_FUNCTIONS).report(),
+        experiments::mmpp::measure(samples).report(),
     ]
 }
 
@@ -62,7 +63,7 @@ mod tests {
         let ids: Vec<&str> = reports.iter().map(|r| r.id).collect();
         assert_eq!(
             ids,
-            vec!["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "fig10"]
+            vec!["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "fig10", "mmpp"]
         );
         for report in &reports {
             assert!(!report.body.is_empty(), "{} has an empty body", report.id);

@@ -50,6 +50,7 @@ fn warm_workload_sketch_matches_exact() {
         warmup_rounds: 1,
         exec_ms: 0.0,
         chain: None,
+        workload: None,
     };
     let base = Experiment::new(aws_like())
         .functions(StaticConfig { functions: vec![StaticFunction::python_zip("warm")] })
@@ -70,6 +71,7 @@ fn cold_workload_sketch_matches_exact() {
         warmup_rounds: 0,
         exec_ms: 0.0,
         chain: None,
+        workload: None,
     };
     let function = StaticFunction::python_zip("cold").with_replicas(replicas);
     let base = Experiment::new(google_like())
@@ -92,6 +94,7 @@ fn bursty_workload_sketch_matches_exact() {
         warmup_rounds: 2,
         exec_ms: 0.0,
         chain: None,
+        workload: None,
     };
     let base = Experiment::new(aws_like())
         .functions(StaticConfig { functions: vec![StaticFunction::python_zip("burst")] })

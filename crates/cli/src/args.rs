@@ -6,10 +6,20 @@ use stats::sketch::QuantileMode;
 /// Options of `stellar run`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOptions {
-    /// Path to the static function configuration JSON.
-    pub static_path: String,
-    /// Path to the runtime (client) configuration JSON.
-    pub runtime_path: String,
+    /// Path to the static function configuration JSON (default single
+    /// function when omitted; requires `--workload`).
+    pub static_path: Option<String>,
+    /// Path to the runtime (client) configuration JSON (defaults derived
+    /// from `--samples`/`--warmup` when omitted; requires `--workload`).
+    pub runtime_path: Option<String>,
+    /// Workload model: a preset name (`mmpp-burst`, `trace-replay`, …) or
+    /// a path to a workload-spec JSON. Supersedes the runtime config's
+    /// IAT.
+    pub workload: Option<String>,
+    /// Measured samples when `--runtime` is omitted.
+    pub samples: u32,
+    /// Warm-up arrivals when `--runtime` is omitted.
+    pub warmup: u32,
     /// Provider: a built-in name (`aws-like`, `google-like`,
     /// `azure-like`) or a path to a provider-config JSON.
     pub provider: String,
@@ -76,6 +86,9 @@ pub struct SweepOptions {
     pub base_seed: u64,
     /// Samples per cell when `--runtime` is omitted.
     pub samples: u32,
+    /// Workload models to sweep as an extra grid axis: preset names or
+    /// workload-spec JSON paths. Empty = legacy IAT behaviour.
+    pub workloads: Vec<String>,
     /// Worker threads; 0 selects the machine's parallelism.
     pub threads: usize,
     /// Write the CSV report here instead of stdout.
@@ -136,6 +149,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "run" => {
             let mut static_path = None;
             let mut runtime_path = None;
+            let mut workload = None;
+            let mut samples = 100u32;
+            let mut warmup = 0u32;
             let mut provider = "aws-like".to_string();
             let mut seed = 0u64;
             let mut breakdown = false;
@@ -151,6 +167,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 match flag.as_str() {
                     "--static" => static_path = Some(value("--static")?),
                     "--runtime" => runtime_path = Some(value("--runtime")?),
+                    "--workload" => workload = Some(value("--workload")?),
+                    "--samples" => {
+                        samples =
+                            value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?;
+                        if samples == 0 {
+                            return Err("--samples must be positive".to_string());
+                        }
+                    }
+                    "--warmup" => {
+                        warmup =
+                            value("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?;
+                    }
                     "--provider" => provider = value("--provider")?,
                     "--seed" => {
                         seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
@@ -166,9 +194,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unknown flag: {other}")),
                 }
             }
+            if workload.is_none() && (static_path.is_none() || runtime_path.is_none()) {
+                return Err(
+                    "run needs --static <file> and --runtime <file>, or --workload <file|preset>"
+                        .to_string(),
+                );
+            }
             Ok(Command::Run(RunOptions {
-                static_path: static_path.ok_or("run needs --static <file>")?,
-                runtime_path: runtime_path.ok_or("run needs --runtime <file>")?,
+                static_path,
+                runtime_path,
+                workload,
+                samples,
+                warmup,
                 provider,
                 seed,
                 breakdown,
@@ -187,6 +224,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut seeds = 4u64;
             let mut base_seed = 0u64;
             let mut samples = 100u32;
+            let mut workloads: Vec<String> = Vec::new();
             let mut threads = 0usize;
             let mut out = None;
             let mut queue = QueueKind::default();
@@ -230,6 +268,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         threads =
                             value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
                     }
+                    "--workload" | "--workloads" => {
+                        workloads = value("--workload")?
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                        if workloads.is_empty() {
+                            return Err("--workload needs at least one name or file".to_string());
+                        }
+                    }
                     "--out" => out = Some(value("--out")?),
                     "--queue" => queue = parse_queue(&value("--queue")?)?,
                     "--quantile-mode" => {
@@ -245,6 +293,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 seeds,
                 base_seed,
                 samples,
+                workloads,
                 threads,
                 out,
                 queue,
@@ -310,6 +359,7 @@ STeLLAR — Serverless Tail-Latency Analyzer (simulation-backed reproduction)
 
 USAGE:
     stellar run --static <fns.json> --runtime <load.json> [OPTIONS]
+    stellar run --workload <preset|file> [OPTIONS]
     stellar sweep [OPTIONS]
     stellar trace [OPTIONS]
     stellar providers
@@ -318,6 +368,14 @@ USAGE:
     stellar help
 
 RUN OPTIONS:
+    --workload <name|file>   workload model: a preset (poisson, mmpp-burst,
+                             diurnal, trace-replay, closed-loop,
+                             multi-tenant) or a workload-spec JSON;
+                             supersedes the runtime config's IAT and makes
+                             --static/--runtime optional
+    --samples <n>            measured arrivals without --runtime
+                             [default: 100]
+    --warmup <n>             warm-up arrivals without --runtime [default: 0]
     --provider <name|file>   built-in profile or provider-config JSON
                              [default: aws-like]
     --seed <n>               deterministic seed [default: 0]
@@ -339,6 +397,8 @@ SWEEP OPTIONS:
     --seeds <n>              seeds per provider [default: 4]
     --base-seed <n>          first seed [default: 0]
     --samples <n>            samples per cell without --runtime [default: 100]
+    --workload <a,b,c>       workload models swept as an extra grid axis:
+                             comma-separated presets or spec JSON paths
     --threads <n>            worker threads, 0 = all cores [default: 0]
     --out <file>             write the CSV report here instead of stdout
     --queue <kind>           event queue: calendar or binary-heap
@@ -389,8 +449,9 @@ mod tests {
         ]))
         .unwrap();
         let Command::Run(opts) = cmd else { panic!("expected run") };
-        assert_eq!(opts.static_path, "s.json");
-        assert_eq!(opts.runtime_path, "r.json");
+        assert_eq!(opts.static_path.as_deref(), Some("s.json"));
+        assert_eq!(opts.runtime_path.as_deref(), Some("r.json"));
+        assert_eq!(opts.workload, None);
         assert_eq!(opts.provider, "google-like");
         assert_eq!(opts.seed, 9);
         assert!(opts.breakdown && opts.cdf);
@@ -431,6 +492,35 @@ mod tests {
         assert!(parse_args(&strs(&["run", "--static", "s.json"])).is_err());
         assert!(parse_args(&strs(&["run"])).is_err());
         assert!(parse_args(&strs(&["run", "--static"])).is_err());
+    }
+
+    #[test]
+    fn workload_flag_makes_configs_optional() {
+        let cmd = parse_args(&strs(&[
+            "run",
+            "--workload",
+            "mmpp-burst",
+            "--samples",
+            "500",
+            "--warmup",
+            "20",
+        ]))
+        .unwrap();
+        let Command::Run(opts) = cmd else { panic!("expected run") };
+        assert_eq!(opts.workload.as_deref(), Some("mmpp-burst"));
+        assert_eq!(opts.static_path, None);
+        assert_eq!(opts.runtime_path, None);
+        assert_eq!(opts.samples, 500);
+        assert_eq!(opts.warmup, 20);
+        assert!(parse_args(&strs(&["run", "--workload", "x", "--samples", "0"])).is_err());
+    }
+
+    #[test]
+    fn sweep_workload_axis_parses_comma_separated() {
+        let cmd = parse_args(&strs(&["sweep", "--workload", "poisson,mmpp-burst"])).unwrap();
+        let Command::Sweep(opts) = cmd else { panic!("expected sweep") };
+        assert_eq!(opts.workloads, ["poisson", "mmpp-burst"]);
+        assert!(parse_args(&strs(&["sweep", "--workload", ""])).is_err());
     }
 
     #[test]
@@ -484,6 +574,7 @@ mod tests {
         assert_eq!(opts.seeds, 6);
         assert_eq!(opts.base_seed, 100);
         assert_eq!(opts.samples, 50);
+        assert_eq!(opts.workloads, Vec::<String>::new());
         assert_eq!(opts.threads, 8);
         assert_eq!(opts.out.as_deref(), Some("report.csv"));
         assert_eq!(opts.queue, QueueKind::BinaryHeap);

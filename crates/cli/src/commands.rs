@@ -61,6 +61,26 @@ fn resolve_provider(name_or_path: &str) -> Result<ProviderConfig, CliError> {
     Ok(cfg)
 }
 
+fn resolve_workload(name_or_path: &str) -> Result<workload::WorkloadSpec, CliError> {
+    if let Some(spec) = workload::WorkloadSpec::preset(name_or_path) {
+        return Ok(spec);
+    }
+    let text = read(name_or_path)?;
+    workload::WorkloadSpec::from_json(&text)
+        .map_err(|e| CliError::Config(format!("{name_or_path}: {e}")))
+}
+
+/// Short label for a workload axis entry: the preset name, or the file
+/// stem of a spec path.
+fn workload_label(name_or_path: &str) -> String {
+    if workload::WorkloadSpec::preset(name_or_path).is_some() {
+        return name_or_path.to_string();
+    }
+    std::path::Path::new(name_or_path)
+        .file_stem()
+        .map_or_else(|| name_or_path.to_string(), |s| s.to_string_lossy().into_owned())
+}
+
 /// Executes a parsed command, returning the text to print.
 ///
 /// # Errors
@@ -104,10 +124,24 @@ fn policy_label(cfg: &ProviderConfig) -> &'static str {
 }
 
 fn run(opts: &RunOptions) -> Result<String, CliError> {
-    let static_cfg =
-        StaticConfig::from_json(&read(&opts.static_path)?).map_err(CliError::Config)?;
-    let runtime_cfg =
-        RuntimeConfig::from_json(&read(&opts.runtime_path)?).map_err(CliError::Config)?;
+    let static_cfg = match &opts.static_path {
+        Some(path) => StaticConfig::from_json(&read(path)?).map_err(CliError::Config)?,
+        None => {
+            StaticConfig { functions: vec![stellar_core::config::StaticFunction::python_zip("fn")] }
+        }
+    };
+    let mut runtime_cfg = match &opts.runtime_path {
+        Some(path) => RuntimeConfig::from_json(&read(path)?).map_err(CliError::Config)?,
+        None => {
+            let mut cfg =
+                RuntimeConfig::single(stellar_core::config::IatSpec::short(), opts.samples);
+            cfg.warmup_rounds = opts.warmup;
+            cfg
+        }
+    };
+    if let Some(name) = &opts.workload {
+        runtime_cfg.workload = Some(resolve_workload(name)?);
+    }
     let provider = resolve_provider(&opts.provider)?;
     let provider_name = provider.name.clone();
 
@@ -130,6 +164,19 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
     let mut out = String::new();
     out.push_str(&format!("provider {provider_name}, seed {}: {}\n", opts.seed, outcome.summary));
     out.push_str(&format!("cold-start fraction: {:.1}%\n", outcome.result.cold_fraction() * 100.0));
+    // Workload-spec runs report the load they actually offered; legacy
+    // IAT runs print exactly the lines they always did.
+    if let Some(offered) = &outcome.result.offered {
+        out.push_str(&format!(
+            "offered load: {} arrivals, {:.2}/s mean, IAT CV {:.2}, \
+             peak/mean {:.2}, Fano {:.2}\n",
+            offered.arrivals,
+            offered.mean_rate_per_s,
+            offered.iat_cv,
+            offered.peak_to_mean,
+            offered.fano,
+        ));
+    }
     if let Some(ts) = &outcome.transfer_summary {
         out.push_str(&format!("transfers: {ts}\n"));
     }
@@ -178,8 +225,19 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
             Ok(scenario)
         })
         .collect::<Result<Vec<_>, CliError>>()?;
-    let seeds = (opts.base_seed..opts.base_seed + opts.seeds).collect();
-    let grid = SweepGrid::new(scenarios, seeds);
+    let seeds: Vec<u64> = (opts.base_seed..opts.base_seed + opts.seeds).collect();
+    let grid = if opts.workloads.is_empty() {
+        SweepGrid::new(scenarios, seeds)
+    } else {
+        let workloads = opts
+            .workloads
+            .iter()
+            .map(|name| Ok((workload_label(name), resolve_workload(name)?)))
+            .collect::<Result<Vec<_>, CliError>>()?;
+        let axis: Vec<(&str, workload::WorkloadSpec)> =
+            workloads.iter().map(|(label, spec)| (label.as_str(), spec.clone())).collect();
+        SweepGrid::cross_workloads(scenarios, &axis, seeds)
+    };
     let cells = grid.len();
     let measure = match opts.quantile_mode {
         QuantileMode::Exact => MeasureSpec::exact(),
@@ -189,10 +247,18 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
 
     // The summary deliberately omits the worker count: the report must be
     // byte-identical however the sweep was parallelised.
+    let axes = if opts.workloads.is_empty() {
+        format!("{} providers x {} seeds", opts.providers.len(), opts.seeds)
+    } else {
+        format!(
+            "{} providers x {} workloads x {} seeds",
+            opts.providers.len(),
+            opts.workloads.len(),
+            opts.seeds
+        )
+    };
     let mut out = format!(
-        "sweep: {} providers x {} seeds = {} cells ({} ok, {} failed)\n",
-        opts.providers.len(),
-        opts.seeds,
+        "sweep: {axes} = {} cells ({} ok, {} failed)\n",
         cells,
         report.ok_count(),
         report.failed_count(),
@@ -318,8 +384,11 @@ mod tests {
         let csv_path = write_temp("out.csv", "");
         let svg_path = write_temp("out.svg", "");
         let opts = RunOptions {
-            static_path,
-            runtime_path,
+            static_path: Some(static_path),
+            runtime_path: Some(runtime_path),
+            workload: None,
+            samples: 100,
+            warmup: 0,
             provider: "google-like".into(),
             seed: 3,
             breakdown: true,
@@ -350,8 +419,11 @@ mod tests {
             r#"{"iat": {"kind": "fixed", "ms": 1000.0}, "samples": 40, "warmup_rounds": 1}"#,
         );
         let opts = RunOptions {
-            static_path,
-            runtime_path,
+            static_path: Some(static_path),
+            runtime_path: Some(runtime_path),
+            workload: None,
+            samples: 100,
+            warmup: 0,
             provider: "aws-like".into(),
             seed: 3,
             breakdown: false,
@@ -411,6 +483,7 @@ mod tests {
             seeds: 4,
             base_seed: 0,
             samples: 40,
+            workloads: vec![],
             threads: 1,
             out: None,
             queue: QueueKind::Calendar,
@@ -453,6 +526,7 @@ mod tests {
             seeds: 2,
             base_seed: 5,
             samples: 100,
+            workloads: vec![],
             threads: 0,
             out: Some(out_path.clone()),
             queue: QueueKind::Calendar,
@@ -474,8 +548,11 @@ mod tests {
             r#"{"iat": {"kind": "fixed", "ms": 1000.0}, "samples": 5}"#,
         );
         let opts = RunOptions {
-            static_path,
-            runtime_path,
+            static_path: Some(static_path),
+            runtime_path: Some(runtime_path),
+            workload: None,
+            samples: 100,
+            warmup: 0,
             provider: "aws-like".into(),
             seed: 0,
             breakdown: false,
@@ -492,8 +569,11 @@ mod tests {
     #[test]
     fn missing_files_error() {
         let opts = RunOptions {
-            static_path: "/nonexistent/s.json".into(),
-            runtime_path: "/nonexistent/r.json".into(),
+            static_path: Some("/nonexistent/s.json".into()),
+            runtime_path: Some("/nonexistent/r.json".into()),
+            workload: None,
+            samples: 100,
+            warmup: 0,
             provider: "aws-like".into(),
             seed: 0,
             breakdown: false,
@@ -512,5 +592,98 @@ mod tests {
         let path = write_temp("provider.json", &serde_json::to_string(&cfg).unwrap());
         let resolved = resolve_provider(&path).unwrap();
         assert_eq!(resolved.name, "aws-like");
+    }
+
+    #[test]
+    fn run_with_workload_preset_reports_offered_load() {
+        let opts = RunOptions {
+            static_path: None,
+            runtime_path: None,
+            workload: Some("mmpp-burst".into()),
+            samples: 60,
+            warmup: 5,
+            provider: "aws-like".into(),
+            seed: 11,
+            breakdown: false,
+            cdf: false,
+            csv: None,
+            svg: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
+        };
+        let out = execute(&Command::Run(opts)).unwrap();
+        assert!(out.contains("provider aws-like"), "{out}");
+        assert!(out.contains("offered load: 65 arrivals"), "{out}");
+        assert!(out.contains("Fano"), "{out}");
+    }
+
+    #[test]
+    fn run_with_workload_file_resolves_spec_json() {
+        let spec_path = write_temp(
+            "workload-spec.json",
+            r#"{"arrival": {"kind": "exponential", "mean_ms": 100.0}}"#,
+        );
+        let opts = RunOptions {
+            static_path: None,
+            runtime_path: None,
+            workload: Some(spec_path),
+            samples: 30,
+            warmup: 0,
+            provider: "aws-like".into(),
+            seed: 2,
+            breakdown: false,
+            cdf: false,
+            csv: None,
+            svg: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
+        };
+        let out = execute(&Command::Run(opts)).unwrap();
+        assert!(out.contains("offered load: 30 arrivals"), "{out}");
+        assert!(execute(&Command::Run(RunOptions {
+            workload: Some("no-such-preset-or-file".into()),
+            static_path: None,
+            runtime_path: None,
+            samples: 10,
+            warmup: 0,
+            provider: "aws-like".into(),
+            seed: 0,
+            breakdown: false,
+            cdf: false,
+            csv: None,
+            svg: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_workload_axis_is_byte_identical_across_threads() {
+        let base = SweepOptions {
+            static_path: None,
+            runtime_path: None,
+            providers: vec!["aws-like".into(), "azure-like".into()],
+            seeds: 2,
+            base_seed: 0,
+            samples: 25,
+            workloads: vec!["poisson".into(), "mmpp-burst".into()],
+            threads: 1,
+            out: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
+        };
+        let serial = execute(&Command::Sweep(base.clone())).unwrap();
+        let threaded =
+            execute(&Command::Sweep(SweepOptions { threads: 4, ..base.clone() })).unwrap();
+        assert_eq!(serial, threaded, "workload sweep must not depend on worker count");
+        assert!(serial.contains("2 providers x 2 workloads x 2 seeds = 8 cells (8 ok, 0 failed)"));
+        assert!(serial.contains("aws-like/mmpp-burst"), "{serial}");
+        assert!(serial.contains("azure-like/poisson"), "{serial}");
+
+        // The queue backend stays a pure performance knob for spec runs.
+        let heap = execute(&Command::Sweep(SweepOptions { queue: QueueKind::BinaryHeap, ..base }))
+            .unwrap();
+        assert_eq!(serial, heap, "queue backend must not change workload-sweep results");
     }
 }

@@ -11,6 +11,9 @@ use faas_sim::request::{Completion, TransferSample};
 use simkit::rng::Rng;
 use simkit::time::SimTime;
 use stats::sketch::{LatencyAgg, QuantileMode};
+use workload::arrival::ArrivalProcess;
+use workload::spec::{ModeSpec, WorkloadSpec};
+use workload::stats::{LoadRecorder, OfferedLoad};
 
 use crate::config::{IatSpec, RuntimeConfig};
 use crate::deployer::Deployment;
@@ -98,6 +101,9 @@ pub struct RunResult {
     pub cold_count: u64,
     /// Wall-clock (simulated) duration of the whole run.
     pub duration: SimTime,
+    /// Realized offered-load summary. Populated by workload-spec runs
+    /// ([`run_workload_spec`]); `None` on legacy IAT runs.
+    pub offered: Option<OfferedLoad>,
 }
 
 impl RunResult {
@@ -221,35 +227,27 @@ pub fn run_workload_with(
     let start = cloud.now();
     let total_rounds = cfg.warmup_rounds + cfg.measured_rounds();
     let expected = (total_rounds * cfg.burst_size) as usize;
-    if measure.keep_samples {
-        cloud.reserve_requests(expected);
-    } else {
-        // Streaming runs drain per slice; pre-sizing the completion
-        // buffer for the full run would be the O(n) allocation this mode
-        // exists to avoid.
-        cloud.reserve_submissions(expected);
-    }
-
-    let mut t = start;
-    let mut last_issue = start;
-    for round in 0..total_rounds {
-        let endpoint = &deployment.endpoints[round as usize % deployment.len()];
-        for _ in 0..cfg.burst_size {
-            cloud.submit(endpoint.function, round as u64, t);
-        }
-        last_issue = t;
-        t += SimTime::from_millis(sample_iat_ms(&cfg.iat, &mut rng));
-    }
-
-    // Generous completion horizon: bursts can queue for minutes on slow
-    // scale-out policies (Fig 9 observes ~39 s; chains and 1 GB transfers
-    // take tens of seconds too).
-    let mut horizon = last_issue + SimTime::from_secs(300.0);
     let warmup_tag = cfg.warmup_rounds as u64;
     let mut latency_agg = LatencyAgg::with_mode(measure.quantile);
     let mut transfer_agg = LatencyAgg::with_mode(measure.quantile);
 
     if measure.keep_samples {
+        cloud.reserve_requests(expected);
+        let mut t = start;
+        let mut last_issue = start;
+        for round in 0..total_rounds {
+            let endpoint = &deployment.endpoints[round as usize % deployment.len()];
+            for _ in 0..cfg.burst_size {
+                cloud.submit(endpoint.function, round as u64, t);
+            }
+            last_issue = t;
+            t += SimTime::from_millis(sample_iat_ms(&cfg.iat, &mut rng));
+        }
+
+        // Generous completion horizon: bursts can queue for minutes on
+        // slow scale-out policies (Fig 9 observes ~39 s; chains and 1 GB
+        // transfers take tens of seconds too).
+        let mut horizon = last_issue + SimTime::from_secs(300.0);
         let mut completions = Vec::with_capacity(expected);
         let mut transfers = Vec::new();
         for _ in 0..20 {
@@ -296,15 +294,37 @@ pub fn run_workload_with(
             latency_agg,
             transfer_agg,
             duration: cloud.now() - start,
+            offered: None,
         })
     } else {
+        // Streaming runs interleave arrival generation with simulation so
+        // pending state stays O(slice + active requests), not O(run). The
+        // gap sequence is pre-summed once from a clone of the client rng
+        // (O(1) memory) to fix the same horizon and slice grid the
+        // up-front path uses; each slice then submits only the rounds that
+        // fall inside it. A submission window on the cloud replays the
+        // up-front path's network-rng draw order and event tie-breaking,
+        // so results are bit-identical to submitting everything at once.
+        let mut gap_rng = rng.clone();
+        let mut last_issue = start;
+        {
+            let mut t = start;
+            for _ in 0..total_rounds {
+                last_issue = t;
+                t += SimTime::from_millis(sample_iat_ms(&cfg.iat, &mut gap_rng));
+            }
+        }
+        let mut horizon = last_issue + SimTime::from_secs(300.0);
         // Slice width: ~256 slices across the nominal horizon, clamped to
         // [1 s, 60 s] of simulated time. Slicing only bounds how many
-        // completions accumulate between drains; it does not change what
-        // the simulation computes.
+        // completions and pending submissions accumulate between drains;
+        // it does not change what the simulation computes.
         let span = horizon.saturating_sub(start);
         let slice =
             SimTime::from_nanos((span.as_nanos() / 256).clamp(1_000_000_000, 60_000_000_000));
+        cloud.open_submission_window(expected);
+        let mut next_issue = start;
+        let mut round = 0u32;
         let mut comp_buf: Vec<Completion> = Vec::new();
         let mut trans_buf: Vec<TransferSample> = Vec::new();
         let mut received = 0usize;
@@ -314,6 +334,17 @@ pub fn run_workload_with(
         'drive: for _ in 0..20 {
             while cloud.now() < horizon {
                 let next = (cloud.now() + slice).min(horizon);
+                while round < total_rounds && next_issue <= next {
+                    let endpoint = &deployment.endpoints[round as usize % deployment.len()];
+                    for _ in 0..cfg.burst_size {
+                        cloud.submit(endpoint.function, round as u64, next_issue);
+                    }
+                    next_issue += SimTime::from_millis(sample_iat_ms(&cfg.iat, &mut rng));
+                    round += 1;
+                }
+                if round == total_rounds {
+                    cloud.close_submission_window();
+                }
                 cloud.run_until(next);
                 cloud.drain_completions_into(&mut comp_buf);
                 cloud.drain_transfers_into(&mut trans_buf);
@@ -340,6 +371,7 @@ pub fn run_workload_with(
             }
             horizon += SimTime::from_secs(600.0);
         }
+        cloud.close_submission_window();
         if received < expected {
             return Err(ClientError::IncompleteRun { received, expected, completions: Vec::new() });
         }
@@ -353,8 +385,396 @@ pub fn run_workload_with(
             warmup_count,
             cold_count,
             duration: cloud.now() - start,
+            offered: None,
         })
     }
+}
+
+/// Shared measurement sink for workload-spec runs: absorbs completions
+/// and transfers either into retained vectors (`keep_samples`) or
+/// directly into the streaming aggregates.
+struct Collector {
+    keep: bool,
+    warmup_tag: u64,
+    completions: Vec<Completion>,
+    transfers: Vec<TransferSample>,
+    comp_buf: Vec<Completion>,
+    trans_buf: Vec<TransferSample>,
+    latency_agg: LatencyAgg,
+    transfer_agg: LatencyAgg,
+    received: usize,
+    measured_count: u64,
+    warmup_count: u64,
+    cold_count: u64,
+}
+
+impl Collector {
+    fn new(measure: &MeasureSpec, warmup_tag: u64) -> Collector {
+        Collector {
+            keep: measure.keep_samples,
+            warmup_tag,
+            completions: Vec::new(),
+            transfers: Vec::new(),
+            comp_buf: Vec::new(),
+            trans_buf: Vec::new(),
+            latency_agg: LatencyAgg::with_mode(measure.quantile),
+            transfer_agg: LatencyAgg::with_mode(measure.quantile),
+            received: 0,
+            measured_count: 0,
+            warmup_count: 0,
+            cold_count: 0,
+        }
+    }
+
+    fn absorb(&mut self, c: Completion) {
+        self.received += 1;
+        if self.keep {
+            self.completions.push(c);
+            return;
+        }
+        if c.tag < self.warmup_tag {
+            self.warmup_count += 1;
+        } else {
+            self.measured_count += 1;
+            if c.cold {
+                self.cold_count += 1;
+            }
+            self.latency_agg.record(c.latency_ms());
+        }
+    }
+
+    fn absorb_transfer(&mut self, tr: TransferSample) {
+        if self.keep {
+            self.transfers.push(tr);
+        } else if tr.parent_tag >= self.warmup_tag {
+            self.transfer_agg.record(tr.transfer_ms());
+        }
+    }
+
+    /// Drains the cloud's completion/transfer buffers into this
+    /// collector. Returns how many completions arrived.
+    fn drain(&mut self, cloud: &mut CloudSim) -> usize {
+        cloud.drain_completions_into(&mut self.comp_buf);
+        cloud.drain_transfers_into(&mut self.trans_buf);
+        let fresh = self.comp_buf.len();
+        for c in self.comp_buf.drain(..) {
+            self.received += 1;
+            if self.keep {
+                self.completions.push(c);
+            } else if c.tag < self.warmup_tag {
+                self.warmup_count += 1;
+            } else {
+                self.measured_count += 1;
+                if c.cold {
+                    self.cold_count += 1;
+                }
+                self.latency_agg.record(c.latency_ms());
+            }
+        }
+        let trans_buf = std::mem::take(&mut self.trans_buf);
+        for tr in trans_buf {
+            self.absorb_transfer(tr);
+        }
+        fresh
+    }
+
+    fn finish(
+        mut self,
+        expected: usize,
+        duration: SimTime,
+        offered: OfferedLoad,
+    ) -> Result<RunResult, ClientError> {
+        if self.received < expected {
+            return Err(ClientError::IncompleteRun {
+                received: self.received,
+                expected,
+                completions: self.completions,
+            });
+        }
+        if self.keep {
+            let (warmup, measured): (Vec<Completion>, Vec<Completion>) =
+                self.completions.into_iter().partition(|c| c.tag < self.warmup_tag);
+            let transfers: Vec<TransferSample> =
+                self.transfers.into_iter().filter(|tr| tr.parent_tag >= self.warmup_tag).collect();
+            let mut cold_count = 0u64;
+            for c in &measured {
+                if c.cold {
+                    cold_count += 1;
+                }
+                self.latency_agg.record(c.latency_ms());
+            }
+            for tr in &transfers {
+                self.transfer_agg.record(tr.transfer_ms());
+            }
+            Ok(RunResult {
+                measured_count: measured.len() as u64,
+                warmup_count: warmup.len() as u64,
+                cold_count,
+                completions: measured,
+                warmup_completions: warmup,
+                transfers,
+                latency_agg: self.latency_agg,
+                transfer_agg: self.transfer_agg,
+                duration,
+                offered: Some(offered),
+            })
+        } else {
+            Ok(RunResult {
+                completions: Vec::new(),
+                warmup_completions: Vec::new(),
+                transfers: Vec::new(),
+                latency_agg: self.latency_agg,
+                transfer_agg: self.transfer_agg,
+                measured_count: self.measured_count,
+                warmup_count: self.warmup_count,
+                cold_count: self.cold_count,
+                duration,
+                offered: Some(offered),
+            })
+        }
+    }
+}
+
+/// Drives a [`WorkloadSpec`] against `deployment` on `cloud`.
+///
+/// This is the workload-subsystem counterpart of [`run_workload`]: the
+/// arrival process comes from the spec rather than `cfg.iat`, and the
+/// spec's mode selects between open-loop (arrivals submitted on the
+/// process's schedule regardless of completions) and closed-loop (a fixed
+/// number of virtual users, each issuing its next request one think-time
+/// gap after its previous completion).
+///
+/// Shared semantics with the legacy driver: `cfg.warmup_rounds` initial
+/// arrivals are warm-up, `cfg.samples` arrivals are measured, requests are
+/// tagged with their arrival index, and the run starts at the cloud's
+/// current time. Differences: the first arrival happens one gap after the
+/// start (so trace replays land on their recorded timestamps), and
+/// endpoint routing follows the process's source index when the process is
+/// multi-source (e.g. [`workload::arrival::Superpose`]) and round-robin
+/// otherwise. In open-loop mode each arrival issues `cfg.burst_size`
+/// simultaneous requests; closed-loop mode requires `burst_size == 1`.
+///
+/// Arrivals are generated and submitted inside bounded time slices under a
+/// submission window, so pending state stays O(slice + active requests)
+/// however long the run. Gap draws come from a dedicated
+/// `fork("workload-gaps")` stream of `seed`, making a given spec's
+/// schedule reproducible across queue backends and thread counts.
+///
+/// The result's [`RunResult::offered`] summarizes the load actually
+/// submitted. Finite processes (e.g. trace replay) may exhaust before
+/// `warmup + samples` arrivals; the run then measures what the process
+/// supplied.
+///
+/// # Errors
+///
+/// Returns [`ClientError`] for invalid configs or specs, empty
+/// deployments, or if requests fail to complete within a generous horizon.
+pub fn run_workload_spec(
+    cloud: &mut CloudSim,
+    deployment: &Deployment,
+    cfg: &RuntimeConfig,
+    spec: &WorkloadSpec,
+    seed: u64,
+    measure: &MeasureSpec,
+) -> Result<RunResult, ClientError> {
+    cfg.validate().map_err(ClientError::InvalidConfig)?;
+    measure.validate().map_err(ClientError::InvalidConfig)?;
+    spec.validate().map_err(ClientError::InvalidConfig)?;
+    if deployment.is_empty() {
+        return Err(ClientError::EmptyDeployment);
+    }
+    let mut process = spec.build(seed);
+    let mut rng = Rng::seed_from(seed).fork("workload-gaps");
+    match spec.mode {
+        ModeSpec::Open => open_loop(cloud, deployment, cfg, process.as_mut(), &mut rng, measure),
+        ModeSpec::Closed { concurrency } => {
+            if cfg.burst_size != 1 {
+                return Err(ClientError::InvalidConfig(
+                    "closed-loop workloads require burst_size 1".to_string(),
+                ));
+            }
+            closed_loop(cloud, deployment, cfg, process.as_mut(), &mut rng, measure, concurrency)
+        }
+    }
+}
+
+/// Open-loop driver: arrivals follow the process's schedule, independent
+/// of completions.
+fn open_loop(
+    cloud: &mut CloudSim,
+    deployment: &Deployment,
+    cfg: &RuntimeConfig,
+    process: &mut dyn ArrivalProcess,
+    rng: &mut Rng,
+    measure: &MeasureSpec,
+) -> Result<RunResult, ClientError> {
+    let start = cloud.now();
+    let mut total_arrivals = u64::from(cfg.warmup_rounds + cfg.measured_rounds());
+    if let Some(remaining) = process.remaining() {
+        total_arrivals = total_arrivals.min(remaining);
+    }
+    let burst = u64::from(cfg.burst_size);
+    let planned = (total_arrivals * burst) as usize;
+    let multi_source = process.sources() > 1;
+    if measure.keep_samples {
+        cloud.reserve_requests(planned);
+    }
+    cloud.open_submission_window(planned);
+
+    let mut collector = Collector::new(measure, u64::from(cfg.warmup_rounds));
+    let mut recorder = LoadRecorder::default();
+    let mut issued = 0u64;
+    let mut t = start;
+    let mut last_issue = start;
+    // Bounded-slice submission: generate and submit up to a slice's worth
+    // of arrivals, advance the simulation to the last issue time, drain,
+    // repeat. The slice is time-based so a burst does not blow up pending
+    // state beyond what the process itself offers in one slice.
+    const SLICE: SimTime = SimTime::from_nanos(10_000_000_000); // 10 s
+    let mut exhausted = false;
+    while !exhausted && issued < total_arrivals {
+        let slice_end = cloud.now().max(t) + SLICE;
+        while issued < total_arrivals && t <= slice_end {
+            let gap = process.next_gap_ms(rng);
+            if !gap.is_finite() {
+                exhausted = true;
+                break;
+            }
+            t += SimTime::from_millis(gap);
+            let source = if multi_source { process.source() } else { issued as usize };
+            let endpoint = &deployment.endpoints[source % deployment.len()];
+            for _ in 0..burst {
+                cloud.submit(endpoint.function, issued, t);
+            }
+            recorder.record(t.as_millis());
+            last_issue = t;
+            issued += 1;
+        }
+        cloud.run_until(last_issue.max(cloud.now()));
+        collector.drain(cloud);
+    }
+    cloud.close_submission_window();
+    let expected = (issued * burst) as usize;
+
+    // Drain the tail exactly like the legacy driver: a generous horizon
+    // with bounded extensions, advancing in slices so completion buffers
+    // stay small.
+    let mut horizon = last_issue + SimTime::from_secs(300.0);
+    'drive: for _ in 0..20 {
+        while cloud.now() < horizon {
+            let next = (cloud.now() + SLICE).min(horizon);
+            cloud.run_until(next);
+            collector.drain(cloud);
+            if collector.received >= expected {
+                break 'drive;
+            }
+        }
+        horizon += SimTime::from_secs(600.0);
+    }
+    let duration = cloud.now() - start;
+    collector.finish(expected, duration, recorder.finish())
+}
+
+/// Closed-loop driver: `concurrency` virtual users. Each user submits,
+/// waits for its completion, thinks for one arrival-process gap, and
+/// submits again. Outstanding requests never exceed `concurrency`.
+fn closed_loop(
+    cloud: &mut CloudSim,
+    deployment: &Deployment,
+    cfg: &RuntimeConfig,
+    process: &mut dyn ArrivalProcess,
+    rng: &mut Rng,
+    measure: &MeasureSpec,
+    concurrency: u32,
+) -> Result<RunResult, ClientError> {
+    let start = cloud.now();
+    let mut total = u64::from(cfg.warmup_rounds + cfg.measured_rounds());
+    if let Some(remaining) = process.remaining() {
+        total = total.min(remaining);
+    }
+    if measure.keep_samples {
+        cloud.reserve_requests(total as usize);
+    }
+    cloud.open_submission_window(total as usize);
+
+    let mut collector = Collector::new(measure, u64::from(cfg.warmup_rounds));
+    let mut recorder = LoadRecorder::default();
+    // Submissions are decided in completion order, not time order, so
+    // their instants go through a min-heap (bounded by `concurrency`) and
+    // are recorded once the clock passes them — every later submission is
+    // clamped to at least the current slice boundary, so a flushed prefix
+    // is final.
+    let mut record_heap: std::collections::BinaryHeap<std::cmp::Reverse<u64>> =
+        std::collections::BinaryHeap::new();
+    let mut issued = 0u64;
+    let mut exhausted = false;
+
+    // All users fire their first request at the start (a thundering herd,
+    // which is what a freshly started closed-loop client does).
+    let initial = u64::from(concurrency).min(total);
+    for _ in 0..initial {
+        let endpoint = &deployment.endpoints[issued as usize % deployment.len()];
+        cloud.submit(endpoint.function, issued, start);
+        record_heap.push(std::cmp::Reverse(start.as_nanos()));
+        issued += 1;
+    }
+
+    // Advance in one-second slices; every drained completion frees a user,
+    // who thinks for one gap and then submits the next request. If the
+    // simulation makes no progress for a long stretch, bail out with an
+    // incomplete-run error rather than spinning forever.
+    const SLICE: SimTime = SimTime::from_nanos(1_000_000_000); // 1 s
+    const STALL_LIMIT: u32 = 3_600;
+    let mut stall = 0u32;
+    while collector.received < issued as usize || (issued < total && !exhausted) {
+        let next = cloud.now() + SLICE;
+        cloud.run_until(next);
+        cloud.drain_completions_into(&mut collector.comp_buf);
+        cloud.drain_transfers_into(&mut collector.trans_buf);
+        let progressed = !collector.comp_buf.is_empty();
+        let comp_buf = std::mem::take(&mut collector.comp_buf);
+        for c in comp_buf {
+            if issued < total && !exhausted {
+                let gap = process.next_gap_ms(rng);
+                if gap.is_finite() {
+                    let at = (c.completed_at + SimTime::from_millis(gap)).max(cloud.now());
+                    let endpoint = &deployment.endpoints[issued as usize % deployment.len()];
+                    cloud.submit(endpoint.function, issued, at);
+                    record_heap.push(std::cmp::Reverse(at.as_nanos()));
+                    issued += 1;
+                } else {
+                    exhausted = true;
+                }
+            }
+            collector.absorb(c);
+        }
+        let trans_buf = std::mem::take(&mut collector.trans_buf);
+        for tr in trans_buf {
+            collector.absorb_transfer(tr);
+        }
+        let now_ns = cloud.now().as_nanos();
+        while let Some(&std::cmp::Reverse(ns)) = record_heap.peek() {
+            if ns > now_ns {
+                break;
+            }
+            record_heap.pop();
+            recorder.record(ns as f64 / 1e6);
+        }
+        if progressed {
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall >= STALL_LIMIT {
+                break;
+            }
+        }
+    }
+    while let Some(std::cmp::Reverse(ns)) = record_heap.pop() {
+        recorder.record(ns as f64 / 1e6);
+    }
+    cloud.close_submission_window();
+    let duration = cloud.now() - start;
+    collector.finish(issued as usize, duration, recorder.finish())
 }
 
 #[cfg(test)]
@@ -519,5 +939,153 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    fn spec_setup(samples: u32) -> (StaticConfig, RuntimeConfig) {
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::python_zip("f")] };
+        let mut cfg = RuntimeConfig::single(IatSpec::short(), samples);
+        cfg.warmup_rounds = 5;
+        (static_cfg, cfg)
+    }
+
+    #[test]
+    fn spec_open_loop_collects_requested_samples_and_offered_load() {
+        let (static_cfg, cfg) = spec_setup(60);
+        let spec =
+            WorkloadSpec::from_json(r#"{"arrival": {"kind": "exponential", "mean_ms": 80.0}}"#)
+                .unwrap();
+        let (mut cloud, d) = setup(&static_cfg, &cfg);
+        let result =
+            run_workload_spec(&mut cloud, &d, &cfg, &spec, 11, &MeasureSpec::exact()).unwrap();
+        assert_eq!(result.completions.len(), 60);
+        assert_eq!(result.warmup_completions.len(), 5);
+        let offered = result.offered.expect("spec runs report offered load");
+        assert_eq!(offered.arrivals, 65);
+        assert!(offered.mean_rate_per_s > 0.0);
+    }
+
+    #[test]
+    fn spec_run_is_deterministic_and_seed_sensitive() {
+        let (static_cfg, cfg) = spec_setup(40);
+        let spec = WorkloadSpec::preset("mmpp-burst").unwrap();
+        let run = |seed: u64| {
+            let (mut cloud, d) = setup(&static_cfg, &cfg);
+            run_workload_spec(&mut cloud, &d, &cfg, &spec, seed, &MeasureSpec::exact())
+                .unwrap()
+                .latencies_ms()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn spec_streaming_matches_keep_samples_run() {
+        let (static_cfg, cfg) = spec_setup(200);
+        let spec = WorkloadSpec::preset("mmpp-burst").unwrap();
+        let (mut cloud_a, d_a) = setup(&static_cfg, &cfg);
+        let exact =
+            run_workload_spec(&mut cloud_a, &d_a, &cfg, &spec, 13, &MeasureSpec::exact()).unwrap();
+        let (mut cloud_b, d_b) = setup(&static_cfg, &cfg);
+        let streaming =
+            run_workload_spec(&mut cloud_b, &d_b, &cfg, &spec, 13, &MeasureSpec::sketch()).unwrap();
+        assert_eq!(streaming.measured_count, exact.completions.len() as u64);
+        assert_eq!(streaming.warmup_count, exact.warmup_completions.len() as u64);
+        let mut agg = streaming.latency_agg.clone();
+        assert_eq!(agg.mean(), {
+            let lat = exact.latencies_ms();
+            lat.iter().sum::<f64>() / lat.len() as f64
+        });
+        assert_eq!(agg.quantile(0.5), stats::percentile(&exact.latencies_ms(), 0.5));
+        assert_eq!(streaming.offered, exact.offered, "same schedule either way");
+    }
+
+    #[test]
+    fn spec_closed_loop_bounds_outstanding_requests() {
+        let (static_cfg, mut cfg) = spec_setup(50);
+        cfg.warmup_rounds = 0;
+        let spec = WorkloadSpec::from_json(
+            r#"{"arrival": {"kind": "fixed", "ms": 20.0}, "mode": {"mode": "closed", "concurrency": 4}}"#,
+        )
+        .unwrap();
+        let (mut cloud, d) = setup(&static_cfg, &cfg);
+        let result =
+            run_workload_spec(&mut cloud, &d, &cfg, &spec, 21, &MeasureSpec::exact()).unwrap();
+        assert_eq!(result.completions.len(), 50);
+        // Closed loop: never more than `concurrency` requests in flight.
+        // Verify via issue/completion interleaving: sort events by time and
+        // track the high-water mark of outstanding requests.
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for c in &result.completions {
+            events.push((c.issued_at.as_nanos(), 1));
+            events.push((c.completed_at.as_nanos(), -1));
+        }
+        events.sort();
+        let mut outstanding = 0i64;
+        let mut peak = 0i64;
+        for (_, delta) in events {
+            outstanding += delta;
+            peak = peak.max(outstanding);
+        }
+        assert!(peak <= 4, "outstanding peaked at {peak}");
+        assert!(result.offered.unwrap().arrivals == 50);
+    }
+
+    #[test]
+    fn spec_closed_loop_rejects_bursts() {
+        let (static_cfg, mut cfg) = spec_setup(10);
+        cfg.burst_size = 4;
+        let spec = WorkloadSpec::from_json(
+            r#"{"arrival": {"kind": "fixed", "ms": 20.0}, "mode": {"mode": "closed", "concurrency": 2}}"#,
+        )
+        .unwrap();
+        let (mut cloud, d) = setup(&static_cfg, &cfg);
+        let err =
+            run_workload_spec(&mut cloud, &d, &cfg, &spec, 1, &MeasureSpec::exact()).unwrap_err();
+        assert!(matches!(err, ClientError::InvalidConfig(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn spec_trace_replay_exhaustion_measures_what_the_trace_supplied() {
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::python_zip("f")] };
+        // Ask for far more samples than a short trace horizon can supply.
+        let mut cfg = RuntimeConfig::single(IatSpec::short(), 100_000);
+        cfg.warmup_rounds = 0;
+        let spec = WorkloadSpec::from_json(
+            r#"{"arrival": {"kind": "trace_replay", "functions": 3, "horizon_ms": 30000.0, "trace_window_ms": 60000.0}}"#,
+        )
+        .unwrap();
+        let (mut cloud, d) = setup(&static_cfg, &cfg);
+        let result =
+            run_workload_spec(&mut cloud, &d, &cfg, &spec, 17, &MeasureSpec::exact()).unwrap();
+        assert!(result.measured_count > 0, "trace produced arrivals");
+        assert!(
+            result.measured_count < 100_000,
+            "finite trace cannot supply the full request count"
+        );
+        assert_eq!(result.offered.unwrap().arrivals, result.measured_count);
+    }
+
+    #[test]
+    fn spec_superpose_routes_sources_to_endpoints() {
+        let static_cfg =
+            StaticConfig { functions: vec![StaticFunction::python_zip("f").with_replicas(2)] };
+        let mut cfg = RuntimeConfig::single(IatSpec::short(), 80);
+        cfg.warmup_rounds = 0;
+        let spec = WorkloadSpec::from_json(
+            r#"{"arrival": {"kind": "superpose", "parts": [
+                {"arrival": {"kind": "fixed", "ms": 50.0}},
+                {"arrival": {"kind": "exponential", "mean_ms": 50.0}}
+            ]}}"#,
+        )
+        .unwrap();
+        let (mut cloud, d) = setup(&static_cfg, &cfg);
+        let result =
+            run_workload_spec(&mut cloud, &d, &cfg, &spec, 19, &MeasureSpec::exact()).unwrap();
+        assert_eq!(result.completions.len(), 80);
+        // Both tenants' endpoints saw traffic.
+        for e in &d.endpoints {
+            let count = result.completions.iter().filter(|c| c.function == e.function).count();
+            assert!(count > 0, "endpoint {} starved", e.name);
+        }
     }
 }

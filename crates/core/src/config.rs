@@ -14,6 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 use faas_sim::types::{DeploymentMethod, Runtime, TransferMode};
+use workload::spec::WorkloadSpec;
 
 /// Static configuration of one function entry (deployer input).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -236,6 +237,12 @@ pub struct RuntimeConfig {
     /// Optional function chain (data-transfer studies).
     #[serde(default)]
     pub chain: Option<ChainConfig>,
+    /// Optional workload model. When present it supersedes `iat`: the
+    /// client runs the spec's arrival process (and open/closed-loop mode)
+    /// instead of the legacy fixed-IAT rounds. Absent in legacy configs,
+    /// which therefore behave exactly as before.
+    #[serde(default)]
+    pub workload: Option<WorkloadSpec>,
 }
 
 fn default_burst() -> u32 {
@@ -245,7 +252,22 @@ fn default_burst() -> u32 {
 impl RuntimeConfig {
     /// Single-invocation workload with the given IAT and sample count.
     pub fn single(iat: IatSpec, samples: u32) -> RuntimeConfig {
-        RuntimeConfig { iat, burst_size: 1, samples, warmup_rounds: 0, exec_ms: 0.0, chain: None }
+        RuntimeConfig {
+            iat,
+            burst_size: 1,
+            samples,
+            warmup_rounds: 0,
+            exec_ms: 0.0,
+            chain: None,
+            workload: None,
+        }
+    }
+
+    /// Attaches a workload model (consuming); see
+    /// [`RuntimeConfig::workload`].
+    pub fn with_workload(mut self, spec: WorkloadSpec) -> RuntimeConfig {
+        self.workload = Some(spec);
+        self
     }
 
     /// Number of rounds needed to produce `samples` measurements.
@@ -271,6 +293,9 @@ impl RuntimeConfig {
         }
         if let Some(chain) = &self.chain {
             chain.validate()?;
+        }
+        if let Some(workload) = &self.workload {
+            workload.validate()?;
         }
         Ok(())
     }
@@ -347,6 +372,7 @@ mod tests {
             warmup_rounds: 2,
             exec_ms: 0.0,
             chain: None,
+            workload: None,
         };
         assert_eq!(cfg.measured_rounds(), 30);
         assert!(cfg.validate().is_ok());
@@ -382,5 +408,36 @@ mod tests {
         assert_eq!(cfg.warmup_rounds, 0);
         assert_eq!(cfg.exec_ms, 0.0);
         assert!(cfg.chain.is_none());
+        assert!(cfg.workload.is_none(), "legacy configs carry no workload model");
+    }
+
+    #[test]
+    fn runtime_config_workload_stanza_round_trips() {
+        let json = r#"{
+            "iat": {"kind": "fixed", "ms": 3000.0},
+            "samples": 10,
+            "workload": {
+                "arrival": {"kind": "mmpp", "on_mean_ms": 500.0, "off_mean_ms": 5000.0,
+                            "on_rate_per_s": 200.0, "off_rate_per_s": 1.0},
+                "mode": {"mode": "closed", "concurrency": 8}
+            }
+        }"#;
+        let cfg = RuntimeConfig::from_json(json).unwrap();
+        let spec = cfg.workload.as_ref().expect("workload stanza parsed");
+        assert!(matches!(spec.mode, workload::spec::ModeSpec::Closed { concurrency: 8 }));
+        let round = RuntimeConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, round);
+    }
+
+    #[test]
+    fn runtime_config_invalid_workload_is_rejected() {
+        let json = r#"{
+            "iat": {"kind": "fixed", "ms": 3000.0},
+            "samples": 10,
+            "workload": {
+                "arrival": {"kind": "fixed", "ms": -5.0}
+            }
+        }"#;
+        assert!(RuntimeConfig::from_json(json).is_err());
     }
 }

@@ -12,7 +12,7 @@ use simkit::trace::SpanRecord;
 use stats::sketch::QuantileMode;
 use stats::Summary;
 
-use crate::client::{run_workload_with, ClientError, MeasureSpec, RunResult};
+use crate::client::{run_workload_spec, run_workload_with, ClientError, MeasureSpec, RunResult};
 use crate::config::{RuntimeConfig, StaticConfig};
 use crate::deployer::deploy;
 
@@ -171,13 +171,23 @@ impl Experiment {
             cloud.enable_tracing(capacity);
         }
         let deployment = deploy(&mut cloud, &self.static_cfg, &self.runtime_cfg)?;
-        let mut result = run_workload_with(
-            &mut cloud,
-            &deployment,
-            &self.runtime_cfg,
-            self.seed,
-            &self.measure,
-        )?;
+        let mut result = match &self.runtime_cfg.workload {
+            Some(spec) => run_workload_spec(
+                &mut cloud,
+                &deployment,
+                &self.runtime_cfg,
+                spec,
+                self.seed,
+                &self.measure,
+            )?,
+            None => run_workload_with(
+                &mut cloud,
+                &deployment,
+                &self.runtime_cfg,
+                self.seed,
+                &self.measure,
+            )?,
+        };
         // Exact mode keeps the legacy sort-the-samples path (bit-identical
         // with pre-sketch releases); sketch mode summarises the aggregate.
         let (summary, transfer_summary) = match self.measure.quantile {
@@ -201,6 +211,9 @@ impl Experiment {
             }
         };
         let spans = cloud.drain_spans();
+        // Fold end-of-run slab and event-queue counters into the metrics
+        // registry so reports can audit memory behaviour.
+        cloud.record_queue_metrics();
         let metrics = cloud.metrics().clone();
         Ok(Outcome { result, summary, transfer_summary, spans, metrics })
     }
@@ -256,6 +269,24 @@ mod tests {
         let latencies =
             |seed| Experiment::new(test_provider()).seed(seed).run().unwrap().latencies_ms();
         assert_eq!(latencies(3), latencies(3));
+    }
+
+    #[test]
+    fn workload_spec_routes_through_spec_driver() {
+        let mut runtime = RuntimeConfig::single(IatSpec::short(), 60);
+        runtime.warmup_rounds = 5;
+        runtime = runtime.with_workload(workload::WorkloadSpec::preset("mmpp-burst").unwrap());
+        let outcome = Experiment::new(test_provider()).workload(runtime).seed(4).run().unwrap();
+        assert_eq!(outcome.summary.count, 60);
+        let offered = outcome.result.offered.expect("spec runs report offered load");
+        assert_eq!(offered.arrivals, 65);
+        assert!(offered.iat_cv > 1.0, "MMPP is overdispersed, cv {}", offered.iat_cv);
+        // Slab counters were folded into the metrics registry.
+        assert!(outcome.metrics.counter(faas_sim::cloud::metric::REQUEST_SLOTS_ALLOCATED) > 0);
+        assert!(
+            outcome.metrics.counter(faas_sim::cloud::metric::REQUEST_SLOTS_HIGH_WATER) <= 65,
+            "high water bounded by total requests"
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub fn warm_invocations(
         warmup_rounds: 1,
         exec_ms: 0.0,
         chain: None,
+        workload: None,
     };
     Experiment::new(provider)
         .functions(StaticConfig { functions: vec![StaticFunction::python_zip("warm")] })
@@ -100,6 +101,7 @@ pub fn cold_invocations(
         warmup_rounds: 0,
         exec_ms: 0.0,
         chain: None,
+        workload: None,
     };
     let function = StaticFunction {
         name: "cold".to_string(),
@@ -137,6 +139,7 @@ pub fn transfer_chain(
         warmup_rounds: 2,
         exec_ms: 0.0,
         chain: Some(ChainConfig { length: 2, mode, payload_bytes }),
+        workload: None,
     };
     Experiment::new(provider)
         .functions(StaticConfig { functions: vec![StaticFunction::go_zip("xfer")] })
@@ -187,6 +190,7 @@ pub fn bursty_invocations(
         warmup_rounds,
         exec_ms,
         chain: None,
+        workload: None,
     };
     let function = StaticFunction::python_zip("burst").with_replicas(replicas);
     Experiment::new(provider)
@@ -220,6 +224,7 @@ pub fn memory_sweep(
             warmup_rounds: 1,
             exec_ms,
             chain: None,
+            workload: None,
         };
         let function = StaticFunction {
             name: format!("mem{memory_mb}"),

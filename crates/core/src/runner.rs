@@ -80,6 +80,14 @@ impl Scenario {
         self.runtime_cfg = cfg;
         self
     }
+
+    /// Attaches a workload model to the scenario's runtime configuration
+    /// (consuming): the cell runs `spec`'s arrival process and loop mode
+    /// instead of the legacy fixed-IAT rounds.
+    pub fn arrival(mut self, spec: workload::WorkloadSpec) -> Scenario {
+        self.runtime_cfg.workload = Some(spec);
+        self
+    }
 }
 
 /// A scenarios × seeds experiment grid, laid out scenario-major: cell
@@ -116,6 +124,34 @@ impl SweepGrid {
 
     fn cell(&self, index: usize) -> (&Scenario, u64) {
         (&self.scenarios[index / self.seeds.len()], self.seeds[index % self.seeds.len()])
+    }
+
+    /// Builds a grid with the workload model as an explicit sweep axis:
+    /// every scenario is crossed with every named workload, producing
+    /// `scenarios × workloads × seeds` cells labelled
+    /// `"{scenario}/{workload}"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty.
+    pub fn cross_workloads(
+        scenarios: Vec<Scenario>,
+        workloads: &[(&str, workload::WorkloadSpec)],
+        seeds: Vec<u64>,
+    ) -> SweepGrid {
+        assert!(!workloads.is_empty(), "sweep grid needs at least one workload");
+        let crossed = scenarios
+            .into_iter()
+            .flat_map(|s| {
+                workloads.iter().map(move |(name, spec)| {
+                    let mut cell = s.clone();
+                    cell.label = format!("{}/{name}", s.label);
+                    cell.runtime_cfg.workload = Some(spec.clone());
+                    cell
+                })
+            })
+            .collect();
+        SweepGrid::new(crossed, seeds)
     }
 }
 
@@ -480,5 +516,38 @@ mod tests {
     #[should_panic(expected = "at least one seed")]
     fn empty_seed_axis_panics() {
         SweepGrid::new(vec![Scenario::new("a", test_provider())], vec![]);
+    }
+
+    fn workload_grid() -> SweepGrid {
+        let base = Scenario::new("base", test_provider())
+            .workload(RuntimeConfig::single(IatSpec::short(), 25));
+        SweepGrid::cross_workloads(
+            vec![base],
+            &[
+                ("poisson", workload::WorkloadSpec::preset("poisson").unwrap()),
+                ("mmpp", workload::WorkloadSpec::preset("mmpp-burst").unwrap()),
+            ],
+            vec![1, 2],
+        )
+    }
+
+    #[test]
+    fn workload_axis_crosses_scenarios_and_labels_cells() {
+        let grid = workload_grid();
+        assert_eq!(grid.scenarios.len(), 2);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid.scenarios[0].label, "base/poisson");
+        assert_eq!(grid.scenarios[1].label, "base/mmpp");
+        let report = SweepRunner::new(2).run(&grid);
+        assert_eq!(report.ok_count(), 4);
+        assert!(report.to_csv().contains("base/mmpp"));
+    }
+
+    #[test]
+    fn workload_sweep_is_identical_across_thread_counts() {
+        let grid = workload_grid();
+        let csv1 = SweepRunner::new(1).run(&grid).to_csv();
+        let csv4 = SweepRunner::new(4).run(&grid).to_csv();
+        assert_eq!(csv1, csv4);
     }
 }

@@ -64,6 +64,7 @@ proptest! {
             samples,
             warmup_rounds: warmup,
             exec_ms: exec,
+            workload: None,
             chain: chain_payload.map(|payload_bytes| ChainConfig {
                 length: 2,
                 mode: TransferMode::Storage,
@@ -86,6 +87,7 @@ proptest! {
             warmup_rounds: 0,
             exec_ms: 0.0,
             chain: None,
+            workload: None,
         };
         let produced = cfg.measured_rounds() * burst;
         prop_assert!(produced >= samples);
@@ -113,6 +115,7 @@ proptest! {
             warmup_rounds: warmup,
             exec_ms: 0.0,
             chain: None,
+            workload: None,
         };
         let mut cloud = faas_sim::cloud::CloudSim::new(test_provider(), seed);
         let deployment = deploy(&mut cloud, &static_cfg, &runtime_cfg).expect("deploy");

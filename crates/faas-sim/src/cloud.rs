@@ -9,7 +9,8 @@
 
 use std::collections::HashMap;
 
-use simkit::engine::{Model, Scheduler, Simulation};
+use simkit::calqueue::CalQueueStats;
+use simkit::engine::{Model, Scheduler, SeqBlock, Simulation};
 use simkit::metrics::Metrics;
 use simkit::queue::FifoQueue;
 use simkit::rng::Rng;
@@ -93,6 +94,18 @@ pub mod metric {
     pub const INSTANCES_LIVE: &str = "instances_live";
     /// Gauge: booting instances, keyed by function index.
     pub const INSTANCES_BOOTING: &str = "instances_booting";
+    /// Request-slab slots allocated fresh (never recycled).
+    pub const REQUEST_SLOTS_ALLOCATED: &str = "request_slots_allocated";
+    /// Request creations served by recycling a freed slot.
+    pub const REQUEST_SLOTS_REUSED: &str = "request_slots_reused";
+    /// Peak simultaneously-live requests (slab high-water mark).
+    pub const REQUEST_SLOTS_HIGH_WATER: &str = "request_slots_high_water";
+    /// Calendar-queue full rebuilds (resize + re-bucket passes).
+    pub const CALQUEUE_REBUILDS: &str = "calqueue_rebuilds";
+    /// Calendar-queue empty-day hunts that fell back to a full scan.
+    pub const CALQUEUE_HUNT_FALLBACKS: &str = "calqueue_hunt_fallbacks";
+    /// Calendar-queue rebuilds triggered by bucket overcrowding.
+    pub const CALQUEUE_OVERCROWD_REBUILDS: &str = "calqueue_overcrowd_rebuilds";
 }
 
 /// Errors returned by [`CloudSim::deploy`].
@@ -180,6 +193,32 @@ struct XferInfo {
     send_start: SimTime,
     parent: RequestId,
     parent_tag: u64,
+}
+
+/// Occupancy counters of the request slab (see [`CloudSim::request_slab_stats`]).
+///
+/// `live` and `high_water` track simultaneously-occupied slots, so a
+/// streaming run over millions of invocations should report a
+/// `high_water` bounded by the submission slice, not the total request
+/// count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestSlabStats {
+    /// Slots allocated fresh (slab growth).
+    pub slots_allocated: u64,
+    /// Request creations served by recycling a freed slot.
+    pub slots_reused: u64,
+    /// Currently occupied slots.
+    pub live: u64,
+    /// Peak simultaneously occupied slots.
+    pub high_water: u64,
+}
+
+/// One slot of the request slab: the current occupant (if any) plus the
+/// generation stamped into ids handed out for this slot.
+#[derive(Debug)]
+struct ReqSlot {
+    generation: u32,
+    state: Option<ReqState>,
 }
 
 /// Mutable per-request state.
@@ -276,7 +315,13 @@ fn commit_cap(policy: &ScalePolicy, service_estimate_ms: f64) -> Option<usize> {
 pub struct Cloud {
     cfg: ProviderConfig,
     functions: Vec<FunctionState>,
-    requests: Vec<ReqState>,
+    /// Generational slab of per-request state: slots are recycled once a
+    /// request completes, so long streaming runs carry O(active requests)
+    /// bookkeeping instead of one entry per submission ever made.
+    requests: Vec<ReqSlot>,
+    /// Freed slot indices awaiting reuse (LIFO keeps hot slots hot).
+    free_slots: Vec<u32>,
+    slab: RequestSlabStats,
     /// Sticky assignment: instance -> request it was spawned for.
     sticky: HashMap<InstanceId, RequestId>,
     /// Cold-start stage attribution per instance.
@@ -286,6 +331,12 @@ pub struct Cloud {
     image_store: ImageStore,
     payload_store: PayloadStore,
     rng_net: Rng,
+    /// Detached network-RNG stream serving an open submission window (see
+    /// [`CloudSim::open_submission_window`]): while set, `submit` draws
+    /// propagation delays from here so interleaving submissions with
+    /// event processing replays the exact draw order of an up-front
+    /// submission pass.
+    submission_rng: Option<Rng>,
     rng_path: Rng,
     rng_exec: Rng,
     rng_cold: Rng,
@@ -311,6 +362,7 @@ impl Cloud {
             image_store: ImageStore::new(cfg.image_store.clone(), root.fork("image-store")),
             payload_store: PayloadStore::new(cfg.payload_store.clone(), root.fork("payload-store")),
             rng_net: root.fork("network"),
+            submission_rng: None,
             rng_path: root.fork("warm-path"),
             rng_exec: root.fork("exec"),
             rng_cold: root.fork("cold-start"),
@@ -318,6 +370,8 @@ impl Cloud {
             cfg,
             functions: Vec::new(),
             requests: Vec::new(),
+            free_slots: Vec::new(),
+            slab: RequestSlabStats::default(),
             sticky: HashMap::new(),
             cold_breakdowns: HashMap::new(),
             completions: Vec::new(),
@@ -361,9 +415,8 @@ impl Cloud {
         issued_at: SimTime,
         xfer_in: Option<XferInfo>,
     ) -> RequestId {
-        let id = RequestId(self.requests.len() as u64);
         let root_span = self.trace.as_mut().map(Tracer::alloc_id);
-        self.requests.push(ReqState {
+        let state = ReqState {
             function,
             origin,
             tag,
@@ -378,8 +431,50 @@ impl Cloud {
             done: false,
             root_span,
             chain_span: None,
-        });
+        };
+        let id = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slab.slots_reused += 1;
+                let entry = &mut self.requests[slot as usize];
+                debug_assert!(entry.state.is_none(), "free list pointed at a live slot");
+                entry.state = Some(state);
+                RequestId::new(slot, entry.generation)
+            }
+            None => {
+                let slot = self.requests.len() as u32;
+                self.slab.slots_allocated += 1;
+                self.requests.push(ReqSlot { generation: 0, state: Some(state) });
+                RequestId::new(slot, 0)
+            }
+        };
+        self.slab.live += 1;
+        self.slab.high_water = self.slab.high_water.max(self.slab.live);
         id
+    }
+
+    fn req(&self, rid: RequestId) -> &ReqState {
+        let slot = &self.requests[rid.index()];
+        debug_assert_eq!(slot.generation, rid.generation(), "stale request id {rid}");
+        slot.state.as_ref().expect("request slot is empty")
+    }
+
+    fn req_mut(&mut self, rid: RequestId) -> &mut ReqState {
+        let slot = &mut self.requests[rid.index()];
+        debug_assert_eq!(slot.generation, rid.generation(), "stale request id {rid}");
+        slot.state.as_mut().expect("request slot is empty")
+    }
+
+    /// Retires a finished request: takes its state, bumps the slot
+    /// generation (so the retired id can never alias the next occupant)
+    /// and returns the slot to the free list.
+    fn free_request(&mut self, rid: RequestId) -> ReqState {
+        let slot = &mut self.requests[rid.index()];
+        debug_assert_eq!(slot.generation, rid.generation(), "freeing stale request id {rid}");
+        let state = slot.state.take().expect("freeing an empty request slot");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free_slots.push(rid.index() as u32);
+        self.slab.live -= 1;
+        state
     }
 
     /// Emits one component span under `rid`'s root span. No-op when
@@ -387,13 +482,16 @@ impl Cloud {
     /// randomness and schedules no events, so enabling a trace cannot
     /// perturb simulation results.
     fn emit_span(&mut self, rid: RequestId, component: &'static str, start: SimTime, end: SimTime) {
-        let Some(tracer) = self.trace.as_mut() else { return };
-        let Some(parent) = self.requests[rid.index()].root_span else { return };
+        if self.trace.is_none() {
+            return;
+        }
+        let Some(parent) = self.req(rid).root_span else { return };
+        let tracer = self.trace.as_mut().expect("checked above");
         let span_id = tracer.alloc_id();
         tracer.emit(SpanRecord {
             span_id,
             parent: Some(parent),
-            request: rid.index() as u64,
+            request: rid.packed(),
             component,
             start,
             end,
@@ -404,15 +502,19 @@ impl Cloud {
     /// `None` for external requests and the producer's chain span for
     /// internal ones.
     fn emit_root_span(&mut self, rid: RequestId, end: SimTime, parent: Option<u64>) {
-        let Some(tracer) = self.trace.as_mut() else { return };
-        let req = &self.requests[rid.index()];
+        if self.trace.is_none() {
+            return;
+        }
+        let req = self.req(rid);
         let Some(span_id) = req.root_span else { return };
+        let start = req.issued_at;
+        let tracer = self.trace.as_mut().expect("checked above");
         tracer.emit(SpanRecord {
             span_id,
             parent,
-            request: rid.index() as u64,
+            request: rid.packed(),
             component: span_tag::REQUEST,
-            start: req.issued_at,
+            start,
             end,
         });
     }
@@ -431,7 +533,7 @@ impl Cloud {
         let routing_ms = overhead * shares.routing;
 
         // Inline payload travels with the request into the datacenter.
-        let xfer = self.requests[rid.index()].xfer_in;
+        let xfer = self.req(rid).xfer_in;
         let inline_ms = match xfer {
             Some(x) if x.mode == TransferMode::Inline => {
                 let bw = self.cfg.network.inline_bandwidth_mbps.sample(&mut self.rng_net).max(0.01);
@@ -440,7 +542,7 @@ impl Cloud {
             _ => 0.0,
         };
 
-        let req = &mut self.requests[rid.index()];
+        let req = self.req_mut(rid);
         req.warm_overhead_ms = overhead;
         req.breakdown.frontend_ms = frontend_ms;
         req.breakdown.routing_ms = routing_ms;
@@ -463,15 +565,14 @@ impl Cloud {
 
     fn on_routing_done(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
         let outcome = self.dispatch.dispatch(now, &mut self.rng_lb);
-        self.requests[rid.index()].breakdown.dispatch_wait_ms =
-            (outcome.ready_at - now).as_millis();
+        self.req_mut(rid).breakdown.dispatch_wait_ms = (outcome.ready_at - now).as_millis();
         self.emit_span(rid, span_tag::DISPATCH_WAIT, now, outcome.ready_at);
         sched.schedule_at(outcome.ready_at, CloudEvent::Enqueued(rid));
     }
 
     fn on_enqueued(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
-        let fid = self.requests[rid.index()].function;
-        self.requests[rid.index()].wait_started = Some(now);
+        let fid = self.req(rid).function;
+        self.req_mut(rid).wait_started = Some(now);
 
         // LB lookup miss: a dedicated spawn for this request. Misses are a
         // concurrency artefact (racing idle-instance lookups), so they
@@ -822,7 +923,7 @@ impl Cloud {
             self.functions[fid.index()].spec.exec_ms.sample(&mut self.rng_exec) * throttle;
 
         // Consumer-side payload retrieval for storage transfers (step ⑧).
-        let xfer = self.requests[rid.index()].xfer_in;
+        let xfer = self.req(rid).xfer_in;
         let payload_get_ms = match xfer {
             Some(x) if x.mode == TransferMode::Storage => {
                 self.payload_store.get_ms(x.payload_bytes)
@@ -831,7 +932,7 @@ impl Cloud {
         };
 
         let cold_breakdown = first_use.then(|| self.cold_breakdowns.get(&iid).copied()).flatten();
-        let req = &mut self.requests[rid.index()];
+        let req = self.req_mut(rid);
         req.instance = Some(iid);
         req.cold = first_use;
         let steer_ms = req.warm_overhead_ms * shares.steer;
@@ -860,7 +961,7 @@ impl Cloud {
         }
 
         if self.trace.is_some() {
-            if let Some(started) = self.requests[rid.index()].wait_started {
+            if let Some(started) = self.req(rid).wait_started {
                 self.emit_span(rid, span_tag::QUEUE_WAIT, started, now);
             }
             let t1 = now + SimTime::from_millis(steer_ms);
@@ -887,16 +988,18 @@ impl Cloud {
         iid: InstanceId,
         sched: &mut Scheduler<CloudEvent>,
     ) {
-        let fid = self.requests[rid.index()].function;
+        let fid = self.req(rid).function;
         let chain = self.fstate(fid).spec.chain;
         match chain {
             Some(chain) => {
                 // Producer side of a chain hop (step ⑨): PUT (for storage
                 // transfers), then invoke the consumer and wait for it.
-                self.requests[rid.index()].chain_started = Some(now);
-                self.requests[rid.index()].chain_span = self.trace.as_mut().map(Tracer::alloc_id);
+                let chain_span = self.trace.as_mut().map(Tracer::alloc_id);
+                let req = self.req_mut(rid);
+                req.chain_started = Some(now);
+                req.chain_span = chain_span;
+                let tag = req.tag;
                 self.metrics.inc(metric::CHAIN_INVOCATIONS);
-                let tag = self.requests[rid.index()].tag;
                 let child_issue_at = match chain.mode {
                     TransferMode::Inline => now,
                     TransferMode::Storage => {
@@ -944,16 +1047,15 @@ impl Cloud {
             state.idle_stack.push(iid.idx);
         }
 
-        let is_external = self.requests[rid.index()].origin.is_external();
-        let response_ms =
-            self.requests[rid.index()].warm_overhead_ms * self.cfg.warm_path.shares.response;
+        let is_external = self.req(rid).origin.is_external();
+        let response_ms = self.req(rid).warm_overhead_ms * self.cfg.warm_path.shares.response;
         let prop_back_ms = if is_external {
             self.cfg.network.prop_delay_ms.sample(&mut self.rng_net)
         } else {
             0.0
         };
         {
-            let req = &mut self.requests[rid.index()];
+            let req = self.req_mut(rid);
             req.breakdown.response_ms = response_ms;
             req.breakdown.prop_back_ms = prop_back_ms;
         }
@@ -983,48 +1085,49 @@ impl Cloud {
     }
 
     fn on_completed(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
-        let (origin, function, tag, issued_at, cold) = {
-            let req = &mut self.requests[rid.index()];
+        let origin = {
+            let req = self.req_mut(rid);
             assert!(!req.done, "request {rid} completed twice");
             req.done = true;
-            (req.origin, req.function, req.tag, req.issued_at, req.cold)
+            req.origin
         };
         match origin {
             RequestOrigin::External => {
                 self.stats.completed += 1;
                 self.metrics.inc(metric::REQUESTS_COMPLETED);
                 self.emit_root_span(rid, now, None);
-                let breakdown = self.requests[rid.index()].breakdown.clone();
+                // The request is finished: take its state by value and
+                // recycle the slot.
+                let req = self.free_request(rid);
                 self.completions.push(Completion {
                     id: rid,
-                    function,
-                    tag,
+                    function: req.function,
+                    tag: req.tag,
                     origin,
-                    issued_at,
+                    issued_at: req.issued_at,
                     completed_at: now,
-                    cold,
-                    breakdown,
+                    cold: req.cold,
+                    breakdown: req.breakdown,
                 });
             }
             RequestOrigin::Internal { parent } => {
                 // Resume the producer: its chain round-trip is over.
                 let (pinst, chain_started) = {
-                    let preq = &self.requests[parent.index()];
+                    let preq = self.req(parent);
                     (
                         preq.instance.expect("parent without instance"),
                         preq.chain_started.expect("parent without chain start"),
                     )
                 };
-                self.requests[parent.index()].breakdown.chain_ms =
-                    (now - chain_started).as_millis();
-                let chain_span = self.requests[parent.index()].chain_span;
+                self.req_mut(parent).breakdown.chain_ms = (now - chain_started).as_millis();
+                let chain_span = self.req(parent).chain_span;
                 if let Some(chain_id) = chain_span {
-                    let producer_root = self.requests[parent.index()].root_span;
+                    let producer_root = self.req(parent).root_span;
                     if let Some(tracer) = self.trace.as_mut() {
                         tracer.emit(SpanRecord {
                             span_id: chain_id,
                             parent: producer_root,
-                            request: parent.index() as u64,
+                            request: parent.packed(),
                             component: span_tag::CHAIN,
                             start: chain_started,
                             end: now,
@@ -1032,6 +1135,7 @@ impl Cloud {
                     }
                 }
                 self.emit_root_span(rid, now, chain_span);
+                self.free_request(rid);
                 sched.schedule_at(now, CloudEvent::ExecDone(parent, pinst));
             }
         }
@@ -1142,6 +1246,10 @@ impl Model for Cloud {
 #[derive(Debug)]
 pub struct CloudSim {
     sim: Simulation<Cloud>,
+    /// Reserved sequence numbers for the open submission window (if any):
+    /// arrival events scheduled through `submit` consume these so
+    /// interleaved submission reproduces an up-front pass's tie-breaking.
+    seq_block: Option<SeqBlock>,
 }
 
 impl CloudSim {
@@ -1151,7 +1259,7 @@ impl CloudSim {
     ///
     /// Panics if the configuration fails validation.
     pub fn new(cfg: ProviderConfig, seed: u64) -> CloudSim {
-        CloudSim { sim: Simulation::new(Cloud::new(cfg, seed)) }
+        CloudSim { sim: Simulation::new(Cloud::new(cfg, seed)), seq_block: None }
     }
 
     /// Creates a cloud with an explicit event-queue backend. Results are
@@ -1167,7 +1275,7 @@ impl CloudSim {
         seed: u64,
         queue: simkit::engine::QueueKind,
     ) -> CloudSim {
-        CloudSim { sim: Simulation::with_queue(Cloud::new(cfg, seed), queue) }
+        CloudSim { sim: Simulation::with_queue(Cloud::new(cfg, seed), queue), seq_block: None }
     }
 
     /// Deploys a function; returns its id for [`CloudSim::submit`] and
@@ -1231,12 +1339,71 @@ impl CloudSim {
         let cloud = self.sim.model_mut();
         cloud.stats.submitted += 1;
         cloud.metrics.inc(metric::REQUESTS_SUBMITTED);
-        let prop_ms = cloud.cfg.network.prop_delay_ms.sample(&mut cloud.rng_net);
+        let prop_ms = match &mut cloud.submission_rng {
+            Some(rng) => cloud.cfg.network.prop_delay_ms.sample(rng),
+            None => cloud.cfg.network.prop_delay_ms.sample(&mut cloud.rng_net),
+        };
         let rid = cloud.create_request(function, RequestOrigin::External, tag, at, None);
-        cloud.requests[rid.index()].breakdown.prop_out_ms = prop_ms;
+        cloud.req_mut(rid).breakdown.prop_out_ms = prop_ms;
         cloud.emit_span(rid, span_tag::PROPAGATION, at, at + SimTime::from_millis(prop_ms));
-        self.sim.schedule_at(at + SimTime::from_millis(prop_ms), CloudEvent::FrontendArrive(rid));
+        let arrive_at = at + SimTime::from_millis(prop_ms);
+        match self.seq_block.as_mut() {
+            Some(block) => {
+                self.sim.schedule_at_with_seq(
+                    arrive_at,
+                    block.take(),
+                    CloudEvent::FrontendArrive(rid),
+                );
+            }
+            None => self.sim.schedule_at(arrive_at, CloudEvent::FrontendArrive(rid)),
+        }
         rid
+    }
+
+    /// Opens a *submission window* for `expected` upcoming external
+    /// submissions that will be interleaved with event processing (the
+    /// streaming workload driver's shape).
+    ///
+    /// Two sources of divergence from an up-front submission pass are
+    /// neutralized so an interleaved run stays bit-identical to it:
+    ///
+    /// 1. **RNG order** — `submit` draws a propagation delay from
+    ///    `rng_net`. Up-front submission performs all those draws before
+    ///    any event handler touches the stream; interleaved submission
+    ///    would mingle them with the handlers' draws. The window clones
+    ///    the stream for submissions and fast-forwards the live one past
+    ///    the `expected` draws.
+    /// 2. **Tie-breaking** — events scheduled at equal timestamps pop in
+    ///    schedule order (sequence numbers). The window reserves a block
+    ///    of `expected` sequence numbers up front; each `submit` consumes
+    ///    the next one, stamping arrivals exactly as an up-front pass
+    ///    would have.
+    ///
+    /// Submitting more than `expected` requests while the window is open
+    /// panics; submitting fewer is fine (finite arrival schedules), the
+    /// leftover draws and sequence numbers are simply abandoned at
+    /// [`CloudSim::close_submission_window`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window is already open.
+    pub fn open_submission_window(&mut self, expected: usize) {
+        let cloud = self.sim.model_mut();
+        assert!(cloud.submission_rng.is_none(), "submission window already open");
+        let window = cloud.rng_net.clone();
+        for _ in 0..expected {
+            let _ = cloud.cfg.network.prop_delay_ms.sample(&mut cloud.rng_net);
+        }
+        cloud.submission_rng = Some(window);
+        self.seq_block = Some(self.sim.reserve_seq_block(expected as u64));
+    }
+
+    /// Closes the submission window opened by
+    /// [`CloudSim::open_submission_window`]; `submit` reverts to drawing
+    /// from the live network stream. Idempotent.
+    pub fn close_submission_window(&mut self) {
+        self.sim.model_mut().submission_rng = None;
+        self.seq_block = None;
     }
 
     /// Advances the simulation until `horizon` (inclusive).
@@ -1377,6 +1544,39 @@ impl CloudSim {
     /// [`CloudSim::enable_timeline`] is active.
     pub fn metrics(&self) -> &Metrics {
         &self.sim.model().metrics
+    }
+
+    /// Occupancy counters of the request slab. `high_water` bounds the
+    /// peak simultaneously-live request count — for a streaming driver
+    /// this should stay O(slice + active requests) no matter how many
+    /// invocations the run submits in total.
+    pub fn request_slab_stats(&self) -> RequestSlabStats {
+        self.sim.model().slab
+    }
+
+    /// Self-correction counters of the calendar event queue, or `None`
+    /// when the cloud runs on the binary-heap backend.
+    pub fn queue_stats(&self) -> Option<CalQueueStats> {
+        self.sim.queue_stats()
+    }
+
+    /// Folds the request-slab counters and (when on the calendar backend)
+    /// the event-queue self-correction counters into the metrics
+    /// registry under the `metric::REQUEST_SLOTS_*` / `metric::CALQUEUE_*`
+    /// names. Call once, after the run finishes: the counters are
+    /// lifetime totals, so calling this repeatedly double-counts.
+    pub fn record_queue_metrics(&mut self) {
+        let slab = self.sim.model().slab;
+        let queue = self.sim.queue_stats();
+        let metrics = &mut self.sim.model_mut().metrics;
+        metrics.add(metric::REQUEST_SLOTS_ALLOCATED, slab.slots_allocated);
+        metrics.add(metric::REQUEST_SLOTS_REUSED, slab.slots_reused);
+        metrics.add(metric::REQUEST_SLOTS_HIGH_WATER, slab.high_water);
+        if let Some(stats) = queue {
+            metrics.add(metric::CALQUEUE_REBUILDS, stats.rebuilds);
+            metrics.add(metric::CALQUEUE_HUNT_FALLBACKS, stats.hunt_fallbacks);
+            metrics.add(metric::CALQUEUE_OVERCROWD_REBUILDS, stats.overcrowd_rebuilds);
+        }
     }
 
     /// The provider configuration this cloud runs.

@@ -48,7 +48,7 @@ pub mod testutil;
 pub mod types;
 
 pub use billing::ResourceUsage;
-pub use cloud::{metric, span_tag, CloudSim, CloudStats, DeployError};
+pub use cloud::{metric, span_tag, CloudSim, CloudStats, DeployError, RequestSlabStats};
 pub use config::ProviderConfig;
 pub use request::{Breakdown, Completion, TransferSample};
 pub use spec::FunctionSpec;

@@ -49,19 +49,46 @@ impl fmt::Display for InstanceId {
 }
 
 /// Identifies one invocation request (external or internal).
+///
+/// Packs a slab *slot* (low 32 bits) and a *generation* (high 32 bits):
+/// the cloud's request table recycles slots once a request completes, and
+/// the generation distinguishes successive occupants of the same slot, so
+/// a stale id can never silently alias a live request. Ids of requests
+/// created before any slot reuse (generation 0) are numerically identical
+/// to the pre-slab sequential ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RequestId(pub(crate) u64);
 
 impl RequestId {
-    /// Raw index (stable within one cloud instance).
+    pub(crate) fn new(slot: u32, generation: u32) -> RequestId {
+        RequestId((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    /// Slab slot index (stable for the request's lifetime; reused after).
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    /// Slot generation; 0 until the slot is first recycled.
+    pub fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The packed `(generation << 32) | slot` value: unique across the
+    /// cloud's lifetime, unlike [`RequestId::index`]. Span records key on
+    /// this.
+    pub fn packed(self) -> u64 {
+        self.0
     }
 }
 
 impl fmt::Display for RequestId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "req{}", self.0)
+        if self.generation() == 0 {
+            write!(f, "req{}", self.0)
+        } else {
+            write!(f, "req{}g{}", self.index(), self.generation())
+        }
     }
 }
 

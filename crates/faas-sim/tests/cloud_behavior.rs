@@ -371,3 +371,83 @@ fn cost_aware_policy_balances_queueing_and_spawning() {
     let mid = run(50.0);
     assert!(mid > 3 && mid < 40, "mid exec balances: {mid} spawns");
 }
+
+#[test]
+fn request_slots_are_recycled() {
+    // Sequential requests (each completes before the next is submitted)
+    // must all share one slab slot, distinguished by generation.
+    let mut cloud = CloudSim::new(test_provider(), 31);
+    let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+    let mut ids = Vec::new();
+    for i in 0..8u64 {
+        let done = run_one(&mut cloud, f, SEC(30.0 * i as f64));
+        ids.push(done.id);
+    }
+    let slab = cloud.request_slab_stats();
+    assert_eq!(slab.slots_allocated, 1, "sequential load needs one slot");
+    assert_eq!(slab.slots_reused, 7, "every later request recycles it");
+    assert_eq!(slab.high_water, 1);
+    assert_eq!(slab.live, 0, "all requests retired");
+    // Generational ids stay distinct even though the slot is shared.
+    assert!(ids.iter().all(|id| id.index() == 0));
+    let generations: Vec<u32> = ids.iter().map(|id| id.generation()).collect();
+    assert_eq!(generations, (0..8).collect::<Vec<u32>>());
+    assert_eq!(ids[0].to_string(), "req0");
+    assert_eq!(ids[3].to_string(), "req0g3");
+}
+
+#[test]
+fn slab_high_water_tracks_concurrency_not_total() {
+    // A burst of 10 simultaneous requests peaks at 10 live slots; a
+    // second burst after the first drains reuses them all.
+    let mut cloud = CloudSim::new(test_provider(), 32);
+    let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+    for burst in 0..3u64 {
+        let at = SEC(120.0 * burst as f64);
+        for i in 0..10 {
+            cloud.submit(f, burst * 10 + i, at);
+        }
+        cloud.run_until(at + SEC(60.0));
+    }
+    assert_eq!(cloud.drain_completions().len(), 30);
+    let slab = cloud.request_slab_stats();
+    assert_eq!(slab.high_water, 10, "peak live = one burst, not the total");
+    assert_eq!(slab.slots_allocated, 10);
+    assert_eq!(slab.slots_reused, 20);
+}
+
+#[test]
+fn submission_window_matches_up_front_submission() {
+    // Interleaving submission with event processing under an open window
+    // must replay the exact results of submitting everything up front.
+    let up_front = {
+        let mut cloud = CloudSim::new(test_provider(), 33);
+        let f = cloud.deploy(FunctionSpec::builder("f").exec_constant_ms(40.0).build()).unwrap();
+        for i in 0..50u64 {
+            cloud.submit(f, i, SimTime::from_millis(100.0 * i as f64));
+        }
+        cloud.run_until(SEC(60.0));
+        cloud.drain_completions()
+    };
+    let interleaved = {
+        let mut cloud = CloudSim::new(test_provider(), 33);
+        let f = cloud.deploy(FunctionSpec::builder("f").exec_constant_ms(40.0).build()).unwrap();
+        cloud.open_submission_window(50);
+        for i in 0..50u64 {
+            let at = SimTime::from_millis(100.0 * i as f64);
+            // Drain the event queue right up to the submission instant
+            // before submitting, the worst case for divergence.
+            cloud.run_until(at);
+            cloud.submit(f, i, at);
+        }
+        cloud.close_submission_window();
+        cloud.run_until(SEC(60.0));
+        cloud.drain_completions()
+    };
+    assert_eq!(up_front.len(), interleaved.len());
+    for (a, b) in up_front.iter().zip(&interleaved) {
+        assert_eq!(a.tag, b.tag);
+        assert_eq!(a.completed_at, b.completed_at);
+        assert_eq!(a.breakdown, b.breakdown);
+    }
+}

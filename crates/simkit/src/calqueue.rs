@@ -83,6 +83,25 @@ impl<E> Ord for Far<E> {
     }
 }
 
+/// Cumulative self-correction counters of a [`CalendarQueue`].
+///
+/// Unlike the queue's internal `misses`/`scan_work` fields these are never
+/// reset by a rebuild, so they describe the whole lifetime of the queue: a
+/// well-matched wheel shows a small, bounded `rebuilds` count (growth
+/// doublings plus the occasional correction) however many events pass
+/// through — the observable signature of the amortized-O(1) regime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CalQueueStats {
+    /// Total wheel rebuilds (growth, shrink, and corrective).
+    pub rebuilds: u64,
+    /// Empty-day hunts that gave up and direct-searched the wheel
+    /// (signature of a bucket width that is too small).
+    pub hunt_fallbacks: u64,
+    /// Rebuilds forced by the scan-work budget (signature of a bucket
+    /// width that is too large: overcrowded days re-scanned by every pop).
+    pub overcrowd_rebuilds: u64,
+}
+
 /// A bucketed timer wheel with an overflow heap; see the module docs.
 pub struct CalendarQueue<E> {
     /// The wheel: bucket `b` holds events whose day is ≡ `b` (mod buckets).
@@ -116,6 +135,8 @@ pub struct CalendarQueue<E> {
     /// Capacity hint from [`CalendarQueue::reserve`]: lets one rebuild jump
     /// straight to the final wheel size instead of doubling repeatedly.
     capacity_hint: usize,
+    /// Lifetime self-correction counters (never reset by rebuilds).
+    stats: CalQueueStats,
 }
 
 impl<E> Default for CalendarQueue<E> {
@@ -142,12 +163,18 @@ impl<E> CalendarQueue<E> {
             scan_work: 0,
             pops_since_rebuild: 0,
             capacity_hint: 0,
+            stats: CalQueueStats::default(),
         }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Lifetime self-correction counters (see [`CalQueueStats`]).
+    pub fn stats(&self) -> CalQueueStats {
+        self.stats
     }
 
     /// Whether no events are pending.
@@ -273,6 +300,7 @@ impl<E> CalendarQueue<E> {
                 self.migrate_overflow();
                 empty_scanned = 0;
                 self.misses += 1;
+                self.stats.hunt_fallbacks += 1;
                 if self.misses >= MISS_LIMIT {
                     // The width is badly matched to the observed spacing;
                     // rebuild with a fresh estimate.
@@ -336,6 +364,7 @@ impl<E> CalendarQueue<E> {
             let fresh = (self.gap_ewma_ns * 2.0).min(u64::MAX as f64) as u64;
             let mismatched = fresh < self.width_ns / 4 || fresh / 4 > self.width_ns;
             if mismatched {
+                self.stats.overcrowd_rebuilds += 1;
                 self.rebuild(self.len);
             }
         }
@@ -362,6 +391,7 @@ impl<E> CalendarQueue<E> {
     /// bucket width from the observed inter-pop spacing (or, before any
     /// pops, from the span of the pending events).
     fn rebuild(&mut self, target_len: usize) {
+        self.stats.rebuilds += 1;
         let new_n = target_len.max(1).next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
         let mut slots: Vec<Slot<E>> = Vec::with_capacity(self.len);
         for bucket in &mut self.buckets {
@@ -599,6 +629,43 @@ mod tests {
             "width {}ns never recovered from the sparse phase",
             q.width_ns
         );
+    }
+
+    #[test]
+    fn stats_survive_rebuilds_and_stay_bounded() {
+        // A smooth bulk load triggers only growth/shrink rebuilds: the
+        // lifetime counters must accumulate across them (they are not the
+        // per-rebuild `misses` fields) and stay logarithmic in n.
+        let mut q = CalendarQueue::new();
+        for i in 0..50_000u64 {
+            q.schedule(SimTime::from_nanos(i * 1_000), i, 0u32);
+        }
+        let loaded = q.stats();
+        assert!(loaded.rebuilds > 0, "bulk load must grow the wheel");
+        drain(&mut q);
+        let end = q.stats();
+        assert!(end.rebuilds >= loaded.rebuilds, "counters must not reset");
+        assert!(end.rebuilds < 48, "rebuilds {} not O(log n)", end.rebuilds);
+    }
+
+    #[test]
+    fn overcrowding_rebuilds_are_counted() {
+        // The density-shift scenario: corrective rebuilds triggered by the
+        // scan-work budget must show up in `overcrowd_rebuilds`.
+        let mut q = CalendarQueue::new();
+        let mut seq = 0u64;
+        for i in 0..8u64 {
+            q.schedule(SimTime::from_secs(10.0 * i as f64), seq, 0u32);
+            seq += 1;
+        }
+        while q.pop().is_some() {}
+        let burst_start = SimTime::from_secs(100.0);
+        for i in 0..3_000u64 {
+            q.schedule(burst_start + SimTime::from_micros(i as f64), seq, 0u32);
+            seq += 1;
+        }
+        while q.pop().is_some() {}
+        assert!(q.stats().overcrowd_rebuilds > 0, "stats {:?}", q.stats());
     }
 
     #[test]

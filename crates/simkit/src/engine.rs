@@ -13,7 +13,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::calqueue::CalendarQueue;
+use crate::calqueue::{CalQueueStats, CalendarQueue};
 use crate::time::SimTime;
 
 /// Which pending-event queue implementation a [`Scheduler`] uses.
@@ -130,6 +130,47 @@ impl<E> Backend<E> {
             Backend::Calendar(c) => c.reserve(additional),
         }
     }
+
+    fn calendar_stats(&self) -> Option<CalQueueStats> {
+        match self {
+            Backend::Heap(_) => None,
+            Backend::Calendar(c) => Some(c.stats()),
+        }
+    }
+}
+
+/// A contiguous block of sequence numbers reserved up front via
+/// [`Scheduler::reserve_seq_block`], consumed one at a time with
+/// [`SeqBlock::take`].
+///
+/// Reserving lets a driver that *interleaves* submissions with event
+/// processing (a streaming workload generator) stamp its submissions with
+/// the exact sequence numbers a submit-everything-up-front driver would
+/// have used — so timestamp ties still break identically and both drivers
+/// dispatch the same total event order.
+#[derive(Debug, Clone)]
+pub struct SeqBlock {
+    next: u64,
+    end: u64,
+}
+
+impl SeqBlock {
+    /// Takes the next sequence number from the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is exhausted.
+    pub fn take(&mut self) -> u64 {
+        assert!(self.next < self.end, "seq block exhausted at {}", self.end);
+        let seq = self.next;
+        self.next += 1;
+        seq
+    }
+
+    /// Sequence numbers left in the block.
+    pub fn remaining(&self) -> u64 {
+        self.end - self.next
+    }
 }
 
 /// The pending-event queue handed to [`Model::handle`].
@@ -185,6 +226,35 @@ impl<E> Scheduler<E> {
     /// Schedules `event` at `now + delay`.
     pub fn schedule_in(&mut self, now: SimTime, delay: SimTime, event: E) {
         self.schedule_at(now + delay, event);
+    }
+
+    /// Reserves the next `count` sequence numbers as a [`SeqBlock`] and
+    /// advances the internal counter past them. Subsequent plain
+    /// `schedule_at` calls stamp later numbers, so block-stamped events
+    /// win FIFO ties against everything scheduled after the reservation —
+    /// exactly as if they had all been scheduled at reservation time.
+    pub fn reserve_seq_block(&mut self, count: u64) -> SeqBlock {
+        let start = self.seq;
+        self.seq += count;
+        SeqBlock { next: start, end: start + count }
+    }
+
+    /// Schedules `event` at `at` with an explicit sequence number taken
+    /// from a [`SeqBlock`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past or `seq` was never reserved.
+    pub fn schedule_at_with_seq(&mut self, at: SimTime, seq: u64, event: E) {
+        assert!(at >= self.now, "cannot schedule in the past: {at} < {}", self.now);
+        assert!(seq < self.seq, "seq {seq} was not reserved");
+        self.queue.push(Entry { at, seq, event });
+    }
+
+    /// Lifetime self-correction counters of the calendar backend; `None`
+    /// on the binary heap (it has no adaptive machinery to observe).
+    pub fn queue_stats(&self) -> Option<CalQueueStats> {
+        self.queue.calendar_stats()
     }
 
     /// Number of pending events.
@@ -297,6 +367,24 @@ impl<M: Model> Simulation<M> {
     /// Schedules an event at absolute time `at` (before or during a run).
     pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
         self.sched.schedule_at(at, event);
+    }
+
+    /// Reserves a block of sequence numbers (see
+    /// [`Scheduler::reserve_seq_block`]).
+    pub fn reserve_seq_block(&mut self, count: u64) -> SeqBlock {
+        self.sched.reserve_seq_block(count)
+    }
+
+    /// Schedules an event with an explicitly reserved sequence number (see
+    /// [`Scheduler::schedule_at_with_seq`]).
+    pub fn schedule_at_with_seq(&mut self, at: SimTime, seq: u64, event: M::Event) {
+        self.sched.schedule_at_with_seq(at, seq, event);
+    }
+
+    /// Event-queue self-correction counters (see
+    /// [`Scheduler::queue_stats`]).
+    pub fn queue_stats(&self) -> Option<CalQueueStats> {
+        self.sched.queue_stats()
     }
 
     /// Pre-sizes the event queue for at least `additional` more pending
@@ -498,6 +586,36 @@ mod tests {
             sim.into_model().seen
         };
         assert_eq!(run(QueueKind::BinaryHeap), run(QueueKind::Calendar));
+    }
+
+    /// Events stamped from a reserved block win FIFO ties against events
+    /// scheduled *after* the reservation, even when the block-stamped
+    /// schedule calls happen later in real order — the property the
+    /// streaming submission driver relies on.
+    #[test]
+    fn reserved_seq_block_reproduces_up_front_order() {
+        for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
+            let t = SimTime::from_millis(10.0);
+            // Reference: everything scheduled up front, in FIFO order.
+            let mut up_front = Simulation::with_queue(Recorder::default(), kind);
+            for id in 0..5 {
+                up_front.schedule_at(t, Ev::Mark(id));
+            }
+            up_front.schedule_at(t, Ev::Mark(100));
+            up_front.run();
+
+            // Interleaved: reserve the first five seqs, schedule the late
+            // event first, then fill in the reserved block.
+            let mut interleaved = Simulation::with_queue(Recorder::default(), kind);
+            let mut block = interleaved.reserve_seq_block(5);
+            interleaved.schedule_at(t, Ev::Mark(100));
+            for id in 0..5 {
+                interleaved.schedule_at_with_seq(t, block.take(), Ev::Mark(id));
+            }
+            assert_eq!(block.remaining(), 0);
+            interleaved.run();
+            assert_eq!(up_front.model().seen, interleaved.model().seen, "backend {kind:?}");
+        }
     }
 
     #[test]

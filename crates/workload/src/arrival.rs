@@ -1,0 +1,614 @@
+//! Pluggable arrival processes.
+//!
+//! An [`ArrivalProcess`] turns a deterministic RNG stream into a sequence
+//! of inter-arrival gaps (milliseconds). The paper's client (§IV) supports
+//! exactly two shapes — a fixed inter-arrival time and bursts of
+//! simultaneous requests — which reproduce its Fig 9 queueing experiments
+//! but fall short of the load diversity its §VII-B trace analysis points
+//! at. The processes here close that gap: renewal processes with tunable
+//! variability (Gamma/Weibull), Markov-modulated on-off bursts
+//! generalizing the burst knob, sinusoid-modulated (diurnal) Poisson
+//! arrivals, replay of Azure-trace-derived schedules, and combinators for
+//! multi-tenant superpositions.
+//!
+//! Determinism: every process draws only from the `Rng` handed to
+//! [`ArrivalProcess::next_gap_ms`], so a run is reproducible from the
+//! workload seed alone, independent of thread count or event-queue
+//! backend.
+
+use simkit::rng::Rng;
+use simkit::time::SimTime;
+
+/// Gap value signalling an exhausted (finite) process: no further
+/// arrivals will ever be produced.
+pub const EXHAUSTED: f64 = f64::INFINITY;
+
+/// A deterministic, seedable source of inter-arrival gaps.
+pub trait ArrivalProcess {
+    /// Milliseconds until the next arrival, drawn from `rng`. Returns
+    /// [`EXHAUSTED`] (infinity) once a finite process has emitted its
+    /// whole schedule; infinite processes never do.
+    fn next_gap_ms(&mut self, rng: &mut Rng) -> f64;
+
+    /// Logical source (tenant stream) of the arrival produced by the most
+    /// recent [`ArrivalProcess::next_gap_ms`] call. Drivers route each
+    /// arrival to `endpoints[source % endpoints.len()]`.
+    fn source(&self) -> usize {
+        0
+    }
+
+    /// Number of logical sources this process multiplexes.
+    fn sources(&self) -> usize {
+        1
+    }
+
+    /// Remaining arrivals, when the process is finite.
+    fn remaining(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Constant gaps — the paper's baseline IAT mode. Draws no randomness.
+#[derive(Debug, Clone)]
+pub struct Fixed {
+    /// The constant gap, ms.
+    pub gap_ms: f64,
+}
+
+impl ArrivalProcess for Fixed {
+    fn next_gap_ms(&mut self, _rng: &mut Rng) -> f64 {
+        self.gap_ms
+    }
+}
+
+/// Exponential gaps: a homogeneous Poisson arrival stream.
+#[derive(Debug, Clone)]
+pub struct Poisson {
+    /// Mean gap, ms.
+    pub mean_ms: f64,
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_gap_ms(&mut self, rng: &mut Rng) -> f64 {
+        -self.mean_ms * rng.next_f64_open().ln()
+    }
+}
+
+/// Uniformly distributed gaps on `[lo_ms, hi_ms)`.
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    /// Lower gap bound, ms.
+    pub lo_ms: f64,
+    /// Upper gap bound, ms.
+    pub hi_ms: f64,
+}
+
+impl ArrivalProcess for Uniform {
+    fn next_gap_ms(&mut self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.lo_ms, self.hi_ms)
+    }
+}
+
+fn standard_normal(rng: &mut Rng) -> f64 {
+    let u1 = rng.next_f64_open();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Gamma-distributed gap with the given shape and unit scale
+/// (Marsaglia–Tsang squeeze method; shape < 1 via the boost
+/// `G(a) = G(a+1) · U^(1/a)`).
+fn gamma_unit(shape: f64, rng: &mut Rng) -> f64 {
+    if shape < 1.0 {
+        let boost = rng.next_f64_open().powf(1.0 / shape);
+        return gamma_unit(shape + 1.0, rng) * boost;
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = rng.next_f64_open();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Gamma-distributed gaps: CV = 1/√shape, so shape > 1 is smoother than
+/// Poisson and shape < 1 burstier.
+#[derive(Debug, Clone)]
+pub struct Gamma {
+    /// Shape parameter (k); must be positive.
+    pub shape: f64,
+    /// Mean gap, ms (scale = mean/shape).
+    pub mean_ms: f64,
+}
+
+impl ArrivalProcess for Gamma {
+    fn next_gap_ms(&mut self, rng: &mut Rng) -> f64 {
+        gamma_unit(self.shape, rng) * self.mean_ms / self.shape
+    }
+}
+
+/// Weibull-distributed gaps via inverse-CDF: `scale · (-ln U)^(1/shape)`.
+/// shape < 1 gives heavy-tailed gaps (bursty), shape > 1 near-regular.
+#[derive(Debug, Clone)]
+pub struct Weibull {
+    /// Shape parameter (k); must be positive.
+    pub shape: f64,
+    /// Scale parameter (λ), ms. Mean = scale · Γ(1 + 1/shape).
+    pub scale_ms: f64,
+}
+
+impl ArrivalProcess for Weibull {
+    fn next_gap_ms(&mut self, rng: &mut Rng) -> f64 {
+        self.scale_ms * (-rng.next_f64_open().ln()).powf(1.0 / self.shape)
+    }
+}
+
+/// Two-state Markov-modulated Poisson process (on-off bursts).
+///
+/// Dwell times in each state are exponential with the given means;
+/// arrivals are Poisson at the state's rate. With `off_rate_per_s = 0`
+/// this is an interrupted Poisson process: silent stretches punctuated by
+/// bursts — the generalization of the paper's `burst_size` knob to
+/// stochastic burst trains (burst length and intensity both random but
+/// calibrated).
+#[derive(Debug, Clone)]
+pub struct Mmpp {
+    /// Mean dwell in the bursting state, ms.
+    pub on_mean_ms: f64,
+    /// Mean dwell in the quiet state, ms.
+    pub off_mean_ms: f64,
+    /// Arrival rate while bursting, per second.
+    pub on_rate_per_s: f64,
+    /// Arrival rate while quiet, per second (0 for pure on-off).
+    pub off_rate_per_s: f64,
+    on: bool,
+    /// Remaining dwell in the current state, ms; `None` until the first
+    /// draw (the process starts in the on state with a fresh dwell).
+    dwell_left_ms: Option<f64>,
+}
+
+impl Mmpp {
+    /// Creates the process; it starts in the bursting state.
+    pub fn new(on_mean_ms: f64, off_mean_ms: f64, on_rate_per_s: f64, off_rate_per_s: f64) -> Mmpp {
+        Mmpp {
+            on_mean_ms,
+            off_mean_ms,
+            on_rate_per_s,
+            off_rate_per_s,
+            on: true,
+            dwell_left_ms: None,
+        }
+    }
+
+    fn rate_per_ms(&self) -> f64 {
+        let per_s = if self.on { self.on_rate_per_s } else { self.off_rate_per_s };
+        per_s / 1_000.0
+    }
+
+    fn dwell_mean_ms(&self) -> f64 {
+        if self.on {
+            self.on_mean_ms
+        } else {
+            self.off_mean_ms
+        }
+    }
+}
+
+impl ArrivalProcess for Mmpp {
+    fn next_gap_ms(&mut self, rng: &mut Rng) -> f64 {
+        let mut elapsed = 0.0;
+        let mut dwell_left = match self.dwell_left_ms {
+            Some(left) => left,
+            None => -self.dwell_mean_ms() * rng.next_f64_open().ln(),
+        };
+        loop {
+            // Competing exponentials: candidate arrival vs. state switch.
+            // Redrawing the candidate after a switch is exact by
+            // memorylessness of the exponential.
+            let rate = self.rate_per_ms();
+            let candidate =
+                if rate > 0.0 { -rng.next_f64_open().ln() / rate } else { f64::INFINITY };
+            if candidate < dwell_left {
+                self.dwell_left_ms = Some(dwell_left - candidate);
+                return elapsed + candidate;
+            }
+            elapsed += dwell_left;
+            self.on = !self.on;
+            dwell_left = -self.dwell_mean_ms() * rng.next_f64_open().ln();
+        }
+    }
+}
+
+/// Sinusoid-modulated Poisson arrivals: rate
+/// `base · (1 + amplitude · sin(2πt/period))`, sampled by thinning
+/// against the peak rate. Models diurnal load cycles.
+#[derive(Debug, Clone)]
+pub struct Diurnal {
+    /// Time-averaged arrival rate, per second.
+    pub base_rate_per_s: f64,
+    /// Relative modulation depth in [0, 1].
+    pub amplitude: f64,
+    /// Modulation period, ms.
+    pub period_ms: f64,
+    /// Absolute time of the previous arrival, ms.
+    now_ms: f64,
+}
+
+impl Diurnal {
+    /// Creates the process starting at time zero (rising phase).
+    pub fn new(base_rate_per_s: f64, amplitude: f64, period_ms: f64) -> Diurnal {
+        Diurnal { base_rate_per_s, amplitude, period_ms, now_ms: 0.0 }
+    }
+
+    fn rate_at(&self, t_ms: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * t_ms / self.period_ms;
+        self.base_rate_per_s / 1_000.0 * (1.0 + self.amplitude * phase.sin())
+    }
+}
+
+impl ArrivalProcess for Diurnal {
+    fn next_gap_ms(&mut self, rng: &mut Rng) -> f64 {
+        let peak = self.base_rate_per_s / 1_000.0 * (1.0 + self.amplitude);
+        let start = self.now_ms;
+        let mut t = start;
+        loop {
+            t += -rng.next_f64_open().ln() / peak;
+            if rng.next_f64() * peak < self.rate_at(t) {
+                self.now_ms = t;
+                return t - start;
+            }
+        }
+    }
+}
+
+/// Replays a precomputed finite schedule of (time, source) arrivals —
+/// built by [`TraceReplay::from_schedules`] from per-function Azure-trace
+/// invocation schedules. Draws no randomness during replay.
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    /// Merged schedule: absolute arrival times (ms) paired with the
+    /// originating function's source index, sorted by time.
+    schedule: Vec<(f64, usize)>,
+    cursor: usize,
+    sources: usize,
+    last_ms: f64,
+    current_source: usize,
+}
+
+impl TraceReplay {
+    /// Merges one schedule per function (absolute [`SimTime`] arrivals,
+    /// each already sorted) into a single replayable stream. Ties are
+    /// broken by source index, so the merge is deterministic.
+    pub fn from_schedules(schedules: &[Vec<SimTime>]) -> TraceReplay {
+        let mut schedule: Vec<(f64, usize)> = schedules
+            .iter()
+            .enumerate()
+            .flat_map(|(src, times)| times.iter().map(move |t| (t.as_millis(), src)))
+            .collect();
+        schedule.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("non-NaN times").then(a.1.cmp(&b.1)));
+        TraceReplay {
+            schedule,
+            cursor: 0,
+            sources: schedules.len().max(1),
+            last_ms: 0.0,
+            current_source: 0,
+        }
+    }
+
+    /// Total arrivals in the schedule.
+    pub fn len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+}
+
+impl ArrivalProcess for TraceReplay {
+    fn next_gap_ms(&mut self, _rng: &mut Rng) -> f64 {
+        match self.schedule.get(self.cursor) {
+            Some(&(at_ms, src)) => {
+                self.cursor += 1;
+                let gap = at_ms - self.last_ms;
+                self.last_ms = at_ms;
+                self.current_source = src;
+                gap
+            }
+            None => EXHAUSTED,
+        }
+    }
+
+    fn source(&self) -> usize {
+        self.current_source
+    }
+
+    fn sources(&self) -> usize {
+        self.sources
+    }
+
+    fn remaining(&self) -> Option<u64> {
+        Some((self.schedule.len() - self.cursor) as u64)
+    }
+}
+
+/// Superposition of independent arrival streams (multi-tenant mix).
+///
+/// Each part keeps its own source index space; arrivals from part `i`
+/// report sources offset by the total source count of parts `0..i`.
+pub struct Superpose {
+    parts: Vec<Part>,
+    /// Absolute time of the last emitted arrival, ms.
+    now_ms: f64,
+    current_source: usize,
+    primed: bool,
+}
+
+struct Part {
+    process: Box<dyn ArrivalProcess>,
+    /// Absolute time of this part's next pending arrival, ms.
+    next_at_ms: f64,
+    source_offset: usize,
+}
+
+impl Superpose {
+    /// Combines `parts` into one stream; parts are polled in order when
+    /// priming, so construction order is part of the seedable state.
+    pub fn new(parts: Vec<Box<dyn ArrivalProcess>>) -> Superpose {
+        let mut offset = 0;
+        let parts = parts
+            .into_iter()
+            .map(|process| {
+                let source_offset = offset;
+                offset += process.sources();
+                Part { process, next_at_ms: 0.0, source_offset }
+            })
+            .collect();
+        Superpose { parts, now_ms: 0.0, current_source: 0, primed: false }
+    }
+}
+
+impl ArrivalProcess for Superpose {
+    fn next_gap_ms(&mut self, rng: &mut Rng) -> f64 {
+        if !self.primed {
+            for part in &mut self.parts {
+                part.next_at_ms = part.process.next_gap_ms(rng);
+            }
+            self.primed = true;
+        }
+        // Earliest pending arrival wins; ties broken by part order.
+        let Some(winner) = (0..self.parts.len())
+            .filter(|&i| self.parts[i].next_at_ms.is_finite())
+            .min_by(|&a, &b| {
+                self.parts[a]
+                    .next_at_ms
+                    .partial_cmp(&self.parts[b].next_at_ms)
+                    .expect("finite times")
+            })
+        else {
+            return EXHAUSTED;
+        };
+        let part = &mut self.parts[winner];
+        let at = part.next_at_ms;
+        let gap = at - self.now_ms;
+        self.now_ms = at;
+        self.current_source = part.source_offset + part.process.source();
+        let next_gap = part.process.next_gap_ms(rng);
+        part.next_at_ms = if next_gap.is_finite() { at + next_gap } else { f64::INFINITY };
+        gap
+    }
+
+    fn source(&self) -> usize {
+        self.current_source
+    }
+
+    fn sources(&self) -> usize {
+        self.parts.iter().map(|p| p.process.sources()).sum::<usize>().max(1)
+    }
+
+    fn remaining(&self) -> Option<u64> {
+        self.parts.iter().map(|p| p.process.remaining()).sum()
+    }
+}
+
+/// Speeds up (`factor > 1`) or slows down an inner process by dividing
+/// its gaps, preserving its shape (CV, burst structure).
+pub struct Scaled {
+    /// Rate multiplier; must be positive.
+    pub factor: f64,
+    /// The process being scaled.
+    pub inner: Box<dyn ArrivalProcess>,
+}
+
+impl ArrivalProcess for Scaled {
+    fn next_gap_ms(&mut self, rng: &mut Rng) -> f64 {
+        self.inner.next_gap_ms(rng) / self.factor
+    }
+
+    fn source(&self) -> usize {
+        self.inner.source()
+    }
+
+    fn sources(&self) -> usize {
+        self.inner.sources()
+    }
+
+    fn remaining(&self) -> Option<u64> {
+        self.inner.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::seed_from(42).fork("arrival-test")
+    }
+
+    fn collect_gaps(p: &mut dyn ArrivalProcess, n: usize) -> Vec<f64> {
+        let mut rng = rng();
+        (0..n).map(|_| p.next_gap_ms(&mut rng)).collect()
+    }
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    fn cv(xs: &[f64]) -> f64 {
+        let m = mean(xs);
+        let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        var.sqrt() / m
+    }
+
+    #[test]
+    fn fixed_draws_nothing_and_is_constant() {
+        let mut rng_a = rng();
+        let before = rng_a.clone();
+        let mut p = Fixed { gap_ms: 250.0 };
+        assert_eq!(p.next_gap_ms(&mut rng_a), 250.0);
+        assert_eq!(rng_a, before, "fixed gaps must not consume randomness");
+    }
+
+    #[test]
+    fn poisson_mean_is_calibrated() {
+        let gaps = collect_gaps(&mut Poisson { mean_ms: 100.0 }, 20_000);
+        let m = mean(&gaps);
+        assert!((m - 100.0).abs() < 3.0, "mean {m}");
+        let c = cv(&gaps);
+        assert!((c - 1.0).abs() < 0.05, "cv {c}");
+    }
+
+    #[test]
+    fn gamma_cv_follows_shape() {
+        let smooth = cv(&collect_gaps(&mut Gamma { shape: 4.0, mean_ms: 100.0 }, 20_000));
+        let bursty = cv(&collect_gaps(&mut Gamma { shape: 0.25, mean_ms: 100.0 }, 20_000));
+        assert!((smooth - 0.5).abs() < 0.05, "shape 4 cv {smooth}");
+        assert!((bursty - 2.0).abs() < 0.25, "shape 1/4 cv {bursty}");
+        let m = mean(&collect_gaps(&mut Gamma { shape: 0.25, mean_ms: 100.0 }, 20_000));
+        assert!((m - 100.0).abs() < 6.0, "gamma mean {m}");
+    }
+
+    #[test]
+    fn weibull_gaps_are_positive_with_requested_scale() {
+        let gaps = collect_gaps(&mut Weibull { shape: 0.5, scale_ms: 50.0 }, 20_000);
+        assert!(gaps.iter().all(|&g| g > 0.0));
+        // Mean = scale · Γ(1 + 1/shape) = 50 · Γ(3) = 100.
+        let m = mean(&gaps);
+        assert!((m - 100.0).abs() < 6.0, "weibull mean {m}");
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        let mut p = Mmpp::new(200.0, 2_000.0, 200.0, 1.0);
+        let gaps = collect_gaps(&mut p, 20_000);
+        assert!(cv(&gaps) > 1.5, "mmpp cv {}", cv(&gaps));
+    }
+
+    #[test]
+    fn mmpp_with_zero_off_rate_terminates() {
+        let mut p = Mmpp::new(100.0, 1_000.0, 50.0, 0.0);
+        let gaps = collect_gaps(&mut p, 2_000);
+        assert!(gaps.iter().all(|&g| g.is_finite() && g >= 0.0));
+        // Off dwells show up as long silent gaps.
+        assert!(gaps.iter().any(|&g| g > 500.0));
+    }
+
+    #[test]
+    fn diurnal_rate_oscillates() {
+        let mut p = Diurnal::new(100.0, 0.9, 60_000.0);
+        let mut rng = rng();
+        let mut times = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += p.next_gap_ms(&mut rng);
+            if t >= 60_000.0 {
+                break;
+            }
+            times.push(t);
+        }
+        // Count arrivals in the rising (first) vs falling (second) half
+        // of one period: sin > 0 vs sin < 0.
+        let first = times.iter().filter(|&&x| x < 30_000.0).count() as f64;
+        let second = times.len() as f64 - first;
+        assert!(first > 1.5 * second, "rising half {first} vs falling {second}");
+        let total_rate = times.len() as f64 / 60.0;
+        assert!((total_rate - 100.0).abs() < 15.0, "avg rate {total_rate}");
+    }
+
+    #[test]
+    fn trace_replay_replays_merged_schedules_in_order() {
+        let s0 = vec![SimTime::from_millis(10.0), SimTime::from_millis(30.0)];
+        let s1 = vec![SimTime::from_millis(20.0), SimTime::from_millis(30.0)];
+        let mut p = TraceReplay::from_schedules(&[s0, s1]);
+        assert_eq!(p.sources(), 2);
+        assert_eq!(p.remaining(), Some(4));
+        let mut rng = rng();
+        let mut seen = Vec::new();
+        loop {
+            let gap = p.next_gap_ms(&mut rng);
+            if gap == EXHAUSTED {
+                break;
+            }
+            seen.push((gap, p.source()));
+        }
+        // Equal-time arrivals tie-break by source index.
+        assert_eq!(seen, vec![(10.0, 0), (10.0, 1), (10.0, 0), (0.0, 1)]);
+        assert_eq!(p.remaining(), Some(0));
+    }
+
+    #[test]
+    fn superpose_merges_and_routes_sources() {
+        let a = Box::new(Fixed { gap_ms: 100.0 });
+        let b = Box::new(Fixed { gap_ms: 40.0 });
+        let mut p = Superpose::new(vec![a, b]);
+        assert_eq!(p.sources(), 2);
+        let mut rng = rng();
+        let mut at = 0.0;
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            at += p.next_gap_ms(&mut rng);
+            seen.push((at, p.source()));
+        }
+        assert_eq!(
+            seen,
+            vec![(40.0, 1), (80.0, 1), (100.0, 0), (120.0, 1), (160.0, 1), (200.0, 0)]
+        );
+    }
+
+    #[test]
+    fn superpose_rate_is_sum_of_parts() {
+        let parts: Vec<Box<dyn ArrivalProcess>> =
+            vec![Box::new(Poisson { mean_ms: 100.0 }), Box::new(Poisson { mean_ms: 50.0 })];
+        let mut p = Superpose::new(parts);
+        let gaps = collect_gaps(&mut p, 30_000);
+        // Combined rate 30/s → mean gap 100/3 ms.
+        let m = mean(&gaps);
+        assert!((m - 100.0 / 3.0).abs() < 1.0, "superposed mean {m}");
+    }
+
+    #[test]
+    fn scaled_divides_gaps() {
+        let mut p = Scaled { factor: 4.0, inner: Box::new(Fixed { gap_ms: 100.0 }) };
+        let mut rng = rng();
+        assert_eq!(p.next_gap_ms(&mut rng), 25.0);
+    }
+
+    #[test]
+    fn processes_are_deterministic_per_seed() {
+        let mut a = Mmpp::new(200.0, 2_000.0, 200.0, 1.0);
+        let mut b = Mmpp::new(200.0, 2_000.0, 200.0, 1.0);
+        assert_eq!(collect_gaps(&mut a, 500), collect_gaps(&mut b, 500));
+    }
+}

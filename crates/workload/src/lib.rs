@@ -1,0 +1,37 @@
+//! # stellar-workload — workload models for the STeLLAR reproduction
+//!
+//! The paper's client (§IV) drives functions at a fixed inter-arrival
+//! time with optional bursts. This crate generalizes that into a workload
+//! subsystem: pluggable, deterministic [`arrival::ArrivalProcess`]
+//! implementations (fixed, Poisson, Gamma/Weibull, MMPP on-off bursts,
+//! diurnal cycles, Azure-trace replay, and multi-tenant combinators), a
+//! serde-backed [`spec::WorkloadSpec`] wired through config files and the
+//! CLI, and an O(1) [`stats::LoadRecorder`] that characterizes the load a
+//! run actually offered (rate, IAT CV, peak-to-mean, Fano factor).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use simkit::rng::Rng;
+//! use workload::spec::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::preset("mmpp-burst").unwrap();
+//! let mut process = spec.build(42);
+//! let mut rng = Rng::seed_from(42).fork("gaps");
+//! let mut t = 0.0;
+//! let mut recorder = workload::stats::LoadRecorder::default();
+//! for _ in 0..1000 {
+//!     recorder.record(t);
+//!     t += process.next_gap_ms(&mut rng);
+//! }
+//! let load = recorder.finish();
+//! assert!(load.iat_cv > 1.0, "MMPP bursts are overdispersed");
+//! ```
+
+pub mod arrival;
+pub mod spec;
+pub mod stats;
+
+pub use arrival::{ArrivalProcess, EXHAUSTED};
+pub use spec::{ArrivalPart, ArrivalSpec, ModeSpec, WorkloadSpec};
+pub use stats::{LoadRecorder, OfferedLoad};

@@ -1,0 +1,522 @@
+//! Serde-backed workload specifications.
+//!
+//! [`WorkloadSpec`] is the config-file / CLI surface of the workload
+//! subsystem: an arrival-shape tree ([`ArrivalSpec`]) plus a client loop
+//! mode ([`ModeSpec`]). The `Fixed`/`Exponential`/`Uniform` variants use
+//! the exact field names and `kind` tags of the legacy `IatSpec`, so any
+//! old IAT stanza parses unchanged as an arrival spec — `WorkloadSpec`
+//! subsumes it.
+
+use serde::{Deserialize, Serialize};
+use simkit::rng::Rng;
+use simkit::time::SimTime;
+
+use crate::arrival::{self, ArrivalProcess};
+
+/// Arrival-shape specification; builds an [`ArrivalProcess`] via
+/// [`ArrivalSpec::build`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "kind")]
+pub enum ArrivalSpec {
+    /// Constant gaps (the paper's baseline IAT mode).
+    Fixed {
+        /// Gap between arrivals, ms.
+        ms: f64,
+    },
+    /// Exponential gaps (homogeneous Poisson stream).
+    Exponential {
+        /// Mean gap, ms.
+        mean_ms: f64,
+    },
+    /// Uniformly distributed gaps.
+    Uniform {
+        /// Lower gap bound, ms.
+        lo_ms: f64,
+        /// Upper gap bound, ms.
+        hi_ms: f64,
+    },
+    /// Gamma gaps: CV = 1/√shape.
+    Gamma {
+        /// Shape parameter (k).
+        shape: f64,
+        /// Mean gap, ms.
+        mean_ms: f64,
+    },
+    /// Weibull gaps: heavy-tailed for shape < 1.
+    Weibull {
+        /// Shape parameter (k).
+        shape: f64,
+        /// Scale parameter (λ), ms.
+        scale_ms: f64,
+    },
+    /// Two-state Markov-modulated Poisson bursts (generalizes the paper's
+    /// `burst_size` knob to stochastic burst trains).
+    Mmpp {
+        /// Mean dwell in the bursting state, ms.
+        on_mean_ms: f64,
+        /// Mean dwell in the quiet state, ms.
+        off_mean_ms: f64,
+        /// Arrival rate while bursting, per second.
+        on_rate_per_s: f64,
+        /// Arrival rate while quiet, per second.
+        off_rate_per_s: f64,
+    },
+    /// Sinusoid-modulated Poisson arrivals (diurnal cycles).
+    Diurnal {
+        /// Time-averaged rate, per second.
+        base_rate_per_s: f64,
+        /// Relative modulation depth in [0, 1].
+        amplitude: f64,
+        /// Modulation period, ms.
+        period_ms: f64,
+    },
+    /// Replay of per-function invocation schedules derived from a
+    /// synthetic Azure trace (the `azure-trace` crate's generator,
+    /// calibrated to the paper's §VII-B marginals).
+    TraceReplay {
+        /// Number of trace functions to generate and replay.
+        functions: u32,
+        /// Replay horizon, ms: arrivals are generated on `[0, horizon)`.
+        horizon_ms: f64,
+        /// Window the trace's per-function invocation counts are
+        /// interpreted against, ms (rate = count / window).
+        trace_window_ms: f64,
+    },
+    /// Superposition of independent streams (multi-tenant mix). Each part
+    /// occupies its own source-index range, in order.
+    Superpose {
+        /// The component streams.
+        parts: Vec<ArrivalPart>,
+    },
+    /// Rate-scales an inner spec by `factor`, preserving its shape.
+    Scaled {
+        /// Rate multiplier (> 1 speeds up).
+        factor: f64,
+        /// The spec being scaled.
+        inner: Box<ArrivalSpec>,
+    },
+}
+
+/// One tenant stream inside [`ArrivalSpec::Superpose`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalPart {
+    /// Rate multiplier applied to this part (default 1.0).
+    #[serde(default = "default_weight")]
+    pub weight: f64,
+    /// The part's arrival shape.
+    pub arrival: ArrivalSpec,
+}
+
+fn default_weight() -> f64 {
+    1.0
+}
+
+/// Client loop mode.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "mode")]
+pub enum ModeSpec {
+    /// Open loop: arrivals are submitted at their generated instants
+    /// regardless of outstanding work (the paper's client shape).
+    #[default]
+    Open,
+    /// Closed loop: `concurrency` virtual users each cycle
+    /// submit → await completion → think → resubmit. The workload's
+    /// arrival process supplies the per-user think-time gaps.
+    Closed {
+        /// Number of virtual users (outstanding-request cap).
+        concurrency: u32,
+    },
+}
+
+/// A complete workload model: arrival shape plus loop mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Arrival shape (think-time shape in closed-loop mode).
+    pub arrival: ArrivalSpec,
+    /// Loop mode; open loop when omitted.
+    #[serde(default)]
+    pub mode: ModeSpec,
+}
+
+fn positive(value: f64, what: &str) -> Result<(), String> {
+    if value > 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(format!("{what} must be positive and finite, got {value}"))
+    }
+}
+
+fn non_negative(value: f64, what: &str) -> Result<(), String> {
+    if value >= 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(format!("{what} must be non-negative and finite, got {value}"))
+    }
+}
+
+impl ArrivalSpec {
+    /// Validates parameters (recursively for combinators).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            ArrivalSpec::Fixed { ms } => non_negative(*ms, "fixed iat"),
+            ArrivalSpec::Exponential { mean_ms } => positive(*mean_ms, "exponential mean"),
+            ArrivalSpec::Uniform { lo_ms, hi_ms } => {
+                non_negative(*lo_ms, "uniform lower bound")?;
+                if hi_ms < lo_ms {
+                    return Err(format!("uniform bounds inverted: [{lo_ms}, {hi_ms}]"));
+                }
+                non_negative(*hi_ms, "uniform upper bound")
+            }
+            ArrivalSpec::Gamma { shape, mean_ms } => {
+                positive(*shape, "gamma shape")?;
+                positive(*mean_ms, "gamma mean")
+            }
+            ArrivalSpec::Weibull { shape, scale_ms } => {
+                positive(*shape, "weibull shape")?;
+                positive(*scale_ms, "weibull scale")
+            }
+            ArrivalSpec::Mmpp { on_mean_ms, off_mean_ms, on_rate_per_s, off_rate_per_s } => {
+                positive(*on_mean_ms, "mmpp on dwell")?;
+                positive(*off_mean_ms, "mmpp off dwell")?;
+                positive(*on_rate_per_s, "mmpp on rate")?;
+                non_negative(*off_rate_per_s, "mmpp off rate")
+            }
+            ArrivalSpec::Diurnal { base_rate_per_s, amplitude, period_ms } => {
+                positive(*base_rate_per_s, "diurnal base rate")?;
+                if !(0.0..=1.0).contains(amplitude) {
+                    return Err(format!("diurnal amplitude must be in [0, 1], got {amplitude}"));
+                }
+                positive(*period_ms, "diurnal period")
+            }
+            ArrivalSpec::TraceReplay { functions, horizon_ms, trace_window_ms } => {
+                if *functions == 0 {
+                    return Err("trace replay needs at least one function".into());
+                }
+                positive(*horizon_ms, "trace replay horizon")?;
+                positive(*trace_window_ms, "trace window")
+            }
+            ArrivalSpec::Superpose { parts } => {
+                if parts.is_empty() {
+                    return Err("superpose needs at least one part".into());
+                }
+                for part in parts {
+                    positive(part.weight, "superpose part weight")?;
+                    part.arrival.validate()?;
+                }
+                Ok(())
+            }
+            ArrivalSpec::Scaled { factor, inner } => {
+                positive(*factor, "scale factor")?;
+                inner.validate()
+            }
+        }
+    }
+
+    /// Builds the runnable process. `rng` seeds any construction-time
+    /// randomness (trace-replay schedule generation); replay itself and
+    /// all other processes draw only from the RNG passed to
+    /// [`ArrivalProcess::next_gap_ms`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ArrivalSpec::validate`].
+    pub fn build(&self, rng: &mut Rng) -> Box<dyn ArrivalProcess> {
+        self.validate().expect("invalid arrival spec");
+        self.build_unchecked(rng)
+    }
+
+    fn build_unchecked(&self, rng: &mut Rng) -> Box<dyn ArrivalProcess> {
+        match self {
+            ArrivalSpec::Fixed { ms } => Box::new(arrival::Fixed { gap_ms: *ms }),
+            ArrivalSpec::Exponential { mean_ms } => {
+                Box::new(arrival::Poisson { mean_ms: *mean_ms })
+            }
+            ArrivalSpec::Uniform { lo_ms, hi_ms } => {
+                Box::new(arrival::Uniform { lo_ms: *lo_ms, hi_ms: *hi_ms })
+            }
+            ArrivalSpec::Gamma { shape, mean_ms } => {
+                Box::new(arrival::Gamma { shape: *shape, mean_ms: *mean_ms })
+            }
+            ArrivalSpec::Weibull { shape, scale_ms } => {
+                Box::new(arrival::Weibull { shape: *shape, scale_ms: *scale_ms })
+            }
+            ArrivalSpec::Mmpp { on_mean_ms, off_mean_ms, on_rate_per_s, off_rate_per_s } => {
+                Box::new(arrival::Mmpp::new(
+                    *on_mean_ms,
+                    *off_mean_ms,
+                    *on_rate_per_s,
+                    *off_rate_per_s,
+                ))
+            }
+            ArrivalSpec::Diurnal { base_rate_per_s, amplitude, period_ms } => {
+                Box::new(arrival::Diurnal::new(*base_rate_per_s, *amplitude, *period_ms))
+            }
+            ArrivalSpec::TraceReplay { functions, horizon_ms, trace_window_ms } => {
+                let cfg = azure_trace::synth::SynthConfig::paper_defaults(*functions as usize);
+                let records = azure_trace::synth::generate(&cfg, rng.next_u64());
+                let horizon = SimTime::from_millis(*horizon_ms);
+                let window = SimTime::from_millis(*trace_window_ms);
+                let mut sched_rng = rng.fork("trace-replay-schedule");
+                let schedules: Vec<Vec<SimTime>> = records
+                    .iter()
+                    .map(|r| {
+                        azure_trace::synth::invocation_schedule(r, horizon, window, &mut sched_rng)
+                    })
+                    .collect();
+                Box::new(arrival::TraceReplay::from_schedules(&schedules))
+            }
+            ArrivalSpec::Superpose { parts } => {
+                let built = parts
+                    .iter()
+                    .map(|part| {
+                        let inner = part.arrival.build_unchecked(rng);
+                        if (part.weight - 1.0).abs() < f64::EPSILON {
+                            inner
+                        } else {
+                            Box::new(arrival::Scaled { factor: part.weight, inner })
+                                as Box<dyn ArrivalProcess>
+                        }
+                    })
+                    .collect();
+                Box::new(arrival::Superpose::new(built))
+            }
+            ArrivalSpec::Scaled { factor, inner } => {
+                Box::new(arrival::Scaled { factor: *factor, inner: inner.build_unchecked(rng) })
+            }
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if let ModeSpec::Closed { concurrency } = self.mode {
+            if concurrency == 0 {
+                return Err("closed-loop concurrency must be positive".into());
+            }
+        }
+        self.arrival.validate()
+    }
+
+    /// Builds the arrival process, deriving all construction-time
+    /// randomness from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation.
+    pub fn build(&self, seed: u64) -> Box<dyn ArrivalProcess> {
+        self.validate().expect("invalid workload spec");
+        let mut rng = Rng::seed_from(seed).fork("workload-build");
+        self.arrival.build(&mut rng)
+    }
+
+    /// Parses a spec from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse or validation error message.
+    pub fn from_json(text: &str) -> Result<WorkloadSpec, String> {
+        let spec: WorkloadSpec = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes the spec to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("workload spec serializes")
+    }
+
+    /// A named built-in workload, or `None` for unknown names. See
+    /// [`WorkloadSpec::preset_names`].
+    pub fn preset(name: &str) -> Option<WorkloadSpec> {
+        let spec = match name {
+            "poisson" => WorkloadSpec {
+                arrival: ArrivalSpec::Exponential { mean_ms: 100.0 },
+                mode: ModeSpec::Open,
+            },
+            "mmpp-burst" => WorkloadSpec {
+                arrival: ArrivalSpec::Mmpp {
+                    on_mean_ms: 200.0,
+                    off_mean_ms: 2_000.0,
+                    on_rate_per_s: 200.0,
+                    off_rate_per_s: 2.0,
+                },
+                mode: ModeSpec::Open,
+            },
+            "diurnal" => WorkloadSpec {
+                arrival: ArrivalSpec::Diurnal {
+                    base_rate_per_s: 50.0,
+                    amplitude: 0.8,
+                    period_ms: 60_000.0,
+                },
+                mode: ModeSpec::Open,
+            },
+            "trace-replay" => WorkloadSpec {
+                arrival: ArrivalSpec::TraceReplay {
+                    functions: 20,
+                    horizon_ms: 120_000.0,
+                    trace_window_ms: 600_000.0,
+                },
+                mode: ModeSpec::Open,
+            },
+            "closed-loop" => WorkloadSpec {
+                arrival: ArrivalSpec::Exponential { mean_ms: 250.0 },
+                mode: ModeSpec::Closed { concurrency: 16 },
+            },
+            "multi-tenant" => WorkloadSpec {
+                arrival: ArrivalSpec::Superpose {
+                    parts: vec![
+                        ArrivalPart {
+                            weight: 1.0,
+                            arrival: ArrivalSpec::Exponential { mean_ms: 50.0 },
+                        },
+                        ArrivalPart {
+                            weight: 1.0,
+                            arrival: ArrivalSpec::Mmpp {
+                                on_mean_ms: 150.0,
+                                off_mean_ms: 1_500.0,
+                                on_rate_per_s: 150.0,
+                                off_rate_per_s: 0.0,
+                            },
+                        },
+                        ArrivalPart {
+                            weight: 2.0,
+                            arrival: ArrivalSpec::Exponential { mean_ms: 400.0 },
+                        },
+                    ],
+                },
+                mode: ModeSpec::Open,
+            },
+            _ => return None,
+        };
+        Some(spec)
+    }
+
+    /// Names accepted by [`WorkloadSpec::preset`].
+    pub fn preset_names() -> &'static [&'static str] {
+        &["poisson", "mmpp-burst", "diurnal", "trace-replay", "closed-loop", "multi-tenant"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_and_buildable() {
+        for name in WorkloadSpec::preset_names() {
+            let spec = WorkloadSpec::preset(name).unwrap();
+            spec.validate().unwrap_or_else(|e| panic!("preset {name}: {e}"));
+            let _process = spec.build(7);
+        }
+        assert!(WorkloadSpec::preset("no-such-preset").is_none());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_preset() {
+        for name in WorkloadSpec::preset_names() {
+            let spec = WorkloadSpec::preset(name).unwrap();
+            let json = spec.to_json();
+            let back = WorkloadSpec::from_json(&json)
+                .unwrap_or_else(|e| panic!("preset {name} round trip: {e}\n{json}"));
+            assert_eq!(back, spec, "preset {name}");
+        }
+    }
+
+    #[test]
+    fn legacy_iat_stanza_parses_as_arrival() {
+        // The exact JSON shape of the legacy IatSpec::Fixed.
+        let arrival: ArrivalSpec =
+            serde_json::from_str(r#"{"kind": "fixed", "ms": 3000.0}"#).unwrap();
+        assert_eq!(arrival, ArrivalSpec::Fixed { ms: 3000.0 });
+        let arrival: ArrivalSpec =
+            serde_json::from_str(r#"{"kind": "exponential", "mean_ms": 50.0}"#).unwrap();
+        assert_eq!(arrival, ArrivalSpec::Exponential { mean_ms: 50.0 });
+    }
+
+    #[test]
+    fn mode_defaults_to_open() {
+        let spec =
+            WorkloadSpec::from_json(r#"{"arrival": {"kind": "fixed", "ms": 100.0}}"#).unwrap();
+        assert_eq!(spec.mode, ModeSpec::Open);
+    }
+
+    #[test]
+    fn nested_combinators_round_trip() {
+        let spec = WorkloadSpec {
+            arrival: ArrivalSpec::Scaled {
+                factor: 2.0,
+                inner: Box::new(ArrivalSpec::Superpose {
+                    parts: vec![
+                        ArrivalPart {
+                            weight: 1.0,
+                            arrival: ArrivalSpec::Gamma { shape: 0.5, mean_ms: 80.0 },
+                        },
+                        ArrivalPart {
+                            weight: 3.0,
+                            arrival: ArrivalSpec::Weibull { shape: 0.7, scale_ms: 40.0 },
+                        },
+                    ],
+                }),
+            },
+            mode: ModeSpec::Closed { concurrency: 4 },
+        };
+        let back = WorkloadSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(ArrivalSpec::Exponential { mean_ms: 0.0 }.validate().is_err());
+        assert!(ArrivalSpec::Uniform { lo_ms: 5.0, hi_ms: 1.0 }.validate().is_err());
+        assert!(ArrivalSpec::Gamma { shape: -1.0, mean_ms: 10.0 }.validate().is_err());
+        assert!(ArrivalSpec::Diurnal { base_rate_per_s: 10.0, amplitude: 1.5, period_ms: 100.0 }
+            .validate()
+            .is_err());
+        assert!(ArrivalSpec::TraceReplay { functions: 0, horizon_ms: 1.0, trace_window_ms: 1.0 }
+            .validate()
+            .is_err());
+        assert!(ArrivalSpec::Superpose { parts: vec![] }.validate().is_err());
+        let closed_zero = WorkloadSpec {
+            arrival: ArrivalSpec::Fixed { ms: 1.0 },
+            mode: ModeSpec::Closed { concurrency: 0 },
+        };
+        assert!(closed_zero.validate().is_err());
+    }
+
+    #[test]
+    fn weight_defaults_to_one() {
+        let json = r#"{"arrival": {"kind": "superpose", "parts": [
+            {"arrival": {"kind": "fixed", "ms": 10.0}}
+        ]}}"#;
+        let spec = WorkloadSpec::from_json(json).unwrap();
+        match &spec.arrival {
+            ArrivalSpec::Superpose { parts } => assert_eq!(parts[0].weight, 1.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_replay_build_is_deterministic() {
+        let spec = WorkloadSpec::preset("trace-replay").unwrap();
+        let mut rng_a = Rng::seed_from(1);
+        let mut rng_b = Rng::seed_from(1);
+        let mut a = spec.build(11);
+        let mut b = spec.build(11);
+        assert_eq!(a.remaining(), b.remaining());
+        for _ in 0..50 {
+            let ga = a.next_gap_ms(&mut rng_a);
+            let gb = b.next_gap_ms(&mut rng_b);
+            assert_eq!(ga.to_bits(), gb.to_bits());
+            assert_eq!(a.source(), b.source());
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Realized-load characterization.
+//!
+//! A configured workload says what was *asked for*; [`LoadRecorder`]
+//! measures what was actually *offered*: mean arrival rate, inter-arrival
+//! CV, peak-to-mean window rate, and the Fano factor (window-count
+//! variance over mean — 1 for Poisson, >1 for bursty streams). Reports
+//! carry this next to latency so a tail can be read against the load that
+//! produced it.
+//!
+//! The recorder is O(1) per arrival and O(1) in memory: gap moments are
+//! accumulated in running sums, and per-window counts fold into running
+//! window statistics at each boundary crossing — no per-arrival or
+//! per-window vectors, so it is safe to leave on for 10^7-invocation
+//! streaming runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Offered-load summary produced by [`LoadRecorder::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OfferedLoad {
+    /// Total arrivals recorded.
+    pub arrivals: u64,
+    /// Mean arrival rate over the recorded span, per second.
+    pub mean_rate_per_s: f64,
+    /// Coefficient of variation of inter-arrival gaps (0 for fixed IAT,
+    /// 1 for Poisson, >1 for bursty).
+    pub iat_cv: f64,
+    /// Peak window arrival rate over the mean window rate.
+    pub peak_to_mean: f64,
+    /// Fano factor of per-window counts: variance/mean (burstiness
+    /// index; 1 for Poisson).
+    pub fano: f64,
+    /// The counting-window width used, ms.
+    pub window_ms: f64,
+}
+
+/// Streaming recorder of arrival instants; see the module docs.
+#[derive(Debug, Clone)]
+pub struct LoadRecorder {
+    window_ms: f64,
+    first_ms: Option<f64>,
+    last_ms: f64,
+    // Gap moments (n = arrivals - 1 gaps).
+    gap_sum: f64,
+    gap_sumsq: f64,
+    arrivals: u64,
+    // Current counting window.
+    win_index: u64,
+    win_count: u64,
+    // Folded window statistics.
+    windows: u64,
+    win_sum: f64,
+    win_sumsq: f64,
+    win_max: f64,
+}
+
+impl LoadRecorder {
+    /// Creates a recorder with the given counting-window width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ms` is not positive.
+    pub fn new(window_ms: f64) -> LoadRecorder {
+        assert!(window_ms > 0.0, "window must be positive");
+        LoadRecorder {
+            window_ms,
+            first_ms: None,
+            last_ms: 0.0,
+            gap_sum: 0.0,
+            gap_sumsq: 0.0,
+            arrivals: 0,
+            win_index: 0,
+            win_count: 0,
+            windows: 0,
+            win_sum: 0.0,
+            win_sumsq: 0.0,
+            win_max: 0.0,
+        }
+    }
+
+    fn fold_window(&mut self, count: f64) {
+        self.windows += 1;
+        self.win_sum += count;
+        self.win_sumsq += count * count;
+        self.win_max = self.win_max.max(count);
+    }
+
+    /// Records one arrival at absolute time `at_ms`. Arrivals must be
+    /// recorded in non-decreasing time order.
+    pub fn record(&mut self, at_ms: f64) {
+        match self.first_ms {
+            None => {
+                self.first_ms = Some(at_ms);
+                self.win_index = 0;
+                self.win_count = 1;
+            }
+            Some(first) => {
+                let gap = at_ms - self.last_ms;
+                debug_assert!(gap >= 0.0, "arrivals recorded out of order");
+                self.gap_sum += gap;
+                self.gap_sumsq += gap * gap;
+                let idx = ((at_ms - first) / self.window_ms) as u64;
+                if idx == self.win_index {
+                    self.win_count += 1;
+                } else {
+                    // Close the current window, then any skipped (empty)
+                    // windows, then start the new one.
+                    let closed = self.win_count as f64;
+                    self.fold_window(closed);
+                    for _ in self.win_index + 1..idx {
+                        self.fold_window(0.0);
+                    }
+                    self.win_index = idx;
+                    self.win_count = 1;
+                }
+            }
+        }
+        self.last_ms = at_ms;
+        self.arrivals += 1;
+    }
+
+    /// Closes the recorder and computes the summary. Degenerate inputs
+    /// (fewer than two arrivals) report zero rate and variability.
+    pub fn finish(mut self) -> OfferedLoad {
+        let window_ms = self.window_ms;
+        if self.arrivals < 2 {
+            return OfferedLoad {
+                arrivals: self.arrivals,
+                mean_rate_per_s: 0.0,
+                iat_cv: 0.0,
+                peak_to_mean: 0.0,
+                fano: 0.0,
+                window_ms,
+            };
+        }
+        let span_ms = self.last_ms - self.first_ms.expect("arrivals > 0");
+        // Close the trailing partial window.
+        let trailing = self.win_count as f64;
+        self.fold_window(trailing);
+
+        let gaps = (self.arrivals - 1) as f64;
+        let gap_mean = self.gap_sum / gaps;
+        let gap_var = (self.gap_sumsq / gaps - gap_mean * gap_mean).max(0.0);
+        let iat_cv = if gap_mean > 0.0 { gap_var.sqrt() / gap_mean } else { 0.0 };
+
+        let n_win = self.windows as f64;
+        let win_mean = self.win_sum / n_win;
+        let win_var = (self.win_sumsq / n_win - win_mean * win_mean).max(0.0);
+        OfferedLoad {
+            arrivals: self.arrivals,
+            mean_rate_per_s: if span_ms > 0.0 {
+                (self.arrivals - 1) as f64 / span_ms * 1_000.0
+            } else {
+                0.0
+            },
+            iat_cv,
+            peak_to_mean: if win_mean > 0.0 { self.win_max / win_mean } else { 0.0 },
+            fano: if win_mean > 0.0 { win_var / win_mean } else { 0.0 },
+            window_ms,
+        }
+    }
+}
+
+impl Default for LoadRecorder {
+    /// One-second counting windows.
+    fn default() -> LoadRecorder {
+        LoadRecorder::new(1_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{ArrivalProcess, Fixed, Mmpp, Poisson};
+    use simkit::rng::Rng;
+
+    fn offered(process: &mut dyn ArrivalProcess, n: usize) -> OfferedLoad {
+        let mut rng = Rng::seed_from(5).fork("stats-test");
+        let mut recorder = LoadRecorder::default();
+        let mut t = 0.0;
+        for _ in 0..n {
+            recorder.record(t);
+            t += process.next_gap_ms(&mut rng);
+        }
+        recorder.finish()
+    }
+
+    #[test]
+    fn fixed_stream_has_zero_cv_and_unit_peak() {
+        let load = offered(&mut Fixed { gap_ms: 100.0 }, 5_000);
+        assert_eq!(load.arrivals, 5_000);
+        assert!((load.mean_rate_per_s - 10.0).abs() < 0.01, "rate {}", load.mean_rate_per_s);
+        assert!(load.iat_cv < 1e-9, "cv {}", load.iat_cv);
+        assert!((load.peak_to_mean - 1.0).abs() < 0.01, "p2m {}", load.peak_to_mean);
+        assert!(load.fano < 0.01, "fano {}", load.fano);
+    }
+
+    #[test]
+    fn poisson_stream_has_unit_cv_and_unit_fano() {
+        let load = offered(&mut Poisson { mean_ms: 20.0 }, 50_000);
+        assert!((load.mean_rate_per_s - 50.0).abs() < 1.5, "rate {}", load.mean_rate_per_s);
+        assert!((load.iat_cv - 1.0).abs() < 0.03, "cv {}", load.iat_cv);
+        assert!((load.fano - 1.0).abs() < 0.15, "fano {}", load.fano);
+    }
+
+    #[test]
+    fn mmpp_stream_is_overdispersed() {
+        let mut p = Mmpp::new(200.0, 2_000.0, 200.0, 1.0);
+        let load = offered(&mut p, 50_000);
+        assert!(load.iat_cv > 1.5, "cv {}", load.iat_cv);
+        assert!(load.fano > 2.0, "fano {}", load.fano);
+        assert!(load.peak_to_mean > 2.0, "p2m {}", load.peak_to_mean);
+    }
+
+    #[test]
+    fn empty_windows_between_bursts_are_counted() {
+        let mut recorder = LoadRecorder::new(10.0);
+        // Two bursts 100 ms apart: nine empty windows in between must
+        // drag the mean window count down.
+        for i in 0..5 {
+            recorder.record(i as f64);
+        }
+        for i in 0..5 {
+            recorder.record(100.0 + i as f64);
+        }
+        let load = recorder.finish();
+        assert_eq!(load.arrivals, 10);
+        // 11 windows total (two busy, nine empty): mean = 10/11.
+        assert!((load.peak_to_mean - 5.0 / (10.0 / 11.0)).abs() < 1e-9, "{}", load.peak_to_mean);
+        assert!(load.fano > 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert_eq!(LoadRecorder::default().finish().arrivals, 0);
+        let mut one = LoadRecorder::default();
+        one.record(5.0);
+        let load = one.finish();
+        assert_eq!(load.arrivals, 1);
+        assert_eq!(load.mean_rate_per_s, 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Golden regression pins for the streaming client path.
+//!
+//! The bit-exact constants below were captured from the pre-refactor
+//! streaming path (submit everything up front, then drain in slices).
+//! The current path interleaves just-in-time submission with simulation
+//! under a submission window; these tests pin that the refactor — and any
+//! future change to the client, cloud, or engine — reproduces the legacy
+//! output exactly: same counts, same simulated duration, same latency
+//! aggregate bits.
+
+use stellar_core::client::{run_workload_with, MeasureSpec};
+use stellar_core::config::{IatSpec, RuntimeConfig, StaticConfig, StaticFunction};
+use stellar_core::deployer::deploy;
+
+struct Golden {
+    label: &'static str,
+    iat: IatSpec,
+    samples: u32,
+    warmup: u32,
+    burst: u32,
+    measured: u64,
+    warmup_count: u64,
+    cold: u64,
+    dur_ns: u64,
+    mean_bits: u64,
+    p50_bits: u64,
+    p99_bits: u64,
+}
+
+const CLOUD_SEED: u64 = 7;
+const CLIENT_SEED: u64 = 9;
+
+#[test]
+fn streaming_path_matches_pre_refactor_golden() {
+    let goldens = [
+        Golden {
+            label: "fixed",
+            iat: IatSpec::Fixed { ms: 250.0 },
+            samples: 500,
+            warmup: 20,
+            burst: 1,
+            measured: 500,
+            warmup_count: 20,
+            cold: 0,
+            dur_ns: 130_939_453_086,
+            mean_bits: 0x4044_4000_0000_0000,
+            p50_bits: 0x4044_4000_0000_0000,
+            p99_bits: 0x4044_4000_0000_0000,
+        },
+        Golden {
+            label: "fixed-burst",
+            iat: IatSpec::Fixed { ms: 2_000.0 },
+            samples: 300,
+            warmup: 10,
+            burst: 10,
+            measured: 300,
+            warmup_count: 100,
+            cold: 0,
+            dur_ns: 78_257_812_500,
+            mean_bits: 0x4045_6000_0000_0000,
+            p50_bits: 0x4045_6000_0000_0000,
+            p99_bits: 0x4046_8000_0000_0000,
+        },
+        Golden {
+            label: "expo",
+            iat: IatSpec::Exponential { mean_ms: 50.0 },
+            samples: 400,
+            warmup: 10,
+            burst: 1,
+            measured: 400,
+            warmup_count: 10,
+            cold: 0,
+            dur_ns: 19_989_191_616,
+            mean_bits: 0x4044_4098_8df0_c3f8,
+            p50_bits: 0x4044_4000_0000_0000,
+            p99_bits: 0x4044_5edd_c126_5077,
+        },
+    ];
+    for g in goldens {
+        let mut cfg = RuntimeConfig::single(g.iat.clone(), g.samples);
+        cfg.warmup_rounds = g.warmup;
+        cfg.burst_size = g.burst;
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::python_zip("f")] };
+        let mut cloud =
+            faas_sim::cloud::CloudSim::new(faas_sim::testutil::test_provider(), CLOUD_SEED);
+        let d = deploy(&mut cloud, &static_cfg, &cfg).unwrap();
+        let r =
+            run_workload_with(&mut cloud, &d, &cfg, CLIENT_SEED, &MeasureSpec::sketch()).unwrap();
+        let mut agg = r.latency_agg.clone();
+        assert_eq!(r.measured_count, g.measured, "{}: measured", g.label);
+        assert_eq!(r.warmup_count, g.warmup_count, "{}: warmup", g.label);
+        assert_eq!(r.cold_count, g.cold, "{}: cold", g.label);
+        assert_eq!(r.duration.as_nanos(), g.dur_ns, "{}: duration drifted", g.label);
+        assert_eq!(agg.mean().to_bits(), g.mean_bits, "{}: mean bits drifted", g.label);
+        assert_eq!(agg.quantile(0.5).to_bits(), g.p50_bits, "{}: p50 bits drifted", g.label);
+        assert_eq!(agg.quantile(0.99).to_bits(), g.p99_bits, "{}: p99 bits drifted", g.label);
+    }
+}

@@ -147,7 +147,7 @@ fn verify_trace(outcome: &Outcome) -> usize {
     let completions: Vec<&Completion> =
         outcome.result.warmup_completions.iter().chain(outcome.result.completions.iter()).collect();
     for completion in &completions {
-        let request = completion.id.index() as u64;
+        let request = completion.id.packed();
         let root =
             roots.get(&request).unwrap_or_else(|| panic!("request {request} has no root span"));
         assert_eq!(root.parent, None, "external roots must be trace roots");
@@ -229,6 +229,7 @@ mod properties {
                 warmup_rounds: 1,
                 exec_ms,
                 chain,
+                workload: None,
             };
             let function = if runtime.chain.is_some() {
                 StaticFunction::go_zip("f")
