@@ -1,0 +1,14 @@
+//! Regenerates the hedging-frontier artifact (tail latency vs wasted
+//! work per provider); `--samples N` overrides the default 3000-sample
+//! methodology (§V).
+
+fn main() {
+    let samples = bench::report::PAPER_SAMPLES;
+    let samples = std::env::args()
+        .skip_while(|a| a != "--samples")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(samples);
+    let report = bench::experiments::hedge::measure(samples).report();
+    println!("{}", report.render());
+}

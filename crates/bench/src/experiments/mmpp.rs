@@ -35,7 +35,8 @@ impl Shape {
     /// All shapes, baseline first.
     pub const ALL: [Shape; 2] = [Shape::Poisson, Shape::Mmpp];
 
-    fn label(self) -> &'static str {
+    /// Row label.
+    pub fn label(self) -> &'static str {
         match self {
             Shape::Poisson => "poisson",
             Shape::Mmpp => "mmpp",

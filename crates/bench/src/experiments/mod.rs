@@ -10,6 +10,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod hedge;
 pub mod keepalive;
 pub mod mmpp;
 pub mod table1;

@@ -51,6 +51,7 @@ fn warm_workload_sketch_matches_exact() {
         exec_ms: 0.0,
         chain: None,
         workload: None,
+        policy: None,
     };
     let base = Experiment::new(aws_like())
         .functions(StaticConfig { functions: vec![StaticFunction::python_zip("warm")] })
@@ -72,6 +73,7 @@ fn cold_workload_sketch_matches_exact() {
         exec_ms: 0.0,
         chain: None,
         workload: None,
+        policy: None,
     };
     let function = StaticFunction::python_zip("cold").with_replicas(replicas);
     let base = Experiment::new(google_like())
@@ -95,6 +97,7 @@ fn bursty_workload_sketch_matches_exact() {
         exec_ms: 0.0,
         chain: None,
         workload: None,
+        policy: None,
     };
     let base = Experiment::new(aws_like())
         .functions(StaticConfig { functions: vec![StaticFunction::python_zip("burst")] })

@@ -16,6 +16,10 @@ pub struct RunOptions {
     /// a path to a workload-spec JSON. Supersedes the runtime config's
     /// IAT.
     pub workload: Option<String>,
+    /// Tail-tolerance policy: a preset name (`hedge-p95`, `tied-2`, …),
+    /// a path to a policy-spec JSON, or `none` for the unmodified
+    /// baseline.
+    pub policy: Option<String>,
     /// Measured samples when `--runtime` is omitted.
     pub samples: u32,
     /// Warm-up arrivals when `--runtime` is omitted.
@@ -89,6 +93,10 @@ pub struct SweepOptions {
     /// Workload models to sweep as an extra grid axis: preset names or
     /// workload-spec JSON paths. Empty = legacy IAT behaviour.
     pub workloads: Vec<String>,
+    /// Tail-tolerance policies swept as an extra grid axis: preset
+    /// names, policy-spec JSON paths, or `none` for the baseline. Empty
+    /// = no policy axis (and byte-identical legacy output).
+    pub policies: Vec<String>,
     /// Worker threads; 0 selects the machine's parallelism.
     pub threads: usize,
     /// Write the CSV report here instead of stdout.
@@ -150,6 +158,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut static_path = None;
             let mut runtime_path = None;
             let mut workload = None;
+            let mut policy = None;
             let mut samples = 100u32;
             let mut warmup = 0u32;
             let mut provider = "aws-like".to_string();
@@ -168,6 +177,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--static" => static_path = Some(value("--static")?),
                     "--runtime" => runtime_path = Some(value("--runtime")?),
                     "--workload" => workload = Some(value("--workload")?),
+                    "--policy" => policy = Some(value("--policy")?),
                     "--samples" => {
                         samples =
                             value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?;
@@ -204,6 +214,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 static_path,
                 runtime_path,
                 workload,
+                policy,
                 samples,
                 warmup,
                 provider,
@@ -225,6 +236,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut base_seed = 0u64;
             let mut samples = 100u32;
             let mut workloads: Vec<String> = Vec::new();
+            let mut policies: Vec<String> = Vec::new();
             let mut threads = 0usize;
             let mut out = None;
             let mut queue = QueueKind::default();
@@ -278,6 +290,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             return Err("--workload needs at least one name or file".to_string());
                         }
                     }
+                    "--policy" | "--policies" => {
+                        policies = value("--policy")?
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                        if policies.is_empty() {
+                            return Err("--policy needs at least one name or file".to_string());
+                        }
+                    }
                     "--out" => out = Some(value("--out")?),
                     "--queue" => queue = parse_queue(&value("--queue")?)?,
                     "--quantile-mode" => {
@@ -294,6 +316,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 base_seed,
                 samples,
                 workloads,
+                policies,
                 threads,
                 out,
                 queue,
@@ -373,6 +396,10 @@ RUN OPTIONS:
                              multi-tenant) or a workload-spec JSON;
                              supersedes the runtime config's IAT and makes
                              --static/--runtime optional
+    --policy <name|file>     tail-tolerance policy: a preset (hedge-p95,
+                             hedge-p99, hedge-200ms, retry-backoff,
+                             deadline-2s, tied-2, hedge-deadline), a
+                             policy-spec JSON, or none (baseline)
     --samples <n>            measured arrivals without --runtime
                              [default: 100]
     --warmup <n>             warm-up arrivals without --runtime [default: 0]
@@ -399,6 +426,9 @@ SWEEP OPTIONS:
     --samples <n>            samples per cell without --runtime [default: 100]
     --workload <a,b,c>       workload models swept as an extra grid axis:
                              comma-separated presets or spec JSON paths
+    --policy <a,b,c>         tail-tolerance policies swept as an extra grid
+                             axis: comma-separated presets, spec JSON paths
+                             or none; adds policy columns to the CSV
     --threads <n>            worker threads, 0 = all cores [default: 0]
     --out <file>             write the CSV report here instead of stdout
     --queue <kind>           event queue: calendar or binary-heap
@@ -452,6 +482,7 @@ mod tests {
         assert_eq!(opts.static_path.as_deref(), Some("s.json"));
         assert_eq!(opts.runtime_path.as_deref(), Some("r.json"));
         assert_eq!(opts.workload, None);
+        assert_eq!(opts.policy, None);
         assert_eq!(opts.provider, "google-like");
         assert_eq!(opts.seed, 9);
         assert!(opts.breakdown && opts.cdf);
@@ -524,6 +555,24 @@ mod tests {
     }
 
     #[test]
+    fn run_policy_flag_parses() {
+        let cmd =
+            parse_args(&strs(&["run", "--workload", "poisson", "--policy", "hedge-p95"])).unwrap();
+        let Command::Run(opts) = cmd else { panic!("expected run") };
+        assert_eq!(opts.policy.as_deref(), Some("hedge-p95"));
+        assert!(parse_args(&strs(&["run", "--workload", "poisson", "--policy"])).is_err());
+    }
+
+    #[test]
+    fn sweep_policy_axis_parses_comma_separated() {
+        let cmd = parse_args(&strs(&["sweep", "--policy", "none,hedge-p95,tied-2"])).unwrap();
+        let Command::Sweep(opts) = cmd else { panic!("expected sweep") };
+        assert_eq!(opts.policies, ["none", "hedge-p95", "tied-2"]);
+        assert!(parse_args(&strs(&["sweep", "--policies", "none"])).is_ok(), "plural alias");
+        assert!(parse_args(&strs(&["sweep", "--policy", ""])).is_err());
+    }
+
+    #[test]
     fn unknown_flags_and_commands_error() {
         assert!(parse_args(&strs(&["run", "--static", "a", "--runtime", "b", "--bogus"])).is_err());
         assert!(parse_args(&strs(&["frobnicate"])).is_err());
@@ -575,6 +624,7 @@ mod tests {
         assert_eq!(opts.base_seed, 100);
         assert_eq!(opts.samples, 50);
         assert_eq!(opts.workloads, Vec::<String>::new());
+        assert_eq!(opts.policies, Vec::<String>::new());
         assert_eq!(opts.threads, 8);
         assert_eq!(opts.out.as_deref(), Some("report.csv"));
         assert_eq!(opts.queue, QueueKind::BinaryHeap);

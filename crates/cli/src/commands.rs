@@ -70,6 +70,32 @@ fn resolve_workload(name_or_path: &str) -> Result<workload::WorkloadSpec, CliErr
         .map_err(|e| CliError::Config(format!("{name_or_path}: {e}")))
 }
 
+/// Resolves a `--policy` axis entry: `none` is the unmodified baseline,
+/// otherwise a preset name or a path to a policy-spec JSON.
+fn resolve_policy(name_or_path: &str) -> Result<Option<policy::PolicySpec>, CliError> {
+    if name_or_path == "none" {
+        return Ok(None);
+    }
+    if let Some(spec) = policy::PolicySpec::preset(name_or_path) {
+        return Ok(Some(spec));
+    }
+    let text = read(name_or_path)?;
+    policy::PolicySpec::from_json(&text)
+        .map(Some)
+        .map_err(|e| CliError::Config(format!("{name_or_path}: {e}")))
+}
+
+/// Short label for a policy axis entry: `none`, the preset name, or the
+/// file stem of a spec path.
+fn policy_axis_label(name_or_path: &str) -> String {
+    if name_or_path == "none" || policy::PolicySpec::preset(name_or_path).is_some() {
+        return name_or_path.to_string();
+    }
+    std::path::Path::new(name_or_path)
+        .file_stem()
+        .map_or_else(|| name_or_path.to_string(), |s| s.to_string_lossy().into_owned())
+}
+
 /// Short label for a workload axis entry: the preset name, or the file
 /// stem of a spec path.
 fn workload_label(name_or_path: &str) -> String {
@@ -142,6 +168,9 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
     if let Some(name) = &opts.workload {
         runtime_cfg.workload = Some(resolve_workload(name)?);
     }
+    if let Some(name) = &opts.policy {
+        runtime_cfg.policy = resolve_policy(name)?;
+    }
     let provider = resolve_provider(&opts.provider)?;
     let provider_name = provider.name.clone();
 
@@ -179,6 +208,26 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
     }
     if let Some(ts) = &outcome.transfer_summary {
         out.push_str(&format!("transfers: {ts}\n"));
+    }
+    // Policy-driven runs report what the policy did and what it cost; a
+    // run without --policy prints exactly the lines it always did.
+    if let Some(p) = &outcome.result.policy {
+        out.push_str(&format!(
+            "policy: {} logical requests, {} extra launches ({:.2}/req), \
+             {} cancels, {} duplicate successes, {} abandoned\n",
+            p.logical,
+            p.extra_launches,
+            p.hedge_fire_rate(),
+            p.cancels,
+            p.duplicate_successes,
+            p.abandoned,
+        ));
+        out.push_str(&format!(
+            "wasted work: {:.1} ms of {:.1} ms busy time ({:.1}%)\n",
+            p.wasted_busy_ms,
+            p.used_busy_ms + p.wasted_busy_ms,
+            p.wasted_fraction() * 100.0,
+        ));
     }
     if opts.cdf {
         out.push('\n');
@@ -226,17 +275,43 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
         })
         .collect::<Result<Vec<_>, CliError>>()?;
     let seeds: Vec<u64> = (opts.base_seed..opts.base_seed + opts.seeds).collect();
-    let grid = if opts.workloads.is_empty() {
-        SweepGrid::new(scenarios, seeds)
-    } else {
-        let workloads = opts
-            .workloads
-            .iter()
-            .map(|name| Ok((workload_label(name), resolve_workload(name)?)))
-            .collect::<Result<Vec<_>, CliError>>()?;
-        let axis: Vec<(&str, workload::WorkloadSpec)> =
-            workloads.iter().map(|(label, spec)| (label.as_str(), spec.clone())).collect();
-        SweepGrid::cross_workloads(scenarios, &axis, seeds)
+    let workloads = opts
+        .workloads
+        .iter()
+        .map(|name| Ok((workload_label(name), resolve_workload(name)?)))
+        .collect::<Result<Vec<_>, CliError>>()?;
+    let waxis: Vec<(&str, workload::WorkloadSpec)> =
+        workloads.iter().map(|(label, spec)| (label.as_str(), spec.clone())).collect();
+    let policies = opts
+        .policies
+        .iter()
+        .map(|name| Ok((policy_axis_label(name), resolve_policy(name)?)))
+        .collect::<Result<Vec<_>, CliError>>()?;
+    let paxis: Vec<(&str, Option<policy::PolicySpec>)> =
+        policies.iter().map(|(label, spec)| (label.as_str(), spec.clone())).collect();
+    let grid = match (waxis.is_empty(), paxis.is_empty()) {
+        (true, true) => SweepGrid::new(scenarios, seeds),
+        (false, true) => SweepGrid::cross_workloads(scenarios, &waxis, seeds),
+        (true, false) => SweepGrid::cross_policies(scenarios, &paxis, seeds),
+        (false, false) => {
+            // Workload axis first (matching cross_workloads labels), then
+            // the policy axis on top: "{provider}/{workload}+{policy}".
+            let crossed: Vec<Scenario> = scenarios
+                .into_iter()
+                .flat_map(|s| {
+                    waxis
+                        .iter()
+                        .map(|(name, spec)| {
+                            let mut cell = s.clone();
+                            cell.label = format!("{}/{name}", s.label);
+                            cell.runtime_cfg.workload = Some(spec.clone());
+                            cell
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            SweepGrid::cross_policies(crossed, &paxis, seeds)
+        }
     };
     let cells = grid.len();
     let measure = match opts.quantile_mode {
@@ -247,16 +322,14 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
 
     // The summary deliberately omits the worker count: the report must be
     // byte-identical however the sweep was parallelised.
-    let axes = if opts.workloads.is_empty() {
-        format!("{} providers x {} seeds", opts.providers.len(), opts.seeds)
-    } else {
-        format!(
-            "{} providers x {} workloads x {} seeds",
-            opts.providers.len(),
-            opts.workloads.len(),
-            opts.seeds
-        )
-    };
+    let mut axes = format!("{} providers", opts.providers.len());
+    if !opts.workloads.is_empty() {
+        axes.push_str(&format!(" x {} workloads", opts.workloads.len()));
+    }
+    if !opts.policies.is_empty() {
+        axes.push_str(&format!(" x {} policies", opts.policies.len()));
+    }
+    axes.push_str(&format!(" x {} seeds", opts.seeds));
     let mut out = format!(
         "sweep: {axes} = {} cells ({} ok, {} failed)\n",
         cells,
@@ -269,7 +342,9 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
         report.metrics.counter(faas_sim::cloud::metric::REQUESTS_COMPLETED),
         report.metrics.counter(faas_sim::cloud::metric::COLD_STARTS),
     ));
-    let csv = report.to_csv();
+    // Policy sweeps get the extended CSV (policy outcome columns); plain
+    // sweeps keep today's byte-identical base CSV.
+    let csv = if opts.policies.is_empty() { report.to_csv() } else { report.to_csv_extended() };
     match &opts.out {
         Some(path) => {
             std::fs::write(path, &csv).map_err(|e| CliError::Io(path.clone(), e))?;
@@ -387,6 +462,7 @@ mod tests {
             static_path: Some(static_path),
             runtime_path: Some(runtime_path),
             workload: None,
+            policy: None,
             samples: 100,
             warmup: 0,
             provider: "google-like".into(),
@@ -422,6 +498,7 @@ mod tests {
             static_path: Some(static_path),
             runtime_path: Some(runtime_path),
             workload: None,
+            policy: None,
             samples: 100,
             warmup: 0,
             provider: "aws-like".into(),
@@ -484,6 +561,7 @@ mod tests {
             base_seed: 0,
             samples: 40,
             workloads: vec![],
+            policies: vec![],
             threads: 1,
             out: None,
             queue: QueueKind::Calendar,
@@ -527,6 +605,7 @@ mod tests {
             base_seed: 5,
             samples: 100,
             workloads: vec![],
+            policies: vec![],
             threads: 0,
             out: Some(out_path.clone()),
             queue: QueueKind::Calendar,
@@ -551,6 +630,7 @@ mod tests {
             static_path: Some(static_path),
             runtime_path: Some(runtime_path),
             workload: None,
+            policy: None,
             samples: 100,
             warmup: 0,
             provider: "aws-like".into(),
@@ -572,6 +652,7 @@ mod tests {
             static_path: Some("/nonexistent/s.json".into()),
             runtime_path: Some("/nonexistent/r.json".into()),
             workload: None,
+            policy: None,
             samples: 100,
             warmup: 0,
             provider: "aws-like".into(),
@@ -600,6 +681,7 @@ mod tests {
             static_path: None,
             runtime_path: None,
             workload: Some("mmpp-burst".into()),
+            policy: None,
             samples: 60,
             warmup: 5,
             provider: "aws-like".into(),
@@ -627,6 +709,7 @@ mod tests {
             static_path: None,
             runtime_path: None,
             workload: Some(spec_path),
+            policy: None,
             samples: 30,
             warmup: 0,
             provider: "aws-like".into(),
@@ -644,6 +727,7 @@ mod tests {
             workload: Some("no-such-preset-or-file".into()),
             static_path: None,
             runtime_path: None,
+            policy: None,
             samples: 10,
             warmup: 0,
             provider: "aws-like".into(),
@@ -668,6 +752,7 @@ mod tests {
             base_seed: 0,
             samples: 25,
             workloads: vec!["poisson".into(), "mmpp-burst".into()],
+            policies: vec![],
             threads: 1,
             out: None,
             queue: QueueKind::Calendar,
@@ -685,5 +770,79 @@ mod tests {
         let heap = execute(&Command::Sweep(SweepOptions { queue: QueueKind::BinaryHeap, ..base }))
             .unwrap();
         assert_eq!(serial, heap, "queue backend must not change workload-sweep results");
+    }
+
+    #[test]
+    fn run_with_policy_reports_policy_lines_and_none_is_baseline() {
+        let base = RunOptions {
+            static_path: None,
+            runtime_path: None,
+            workload: Some("poisson".into()),
+            policy: None,
+            samples: 30,
+            warmup: 2,
+            provider: "aws-like".into(),
+            seed: 5,
+            breakdown: false,
+            cdf: false,
+            csv: None,
+            svg: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
+        };
+        let plain = execute(&Command::Run(base.clone())).unwrap();
+        assert!(!plain.contains("policy:"), "{plain}");
+
+        // `--policy none` is the baseline: byte-identical to no flag.
+        let none =
+            execute(&Command::Run(RunOptions { policy: Some("none".into()), ..base.clone() }))
+                .unwrap();
+        assert_eq!(plain, none, "--policy none must not change the run");
+
+        let tied =
+            execute(&Command::Run(RunOptions { policy: Some("tied-2".into()), ..base.clone() }))
+                .unwrap();
+        assert!(tied.contains("policy: 32 logical requests, 32 extra launches"), "{tied}");
+        assert!(tied.contains("wasted work:"), "{tied}");
+
+        // Unknown preset that is not a file errors cleanly.
+        assert!(execute(&Command::Run(RunOptions {
+            policy: Some("no-such-policy".into()),
+            ..base
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_policy_axis_is_byte_identical_across_threads() {
+        let base = SweepOptions {
+            static_path: None,
+            runtime_path: None,
+            providers: vec!["aws-like".into()],
+            seeds: 2,
+            base_seed: 0,
+            samples: 25,
+            workloads: vec![],
+            policies: vec!["none".into(), "tied-2".into()],
+            threads: 1,
+            out: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
+        };
+        let serial = execute(&Command::Sweep(base.clone())).unwrap();
+        let threaded =
+            execute(&Command::Sweep(SweepOptions { threads: 4, ..base.clone() })).unwrap();
+        assert_eq!(serial, threaded, "policy sweep must not depend on worker count");
+        assert!(serial.contains("1 providers x 2 policies x 2 seeds = 4 cells (4 ok, 0 failed)"));
+        assert!(serial.contains("p999_ms,hedge_rate,wasted_fraction"), "{serial}");
+        assert!(serial.contains("aws-like+none"), "{serial}");
+        assert!(serial.contains("aws-like+tied-2"), "{serial}");
+
+        // Policies compose with the workload axis.
+        let both =
+            execute(&Command::Sweep(SweepOptions { workloads: vec!["poisson".into()], ..base }))
+                .unwrap();
+        assert!(both.contains("1 providers x 1 workloads x 2 policies x 2 seeds"), "{both}");
+        assert!(both.contains("aws-like/poisson+tied-2"), "{both}");
     }
 }

@@ -104,6 +104,10 @@ pub struct RunResult {
     /// Realized offered-load summary. Populated by workload-spec runs
     /// ([`run_workload_spec`]); `None` on legacy IAT runs.
     pub offered: Option<OfferedLoad>,
+    /// Tail-tolerance policy accounting. Populated only when the run's
+    /// [`RuntimeConfig`](crate::config::RuntimeConfig) carried a policy;
+    /// `None` on plain runs.
+    pub policy: Option<policy::PolicyStats>,
 }
 
 impl RunResult {
@@ -220,6 +224,13 @@ pub fn run_workload_with(
 ) -> Result<RunResult, ClientError> {
     cfg.validate().map_err(ClientError::InvalidConfig)?;
     measure.validate().map_err(ClientError::InvalidConfig)?;
+    if cfg.policy.is_some() {
+        return Err(ClientError::InvalidConfig(
+            "policies run on the workload-spec driver; attach a workload (or let \
+             Experiment synthesize one from the IAT)"
+                .to_string(),
+        ));
+    }
     if deployment.is_empty() {
         return Err(ClientError::EmptyDeployment);
     }
@@ -295,6 +306,7 @@ pub fn run_workload_with(
             transfer_agg,
             duration: cloud.now() - start,
             offered: None,
+            policy: None,
         })
     } else {
         // Streaming runs interleave arrival generation with simulation so
@@ -386,6 +398,7 @@ pub fn run_workload_with(
             cold_count,
             duration: cloud.now() - start,
             offered: None,
+            policy: None,
         })
     }
 }
@@ -393,7 +406,7 @@ pub fn run_workload_with(
 /// Shared measurement sink for workload-spec runs: absorbs completions
 /// and transfers either into retained vectors (`keep_samples`) or
 /// directly into the streaming aggregates.
-struct Collector {
+pub(crate) struct Collector {
     keep: bool,
     warmup_tag: u64,
     completions: Vec<Completion>,
@@ -409,7 +422,7 @@ struct Collector {
 }
 
 impl Collector {
-    fn new(measure: &MeasureSpec, warmup_tag: u64) -> Collector {
+    pub(crate) fn new(measure: &MeasureSpec, warmup_tag: u64) -> Collector {
         Collector {
             keep: measure.keep_samples,
             warmup_tag,
@@ -426,7 +439,7 @@ impl Collector {
         }
     }
 
-    fn absorb(&mut self, c: Completion) {
+    pub(crate) fn absorb(&mut self, c: Completion) {
         self.received += 1;
         if self.keep {
             self.completions.push(c);
@@ -443,7 +456,7 @@ impl Collector {
         }
     }
 
-    fn absorb_transfer(&mut self, tr: TransferSample) {
+    pub(crate) fn absorb_transfer(&mut self, tr: TransferSample) {
         if self.keep {
             self.transfers.push(tr);
         } else if tr.parent_tag >= self.warmup_tag {
@@ -478,7 +491,7 @@ impl Collector {
         fresh
     }
 
-    fn finish(
+    pub(crate) fn finish(
         mut self,
         expected: usize,
         duration: SimTime,
@@ -517,6 +530,7 @@ impl Collector {
                 transfer_agg: self.transfer_agg,
                 duration,
                 offered: Some(offered),
+                policy: None,
             })
         } else {
             Ok(RunResult {
@@ -530,6 +544,7 @@ impl Collector {
                 cold_count: self.cold_count,
                 duration,
                 offered: Some(offered),
+                policy: None,
             })
         }
     }
@@ -585,6 +600,25 @@ pub fn run_workload_spec(
     }
     let mut process = spec.build(seed);
     let mut rng = Rng::seed_from(seed).fork("workload-gaps");
+    if let Some(pspec) = &cfg.policy {
+        let mode = match spec.mode {
+            ModeSpec::Open => crate::policy_driver::DriveMode::Open,
+            ModeSpec::Closed { concurrency } => {
+                crate::policy_driver::DriveMode::Closed { concurrency }
+            }
+        };
+        return crate::policy_driver::drive_with_policy(
+            cloud,
+            deployment,
+            cfg,
+            process.as_mut(),
+            &mut rng,
+            measure,
+            pspec,
+            seed,
+            mode,
+        );
+    }
     match spec.mode {
         ModeSpec::Open => open_loop(cloud, deployment, cfg, process.as_mut(), &mut rng, measure),
         ModeSpec::Closed { concurrency } => {

@@ -243,6 +243,12 @@ pub struct RuntimeConfig {
     /// which therefore behave exactly as before.
     #[serde(default)]
     pub workload: Option<WorkloadSpec>,
+    /// Optional tail-tolerance policy. When present every logical request
+    /// is driven by a policy state machine (hedging, retries, deadlines,
+    /// tied requests); requires `burst_size == 1`. Absent in legacy
+    /// configs, which therefore behave exactly as before.
+    #[serde(default)]
+    pub policy: Option<policy::PolicySpec>,
 }
 
 fn default_burst() -> u32 {
@@ -260,6 +266,7 @@ impl RuntimeConfig {
             exec_ms: 0.0,
             chain: None,
             workload: None,
+            policy: None,
         }
     }
 
@@ -267,6 +274,13 @@ impl RuntimeConfig {
     /// [`RuntimeConfig::workload`].
     pub fn with_workload(mut self, spec: WorkloadSpec) -> RuntimeConfig {
         self.workload = Some(spec);
+        self
+    }
+
+    /// Attaches a tail-tolerance policy (consuming); see
+    /// [`RuntimeConfig::policy`].
+    pub fn with_policy(mut self, spec: policy::PolicySpec) -> RuntimeConfig {
+        self.policy = Some(spec);
         self
     }
 
@@ -296,6 +310,16 @@ impl RuntimeConfig {
         }
         if let Some(workload) = &self.workload {
             workload.validate()?;
+        }
+        if let Some(policy) = &self.policy {
+            policy.validate()?;
+            if self.burst_size != 1 {
+                return Err(format!(
+                    "policies drive one logical request per arrival; burst_size must be 1, \
+                     got {}",
+                    self.burst_size
+                ));
+            }
         }
         Ok(())
     }
@@ -373,6 +397,7 @@ mod tests {
             exec_ms: 0.0,
             chain: None,
             workload: None,
+            policy: None,
         };
         assert_eq!(cfg.measured_rounds(), 30);
         assert!(cfg.validate().is_ok());

@@ -180,6 +180,20 @@ impl Experiment {
                 self.seed,
                 &self.measure,
             )?,
+            // A policy without an explicit workload model runs on the
+            // spec driver too: the legacy IAT is lifted into an
+            // equivalent open-loop arrival process.
+            None if self.runtime_cfg.policy.is_some() => {
+                let spec = workload_from_iat(&self.runtime_cfg.iat);
+                run_workload_spec(
+                    &mut cloud,
+                    &deployment,
+                    &self.runtime_cfg,
+                    &spec,
+                    self.seed,
+                    &self.measure,
+                )?
+            }
             None => run_workload_with(
                 &mut cloud,
                 &deployment,
@@ -217,6 +231,20 @@ impl Experiment {
         let metrics = cloud.metrics().clone();
         Ok(Outcome { result, summary, transfer_summary, spans, metrics })
     }
+}
+
+/// Lifts a legacy [`crate::config::IatSpec`] into the equivalent
+/// open-loop workload model, so policy runs always go through the
+/// spec driver.
+fn workload_from_iat(iat: &crate::config::IatSpec) -> workload::WorkloadSpec {
+    use crate::config::IatSpec;
+    use workload::spec::{ArrivalSpec, ModeSpec};
+    let arrival = match *iat {
+        IatSpec::Fixed { ms } => ArrivalSpec::Fixed { ms },
+        IatSpec::Exponential { mean_ms } => ArrivalSpec::Exponential { mean_ms },
+        IatSpec::Uniform { lo_ms, hi_ms } => ArrivalSpec::Uniform { lo_ms, hi_ms },
+    };
+    workload::WorkloadSpec { arrival, mode: ModeSpec::Open }
 }
 
 #[cfg(test)]
@@ -287,6 +315,19 @@ mod tests {
             outcome.metrics.counter(faas_sim::cloud::metric::REQUEST_SLOTS_HIGH_WATER) <= 65,
             "high water bounded by total requests"
         );
+    }
+
+    #[test]
+    fn policy_without_workload_lifts_the_iat_into_a_spec_run() {
+        let mut runtime = RuntimeConfig::single(IatSpec::Exponential { mean_ms: 400.0 }, 40)
+            .with_policy(policy::PolicySpec::preset("hedge-200ms").unwrap());
+        runtime.warmup_rounds = 2;
+        runtime.exec_ms = 300.0;
+        let outcome = Experiment::new(test_provider()).workload(runtime).seed(8).run().unwrap();
+        assert_eq!(outcome.summary.count, 40);
+        assert!(outcome.result.offered.is_some(), "lifted IAT runs on the spec driver");
+        let stats = outcome.result.policy.expect("policy stats surface through Outcome");
+        assert_eq!(stats.extra_launches, 42, "300 ms execution hedges every request");
     }
 
     #[test]

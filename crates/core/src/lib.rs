@@ -38,6 +38,7 @@ pub mod client;
 pub mod config;
 pub mod deployer;
 pub mod experiment;
+mod policy_driver;
 pub mod protocols;
 pub mod runner;
 pub mod traceio;
@@ -48,4 +49,6 @@ pub use client::{run_workload, ClientError, RunResult};
 pub use config::{ChainConfig, IatSpec, RuntimeConfig, StaticConfig, StaticFunction};
 pub use deployer::{deploy, Deployment, Endpoint};
 pub use experiment::{Experiment, ExperimentError, Outcome};
-pub use runner::{CellRow, CellStats, Scenario, SweepGrid, SweepReport, SweepRunner};
+pub use runner::{
+    CellRow, CellStats, PolicyCellStats, Scenario, SweepGrid, SweepReport, SweepRunner,
+};

@@ -46,6 +46,7 @@ pub fn warm_invocations(
         exec_ms: 0.0,
         chain: None,
         workload: None,
+        policy: None,
     };
     Experiment::new(provider)
         .functions(StaticConfig { functions: vec![StaticFunction::python_zip("warm")] })
@@ -102,6 +103,7 @@ pub fn cold_invocations(
         exec_ms: 0.0,
         chain: None,
         workload: None,
+        policy: None,
     };
     let function = StaticFunction {
         name: "cold".to_string(),
@@ -140,6 +142,7 @@ pub fn transfer_chain(
         exec_ms: 0.0,
         chain: Some(ChainConfig { length: 2, mode, payload_bytes }),
         workload: None,
+        policy: None,
     };
     Experiment::new(provider)
         .functions(StaticConfig { functions: vec![StaticFunction::go_zip("xfer")] })
@@ -191,6 +194,7 @@ pub fn bursty_invocations(
         exec_ms,
         chain: None,
         workload: None,
+        policy: None,
     };
     let function = StaticFunction::python_zip("burst").with_replicas(replicas);
     Experiment::new(provider)
@@ -225,6 +229,7 @@ pub fn memory_sweep(
             exec_ms,
             chain: None,
             workload: None,
+            policy: None,
         };
         let function = StaticFunction {
             name: format!("mem{memory_mb}"),

@@ -88,6 +88,14 @@ impl Scenario {
         self.runtime_cfg.workload = Some(spec);
         self
     }
+
+    /// Attaches a tail-tolerance policy to the scenario's runtime
+    /// configuration (consuming): every logical request in the cell is
+    /// driven by the policy's state machine.
+    pub fn policy(mut self, spec: policy::PolicySpec) -> Scenario {
+        self.runtime_cfg.policy = Some(spec);
+        self
+    }
 }
 
 /// A scenarios × seeds experiment grid, laid out scenario-major: cell
@@ -153,6 +161,50 @@ impl SweepGrid {
             .collect();
         SweepGrid::new(crossed, seeds)
     }
+
+    /// Builds a grid with the tail-tolerance policy as an explicit sweep
+    /// axis: every scenario is crossed with every named policy, producing
+    /// `scenarios × policies × seeds` cells labelled
+    /// `"{scenario}+{policy}"`. A `None` policy is the unmodified
+    /// baseline, labelled `"{scenario}+none"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty.
+    pub fn cross_policies(
+        scenarios: Vec<Scenario>,
+        policies: &[(&str, Option<policy::PolicySpec>)],
+        seeds: Vec<u64>,
+    ) -> SweepGrid {
+        assert!(!policies.is_empty(), "sweep grid needs at least one policy");
+        let crossed = scenarios
+            .into_iter()
+            .flat_map(|s| {
+                policies.iter().map(move |(name, spec)| {
+                    let mut cell = s.clone();
+                    cell.label = format!("{}+{name}", s.label);
+                    cell.runtime_cfg.policy = spec.clone();
+                    cell
+                })
+            })
+            .collect();
+        SweepGrid::new(crossed, seeds)
+    }
+}
+
+/// Tail-tolerance outcomes a policy-driven cell adds to its row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyCellStats {
+    /// 99.9th percentile end-to-end latency of winners, ms.
+    pub p999_ms: f64,
+    /// Extra attempts launched per logical request.
+    pub hedge_rate: f64,
+    /// Fraction of consumed instance time thrown away, in `[0, 1]`.
+    pub wasted_fraction: f64,
+    /// Attempts that completed after their request was already won.
+    pub duplicate_successes: u64,
+    /// Logical requests abandoned by a deadline.
+    pub abandoned: u64,
 }
 
 /// The statistics a successful cell contributes to the report.
@@ -170,11 +222,30 @@ pub struct CellStats {
     pub tmr: f64,
     /// Fraction of measured completions that waited on a cold start.
     pub cold_fraction: f64,
+    /// Policy outcomes; `None` unless the cell ran a tail-tolerance
+    /// policy.
+    pub policy: Option<PolicyCellStats>,
 }
 
 impl CellStats {
     fn from_outcome(outcome: &Outcome) -> CellStats {
         let Summary { count, median, p95, tail, tmr, .. } = outcome.summary;
+        let policy = outcome.result.policy.as_ref().map(|stats| {
+            // p99.9 comes from retained samples when we have them, and
+            // from the streaming aggregate otherwise.
+            let p999_ms = if outcome.result.completions.is_empty() {
+                outcome.result.latency_agg.clone().quantile(0.999)
+            } else {
+                stats::percentile(&outcome.result.latencies_ms(), 0.999)
+            };
+            PolicyCellStats {
+                p999_ms,
+                hedge_rate: stats.hedge_fire_rate(),
+                wasted_fraction: stats.wasted_fraction(),
+                duplicate_successes: stats.duplicate_successes,
+                abandoned: stats.abandoned,
+            }
+        });
         CellStats {
             count,
             median_ms: median,
@@ -182,6 +253,7 @@ impl CellStats {
             p99_ms: tail,
             tmr,
             cold_fraction: outcome.result.cold_fraction(),
+            policy,
         }
     }
 }
@@ -252,6 +324,55 @@ impl SweepReport {
                     let msg = msg.replace(',', ";").replace('\n', " ");
                     out.push_str(&format!(
                         "{},{},{},error,,,,,,,{}\n",
+                        row.index, row.scenario, row.seed, msg
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// [`SweepReport::to_csv`] plus the policy columns (p99.9, hedge
+    /// rate, wasted-work fraction, duplicate successes, abandons).
+    /// Cells without a policy leave those columns empty. The base CSV is
+    /// kept separate so existing pipelines keep parsing byte-identical
+    /// output.
+    pub fn to_csv_extended(&self) -> String {
+        let mut out = String::from(
+            "cell,scenario,seed,status,samples,median_ms,p95_ms,p99_ms,tmr,cold_fraction,\
+             p999_ms,hedge_rate,wasted_fraction,duplicate_successes,abandoned,error\n",
+        );
+        for row in &self.rows {
+            match &row.result {
+                Ok(s) => {
+                    out.push_str(&format!(
+                        "{},{},{},ok,{},{:.3},{:.3},{:.3},{:.3},{:.4},",
+                        row.index,
+                        row.scenario,
+                        row.seed,
+                        s.count,
+                        s.median_ms,
+                        s.p95_ms,
+                        s.p99_ms,
+                        s.tmr,
+                        s.cold_fraction,
+                    ));
+                    match &s.policy {
+                        Some(p) => out.push_str(&format!(
+                            "{:.3},{:.4},{:.4},{},{},\n",
+                            p.p999_ms,
+                            p.hedge_rate,
+                            p.wasted_fraction,
+                            p.duplicate_successes,
+                            p.abandoned,
+                        )),
+                        None => out.push_str(",,,,,\n"),
+                    }
+                }
+                Err(msg) => {
+                    let msg = msg.replace(',', ";").replace('\n', " ");
+                    out.push_str(&format!(
+                        "{},{},{},error,,,,,,,,,,,,{}\n",
                         row.index, row.scenario, row.seed, msg
                     ));
                 }
@@ -549,5 +670,64 @@ mod tests {
         let csv1 = SweepRunner::new(1).run(&grid).to_csv();
         let csv4 = SweepRunner::new(4).run(&grid).to_csv();
         assert_eq!(csv1, csv4);
+    }
+
+    fn policy_grid() -> SweepGrid {
+        let mut cfg = RuntimeConfig::single(IatSpec::short(), 25);
+        cfg.exec_ms = 300.0;
+        let base = Scenario::new("base", test_provider()).workload(cfg);
+        SweepGrid::cross_policies(
+            vec![base],
+            &[
+                ("none", None),
+                ("hedge-200ms", Some(policy::PolicySpec::preset("hedge-200ms").unwrap())),
+            ],
+            vec![1, 2],
+        )
+    }
+
+    #[test]
+    fn policy_axis_crosses_scenarios_and_labels_cells() {
+        let grid = policy_grid();
+        assert_eq!(grid.scenarios.len(), 2);
+        assert_eq!(grid.scenarios[0].label, "base+none");
+        assert_eq!(grid.scenarios[1].label, "base+hedge-200ms");
+        assert!(grid.scenarios[0].runtime_cfg.policy.is_none());
+        let report = SweepRunner::new(2).run(&grid);
+        assert_eq!(report.ok_count(), 4);
+        // Baseline rows leave the policy columns empty; hedged rows
+        // populate them.
+        let baseline = report.rows[0].result.as_ref().expect("baseline cell ran");
+        assert!(baseline.policy.is_none());
+        let hedged = report.rows[2].result.as_ref().expect("hedged cell ran");
+        let p = hedged.policy.as_ref().expect("hedged rows carry policy stats");
+        assert!(p.hedge_rate > 0.9, "300 ms execution hedges every request");
+        assert!(p.wasted_fraction > 0.0);
+    }
+
+    #[test]
+    fn extended_csv_adds_policy_columns_without_touching_base_csv() {
+        let grid = policy_grid();
+        let report = SweepRunner::new(2).run(&grid);
+        let base = report.to_csv();
+        assert!(base.starts_with(
+            "cell,scenario,seed,status,samples,median_ms,p95_ms,p99_ms,tmr,cold_fraction,error\n"
+        ));
+        let extended = report.to_csv_extended();
+        assert!(extended.contains("p999_ms,hedge_rate,wasted_fraction"));
+        assert!(extended.contains("base+hedge-200ms"));
+        // The baseline row ends with the empty policy columns.
+        let baseline_row = extended.lines().nth(1).unwrap();
+        assert!(baseline_row.ends_with(",,,,,"), "baseline row: {baseline_row}");
+    }
+
+    #[test]
+    fn policy_sweep_is_identical_across_thread_counts() {
+        let grid = policy_grid();
+        let run = |threads| SweepRunner::new(threads).run(&grid);
+        let r1 = run(1);
+        let r8 = run(8);
+        assert_eq!(r1.to_csv(), r8.to_csv());
+        assert_eq!(r1.to_csv_extended(), r8.to_csv_extended());
     }
 }

@@ -65,6 +65,7 @@ proptest! {
             warmup_rounds: warmup,
             exec_ms: exec,
             workload: None,
+            policy: None,
             chain: chain_payload.map(|payload_bytes| ChainConfig {
                 length: 2,
                 mode: TransferMode::Storage,
@@ -88,6 +89,7 @@ proptest! {
             exec_ms: 0.0,
             chain: None,
             workload: None,
+            policy: None,
         };
         let produced = cfg.measured_rounds() * burst;
         prop_assert!(produced >= samples);
@@ -116,6 +118,7 @@ proptest! {
             exec_ms: 0.0,
             chain: None,
             workload: None,
+            policy: None,
         };
         let mut cloud = faas_sim::cloud::CloudSim::new(test_provider(), seed);
         let deployment = deploy(&mut cloud, &static_cfg, &runtime_cfg).expect("deploy");

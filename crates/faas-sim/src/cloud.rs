@@ -85,6 +85,8 @@ pub mod metric {
     pub const IMAGE_CACHE_MISSES: &str = "image_cache_misses";
     /// Boots that failed at completion and were retried.
     pub const BOOT_FAILURE_RETRIES: &str = "boot_failure_retries";
+    /// Requests cancelled by the client (tail-tolerance policies).
+    pub const REQUESTS_CANCELLED: &str = "requests_cancelled";
     /// Internal chain invocations issued.
     pub const CHAIN_INVOCATIONS: &str = "chain_invocations";
     /// Gauge: requests waiting (shared + committed queues), keyed by
@@ -162,6 +164,22 @@ pub struct CloudStats {
     pub boot_failures: u64,
 }
 
+/// Wasted-work accounting for client-cancelled requests: what the cloud
+/// spent on attempts whose results were never used (the extra-load cost
+/// of hedging and retry policies).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CancelStats {
+    /// Requests cancelled (external plus cascaded chain hops).
+    pub cancelled: u64,
+    /// Cancels that landed before the request ever reached an instance
+    /// (no instance time wasted, only pipeline overhead).
+    pub cancelled_unstarted: u64,
+    /// Instance busy-time consumed by cancelled requests, ms. Partial
+    /// when the cancel aborted an execution midway — the instance is
+    /// freed at the cancel boundary, so only the elapsed share counts.
+    pub wasted_busy_ms: f64,
+}
+
 /// One telemetry sample of a function's fleet state.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimelineSample {
@@ -237,8 +255,17 @@ struct ReqState {
     xfer_in: Option<XferInfo>,
     /// Outgoing chain call start (producer side), set at `ComputeDone`.
     chain_started: Option<SimTime>,
+    /// In-flight chain hop spawned by this producer, cleared when the
+    /// hop returns. Lets a cancel cascade into the hop synchronously.
+    chain_child: Option<RequestId>,
     cold: bool,
     done: bool,
+    /// Set by [`Cloud::on_cancel`]; every lifecycle handler drops the
+    /// request (freeing its slot) instead of advancing it.
+    cancelled: bool,
+    /// When the request started occupying an instance — the base of the
+    /// wasted-busy-time accounting for mid-execution cancels.
+    assigned_at: Option<SimTime>,
     /// Root span id (allocated at creation when tracing is on).
     root_span: Option<u64>,
     /// Chain span id, pre-allocated at `ComputeDone` so it precedes the
@@ -345,6 +372,7 @@ pub struct Cloud {
     transfers: Vec<TransferSample>,
     timeline: Option<TimelineRecorder>,
     stats: CloudStats,
+    cancel_stats: CancelStats,
     /// Span tracing; `None` (the default) costs one discriminant check per
     /// emission site.
     trace: Option<Tracer>,
@@ -378,6 +406,7 @@ impl Cloud {
             transfers: Vec::new(),
             timeline: None,
             stats: CloudStats::default(),
+            cancel_stats: CancelStats::default(),
             trace: None,
             metrics: Metrics::new(),
         }
@@ -427,8 +456,11 @@ impl Cloud {
             wait_started: None,
             xfer_in,
             chain_started: None,
+            chain_child: None,
             cold: false,
             done: false,
+            cancelled: false,
+            assigned_at: None,
             root_span,
             chain_span: None,
         };
@@ -462,6 +494,15 @@ impl Cloud {
         let slot = &mut self.requests[rid.index()];
         debug_assert_eq!(slot.generation, rid.generation(), "stale request id {rid}");
         slot.state.as_mut().expect("request slot is empty")
+    }
+
+    /// Whether `rid` still refers to a live request (its slot occupied
+    /// and its generation current). A cancel racing a completion makes
+    /// stale ids an expected input, not a bug.
+    fn is_live(&self, rid: RequestId) -> bool {
+        self.requests
+            .get(rid.index())
+            .is_some_and(|slot| slot.generation == rid.generation() && slot.state.is_some())
     }
 
     /// Retires a finished request: takes its state, bumps the slot
@@ -519,6 +560,95 @@ impl Cloud {
         });
     }
 
+    /// Retires a cancelled request's slot. If it is a chain hop whose
+    /// producer was cancelled along with it, the producer's slot is
+    /// retired too: once a producer's `ComputeDone` has fired, this hop
+    /// is the only reference that can ever reach the producer again
+    /// (its `ExecDone` is scheduled by the hop's completion, which a
+    /// cancelled hop never performs).
+    fn free_cancelled(&mut self, rid: RequestId) {
+        let state = self.free_request(rid);
+        if let RequestOrigin::Internal { parent } = state.origin {
+            if self.is_live(parent) && self.req(parent).cancelled {
+                self.free_cancelled(parent);
+            }
+        }
+    }
+
+    /// Executes a client cancellation. The request may legitimately be
+    /// gone (completed in the same event batch) or already cancelled —
+    /// both are no-ops. Otherwise the request is marked; if it is
+    /// executing, its instance is freed *now* and the elapsed busy time
+    /// booked as waste; if it is queued or mid-pipeline, the slot is
+    /// retired by whichever handler or queue pop touches it next. An
+    /// in-flight chain hop is cancelled along with its producer.
+    fn on_cancel(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
+        if !self.is_live(rid) || self.req(rid).cancelled {
+            return;
+        }
+        if let Some(child) = self.req(rid).chain_child {
+            if self.is_live(child) {
+                self.on_cancel(now, child, sched);
+            }
+        }
+        self.req_mut(rid).cancelled = true;
+        self.cancel_stats.cancelled += 1;
+        self.metrics.inc(metric::REQUESTS_CANCELLED);
+
+        let (fid, instance, assigned_at, busy_ms) = {
+            let req = self.req(rid);
+            let b = &req.breakdown;
+            (
+                req.function,
+                req.instance,
+                req.assigned_at,
+                b.steer_ms + b.handling_ms + b.payload_get_ms + b.exec_ms + b.chain_ms,
+            )
+        };
+        let Some(iid) = instance else {
+            // Never reached an instance: queued, sticky-waiting or still
+            // in the pre-queue pipeline. No instance time to waste; the
+            // slot is freed lazily.
+            self.cancel_stats.cancelled_unstarted += 1;
+            return;
+        };
+        let busy_on_this = {
+            let inst = &self.fstate(fid).instances[iid.idx as usize];
+            matches!(inst.state(), crate::instance::InstanceState::Busy { request } if request == rid)
+        };
+        if busy_on_this {
+            // Abort mid-flight: the instance is freed at this event
+            // boundary and only the elapsed share of its busy time is
+            // wasted.
+            let started = assigned_at.expect("busy request without an assignment time");
+            self.cancel_stats.wasted_busy_ms += (now - started).as_millis();
+            {
+                let state = self.fstate_mut(fid);
+                state.instances[iid.idx as usize].release(rid, now);
+                state.usage.on_release(iid.idx as usize, now);
+                state.n_busy -= 1;
+                state.n_idle += 1;
+                state.idle_stack.push(iid.idx);
+            }
+            // The freed instance can take new work immediately.
+            if self.committed_cap(fid).is_some() {
+                if !self.serve_committed(now, iid, sched) {
+                    self.maybe_schedule_reap(now, iid, sched);
+                }
+            } else {
+                self.serve_queue(now, fid, sched);
+                self.maybe_schedule_reap(now, iid, sched);
+            }
+            // The slot itself is retired by the request's still-pending
+            // lifecycle event (`ComputeDone`/`ExecDone`) or, for a chain
+            // producer, by its cancelled hop.
+        } else {
+            // Execution already finished; the response in flight will be
+            // dropped at `Completed`, so the full busy span was wasted.
+            self.cancel_stats.wasted_busy_ms += busy_ms;
+        }
+    }
+
     // ---- event handlers ---------------------------------------------------
 
     fn on_frontend_arrive(
@@ -527,6 +657,10 @@ impl Cloud {
         rid: RequestId,
         sched: &mut Scheduler<CloudEvent>,
     ) {
+        if self.req(rid).cancelled {
+            self.free_cancelled(rid);
+            return;
+        }
         let overhead = self.cfg.warm_path.overhead_ms.sample(&mut self.rng_path);
         let shares = self.cfg.warm_path.shares;
         let frontend_ms = overhead * shares.frontend;
@@ -564,6 +698,10 @@ impl Cloud {
     }
 
     fn on_routing_done(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
+        if self.req(rid).cancelled {
+            self.free_cancelled(rid);
+            return;
+        }
         let outcome = self.dispatch.dispatch(now, &mut self.rng_lb);
         self.req_mut(rid).breakdown.dispatch_wait_ms = (outcome.ready_at - now).as_millis();
         self.emit_span(rid, span_tag::DISPATCH_WAIT, now, outcome.ready_at);
@@ -571,6 +709,10 @@ impl Cloud {
     }
 
     fn on_enqueued(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
+        if self.req(rid).cancelled {
+            self.free_cancelled(rid);
+            return;
+        }
         let fid = self.req(rid).function;
         self.req_mut(rid).wait_started = Some(now);
 
@@ -662,23 +804,28 @@ impl Cloud {
         sched: &mut Scheduler<CloudEvent>,
     ) -> bool {
         let fid = iid.function();
-        let next = {
-            let state = self.fstate_mut(fid);
-            let queue = &mut state.committed[iid.idx as usize];
-            match queue.pop_front() {
-                Some(rid) => {
-                    state.committed_total -= 1;
-                    Some(rid)
+        loop {
+            let next = {
+                let state = self.fstate_mut(fid);
+                let queue = &mut state.committed[iid.idx as usize];
+                match queue.pop_front() {
+                    Some(rid) => {
+                        state.committed_total -= 1;
+                        Some(rid)
+                    }
+                    None => None,
                 }
-                None => None,
+            };
+            match next {
+                // A commitment cancelled while queued: retire it and
+                // offer the instance to the next one.
+                Some(rid) if self.req(rid).cancelled => self.free_cancelled(rid),
+                Some(rid) => {
+                    self.assign(now, rid, iid, sched);
+                    return true;
+                }
+                None => return false,
             }
-        };
-        match next {
-            Some(rid) => {
-                self.assign(now, rid, iid, sched);
-                true
-            }
-            None => false,
         }
     }
 
@@ -706,6 +853,12 @@ impl Cloud {
                 }
             };
             match next {
+                // A queued request cancelled before being served: retire
+                // it and return the instance for the next entry.
+                Some((rid, iid)) if self.req(rid).cancelled => {
+                    self.free_cancelled(rid);
+                    self.fstate_mut(fid).idle_stack.push(iid.idx);
+                }
                 Some((rid, iid)) => self.assign(now, rid, iid, sched),
                 None => break,
             }
@@ -876,10 +1029,17 @@ impl Cloud {
             state.idle_stack.push(iid.idx);
         }
         if let Some(rid) = self.sticky.remove(&iid) {
-            // Serve the request this instance was spawned for. The stale
-            // idle-stack entry is filtered out when popped later.
-            self.assign(now, rid, iid, sched);
-            return;
+            if self.req(rid).cancelled {
+                // The request this instance was spawned for is gone:
+                // retire it and let the instance serve the general pool.
+                self.free_cancelled(rid);
+            } else {
+                // Serve the request this instance was spawned for. The
+                // stale idle-stack entry is filtered out when popped
+                // later.
+                self.assign(now, rid, iid, sched);
+                return;
+            }
         }
         if self.committed_cap(fid).is_some() {
             if !self.serve_committed(now, iid, sched) {
@@ -934,6 +1094,7 @@ impl Cloud {
         let cold_breakdown = first_use.then(|| self.cold_breakdowns.get(&iid).copied()).flatten();
         let req = self.req_mut(rid);
         req.instance = Some(iid);
+        req.assigned_at = Some(now);
         req.cold = first_use;
         let steer_ms = req.warm_overhead_ms * shares.steer;
         let handling_ms = req.warm_overhead_ms * shares.handling;
@@ -988,6 +1149,13 @@ impl Cloud {
         iid: InstanceId,
         sched: &mut Scheduler<CloudEvent>,
     ) {
+        if self.req(rid).cancelled {
+            // Cancelled mid-execution: the cancel already freed the
+            // instance; this stale event retires the slot. No chain hop
+            // is spawned for a dead request.
+            self.free_cancelled(rid);
+            return;
+        }
         let fid = self.req(rid).function;
         let chain = self.fstate(fid).spec.chain;
         match chain {
@@ -1021,6 +1189,7 @@ impl Cloud {
                     }),
                 );
                 self.stats.internal += 1;
+                self.req_mut(rid).chain_child = Some(child);
                 sched.schedule_at(child_issue_at, CloudEvent::FrontendArrive(child));
                 // The producer instance stays busy until the child returns.
             }
@@ -1037,6 +1206,12 @@ impl Cloud {
         iid: InstanceId,
         sched: &mut Scheduler<CloudEvent>,
     ) {
+        if self.req(rid).cancelled {
+            // Cancelled between compute finishing and the response
+            // leaving: the cancel already released the instance.
+            self.free_cancelled(rid);
+            return;
+        }
         let fid = iid.function();
         {
             let state = self.fstate_mut(fid);
@@ -1085,6 +1260,13 @@ impl Cloud {
     }
 
     fn on_completed(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
+        if self.req(rid).cancelled {
+            // A response for a cancelled request arrives dead: no
+            // completion is recorded (the wasted work was booked at
+            // cancel time) and the slot is retired.
+            self.free_cancelled(rid);
+            return;
+        }
         let origin = {
             let req = self.req_mut(rid);
             assert!(!req.done, "request {rid} completed twice");
@@ -1119,7 +1301,11 @@ impl Cloud {
                         preq.chain_started.expect("parent without chain start"),
                     )
                 };
-                self.req_mut(parent).breakdown.chain_ms = (now - chain_started).as_millis();
+                {
+                    let preq = self.req_mut(parent);
+                    preq.breakdown.chain_ms = (now - chain_started).as_millis();
+                    preq.chain_child = None;
+                }
                 let chain_span = self.req(parent).chain_span;
                 if let Some(chain_id) = chain_span {
                     let producer_root = self.req(parent).root_span;
@@ -1217,6 +1403,7 @@ impl Model for Cloud {
             CloudEvent::ComputeDone(rid, iid) => self.on_compute_done(now, rid, iid, sched),
             CloudEvent::ExecDone(rid, iid) => self.on_exec_done(now, rid, iid, sched),
             CloudEvent::Completed(rid) => self.on_completed(now, rid, sched),
+            CloudEvent::Cancel(rid) => self.on_cancel(now, rid, sched),
             CloudEvent::ReapCheck(iid, epoch) => self.on_reap_check(now, iid, epoch),
             CloudEvent::ScaleTick(fid) => self.on_scale_tick(now, fid, sched),
             CloudEvent::TelemetryTick => self.on_telemetry_tick(now, sched),
@@ -1469,9 +1656,29 @@ impl CloudSim {
         self.sim.reserve_events(expected + expected / 4);
     }
 
+    /// Requests cancellation of an in-flight external request. The
+    /// cancel takes effect at the next event boundary of the current
+    /// simulated time: an executing attempt frees its instance there, a
+    /// queued one is dropped when an instance would have picked it up,
+    /// and an in-flight chain hop is cancelled along with its producer.
+    /// Cancelled requests never yield a [`Completion`]; the instance
+    /// time they consumed is booked in [`CloudSim::cancel_stats`].
+    /// Cancelling an already-completed (or already-cancelled) request is
+    /// a no-op, so callers may race cancels against completions freely.
+    pub fn cancel(&mut self, rid: RequestId) {
+        let now = self.sim.now();
+        self.sim.schedule_at(now, CloudEvent::Cancel(rid));
+    }
+
     /// Aggregate counters.
     pub fn stats(&self) -> CloudStats {
         self.sim.model().stats
+    }
+
+    /// Wasted-work accounting for cancelled requests (see
+    /// [`CloudSim::cancel`]).
+    pub fn cancel_stats(&self) -> CancelStats {
+        self.sim.model().cancel_stats
     }
 
     /// Number of live (idle + busy) instances of `function`.

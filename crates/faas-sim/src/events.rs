@@ -26,6 +26,10 @@ pub enum CloudEvent {
     ExecDone(RequestId, InstanceId),
     /// The response reached the requester.
     Completed(RequestId),
+    /// Client-side cancellation of an in-flight request (tail-tolerance
+    /// policies): the request is dropped at this event boundary, freeing
+    /// its instance if it was executing.
+    Cancel(RequestId),
     /// Keep-alive check for an idle instance at the given epoch.
     ReapCheck(InstanceId, u64),
     /// Periodic scale-controller tick for a function (Azure-style).

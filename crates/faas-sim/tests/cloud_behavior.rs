@@ -451,3 +451,125 @@ fn submission_window_matches_up_front_submission() {
         assert_eq!(a.breakdown, b.breakdown);
     }
 }
+
+// ---- client cancellation (tail-tolerance policies) ------------------------
+
+#[test]
+fn cancel_mid_execution_frees_instance_and_books_partial_waste() {
+    let mut cloud = CloudSim::new(test_provider(), 11);
+    let f = cloud.deploy(FunctionSpec::builder("f").exec_constant_ms(1_000.0).build()).unwrap();
+    let rid = cloud.submit(f, 0, SimTime::ZERO);
+    // Warm path reaches the instance around 270ms (cold boot included);
+    // cancel well inside the 1s execution.
+    cloud.run_until(SimTime::from_millis(600.0));
+    cloud.cancel(rid);
+    cloud.run_until(SimTime::from_millis(700.0));
+    assert!(cloud.drain_completions().is_empty(), "cancelled request must not complete");
+    let cs = cloud.cancel_stats();
+    assert_eq!(cs.cancelled, 1);
+    assert_eq!(cs.cancelled_unstarted, 0);
+    // The request occupied the instance from assignment (~280ms) to the
+    // cancel at 600ms: partial waste, strictly less than the full 1s.
+    assert!(
+        cs.wasted_busy_ms > 100.0 && cs.wasted_busy_ms < 1_000.0,
+        "partial waste, got {}",
+        cs.wasted_busy_ms
+    );
+    // The instance is released (before its keep-alive expires) and
+    // serves the next request warm.
+    assert_eq!(cloud.live_instances(f), 1);
+    let warm = run_one(&mut cloud, f, SimTime::from_millis(800.0));
+    assert!(!warm.cold, "cancel must free the instance for warm reuse");
+}
+
+#[test]
+fn cancel_before_reaching_an_instance_counts_as_unstarted() {
+    let mut cloud = CloudSim::new(test_provider(), 12);
+    let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+    let rid = cloud.submit(f, 0, SimTime::ZERO);
+    // Cancel before any simulation progress: the request is still on the
+    // client→frontend propagation leg.
+    cloud.cancel(rid);
+    cloud.run_to_idle();
+    assert!(cloud.drain_completions().is_empty());
+    let cs = cloud.cancel_stats();
+    assert_eq!(cs.cancelled, 1);
+    assert_eq!(cs.cancelled_unstarted, 1);
+    assert_eq!(cs.wasted_busy_ms, 0.0, "no instance time consumed");
+}
+
+#[test]
+fn cancel_after_completion_is_a_noop() {
+    let mut cloud = CloudSim::new(test_provider(), 13);
+    let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+    let rid = cloud.submit(f, 0, SimTime::ZERO);
+    cloud.run_until(SEC(20.0));
+    cloud.cancel(rid);
+    cloud.run_to_idle();
+    assert_eq!(cloud.drain_completions().len(), 1, "completion already recorded stays");
+    assert_eq!(cloud.cancel_stats().cancelled, 0, "late cancel is a no-op");
+}
+
+#[test]
+fn cancel_cascades_into_an_in_flight_chain_hop() {
+    let mut cloud = CloudSim::new(test_provider(), 14);
+    let g = cloud.deploy(FunctionSpec::builder("g").exec_constant_ms(2_000.0).build()).unwrap();
+    let f = cloud
+        .deploy(
+            FunctionSpec::builder("f")
+                .exec_constant_ms(10.0)
+                .chain(g, TransferMode::Inline, 1_000)
+                .build(),
+        )
+        .unwrap();
+    let rid = cloud.submit(f, 0, SimTime::ZERO);
+    // By 1.5s the producer finished its own compute and is waiting on the
+    // consumer, which is mid-execution.
+    cloud.run_until(SimTime::from_millis(1_500.0));
+    cloud.cancel(rid);
+    cloud.run_until(SimTime::from_millis(1_600.0));
+    assert!(cloud.drain_completions().is_empty(), "cancelled chain must not complete");
+    let cs = cloud.cancel_stats();
+    assert_eq!(cs.cancelled, 2, "producer and its hop are both cancelled");
+    assert!(cs.wasted_busy_ms > 0.0);
+    // Both instances are free again (before keep-alive expiry): a fresh
+    // request reuses the producer's instance warm.
+    assert_eq!(cloud.live_instances(f), 1);
+    assert_eq!(cloud.live_instances(g), 1);
+    let warm_f = run_one(&mut cloud, f, SimTime::from_millis(1_800.0));
+    assert!(!warm_f.cold, "producer instance must be reusable");
+}
+
+#[test]
+fn cancel_does_not_perturb_unrelated_requests() {
+    // Two interleaved request streams; cancelling one's requests must not
+    // change the other's completion times (cancellation draws no RNG).
+    let run = |with_cancels: bool| {
+        let mut cloud = CloudSim::new(test_provider(), 15);
+        let f = cloud.deploy(FunctionSpec::builder("f").exec_constant_ms(50.0).build()).unwrap();
+        let mut victims = Vec::new();
+        for i in 0..20u64 {
+            let at = SimTime::from_millis(500.0 * i as f64);
+            cloud.run_until(at);
+            let rid = cloud.submit(f, i, at);
+            if i % 2 == 1 {
+                victims.push((rid, at));
+            }
+        }
+        if with_cancels {
+            for (rid, _) in &victims {
+                cloud.cancel(*rid);
+            }
+        }
+        cloud.run_to_idle();
+        cloud
+            .drain_completions()
+            .into_iter()
+            .filter(|c| c.tag % 2 == 0)
+            .map(|c| (c.tag, c.completed_at))
+            .collect::<Vec<_>>()
+    };
+    // Cancels issued after all even-tag requests were already submitted
+    // and (mostly) served; the even stream's timing must be identical.
+    assert_eq!(run(false), run(true));
+}

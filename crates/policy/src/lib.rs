@@ -1,0 +1,26 @@
+//! Tail-tolerance client policies for STeLLAR experiments.
+//!
+//! A *policy* decides, per logical request, when to launch duplicate
+//! attempts (hedging, tied requests), when to give up and retry with
+//! backoff, and when to abandon the request outright (deadlines). Each
+//! policy is a small event-driven state machine ([`machine::PolicyMachine`]):
+//! the measurement harness feeds it lifecycle events and executes the
+//! actions it emits. Machines hold fixed-size state and never allocate
+//! on the event path, so a driver can attach one per virtual user in a
+//! million-invocation run without touching the allocator.
+//!
+//! Policies are configured through a serde grammar ([`spec::PolicySpec`])
+//! with named presets and free composition, and their effects are
+//! surfaced through [`stats::PolicyStats`]: hedge-fire rate, wasted-work
+//! fraction, duplicate successes, abandon count. The *simulator* stays
+//! policy-free — it only learns how to cancel a request; everything else
+//! lives client-side, mirroring how a real tail-tolerant client would
+//! wrap a provider endpoint.
+
+pub mod machine;
+pub mod spec;
+pub mod stats;
+
+pub use machine::{Action, Actions, Composite, PolicyEvent, PolicyMachine};
+pub use spec::{PolicySpec, ThresholdSpec};
+pub use stats::PolicyStats;

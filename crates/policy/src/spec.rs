@@ -1,0 +1,358 @@
+//! Serde grammar for tail-tolerance policies.
+//!
+//! Mirrors the `workload::spec` style: a tagged enum with named presets
+//! and free composition, validated before it ever reaches a driver.
+//!
+//! ```json
+//! { "kind": "compose", "parts": [
+//!     { "kind": "hedge", "threshold": { "kind": "quantile", "q": 0.95 } },
+//!     { "kind": "deadline", "deadline_ms": 2000.0 } ] }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::{Composite, Deadline, Hedge, Machine, Retry, Threshold, Tied, MAX_ATTEMPTS};
+
+/// How a hedge derives its fire threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "kind")]
+pub enum ThresholdSpec {
+    /// Fixed threshold in milliseconds.
+    Static { ms: f64 },
+    /// Online estimate of this latency quantile from the run's own
+    /// winner latencies (no hedging until the estimate warms up).
+    Quantile { q: f64 },
+}
+
+fn default_max_hedges() -> u32 {
+    1
+}
+
+fn default_factor() -> f64 {
+    2.0
+}
+
+fn default_max_retries() -> u32 {
+    3
+}
+
+/// Declarative policy description; build with [`PolicySpec::build`]
+/// after [`PolicySpec::validate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "kind")]
+pub enum PolicySpec {
+    /// Hedge after a latency threshold, up to `max_hedges` duplicates.
+    Hedge {
+        threshold: ThresholdSpec,
+        #[serde(default = "default_max_hedges")]
+        max_hedges: u32,
+    },
+    /// Cancel and relaunch on timeout with exponential backoff
+    /// `base_backoff_ms * factor^k`, jittered by a uniform multiplier
+    /// in `[1, 1 + jitter_frac]`.
+    Retry {
+        timeout_ms: f64,
+        base_backoff_ms: f64,
+        #[serde(default = "default_factor")]
+        factor: f64,
+        #[serde(default)]
+        jitter_frac: f64,
+        #[serde(default = "default_max_retries")]
+        max_retries: u32,
+    },
+    /// Abandon the request outright after `deadline_ms`.
+    Deadline { deadline_ms: f64 },
+    /// Launch `copies` attempts up front, keep the winner.
+    Tied { copies: u32 },
+    /// Run several policies over the same logical request.
+    Compose { parts: Vec<PolicySpec> },
+}
+
+impl PolicySpec {
+    /// Named presets, usable from the CLI via `--policy <name>`.
+    pub fn preset(name: &str) -> Option<PolicySpec> {
+        Some(match name {
+            "hedge-p95" => {
+                PolicySpec::Hedge { threshold: ThresholdSpec::Quantile { q: 0.95 }, max_hedges: 1 }
+            }
+            "hedge-p99" => {
+                PolicySpec::Hedge { threshold: ThresholdSpec::Quantile { q: 0.99 }, max_hedges: 1 }
+            }
+            "hedge-200ms" => {
+                PolicySpec::Hedge { threshold: ThresholdSpec::Static { ms: 200.0 }, max_hedges: 1 }
+            }
+            "retry-backoff" => PolicySpec::Retry {
+                timeout_ms: 1_000.0,
+                base_backoff_ms: 50.0,
+                factor: 2.0,
+                jitter_frac: 0.5,
+                max_retries: 3,
+            },
+            "deadline-2s" => PolicySpec::Deadline { deadline_ms: 2_000.0 },
+            "tied-2" => PolicySpec::Tied { copies: 2 },
+            "hedge-deadline" => PolicySpec::Compose {
+                parts: vec![
+                    PolicySpec::Hedge {
+                        threshold: ThresholdSpec::Quantile { q: 0.95 },
+                        max_hedges: 1,
+                    },
+                    PolicySpec::Deadline { deadline_ms: 2_000.0 },
+                ],
+            },
+            _ => return None,
+        })
+    }
+
+    /// Every preset name, for `--help` and error messages.
+    pub fn preset_names() -> &'static [&'static str] {
+        &[
+            "hedge-p95",
+            "hedge-p99",
+            "hedge-200ms",
+            "retry-backoff",
+            "deadline-2s",
+            "tied-2",
+            "hedge-deadline",
+        ]
+    }
+
+    pub fn from_json(json: &str) -> Result<PolicySpec, String> {
+        let spec: PolicySpec =
+            serde_json::from_str(json).map_err(|e| format!("bad policy spec: {e}"))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("policy spec serializes")
+    }
+
+    /// Rejects non-physical parameters and anything that could violate
+    /// the machine-level invariants (unbounded amplification, zero-delay
+    /// rearm loops, non-monotone backoff).
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            PolicySpec::Hedge { threshold, max_hedges } => {
+                match *threshold {
+                    ThresholdSpec::Static { ms } => {
+                        if !(ms.is_finite() && ms > 0.0) {
+                            return Err(format!("hedge threshold must be positive, got {ms}"));
+                        }
+                    }
+                    ThresholdSpec::Quantile { q } => {
+                        if !(q.is_finite() && q > 0.0 && q < 1.0) {
+                            return Err(format!("hedge quantile must be in (0, 1), got {q}"));
+                        }
+                    }
+                }
+                if !(1..=8).contains(max_hedges) {
+                    return Err(format!("max_hedges must be in 1..=8, got {max_hedges}"));
+                }
+            }
+            PolicySpec::Retry { timeout_ms, base_backoff_ms, factor, jitter_frac, max_retries } => {
+                if !(timeout_ms.is_finite() && *timeout_ms > 0.0) {
+                    return Err(format!("retry timeout must be positive, got {timeout_ms}"));
+                }
+                if !(base_backoff_ms.is_finite() && *base_backoff_ms > 0.0) {
+                    return Err(format!("retry backoff must be positive, got {base_backoff_ms}"));
+                }
+                if !(jitter_frac.is_finite() && (0.0..=1.0).contains(jitter_frac)) {
+                    return Err(format!("jitter_frac must be in [0, 1], got {jitter_frac}"));
+                }
+                // Monotone non-decreasing backoff for every jitter
+                // realization requires factor >= 1 + jitter_frac: the
+                // worst case pits step k at max jitter against step
+                // k+1 at zero jitter.
+                if !(factor.is_finite() && *factor >= 1.0 + jitter_frac) {
+                    return Err(format!(
+                        "retry factor must be >= 1 + jitter_frac ({}) for monotone backoff, got {factor}",
+                        1.0 + jitter_frac
+                    ));
+                }
+                if !(1..=8).contains(max_retries) {
+                    return Err(format!("max_retries must be in 1..=8, got {max_retries}"));
+                }
+            }
+            PolicySpec::Deadline { deadline_ms } => {
+                if !(deadline_ms.is_finite() && *deadline_ms > 0.0) {
+                    return Err(format!("deadline must be positive, got {deadline_ms}"));
+                }
+            }
+            PolicySpec::Tied { copies } => {
+                if !(2..=8).contains(copies) {
+                    return Err(format!("tied copies must be in 2..=8, got {copies}"));
+                }
+            }
+            PolicySpec::Compose { parts } => {
+                if parts.is_empty() {
+                    return Err("compose needs at least one part".into());
+                }
+                let mut online = None;
+                for part in parts {
+                    part.validate()?;
+                    if let Some(q) = part.online_quantile() {
+                        match online {
+                            None => online = Some(q),
+                            Some(prev) if prev == q => {}
+                            Some(prev) => {
+                                return Err(format!(
+                                    "composed hedges must track one quantile, got {prev} and {q}"
+                                ))
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if self.attempt_cap() > MAX_ATTEMPTS {
+            return Err(format!(
+                "policy could launch {} attempts per request; cap is {MAX_ATTEMPTS}",
+                self.attempt_cap()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Maximum physical attempts per logical request (primary included).
+    pub fn attempt_cap(&self) -> u32 {
+        1 + self.extra_attempts()
+    }
+
+    fn extra_attempts(&self) -> u32 {
+        match self {
+            PolicySpec::Hedge { max_hedges, .. } => *max_hedges,
+            PolicySpec::Retry { max_retries, .. } => *max_retries,
+            PolicySpec::Deadline { .. } => 0,
+            PolicySpec::Tied { copies } => copies.saturating_sub(1),
+            PolicySpec::Compose { parts } => parts.iter().map(|p| p.extra_attempts()).sum(),
+        }
+    }
+
+    /// The latency quantile any online hedge in this spec tracks.
+    pub fn online_quantile(&self) -> Option<f64> {
+        match self {
+            PolicySpec::Hedge { threshold: ThresholdSpec::Quantile { q }, .. } => Some(*q),
+            PolicySpec::Compose { parts } => parts.iter().find_map(|p| p.online_quantile()),
+            _ => None,
+        }
+    }
+
+    /// Builds the runnable composite machine. Call after `validate`.
+    pub fn build(&self) -> Composite {
+        let mut parts = Vec::new();
+        self.collect(&mut parts);
+        Composite::new(parts, self.attempt_cap())
+    }
+
+    fn collect(&self, out: &mut Vec<Machine>) {
+        match self {
+            PolicySpec::Hedge { threshold, max_hedges } => {
+                let thr = match *threshold {
+                    ThresholdSpec::Static { ms } => Threshold::StaticMs(ms),
+                    ThresholdSpec::Quantile { q } => Threshold::Quantile(q),
+                };
+                out.push(Machine::Hedge(Hedge::new(thr, *max_hedges)));
+            }
+            PolicySpec::Retry { timeout_ms, base_backoff_ms, factor, jitter_frac, max_retries } => {
+                out.push(Machine::Retry(Retry::new(
+                    *timeout_ms,
+                    *base_backoff_ms,
+                    *factor,
+                    *jitter_frac,
+                    *max_retries,
+                )));
+            }
+            PolicySpec::Deadline { deadline_ms } => {
+                out.push(Machine::Deadline(Deadline::new(*deadline_ms)));
+            }
+            PolicySpec::Tied { copies } => out.push(Machine::Tied(Tied::new(*copies))),
+            PolicySpec::Compose { parts } => {
+                for part in parts {
+                    part.collect(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_all_validate_and_roundtrip() {
+        for name in PolicySpec::preset_names() {
+            let spec = PolicySpec::preset(name).unwrap();
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let back = PolicySpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(spec, back, "{name} must roundtrip");
+        }
+        assert!(PolicySpec::preset("no-such-policy").is_none());
+    }
+
+    #[test]
+    fn json_grammar_parses_composition() {
+        let json = r#"{ "kind": "compose", "parts": [
+            { "kind": "hedge", "threshold": { "kind": "quantile", "q": 0.95 } },
+            { "kind": "deadline", "deadline_ms": 2000.0 } ] }"#;
+        let spec = PolicySpec::from_json(json).unwrap();
+        assert_eq!(spec, PolicySpec::preset("hedge-deadline").unwrap());
+        assert_eq!(spec.attempt_cap(), 2);
+        assert_eq!(spec.online_quantile(), Some(0.95));
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        for bad in [
+            PolicySpec::Hedge { threshold: ThresholdSpec::Static { ms: 0.0 }, max_hedges: 1 },
+            PolicySpec::Hedge { threshold: ThresholdSpec::Quantile { q: 1.0 }, max_hedges: 1 },
+            PolicySpec::Hedge { threshold: ThresholdSpec::Static { ms: 100.0 }, max_hedges: 0 },
+            PolicySpec::Retry {
+                timeout_ms: 100.0,
+                base_backoff_ms: 10.0,
+                // Non-monotone: factor < 1 + jitter_frac.
+                factor: 1.2,
+                jitter_frac: 0.5,
+                max_retries: 2,
+            },
+            PolicySpec::Tied { copies: 1 },
+            PolicySpec::Deadline { deadline_ms: -5.0 },
+            PolicySpec::Compose { parts: vec![] },
+            // Mixed online quantiles.
+            PolicySpec::Compose {
+                parts: vec![
+                    PolicySpec::Hedge {
+                        threshold: ThresholdSpec::Quantile { q: 0.9 },
+                        max_hedges: 1,
+                    },
+                    PolicySpec::Hedge {
+                        threshold: ThresholdSpec::Quantile { q: 0.99 },
+                        max_hedges: 1,
+                    },
+                ],
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn attempt_cap_sums_across_composition() {
+        let spec = PolicySpec::Compose {
+            parts: vec![
+                PolicySpec::Hedge { threshold: ThresholdSpec::Static { ms: 100.0 }, max_hedges: 2 },
+                PolicySpec::Retry {
+                    timeout_ms: 500.0,
+                    base_backoff_ms: 10.0,
+                    factor: 2.0,
+                    jitter_frac: 0.5,
+                    max_retries: 3,
+                },
+            ],
+        };
+        assert_eq!(spec.attempt_cap(), 6);
+        let built = spec.build();
+        assert_eq!(built.attempt_cap(), 6);
+        assert_eq!(built.online_quantile(), None);
+    }
+}

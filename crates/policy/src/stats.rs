@@ -1,0 +1,82 @@
+//! Per-run policy outcome accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// What a policy did to a run, and what it cost. Latency aggregates
+/// count winners only; everything a policy threw away shows up here as
+/// wasted work instead of vanishing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicyStats {
+    /// Logical requests driven under the policy (warmup included).
+    pub logical: u64,
+    /// Extra physical attempts launched (hedges, retries, tied copies).
+    pub extra_launches: u64,
+    /// Attempts cancelled by the client (losers, timeouts, deadline
+    /// kills).
+    pub cancels: u64,
+    /// Attempts that completed after their logical request was already
+    /// won — too late for the cancel to catch them.
+    pub duplicate_successes: u64,
+    /// Logical requests abandoned by a deadline without any result.
+    pub abandoned: u64,
+    /// Instance busy-time consumed by winning attempts, ms.
+    pub used_busy_ms: f64,
+    /// Instance busy-time consumed by cancelled and duplicate attempts,
+    /// ms — work the policy paid for but did not use.
+    pub wasted_busy_ms: f64,
+}
+
+impl PolicyStats {
+    /// Extra attempts per logical request — for a pure single-hedge
+    /// policy this is exactly the hedge-fire rate.
+    pub fn hedge_fire_rate(&self) -> f64 {
+        if self.logical == 0 {
+            0.0
+        } else {
+            self.extra_launches as f64 / self.logical as f64
+        }
+    }
+
+    /// Fraction of all consumed instance time that was thrown away:
+    /// `wasted / (used + wasted)`, in `[0, 1]`.
+    pub fn wasted_fraction(&self) -> f64 {
+        let total = self.used_busy_ms + self.wasted_busy_ms;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.wasted_busy_ms / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty_and_typical_runs() {
+        let empty = PolicyStats::default();
+        assert_eq!(empty.hedge_fire_rate(), 0.0);
+        assert_eq!(empty.wasted_fraction(), 0.0);
+
+        let s = PolicyStats {
+            logical: 200,
+            extra_launches: 10,
+            cancels: 8,
+            duplicate_successes: 2,
+            abandoned: 1,
+            used_busy_ms: 900.0,
+            wasted_busy_ms: 100.0,
+        };
+        assert!((s.hedge_fire_rate() - 0.05).abs() < 1e-12);
+        assert!((s.wasted_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_roundtrip_json() {
+        let s = PolicyStats { logical: 5, extra_launches: 1, ..Default::default() };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: PolicyStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

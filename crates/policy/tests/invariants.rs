@@ -1,0 +1,184 @@
+//! Property-based invariants of the policy machines, driven over random
+//! composites and adversarial event schedules:
+//!
+//! * no machine launches after a deadline abandon or after the win — a
+//!   cancelled or settled logical request stays dead;
+//! * total physical attempts never exceed the composition's cap;
+//! * armed wake-ups are never in the past;
+//! * retry backoff is monotone non-decreasing across retries for every
+//!   jitter realization, and jitter stays within its configured band;
+//! * composition preserves all of the above for every part mix.
+
+use policy::machine::{Action, Actions, PolicyEvent, Retry};
+use policy::{PolicyMachine, PolicySpec, ThresholdSpec};
+use proptest::prelude::*;
+
+/// One random policy part with a spec that always validates: static
+/// hedge thresholds (one online quantile per composition is a spec
+/// rule, and quantile warmup is the driver's job, not the machine's)
+/// and retry factors satisfying `factor >= 1 + jitter_frac`.
+fn part_strategy() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        (10.0f64..500.0, 1u32..=3).prop_map(|(ms, max_hedges)| PolicySpec::Hedge {
+            threshold: ThresholdSpec::Static { ms },
+            max_hedges,
+        }),
+        ((50.0f64..500.0, 5.0f64..100.0), (0.0f64..0.4, 0.5f64..2.0, 1u32..=3)).prop_map(
+            |((timeout_ms, base_backoff_ms), (jitter_frac, extra, max_retries))| {
+                PolicySpec::Retry {
+                    timeout_ms,
+                    base_backoff_ms,
+                    factor: 1.0 + jitter_frac + extra,
+                    jitter_frac,
+                    max_retries,
+                }
+            }
+        ),
+        (100.0f64..2_000.0).prop_map(|deadline_ms| PolicySpec::Deadline { deadline_ms }),
+        (2u32..=4).prop_map(|copies| PolicySpec::Tied { copies }),
+    ]
+}
+
+fn compose_strategy() -> impl Strategy<Value = PolicySpec> {
+    prop::collection::vec(part_strategy(), 1..4).prop_map(|parts| PolicySpec::Compose { parts })
+}
+
+proptest! {
+    /// Drives a random composite through a harness-shaped schedule
+    /// (wakes delivered at armed times, the winner completing at a
+    /// random point, stray extra wakes after settlement) and checks the
+    /// global machine invariants on every emitted action.
+    #[test]
+    fn composite_invariants_hold_over_random_schedules(
+        spec in compose_strategy(),
+        win_at in 1.0f64..4_000.0,
+        estimate in prop_oneof![Just(f64::NAN), 20.0f64..400.0],
+        jitters in prop::collection::vec(0.0f64..1.0, 64..65),
+    ) {
+        prop_assert!(spec.validate().is_ok(), "generated specs always validate");
+        let mut machine = spec.build();
+        let cap = machine.attempt_cap();
+
+        let mut out = Actions::new();
+        let mut armed: Vec<f64> = Vec::new();
+        let mut launched = 1u32; // the harness's primary attempt
+        let mut abandoned = false;
+        let mut won = false;
+        let mut now = 0.0f64;
+
+        let check = |actions: &Actions,
+                         now: f64,
+                         armed: &mut Vec<f64>,
+                         launched: &mut u32,
+                         abandoned: &mut bool,
+                         won: bool|
+         -> Result<(), TestCaseError> {
+            for &action in actions.as_slice() {
+                match action {
+                    Action::Arm { at_ms } => {
+                        prop_assert!(
+                            at_ms >= now,
+                            "armed a wake in the past: {at_ms} < {now}"
+                        );
+                        armed.push(at_ms);
+                    }
+                    Action::Launch => {
+                        prop_assert!(!*abandoned, "launch after abandon at t={now}");
+                        prop_assert!(!won, "launch after the win at t={now}");
+                        *launched += 1;
+                        prop_assert!(
+                            *launched <= cap,
+                            "attempts {} exceed cap {cap}",
+                            *launched
+                        );
+                    }
+                    Action::Abandon => *abandoned = true,
+                    Action::CancelOutstanding => {}
+                }
+            }
+            Ok(())
+        };
+
+        machine.reset();
+        out.clear();
+        machine.on_event(PolicyEvent::Issued { now_ms: 0.0, estimate_ms: estimate }, &mut out);
+        check(&out, now, &mut armed, &mut launched, &mut abandoned, won)?;
+
+        // Deliver wakes in time order; the winner's Done interleaves at
+        // `win_at` unless a deadline abandoned the request first. Keep
+        // delivering stray wakes after settlement — a settled machine
+        // must stay quiet, not merely be spared further events.
+        for jitter in jitters {
+            armed.sort_by(f64::total_cmp);
+            armed.dedup();
+            let next_wake = armed.first().copied();
+            let next = match (next_wake, won || abandoned) {
+                (Some(w), false) => w.min(win_at),
+                (Some(w), true) => w,
+                (None, false) => win_at,
+                (None, true) => break,
+            };
+            prop_assert!(next >= now, "schedule moved backwards");
+            now = next;
+            if !won && !abandoned && win_at <= next {
+                out.clear();
+                machine.on_event(PolicyEvent::Done { now_ms: now, first: true }, &mut out);
+                check(&out, now, &mut armed, &mut launched, &mut abandoned, true)?;
+                won = true;
+                continue;
+            }
+            armed.retain(|&t| t > now);
+            out.clear();
+            machine.on_event(PolicyEvent::Wake { now_ms: now, jitter }, &mut out);
+            check(&out, now, &mut armed, &mut launched, &mut abandoned, won)?;
+        }
+
+        // The machine must be reusable for the next logical request.
+        machine.reset();
+        out.clear();
+        machine.on_event(PolicyEvent::Issued { now_ms: 10_000.0, estimate_ms: estimate }, &mut out);
+        for &action in out.as_slice() {
+            if let Action::Arm { at_ms } = action {
+                prop_assert!(at_ms >= 10_000.0, "stale state survived reset: {at_ms}");
+            }
+            prop_assert!(!matches!(action, Action::Abandon), "abandon leaked across reset");
+        }
+    }
+
+    /// Realized retry backoff is monotone non-decreasing across retry
+    /// indices for *any* pair of jitter draws, and each draw stays
+    /// within `[base * factor^k, base * factor^k * (1 + jitter_frac)]`.
+    #[test]
+    fn retry_backoff_is_monotone_with_bounded_jitter(
+        base in 1.0f64..200.0,
+        jitter_frac in 0.0f64..0.9,
+        extra in 0.0f64..3.0,
+        k in 0u32..8,
+        j1 in 0.0f64..1.0,
+        j2 in 0.0f64..1.0,
+    ) {
+        let factor = 1.0 + jitter_frac + extra; // the spec-validated regime
+        let retry = Retry::new(1_000.0, base, factor, jitter_frac, 8);
+        let lo = base * factor.powi(k as i32);
+        let b1 = retry.backoff_ms(k, j1);
+        prop_assert!(b1 >= lo - 1e-9, "backoff {b1} below floor {lo}");
+        prop_assert!(
+            b1 <= lo * (1.0 + jitter_frac) + 1e-9,
+            "backoff {b1} above jitter ceiling"
+        );
+        let b2 = retry.backoff_ms(k + 1, j2);
+        prop_assert!(
+            b2 >= b1 - 1e-9,
+            "backoff not monotone: step {k} gave {b1}, step {} gave {b2}",
+            k + 1
+        );
+    }
+
+    /// The serde grammar round-trips every generated composite.
+    #[test]
+    fn specs_roundtrip_json(spec in compose_strategy()) {
+        let json = spec.to_json();
+        let back = PolicySpec::from_json(&json).expect("validated spec re-parses");
+        prop_assert_eq!(spec, back);
+    }
+}

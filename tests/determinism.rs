@@ -149,6 +149,43 @@ fn sweep_runner_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn policy_sweep_is_byte_identical_across_thread_counts() {
+    // Tail-tolerance policies add timer wake-ups, duplicate attempts and
+    // cancellations to every cell; none of it may leak scheduling
+    // nondeterminism. A 3-provider × 3-policy × 2-seed grid merged from
+    // 1, 2 and 8 workers must render byte-identical extended reports.
+    let mut workload = RuntimeConfig::single(IatSpec::short(), 60);
+    workload.exec_ms = 120.0;
+    let scenarios = [aws_like(), google_like(), azure_like()]
+        .into_iter()
+        .map(|cfg| Scenario::new(cfg.name.clone(), cfg).workload(workload.clone()))
+        .collect();
+    let policies: Vec<(&str, Option<policy::PolicySpec>)> = vec![
+        ("none", None),
+        ("hedge-p95", policy::PolicySpec::preset("hedge-p95")),
+        ("tied-2", policy::PolicySpec::preset("tied-2")),
+    ];
+    let grid = SweepGrid::cross_policies(scenarios, &policies, vec![2021, 2022]);
+    let serial = SweepRunner::new(1).run(&grid);
+    let csv = serial.to_csv_extended();
+    assert_eq!(serial.rows.len(), 18);
+    assert_eq!(serial.ok_count(), 18);
+    assert!(csv.contains("aws-like+hedge-p95"), "policy axis labels rows");
+    for threads in [2, 8] {
+        let threaded = SweepRunner::new(threads).run(&grid);
+        assert_eq!(
+            csv,
+            threaded.to_csv_extended(),
+            "{threads}-worker policy sweep must match serial"
+        );
+        assert_eq!(
+            serial.metrics, threaded.metrics,
+            "{threads}-worker merged metrics must match serial"
+        );
+    }
+}
+
+#[test]
 fn cold_start_measurements_are_reproducible_across_replica_counts_only_in_shape() {
     // Replica count changes the event interleaving (different wall-clock
     // spacing), so sequences differ — but the latency *distribution*

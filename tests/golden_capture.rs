@@ -8,9 +8,10 @@
 //! output exactly: same counts, same simulated duration, same latency
 //! aggregate bits.
 
-use stellar_core::client::{run_workload_with, MeasureSpec};
+use stellar_core::client::{run_workload_spec, run_workload_with, MeasureSpec};
 use stellar_core::config::{IatSpec, RuntimeConfig, StaticConfig, StaticFunction};
 use stellar_core::deployer::deploy;
+use workload::spec::WorkloadSpec;
 
 struct Golden {
     label: &'static str,
@@ -94,5 +95,58 @@ fn streaming_path_matches_pre_refactor_golden() {
         assert_eq!(agg.mean().to_bits(), g.mean_bits, "{}: mean bits drifted", g.label);
         assert_eq!(agg.quantile(0.5).to_bits(), g.p50_bits, "{}: p50 bits drifted", g.label);
         assert_eq!(agg.quantile(0.99).to_bits(), g.p99_bits, "{}: p99 bits drifted", g.label);
+    }
+}
+
+/// One-line digest of a run: counts, duration, and latency-aggregate bits.
+/// String equality makes the pin bit-exact while a failure shows every
+/// drifted field at once.
+fn digest(r: &stellar_core::client::RunResult) -> String {
+    let mut agg = r.latency_agg.clone();
+    format!(
+        "measured={} warmup={} cold={} dur_ns={} mean={:#018x} p50={:#018x} p99={:#018x}",
+        r.measured_count,
+        r.warmup_count,
+        r.cold_count,
+        r.duration.as_nanos(),
+        agg.mean().to_bits(),
+        agg.quantile(0.5).to_bits(),
+        agg.quantile(0.99).to_bits(),
+    )
+}
+
+/// The workload-spec driver with *no policy configured* must stay
+/// byte-identical to its pre-policy-layer output (captured from the tree
+/// at the commit introducing `stellar-policy`): attaching the policy
+/// machinery may not move a single RNG draw or event on the default path.
+#[test]
+fn spec_driver_no_policy_matches_golden() {
+    let cases: [(&str, &str, u32, u32, &str); 2] = [
+        (
+            "open-mmpp",
+            "mmpp-burst",
+            300,
+            10,
+            "measured=300 warmup=10 cold=17 dur_ns=14421019867 mean=0x404b1162f33829cb p50=0x4044400000000000 p99=0x4071880000000000",
+        ),
+        (
+            "closed-loop",
+            "closed-loop",
+            300,
+            10,
+            "measured=300 warmup=10 cold=6 dur_ns=20000000000 mean=0x40487369d0369d03 p50=0x4046000000000000 p99=0x4071e8147ae147ae",
+        ),
+    ];
+    for (label, preset, samples, warmup, golden) in cases {
+        let mut cfg = RuntimeConfig::single(IatSpec::short(), samples);
+        cfg.warmup_rounds = warmup;
+        let spec = WorkloadSpec::preset(preset).unwrap();
+        let static_cfg = StaticConfig { functions: vec![StaticFunction::python_zip("f")] };
+        let mut cloud =
+            faas_sim::cloud::CloudSim::new(faas_sim::testutil::test_provider(), CLOUD_SEED);
+        let d = deploy(&mut cloud, &static_cfg, &cfg).unwrap();
+        let r = run_workload_spec(&mut cloud, &d, &cfg, &spec, CLIENT_SEED, &MeasureSpec::sketch())
+            .unwrap();
+        assert_eq!(digest(&r), golden, "{label}: no-policy spec driver drifted");
     }
 }

@@ -230,6 +230,7 @@ mod properties {
                 exec_ms,
                 chain,
                 workload: None,
+                policy: None,
             };
             let function = if runtime.chain.is_some() {
                 StaticFunction::go_zip("f")

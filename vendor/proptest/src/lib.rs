@@ -68,8 +68,11 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable via the `PROPTEST_CASES` environment
+    /// variable (same knob as upstream proptest; CI pins it).
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
