@@ -43,6 +43,46 @@ fn warm_invocation_throughput(c: &mut Criterion) {
     });
 }
 
+/// The same warm 1k workload with the event-queue backend pinned per
+/// variant. Host load drifts between recording sessions, so the adaptive
+/// backend's acceptance (heap-parity on small runs) is judged against the
+/// heap and calendar variants measured in the *same* session, not against
+/// absolute medians from an older BENCH file.
+fn warm_invocation_queue_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/warm_1k_queue");
+    for (label, queue) in [
+        ("binary_heap", QueueKind::BinaryHeap),
+        ("calendar", QueueKind::Calendar),
+        ("adaptive", QueueKind::Adaptive),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                move || {
+                    let mut cloud = CloudSim::with_queue(test_provider(), 1, queue);
+                    let f = cloud.deploy(FunctionSpec::builder("f").build()).unwrap();
+                    cloud.submit(f, 0, SimTime::ZERO);
+                    cloud.run_until(SimTime::from_secs(5.0));
+                    cloud.drain_completions();
+                    (cloud, f)
+                },
+                |(mut cloud, f)| {
+                    for i in 0..1000u64 {
+                        cloud.submit(
+                            f,
+                            i,
+                            SimTime::from_secs(6.0) + SimTime::from_millis(i as f64),
+                        );
+                    }
+                    cloud.run_until(SimTime::from_secs(30.0));
+                    assert_eq!(cloud.drain_completions().len(), 1000);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 fn cold_start_cost(c: &mut Criterion) {
     c.bench_function("sim/100_cold_starts", |b| {
         b.iter_batched(
@@ -196,9 +236,11 @@ fn submit_hot_path(c: &mut Criterion) {
 fn million_invocations(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/million_invocations");
     group.sample_size(10);
-    for (label, queue) in
-        [("binary_heap", QueueKind::BinaryHeap), ("calendar", QueueKind::Calendar)]
-    {
+    for (label, queue) in [
+        ("binary_heap", QueueKind::BinaryHeap),
+        ("calendar", QueueKind::Calendar),
+        ("adaptive", QueueKind::Adaptive),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let outcome = Experiment::new(test_provider())
@@ -286,6 +328,7 @@ criterion_group!(
     // variant is measured adjacent to the identical untraced workload
     // (separating them lets machine drift masquerade as overhead).
     warm_invocation_throughput,
+    warm_invocation_queue_ablation,
     trace_overhead,
     cold_start_cost,
     burst_policies,

@@ -140,7 +140,9 @@ impl HedgeFrontier {
         ]);
         for (kind, shape, policy, outcome) in &self.cells {
             let s = &outcome.summary;
-            let p999 = stats::percentile(&outcome.latencies_ms(), 0.999);
+            // Same quantile engine as every other figure (exact here, the
+            // cells retain their samples and stay below the threshold).
+            let p999 = outcome.result.latency_agg.clone().quantile(0.999);
             let (rate, wasted, dups, abandoned) = match &outcome.result.policy {
                 Some(p) => (
                     format!("{:.3}", p.hedge_fire_rate()),

@@ -3,7 +3,10 @@
 //! (warm §VI-A, cold §VI-B, bursty §VI-D), a sketch-mode run's p50/p99
 //! must land within the documented rank-error bound of the exact
 //! percentiles — at a sample count where the t-digest is genuinely
-//! sketching, not in its exact-mode fallback.
+//! sketching, not in its exact-mode fallback. The figure-parity half
+//! covers the histogram retirement: the quantile CSV and the deprecated
+//! [`stats::histogram::LogHistogram`] shim both answer from the shared
+//! sketch and must stay within the same bound.
 
 use providers::profiles::{aws_like, google_like};
 use stats::percentile::{sort_samples, sorted_percentile};
@@ -11,6 +14,7 @@ use stellar_core::client::MeasureSpec;
 use stellar_core::config::{IatSpec, RuntimeConfig, StaticConfig, StaticFunction};
 use stellar_core::experiment::Experiment;
 use stellar_core::protocols::{BURST_ROUND_IAT_MS, LONG_IAT_MS, SHORT_IAT_MS};
+use stellar_core::visualize::{export_cdf_csv, Series};
 
 /// Past the sketch's exact threshold (1024) so compression engages.
 const SAMPLES: u32 = 3000;
@@ -40,6 +44,61 @@ fn assert_parity(label: &str, base: &Experiment) {
     }
 }
 
+/// Histogram-retirement check: the quantile CSV the CDF figures plot and
+/// the deprecated [`stats::histogram::LogHistogram`] shim — both now
+/// answering from the shared sketch — must reproduce the exact
+/// distribution within the documented rank-error bound.
+fn assert_figure_parity(label: &str, base: &Experiment) {
+    let exact = base.clone().run().expect("exact run");
+    let mut sorted = exact.latencies_ms();
+    sort_samples(&mut sorted);
+    let n = sorted.len();
+
+    let sketched = base.clone().measure(MeasureSpec::sketch()).run().expect("sketch run");
+    let agg = sketched.result.latency_agg.clone();
+    assert!(agg.sketch().is_sketching(), "{label}: fixture too small to sketch");
+
+    // Every row of the sketch-derived quantile CSV must land inside the
+    // exact distribution's rank-error window (the CSV prints 3 decimals,
+    // so that rounding rides on top).
+    let csv = export_cdf_csv(&[Series::from_agg(label, agg.clone())], 101);
+    for line in csv.lines().skip(1) {
+        let mut fields = line.split(',').skip(1);
+        let q: f64 = fields.next().expect("quantile field").parse().expect("q parses");
+        let value: f64 = fields.next().expect("latency field").parse().expect("value parses");
+        let eps = agg.rank_error_bound(q);
+        let lo = sorted_percentile(&sorted, (q - eps).max(0.0));
+        let hi = sorted_percentile(&sorted, (q + eps).min(1.0));
+        assert!(
+            value >= lo - 2e-3 && value <= hi + 2e-3,
+            "{label} CSV q={q}: {value} outside exact window [{lo:.4}, {hi:.4}] (eps {eps:.4})"
+        );
+    }
+
+    // The shim conserves mass exactly and keeps every cumulative bin
+    // count within the rank-error bound of the exact ranks.
+    #[allow(deprecated)]
+    {
+        use stats::histogram::LogHistogram;
+        let mut hist = LogHistogram::new(sorted[0], sorted[n - 1], 12);
+        hist.record_all(sorted.iter().copied());
+        let counts = hist.counts();
+        let total = hist.underflow() + counts.iter().sum::<u64>() + hist.overflow();
+        assert_eq!(total as usize, n, "{label}: histogram must conserve mass");
+        let tol = (n as f64 * hist.sketch().rank_error_bound(0.5)).ceil() as i64 * 2;
+        let mut cum = hist.underflow() as i64;
+        for (i, &c) in counts.iter().enumerate() {
+            let (edge, _) = hist.bin_edges(i);
+            let exact_rank = sorted.partition_point(|&s| s < edge) as i64;
+            assert!(
+                (cum - exact_rank).abs() <= tol,
+                "{label} bin {i} @ {edge:.3}: cum rank {cum} vs exact {exact_rank} (tol {tol})"
+            );
+            cum += c as i64;
+        }
+    }
+}
+
 #[test]
 fn warm_workload_sketch_matches_exact() {
     // Mirrors protocols::warm_invocations (fig3/fig8 base).
@@ -58,6 +117,7 @@ fn warm_workload_sketch_matches_exact() {
         .workload(runtime)
         .seed(41);
     assert_parity("warm", &base);
+    assert_figure_parity("warm", &base);
 }
 
 #[test]
@@ -81,6 +141,7 @@ fn cold_workload_sketch_matches_exact() {
         .workload(runtime)
         .seed(42);
     assert_parity("cold", &base);
+    assert_figure_parity("cold", &base);
 }
 
 #[test]
@@ -104,4 +165,5 @@ fn bursty_workload_sketch_matches_exact() {
         .workload(runtime)
         .seed(43);
     assert_parity("bursty", &base);
+    assert_figure_parity("bursty", &base);
 }

@@ -133,7 +133,8 @@ pub enum Command {
 /// Returns a usage-style message for unknown commands, unknown flags or
 /// missing flag values.
 fn parse_queue(s: &str) -> Result<QueueKind, String> {
-    QueueKind::parse(s).ok_or_else(|| format!("--queue must be calendar or binary-heap, got {s}"))
+    QueueKind::parse(s)
+        .ok_or_else(|| format!("--queue must be adaptive, calendar or binary-heap, got {s}"))
 }
 
 fn parse_quantile_mode(s: &str) -> Result<QuantileMode, String> {
@@ -410,8 +411,9 @@ RUN OPTIONS:
     --cdf                    print an ASCII CDF of end-to-end latency
     --csv <file>             write quantile CSV
     --svg <file>             write an SVG CDF plot
-    --queue <kind>           event queue: calendar or binary-heap
-                             [default: calendar]
+    --queue <kind>           event queue: adaptive (binary heap that promotes
+                             to the calendar wheel on large runs), calendar
+                             or binary-heap [default: adaptive]
     --quantile-mode <mode>   exact (sort all samples) or sketch (stream
                              through t-digests; constant memory)
                              [default: exact]
@@ -431,8 +433,8 @@ SWEEP OPTIONS:
                              or none; adds policy columns to the CSV
     --threads <n>            worker threads, 0 = all cores [default: 0]
     --out <file>             write the CSV report here instead of stdout
-    --queue <kind>           event queue: calendar or binary-heap
-                             [default: calendar]
+    --queue <kind>           event queue: adaptive, calendar or binary-heap
+                             [default: adaptive]
     --quantile-mode <mode>   exact or sketch; sketch keeps million-sample
                              sweeps in constant memory [default: exact]
 
@@ -499,7 +501,7 @@ mod tests {
         assert_eq!(opts.provider, "aws-like");
         assert_eq!(opts.seed, 0);
         assert!(!opts.breakdown && !opts.cdf);
-        assert_eq!(opts.queue, QueueKind::Calendar);
+        assert_eq!(opts.queue, QueueKind::Adaptive);
         assert_eq!(opts.quantile_mode, QuantileMode::Exact);
     }
 
@@ -514,6 +516,7 @@ mod tests {
         assert!(with("--queue", "fifo").is_err());
         assert!(with("--quantile-mode", "histogram").is_err());
         assert!(with("--queue", "heap").is_ok(), "binary-heap alias");
+        assert!(with("--queue", "adaptive").is_ok(), "adaptive backend");
         assert!(parse_args(&strs(&["sweep", "--queue", "fifo"])).is_err());
         assert!(parse_args(&strs(&["sweep", "--quantile-mode", "histogram"])).is_err());
     }
@@ -642,7 +645,7 @@ mod tests {
         assert_eq!(opts.samples, 100);
         assert_eq!(opts.threads, 0);
         assert_eq!(opts.out, None);
-        assert_eq!(opts.queue, QueueKind::Calendar);
+        assert_eq!(opts.queue, QueueKind::Adaptive);
         assert_eq!(opts.quantile_mode, QuantileMode::Exact);
         assert!(parse_args(&strs(&["sweep", "--seeds", "0"])).is_err());
         assert!(parse_args(&strs(&["sweep", "--samples", "0"])).is_err());

@@ -174,9 +174,10 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
     let provider = resolve_provider(&opts.provider)?;
     let provider_name = provider.name.clone();
 
-    // Sample-backed outputs (CDF, breakdown, CSV, SVG) need the raw
-    // vectors, so sketch mode only drops them when none are requested.
-    let needs_samples = opts.cdf || opts.breakdown || opts.csv.is_some() || opts.svg.is_some();
+    // The CDF, CSV and SVG figures all render from the streamed
+    // aggregate; only the per-component breakdown still needs the raw
+    // completion vectors, so sketch mode retains them just for it.
+    let needs_samples = opts.breakdown;
     let measure = match opts.quantile_mode {
         QuantileMode::Exact => MeasureSpec::exact(),
         QuantileMode::Sketch => MeasureSpec::sketch().with_keep_samples(needs_samples),
@@ -231,21 +232,24 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
     }
     if opts.cdf {
         out.push('\n');
-        out.push_str(&render_cdf("end-to-end latency (ms)", &outcome.latencies_ms()));
+        out.push_str(&render_cdf("end-to-end latency (ms)", &outcome.result.latency_agg));
     }
     if opts.breakdown {
         out.push('\n');
         out.push_str(&BreakdownAnalysis::compute(&outcome.result.completions).render());
     }
     if let Some(path) = &opts.csv {
-        let csv =
-            export_cdf_csv(&[Series::new(provider_name.clone(), outcome.latencies_ms())], 101);
+        let csv = export_cdf_csv(
+            &[Series::from_agg(provider_name.clone(), outcome.result.latency_agg.clone())],
+            101,
+        );
         std::fs::write(path, csv).map_err(|e| CliError::Io(path.clone(), e))?;
         out.push_str(&format!("wrote quantile CSV to {path}\n"));
     }
     if let Some(path) = &opts.svg {
-        let svg = SvgPlot::cdf(format!("{provider_name} end-to-end latency"))
-            .render(&[SvgSeries::new(provider_name, outcome.latencies_ms())]);
+        let svg = SvgPlot::cdf(format!("{provider_name} end-to-end latency")).render(&[
+            SvgSeries::from_sketch(provider_name, outcome.result.latency_agg.sketch().clone()),
+        ]);
         std::fs::write(path, svg).map_err(|e| CliError::Io(path.clone(), e))?;
         out.push_str(&format!("wrote SVG CDF to {path}\n"));
     }
@@ -515,7 +519,8 @@ mod tests {
         assert!(out.contains("median"), "{out}");
         assert!(out.contains("cold-start fraction"), "{out}");
 
-        // Asking for a CDF in sketch mode re-enables sample retention.
+        // The CDF renders straight from the streamed aggregate — no
+        // sample retention needed even in sketch mode.
         let with_cdf = execute(&Command::Run(RunOptions { cdf: true, ..opts })).unwrap();
         assert!(with_cdf.contains("end-to-end latency"), "{with_cdf}");
     }

@@ -5,8 +5,15 @@
 //! contributions from different cloud infrastructure components"). This
 //! module aggregates the per-request [`faas_sim::Breakdown`]s of a run
 //! into per-component distributions and renders the attribution table.
+//!
+//! Distributions are accumulated through [`stats::sketch::LatencyAgg`] —
+//! the project's single quantile engine — so the table's numbers are
+//! exact below the sketch threshold (the usual case for breakdown-sized
+//! runs) and carry the sketch's documented rank-error bound beyond it,
+//! the same contract as every other figure.
 
 use faas_sim::request::Completion;
+use stats::sketch::LatencyAgg;
 use stats::summary::Summary;
 use stats::table::{fmt_latency, TextTable};
 
@@ -137,17 +144,23 @@ impl BreakdownAnalysis {
     /// Panics if `completions` is empty.
     pub fn compute(completions: &[Completion]) -> BreakdownAnalysis {
         assert!(!completions.is_empty(), "breakdown of empty run");
-        let latencies: Vec<f64> = completions.iter().map(Completion::latency_ms).collect();
+        let mut total = LatencyAgg::new();
+        for c in completions {
+            total.record(c.latency_ms());
+        }
         let components = Component::ALL
             .iter()
             .map(|&comp| {
-                let values: Vec<f64> = completions.iter().map(|c| comp.extract(c)).collect();
-                (comp, Summary::from_samples(&values))
+                let mut agg = LatencyAgg::new();
+                for c in completions {
+                    agg.record(comp.extract(c));
+                }
+                (comp, agg.summary())
             })
             .collect();
         BreakdownAnalysis {
             components,
-            total_median_ms: stats::percentile::median(&latencies),
+            total_median_ms: total.quantile(0.5),
             count: completions.len(),
         }
     }

@@ -9,7 +9,6 @@ use faas_sim::config::ProviderConfig;
 use simkit::engine::QueueKind;
 use simkit::metrics::Metrics;
 use simkit::trace::SpanRecord;
-use stats::sketch::QuantileMode;
 use stats::Summary;
 
 use crate::client::{run_workload_spec, run_workload_with, ClientError, MeasureSpec, RunResult};
@@ -153,8 +152,10 @@ impl Experiment {
         self
     }
 
-    /// Selects the event-queue backend (default: calendar queue). Purely
-    /// a performance knob — results are bit-identical across backends.
+    /// Selects the event-queue backend (default: adaptive — binary heap
+    /// promoting to the calendar queue past a pending-set threshold).
+    /// Purely a performance knob — results are bit-identical across
+    /// backends.
     pub fn queue(mut self, queue: QueueKind) -> Experiment {
         self.queue = queue;
         self
@@ -202,28 +203,13 @@ impl Experiment {
                 &self.measure,
             )?,
         };
-        // Exact mode keeps the legacy sort-the-samples path (bit-identical
-        // with pre-sketch releases); sketch mode summarises the aggregate.
-        let (summary, transfer_summary) = match self.measure.quantile {
-            QuantileMode::Exact => {
-                let summary = Summary::from_samples(&result.latencies_ms());
-                let transfer_summary = if result.transfers.is_empty() {
-                    None
-                } else {
-                    Some(Summary::from_samples(&result.transfer_ms()))
-                };
-                (summary, transfer_summary)
-            }
-            QuantileMode::Sketch => {
-                let summary = result.latency_agg.summary();
-                let transfer_summary = if result.transfer_agg.is_empty() {
-                    None
-                } else {
-                    Some(result.transfer_agg.summary())
-                };
-                (summary, transfer_summary)
-            }
-        };
+        // Both modes summarise through the same aggregate: in exact mode
+        // the aggregate's buffer holds every sample and `summary()`
+        // delegates to the sorted exact path, so the output is
+        // bit-identical with the legacy sort-the-samples code.
+        let summary = result.latency_agg.summary();
+        let transfer_summary =
+            if result.transfer_agg.is_empty() { None } else { Some(result.transfer_agg.summary()) };
         let spans = cloud.drain_spans();
         // Fold end-of-run slab and event-queue counters into the metrics
         // registry so reports can audit memory behaviour.

@@ -231,13 +231,10 @@ impl CellStats {
     fn from_outcome(outcome: &Outcome) -> CellStats {
         let Summary { count, median, p95, tail, tmr, .. } = outcome.summary;
         let policy = outcome.result.policy.as_ref().map(|stats| {
-            // p99.9 comes from retained samples when we have them, and
-            // from the streaming aggregate otherwise.
-            let p999_ms = if outcome.result.completions.is_empty() {
-                outcome.result.latency_agg.clone().quantile(0.999)
-            } else {
-                stats::percentile(&outcome.result.latencies_ms(), 0.999)
-            };
+            // One quantile path for every mode: the aggregate is exact
+            // whenever samples are retained, so this matches the old
+            // sort-the-samples branch bit for bit there.
+            let p999_ms = outcome.result.latency_agg.clone().quantile(0.999);
             PolicyCellStats {
                 p999_ms,
                 hedge_rate: stats.hedge_fire_rate(),

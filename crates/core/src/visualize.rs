@@ -3,9 +3,14 @@
 //! STeLLAR ships plotting utilities that render latency measurements as
 //! CDFs or percentile-vs-parameter curves (§IV). This module produces the
 //! text/CSV equivalents used by the benchmark harness and recorded in
-//! `EXPERIMENTS.md`.
+//! `EXPERIMENTS.md`. Everything renders from [`LatencyAgg`] — the same
+//! single quantile engine the experiment and sweep layers aggregate with —
+//! so a figure drawn from a sketch-mode run carries the sketch's
+//! documented rank-error bound, and one drawn from raw samples (which
+//! build an exact-mode aggregate) is bit-identical to the historical
+//! sample-vector output.
 
-use stats::cdf::Cdf;
+use stats::sketch::LatencyAgg;
 use stats::summary::Summary;
 use stats::table::{fmt_latency, fmt_ratio, TextTable};
 
@@ -13,13 +18,13 @@ use stats::table::{fmt_latency, fmt_ratio, TextTable};
 ///
 /// # Panics
 ///
-/// Panics if `latencies_ms` is empty.
-pub fn render_cdf(title: &str, latencies_ms: &[f64]) -> String {
-    let cdf = Cdf::from_samples(latencies_ms);
-    let summary = Summary::from_samples(latencies_ms);
+/// Panics if `agg` is empty.
+pub fn render_cdf(title: &str, agg: &LatencyAgg) -> String {
+    assert!(!agg.is_empty(), "CDF of empty aggregate");
+    let summary = agg.clone().summary();
     let mut out = String::new();
     out.push_str(&format!("== {title} ==\n"));
-    out.push_str(&cdf.render_ascii(64, 12, true));
+    out.push_str(&render_cdf_ascii(agg, 64, 12, true));
     out.push_str(&format!(
         "median {} ms | p99 {} ms | TMR {}\n",
         fmt_latency(summary.median),
@@ -29,29 +34,97 @@ pub fn render_cdf(title: &str, latencies_ms: &[f64]) -> String {
     out
 }
 
+/// ASCII plot of the aggregate's CDF, `width` columns by `height` rows,
+/// with the x-axis spanning `[min, max]` of the samples (log-scaled if
+/// `log_x` and all samples are positive). Mirrors
+/// [`stats::cdf::Cdf::render_ascii`] column for column — on an exact-mode
+/// aggregate the output is identical.
+fn render_cdf_ascii(agg: &LatencyAgg, width: usize, height: usize, log_x: bool) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let min = agg.min();
+    let max = agg.max();
+    let use_log = log_x && min > 0.0 && max > min;
+    let to_axis = |x: f64| -> f64 {
+        if use_log {
+            x.ln()
+        } else {
+            x
+        }
+    };
+    let (amin, amax) = (to_axis(min), to_axis(max));
+    let span = if amax > amin { amax - amin } else { 1.0 };
+    let mut grid = vec![vec![' '; width]; height];
+    #[allow(clippy::needless_range_loop)] // col drives both the x-axis math and the grid index
+    for col in 0..width {
+        let ax = amin + span * col as f64 / (width - 1) as f64;
+        let x = if use_log { ax.exp() } else { ax };
+        let p = agg.cdf(x);
+        let row = ((1.0 - p) * (height - 1) as f64).round() as usize;
+        grid[row.min(height - 1)][col] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            "1.0 |"
+        } else if i == height - 1 {
+            "0.0 |"
+        } else {
+            "    |"
+        };
+        out.push_str(label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "     x: [{:.3}, {:.3}]{}\n",
+        min,
+        max,
+        if use_log { " (log scale)" } else { "" }
+    ));
+    out
+}
+
 /// One labelled latency series (e.g. one provider, one burst size).
 #[derive(Debug, Clone)]
 pub struct Series {
     /// Label shown in tables ("aws", "burst=100", …).
     pub label: String,
-    /// Latency samples, ms.
-    pub samples: Vec<f64>,
+    /// The distribution, as the shared quantile engine.
+    agg: LatencyAgg,
 }
 
 impl Series {
-    /// Creates a labelled series.
+    /// Creates a labelled series from raw samples (held exactly, so
+    /// summaries and CSV rows match the sample vector bit for bit).
     ///
     /// # Panics
     ///
     /// Panics if `samples` is empty.
     pub fn new<S: Into<String>>(label: S, samples: Vec<f64>) -> Series {
         assert!(!samples.is_empty(), "series needs samples");
-        Series { label: label.into(), samples }
+        Series { label: label.into(), agg: LatencyAgg::from_samples(&samples) }
+    }
+
+    /// Creates a labelled series from a streamed aggregate — the path
+    /// sketch-mode runs use, where no sample vector ever exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agg` is empty.
+    pub fn from_agg<S: Into<String>>(label: S, agg: LatencyAgg) -> Series {
+        assert!(!agg.is_empty(), "series needs samples");
+        Series { label: label.into(), agg }
     }
 
     /// Summary statistics of this series.
     pub fn summary(&self) -> Summary {
-        Summary::from_samples(&self.samples)
+        self.agg.clone().summary()
+    }
+
+    /// The underlying aggregate.
+    pub fn agg(&self) -> &LatencyAgg {
+        &self.agg
     }
 }
 
@@ -77,8 +150,7 @@ pub fn render_comparison(series: &[Series]) -> String {
 pub fn export_cdf_csv(series: &[Series], points: usize) -> String {
     let mut out = String::from("series,quantile,latency_ms\n");
     for s in series {
-        let cdf = Cdf::from_samples(&s.samples);
-        for (value, q) in cdf.points(points) {
+        for (value, q) in s.agg.clone().quantile_points(points) {
             out.push_str(&format!("{},{q:.4},{value:.3}\n", s.label));
         }
     }
@@ -88,14 +160,27 @@ pub fn export_cdf_csv(series: &[Series], points: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stats::cdf::Cdf;
 
     #[test]
     fn cdf_render_contains_stats() {
         let xs: Vec<f64> = (1..=100).map(f64::from).collect();
-        let art = render_cdf("warm", &xs);
+        let art = render_cdf("warm", &LatencyAgg::from_samples(&xs));
         assert!(art.contains("== warm =="));
         assert!(art.contains("median"));
         assert!(art.contains("TMR"));
+    }
+
+    #[test]
+    fn ascii_cdf_matches_sample_based_renderer() {
+        // The agg-driven ASCII plot must reproduce Cdf::render_ascii
+        // exactly on an exact-mode aggregate — same grid, same footer.
+        let xs: Vec<f64> = (1..=500).map(|i| (i as f64).sqrt() * 3.0).collect();
+        let agg = LatencyAgg::from_samples(&xs);
+        let cdf = Cdf::from_samples(&xs);
+        for log_x in [false, true] {
+            assert_eq!(render_cdf_ascii(&agg, 64, 12, log_x), cdf.render_ascii(64, 12, log_x));
+        }
     }
 
     #[test]
@@ -119,6 +204,20 @@ mod tests {
         assert!(csv.starts_with("series,quantile,latency_ms"));
         assert!(csv.contains("s,0.0000,1.000"));
         assert!(csv.contains("s,1.0000,50.000"));
+    }
+
+    #[test]
+    fn sketch_backed_series_round_trips() {
+        let mut agg = LatencyAgg::new();
+        for i in 0..20_000u64 {
+            agg.record(1.0 + ((i * 31) % 5_000) as f64);
+        }
+        assert!(agg.sketch().is_sketching());
+        let series = Series::from_agg("big", agg);
+        let csv = export_cdf_csv(std::slice::from_ref(&series), 21);
+        assert_eq!(csv.lines().count(), 22);
+        let art = render_cdf("big", series.agg());
+        assert!(art.contains("1.0 |"));
     }
 
     #[test]

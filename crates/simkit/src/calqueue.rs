@@ -146,11 +146,14 @@ impl<E> Default for CalendarQueue<E> {
 }
 
 impl<E> CalendarQueue<E> {
-    /// An empty queue with the minimum wheel size and a 1 ms initial
-    /// bucket width (re-derived at the first resize).
+    /// An empty queue with a 1 ms initial bucket width (re-derived at the
+    /// first resize). The wheel itself is allocated lazily on the first
+    /// `schedule`, so constructing a queue that never sees an event — every
+    /// sweep cell's scheduler, every short toy run — costs no bucket
+    /// allocations at all.
     pub fn new() -> Self {
         CalendarQueue {
-            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            buckets: Vec::new(),
             width_ns: 1_000_000, // 1 ms: a sane default for a latency simulator
             day: 0,
             wheel_len: 0,
@@ -189,6 +192,13 @@ impl<E> CalendarQueue<E> {
         self.overflow.reserve(additional.min(1 << 16));
     }
 
+    /// Allocates the minimum wheel on first use (see [`CalendarQueue::new`]).
+    fn ensure_wheel(&mut self) {
+        if self.buckets.is_empty() {
+            self.buckets = (0..MIN_BUCKETS).map(|_| Vec::new()).collect();
+        }
+    }
+
     fn day_of(&self, at_ns: u64) -> u64 {
         at_ns / self.width_ns
     }
@@ -205,6 +215,7 @@ impl<E> CalendarQueue<E> {
     /// monotone tie-break counter; the queue imposes no constraint of its
     /// own on `at` (the engine's not-in-the-past check happens upstream).
     pub fn schedule(&mut self, at: SimTime, seq: u64, event: E) {
+        self.ensure_wheel();
         let slot = Slot { at_ns: at.as_nanos(), seq, event };
         if self.len == 0 {
             // Empty queue: re-anchor the wheel on the new event.
@@ -470,6 +481,19 @@ mod tests {
             out.push((at.as_nanos(), seq));
         }
         out
+    }
+
+    #[test]
+    fn new_allocates_no_buckets_until_first_schedule() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        assert_eq!(q.buckets.len(), 0, "fresh queue must not allocate the wheel");
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+        q.reserve(100);
+        assert_eq!(q.buckets.len(), 0, "reserve alone must not allocate the wheel");
+        q.schedule(SimTime::from_millis(1.0), 0, 7);
+        assert_eq!(q.buckets.len(), MIN_BUCKETS);
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some(7));
     }
 
     #[test]

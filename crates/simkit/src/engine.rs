@@ -18,28 +18,35 @@ use crate::time::SimTime;
 
 /// Which pending-event queue implementation a [`Scheduler`] uses.
 ///
-/// Both backends dispatch events in exactly the same total order —
+/// All backends dispatch events in exactly the same total order —
 /// ascending `(time, seq)` — so simulation results are bit-identical
 /// across them; the choice is purely a performance trade-off. The
 /// calendar queue ([`crate::calqueue`]) is amortized O(1) per operation
 /// and wins decisively once the pending-event count is large (e.g. a
-/// million-invocation submission schedule); the binary heap is O(log n)
-/// but has no wheel bookkeeping, kept as a baseline and for comparison
-/// benchmarks.
+/// million-invocation submission schedule), but its wheel bookkeeping
+/// carries a constant factor the binary heap does not pay on small
+/// pending sets. The adaptive backend (the default) starts on the heap
+/// and promotes to the wheel once the pending set crosses
+/// [`PROMOTE_PENDING`], so toy runs and fleet-scale schedules both get
+/// the cheaper structure without anyone picking by hand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QueueKind {
     /// `std::collections::BinaryHeap`, O(log n) push/pop.
     BinaryHeap,
-    /// Bucketed timer wheel, amortized O(1) push/pop (the default).
-    #[default]
+    /// Bucketed timer wheel, amortized O(1) push/pop.
     Calendar,
+    /// Binary heap that promotes itself to a calendar queue once the
+    /// pending set exceeds [`PROMOTE_PENDING`] (the default).
+    #[default]
+    Adaptive,
 }
 
 impl QueueKind {
-    /// Parses the CLI spelling of a queue kind (`"calendar"` or
-    /// `"binary-heap"`).
+    /// Parses the CLI spelling of a queue kind (`"adaptive"`,
+    /// `"calendar"` or `"binary-heap"`).
     pub fn parse(s: &str) -> Option<QueueKind> {
         match s {
+            "adaptive" => Some(QueueKind::Adaptive),
             "calendar" => Some(QueueKind::Calendar),
             "binary-heap" | "binary_heap" | "heap" => Some(QueueKind::BinaryHeap),
             _ => None,
@@ -51,9 +58,21 @@ impl QueueKind {
         match self {
             QueueKind::BinaryHeap => "binary-heap",
             QueueKind::Calendar => "calendar",
+            QueueKind::Adaptive => "adaptive",
         }
     }
 }
+
+/// Pending-event count past which the adaptive backend abandons its
+/// binary heap for the calendar queue.
+///
+/// Below this the heap's O(log n) is cheap (log₂ 4096 = 12 comparisons)
+/// and free of wheel bookkeeping; above it the calendar queue's
+/// amortized O(1) wins (BENCH_3: 1.8× at 10⁶ pending). Promotion is
+/// one-way — a drained wheel stays a wheel, because a workload that
+/// crossed the threshold once tends to cross it again and re-promoting
+/// would thrash the O(n) migration.
+pub const PROMOTE_PENDING: usize = 4096;
 
 /// User-provided simulation state and event handler.
 pub trait Model {
@@ -89,10 +108,14 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// The two interchangeable queue implementations behind a [`Scheduler`].
+/// The interchangeable queue implementations behind a [`Scheduler`].
 enum Backend<E> {
     Heap(BinaryHeap<Entry<E>>),
     Calendar(CalendarQueue<E>),
+    /// The adaptive backend's start state: a binary heap that promotes
+    /// itself to `Calendar` once pending exceeds [`PROMOTE_PENDING`]
+    /// (or a `reserve` announces that many events are coming).
+    Adaptive(BinaryHeap<Entry<E>>),
 }
 
 impl<E> Backend<E> {
@@ -100,26 +123,50 @@ impl<E> Backend<E> {
         match self {
             Backend::Heap(h) => h.push(entry),
             Backend::Calendar(c) => c.schedule(entry.at, entry.seq, entry.event),
+            Backend::Adaptive(h) => {
+                h.push(entry);
+                if h.len() > PROMOTE_PENDING {
+                    self.promote(0);
+                }
+            }
+        }
+    }
+
+    /// Migrates the adaptive heap's contents into a calendar queue.
+    ///
+    /// Both structures honor the same ascending `(time, seq)` total
+    /// order, so migrating mid-run cannot change dispatch order — the
+    /// wheel re-derives its bucket width from the migrated events
+    /// exactly as if they had been scheduled there all along.
+    fn promote(&mut self, expected: usize) {
+        if let Backend::Adaptive(heap) = self {
+            let heap = std::mem::take(heap);
+            let mut cal = CalendarQueue::new();
+            cal.reserve(expected.max(heap.len()));
+            for Entry { at, seq, event } in heap {
+                cal.schedule(at, seq, event);
+            }
+            *self = Backend::Calendar(cal);
         }
     }
 
     fn pop(&mut self) -> Option<Entry<E>> {
         match self {
-            Backend::Heap(h) => h.pop(),
+            Backend::Heap(h) | Backend::Adaptive(h) => h.pop(),
             Backend::Calendar(c) => c.pop().map(|(at, seq, event)| Entry { at, seq, event }),
         }
     }
 
     fn len(&self) -> usize {
         match self {
-            Backend::Heap(h) => h.len(),
+            Backend::Heap(h) | Backend::Adaptive(h) => h.len(),
             Backend::Calendar(c) => c.len(),
         }
     }
 
     fn peek_time(&self) -> Option<SimTime> {
         match self {
-            Backend::Heap(h) => h.peek().map(|e| e.at),
+            Backend::Heap(h) | Backend::Adaptive(h) => h.peek().map(|e| e.at),
             Backend::Calendar(c) => c.peek_time(),
         }
     }
@@ -128,12 +175,22 @@ impl<E> Backend<E> {
         match self {
             Backend::Heap(h) => h.reserve(additional),
             Backend::Calendar(c) => c.reserve(additional),
+            Backend::Adaptive(h) => {
+                // A reservation announcing a large workload promotes
+                // immediately: the calendar gets the capacity hint and
+                // sizes its wheel in one rebuild instead of doubling.
+                if h.len() + additional > PROMOTE_PENDING {
+                    self.promote(additional);
+                } else {
+                    h.reserve(additional);
+                }
+            }
         }
     }
 
     fn calendar_stats(&self) -> Option<CalQueueStats> {
         match self {
-            Backend::Heap(_) => None,
+            Backend::Heap(_) | Backend::Adaptive(_) => None,
             Backend::Calendar(c) => Some(c.stats()),
         }
     }
@@ -207,6 +264,7 @@ impl<E> Scheduler<E> {
         let queue = match kind {
             QueueKind::BinaryHeap => Backend::Heap(BinaryHeap::new()),
             QueueKind::Calendar => Backend::Calendar(CalendarQueue::new()),
+            QueueKind::Adaptive => Backend::Adaptive(BinaryHeap::new()),
         };
         Scheduler { queue, seq: 0, now: SimTime::ZERO }
     }
@@ -252,7 +310,8 @@ impl<E> Scheduler<E> {
     }
 
     /// Lifetime self-correction counters of the calendar backend; `None`
-    /// on the binary heap (it has no adaptive machinery to observe).
+    /// on the binary heap and on an adaptive queue that has not promoted
+    /// yet (a plain heap has no wheel machinery to observe).
     pub fn queue_stats(&self) -> Option<CalQueueStats> {
         self.queue.calendar_stats()
     }
@@ -327,7 +386,7 @@ impl<M: Model + std::fmt::Debug> std::fmt::Debug for Simulation<M> {
 
 impl<M: Model> Simulation<M> {
     /// Creates a simulation around `model` with an empty event queue at
-    /// time zero, using the default queue backend ([`QueueKind::Calendar`]).
+    /// time zero, using the default queue backend ([`QueueKind::Adaptive`]).
     pub fn new(model: M) -> Self {
         Simulation { model, sched: Scheduler::new(), processed: 0 }
     }
@@ -549,7 +608,7 @@ mod tests {
     /// still dispatch in global FIFO order.
     #[test]
     fn seq_stays_monotone_across_run_until_horizons() {
-        for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
+        for kind in [QueueKind::BinaryHeap, QueueKind::Calendar, QueueKind::Adaptive] {
             let mut sim = Simulation::with_queue(Recorder::default(), kind);
             let t = SimTime::from_millis(50.0);
             sim.schedule_at(t, Ev::Mark(0));
@@ -572,7 +631,7 @@ mod tests {
         }
     }
 
-    /// Both queue backends produce identical dispatch sequences on a
+    /// All queue backends produce identical dispatch sequences on a
     /// chained workload driven through interleaved horizons.
     #[test]
     fn backends_dispatch_identically() {
@@ -585,7 +644,52 @@ mod tests {
             sim.run();
             sim.into_model().seen
         };
-        assert_eq!(run(QueueKind::BinaryHeap), run(QueueKind::Calendar));
+        let heap = run(QueueKind::BinaryHeap);
+        assert_eq!(heap, run(QueueKind::Calendar));
+        assert_eq!(heap, run(QueueKind::Adaptive));
+    }
+
+    /// The adaptive backend promotes itself to the calendar queue when the
+    /// pending set crosses [`PROMOTE_PENDING`], and the migration preserves
+    /// the exact `(time, seq)` dispatch order — including FIFO ties — so a
+    /// run that straddles the promotion matches a pure-heap run bit for bit.
+    #[test]
+    fn adaptive_promotes_past_threshold_preserving_order() {
+        let n = (PROMOTE_PENDING + 500) as u32;
+        let run = |kind: QueueKind| {
+            let mut sim = Simulation::with_queue(Recorder::default(), kind);
+            for id in 0..n {
+                // Deliberate timestamp ties (id / 4) exercise FIFO order
+                // across the migration boundary.
+                sim.schedule_at(SimTime::from_millis(f64::from(id / 4)), Ev::Mark(id));
+            }
+            sim.run();
+            sim.into_model().seen
+        };
+
+        let mut adaptive = Simulation::with_queue(Recorder::default(), QueueKind::Adaptive);
+        assert!(adaptive.queue_stats().is_none(), "starts on the heap");
+        for id in 0..n {
+            adaptive.schedule_at(SimTime::from_millis(f64::from(id / 4)), Ev::Mark(id));
+        }
+        assert!(adaptive.queue_stats().is_some(), "promoted past PROMOTE_PENDING");
+        adaptive.run();
+        assert_eq!(adaptive.into_model().seen, run(QueueKind::BinaryHeap));
+    }
+
+    /// `reserve_events` announcing a large incoming workload promotes the
+    /// adaptive backend immediately, before any event is scheduled.
+    #[test]
+    fn adaptive_promotes_on_large_reservation() {
+        let mut sim = Simulation::with_queue(Recorder::default(), QueueKind::Adaptive);
+        assert!(sim.queue_stats().is_none());
+        sim.reserve_events(PROMOTE_PENDING / 2);
+        assert!(sim.queue_stats().is_none(), "small reservations stay on the heap");
+        sim.reserve_events(PROMOTE_PENDING + 1);
+        assert!(sim.queue_stats().is_some(), "large reservations promote up front");
+        sim.schedule_at(SimTime::from_millis(1.0), Ev::Mark(1));
+        sim.run();
+        assert_eq!(sim.model().seen, vec![(SimTime::from_millis(1.0), 1)]);
     }
 
     /// Events stamped from a reserved block win FIFO ties against events
@@ -594,7 +698,7 @@ mod tests {
     /// streaming submission driver relies on.
     #[test]
     fn reserved_seq_block_reproduces_up_front_order() {
-        for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
+        for kind in [QueueKind::BinaryHeap, QueueKind::Calendar, QueueKind::Adaptive] {
             let t = SimTime::from_millis(10.0);
             // Reference: everything scheduled up front, in FIFO order.
             let mut up_front = Simulation::with_queue(Recorder::default(), kind);

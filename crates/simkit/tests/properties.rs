@@ -62,7 +62,9 @@ proptest! {
             sim.run();
             sim.into_model().seen
         };
-        prop_assert_eq!(run(QueueKind::BinaryHeap), run(QueueKind::Calendar));
+        let heap = run(QueueKind::BinaryHeap);
+        prop_assert_eq!(&heap, &run(QueueKind::Calendar));
+        prop_assert_eq!(&heap, &run(QueueKind::Adaptive));
     }
 
     /// run_until splits a run without changing what gets processed.

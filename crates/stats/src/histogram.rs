@@ -1,17 +1,29 @@
-//! Log-spaced histograms.
+//! Log-spaced histograms — **deprecated shim** over [`QuantileSketch`].
 //!
 //! Latencies in serverless systems span four orders of magnitude (tens of
 //! milliseconds warm to tens of seconds queued-cold), so the natural bin
-//! layout is logarithmic.
+//! layout is logarithmic. Historically this module kept its own per-bin
+//! counters, which meant figures built from it carried a different error
+//! story than sketch-mode quantiles. The crate now has exactly one
+//! quantile engine: [`LogHistogram`] stores its samples in a
+//! [`QuantileSketch`] and derives bin counts from cumulative ranks at the
+//! bin edges, so every number it reports shares the sketch's documented
+//! rank-error bound (exact below the threshold — which reproduces the
+//! historical counts bit for bit — and `n·ε(q)` per edge once sketching,
+//! with mass conservation guaranteed because counts telescope).
 
 use serde::{Deserialize, Serialize};
 
-/// A histogram with logarithmically spaced bins over `[lo, hi)` plus
-/// underflow/overflow buckets.
+use crate::sketch::QuantileSketch;
+
+/// A histogram view with logarithmically spaced bins over `[lo, hi)` plus
+/// underflow/overflow buckets, backed by the crate's single quantile
+/// engine.
 ///
 /// # Examples
 ///
 /// ```
+/// #![allow(deprecated)]
 /// use stats::histogram::LogHistogram;
 /// let mut h = LogHistogram::new(1.0, 1000.0, 3);
 /// h.record(5.0);
@@ -20,17 +32,23 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.total(), 3);
 /// assert_eq!(h.counts(), &[1, 1, 1]);
 /// ```
+#[deprecated(
+    since = "0.6.0",
+    note = "use stats::QuantileSketch (or LatencyAgg) directly; \
+            LogHistogram is now a bin-count view over the sketch"
+)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LogHistogram {
     lo: f64,
     hi: f64,
-    counts: Vec<u64>,
-    underflow: u64,
-    overflow: u64,
+    bins: usize,
+    sketch: QuantileSketch,
 }
 
+#[allow(deprecated)]
 impl LogHistogram {
-    /// Creates a histogram with `bins` log-spaced bins spanning `[lo, hi)`.
+    /// Creates a histogram view with `bins` log-spaced bins spanning
+    /// `[lo, hi)`.
     ///
     /// # Panics
     ///
@@ -39,14 +57,15 @@ impl LogHistogram {
         assert!(lo > 0.0, "log histogram needs positive lower bound");
         assert!(hi > lo, "hi must exceed lo");
         assert!(bins > 0, "need at least one bin");
-        LogHistogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        LogHistogram { lo, hi, bins, sketch: QuantileSketch::new() }
     }
 
     /// Records one value.
     ///
-    /// The bin chosen is always consistent with [`LogHistogram::bin_edges`]:
-    /// `record(v)` increments the bin `i` with `bin_edges(i).0 <= v` and
-    /// `v < bin_edges(i).1`.
+    /// The bin reported is always consistent with
+    /// [`LogHistogram::bin_edges`]: below the sketch's exact threshold,
+    /// `record(v)` adds one to the bin `i` with `bin_edges(i).0 <= v` and
+    /// `v < bin_edges(i).1`, exactly as the counter-based histogram did.
     ///
     /// # Panics
     ///
@@ -54,25 +73,7 @@ impl LogHistogram {
     /// checks and land silently in bin 0 because `NaN as usize == 0`).
     pub fn record(&mut self, value: f64) {
         assert!(!value.is_nan(), "cannot record NaN in a histogram");
-        if value < self.lo {
-            self.underflow += 1;
-        } else if value >= self.hi {
-            self.overflow += 1;
-        } else {
-            let k = self.counts.len();
-            let frac = (value / self.lo).ln() / (self.hi / self.lo).ln();
-            let mut idx = ((frac * k as f64) as usize).min(k - 1);
-            // The ln-ratio mapping above and the powf mapping in
-            // `bin_edges` can disagree by one ULP right at a bin boundary;
-            // nudge to the bin whose edges actually contain the value.
-            while idx > 0 && value < self.bin_edges(idx).0 {
-                idx -= 1;
-            }
-            while idx + 1 < k && value >= self.bin_edges(idx).1 {
-                idx += 1;
-            }
-            self.counts[idx] += 1;
-        }
+        self.sketch.record(value);
     }
 
     /// Records many values.
@@ -82,24 +83,57 @@ impl LogHistogram {
         }
     }
 
-    /// Per-bin counts (excluding under/overflow).
-    pub fn counts(&self) -> &[u64] {
-        &self.counts
+    /// Cumulative rank at the lower edge of each bin plus the final upper
+    /// edge: `bins + 1` monotone integers. Differences of these are the
+    /// bin counts, which conserves the total in-range mass by
+    /// construction (independent per-bin estimates would not).
+    fn cum_ranks(&self) -> Vec<u64> {
+        let mut cum: Vec<u64> = (0..self.bins)
+            .map(|i| self.sketch.rank_below(self.bin_edges(i).0).round() as u64)
+            .chain(std::iter::once(self.sketch.rank_below(self.hi).round() as u64))
+            .collect();
+        for i in 1..cum.len() {
+            if cum[i] < cum[i - 1] {
+                cum[i] = cum[i - 1];
+            }
+        }
+        cum
+    }
+
+    /// Per-bin counts (excluding under/overflow). Exact below the
+    /// sketch's threshold, within the rank-error bound per edge above it.
+    pub fn counts(&self) -> Vec<u64> {
+        if self.sketch.is_empty() {
+            return vec![0; self.bins];
+        }
+        self.cum_ranks().windows(2).map(|w| w[1] - w[0]).collect()
     }
 
     /// Count below the lower bound.
     pub fn underflow(&self) -> u64 {
-        self.underflow
+        if self.sketch.is_empty() {
+            return 0;
+        }
+        self.sketch.rank_below(self.lo).round() as u64
     }
 
     /// Count at or above the upper bound.
     pub fn overflow(&self) -> u64 {
-        self.overflow
+        if self.sketch.is_empty() {
+            return 0;
+        }
+        self.sketch.count() - *self.cum_ranks().last().expect("bins > 0")
     }
 
     /// Total recorded values including under/overflow.
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+        self.sketch.count()
+    }
+
+    /// The backing sketch (every figure derived from this histogram
+    /// shares its error bound).
+    pub fn sketch(&self) -> &QuantileSketch {
+        &self.sketch
     }
 
     /// `(lo, hi)` edges of bin `i`.
@@ -108,42 +142,41 @@ impl LogHistogram {
     ///
     /// Panics if `i` is out of range.
     pub fn bin_edges(&self, i: usize) -> (f64, f64) {
-        assert!(i < self.counts.len(), "bin {i} out of range");
-        let k = self.counts.len() as f64;
+        assert!(i < self.bins, "bin {i} out of range");
+        let k = self.bins as f64;
         let ratio = self.hi / self.lo;
         // Pin the outermost edges to the exact bounds: `lo * ratio` can be
         // a ULP off `hi`, which would leave values right under `hi` outside
         // every bin. The bins must tile `[lo, hi)` exactly.
         let lo = if i == 0 { self.lo } else { self.lo * ratio.powf(i as f64 / k) };
-        let hi = if i + 1 == self.counts.len() {
-            self.hi
-        } else {
-            self.lo * ratio.powf((i + 1) as f64 / k)
-        };
+        let hi =
+            if i + 1 == self.bins { self.hi } else { self.lo * ratio.powf((i + 1) as f64 / k) };
         (lo, hi)
     }
 
     /// Renders the histogram as ASCII bars with bin ranges.
     pub fn render_ascii(&self, width: usize) -> String {
         let width = width.max(10);
-        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let counts = self.counts();
+        let max = counts.iter().copied().max().unwrap_or(0).max(1);
         let mut out = String::new();
-        for (i, &c) in self.counts.iter().enumerate() {
+        for (i, &c) in counts.iter().enumerate() {
             let (lo, hi) = self.bin_edges(i);
             let bar = "#".repeat((c as f64 / max as f64 * width as f64).round() as usize);
             out.push_str(&format!("[{lo:>10.2}, {hi:>10.2}) {c:>7} {bar}\n"));
         }
-        if self.underflow > 0 {
-            out.push_str(&format!("underflow: {}\n", self.underflow));
+        if self.underflow() > 0 {
+            out.push_str(&format!("underflow: {}\n", self.underflow()));
         }
-        if self.overflow > 0 {
-            out.push_str(&format!("overflow: {}\n", self.overflow));
+        if self.overflow() > 0 {
+            out.push_str(&format!("overflow: {}\n", self.overflow()));
         }
         out
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -220,8 +253,9 @@ mod tests {
 
     #[test]
     fn recorded_bin_agrees_with_bin_edges_at_boundaries() {
-        // Exercise exact powf bin edges, where the ln-ratio index mapping
-        // can land one bin off before the nudge.
+        // Exercise exact powf bin edges, where a naive index mapping can
+        // land one bin off before the nudge; rank differences at the same
+        // edges cannot, by construction.
         let h0 = LogHistogram::new(1.0, 1000.0, 7);
         for i in 0..7 {
             let (lo, hi) = h0.bin_edges(i);
@@ -230,6 +264,47 @@ mod tests {
                 h.record(v);
                 assert_eq!(h.counts()[i], 1, "value {v} must land in bin {i}");
             }
+        }
+    }
+
+    #[test]
+    fn sketching_histogram_conserves_mass() {
+        // Past the sketch threshold, counts are rank-derived estimates but
+        // the telescoping construction must still conserve every sample.
+        let mut h = LogHistogram::new(1.0, 1000.0, 10);
+        for i in 0..50_000u64 {
+            h.record(0.5 + ((i * 2654435761) % 2_000) as f64);
+        }
+        assert!(h.sketch().is_sketching());
+        let binned: u64 = h.counts().iter().sum();
+        assert_eq!(binned + h.underflow() + h.overflow(), h.total());
+    }
+
+    #[test]
+    fn sketching_counts_stay_within_rank_error() {
+        // Uniform ladder over one decade: per-bin expectation is directly
+        // computable, and each edge's cumulative rank may be off by at
+        // most n·ε.
+        let n = 30_000u64;
+        let mut h = LogHistogram::new(1.0, 10.0, 4);
+        let mut exact = vec![0u64; 4];
+        for i in 0..n {
+            let v = 1.0 + 9.0 * (i as f64 + 0.5) / n as f64;
+            h.record(v);
+            let mut b = 3;
+            for j in 0..4 {
+                if v < h.bin_edges(j).1 {
+                    b = j;
+                    break;
+                }
+            }
+            exact[b] += 1;
+        }
+        assert!(h.sketch().is_sketching());
+        let tol = (n as f64 * (8.0 * 0.25 / 200.0 + 3.0 / n as f64)).ceil() as i64 * 2;
+        for (i, (&got, &want)) in h.counts().iter().zip(&exact).enumerate() {
+            let err = (got as i64 - want as i64).abs();
+            assert!(err <= tol, "bin {i}: got {got}, want {want} (tol {tol})");
         }
     }
 }

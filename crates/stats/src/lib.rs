@@ -9,7 +9,8 @@
 //!   CDF plots);
 //! * [`metrics`] — the paper's normalised factor metrics: TMR, MR and TR
 //!   (§V "Latency and Bandwidth Metrics" and Table I);
-//! * [`histogram`] — log-spaced histograms;
+//! * [`histogram`] — log-spaced histograms (deprecated shim over the
+//!   quantile sketch, kept for bin-count views);
 //! * [`ks`] — two-sample Kolmogorov–Smirnov distance, used by calibration
 //!   tests to compare simulated and target distributions;
 //! * [`bootstrap`] — bootstrap confidence intervals;

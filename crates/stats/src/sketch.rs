@@ -287,6 +287,120 @@ impl QuantileSketch {
         self.centroids.len()
     }
 
+    /// Fraction of recorded samples `<= x` — the empirical CDF.
+    ///
+    /// Exact below the threshold (bit-identical to [`crate::cdf::Cdf::eval`]
+    /// over the same samples, it is the same integer count divided by the
+    /// same `n`); once sketching, within the
+    /// [`rank_error_bound`](Self::rank_error_bound) at the rank of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketch is empty or `x` is NaN (consistent with
+    /// `Cdf::eval`: with a NaN every comparison is vacuously false and the
+    /// result would silently be 0).
+    pub fn cdf(&self, x: f64) -> f64 {
+        assert!(self.count > 0, "CDF of empty sketch");
+        assert!(!x.is_nan(), "CDF evaluated at NaN");
+        self.rank(x, true) / self.count as f64
+    }
+
+    /// Estimated number of recorded samples strictly below `x` (0 when
+    /// empty). Exact below the threshold; within `n·ε` once sketching.
+    ///
+    /// This is the primitive the deprecated
+    /// [`crate::histogram::LogHistogram`] shim derives bin counts from:
+    /// differences of cumulative ranks at the bin edges conserve total
+    /// mass by construction, which per-bin estimates would not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn rank_below(&self, x: f64) -> f64 {
+        assert!(!x.is_nan(), "rank of NaN");
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.rank(x, false)
+    }
+
+    /// Rank of `x`: exact count over the buffered samples plus the
+    /// interpolated rank over the compressed ones.
+    fn rank(&self, x: f64, inclusive: bool) -> f64 {
+        let buffered =
+            self.buffer.iter().filter(|&&v| if inclusive { v <= x } else { v < x }).count() as f64;
+        buffered + self.centroid_rank(x, inclusive)
+    }
+
+    /// Interpolated rank of `x` within the compressed samples only (0
+    /// while in exact mode): piecewise linear between centroid rank
+    /// midpoints, anchored at `(0, min)` and `(n_compressed, max)` — the
+    /// inverse of the interpolation in [`QuantileSketch::quantile`].
+    ///
+    /// The boundary cases honor `inclusive`: a strict rank at an atom
+    /// sitting exactly on min/max (e.g. an all-equal distribution) must
+    /// exclude that atom's mass, where the inclusive CDF includes it.
+    fn centroid_rank(&self, x: f64, inclusive: bool) -> f64 {
+        if self.centroids.is_empty() {
+            return 0.0;
+        }
+        let nc = (self.count - self.buffer.len() as u64) as f64;
+        if x < self.min || (!inclusive && x <= self.min) {
+            return 0.0;
+        }
+        if x >= self.max {
+            return nc;
+        }
+        let mut cum = 0.0;
+        let mut prev_mid = 0.0;
+        let mut prev_mean = self.min;
+        for c in &self.centroids {
+            let mid = cum + c.weight / 2.0;
+            if x < c.mean {
+                let t =
+                    if c.mean > prev_mean { (x - prev_mean) / (c.mean - prev_mean) } else { 0.0 };
+                return (prev_mid + t * (mid - prev_mid)).clamp(0.0, nc);
+            }
+            prev_mid = mid;
+            prev_mean = c.mean;
+            cum += c.weight;
+        }
+        let t = if self.max > prev_mean { (x - prev_mean) / (self.max - prev_mean) } else { 1.0 };
+        (prev_mid + t * (nc - prev_mid)).clamp(0.0, nc)
+    }
+
+    /// Down-samples the distribution to `n` evenly spaced
+    /// `(value, cumulative_prob)` plot points — the sketch-backed
+    /// equivalent of [`crate::cdf::Cdf::points`], bit-identical to it
+    /// below the exact threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketch is empty or `n < 2`.
+    pub fn quantile_points(&mut self, n: usize) -> Vec<(f64, f64)> {
+        assert!(self.count > 0, "plot points of empty sketch");
+        assert!(n >= 2, "need at least two plot points");
+        if !self.is_sketching() {
+            let mut sorted = self.buffer.clone();
+            sort_samples(&mut sorted);
+            return (0..n)
+                .map(|i| {
+                    let q = i as f64 / (n - 1) as f64;
+                    (sorted_percentile(&sorted, q), q)
+                })
+                .collect();
+        }
+        if !self.buffer.is_empty() {
+            self.compress();
+        }
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1) as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+
     /// Folds buffered samples into the centroid list and re-clusters.
     fn compress(&mut self) {
         sort_samples(&mut self.buffer);
@@ -357,6 +471,22 @@ impl LatencyAgg {
         }
     }
 
+    /// Builds an exact-mode aggregate from a sample slice in one call —
+    /// the bridge for figure pipelines that start from raw samples:
+    /// quantiles, CDF points, and summaries all come out bit-identical to
+    /// the historical sample-vector paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples(samples: &[f64]) -> LatencyAgg {
+        let mut agg = LatencyAgg::with_mode(QuantileMode::Exact);
+        for &v in samples {
+            agg.record(v);
+        }
+        agg
+    }
+
     /// Records one latency sample (milliseconds, by project convention).
     ///
     /// # Panics
@@ -400,6 +530,26 @@ impl LatencyAgg {
         self.sketch.quantile(q)
     }
 
+    /// Fraction of samples `<= x` (see [`QuantileSketch::cdf`]).
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.sketch.cdf(x)
+    }
+
+    /// CDF plot points (see [`QuantileSketch::quantile_points`]).
+    pub fn quantile_points(&mut self, n: usize) -> Vec<(f64, f64)> {
+        self.sketch.quantile_points(n)
+    }
+
+    /// Smallest recorded sample (see [`QuantileSketch::min`]).
+    pub fn min(&self) -> f64 {
+        self.sketch.min()
+    }
+
+    /// Largest recorded sample (see [`QuantileSketch::max`]).
+    pub fn max(&self) -> f64 {
+        self.sketch.max()
+    }
+
     /// The sketch's rank-error bound at `q`.
     pub fn rank_error_bound(&self, q: f64) -> f64 {
         self.sketch.rank_error_bound(q)
@@ -420,6 +570,13 @@ impl LatencyAgg {
     /// Panics if empty.
     pub fn summary(&mut self) -> Summary {
         assert!(!self.is_empty(), "summary of empty aggregate");
+        if !self.sketch.is_sketching() {
+            // Below the threshold the buffer holds every sample, so
+            // delegating reproduces the historical exact-mode summary bit
+            // for bit (mean/std from the sorted two-pass path rather than
+            // the insertion-order moment sums).
+            return Summary::from_samples(&self.sketch.buffer);
+        }
         let n = self.count();
         let mean = self.mean();
         let var = if n > 1 {
@@ -627,5 +784,155 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_quantile_panics() {
         QuantileSketch::new().quantile(0.5);
+    }
+
+    // Edge-case contract: empty panics, a single sample and all-equal
+    // samples answer exactly, q = 0/1 pin min/max — never NaN. These are
+    // the cases the histogram retirement routes every figure through.
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_cdf_panics() {
+        QuantileSketch::new().cdf(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_summary_panics() {
+        LatencyAgg::new().summary();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_out_of_range_panics() {
+        let mut s = QuantileSketch::new();
+        s.record(1.0);
+        s.quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn cdf_of_nan_panics() {
+        let mut s = QuantileSketch::new();
+        s.record(1.0);
+        s.cdf(f64::NAN);
+    }
+
+    #[test]
+    fn single_sample_is_exact_everywhere() {
+        let mut agg = LatencyAgg::new();
+        agg.record(42.0);
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(agg.quantile(q), 42.0, "q={q}");
+        }
+        let s = agg.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.p999, 42.0);
+        assert_eq!(agg.cdf(41.9), 0.0);
+        assert_eq!(agg.cdf(42.0), 1.0);
+    }
+
+    #[test]
+    fn all_equal_samples_answer_exactly_even_when_sketching() {
+        let mut s = QuantileSketch::new();
+        for _ in 0..10_000 {
+            s.record(7.5);
+        }
+        assert!(s.is_sketching());
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert_eq!(v, 7.5, "q={q}");
+            assert!(!v.is_nan());
+        }
+        assert_eq!(s.cdf(7.5), 1.0);
+        assert_eq!(s.cdf(7.4), 0.0);
+        assert_eq!(s.rank_below(7.5), 0.0);
+        assert_eq!(s.rank_below(7.6), 10_000.0);
+    }
+
+    #[test]
+    fn extreme_quantiles_pin_min_max_when_sketching() {
+        let mut s = QuantileSketch::new();
+        for i in 0..50_000u64 {
+            s.record(((i * 2654435761) % 100_000) as f64 / 7.0);
+        }
+        assert!(s.is_sketching());
+        assert_eq!(s.quantile(0.0), s.min());
+        assert_eq!(s.quantile(1.0), s.max());
+    }
+
+    #[test]
+    fn cdf_matches_exact_cdf_below_threshold() {
+        let xs = [1.0, 1.0, 1.0, 2.0, 5.0, 9.0];
+        let mut s = QuantileSketch::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let cdf = crate::cdf::Cdf::from_samples(&xs);
+        for x in [0.5, 1.0, 1.5, 2.0, 7.0, 9.0, 100.0] {
+            assert_eq!(s.cdf(x).to_bits(), cdf.eval(x).to_bits(), "x={x}");
+        }
+        assert_eq!(s.rank_below(1.0), 0.0);
+        assert_eq!(s.rank_below(1.5), 3.0);
+    }
+
+    #[test]
+    fn cdf_respects_rank_error_when_sketching() {
+        let n = 50_000;
+        let mut s = QuantileSketch::new();
+        for i in 0..n {
+            s.record(i as f64);
+        }
+        for x in [100.0, 5_000.0, 25_000.0, 49_000.0, 49_950.0] {
+            let est = s.cdf(x);
+            let exact = (x + 1.0) / n as f64; // ladder: #samples <= x
+            let eps = s.rank_error_bound(exact) + 3.0 / n as f64;
+            assert!((est - exact).abs() <= eps, "x={x}: est {est} vs exact {exact} (eps {eps})");
+        }
+    }
+
+    #[test]
+    fn quantile_points_match_cdf_points_below_threshold() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 7919) % 500) as f64).collect();
+        let mut s = QuantileSketch::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let pts = s.quantile_points(120);
+        let cdf_pts = crate::cdf::Cdf::from_samples(&xs).points(120);
+        assert_eq!(pts, cdf_pts);
+    }
+
+    #[test]
+    fn quantile_points_are_monotone_when_sketching() {
+        let mut s = QuantileSketch::new();
+        for i in 0..20_000u64 {
+            s.record(((i * 31) % 9973) as f64);
+        }
+        let pts = s.quantile_points(50);
+        assert_eq!(pts.len(), 50);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0, "values must be non-decreasing: {pts:?}");
+            assert!(w[1].1 > w[0].1);
+        }
+        assert_eq!(pts[0].1, 0.0);
+        assert_eq!(pts[49].1, 1.0);
+    }
+
+    #[test]
+    fn summary_delegates_to_exact_path_below_threshold() {
+        let xs: Vec<f64> = (0..300).map(|i| ((i * 37) % 100) as f64 + 0.25).collect();
+        let mut agg = LatencyAgg::new();
+        for &x in &xs {
+            agg.record(x);
+        }
+        let from_agg = agg.summary();
+        let exact = Summary::from_samples(&xs);
+        assert_eq!(from_agg.mean.to_bits(), exact.mean.to_bits());
+        assert_eq!(from_agg.std.to_bits(), exact.std.to_bits());
+        assert_eq!(from_agg, exact);
     }
 }

@@ -2,28 +2,49 @@
 //! figures (latency on a log x-axis, cumulative probability on y).
 //!
 //! No plotting dependency is used; the output is plain SVG 1.1 markup
-//! suitable for embedding in docs or opening in a browser.
+//! suitable for embedding in docs or opening in a browser. Curves are
+//! drawn from the crate's single quantile engine
+//! ([`crate::sketch::QuantileSketch`]): a series built from raw samples
+//! plots the exact empirical CDF, a series built from a streamed sketch
+//! plots within the sketch's documented rank-error bound.
 
-use crate::cdf::Cdf;
+use crate::sketch::{QuantileMode, QuantileSketch};
 
-/// A named curve on a CDF plot.
+/// A named curve on a CDF plot, backed by a [`QuantileSketch`].
 #[derive(Debug, Clone)]
 pub struct SvgSeries {
     /// Legend label.
     pub label: String,
-    /// Samples the CDF is built from.
-    pub samples: Vec<f64>,
+    /// The distribution being plotted.
+    sketch: QuantileSketch,
 }
 
 impl SvgSeries {
-    /// Creates a series.
+    /// Creates a series from raw samples. The samples are held exactly
+    /// (no compression), so the rendered curve is the same empirical CDF
+    /// the sample vector defines.
     ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty.
+    /// Panics if `samples` is empty or contains NaN.
     pub fn new<S: Into<String>>(label: S, samples: Vec<f64>) -> SvgSeries {
         assert!(!samples.is_empty(), "SVG series needs samples");
-        SvgSeries { label: label.into(), samples }
+        let mut agg = crate::sketch::LatencyAgg::with_mode(QuantileMode::Exact);
+        for &v in &samples {
+            agg.record(v);
+        }
+        SvgSeries { label: label.into(), sketch: agg.sketch().clone() }
+    }
+
+    /// Creates a series from an already-populated sketch — the path
+    /// sketch-mode runs use, where no sample vector ever exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketch is empty.
+    pub fn from_sketch<S: Into<String>>(label: S, sketch: QuantileSketch) -> SvgSeries {
+        assert!(!sketch.is_empty(), "SVG series needs samples");
+        SvgSeries { label: label.into(), sketch }
     }
 }
 
@@ -74,10 +95,8 @@ impl SvgPlot {
         let mut min_x = f64::INFINITY;
         let mut max_x = f64::NEG_INFINITY;
         for s in series {
-            for &v in &s.samples {
-                min_x = min_x.min(v);
-                max_x = max_x.max(v);
-            }
+            min_x = min_x.min(s.sketch.min());
+            max_x = max_x.max(s.sketch.max());
         }
         let use_log = self.log_x && min_x > 0.0 && max_x > min_x;
         let to_axis = |x: f64| if use_log { x.ln() } else { x };
@@ -150,9 +169,10 @@ impl SvgPlot {
         // Series polylines + legend.
         for (i, s) in series.iter().enumerate() {
             let color = COLORS[i % COLORS.len()];
-            let cdf = Cdf::from_samples(&s.samples);
-            let points: Vec<String> = cdf
-                .points(120)
+            let points: Vec<String> = s
+                .sketch
+                .clone()
+                .quantile_points(120)
                 .into_iter()
                 .map(|(x, p)| format!("{:.2},{:.2}", sx(x), sy(p)))
                 .collect();
@@ -401,6 +421,30 @@ mod tests {
     #[should_panic(expected = "at least one series")]
     fn empty_plot_panics() {
         SvgPlot::cdf("x").render(&[]);
+    }
+
+    #[test]
+    fn sketch_backed_series_matches_sample_backed_below_threshold() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let mut sketch = QuantileSketch::with_params(200.0, usize::MAX);
+        for &v in &samples {
+            sketch.record(v);
+        }
+        let from_samples = SvgPlot::cdf("t").render(&[SvgSeries::new("s", samples)]);
+        let from_sketch = SvgPlot::cdf("t").render(&[SvgSeries::from_sketch("s", sketch)]);
+        assert_eq!(from_samples, from_sketch);
+    }
+
+    #[test]
+    fn sketching_series_renders_within_canvas() {
+        let mut sketch = QuantileSketch::new();
+        for i in 0..20_000u64 {
+            sketch.record(1.0 + ((i * 31) % 5_000) as f64);
+        }
+        assert!(sketch.is_sketching());
+        let svg = SvgPlot::cdf("big").render(&[SvgSeries::from_sketch("s", sketch)]);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<polyline").count(), 1);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 //! Property-based tests of the statistics crate.
+#![allow(deprecated)] // LogHistogram shim properties are still covered
 
 use proptest::prelude::*;
 use stats::bootstrap::bootstrap_ci;

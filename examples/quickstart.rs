@@ -30,7 +30,7 @@ fn main() {
         .run()
         .expect("experiment runs");
 
-    println!("{}", render_cdf("warm invocations on aws-like", &outcome.latencies_ms()));
+    println!("{}", render_cdf("warm invocations on aws-like", &outcome.result.latency_agg));
     println!("cold starts among measured samples: {:.1}%", outcome.result.cold_fraction() * 100.0);
     println!(
         "per-component medians of a typical request (ms): \

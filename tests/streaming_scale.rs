@@ -109,5 +109,7 @@ fn streaming_spec_run_is_identical_across_queue_backends() {
         outcome.latencies_ms()
     };
     use simkit::engine::QueueKind;
-    assert_eq!(run(QueueKind::Calendar), run(QueueKind::BinaryHeap));
+    let calendar = run(QueueKind::Calendar);
+    assert_eq!(calendar, run(QueueKind::BinaryHeap));
+    assert_eq!(calendar, run(QueueKind::Adaptive));
 }

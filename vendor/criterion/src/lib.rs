@@ -5,7 +5,11 @@
 //! [`Criterion::benchmark_group`], [`Bencher::iter`] /
 //! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`] — backed by a
 //! plain wall-clock sampler: warm-up, N timed samples, min/median/max report.
-//! No statistical analysis, plots, or baseline storage.
+//! No statistical analysis, plots, or baseline storage. Positional
+//! command-line arguments act as substring filters on benchmark names
+//! (`cargo bench -- sim/warm_1k` runs just that group), mirroring
+//! upstream criterion's filter argument closely enough for CI smoke jobs
+//! to target individual benches.
 
 use std::time::Instant;
 
@@ -22,12 +26,23 @@ pub enum BatchSize {
 
 pub struct Criterion {
     sample_size: usize,
+    filters: Vec<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { sample_size: 20 }
+        // `cargo bench -- <filter>` hands filters to the bench binary as
+        // positional arguments; flags (cargo's own `--bench`, harness
+        // switches) are skipped.
+        let filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        Criterion { sample_size: 20, filters }
     }
+}
+
+/// No filters runs everything; otherwise a bench runs when any filter is
+/// a substring of its full name.
+fn selected(filters: &[String], name: &str) -> bool {
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
 }
 
 impl Criterion {
@@ -40,6 +55,9 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        if !selected(&self.filters, name) {
+            return self;
+        }
         let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
         f(&mut bencher);
         report(name, &bencher.samples);
@@ -67,10 +85,14 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
+        let full = format!("{}/{}", self.name, id);
+        if !selected(&self.criterion.filters, &full) {
+            return self;
+        }
         let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
         let mut bencher = Bencher { samples: Vec::new(), sample_size };
         f(&mut bencher);
-        report(&format!("{}/{}", self.name, id), &bencher.samples);
+        report(&full, &bencher.samples);
         self
     }
 
@@ -181,6 +203,17 @@ mod tests {
             b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
         });
         group.finish();
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        assert!(selected(&[], "sim/warm_1k_invocations"));
+        let filters = vec!["sim/warm_1k".to_string()];
+        assert!(selected(&filters, "sim/warm_1k_invocations"));
+        assert!(!selected(&filters, "sim/million_invocations/adaptive"));
+        let multi = vec!["cold".to_string(), "million".to_string()];
+        assert!(selected(&multi, "sim/million_invocations/calendar"));
+        assert!(!selected(&multi, "stats/summary_100k"));
     }
 
     #[test]
