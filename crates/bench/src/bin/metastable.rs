@@ -1,0 +1,15 @@
+//! Regenerates the retry-storm / metastable-failure artifact (outage
+//! window under Poisson and MMPP load, with and without backoff and
+//! shedding); `--samples N` overrides the default 3000-sample
+//! methodology (§V).
+
+fn main() {
+    let samples = bench::report::PAPER_SAMPLES;
+    let samples = std::env::args()
+        .skip_while(|a| a != "--samples")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(samples);
+    let report = bench::experiments::metastable::measure(samples).report();
+    println!("{}", report.render());
+}

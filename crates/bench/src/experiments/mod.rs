@@ -12,5 +12,6 @@ pub mod fig8;
 pub mod fig9;
 pub mod hedge;
 pub mod keepalive;
+pub mod metastable;
 pub mod mmpp;
 pub mod table1;

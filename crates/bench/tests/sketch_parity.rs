@@ -111,6 +111,7 @@ fn warm_workload_sketch_matches_exact() {
         chain: None,
         workload: None,
         policy: None,
+        faults: None,
     };
     let base = Experiment::new(aws_like())
         .functions(StaticConfig { functions: vec![StaticFunction::python_zip("warm")] })
@@ -134,6 +135,7 @@ fn cold_workload_sketch_matches_exact() {
         chain: None,
         workload: None,
         policy: None,
+        faults: None,
     };
     let function = StaticFunction::python_zip("cold").with_replicas(replicas);
     let base = Experiment::new(google_like())
@@ -159,6 +161,7 @@ fn bursty_workload_sketch_matches_exact() {
         chain: None,
         workload: None,
         policy: None,
+        faults: None,
     };
     let base = Experiment::new(aws_like())
         .functions(StaticConfig { functions: vec![StaticFunction::python_zip("burst")] })

@@ -20,6 +20,9 @@ pub struct RunOptions {
     /// a path to a policy-spec JSON, or `none` for the unmodified
     /// baseline.
     pub policy: Option<String>,
+    /// Fault model: a preset name (`throttle-5pct`, `outage-10s`, …), a
+    /// path to a fault-spec JSON, or `none` for the fault-free baseline.
+    pub faults: Option<String>,
     /// Measured samples when `--runtime` is omitted.
     pub samples: u32,
     /// Warm-up arrivals when `--runtime` is omitted.
@@ -97,6 +100,10 @@ pub struct SweepOptions {
     /// names, policy-spec JSON paths, or `none` for the baseline. Empty
     /// = no policy axis (and byte-identical legacy output).
     pub policies: Vec<String>,
+    /// Fault models swept as an extra grid axis: preset names, fault-spec
+    /// JSON paths, or `none` for the fault-free baseline. Empty = no
+    /// fault axis (and byte-identical legacy output).
+    pub faults: Vec<String>,
     /// Worker threads; 0 selects the machine's parallelism.
     pub threads: usize,
     /// Write the CSV report here instead of stdout.
@@ -160,6 +167,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut runtime_path = None;
             let mut workload = None;
             let mut policy = None;
+            let mut faults = None;
             let mut samples = 100u32;
             let mut warmup = 0u32;
             let mut provider = "aws-like".to_string();
@@ -179,6 +187,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--runtime" => runtime_path = Some(value("--runtime")?),
                     "--workload" => workload = Some(value("--workload")?),
                     "--policy" => policy = Some(value("--policy")?),
+                    "--faults" => faults = Some(value("--faults")?),
                     "--samples" => {
                         samples =
                             value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?;
@@ -216,6 +225,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 runtime_path,
                 workload,
                 policy,
+                faults,
                 samples,
                 warmup,
                 provider,
@@ -238,6 +248,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut samples = 100u32;
             let mut workloads: Vec<String> = Vec::new();
             let mut policies: Vec<String> = Vec::new();
+            let mut faults: Vec<String> = Vec::new();
             let mut threads = 0usize;
             let mut out = None;
             let mut queue = QueueKind::default();
@@ -301,6 +312,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             return Err("--policy needs at least one name or file".to_string());
                         }
                     }
+                    "--faults" => {
+                        faults = value("--faults")?
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                        if faults.is_empty() {
+                            return Err("--faults needs at least one name or file".to_string());
+                        }
+                    }
                     "--out" => out = Some(value("--out")?),
                     "--queue" => queue = parse_queue(&value("--queue")?)?,
                     "--quantile-mode" => {
@@ -318,6 +339,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 samples,
                 workloads,
                 policies,
+                faults,
                 threads,
                 out,
                 queue,
@@ -401,6 +423,10 @@ RUN OPTIONS:
                              hedge-p99, hedge-200ms, retry-backoff,
                              deadline-2s, tied-2, hedge-deadline), a
                              policy-spec JSON, or none (baseline)
+    --faults <name|file>     fault model: a preset (throttle-5pct,
+                             crash-2pct, purge-storm, outage-10s,
+                             brownout-2x, shed-64, outage-throttle), a
+                             fault-spec JSON, or none (fault-free)
     --samples <n>            measured arrivals without --runtime
                              [default: 100]
     --warmup <n>             warm-up arrivals without --runtime [default: 0]
@@ -431,6 +457,9 @@ SWEEP OPTIONS:
     --policy <a,b,c>         tail-tolerance policies swept as an extra grid
                              axis: comma-separated presets, spec JSON paths
                              or none; adds policy columns to the CSV
+    --faults <a,b,c>         fault models swept as an extra grid axis:
+                             comma-separated presets, spec JSON paths or
+                             none; adds retry_amp/goodput columns to the CSV
     --threads <n>            worker threads, 0 = all cores [default: 0]
     --out <file>             write the CSV report here instead of stdout
     --queue <kind>           event queue: adaptive, calendar or binary-heap
@@ -576,6 +605,24 @@ mod tests {
     }
 
     #[test]
+    fn run_faults_flag_parses() {
+        let cmd =
+            parse_args(&strs(&["run", "--workload", "poisson", "--faults", "outage-10s"])).unwrap();
+        let Command::Run(opts) = cmd else { panic!("expected run") };
+        assert_eq!(opts.faults.as_deref(), Some("outage-10s"));
+        assert!(parse_args(&strs(&["run", "--workload", "poisson", "--faults"])).is_err());
+    }
+
+    #[test]
+    fn sweep_faults_axis_parses_comma_separated() {
+        let cmd =
+            parse_args(&strs(&["sweep", "--faults", "none,throttle-5pct,outage-10s"])).unwrap();
+        let Command::Sweep(opts) = cmd else { panic!("expected sweep") };
+        assert_eq!(opts.faults, ["none", "throttle-5pct", "outage-10s"]);
+        assert!(parse_args(&strs(&["sweep", "--faults", ""])).is_err());
+    }
+
+    #[test]
     fn unknown_flags_and_commands_error() {
         assert!(parse_args(&strs(&["run", "--static", "a", "--runtime", "b", "--bogus"])).is_err());
         assert!(parse_args(&strs(&["frobnicate"])).is_err());
@@ -628,6 +675,7 @@ mod tests {
         assert_eq!(opts.samples, 50);
         assert_eq!(opts.workloads, Vec::<String>::new());
         assert_eq!(opts.policies, Vec::<String>::new());
+        assert_eq!(opts.faults, Vec::<String>::new());
         assert_eq!(opts.threads, 8);
         assert_eq!(opts.out.as_deref(), Some("report.csv"));
         assert_eq!(opts.queue, QueueKind::BinaryHeap);

@@ -96,6 +96,32 @@ fn policy_axis_label(name_or_path: &str) -> String {
         .map_or_else(|| name_or_path.to_string(), |s| s.to_string_lossy().into_owned())
 }
 
+/// Resolves a `--faults` axis entry: `none` is the fault-free baseline,
+/// otherwise a preset name or a path to a fault-spec JSON.
+fn resolve_faults(name_or_path: &str) -> Result<Option<faults::FaultSpec>, CliError> {
+    if name_or_path == "none" {
+        return Ok(None);
+    }
+    if let Some(spec) = faults::FaultSpec::preset(name_or_path) {
+        return Ok(Some(spec));
+    }
+    let text = read(name_or_path)?;
+    faults::FaultSpec::from_json(&text)
+        .map(Some)
+        .map_err(|e| CliError::Config(format!("{name_or_path}: {e}")))
+}
+
+/// Short label for a fault axis entry: `none`, the preset name, or the
+/// file stem of a spec path.
+fn faults_axis_label(name_or_path: &str) -> String {
+    if name_or_path == "none" || faults::FaultSpec::preset(name_or_path).is_some() {
+        return name_or_path.to_string();
+    }
+    std::path::Path::new(name_or_path)
+        .file_stem()
+        .map_or_else(|| name_or_path.to_string(), |s| s.to_string_lossy().into_owned())
+}
+
 /// Short label for a workload axis entry: the preset name, or the file
 /// stem of a spec path.
 fn workload_label(name_or_path: &str) -> String {
@@ -171,6 +197,9 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
     if let Some(name) = &opts.policy {
         runtime_cfg.policy = resolve_policy(name)?;
     }
+    if let Some(name) = &opts.faults {
+        runtime_cfg.faults = resolve_faults(name)?;
+    }
     let provider = resolve_provider(&opts.provider)?;
     let provider_name = provider.name.clone();
 
@@ -229,6 +258,35 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
             p.used_busy_ms + p.wasted_busy_ms,
             p.wasted_fraction() * 100.0,
         ));
+    }
+    // Fault-injected runs report what the faults did to the offered load;
+    // a run without --faults prints exactly the lines it always did.
+    if let Some(f) = &outcome.result.faults {
+        out.push_str(&format!(
+            "faults: {} of {} requests hit ({} transient, {} crashes, {} shed), \
+             {} purged instances, {} deferred boots\n",
+            f.injected,
+            f.submitted,
+            f.transient_errors,
+            f.crashes,
+            f.shed,
+            f.purged_instances,
+            f.outage_deferrals,
+        ));
+        out.push_str(&format!(
+            "degradation: availability {:.2}%, {} failed, {} completed, \
+             {:.1} ms busy time wasted by crashes\n",
+            f.availability() * 100.0,
+            f.failed + f.shed,
+            f.completed,
+            f.wasted_busy_ms,
+        ));
+        if let Some(p) = &outcome.result.policy {
+            out.push_str(&format!(
+                "retry amplification: {:.3} attempts per logical request\n",
+                p.retry_amplification(),
+            ));
+        }
     }
     if opts.cdf {
         out.push('\n');
@@ -293,6 +351,13 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
         .collect::<Result<Vec<_>, CliError>>()?;
     let paxis: Vec<(&str, Option<policy::PolicySpec>)> =
         policies.iter().map(|(label, spec)| (label.as_str(), spec.clone())).collect();
+    let fault_specs = opts
+        .faults
+        .iter()
+        .map(|name| Ok((faults_axis_label(name), resolve_faults(name)?)))
+        .collect::<Result<Vec<_>, CliError>>()?;
+    let faxis: Vec<(&str, Option<faults::FaultSpec>)> =
+        fault_specs.iter().map(|(label, spec)| (label.as_str(), spec.clone())).collect();
     let grid = match (waxis.is_empty(), paxis.is_empty()) {
         (true, true) => SweepGrid::new(scenarios, seeds),
         (false, true) => SweepGrid::cross_workloads(scenarios, &waxis, seeds),
@@ -317,6 +382,13 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
             SweepGrid::cross_policies(crossed, &paxis, seeds)
         }
     };
+    // The fault axis crosses whatever grid the other axes produced:
+    // "{provider}[/{workload}][+{policy}]~{fault}".
+    let grid = if faxis.is_empty() {
+        grid
+    } else {
+        SweepGrid::cross_faults(grid.scenarios, &faxis, grid.seeds)
+    };
     let cells = grid.len();
     let measure = match opts.quantile_mode {
         QuantileMode::Exact => MeasureSpec::exact(),
@@ -333,6 +405,9 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
     if !opts.policies.is_empty() {
         axes.push_str(&format!(" x {} policies", opts.policies.len()));
     }
+    if !opts.faults.is_empty() {
+        axes.push_str(&format!(" x {} fault models", opts.faults.len()));
+    }
     axes.push_str(&format!(" x {} seeds", opts.seeds));
     let mut out = format!(
         "sweep: {axes} = {} cells ({} ok, {} failed)\n",
@@ -346,9 +421,14 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
         report.metrics.counter(faas_sim::cloud::metric::REQUESTS_COMPLETED),
         report.metrics.counter(faas_sim::cloud::metric::COLD_STARTS),
     ));
-    // Policy sweeps get the extended CSV (policy outcome columns); plain
-    // sweeps keep today's byte-identical base CSV.
-    let csv = if opts.policies.is_empty() { report.to_csv() } else { report.to_csv_extended() };
+    // Policy and fault sweeps get the extended CSV (policy outcome,
+    // retry-amplification and goodput columns); plain sweeps keep today's
+    // byte-identical base CSV.
+    let csv = if opts.policies.is_empty() && opts.faults.is_empty() {
+        report.to_csv()
+    } else {
+        report.to_csv_extended()
+    };
     match &opts.out {
         Some(path) => {
             std::fs::write(path, &csv).map_err(|e| CliError::Io(path.clone(), e))?;
@@ -467,6 +547,7 @@ mod tests {
             runtime_path: Some(runtime_path),
             workload: None,
             policy: None,
+            faults: None,
             samples: 100,
             warmup: 0,
             provider: "google-like".into(),
@@ -503,6 +584,7 @@ mod tests {
             runtime_path: Some(runtime_path),
             workload: None,
             policy: None,
+            faults: None,
             samples: 100,
             warmup: 0,
             provider: "aws-like".into(),
@@ -567,6 +649,7 @@ mod tests {
             samples: 40,
             workloads: vec![],
             policies: vec![],
+            faults: vec![],
             threads: 1,
             out: None,
             queue: QueueKind::Calendar,
@@ -611,6 +694,7 @@ mod tests {
             samples: 100,
             workloads: vec![],
             policies: vec![],
+            faults: vec![],
             threads: 0,
             out: Some(out_path.clone()),
             queue: QueueKind::Calendar,
@@ -636,6 +720,7 @@ mod tests {
             runtime_path: Some(runtime_path),
             workload: None,
             policy: None,
+            faults: None,
             samples: 100,
             warmup: 0,
             provider: "aws-like".into(),
@@ -658,6 +743,7 @@ mod tests {
             runtime_path: Some("/nonexistent/r.json".into()),
             workload: None,
             policy: None,
+            faults: None,
             samples: 100,
             warmup: 0,
             provider: "aws-like".into(),
@@ -687,6 +773,7 @@ mod tests {
             runtime_path: None,
             workload: Some("mmpp-burst".into()),
             policy: None,
+            faults: None,
             samples: 60,
             warmup: 5,
             provider: "aws-like".into(),
@@ -715,6 +802,7 @@ mod tests {
             runtime_path: None,
             workload: Some(spec_path),
             policy: None,
+            faults: None,
             samples: 30,
             warmup: 0,
             provider: "aws-like".into(),
@@ -733,6 +821,7 @@ mod tests {
             static_path: None,
             runtime_path: None,
             policy: None,
+            faults: None,
             samples: 10,
             warmup: 0,
             provider: "aws-like".into(),
@@ -758,6 +847,7 @@ mod tests {
             samples: 25,
             workloads: vec!["poisson".into(), "mmpp-burst".into()],
             policies: vec![],
+            faults: vec![],
             threads: 1,
             out: None,
             queue: QueueKind::Calendar,
@@ -784,6 +874,7 @@ mod tests {
             runtime_path: None,
             workload: Some("poisson".into()),
             policy: None,
+            faults: None,
             samples: 30,
             warmup: 2,
             provider: "aws-like".into(),
@@ -829,6 +920,7 @@ mod tests {
             samples: 25,
             workloads: vec![],
             policies: vec!["none".into(), "tied-2".into()],
+            faults: vec![],
             threads: 1,
             out: None,
             queue: QueueKind::Calendar,
@@ -849,5 +941,95 @@ mod tests {
                 .unwrap();
         assert!(both.contains("1 providers x 1 workloads x 2 policies x 2 seeds"), "{both}");
         assert!(both.contains("aws-like/poisson+tied-2"), "{both}");
+    }
+
+    #[test]
+    fn run_with_faults_reports_fault_lines_and_none_is_baseline() {
+        let base = RunOptions {
+            static_path: None,
+            runtime_path: None,
+            workload: Some("poisson".into()),
+            policy: None,
+            faults: None,
+            samples: 60,
+            warmup: 2,
+            provider: "aws-like".into(),
+            seed: 5,
+            breakdown: false,
+            cdf: false,
+            csv: None,
+            svg: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
+        };
+        let plain = execute(&Command::Run(base.clone())).unwrap();
+        assert!(!plain.contains("faults:"), "{plain}");
+
+        // `--faults none` is the baseline: byte-identical to no flag.
+        let none =
+            execute(&Command::Run(RunOptions { faults: Some("none".into()), ..base.clone() }))
+                .unwrap();
+        assert_eq!(plain, none, "--faults none must not change the run");
+
+        let throttled = execute(&Command::Run(RunOptions {
+            faults: Some("throttle-5pct".into()),
+            ..base.clone()
+        }))
+        .unwrap();
+        assert!(throttled.contains("faults:"), "{throttled}");
+        assert!(throttled.contains("degradation: availability"), "{throttled}");
+
+        // Retrying policies report their amplification under faults.
+        let retried = execute(&Command::Run(RunOptions {
+            faults: Some("throttle-5pct".into()),
+            policy: Some("retry-backoff".into()),
+            ..base.clone()
+        }))
+        .unwrap();
+        assert!(retried.contains("retry amplification:"), "{retried}");
+
+        // Unknown preset that is not a file errors cleanly.
+        assert!(execute(&Command::Run(RunOptions {
+            faults: Some("no-such-fault-model".into()),
+            ..base
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_faults_axis_is_byte_identical_across_threads() {
+        let base = SweepOptions {
+            static_path: None,
+            runtime_path: None,
+            providers: vec!["aws-like".into()],
+            seeds: 2,
+            base_seed: 0,
+            samples: 25,
+            workloads: vec![],
+            policies: vec![],
+            faults: vec!["none".into(), "throttle-5pct".into()],
+            threads: 1,
+            out: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
+        };
+        let serial = execute(&Command::Sweep(base.clone())).unwrap();
+        let threaded =
+            execute(&Command::Sweep(SweepOptions { threads: 4, ..base.clone() })).unwrap();
+        assert_eq!(serial, threaded, "fault sweep must not depend on worker count");
+        assert!(
+            serial.contains("1 providers x 2 fault models x 2 seeds = 4 cells (4 ok, 0 failed)"),
+            "{serial}"
+        );
+        assert!(serial.contains("retry_amp,goodput"), "{serial}");
+        assert!(serial.contains("aws-like~none"), "{serial}");
+        assert!(serial.contains("aws-like~throttle-5pct"), "{serial}");
+
+        // Faults compose with the policy axis: "{provider}+{policy}~{fault}".
+        let both =
+            execute(&Command::Sweep(SweepOptions { policies: vec!["tied-2".into()], ..base }))
+                .unwrap();
+        assert!(both.contains("1 providers x 1 policies x 2 fault models x 2 seeds"), "{both}");
+        assert!(both.contains("aws-like+tied-2~throttle-5pct"), "{both}");
     }
 }

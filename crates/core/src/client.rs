@@ -108,6 +108,10 @@ pub struct RunResult {
     /// [`RuntimeConfig`](crate::config::RuntimeConfig) carried a policy;
     /// `None` on plain runs.
     pub policy: Option<policy::PolicyStats>,
+    /// Fault-injection and degradation accounting. Populated only when
+    /// the run's [`RuntimeConfig`](crate::config::RuntimeConfig) carried
+    /// a (non-inert) fault spec; `None` on faults-off runs.
+    pub faults: Option<faults::FaultStats>,
 }
 
 impl RunResult {
@@ -129,6 +133,13 @@ impl RunResult {
             return 0.0;
         }
         self.cold_count as f64 / self.measured_count as f64
+    }
+
+    /// Goodput of the run: fraction of fault-terminal requests that
+    /// completed successfully ([`faults::FaultStats::availability`]).
+    /// 1.0 on faults-off runs.
+    pub fn goodput(&self) -> f64 {
+        self.faults.as_ref().map_or(1.0, faults::FaultStats::availability)
     }
 }
 
@@ -281,8 +292,11 @@ pub fn run_workload_with(
             });
         }
 
+        // Provider errors (fault injection) terminate their request but
+        // are never latency samples; cloud-side `FaultStats` carries
+        // their accounting.
         let (warmup, measured): (Vec<Completion>, Vec<Completion>) =
-            completions.into_iter().partition(|c| c.tag < warmup_tag);
+            completions.into_iter().filter(Completion::is_ok).partition(|c| c.tag < warmup_tag);
         let transfers: Vec<TransferSample> =
             transfers.into_iter().filter(|tr| tr.parent_tag >= warmup_tag).collect();
         let mut cold_count = 0u64;
@@ -307,6 +321,7 @@ pub fn run_workload_with(
             duration: cloud.now() - start,
             offered: None,
             policy: None,
+            faults: None,
         })
     } else {
         // Streaming runs interleave arrival generation with simulation so
@@ -362,6 +377,9 @@ pub fn run_workload_with(
                 cloud.drain_transfers_into(&mut trans_buf);
                 received += comp_buf.len();
                 for c in comp_buf.drain(..) {
+                    if !c.is_ok() {
+                        continue;
+                    }
                     if c.tag < warmup_tag {
                         warmup_count += 1;
                     } else {
@@ -399,6 +417,7 @@ pub fn run_workload_with(
             duration: cloud.now() - start,
             offered: None,
             policy: None,
+            faults: None,
         })
     }
 }
@@ -441,6 +460,11 @@ impl Collector {
 
     pub(crate) fn absorb(&mut self, c: Completion) {
         self.received += 1;
+        if !c.is_ok() {
+            // Provider error: counts toward run termination, never
+            // toward samples or aggregates.
+            return;
+        }
         if self.keep {
             self.completions.push(c);
             return;
@@ -472,6 +496,9 @@ impl Collector {
         let fresh = self.comp_buf.len();
         for c in self.comp_buf.drain(..) {
             self.received += 1;
+            if !c.is_ok() {
+                continue;
+            }
             if self.keep {
                 self.completions.push(c);
             } else if c.tag < self.warmup_tag {
@@ -531,6 +558,7 @@ impl Collector {
                 duration,
                 offered: Some(offered),
                 policy: None,
+                faults: None,
             })
         } else {
             Ok(RunResult {
@@ -545,6 +573,7 @@ impl Collector {
                 duration,
                 offered: Some(offered),
                 policy: None,
+                faults: None,
             })
         }
     }

@@ -249,6 +249,13 @@ pub struct RuntimeConfig {
     /// configs, which therefore behave exactly as before.
     #[serde(default)]
     pub policy: Option<policy::PolicySpec>,
+    /// Optional fault-injection schedule. When present (and not
+    /// [`faults::FaultSpec::None`]) the cloud injects provider errors,
+    /// crashes, keepalive-purge storms, capacity outages and network
+    /// brownouts per the spec. Absent in legacy configs, which therefore
+    /// behave exactly as before — byte for byte.
+    #[serde(default)]
+    pub faults: Option<faults::FaultSpec>,
 }
 
 fn default_burst() -> u32 {
@@ -267,6 +274,7 @@ impl RuntimeConfig {
             chain: None,
             workload: None,
             policy: None,
+            faults: None,
         }
     }
 
@@ -281,6 +289,13 @@ impl RuntimeConfig {
     /// [`RuntimeConfig::policy`].
     pub fn with_policy(mut self, spec: policy::PolicySpec) -> RuntimeConfig {
         self.policy = Some(spec);
+        self
+    }
+
+    /// Attaches a fault-injection schedule (consuming); see
+    /// [`RuntimeConfig::faults`].
+    pub fn with_faults(mut self, spec: faults::FaultSpec) -> RuntimeConfig {
+        self.faults = Some(spec);
         self
     }
 
@@ -320,6 +335,9 @@ impl RuntimeConfig {
                     self.burst_size
                 ));
             }
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
         }
         Ok(())
     }
@@ -398,6 +416,7 @@ mod tests {
             chain: None,
             workload: None,
             policy: None,
+            faults: None,
         };
         assert_eq!(cfg.measured_rounds(), 30);
         assert!(cfg.validate().is_ok());
@@ -434,6 +453,31 @@ mod tests {
         assert_eq!(cfg.exec_ms, 0.0);
         assert!(cfg.chain.is_none());
         assert!(cfg.workload.is_none(), "legacy configs carry no workload model");
+        assert!(cfg.faults.is_none(), "legacy configs carry no fault schedule");
+    }
+
+    #[test]
+    fn runtime_config_faults_stanza_round_trips() {
+        let json = r#"{
+            "iat": {"kind": "fixed", "ms": 3000.0},
+            "samples": 10,
+            "faults": {"kind": "compose", "parts": [
+                {"kind": "transient", "p": 0.05},
+                {"kind": "outage", "start_ms": 30000.0, "duration_ms": 10000.0}
+            ]}
+        }"#;
+        let cfg = RuntimeConfig::from_json(json).unwrap();
+        let spec = cfg.faults.as_ref().expect("faults stanza parsed");
+        assert!(!spec.is_none());
+        let round = RuntimeConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, round);
+        // Invalid stanzas are rejected at parse time.
+        let bad = r#"{
+            "iat": {"kind": "fixed", "ms": 3000.0},
+            "samples": 10,
+            "faults": {"kind": "transient", "p": 1.5}
+        }"#;
+        assert!(RuntimeConfig::from_json(bad).is_err());
     }
 
     #[test]

@@ -172,6 +172,13 @@ impl Experiment {
             cloud.enable_tracing(capacity);
         }
         let deployment = deploy(&mut cloud, &self.static_cfg, &self.runtime_cfg)?;
+        // Install the fault schedule (if any) before submitting work.
+        // Inert specs compile to inert plans, which the cloud skips —
+        // so a `faults: none` run stays byte-identical to a faults-off
+        // one.
+        if let Some(spec) = &self.runtime_cfg.faults {
+            cloud.install_faults(spec.build());
+        }
         let mut result = match &self.runtime_cfg.workload {
             Some(spec) => run_workload_spec(
                 &mut cloud,
@@ -207,9 +214,19 @@ impl Experiment {
         // the aggregate's buffer holds every sample and `summary()`
         // delegates to the sorted exact path, so the output is
         // bit-identical with the legacy sort-the-samples code.
-        let summary = result.latency_agg.summary();
+        // A run whose every request failed (a fault schedule can inject
+        // errors at probability 1) has no latency samples; that is a
+        // valid outcome, not a panic.
+        let summary = if result.latency_agg.is_empty() {
+            stats::summary::Summary::empty()
+        } else {
+            result.latency_agg.summary()
+        };
         let transfer_summary =
             if result.transfer_agg.is_empty() { None } else { Some(result.transfer_agg.summary()) };
+        if cloud.faults_installed() {
+            result.faults = Some(cloud.fault_stats());
+        }
         let spans = cloud.drain_spans();
         // Fold end-of-run slab and event-queue counters into the metrics
         // registry so reports can audit memory behaviour.

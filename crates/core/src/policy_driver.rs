@@ -81,6 +81,10 @@ struct Slot {
     machine: Composite,
     attempts: Vec<Attempt>,
     outstanding: u32,
+    /// Timer-heap entries still pending for this occupancy of the slot.
+    /// When this hits zero with no outstanding attempts and no win, the
+    /// machine can never act again — the logical request is lost.
+    pending_timers: u32,
     won: bool,
     abandoned: bool,
 }
@@ -174,6 +178,7 @@ pub(crate) fn drive_with_policy(
                     slot.machine.reset();
                     slot.attempts.clear();
                     slot.outstanding = 0;
+                    slot.pending_timers = 0;
                     slot.won = false;
                     slot.abandoned = false;
                     idx
@@ -185,6 +190,7 @@ pub(crate) fn drive_with_policy(
                         machine: spec.build(),
                         attempts: Vec::new(),
                         outstanding: 0,
+                        pending_timers: 0,
                         won: false,
                         abandoned: false,
                     });
@@ -221,6 +227,7 @@ pub(crate) fn drive_with_policy(
                     Action::Arm { at_ms } => {
                         let fire = SimTime::from_millis(at_ms).max(at);
                         timers.push(std::cmp::Reverse((fire.as_nanos(), slots[idx].tag)));
+                        slots[idx].pending_timers += 1;
                     }
                     Action::Launch => {
                         let slot = &mut slots[idx];
@@ -271,6 +278,25 @@ pub(crate) fn drive_with_policy(
             if (slot.won || slot.abandoned) && slot.outstanding == 0 {
                 by_tag.remove(&slot.tag);
                 free.push(idx);
+            }
+        }};
+    }
+
+    // Resolves a logical request whose machine can never act again:
+    // every attempt failed (or was cancelled), nothing is outstanding,
+    // and no retry/abandon timer remains armed. Without this check a
+    // run whose final attempt returns a provider error would stall.
+    macro_rules! check_dead_end {
+        ($idx:expr, $at:expr) => {{
+            let idx: usize = $idx;
+            let at: SimTime = $at;
+            let slot = &mut slots[idx];
+            if !slot.won && !slot.abandoned && slot.outstanding == 0 && slot.pending_timers == 0 {
+                slot.abandoned = true;
+                stats.failed_logical += 1;
+                resolved += 1;
+                turns.push(at);
+                maybe_free!(idx);
             }
         }};
     }
@@ -349,6 +375,12 @@ pub(crate) fn drive_with_policy(
         let mut progressed = !comp_buf.is_empty();
         for c in comp_buf.drain(..) {
             let Some(&idx) = by_tag.get(&c.tag) else {
+                if !c.is_ok() {
+                    // A failed attempt of an already-resolved request:
+                    // its wasted work is booked cloud-side in
+                    // `FaultStats`, nothing to account here.
+                    continue;
+                }
                 // The logical request resolved earlier in this very
                 // batch and the cancel aimed at this attempt arrived
                 // after it had already completed — a futile cancel, so
@@ -367,6 +399,18 @@ pub(crate) fn drive_with_policy(
                 if !attempt.cancelled {
                     slot.outstanding -= 1;
                 }
+            }
+            if !c.is_ok() {
+                // Provider error: never a win, never a latency sample.
+                // The machine may retry (after backoff) or hedge
+                // immediately; if it has nothing left, the logical
+                // request resolves as failed.
+                stats.failures += 1;
+                actions.clear();
+                slots[idx].machine.on_event(PolicyEvent::Failed { now_ms }, &mut actions);
+                exec_actions!(idx, now);
+                check_dead_end!(idx, now);
+                continue;
             }
             let first = !slot.won;
             if first {
@@ -397,10 +441,12 @@ pub(crate) fn drive_with_policy(
             timers.pop();
             progressed = true;
             let Some(&idx) = by_tag.get(&tag) else { continue };
+            slots[idx].pending_timers -= 1;
             let jitter = jitter_rng.next_f64();
             actions.clear();
             slots[idx].machine.on_event(PolicyEvent::Wake { now_ms, jitter }, &mut actions);
             exec_actions!(idx, now);
+            check_dead_end!(idx, now);
         }
 
         // 3. Closed-loop think turns: one gap per *logical* resolution —
@@ -461,7 +507,7 @@ pub(crate) fn drive_with_policy(
             completions: Vec::new(),
         });
     }
-    let winners = (issued - stats.abandoned) as usize;
+    let winners = (issued - stats.abandoned - stats.failed_logical) as usize;
     let duration = cloud.now() - start;
     let mut result = collector.finish(winners, duration, recorder.finish())?;
     result.policy = Some(stats);

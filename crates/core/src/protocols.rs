@@ -47,6 +47,7 @@ pub fn warm_invocations(
         chain: None,
         workload: None,
         policy: None,
+        faults: None,
     };
     Experiment::new(provider)
         .functions(StaticConfig { functions: vec![StaticFunction::python_zip("warm")] })
@@ -104,6 +105,7 @@ pub fn cold_invocations(
         chain: None,
         workload: None,
         policy: None,
+        faults: None,
     };
     let function = StaticFunction {
         name: "cold".to_string(),
@@ -143,6 +145,7 @@ pub fn transfer_chain(
         chain: Some(ChainConfig { length: 2, mode, payload_bytes }),
         workload: None,
         policy: None,
+        faults: None,
     };
     Experiment::new(provider)
         .functions(StaticConfig { functions: vec![StaticFunction::go_zip("xfer")] })
@@ -195,6 +198,7 @@ pub fn bursty_invocations(
         chain: None,
         workload: None,
         policy: None,
+        faults: None,
     };
     let function = StaticFunction::python_zip("burst").with_replicas(replicas);
     Experiment::new(provider)
@@ -230,6 +234,7 @@ pub fn memory_sweep(
             chain: None,
             workload: None,
             policy: None,
+            faults: None,
         };
         let function = StaticFunction {
             name: format!("mem{memory_mb}"),

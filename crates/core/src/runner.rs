@@ -96,6 +96,14 @@ impl Scenario {
         self.runtime_cfg.policy = Some(spec);
         self
     }
+
+    /// Attaches a fault-injection schedule to the scenario's runtime
+    /// configuration (consuming): the cell's cloud injects provider
+    /// errors, crashes, purge storms, outages and brownouts per `spec`.
+    pub fn faults(mut self, spec: faults::FaultSpec) -> Scenario {
+        self.runtime_cfg.faults = Some(spec);
+        self
+    }
 }
 
 /// A scenarios × seeds experiment grid, laid out scenario-major: cell
@@ -190,6 +198,35 @@ impl SweepGrid {
             .collect();
         SweepGrid::new(crossed, seeds)
     }
+
+    /// Builds a grid with the fault schedule as an explicit sweep axis:
+    /// every scenario is crossed with every named fault spec, producing
+    /// `scenarios × faults × seeds` cells labelled
+    /// `"{scenario}~{faults}"`. A `None` spec is the unperturbed
+    /// baseline, labelled `"{scenario}~none"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty.
+    pub fn cross_faults(
+        scenarios: Vec<Scenario>,
+        faults: &[(&str, Option<faults::FaultSpec>)],
+        seeds: Vec<u64>,
+    ) -> SweepGrid {
+        assert!(!faults.is_empty(), "sweep grid needs at least one fault schedule");
+        let crossed = scenarios
+            .into_iter()
+            .flat_map(|s| {
+                faults.iter().map(move |(name, spec)| {
+                    let mut cell = s.clone();
+                    cell.label = format!("{}~{name}", s.label);
+                    cell.runtime_cfg.faults = spec.clone();
+                    cell
+                })
+            })
+            .collect();
+        SweepGrid::new(crossed, seeds)
+    }
 }
 
 /// Tail-tolerance outcomes a policy-driven cell adds to its row.
@@ -225,6 +262,14 @@ pub struct CellStats {
     /// Policy outcomes; `None` unless the cell ran a tail-tolerance
     /// policy.
     pub policy: Option<PolicyCellStats>,
+    /// Attempts issued per logical request, ≥ 1.0
+    /// ([`policy::PolicyStats::retry_amplification`]); `None` unless the
+    /// cell ran a policy.
+    pub retry_amp: Option<f64>,
+    /// Fraction of fault-terminal requests that completed successfully
+    /// ([`faults::FaultStats::availability`]); `None` unless the cell
+    /// ran a fault schedule.
+    pub goodput: Option<f64>,
 }
 
 impl CellStats {
@@ -251,6 +296,8 @@ impl CellStats {
             tmr,
             cold_fraction: outcome.result.cold_fraction(),
             policy,
+            retry_amp: outcome.result.policy.as_ref().map(policy::PolicyStats::retry_amplification),
+            goodput: outcome.result.faults.as_ref().map(faults::FaultStats::availability),
         }
     }
 }
@@ -308,7 +355,7 @@ impl SweepReport {
                 Ok(s) => out.push_str(&format!(
                     "{},{},{},ok,{},{:.3},{:.3},{:.3},{:.3},{:.4},\n",
                     row.index,
-                    row.scenario,
+                    csv_field(&row.scenario),
                     row.seed,
                     s.count,
                     s.median_ms,
@@ -318,10 +365,12 @@ impl SweepReport {
                     s.cold_fraction,
                 )),
                 Err(msg) => {
-                    let msg = msg.replace(',', ";").replace('\n', " ");
                     out.push_str(&format!(
                         "{},{},{},error,,,,,,,{}\n",
-                        row.index, row.scenario, row.seed, msg
+                        row.index,
+                        csv_field(&row.scenario),
+                        row.seed,
+                        csv_field(msg)
                     ));
                 }
             }
@@ -330,14 +379,16 @@ impl SweepReport {
     }
 
     /// [`SweepReport::to_csv`] plus the policy columns (p99.9, hedge
-    /// rate, wasted-work fraction, duplicate successes, abandons).
-    /// Cells without a policy leave those columns empty. The base CSV is
-    /// kept separate so existing pipelines keep parsing byte-identical
-    /// output.
+    /// rate, wasted-work fraction, duplicate successes, abandons) and the
+    /// robustness columns (retry amplification, goodput). Cells without a
+    /// policy (or fault schedule) leave the corresponding columns empty.
+    /// The base CSV is kept separate so existing pipelines keep parsing
+    /// byte-identical output.
     pub fn to_csv_extended(&self) -> String {
         let mut out = String::from(
             "cell,scenario,seed,status,samples,median_ms,p95_ms,p99_ms,tmr,cold_fraction,\
-             p999_ms,hedge_rate,wasted_fraction,duplicate_successes,abandoned,error\n",
+             p999_ms,hedge_rate,wasted_fraction,duplicate_successes,abandoned,retry_amp,goodput,\
+             error\n",
         );
         for row in &self.rows {
             match &row.result {
@@ -345,7 +396,7 @@ impl SweepReport {
                     out.push_str(&format!(
                         "{},{},{},ok,{},{:.3},{:.3},{:.3},{:.3},{:.4},",
                         row.index,
-                        row.scenario,
+                        csv_field(&row.scenario),
                         row.seed,
                         s.count,
                         s.median_ms,
@@ -356,26 +407,50 @@ impl SweepReport {
                     ));
                     match &s.policy {
                         Some(p) => out.push_str(&format!(
-                            "{:.3},{:.4},{:.4},{},{},\n",
+                            "{:.3},{:.4},{:.4},{},{},",
                             p.p999_ms,
                             p.hedge_rate,
                             p.wasted_fraction,
                             p.duplicate_successes,
                             p.abandoned,
                         )),
-                        None => out.push_str(",,,,,\n"),
+                        None => out.push_str(",,,,,"),
                     }
+                    match s.retry_amp {
+                        Some(amp) => out.push_str(&format!("{amp:.3},")),
+                        None => out.push(','),
+                    }
+                    match s.goodput {
+                        Some(g) => out.push_str(&format!("{g:.4},")),
+                        None => out.push(','),
+                    }
+                    out.push('\n');
                 }
                 Err(msg) => {
-                    let msg = msg.replace(',', ";").replace('\n', " ");
                     out.push_str(&format!(
-                        "{},{},{},error,,,,,,,,,,,,{}\n",
-                        row.index, row.scenario, row.seed, msg
+                        "{},{},{},error{},{}\n",
+                        row.index,
+                        csv_field(&row.scenario),
+                        row.seed,
+                        ",".repeat(13),
+                        csv_field(msg)
                     ));
                 }
             }
         }
         out
+    }
+}
+
+/// RFC 4180 field escaping: fields containing a comma, double quote or
+/// line break are wrapped in double quotes, with internal quotes
+/// doubled. Plain fields pass through unchanged, keeping the frozen
+/// byte layout of existing reports.
+fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.contains([',', '"', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", s.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(s)
     }
 }
 
@@ -712,10 +787,61 @@ mod tests {
         ));
         let extended = report.to_csv_extended();
         assert!(extended.contains("p999_ms,hedge_rate,wasted_fraction"));
+        assert!(extended.contains("abandoned,retry_amp,goodput,error"));
         assert!(extended.contains("base+hedge-200ms"));
-        // The baseline row ends with the empty policy columns.
+        // The baseline row ends with empty policy + robustness columns
+        // (5 policy fields, retry_amp, goodput, error).
         let baseline_row = extended.lines().nth(1).unwrap();
-        assert!(baseline_row.ends_with(",,,,,"), "baseline row: {baseline_row}");
+        assert!(baseline_row.ends_with(",,,,,,,"), "baseline row: {baseline_row}");
+        // Hedged rows populate retry_amp but leave goodput empty
+        // (policy without faults).
+        let hedged_row = extended.lines().nth(3).unwrap();
+        assert!(hedged_row.contains("base+hedge-200ms"));
+        assert!(hedged_row.ends_with(","), "error column empty: {hedged_row}");
+        let fields: Vec<&str> = hedged_row.split(',').collect();
+        assert_eq!(fields.len(), 18, "hedged row: {hedged_row}");
+        let retry_amp: f64 = fields[15].parse().expect("retry_amp populated");
+        assert!(retry_amp > 1.0, "every request hedges: {retry_amp}");
+        assert!(fields[16].is_empty(), "goodput empty without faults");
+    }
+
+    #[test]
+    fn error_messages_with_commas_and_quotes_are_csv_escaped() {
+        // A panic message carrying the CSV delimiter, quotes and a line
+        // break must stay one (quoted) field, not shift columns.
+        let report = SweepReport {
+            rows: vec![CellRow {
+                index: 0,
+                scenario: "s".to_string(),
+                seed: 7,
+                result: Err(
+                    "index out of bounds: the len is 2, but the index is \"3\"\nhint".to_string()
+                ),
+            }],
+            metrics: Metrics::new(),
+            latency_agg: LatencyAgg::with_mode(stats::sketch::QuantileMode::Exact),
+        };
+        let escaped = "\"index out of bounds: the len is 2, but the index is \"\"3\"\"\nhint\"";
+        let base = report.to_csv();
+        assert!(base.contains(escaped), "base csv: {base}");
+        assert!(base.contains(&format!("0,s,7,error,,,,,,,{escaped}\n")));
+        let extended = report.to_csv_extended();
+        assert!(
+            extended.contains(&format!("0,s,7,error,,,,,,,,,,,,,,{escaped}\n")),
+            "extended csv: {extended}"
+        );
+        // Plain messages stay unquoted, preserving the frozen layout.
+        let plain = SweepReport {
+            rows: vec![CellRow {
+                index: 0,
+                scenario: "s".to_string(),
+                seed: 7,
+                result: Err("boom".to_string()),
+            }],
+            metrics: Metrics::new(),
+            latency_agg: LatencyAgg::with_mode(stats::sketch::QuantileMode::Exact),
+        };
+        assert!(plain.to_csv().contains("0,s,7,error,,,,,,,boom\n"));
     }
 
     #[test]
@@ -726,5 +852,56 @@ mod tests {
         let r8 = run(8);
         assert_eq!(r1.to_csv(), r8.to_csv());
         assert_eq!(r1.to_csv_extended(), r8.to_csv_extended());
+    }
+
+    fn fault_grid() -> SweepGrid {
+        let base = Scenario::new("base", test_provider())
+            .workload(RuntimeConfig::single(IatSpec::short(), 40));
+        SweepGrid::cross_faults(
+            vec![base],
+            &[
+                ("none", None),
+                ("throttle", Some(faults::FaultSpec::preset("throttle-5pct").unwrap())),
+            ],
+            vec![1, 2],
+        )
+    }
+
+    #[test]
+    fn fault_axis_crosses_scenarios_and_labels_cells() {
+        let grid = fault_grid();
+        assert_eq!(grid.scenarios.len(), 2);
+        assert_eq!(grid.scenarios[0].label, "base~none");
+        assert_eq!(grid.scenarios[1].label, "base~throttle");
+        assert!(grid.scenarios[0].runtime_cfg.faults.is_none());
+        let report = SweepRunner::new(2).run(&grid);
+        assert_eq!(report.ok_count(), 4);
+        // Baseline rows leave the goodput column empty; throttled rows
+        // populate it.
+        let baseline = report.rows[0].result.as_ref().expect("baseline cell ran");
+        assert!(baseline.goodput.is_none());
+        let throttled = report.rows[2].result.as_ref().expect("throttled cell ran");
+        let goodput = throttled.goodput.expect("fault cells report goodput");
+        assert!(goodput < 1.0, "5% throttle over 40+40 requests errs at least once: {goodput}");
+        assert!(goodput > 0.5, "goodput stays near 0.95: {goodput}");
+        assert!(
+            throttled.count < baseline.count,
+            "errored requests are not latency samples ({} vs {})",
+            throttled.count,
+            baseline.count
+        );
+    }
+
+    #[test]
+    fn fault_sweep_is_identical_across_thread_counts_and_backends() {
+        let grid = fault_grid();
+        let run = |threads| SweepRunner::new(threads).run(&grid);
+        let r1 = run(1);
+        let r8 = run(8);
+        assert_eq!(r1.to_csv(), r8.to_csv());
+        assert_eq!(r1.to_csv_extended(), r8.to_csv_extended());
+        let heap = SweepRunner::new(2).queue(QueueKind::BinaryHeap).run(&grid).to_csv_extended();
+        let cal = SweepRunner::new(2).queue(QueueKind::Calendar).run(&grid).to_csv_extended();
+        assert_eq!(heap, cal, "fault draws come from a dedicated stream");
     }
 }

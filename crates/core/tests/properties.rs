@@ -66,6 +66,7 @@ proptest! {
             exec_ms: exec,
             workload: None,
             policy: None,
+            faults: None,
             chain: chain_payload.map(|payload_bytes| ChainConfig {
                 length: 2,
                 mode: TransferMode::Storage,
@@ -90,6 +91,7 @@ proptest! {
             chain: None,
             workload: None,
             policy: None,
+            faults: None,
         };
         let produced = cfg.measured_rounds() * burst;
         prop_assert!(produced >= samples);
@@ -119,6 +121,7 @@ proptest! {
             chain: None,
             workload: None,
             policy: None,
+            faults: None,
         };
         let mut cloud = faas_sim::cloud::CloudSim::new(test_provider(), seed);
         let deployment = deploy(&mut cloud, &static_cfg, &runtime_cfg).expect("deploy");

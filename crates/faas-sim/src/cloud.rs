@@ -108,6 +108,16 @@ pub mod metric {
     pub const CALQUEUE_HUNT_FALLBACKS: &str = "calqueue_hunt_fallbacks";
     /// Calendar-queue rebuilds triggered by bucket overcrowding.
     pub const CALQUEUE_OVERCROWD_REBUILDS: &str = "calqueue_overcrowd_rebuilds";
+    /// Fault events injected into requests (transient + crash + shed).
+    pub const FAULTS_INJECTED: &str = "faults_injected";
+    /// Requests rejected at the front end with a transient error.
+    pub const FAULTS_TRANSIENT_ERRORS: &str = "faults_transient_errors";
+    /// Executions killed mid-flight by an injected instance crash.
+    pub const FAULTS_CRASHES: &str = "faults_crashes";
+    /// Requests refused by admission control (queue-depth shedding).
+    pub const FAULTS_SHED: &str = "faults_shed";
+    /// Idle instances reaped by purge-storm events.
+    pub const FAULTS_PURGED_INSTANCES: &str = "faults_purged_instances";
 }
 
 /// Errors returned by [`CloudSim::deploy`].
@@ -271,6 +281,12 @@ struct ReqState {
     /// Chain span id, pre-allocated at `ComputeDone` so it precedes the
     /// child's root span in allocation order.
     chain_span: Option<u64>,
+    /// Provider-style error injected into this request (fault plan),
+    /// carried into its [`Completion`].
+    error: Option<u16>,
+    /// Whether admission control shed this request (terminal-bucket
+    /// accounting happens once, at completion).
+    shed: bool,
 }
 
 /// Per-function runtime state.
@@ -378,6 +394,15 @@ pub struct Cloud {
     trace: Option<Tracer>,
     /// Always-on counters plus tick-sampled gauges.
     metrics: Metrics,
+    /// Dedicated fault-injection stream. Forked unconditionally (forking
+    /// hashes the label without advancing the parent, so faults-off runs
+    /// stay byte-identical); only consulted when a plan is installed.
+    rng_faults: Rng,
+    /// Compiled fault schedule; `None` (the default) gates every fault
+    /// arm before any draw or event, preserving byte-identity.
+    fault_plan: Option<faults::FaultPlan>,
+    /// Injection and degradation counters (all zero without a plan).
+    fault_stats: faults::FaultStats,
 }
 
 impl Cloud {
@@ -395,6 +420,9 @@ impl Cloud {
             rng_exec: root.fork("exec"),
             rng_cold: root.fork("cold-start"),
             rng_lb: root.fork("load-balancer"),
+            rng_faults: root.fork("faults"),
+            fault_plan: None,
+            fault_stats: faults::FaultStats::default(),
             cfg,
             functions: Vec::new(),
             requests: Vec::new(),
@@ -463,6 +491,8 @@ impl Cloud {
             assigned_at: None,
             root_span,
             chain_span: None,
+            error: None,
+            shed: false,
         };
         let id = match self.free_slots.pop() {
             Some(slot) => {
@@ -594,6 +624,9 @@ impl Cloud {
         self.req_mut(rid).cancelled = true;
         self.cancel_stats.cancelled += 1;
         self.metrics.inc(metric::REQUESTS_CANCELLED);
+        if self.fault_plan.is_some() && self.req(rid).origin.is_external() {
+            self.fault_stats.cancelled += 1;
+        }
 
         let (fid, instance, assigned_at, busy_ms) = {
             let req = self.req(rid);
@@ -649,6 +682,99 @@ impl Cloud {
         }
     }
 
+    // ---- fault injection --------------------------------------------------
+
+    /// Resolves an external request with a provider-style error: the
+    /// rejection travels straight back to the client (skipping the
+    /// response-path overhead an instance would add), with the return
+    /// propagation drawn from the dedicated fault stream so the baseline
+    /// network stream is untouched.
+    fn fail_request(
+        &mut self,
+        now: SimTime,
+        rid: RequestId,
+        code: u16,
+        sched: &mut Scheduler<CloudEvent>,
+    ) {
+        debug_assert!(self.req(rid).origin.is_external(), "faults only hit external requests");
+        let prop_back_ms = self.cfg.network.prop_delay_ms.sample(&mut self.rng_faults);
+        let req = self.req_mut(rid);
+        req.error = Some(code);
+        req.breakdown.prop_back_ms = prop_back_ms;
+        sched.schedule_in(now, SimTime::from_millis(prop_back_ms), CloudEvent::Completed(rid));
+    }
+
+    /// Kills `iid` while it executes `rid`: the busy time is booked as
+    /// waste, commitments queued behind the dead instance are
+    /// redistributed (the failed-boot idiom), and the client receives a
+    /// 500.
+    fn crash_instance(
+        &mut self,
+        now: SimTime,
+        rid: RequestId,
+        iid: InstanceId,
+        sched: &mut Scheduler<CloudEvent>,
+    ) {
+        let fid = iid.function();
+        let started = self.req(rid).assigned_at.expect("crashed request was never assigned");
+        self.fault_stats.injected += 1;
+        self.fault_stats.crashes += 1;
+        self.fault_stats.wasted_busy_ms += (now - started).as_millis();
+        self.metrics.inc(metric::FAULTS_INJECTED);
+        self.metrics.inc(metric::FAULTS_CRASHES);
+        {
+            let state = self.fstate_mut(fid);
+            state.instances[iid.idx as usize].crash(rid);
+            // Bank the busy span, then the lifetime: the instance is gone.
+            state.usage.on_release(iid.idx as usize, now);
+            state.usage.on_reap(iid.idx as usize, now);
+            state.n_busy -= 1;
+        }
+        if self.committed_cap(fid).is_some() {
+            let orphaned = std::mem::take(&mut self.fstate_mut(fid).committed[iid.idx as usize]);
+            self.fstate_mut(fid).committed_total -= orphaned.len() as u32;
+            for orphan in orphaned {
+                if self.req(orphan).cancelled {
+                    self.free_cancelled(orphan);
+                } else {
+                    let cap = self.committed_cap(fid).expect("checked above");
+                    self.enqueue_committed(now, orphan, fid, cap, sched);
+                }
+            }
+        }
+        self.fail_request(now, rid, 500, sched);
+    }
+
+    /// Purge-storm tick: reap every idle instance in the fleet, then
+    /// reschedule with an exponential gap — only while other work is
+    /// pending, so runs still drain to idle (telemetry-tick idiom).
+    fn on_fault_storm(&mut self, now: SimTime, sched: &mut Scheduler<CloudEvent>) {
+        let Some(plan) = self.fault_plan.take() else { return };
+        let Some(storm) = plan.storm else {
+            self.fault_plan = Some(plan);
+            return;
+        };
+        self.fault_stats.storms += 1;
+        for f in 0..self.functions.len() {
+            let state = &mut self.functions[f];
+            for idx in 0..state.instances.len() {
+                let epoch = state.instances[idx].epoch();
+                if state.instances[idx].try_reap(epoch) {
+                    state.usage.on_reap(idx, now);
+                    state.n_idle -= 1;
+                    self.stats.reaps += 1;
+                    self.fault_stats.purged_instances += 1;
+                    self.metrics.inc(metric::FAULTS_PURGED_INSTANCES);
+                }
+            }
+        }
+        if !sched.is_empty() {
+            let gap_ms = -storm.mean_gap_ms * self.rng_faults.next_f64_open().ln();
+            sched.schedule_in(now, SimTime::from_millis(gap_ms), CloudEvent::FaultStorm);
+        }
+        self.fault_plan = Some(plan);
+    }
+
     // ---- event handlers ---------------------------------------------------
 
     fn on_frontend_arrive(
@@ -660,6 +786,29 @@ impl Cloud {
         if self.req(rid).cancelled {
             self.free_cancelled(rid);
             return;
+        }
+        // Transient provider errors (throttle / 5xx) reject external
+        // requests at the front door. One roll per source, in spec order,
+        // first hit wins; every draw comes from the fault stream.
+        if let Some(plan) = self.fault_plan.take() {
+            let mut hit = None;
+            if self.req(rid).origin.is_external() {
+                for t in &plan.transients {
+                    if self.rng_faults.bernoulli(t.p) {
+                        hit = Some(t.code);
+                        break;
+                    }
+                }
+            }
+            self.fault_plan = Some(plan);
+            if let Some(code) = hit {
+                self.fault_stats.injected += 1;
+                self.fault_stats.transient_errors += 1;
+                self.metrics.inc(metric::FAULTS_INJECTED);
+                self.metrics.inc(metric::FAULTS_TRANSIENT_ERRORS);
+                self.fail_request(now, rid, code, sched);
+                return;
+            }
         }
         let overhead = self.cfg.warm_path.overhead_ms.sample(&mut self.rng_path);
         let shares = self.cfg.warm_path.shares;
@@ -714,6 +863,25 @@ impl Cloud {
             return;
         }
         let fid = self.req(rid).function;
+
+        // Admission control (graceful degradation): an external request
+        // arriving at a queue already `shed_limit` deep is refused with an
+        // explicit 503 instead of deepening the backlog. Draws no
+        // randomness; the terminal bucket is counted once, at completion.
+        if let Some(limit) = self.fault_plan.as_ref().and_then(|plan| plan.shed_limit) {
+            let depth = {
+                let state = self.fstate(fid);
+                state.queue.len() as u32 + state.committed_total
+            };
+            if depth >= limit && self.req(rid).origin.is_external() {
+                self.fault_stats.injected += 1;
+                self.metrics.inc(metric::FAULTS_INJECTED);
+                self.metrics.inc(metric::FAULTS_SHED);
+                self.req_mut(rid).shed = true;
+                self.fail_request(now, rid, 503, sched);
+                return;
+            }
+        }
         self.req_mut(rid).wait_started = Some(now);
 
         // LB lookup miss: a dedicated spawn for this request. Misses are a
@@ -966,7 +1134,16 @@ impl Cloud {
             + chunk_ms
             + runtime_init_ms
             + handler_init_ms;
-        let ready_at = now + SimTime::from_millis(total_ms);
+        let mut ready_at = now + SimTime::from_millis(total_ms);
+        // Capacity outage: a boot finishing inside an outage window is
+        // held (not failed) until the window closes. Pure clamp, no draws.
+        if let Some(plan) = &self.fault_plan {
+            if let Some(release_ms) = plan.outage_release_ms((ready_at - SimTime::ZERO).as_millis())
+            {
+                self.fault_stats.outage_deferrals += 1;
+                ready_at = SimTime::from_millis(release_ms);
+            }
+        }
 
         let state = self.fstate_mut(fid);
         let iid = InstanceId { function: fid, idx: state.instances.len() as u32 };
@@ -1158,6 +1335,22 @@ impl Cloud {
         }
         let fid = self.req(rid).function;
         let chain = self.fstate(fid).spec.chain;
+        // Mid-execution instance crash: the instance dies at the end of
+        // user compute, the finished work is wasted, and the client gets
+        // a 500. Injected only into chainless external executions —
+        // crashing a producer mid-chain would orphan its hop.
+        if chain.is_none() {
+            if let Some(plan) = self.fault_plan.take() {
+                let roll = plan.crash_p > 0.0
+                    && self.req(rid).origin.is_external()
+                    && self.rng_faults.bernoulli(plan.crash_p);
+                self.fault_plan = Some(plan);
+                if roll {
+                    self.crash_instance(now, rid, iid, sched);
+                    return;
+                }
+            }
+        }
         match chain {
             Some(chain) => {
                 // Producer side of a chain hop (step ⑨): PUT (for storage
@@ -1224,11 +1417,17 @@ impl Cloud {
 
         let is_external = self.req(rid).origin.is_external();
         let response_ms = self.req(rid).warm_overhead_ms * self.cfg.warm_path.shares.response;
-        let prop_back_ms = if is_external {
+        let mut prop_back_ms = if is_external {
             self.cfg.network.prop_delay_ms.sample(&mut self.rng_net)
         } else {
             0.0
         };
+        // Network brownout: inflate the return propagation when the
+        // response is sampled inside an inflation window. Pure multiplier
+        // on the baseline draw — no extra randomness consumed.
+        if let Some(plan) = &self.fault_plan {
+            prop_back_ms *= plan.inflation_factor((now - SimTime::ZERO).as_millis());
+        }
         {
             let req = self.req_mut(rid);
             req.breakdown.response_ms = response_ms;
@@ -1281,6 +1480,18 @@ impl Cloud {
                 // The request is finished: take its state by value and
                 // recycle the slot.
                 let req = self.free_request(rid);
+                // Terminal-bucket accounting, once per request: a
+                // submitted request is exactly one of shed / failed /
+                // completed (cancels are booked at cancel time).
+                if self.fault_plan.is_some() {
+                    if req.shed {
+                        self.fault_stats.shed += 1;
+                    } else if req.error.is_some() {
+                        self.fault_stats.failed += 1;
+                    } else {
+                        self.fault_stats.completed += 1;
+                    }
+                }
                 self.completions.push(Completion {
                     id: rid,
                     function: req.function,
@@ -1290,6 +1501,7 @@ impl Cloud {
                     completed_at: now,
                     cold: req.cold,
                     breakdown: req.breakdown,
+                    error: req.error,
                 });
             }
             RequestOrigin::Internal { parent } => {
@@ -1407,6 +1619,7 @@ impl Model for Cloud {
             CloudEvent::ReapCheck(iid, epoch) => self.on_reap_check(now, iid, epoch),
             CloudEvent::ScaleTick(fid) => self.on_scale_tick(now, fid, sched),
             CloudEvent::TelemetryTick => self.on_telemetry_tick(now, sched),
+            CloudEvent::FaultStorm => self.on_fault_storm(now, sched),
         }
     }
 }
@@ -1526,10 +1739,16 @@ impl CloudSim {
         let cloud = self.sim.model_mut();
         cloud.stats.submitted += 1;
         cloud.metrics.inc(metric::REQUESTS_SUBMITTED);
-        let prop_ms = match &mut cloud.submission_rng {
+        if cloud.fault_plan.is_some() {
+            cloud.fault_stats.submitted += 1;
+        }
+        let mut prop_ms = match &mut cloud.submission_rng {
             Some(rng) => cloud.cfg.network.prop_delay_ms.sample(rng),
             None => cloud.cfg.network.prop_delay_ms.sample(&mut cloud.rng_net),
         };
+        if let Some(plan) = &cloud.fault_plan {
+            prop_ms *= plan.inflation_factor((at - SimTime::ZERO).as_millis());
+        }
         let rid = cloud.create_request(function, RequestOrigin::External, tag, at, None);
         cloud.req_mut(rid).breakdown.prop_out_ms = prop_ms;
         cloud.emit_span(rid, span_tag::PROPAGATION, at, at + SimTime::from_millis(prop_ms));
@@ -1679,6 +1898,40 @@ impl CloudSim {
     /// [`CloudSim::cancel`]).
     pub fn cancel_stats(&self) -> CancelStats {
         self.sim.model().cancel_stats
+    }
+
+    /// Installs a compiled fault schedule. Inert plans (compiled from
+    /// [`faults::FaultSpec::none`] or an all-zero composition) are
+    /// silently skipped, so a faults-off run stays byte-identical to a
+    /// build without this call. Call before submitting work; the plan
+    /// applies for the rest of the run.
+    pub fn install_faults(&mut self, plan: faults::FaultPlan) {
+        if plan.is_inert() {
+            return;
+        }
+        let first_storm = {
+            let cloud = self.sim.model_mut();
+            let at = plan.storm.map(|s| {
+                let gap_ms = -s.mean_gap_ms * cloud.rng_faults.next_f64_open().ln();
+                SimTime::from_millis(s.start_ms + gap_ms)
+            });
+            cloud.fault_plan = Some(plan);
+            at
+        };
+        if let Some(at) = first_storm {
+            self.sim.schedule_at(at, CloudEvent::FaultStorm);
+        }
+    }
+
+    /// Fault-injection and degradation counters (all zero when no fault
+    /// plan is installed).
+    pub fn fault_stats(&self) -> faults::FaultStats {
+        self.sim.model().fault_stats
+    }
+
+    /// Whether a (non-inert) fault plan is installed.
+    pub fn faults_installed(&self) -> bool {
+        self.sim.model().fault_plan.is_some()
     }
 
     /// Number of live (idle + busy) instances of `function`.

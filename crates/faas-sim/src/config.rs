@@ -384,11 +384,8 @@ impl ProviderConfig {
         }
         self.cold_start.sandbox_boot_ms.validate().map_err(|e| ctx("sandbox_boot_ms", e))?;
         self.cold_start.handler_init_ms.validate().map_err(|e| ctx("handler_init_ms", e))?;
-        if !(0.0..1.0).contains(&self.cold_start.boot_failure_prob) {
-            return Err(ctx(
-                "cold_start.boot_failure_prob",
-                "must be in [0, 1) — retries at 1 would never terminate".into(),
-            ));
+        if !(0.0..=1.0).contains(&self.cold_start.boot_failure_prob) {
+            return Err(ctx("cold_start.boot_failure_prob", "must be in [0, 1]".into()));
         }
         for (label, model) in [("python3", &self.runtimes.python3), ("go", &self.runtimes.go)] {
             model.init_ms.validate().map_err(|e| ctx(&format!("{label}.init_ms"), e))?;
@@ -461,6 +458,19 @@ mod tests {
         cfg.scaling.policy = ScalePolicy::TargetConcurrency { target: 0.2 };
         assert!(cfg.validate().is_err());
         cfg.scaling.policy = ScalePolicy::Periodic { interval_ms: 0.0, step: 1 };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn boot_failure_prob_range_is_inclusive() {
+        let mut cfg = test_provider();
+        cfg.cold_start.boot_failure_prob = 1.0; // always-fail is a legal setting
+        cfg.validate().unwrap();
+        cfg.cold_start.boot_failure_prob = 0.0;
+        cfg.validate().unwrap();
+        cfg.cold_start.boot_failure_prob = 1.0001;
+        assert!(cfg.validate().is_err());
+        cfg.cold_start.boot_failure_prob = -0.0001;
         assert!(cfg.validate().is_err());
     }
 

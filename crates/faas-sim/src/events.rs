@@ -36,4 +36,7 @@ pub enum CloudEvent {
     ScaleTick(FunctionId),
     /// Telemetry sampling tick (enabled via `CloudSim::enable_timeline`).
     TelemetryTick,
+    /// Keepalive-purge storm tick (fault injection): reaps every idle
+    /// instance, then reschedules itself while the run is still active.
+    FaultStorm,
 }

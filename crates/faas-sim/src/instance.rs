@@ -147,6 +147,22 @@ impl Instance {
         self.epoch += 1;
     }
 
+    /// Mid-execution crash: `Busy → Dead` (fault injection). The request
+    /// being served dies with the instance; its result is lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance is not busy with `request`.
+    pub fn crash(&mut self, request: RequestId) {
+        match self.state {
+            InstanceState::Busy { request: current } if current == request => {
+                self.state = InstanceState::Dead;
+                self.epoch += 1;
+            }
+            _ => panic!("crash({request}) on {:?}", self.state),
+        }
+    }
+
     /// Keep-alive expiry: `Idle → Dead`, but only if the epoch still
     /// matches (otherwise the instance was reused and the reap is stale).
     /// Returns whether the instance died.
@@ -228,6 +244,26 @@ mod tests {
         inst.boot_complete(MS(10.0));
         inst.assign(rid(1));
         inst.release(rid(2), MS(20.0));
+    }
+
+    #[test]
+    fn crash_kills_busy_instance() {
+        let mut inst = Instance::boot(iid(), MS(0.0), MS(10.0));
+        inst.boot_complete(MS(10.0));
+        inst.assign(rid(1));
+        let epoch = inst.epoch();
+        inst.crash(rid(1));
+        assert!(inst.is_dead());
+        assert!(inst.epoch() > epoch, "crash must invalidate pending reaps");
+    }
+
+    #[test]
+    #[should_panic(expected = "crash")]
+    fn crash_wrong_request_panics() {
+        let mut inst = Instance::boot(iid(), MS(0.0), MS(10.0));
+        inst.boot_complete(MS(10.0));
+        inst.assign(rid(1));
+        inst.crash(rid(2));
     }
 
     #[test]

@@ -135,12 +135,21 @@ pub struct Completion {
     pub cold: bool,
     /// Per-component attribution.
     pub breakdown: Breakdown,
+    /// Provider-style error code when the invocation failed (429
+    /// throttle, 500 crash, 503 shed); `None` for a successful response.
+    #[serde(default)]
+    pub error: Option<u16>,
 }
 
 impl Completion {
     /// End-to-end latency in milliseconds, as the client measures it.
     pub fn latency_ms(&self) -> f64 {
         (self.completed_at - self.issued_at).as_millis()
+    }
+
+    /// Whether the invocation succeeded (no provider error).
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
     }
 }
 
@@ -217,8 +226,14 @@ mod tests {
             completed_at: SimTime::from_millis(145.0),
             cold: false,
             breakdown: Breakdown::default(),
+            error: None,
         };
         assert_eq!(c.latency_ms(), 45.0);
+        assert!(c.is_ok());
+        // Older serialized completions (no error field) still parse.
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Completion = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
     }
 
     #[test]

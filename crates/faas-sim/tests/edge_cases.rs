@@ -294,10 +294,15 @@ fn boot_failures_are_retried_transparently() {
 }
 
 #[test]
-fn boot_failure_prob_one_is_rejected() {
+fn boot_failure_prob_range_is_inclusive() {
+    // p = 1.0 is a legal Bernoulli parameter (every boot fails and is
+    // retried; `run_until` still bounds the run). Only values outside
+    // [0, 1] are rejected.
     let mut cfg = test_provider();
     cfg.cold_start.boot_failure_prob = 1.0;
-    assert!(cfg.validate().is_err(), "p=1 would retry forever");
+    assert!(cfg.validate().is_ok(), "p=1 is a legal probability");
+    cfg.cold_start.boot_failure_prob = 1.1;
+    assert!(cfg.validate().is_err());
     cfg.cold_start.boot_failure_prob = -0.1;
     assert!(cfg.validate().is_err());
 }

@@ -1,0 +1,30 @@
+//! Deterministic fault injection for the serverless-cloud simulator.
+//!
+//! Real provider tails are shaped by more than queueing: throttling
+//! errors, instance crashes, keepalive purges and capacity blips all
+//! interact with client retry policies ("Unveiling Overlooked Performance
+//! Variance in Serverless Computing" documents exactly this provider-side
+//! variance). This crate supplies the *description* half of the fault
+//! subsystem:
+//!
+//! * [`FaultSpec`] — a validated serde grammar (mirroring
+//!   `policy::PolicySpec`) covering transient invocation errors with
+//!   provider-style codes, mid-execution instance crashes, keepalive-purge
+//!   "cold-start storm" events, capacity-outage windows, network
+//!   latency-inflation windows, and queue-depth load shedding;
+//! * [`FaultPlan`] — the compiled, data-only form the cloud's event loop
+//!   consults (all randomness stays in the cloud's dedicated
+//!   `fork("faults")` stream, so this crate draws nothing);
+//! * [`FaultStats`] — injection/degradation counters with the
+//!   conservation law `shed + completed + failed + cancelled == submitted`.
+//!
+//! The determinism contract: a [`FaultSpec::none`] plan is *inert* — the
+//! cloud gates every fault arm on plan presence before touching the fault
+//! RNG, so faults-off runs stay byte-identical to a build without the
+//! subsystem.
+
+pub mod spec;
+pub mod stats;
+
+pub use spec::{FaultPlan, FaultSpec, Inflation, StormPlan, TransientFault, Window};
+pub use stats::FaultStats;

@@ -1,0 +1,443 @@
+//! Serde grammar for fault schedules.
+//!
+//! Mirrors the `policy::spec` style: a tagged enum with named presets
+//! and free composition, validated before it ever reaches the cloud.
+//!
+//! ```json
+//! { "kind": "compose", "parts": [
+//!     { "kind": "outage", "start_ms": 30000.0, "duration_ms": 10000.0 },
+//!     { "kind": "transient", "code": 429, "p": 0.05 } ] }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+fn default_transient_code() -> u16 {
+    429
+}
+
+/// Declarative fault description; compile with [`FaultSpec::build`]
+/// after [`FaultSpec::validate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "kind")]
+pub enum FaultSpec {
+    /// No faults: the compiled plan is inert and the run stays
+    /// byte-identical to one without a fault spec at all.
+    None,
+    /// Each external arrival is rejected at the front end with
+    /// probability `p`, answered with the provider-style error `code`
+    /// (429 throttle, 500/503 server errors).
+    Transient {
+        #[serde(default = "default_transient_code")]
+        code: u16,
+        p: f64,
+    },
+    /// Each external execution crashes its instance at the end of user
+    /// compute with probability `p`: the client sees a 500, the busy time
+    /// is wasted, and the instance is dead (its committed backlog is
+    /// redistributed).
+    Crash { p: f64 },
+    /// Keepalive purges ("cold-start storms"): from `start_ms` on, every
+    /// idle instance in the fleet is reaped at exponentially-spaced
+    /// events with mean gap `mean_gap_ms`, forcing cold starts on the
+    /// next wave of requests.
+    PurgeStorm {
+        mean_gap_ms: f64,
+        #[serde(default)]
+        start_ms: f64,
+    },
+    /// Capacity outage: instance boots that would finish inside
+    /// `[start_ms, start_ms + duration_ms)` are held until the window
+    /// closes (no new capacity comes up during the outage).
+    Outage { start_ms: f64, duration_ms: f64 },
+    /// Network brownout: client↔datacenter propagation delays sampled
+    /// inside the window are multiplied by `factor`.
+    LatencyInflation { start_ms: f64, duration_ms: f64, factor: f64 },
+    /// Graceful degradation (admission control): an external request that
+    /// finds `queue_limit` or more requests already waiting for its
+    /// function is shed with an explicit 503 instead of queueing.
+    Shed { queue_limit: u32 },
+    /// Several faults active at once.
+    Compose { parts: Vec<FaultSpec> },
+}
+
+impl FaultSpec {
+    /// The inert spec (see [`FaultSpec::None`]).
+    pub fn none() -> FaultSpec {
+        FaultSpec::None
+    }
+
+    /// Whether this spec injects nothing (recursively).
+    pub fn is_none(&self) -> bool {
+        match self {
+            FaultSpec::None => true,
+            FaultSpec::Compose { parts } => parts.iter().all(FaultSpec::is_none),
+            _ => false,
+        }
+    }
+
+    /// Named presets, usable from the CLI via `--faults <name>`.
+    pub fn preset(name: &str) -> Option<FaultSpec> {
+        Some(match name {
+            "throttle-5pct" => FaultSpec::Transient { code: 429, p: 0.05 },
+            "crash-2pct" => FaultSpec::Crash { p: 0.02 },
+            "purge-storm" => FaultSpec::PurgeStorm { mean_gap_ms: 10_000.0, start_ms: 0.0 },
+            "outage-10s" => FaultSpec::Outage { start_ms: 30_000.0, duration_ms: 10_000.0 },
+            "brownout-2x" => FaultSpec::LatencyInflation {
+                start_ms: 30_000.0,
+                duration_ms: 10_000.0,
+                factor: 2.0,
+            },
+            "shed-64" => FaultSpec::Shed { queue_limit: 64 },
+            "outage-throttle" => FaultSpec::Compose {
+                parts: vec![
+                    FaultSpec::Outage { start_ms: 30_000.0, duration_ms: 10_000.0 },
+                    FaultSpec::Transient { code: 429, p: 0.05 },
+                ],
+            },
+            _ => return None,
+        })
+    }
+
+    /// Every preset name, for `--help` and error messages.
+    pub fn preset_names() -> &'static [&'static str] {
+        &[
+            "throttle-5pct",
+            "crash-2pct",
+            "purge-storm",
+            "outage-10s",
+            "brownout-2x",
+            "shed-64",
+            "outage-throttle",
+        ]
+    }
+
+    pub fn from_json(json: &str) -> Result<FaultSpec, String> {
+        let spec: FaultSpec =
+            serde_json::from_str(json).map_err(|e| format!("bad fault spec: {e}"))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("fault spec serializes")
+    }
+
+    /// Rejects non-physical parameters: probabilities outside `[0, 1]`,
+    /// non-HTTP-error codes, non-positive durations, inflation factors
+    /// below 1, and empty compositions.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            FaultSpec::None => {}
+            FaultSpec::Transient { code, p } => {
+                if !(400..=599).contains(code) {
+                    return Err(format!("transient code must be in 400..=599, got {code}"));
+                }
+                if !(p.is_finite() && (0.0..=1.0).contains(p)) {
+                    return Err(format!("transient p must be in [0, 1], got {p}"));
+                }
+            }
+            FaultSpec::Crash { p } => {
+                if !(p.is_finite() && (0.0..=1.0).contains(p)) {
+                    return Err(format!("crash p must be in [0, 1], got {p}"));
+                }
+            }
+            FaultSpec::PurgeStorm { mean_gap_ms, start_ms } => {
+                if !(mean_gap_ms.is_finite() && *mean_gap_ms > 0.0) {
+                    return Err(format!("storm mean gap must be positive, got {mean_gap_ms}"));
+                }
+                if !(start_ms.is_finite() && *start_ms >= 0.0) {
+                    return Err(format!("storm start must be >= 0, got {start_ms}"));
+                }
+            }
+            FaultSpec::Outage { start_ms, duration_ms } => {
+                if !(start_ms.is_finite() && *start_ms >= 0.0) {
+                    return Err(format!("outage start must be >= 0, got {start_ms}"));
+                }
+                if !(duration_ms.is_finite() && *duration_ms > 0.0) {
+                    return Err(format!("outage duration must be positive, got {duration_ms}"));
+                }
+            }
+            FaultSpec::LatencyInflation { start_ms, duration_ms, factor } => {
+                if !(start_ms.is_finite() && *start_ms >= 0.0) {
+                    return Err(format!("inflation start must be >= 0, got {start_ms}"));
+                }
+                if !(duration_ms.is_finite() && *duration_ms > 0.0) {
+                    return Err(format!("inflation duration must be positive, got {duration_ms}"));
+                }
+                if !(factor.is_finite() && *factor >= 1.0) {
+                    return Err(format!("inflation factor must be >= 1, got {factor}"));
+                }
+            }
+            FaultSpec::Shed { queue_limit } => {
+                if *queue_limit == 0 {
+                    return Err("shed queue_limit must be positive".into());
+                }
+            }
+            FaultSpec::Compose { parts } => {
+                if parts.is_empty() {
+                    return Err("compose needs at least one part".into());
+                }
+                for part in parts {
+                    part.validate()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the spec into the flat, data-only plan the cloud's event
+    /// loop consults. Call after [`FaultSpec::validate`].
+    pub fn build(&self) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        self.collect(&mut plan);
+        plan
+    }
+
+    fn collect(&self, plan: &mut FaultPlan) {
+        match self {
+            FaultSpec::None => {}
+            FaultSpec::Transient { code, p } => {
+                if *p > 0.0 {
+                    plan.transients.push(TransientFault { code: *code, p: *p });
+                }
+            }
+            FaultSpec::Crash { p } => {
+                // Composed crash probabilities combine as independent
+                // coins collapsed into one draw: 1 - Π(1 - p_i).
+                plan.crash_p = 1.0 - (1.0 - plan.crash_p) * (1.0 - p);
+            }
+            FaultSpec::PurgeStorm { mean_gap_ms, start_ms } => {
+                // Later storm stanzas override earlier ones: one storm
+                // process per run keeps the event stream deterministic.
+                plan.storm = Some(StormPlan { start_ms: *start_ms, mean_gap_ms: *mean_gap_ms });
+            }
+            FaultSpec::Outage { start_ms, duration_ms } => {
+                plan.outages.push(Window { start_ms: *start_ms, end_ms: start_ms + duration_ms });
+            }
+            FaultSpec::LatencyInflation { start_ms, duration_ms, factor } => {
+                plan.inflations.push(Inflation {
+                    window: Window { start_ms: *start_ms, end_ms: start_ms + duration_ms },
+                    factor: *factor,
+                });
+            }
+            FaultSpec::Shed { queue_limit } => {
+                plan.shed_limit = Some(match plan.shed_limit {
+                    Some(existing) => existing.min(*queue_limit),
+                    None => *queue_limit,
+                });
+            }
+            FaultSpec::Compose { parts } => {
+                for part in parts {
+                    part.collect(plan);
+                }
+            }
+        }
+    }
+}
+
+/// One transient-error source: reject with `code` at probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientFault {
+    pub code: u16,
+    pub p: f64,
+}
+
+/// A half-open time window `[start_ms, end_ms)` on the simulation clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    pub start_ms: f64,
+    pub end_ms: f64,
+}
+
+impl Window {
+    /// Whether `t_ms` falls inside the window.
+    pub fn contains(&self, t_ms: f64) -> bool {
+        t_ms >= self.start_ms && t_ms < self.end_ms
+    }
+}
+
+/// Recurring keepalive-purge process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormPlan {
+    pub start_ms: f64,
+    pub mean_gap_ms: f64,
+}
+
+/// One latency-inflation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Inflation {
+    pub window: Window,
+    pub factor: f64,
+}
+
+/// The compiled, data-only fault schedule. Holds no RNG: the cloud draws
+/// from its own `fork("faults")` stream at each injection site, gated on
+/// the plan actually containing that fault class.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Transient-error sources rolled per external arrival, in spec order.
+    pub transients: Vec<TransientFault>,
+    /// Per-execution crash probability (0 = never).
+    pub crash_p: f64,
+    /// Keepalive-purge storm process, if any.
+    pub storm: Option<StormPlan>,
+    /// Capacity-outage windows.
+    pub outages: Vec<Window>,
+    /// Network latency-inflation windows.
+    pub inflations: Vec<Inflation>,
+    /// Queue-depth admission-control limit, if any.
+    pub shed_limit: Option<u32>,
+}
+
+impl FaultPlan {
+    /// Whether the plan injects nothing at all (a [`FaultSpec::none`]
+    /// compile). Inert plans must not be installed: the cloud treats
+    /// "no plan" as the byte-identity baseline.
+    pub fn is_inert(&self) -> bool {
+        self.transients.is_empty()
+            && self.crash_p == 0.0
+            && self.storm.is_none()
+            && self.outages.is_empty()
+            && self.inflations.is_empty()
+            && self.shed_limit.is_none()
+    }
+
+    /// If a boot finishing at `ready_ms` lands in an outage window,
+    /// returns the instant it is released (chaining across overlapping or
+    /// back-to-back windows); `None` when unaffected.
+    pub fn outage_release_ms(&self, ready_ms: f64) -> Option<f64> {
+        let mut t = ready_ms;
+        let mut deferred = false;
+        loop {
+            match self.outages.iter().find(|w| w.contains(t)) {
+                Some(w) => {
+                    t = w.end_ms;
+                    deferred = true;
+                }
+                None => return deferred.then_some(t),
+            }
+        }
+    }
+
+    /// Product of the factors of every inflation window containing
+    /// `now_ms` (1.0 outside all windows).
+    pub fn inflation_factor(&self, now_ms: f64) -> f64 {
+        self.inflations.iter().filter(|i| i.window.contains(now_ms)).map(|i| i.factor).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_all_validate_and_roundtrip() {
+        for name in FaultSpec::preset_names() {
+            let spec = FaultSpec::preset(name).unwrap();
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!spec.is_none(), "{name} must inject something");
+            assert!(!spec.build().is_inert(), "{name} must compile to a live plan");
+            let back = FaultSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(spec, back, "{name} must roundtrip");
+        }
+        assert!(FaultSpec::preset("no-such-fault").is_none());
+    }
+
+    #[test]
+    fn none_is_inert() {
+        assert!(FaultSpec::none().is_none());
+        assert!(FaultSpec::none().build().is_inert());
+        assert!(FaultSpec::Compose { parts: vec![FaultSpec::None, FaultSpec::None] }.is_none());
+    }
+
+    #[test]
+    fn json_grammar_parses_composition() {
+        let json = r#"{ "kind": "compose", "parts": [
+            { "kind": "outage", "start_ms": 30000.0, "duration_ms": 10000.0 },
+            { "kind": "transient", "code": 429, "p": 0.05 } ] }"#;
+        let spec = FaultSpec::from_json(json).unwrap();
+        assert_eq!(spec, FaultSpec::preset("outage-throttle").unwrap());
+        let plan = spec.build();
+        assert_eq!(plan.transients, vec![TransientFault { code: 429, p: 0.05 }]);
+        assert_eq!(plan.outages, vec![Window { start_ms: 30_000.0, end_ms: 40_000.0 }]);
+    }
+
+    #[test]
+    fn transient_code_defaults_to_429() {
+        let spec = FaultSpec::from_json(r#"{ "kind": "transient", "p": 0.1 }"#).unwrap();
+        assert_eq!(spec, FaultSpec::Transient { code: 429, p: 0.1 });
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        for bad in [
+            FaultSpec::Transient { code: 200, p: 0.5 },
+            FaultSpec::Transient { code: 429, p: 1.5 },
+            FaultSpec::Transient { code: 429, p: f64::NAN },
+            FaultSpec::Crash { p: -0.1 },
+            FaultSpec::PurgeStorm { mean_gap_ms: 0.0, start_ms: 0.0 },
+            FaultSpec::PurgeStorm { mean_gap_ms: 100.0, start_ms: -1.0 },
+            FaultSpec::Outage { start_ms: 0.0, duration_ms: 0.0 },
+            FaultSpec::Outage { start_ms: f64::INFINITY, duration_ms: 10.0 },
+            FaultSpec::LatencyInflation { start_ms: 0.0, duration_ms: 10.0, factor: 0.5 },
+            FaultSpec::Shed { queue_limit: 0 },
+            FaultSpec::Compose { parts: vec![] },
+            FaultSpec::Compose { parts: vec![FaultSpec::Crash { p: 2.0 }] },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn edge_probabilities_are_legal() {
+        assert!(FaultSpec::Transient { code: 503, p: 0.0 }.validate().is_ok());
+        assert!(FaultSpec::Transient { code: 503, p: 1.0 }.validate().is_ok());
+        assert!(FaultSpec::Crash { p: 1.0 }.validate().is_ok());
+    }
+
+    #[test]
+    fn composed_crashes_collapse_into_one_probability() {
+        let spec = FaultSpec::Compose {
+            parts: vec![FaultSpec::Crash { p: 0.5 }, FaultSpec::Crash { p: 0.5 }],
+        };
+        let plan = spec.build();
+        assert!((plan.crash_p - 0.75).abs() < 1e-12, "1 - 0.5*0.5, got {}", plan.crash_p);
+    }
+
+    #[test]
+    fn composed_shed_limits_take_the_minimum() {
+        let spec = FaultSpec::Compose {
+            parts: vec![FaultSpec::Shed { queue_limit: 64 }, FaultSpec::Shed { queue_limit: 16 }],
+        };
+        assert_eq!(spec.build().shed_limit, Some(16));
+    }
+
+    #[test]
+    fn outage_release_chains_adjacent_windows() {
+        let plan = FaultSpec::Compose {
+            parts: vec![
+                FaultSpec::Outage { start_ms: 100.0, duration_ms: 50.0 },
+                FaultSpec::Outage { start_ms: 150.0, duration_ms: 25.0 },
+            ],
+        }
+        .build();
+        assert_eq!(plan.outage_release_ms(120.0), Some(175.0), "chains through both windows");
+        assert_eq!(plan.outage_release_ms(99.0), None);
+        assert_eq!(plan.outage_release_ms(175.0), None, "window end is open");
+    }
+
+    #[test]
+    fn inflation_factors_multiply_when_windows_overlap() {
+        let plan = FaultSpec::Compose {
+            parts: vec![
+                FaultSpec::LatencyInflation { start_ms: 0.0, duration_ms: 100.0, factor: 2.0 },
+                FaultSpec::LatencyInflation { start_ms: 50.0, duration_ms: 100.0, factor: 3.0 },
+            ],
+        }
+        .build();
+        assert_eq!(plan.inflation_factor(25.0), 2.0);
+        assert_eq!(plan.inflation_factor(75.0), 6.0);
+        assert_eq!(plan.inflation_factor(125.0), 3.0);
+        assert_eq!(plan.inflation_factor(500.0), 1.0);
+    }
+}

@@ -48,6 +48,11 @@ pub enum PolicyEvent {
     /// is true exactly once per logical request — for the attempt
     /// whose result the client keeps (the winner).
     Done { now_ms: f64, first: bool },
+    /// A physical attempt resolved with a provider-style error (throttle,
+    /// crash, shed) — it can never win. Machines may react by retrying
+    /// (with backoff) or hedging immediately; a failure never settles the
+    /// logical request.
+    Failed { now_ms: f64 },
 }
 
 impl PolicyEvent {
@@ -56,7 +61,8 @@ impl PolicyEvent {
         match *self {
             PolicyEvent::Issued { now_ms, .. }
             | PolicyEvent::Wake { now_ms, .. }
-            | PolicyEvent::Done { now_ms, .. } => now_ms,
+            | PolicyEvent::Done { now_ms, .. }
+            | PolicyEvent::Failed { now_ms } => now_ms,
         }
     }
 }
@@ -231,6 +237,21 @@ impl PolicyMachine for Hedge {
                     out.push(Action::CancelOutstanding);
                 }
             }
+            PolicyEvent::Failed { now_ms } => {
+                // An attempt errored: it can never win, so fire the next
+                // hedge immediately instead of waiting out the threshold.
+                if self.settled || !self.threshold_ms.is_finite() || self.fired >= self.max_hedges {
+                    return;
+                }
+                self.fired += 1;
+                out.push(Action::Launch);
+                if self.fired < self.max_hedges {
+                    self.next_wake = now_ms + self.threshold_ms;
+                    out.push(Action::Arm { at_ms: self.next_wake });
+                } else {
+                    self.next_wake = f64::NAN;
+                }
+            }
         }
     }
 
@@ -333,6 +354,23 @@ impl PolicyMachine for Retry {
                     out.push(Action::CancelOutstanding);
                 }
             }
+            PolicyEvent::Failed { now_ms } => {
+                // The attempt resolved on its own (nothing to cancel):
+                // back off and relaunch, jitter-free so failure paths
+                // stay deterministic without consuming a wake's draw.
+                if self.settled || self.awaiting_backoff {
+                    return;
+                }
+                if self.retries < self.max_retries {
+                    let backoff = self.backoff_ms(self.retries, 0.0);
+                    self.retries += 1;
+                    self.awaiting_backoff = true;
+                    self.next_wake = now_ms + backoff;
+                    out.push(Action::Arm { at_ms: self.next_wake });
+                } else {
+                    self.next_wake = f64::NAN;
+                }
+            }
         }
     }
 
@@ -385,6 +423,9 @@ impl PolicyMachine for Deadline {
                     self.next_wake = f64::NAN;
                 }
             }
+            // Failures don't move a deadline: the clock keeps running
+            // until something completes or the deadline abandons.
+            PolicyEvent::Failed { .. } => {}
         }
     }
 
@@ -423,6 +464,9 @@ impl PolicyMachine for Tied {
                     out.push(Action::CancelOutstanding);
                 }
             }
+            // Tied copies are launched up front; a failed copy just
+            // leaves the race to its siblings.
+            PolicyEvent::Failed { .. } => {}
         }
     }
 
@@ -677,6 +721,75 @@ mod tests {
         let a = deliver(&mut c, issued(0.0, f64::NAN));
         // Primary + 2 duplicates = cap 3; remaining 7 launches dropped.
         assert_eq!(a, vec![Action::Launch, Action::Launch]);
+    }
+
+    #[test]
+    fn retry_backs_off_after_failure_without_cancelling() {
+        let mut r = Retry::new(100.0, 10.0, 2.0, 0.0, 2);
+        deliver(&mut r, issued(0.0, f64::NAN));
+        // The attempt errored at 20ms: no cancel (it already resolved),
+        // just a jitter-free backoff arm.
+        let a = deliver(&mut r, PolicyEvent::Failed { now_ms: 20.0 });
+        assert_eq!(a, vec![Action::Arm { at_ms: 30.0 }]);
+        // Backoff elapsed: relaunch and arm the next timeout.
+        let a = deliver(&mut r, wake(30.0));
+        assert_eq!(a, vec![Action::Launch, Action::Arm { at_ms: 130.0 }]);
+        // Second failure doubles the backoff.
+        let a = deliver(&mut r, PolicyEvent::Failed { now_ms: 140.0 });
+        assert_eq!(a, vec![Action::Arm { at_ms: 160.0 }]);
+        deliver(&mut r, wake(160.0));
+        // Retries exhausted: further failures go quiet.
+        assert!(deliver(&mut r, PolicyEvent::Failed { now_ms: 300.0 }).is_empty());
+    }
+
+    #[test]
+    fn retry_ignores_failure_while_backing_off_or_settled() {
+        let mut r = Retry::new(100.0, 10.0, 2.0, 0.0, 3);
+        deliver(&mut r, issued(0.0, f64::NAN));
+        deliver(&mut r, PolicyEvent::Failed { now_ms: 20.0 });
+        // A second stale failure mid-backoff must not double-book.
+        assert!(deliver(&mut r, PolicyEvent::Failed { now_ms: 25.0 }).is_empty());
+        deliver(&mut r, wake(30.0));
+        deliver(&mut r, PolicyEvent::Done { now_ms: 50.0, first: true });
+        assert!(deliver(&mut r, PolicyEvent::Failed { now_ms: 60.0 }).is_empty());
+    }
+
+    #[test]
+    fn hedge_fires_immediately_on_failure() {
+        let mut h = Hedge::new(Threshold::StaticMs(100.0), 2);
+        deliver(&mut h, issued(0.0, f64::NAN));
+        let a = deliver(&mut h, PolicyEvent::Failed { now_ms: 20.0 });
+        assert_eq!(a, vec![Action::Launch, Action::Arm { at_ms: 120.0 }]);
+        let a = deliver(&mut h, PolicyEvent::Failed { now_ms: 30.0 });
+        assert_eq!(a, vec![Action::Launch], "last hedge: no re-arm");
+        assert!(deliver(&mut h, PolicyEvent::Failed { now_ms: 40.0 }).is_empty());
+    }
+
+    #[test]
+    fn unarmed_hedge_and_passive_machines_ignore_failures() {
+        // NaN estimate: the hedge never armed, so failures stay quiet.
+        let mut h = Hedge::new(Threshold::Quantile(0.95), 1);
+        deliver(&mut h, issued(0.0, f64::NAN));
+        assert!(deliver(&mut h, PolicyEvent::Failed { now_ms: 10.0 }).is_empty());
+        let mut d = Deadline::new(500.0);
+        deliver(&mut d, issued(0.0, f64::NAN));
+        assert!(deliver(&mut d, PolicyEvent::Failed { now_ms: 10.0 }).is_empty());
+        let mut t = Tied::new(3);
+        deliver(&mut t, issued(0.0, f64::NAN));
+        assert!(deliver(&mut t, PolicyEvent::Failed { now_ms: 10.0 }).is_empty());
+    }
+
+    #[test]
+    fn composite_caps_failure_driven_launches() {
+        let mut c =
+            Composite::new(vec![Machine::Hedge(Hedge::new(Threshold::StaticMs(50.0), 10))], 2);
+        deliver(&mut c, issued(0.0, f64::NAN));
+        let a = deliver(&mut c, PolicyEvent::Failed { now_ms: 10.0 });
+        assert_eq!(a[0], Action::Launch);
+        // Cap of 2 attempts already reached (primary + hedge): further
+        // failure-driven launches are suppressed.
+        let a = deliver(&mut c, PolicyEvent::Failed { now_ms: 20.0 });
+        assert!(!a.contains(&Action::Launch), "{a:?}");
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub struct PolicyStats {
     pub duplicate_successes: u64,
     /// Logical requests abandoned by a deadline without any result.
     pub abandoned: u64,
+    /// Attempts that resolved with a provider-style error (throttle,
+    /// crash, shed) instead of a latency sample.
+    #[serde(default)]
+    pub failures: u64,
+    /// Logical requests whose every attempt failed — no winner existed.
+    #[serde(default)]
+    pub failed_logical: u64,
     /// Instance busy-time consumed by winning attempts, ms.
     pub used_busy_ms: f64,
     /// Instance busy-time consumed by cancelled and duplicate attempts,
@@ -34,6 +41,17 @@ impl PolicyStats {
             0.0
         } else {
             self.extra_launches as f64 / self.logical as f64
+        }
+    }
+
+    /// Physical attempts launched per logical request: `1.0` means no
+    /// policy fired; an outage-driven retry storm shows up here as the
+    /// amplification factor the provider absorbs.
+    pub fn retry_amplification(&self) -> f64 {
+        if self.logical == 0 {
+            1.0
+        } else {
+            (self.logical + self.extra_launches) as f64 / self.logical as f64
         }
     }
 
@@ -67,9 +85,12 @@ mod tests {
             abandoned: 1,
             used_busy_ms: 900.0,
             wasted_busy_ms: 100.0,
+            ..Default::default()
         };
         assert!((s.hedge_fire_rate() - 0.05).abs() < 1e-12);
         assert!((s.wasted_fraction() - 0.1).abs() < 1e-12);
+        assert!((s.retry_amplification() - 1.05).abs() < 1e-12);
+        assert_eq!(PolicyStats::default().retry_amplification(), 1.0);
     }
 
     #[test]

@@ -51,6 +51,28 @@ pub struct Summary {
 }
 
 impl Summary {
+    /// The summary of zero samples: every statistic is 0 (and `tmr` with
+    /// it). Exists for runs whose every request failed — e.g. a fault
+    /// schedule injecting errors at probability 1 — where there is
+    /// nothing to summarise but the run itself is still a valid outcome.
+    pub fn empty() -> Summary {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            max: 0.0,
+            p25: 0.0,
+            median: 0.0,
+            p75: 0.0,
+            p90: 0.0,
+            p95: 0.0,
+            tail: 0.0,
+            p999: 0.0,
+            tmr: 0.0,
+        }
+    }
+
     /// Computes a summary from raw samples.
     ///
     /// # Panics

@@ -1,0 +1,106 @@
+//! Property-based invariants for fault schedules: whatever faults a
+//! random spec composes, the cloud's accounting must conserve requests
+//! and keep its derived rates physical.
+
+use faults::FaultSpec;
+use proptest::prelude::*;
+use stellar_core::config::{IatSpec, RuntimeConfig};
+use stellar_core::experiment::Experiment;
+
+/// One random (always-valid) fault stanza.
+fn fault_part() -> impl Strategy<Value = FaultSpec> {
+    prop_oneof![
+        (400u16..=599, 0.0f64..=1.0).prop_map(|(code, p)| FaultSpec::Transient { code, p }),
+        (0.0f64..=0.5).prop_map(|p| FaultSpec::Crash { p }),
+        (100.0f64..5_000.0, 0.0f64..30_000.0)
+            .prop_map(|(mean_gap_ms, start_ms)| FaultSpec::PurgeStorm { mean_gap_ms, start_ms }),
+        (0.0f64..30_000.0, 100.0f64..20_000.0)
+            .prop_map(|(start_ms, duration_ms)| FaultSpec::Outage { start_ms, duration_ms }),
+        (0.0f64..30_000.0, 100.0f64..20_000.0, 1.0f64..4.0).prop_map(
+            |(start_ms, duration_ms, factor)| FaultSpec::LatencyInflation {
+                start_ms,
+                duration_ms,
+                factor
+            }
+        ),
+        (1u32..64).prop_map(|queue_limit| FaultSpec::Shed { queue_limit }),
+    ]
+}
+
+/// A random composition of 1–4 stanzas.
+fn fault_spec() -> impl Strategy<Value = FaultSpec> {
+    proptest::collection::vec(fault_part(), 1..5).prop_map(|parts| FaultSpec::Compose { parts })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation and physicality under the plain (no-policy) driver:
+    /// every submitted external request ends in exactly one terminal
+    /// bucket, each fault hits a request at most once, and availability
+    /// is a proper fraction.
+    #[test]
+    fn fault_accounting_conserves_requests(spec in fault_spec(), seed in 0u64..16) {
+        spec.validate().expect("strategy only builds valid specs");
+        // No warmup: warmup completions would count in the fault stats
+        // (the cloud served them) but not in the latency aggregate, and
+        // this property pins the two against each other.
+        let mut runtime = RuntimeConfig::single(IatSpec::short(), 120);
+        runtime.warmup_rounds = 0;
+        runtime.faults = Some(spec.clone());
+        let outcome = Experiment::new(providers::profiles::aws_like())
+            .workload(runtime)
+            .seed(seed)
+            .run()
+            .expect("fault run");
+        let Some(f) = outcome.result.faults else {
+            // The random composition collapsed to an inert plan (all
+            // probabilities zero): nothing to account for.
+            prop_assert!(spec.build().is_inert());
+            return Ok(());
+        };
+        prop_assert!(f.submitted > 0, "the driver offered requests");
+        prop_assert!(f.injected <= f.submitted, "injected {} > submitted {}", f.injected, f.submitted);
+        prop_assert_eq!(
+            f.injected,
+            f.transient_errors + f.crashes + f.shed,
+            "every injection is exactly one fault class"
+        );
+        // No cancels without a policy: the terminal buckets partition
+        // the offered load.
+        prop_assert_eq!(f.cancelled, 0);
+        prop_assert_eq!(
+            f.shed + f.completed + f.failed + f.cancelled,
+            f.submitted,
+            "terminal buckets must partition submitted requests"
+        );
+        prop_assert_eq!(f.failed, f.transient_errors + f.crashes);
+        let availability = f.availability();
+        prop_assert!(
+            (0.0..=1.0).contains(&availability),
+            "availability {availability} out of range"
+        );
+        prop_assert!(f.wasted_busy_ms >= 0.0);
+        // Successful completions are the latency samples; failures and
+        // sheds never leak into the aggregate.
+        prop_assert_eq!(outcome.result.latency_agg.count() as u64, f.completed);
+    }
+
+    /// The same run, faults installed, is still bit-deterministic.
+    #[test]
+    fn fault_runs_are_deterministic(spec in fault_spec(), seed in 0u64..8) {
+        let run = || {
+            let mut runtime = RuntimeConfig::single(IatSpec::short(), 80);
+            runtime.faults = Some(spec.clone());
+            Experiment::new(providers::profiles::aws_like())
+                .workload(runtime)
+                .seed(seed)
+                .run()
+                .expect("fault run")
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.latencies_ms(), b.latencies_ms());
+        prop_assert_eq!(a.result.faults, b.result.faults);
+    }
+}

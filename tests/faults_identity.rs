@@ -1,0 +1,107 @@
+//! Golden byte-identity gate for the fault-injection subsystem.
+//!
+//! The contract: a run with no `faults` stanza, a run with the explicit
+//! inert spec (`FaultSpec::none()`), and yesterday's pre-fault code path
+//! are all the same run, bit for bit — across every event-queue backend
+//! and however many sweep workers execute the grid. The fault arms in
+//! the cloud's event loop are gated on an installed plan *before* any
+//! RNG draw or event schedule, so the faults-off stream of randomness
+//! (and therefore every latency) is untouched.
+
+use faults::FaultSpec;
+use simkit::engine::QueueKind;
+use stellar_core::config::{IatSpec, RuntimeConfig};
+use stellar_core::experiment::Experiment;
+use stellar_core::runner::{Scenario, SweepGrid, SweepRunner};
+
+const QUEUES: [QueueKind; 3] = [QueueKind::BinaryHeap, QueueKind::Calendar, QueueKind::Adaptive];
+
+fn run_latencies(faults: Option<FaultSpec>, queue: QueueKind) -> Vec<f64> {
+    let mut runtime = RuntimeConfig::single(IatSpec::short(), 150);
+    runtime.warmup_rounds = 2;
+    runtime.faults = faults;
+    Experiment::new(providers::profiles::aws_like())
+        .workload(runtime)
+        .seed(42)
+        .queue(queue)
+        .run()
+        .expect("identity run")
+        .latencies_ms()
+}
+
+#[test]
+fn inert_fault_spec_is_byte_identical_to_no_spec_on_every_backend() {
+    for queue in QUEUES {
+        let absent = run_latencies(None, queue);
+        let none = run_latencies(Some(FaultSpec::none()), queue);
+        assert_eq!(absent, none, "{queue:?}: FaultSpec::none() must be the identity");
+        // A none-compose is still inert.
+        let composed = run_latencies(
+            Some(FaultSpec::Compose { parts: vec![FaultSpec::None, FaultSpec::None] }),
+            queue,
+        );
+        assert_eq!(absent, composed, "{queue:?}: composed None must be the identity");
+    }
+    // And the backends agree with each other (the pre-existing contract,
+    // re-checked under the new gating).
+    let reference = run_latencies(None, QueueKind::BinaryHeap);
+    for queue in [QueueKind::Calendar, QueueKind::Adaptive] {
+        assert_eq!(reference, run_latencies(None, queue), "{queue:?} vs binary heap");
+    }
+}
+
+#[test]
+fn inert_runs_report_no_fault_stats() {
+    let mut runtime = RuntimeConfig::single(IatSpec::short(), 60);
+    runtime.faults = Some(FaultSpec::none());
+    let outcome = Experiment::new(providers::profiles::aws_like())
+        .workload(runtime)
+        .seed(7)
+        .run()
+        .expect("inert run");
+    assert!(
+        outcome.result.faults.is_none(),
+        "an inert plan must not install (and must not report stats)"
+    );
+}
+
+fn sweep_grid(faults: Option<FaultSpec>) -> SweepGrid {
+    let scenarios = ["aws-like", "google-like"]
+        .into_iter()
+        .map(|name| {
+            let cfg = match name {
+                "aws-like" => providers::profiles::aws_like(),
+                _ => providers::profiles::google_like(),
+            };
+            let mut runtime = RuntimeConfig::single(IatSpec::short(), 40);
+            runtime.faults = faults.clone();
+            Scenario::new(name, cfg).workload(runtime)
+        })
+        .collect();
+    SweepGrid::new(scenarios, vec![0, 1, 2])
+}
+
+#[test]
+fn faults_off_sweeps_are_byte_identical_across_threads_and_backends() {
+    let baseline = SweepRunner::new(1).run(&sweep_grid(None));
+    let base_csv = baseline.to_csv();
+    let base_ext = baseline.to_csv_extended();
+    for threads in [1, 2, 8] {
+        for queue in QUEUES {
+            for faults in [None, Some(FaultSpec::none())] {
+                let report =
+                    SweepRunner::new(threads).queue(queue).run(&sweep_grid(faults.clone()));
+                assert_eq!(
+                    report.to_csv(),
+                    base_csv,
+                    "threads {threads}, {queue:?}, faults {faults:?}: base CSV must not move"
+                );
+                assert_eq!(
+                    report.to_csv_extended(),
+                    base_ext,
+                    "threads {threads}, {queue:?}, faults {faults:?}: extended CSV must not move"
+                );
+            }
+        }
+    }
+}

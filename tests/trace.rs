@@ -231,6 +231,7 @@ mod properties {
                 chain,
                 workload: None,
                 policy: None,
+                faults: None,
             };
             let function = if runtime.chain.is_some() {
                 StaticFunction::go_zip("f")
