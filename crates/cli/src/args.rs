@@ -44,6 +44,9 @@ pub struct RunOptions {
     pub queue: QueueKind,
     /// Quantile machinery: exact sorting or streaming sketches.
     pub quantile_mode: QuantileMode,
+    /// Time every event dispatch and print a per-event-class cost table
+    /// (observational: results are bit-identical with or without it).
+    pub profile_events: bool,
 }
 
 /// Export format of `stellar trace`.
@@ -112,6 +115,9 @@ pub struct SweepOptions {
     pub queue: QueueKind,
     /// Quantile machinery: exact sorting or streaming sketches.
     pub quantile_mode: QuantileMode,
+    /// Time every event dispatch and print a per-event-class cost table
+    /// aggregated over all cells (observational; results are identical).
+    pub profile_events: bool,
 }
 
 /// A parsed CLI invocation.
@@ -178,6 +184,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut svg = None;
             let mut queue = QueueKind::default();
             let mut quantile_mode = QuantileMode::default();
+            let mut profile_events = false;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<String, String> {
                     it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
@@ -211,6 +218,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--quantile-mode" => {
                         quantile_mode = parse_quantile_mode(&value("--quantile-mode")?)?;
                     }
+                    "--profile-events" => profile_events = true,
                     other => return Err(format!("unknown flag: {other}")),
                 }
             }
@@ -236,6 +244,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 svg,
                 queue,
                 quantile_mode,
+                profile_events,
             }))
         }
         "sweep" => {
@@ -253,6 +262,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut out = None;
             let mut queue = QueueKind::default();
             let mut quantile_mode = QuantileMode::default();
+            let mut profile_events = false;
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<String, String> {
                     it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
@@ -327,6 +337,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--quantile-mode" => {
                         quantile_mode = parse_quantile_mode(&value("--quantile-mode")?)?;
                     }
+                    "--profile-events" => profile_events = true,
                     other => return Err(format!("unknown flag: {other}")),
                 }
             }
@@ -344,6 +355,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 out,
                 queue,
                 quantile_mode,
+                profile_events,
             }))
         }
         "trace" => {
@@ -443,6 +455,9 @@ RUN OPTIONS:
     --quantile-mode <mode>   exact (sort all samples) or sketch (stream
                              through t-digests; constant memory)
                              [default: exact]
+    --profile-events         time every event dispatch and print a
+                             per-event-class cost table (observational:
+                             results are bit-identical)
 
 SWEEP OPTIONS:
     --static <file>          static function config [default: one function]
@@ -466,6 +481,8 @@ SWEEP OPTIONS:
                              [default: adaptive]
     --quantile-mode <mode>   exact or sketch; sketch keeps million-sample
                              sweeps in constant memory [default: exact]
+    --profile-events         per-event-class cost table aggregated over
+                             all cells (observational)
 
 TRACE OPTIONS:
     --static <file>          static function config [default: one function]
@@ -507,6 +524,7 @@ mod tests {
             "binary-heap",
             "--quantile-mode",
             "sketch",
+            "--profile-events",
         ]))
         .unwrap();
         let Command::Run(opts) = cmd else { panic!("expected run") };
@@ -521,6 +539,7 @@ mod tests {
         assert_eq!(opts.svg.as_deref(), Some("out.svg"));
         assert_eq!(opts.queue, QueueKind::BinaryHeap);
         assert_eq!(opts.quantile_mode, QuantileMode::Sketch);
+        assert!(opts.profile_events);
     }
 
     #[test]
@@ -532,6 +551,7 @@ mod tests {
         assert!(!opts.breakdown && !opts.cdf);
         assert_eq!(opts.queue, QueueKind::Adaptive);
         assert_eq!(opts.quantile_mode, QuantileMode::Exact);
+        assert!(!opts.profile_events);
     }
 
     #[test]
@@ -664,6 +684,7 @@ mod tests {
             "binary-heap",
             "--quantile-mode",
             "sketch",
+            "--profile-events",
         ]))
         .unwrap();
         let Command::Sweep(opts) = cmd else { panic!("expected sweep") };
@@ -680,6 +701,7 @@ mod tests {
         assert_eq!(opts.out.as_deref(), Some("report.csv"));
         assert_eq!(opts.queue, QueueKind::BinaryHeap);
         assert_eq!(opts.quantile_mode, QuantileMode::Sketch);
+        assert!(opts.profile_events);
     }
 
     #[test]
@@ -695,6 +717,7 @@ mod tests {
         assert_eq!(opts.out, None);
         assert_eq!(opts.queue, QueueKind::Adaptive);
         assert_eq!(opts.quantile_mode, QuantileMode::Exact);
+        assert!(!opts.profile_events);
         assert!(parse_args(&strs(&["sweep", "--seeds", "0"])).is_err());
         assert!(parse_args(&strs(&["sweep", "--samples", "0"])).is_err());
         assert!(parse_args(&strs(&["sweep", "--providers", ""])).is_err());

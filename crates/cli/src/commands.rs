@@ -217,6 +217,7 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
         .seed(opts.seed)
         .queue(opts.queue)
         .measure(measure)
+        .profile_events(opts.profile_events)
         .run()
         .map_err(CliError::Experiment)?;
 
@@ -287,6 +288,9 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
                 p.retry_amplification(),
             ));
         }
+    }
+    if opts.profile_events {
+        out.push_str(&render_event_profile(&outcome.metrics));
     }
     if opts.cdf {
         out.push('\n');
@@ -394,7 +398,11 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
         QuantileMode::Exact => MeasureSpec::exact(),
         QuantileMode::Sketch => MeasureSpec::sketch(),
     };
-    let report = SweepRunner::new(opts.threads).queue(opts.queue).measure(measure).run(&grid);
+    let report = SweepRunner::new(opts.threads)
+        .queue(opts.queue)
+        .measure(measure)
+        .profile_events(opts.profile_events)
+        .run(&grid);
 
     // The summary deliberately omits the worker count: the report must be
     // byte-identical however the sweep was parallelised.
@@ -421,6 +429,9 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
         report.metrics.counter(faas_sim::cloud::metric::REQUESTS_COMPLETED),
         report.metrics.counter(faas_sim::cloud::metric::COLD_STARTS),
     ));
+    if opts.profile_events {
+        out.push_str(&render_event_profile(&report.metrics));
+    }
     // Policy and fault sweeps get the extended CSV (policy outcome,
     // retry-amplification and goodput columns); plain sweeps keep today's
     // byte-identical base CSV.
@@ -440,6 +451,63 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// Renders the per-event-class cost table from the profile counters that
+/// [`Experiment`] (or the sweep runner) folded into the metrics registry.
+/// The trailing `profile coverage:` line is machine-parseable: per-class
+/// dispatch time should account for nearly all of the event-loop wall
+/// time, so CI can assert the profiler is neither dropping events nor
+/// double-counting.
+fn render_event_profile(metrics: &simkit::metrics::Metrics) -> String {
+    use faas_sim::cloud::metric::{PROFILE_COUNT, PROFILE_LOOP_NS, PROFILE_NS};
+    let loop_ns = metrics.counter(PROFILE_LOOP_NS);
+    let mut rows = Vec::new();
+    let mut total_count = 0u64;
+    let mut total_ns = 0u64;
+    for (&count_name, &ns_name) in PROFILE_COUNT.iter().zip(PROFILE_NS.iter()) {
+        let count = metrics.counter(count_name);
+        if count == 0 {
+            continue;
+        }
+        let ns = metrics.counter(ns_name);
+        total_count += count;
+        total_ns += ns;
+        let class = ns_name.strip_prefix("profile_ns_").unwrap_or(ns_name);
+        rows.push((class, count, ns));
+    }
+    // Most expensive class first; the table is for finding hot spots.
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    let mut out = String::from("\nper-event cost (dispatch wall time by event class):\n");
+    out.push_str(&format!(
+        "  {:<16} {:>12} {:>12} {:>10} {:>7}\n",
+        "class", "events", "total_ms", "ns/event", "share"
+    ));
+    for (class, count, ns) in rows {
+        let share = if total_ns == 0 { 0.0 } else { ns as f64 / total_ns as f64 * 100.0 };
+        out.push_str(&format!(
+            "  {:<16} {:>12} {:>12.3} {:>10.0} {:>6.1}%\n",
+            class,
+            count,
+            ns as f64 / 1e6,
+            ns as f64 / count as f64,
+            share,
+        ));
+    }
+    out.push_str(&format!(
+        "  {:<16} {:>12} {:>12.3}\n",
+        "total",
+        total_count,
+        total_ns as f64 / 1e6,
+    ));
+    // With no timed dispatches there is nothing to cover; report 100% so
+    // the CI bound (90-110%) treats an empty run as healthy.
+    let coverage = if loop_ns == 0 { 100.0 } else { total_ns as f64 / loop_ns as f64 * 100.0 };
+    out.push_str(&format!(
+        "profile coverage: {coverage:.1}% of {:.3} ms event-loop wall time\n",
+        loop_ns as f64 / 1e6,
+    ));
+    out
 }
 
 fn trace(opts: &TraceOptions) -> Result<String, CliError> {
@@ -558,6 +626,7 @@ mod tests {
             svg: Some(svg_path.clone()),
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Exact,
+            profile_events: false,
         };
         let out = execute(&Command::Run(opts)).unwrap();
         assert!(out.contains("provider google-like"));
@@ -595,6 +664,7 @@ mod tests {
             svg: None,
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Sketch,
+            profile_events: false,
         };
         let out = execute(&Command::Run(opts.clone())).unwrap();
         assert!(out.contains("provider aws-like"), "{out}");
@@ -605,6 +675,58 @@ mod tests {
         // sample retention needed even in sketch mode.
         let with_cdf = execute(&Command::Run(RunOptions { cdf: true, ..opts })).unwrap();
         assert!(with_cdf.contains("end-to-end latency"), "{with_cdf}");
+    }
+
+    #[test]
+    fn run_profile_events_prints_cost_table_without_changing_results() {
+        let base = RunOptions {
+            static_path: None,
+            runtime_path: None,
+            workload: Some("poisson".into()),
+            policy: None,
+            faults: None,
+            samples: 40,
+            warmup: 2,
+            provider: "aws-like".into(),
+            seed: 9,
+            breakdown: false,
+            cdf: false,
+            csv: None,
+            svg: None,
+            queue: QueueKind::Adaptive,
+            quantile_mode: QuantileMode::Exact,
+            profile_events: false,
+        };
+        let plain = execute(&Command::Run(base.clone())).unwrap();
+        assert!(!plain.contains("per-event cost"), "{plain}");
+
+        let profiled = execute(&Command::Run(RunOptions { profile_events: true, ..base })).unwrap();
+        assert!(profiled.contains("per-event cost"), "{profiled}");
+        assert!(profiled.contains("profile coverage:"), "{profiled}");
+        assert!(profiled.contains("frontend_arrive"), "{profiled}");
+        // Profiling observes; every result line must be unchanged.
+        assert!(profiled.starts_with(&plain), "profiling must only append:\n{profiled}");
+
+        // The sweep path aggregates the same counters across cells.
+        let sweep = execute(&Command::Sweep(SweepOptions {
+            static_path: None,
+            runtime_path: None,
+            providers: vec!["aws-like".into()],
+            seeds: 2,
+            base_seed: 0,
+            samples: 20,
+            workloads: vec![],
+            policies: vec![],
+            faults: vec![],
+            threads: 1,
+            out: None,
+            queue: QueueKind::Adaptive,
+            quantile_mode: QuantileMode::Exact,
+            profile_events: true,
+        }))
+        .unwrap();
+        assert!(sweep.contains("per-event cost"), "{sweep}");
+        assert!(sweep.contains("profile coverage:"), "{sweep}");
     }
 
     #[test]
@@ -654,6 +776,7 @@ mod tests {
             out: None,
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Exact,
+            profile_events: false,
         };
         let serial = execute(&Command::Sweep(base.clone())).unwrap();
         let threaded =
@@ -699,6 +822,7 @@ mod tests {
             out: Some(out_path.clone()),
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Exact,
+            profile_events: false,
         };
         let msg = execute(&Command::Sweep(opts)).unwrap();
         assert!(msg.contains("wrote report CSV"), "{msg}");
@@ -731,6 +855,7 @@ mod tests {
             svg: None,
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Exact,
+            profile_events: false,
         };
         let err = execute(&Command::Run(opts)).unwrap_err();
         assert!(matches!(err, CliError::Config(_)), "{err}");
@@ -754,6 +879,7 @@ mod tests {
             svg: None,
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Exact,
+            profile_events: false,
         };
         assert!(matches!(execute(&Command::Run(opts)).unwrap_err(), CliError::Io(..)));
     }
@@ -784,6 +910,7 @@ mod tests {
             svg: None,
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Exact,
+            profile_events: false,
         };
         let out = execute(&Command::Run(opts)).unwrap();
         assert!(out.contains("provider aws-like"), "{out}");
@@ -813,6 +940,7 @@ mod tests {
             svg: None,
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Exact,
+            profile_events: false,
         };
         let out = execute(&Command::Run(opts)).unwrap();
         assert!(out.contains("offered load: 30 arrivals"), "{out}");
@@ -832,6 +960,7 @@ mod tests {
             svg: None,
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Exact,
+            profile_events: false,
         }))
         .is_err());
     }
@@ -852,6 +981,7 @@ mod tests {
             out: None,
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Exact,
+            profile_events: false,
         };
         let serial = execute(&Command::Sweep(base.clone())).unwrap();
         let threaded =
@@ -885,6 +1015,7 @@ mod tests {
             svg: None,
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Exact,
+            profile_events: false,
         };
         let plain = execute(&Command::Run(base.clone())).unwrap();
         assert!(!plain.contains("policy:"), "{plain}");
@@ -925,6 +1056,7 @@ mod tests {
             out: None,
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Exact,
+            profile_events: false,
         };
         let serial = execute(&Command::Sweep(base.clone())).unwrap();
         let threaded =
@@ -961,6 +1093,7 @@ mod tests {
             svg: None,
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Exact,
+            profile_events: false,
         };
         let plain = execute(&Command::Run(base.clone())).unwrap();
         assert!(!plain.contains("faults:"), "{plain}");
@@ -1012,6 +1145,7 @@ mod tests {
             out: None,
             queue: QueueKind::Calendar,
             quantile_mode: QuantileMode::Exact,
+            profile_events: false,
         };
         let serial = execute(&Command::Sweep(base.clone())).unwrap();
         let threaded =

@@ -253,6 +253,13 @@ pub fn run_workload_with(
     let mut latency_agg = LatencyAgg::with_mode(measure.quantile);
     let mut transfer_agg = LatencyAgg::with_mode(measure.quantile);
 
+    if !measure.keep_samples {
+        // Sketch mode skips slab/completion pre-sizing, but the event
+        // queue still wants the bulk-load hint: without it the adaptive
+        // backend promoted mid-run at the pending threshold instead of
+        // once, up front.
+        cloud.reserve_event_hint(expected);
+    }
     if measure.keep_samples {
         cloud.reserve_requests(expected);
         let mut t = start;
@@ -681,6 +688,10 @@ fn open_loop(
     let multi_source = process.sources() > 1;
     if measure.keep_samples {
         cloud.reserve_requests(planned);
+    } else {
+        // Forward the bulk-load hint even without sample buffers so the
+        // adaptive event queue can promote once, up front.
+        cloud.reserve_event_hint(planned);
     }
     cloud.open_submission_window(planned);
 
@@ -757,6 +768,10 @@ fn closed_loop(
     }
     if measure.keep_samples {
         cloud.reserve_requests(total as usize);
+    } else {
+        // Same bulk-load hint as the open-loop driver: the adaptive
+        // event queue should promote once, up front.
+        cloud.reserve_event_hint(total as usize);
     }
     cloud.open_submission_window(total as usize);
 

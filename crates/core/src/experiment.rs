@@ -74,6 +74,7 @@ pub struct Experiment {
     trace_capacity: Option<usize>,
     measure: MeasureSpec,
     queue: QueueKind,
+    profile_events: bool,
 }
 
 /// What an experiment produced.
@@ -114,6 +115,7 @@ impl Experiment {
             trace_capacity: None,
             measure: MeasureSpec::default(),
             queue: QueueKind::default(),
+            profile_events: false,
         }
     }
 
@@ -161,6 +163,16 @@ impl Experiment {
         self
     }
 
+    /// Enables per-event cost profiling: every event dispatch is timed
+    /// and bucketed by event class, and the totals land in
+    /// [`Outcome::metrics`] under the `faas_sim::cloud::metric::PROFILE_*`
+    /// names. Profiling observes wall-clock time only, so results stay
+    /// bit-identical to an unprofiled run.
+    pub fn profile_events(mut self, on: bool) -> Experiment {
+        self.profile_events = on;
+        self
+    }
+
     /// Deploys, drives the workload and summarises.
     ///
     /// # Errors
@@ -170,6 +182,9 @@ impl Experiment {
         let mut cloud = CloudSim::with_queue(self.provider.clone(), self.seed, self.queue);
         if let Some(capacity) = self.trace_capacity {
             cloud.enable_tracing(capacity);
+        }
+        if self.profile_events {
+            cloud.enable_event_profiling();
         }
         let deployment = deploy(&mut cloud, &self.static_cfg, &self.runtime_cfg)?;
         // Install the fault schedule (if any) before submitting work.
@@ -229,8 +244,10 @@ impl Experiment {
         }
         let spans = cloud.drain_spans();
         // Fold end-of-run slab and event-queue counters into the metrics
-        // registry so reports can audit memory behaviour.
+        // registry so reports can audit memory behaviour; likewise the
+        // per-event cost profile when profiling was on.
         cloud.record_queue_metrics();
+        cloud.record_profile_metrics();
         let metrics = cloud.metrics().clone();
         Ok(Outcome { result, summary, transfer_summary, spans, metrics })
     }
@@ -293,6 +310,23 @@ mod tests {
         let total =
             (traced.result.completions.len() + traced.result.warmup_completions.len()) as u64;
         assert_eq!(traced.metrics.counter(faas_sim::cloud::metric::REQUESTS_COMPLETED), total);
+    }
+
+    #[test]
+    fn event_profiling_fills_cost_metrics_without_changing_results() {
+        use faas_sim::cloud::metric;
+        let base = Experiment::new(test_provider()).seed(6);
+        let plain = base.clone().run().unwrap();
+        let profiled = base.profile_events(true).run().unwrap();
+        assert_eq!(plain.latencies_ms(), profiled.latencies_ms(), "profiling must not perturb");
+        assert_eq!(plain.metrics.counter(metric::PROFILE_LOOP_NS), 0, "off by default");
+        assert!(profiled.metrics.counter(metric::PROFILE_LOOP_NS) > 0);
+        let events: u64 = metric::PROFILE_COUNT.iter().map(|n| profiled.metrics.counter(n)).sum();
+        assert!(events >= 100, "every dispatched event is counted, got {events}");
+        // Telescoping timestamps: the per-class cost sum cannot exceed the
+        // measured loop wall time.
+        let ns: u64 = metric::PROFILE_NS.iter().map(|n| profiled.metrics.counter(n)).sum();
+        assert!(ns <= profiled.metrics.counter(metric::PROFILE_LOOP_NS));
     }
 
     #[test]

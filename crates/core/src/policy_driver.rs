@@ -125,6 +125,10 @@ pub(crate) fn drive_with_policy(
     let cancel_base = cloud.cancel_stats();
     if measure.keep_samples {
         cloud.reserve_requests(total as usize);
+    } else {
+        // Forward the bulk-load hint even without sample buffers so the
+        // adaptive event queue can promote once, up front.
+        cloud.reserve_event_hint(total as usize);
     }
 
     let mut collector = Collector::new(measure, warmup_tag);

@@ -460,6 +460,7 @@ pub struct SweepRunner {
     threads: usize,
     queue: QueueKind,
     measure: MeasureSpec,
+    profile_events: bool,
 }
 
 impl SweepRunner {
@@ -472,7 +473,12 @@ impl SweepRunner {
         } else {
             threads
         };
-        SweepRunner { threads, queue: QueueKind::default(), measure: MeasureSpec::default() }
+        SweepRunner {
+            threads,
+            queue: QueueKind::default(),
+            measure: MeasureSpec::default(),
+            profile_events: false,
+        }
     }
 
     /// The resolved worker count.
@@ -493,6 +499,15 @@ impl SweepRunner {
         self
     }
 
+    /// Enables per-event cost profiling in every cell; the per-class
+    /// totals merge across cells into [`SweepReport::metrics`] under the
+    /// `faas_sim::cloud::metric::PROFILE_*` names. Observational only —
+    /// cell results are bit-identical either way.
+    pub fn profile_events(mut self, on: bool) -> SweepRunner {
+        self.profile_events = on;
+        self
+    }
+
     /// Runs every cell of `grid` and merges the results in cell-index
     /// order. Cells are claimed work-stealing style from a shared cursor;
     /// a panicking cell is isolated into an error row.
@@ -508,7 +523,8 @@ impl SweepRunner {
                     if index >= total {
                         break;
                     }
-                    let cell = run_cell(grid, index, self.queue, &self.measure);
+                    let cell =
+                        run_cell(grid, index, self.queue, &self.measure, self.profile_events);
                     *slots[index].lock().expect("sweep slot poisoned") = Some(cell);
                 });
             }
@@ -545,7 +561,13 @@ impl Default for SweepRunner {
 /// counters, and (in sketch mode) the cell's latency aggregate.
 type CellResult = (CellRow, Metrics, Option<LatencyAgg>);
 
-fn run_cell(grid: &SweepGrid, index: usize, queue: QueueKind, measure: &MeasureSpec) -> CellResult {
+fn run_cell(
+    grid: &SweepGrid,
+    index: usize,
+    queue: QueueKind,
+    measure: &MeasureSpec,
+    profile_events: bool,
+) -> CellResult {
     let (scenario, seed) = grid.cell(index);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         Experiment::new(scenario.provider.clone())
@@ -554,6 +576,7 @@ fn run_cell(grid: &SweepGrid, index: usize, queue: QueueKind, measure: &MeasureS
             .seed(seed)
             .queue(queue)
             .measure(*measure)
+            .profile_events(profile_events)
             .run()
     }));
     let (result, metrics, agg) = match outcome {

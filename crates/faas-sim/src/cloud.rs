@@ -17,12 +17,14 @@ use simkit::rng::Rng;
 use simkit::time::SimTime;
 use simkit::trace::{RingCollector, SpanRecord, TraceSink, Tracer};
 
+pub use crate::arena::RequestSlabStats;
+use crate::arena::{ColdReq, HotReq, RequestArena, XferInfo};
 use crate::billing::{ResourceUsage, UsageTracker};
 use crate::config::{ProviderConfig, ScalePolicy};
 use crate::events::CloudEvent;
 use crate::instance::Instance;
 use crate::loadbalancer::DispatchServer;
-use crate::request::{Breakdown, ColdBreakdown, Completion, RequestOrigin, TransferSample};
+use crate::request::{ColdBreakdown, Completion, RequestOrigin, TransferSample};
 use crate::scheduler::{desired_spawns, periodic_step, CapacitySnapshot, SpawnGovernor};
 use crate::spec::FunctionSpec;
 use crate::storage::{ImageStore, PayloadStore};
@@ -118,6 +120,44 @@ pub mod metric {
     pub const FAULTS_SHED: &str = "faults_shed";
     /// Idle instances reaped by purge-storm events.
     pub const FAULTS_PURGED_INSTANCES: &str = "faults_purged_instances";
+
+    /// Per-event-class dispatch counts from a profiled run, one counter
+    /// per [`crate::events::CloudEvent`] variant, in `CLASS_NAMES` order.
+    /// Recorded by [`super::CloudSim::record_profile_metrics`]; absent
+    /// unless profiling was enabled.
+    pub const PROFILE_COUNT: [&str; 12] = [
+        "profile_count_frontend_arrive",
+        "profile_count_routing_done",
+        "profile_count_enqueued",
+        "profile_count_boot_complete",
+        "profile_count_compute_done",
+        "profile_count_exec_done",
+        "profile_count_completed",
+        "profile_count_cancel",
+        "profile_count_reap_check",
+        "profile_count_scale_tick",
+        "profile_count_telemetry_tick",
+        "profile_count_fault_storm",
+    ];
+    /// Per-event-class wall-clock cost in nanoseconds (pop + dispatch +
+    /// handler), parallel to [`PROFILE_COUNT`].
+    pub const PROFILE_NS: [&str; 12] = [
+        "profile_ns_frontend_arrive",
+        "profile_ns_routing_done",
+        "profile_ns_enqueued",
+        "profile_ns_boot_complete",
+        "profile_ns_compute_done",
+        "profile_ns_exec_done",
+        "profile_ns_completed",
+        "profile_ns_cancel",
+        "profile_ns_reap_check",
+        "profile_ns_scale_tick",
+        "profile_ns_telemetry_tick",
+        "profile_ns_fault_storm",
+    ];
+    /// Total wall-clock nanoseconds of the profiled event loop; the
+    /// denominator of the cost table's coverage figure.
+    pub const PROFILE_LOOP_NS: &str = "profile_loop_ns";
 }
 
 /// Errors returned by [`CloudSim::deploy`].
@@ -213,82 +253,6 @@ struct TimelineRecorder {
     samples: Vec<TimelineSample>,
 }
 
-/// Cross-function data transfer info attached to a consumer request.
-#[derive(Debug, Clone, Copy)]
-struct XferInfo {
-    mode: TransferMode,
-    payload_bytes: u64,
-    send_start: SimTime,
-    parent: RequestId,
-    parent_tag: u64,
-}
-
-/// Occupancy counters of the request slab (see [`CloudSim::request_slab_stats`]).
-///
-/// `live` and `high_water` track simultaneously-occupied slots, so a
-/// streaming run over millions of invocations should report a
-/// `high_water` bounded by the submission slice, not the total request
-/// count.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RequestSlabStats {
-    /// Slots allocated fresh (slab growth).
-    pub slots_allocated: u64,
-    /// Request creations served by recycling a freed slot.
-    pub slots_reused: u64,
-    /// Currently occupied slots.
-    pub live: u64,
-    /// Peak simultaneously occupied slots.
-    pub high_water: u64,
-}
-
-/// One slot of the request slab: the current occupant (if any) plus the
-/// generation stamped into ids handed out for this slot.
-#[derive(Debug)]
-struct ReqSlot {
-    generation: u32,
-    state: Option<ReqState>,
-}
-
-/// Mutable per-request state.
-#[derive(Debug)]
-struct ReqState {
-    function: FunctionId,
-    origin: RequestOrigin,
-    tag: u64,
-    issued_at: SimTime,
-    breakdown: Breakdown,
-    warm_overhead_ms: f64,
-    instance: Option<InstanceId>,
-    /// When the request entered the pending queue / triggered its spawn.
-    wait_started: Option<SimTime>,
-    /// Incoming transfer to account at execution start (consumer side).
-    xfer_in: Option<XferInfo>,
-    /// Outgoing chain call start (producer side), set at `ComputeDone`.
-    chain_started: Option<SimTime>,
-    /// In-flight chain hop spawned by this producer, cleared when the
-    /// hop returns. Lets a cancel cascade into the hop synchronously.
-    chain_child: Option<RequestId>,
-    cold: bool,
-    done: bool,
-    /// Set by [`Cloud::on_cancel`]; every lifecycle handler drops the
-    /// request (freeing its slot) instead of advancing it.
-    cancelled: bool,
-    /// When the request started occupying an instance — the base of the
-    /// wasted-busy-time accounting for mid-execution cancels.
-    assigned_at: Option<SimTime>,
-    /// Root span id (allocated at creation when tracing is on).
-    root_span: Option<u64>,
-    /// Chain span id, pre-allocated at `ComputeDone` so it precedes the
-    /// child's root span in allocation order.
-    chain_span: Option<u64>,
-    /// Provider-style error injected into this request (fault plan),
-    /// carried into its [`Completion`].
-    error: Option<u16>,
-    /// Whether admission control shed this request (terminal-bucket
-    /// accounting happens once, at completion).
-    shed: bool,
-}
-
 /// Per-function runtime state.
 #[derive(Debug)]
 struct FunctionState {
@@ -305,10 +269,25 @@ struct FunctionState {
     committed_total: u32,
     /// Indices into `instances` believed idle (validated on pop).
     idle_stack: Vec<u32>,
+    /// Dense per-instance load mirror, parallel to `instances`:
+    /// `loads[idx]` caches `load(idx)` for live instances and pins dead
+    /// slots at `u32::MAX` (tombstones never win a min). Dead slots stay
+    /// in `instances` forever — indices are stable ids — so the
+    /// per-request least-loaded scan must not walk that struct-of-enums
+    /// vector; a contiguous `u32` sweep stays in one or two cache lines
+    /// per 16 instances and vectorizes. Committed assignment picks its
+    /// target by `min` over `(load, idx)`, which is order-independent, so
+    /// reading the cache is bit-identical to recomputing every entry.
+    loads: Vec<u32>,
     n_idle: u32,
     n_busy: u32,
     n_booting: u32,
     scale_tick_armed: bool,
+    /// Commit cap under the provider's scale policy, frozen at deploy —
+    /// policy, spec and warm-path shares never change afterwards, and
+    /// recomputing it (two analytic `Dist` medians) on every request
+    /// showed up in the event-cost profile.
+    commit_cap: Option<usize>,
     /// Image size in decimal MB (base + extra file).
     image_mb: f64,
     /// Lifetime/busy-time resource accounting.
@@ -334,6 +313,25 @@ impl FunctionState {
     fn load(&self, idx: usize) -> usize {
         self.committed[idx].len() + usize::from(self.instances[idx].is_busy())
     }
+
+    /// Retires a just-died instance from the load cache: its slot is
+    /// pinned at `u32::MAX` so the least-loaded scan skips the tombstone
+    /// without a liveness check.
+    fn unlive(&mut self, idx: u32) {
+        debug_assert_ne!(self.loads[idx as usize], u32::MAX, "dying instance already dead");
+        self.loads[idx as usize] = u32::MAX;
+    }
+
+    /// Debug-only lockstep check: every cached load matches a fresh
+    /// recomputation (dead slots excepted — their ground truth is gone).
+    #[cfg(debug_assertions)]
+    fn check_loads(&self) {
+        for (idx, &cached) in self.loads.iter().enumerate() {
+            if cached != u32::MAX {
+                debug_assert_eq!(cached as usize, self.load(idx), "load cache desync at {idx}");
+            }
+        }
+    }
 }
 
 /// Requests-per-instance cap for committed-assignment policies given the
@@ -358,13 +356,12 @@ fn commit_cap(policy: &ScalePolicy, service_estimate_ms: f64) -> Option<usize> {
 pub struct Cloud {
     cfg: ProviderConfig,
     functions: Vec<FunctionState>,
-    /// Generational slab of per-request state: slots are recycled once a
-    /// request completes, so long streaming runs carry O(active requests)
-    /// bookkeeping instead of one entry per submission ever made.
-    requests: Vec<ReqSlot>,
-    /// Freed slot indices awaiting reuse (LIFO keeps hot slots hot).
-    free_slots: Vec<u32>,
-    slab: RequestSlabStats,
+    /// Generational hot/cold slab of per-request state: slots are recycled
+    /// once a request completes, so long streaming runs carry O(active
+    /// requests) bookkeeping instead of one entry per submission ever made.
+    /// Per-event-hot fields and lifecycle-boundary fields live in separate
+    /// parallel arrays (see [`crate::arena`]).
+    requests: RequestArena,
     /// Sticky assignment: instance -> request it was spawned for.
     sticky: HashMap<InstanceId, RequestId>,
     /// Cold-start stage attribution per instance.
@@ -425,9 +422,7 @@ impl Cloud {
             fault_stats: faults::FaultStats::default(),
             cfg,
             functions: Vec::new(),
-            requests: Vec::new(),
-            free_slots: Vec::new(),
-            slab: RequestSlabStats::default(),
+            requests: RequestArena::default(),
             sticky: HashMap::new(),
             cold_breakdowns: HashMap::new(),
             completions: Vec::new(),
@@ -448,20 +443,10 @@ impl Cloud {
         &mut self.functions[fid.index()]
     }
 
-    /// Expected per-request service time of `fid`'s instances, ms: median
-    /// execution plus the in-instance shares of the warm overhead. Used by
-    /// load-dependent commit caps (`CostAware`).
-    fn service_estimate_ms(&self, fid: FunctionId) -> f64 {
-        let spec = &self.fstate(fid).spec;
-        let exec = spec.exec_ms.median_exact().unwrap_or(0.0);
-        let overhead = self.cfg.warm_path.overhead_ms.median_exact().unwrap_or(10.0);
-        let shares = self.cfg.warm_path.shares;
-        exec + overhead * (shares.steer + shares.handling)
-    }
-
-    /// The commit cap for `fid` under the configured policy.
+    /// The commit cap for `fid` under the configured policy (frozen at
+    /// deploy; see [`FunctionState::commit_cap`]).
     fn committed_cap(&self, fid: FunctionId) -> Option<usize> {
-        commit_cap(&self.cfg.scaling.policy, self.service_estimate_ms(fid))
+        self.fstate(fid).commit_cap
     }
 
     fn create_request(
@@ -473,79 +458,30 @@ impl Cloud {
         xfer_in: Option<XferInfo>,
     ) -> RequestId {
         let root_span = self.trace.as_mut().map(Tracer::alloc_id);
-        let state = ReqState {
-            function,
-            origin,
-            tag,
-            issued_at,
-            breakdown: Breakdown::default(),
-            warm_overhead_ms: 0.0,
-            instance: None,
-            wait_started: None,
-            xfer_in,
-            chain_started: None,
-            chain_child: None,
-            cold: false,
-            done: false,
-            cancelled: false,
-            assigned_at: None,
-            root_span,
-            chain_span: None,
-            error: None,
-            shed: false,
-        };
-        let id = match self.free_slots.pop() {
-            Some(slot) => {
-                self.slab.slots_reused += 1;
-                let entry = &mut self.requests[slot as usize];
-                debug_assert!(entry.state.is_none(), "free list pointed at a live slot");
-                entry.state = Some(state);
-                RequestId::new(slot, entry.generation)
-            }
-            None => {
-                let slot = self.requests.len() as u32;
-                self.slab.slots_allocated += 1;
-                self.requests.push(ReqSlot { generation: 0, state: Some(state) });
-                RequestId::new(slot, 0)
-            }
-        };
-        self.slab.live += 1;
-        self.slab.high_water = self.slab.high_water.max(self.slab.live);
-        id
+        self.requests.create(function, issued_at, ColdReq::new(origin, tag, xfer_in, root_span))
     }
 
-    fn req(&self, rid: RequestId) -> &ReqState {
-        let slot = &self.requests[rid.index()];
-        debug_assert_eq!(slot.generation, rid.generation(), "stale request id {rid}");
-        slot.state.as_ref().expect("request slot is empty")
+    fn hot(&self, rid: RequestId) -> &HotReq {
+        self.requests.hot(rid)
     }
 
-    fn req_mut(&mut self, rid: RequestId) -> &mut ReqState {
-        let slot = &mut self.requests[rid.index()];
-        debug_assert_eq!(slot.generation, rid.generation(), "stale request id {rid}");
-        slot.state.as_mut().expect("request slot is empty")
+    fn hot_mut(&mut self, rid: RequestId) -> &mut HotReq {
+        self.requests.hot_mut(rid)
+    }
+
+    fn cold(&self, rid: RequestId) -> &ColdReq {
+        self.requests.cold(rid)
+    }
+
+    fn cold_mut(&mut self, rid: RequestId) -> &mut ColdReq {
+        self.requests.cold_mut(rid)
     }
 
     /// Whether `rid` still refers to a live request (its slot occupied
     /// and its generation current). A cancel racing a completion makes
     /// stale ids an expected input, not a bug.
     fn is_live(&self, rid: RequestId) -> bool {
-        self.requests
-            .get(rid.index())
-            .is_some_and(|slot| slot.generation == rid.generation() && slot.state.is_some())
-    }
-
-    /// Retires a finished request: takes its state, bumps the slot
-    /// generation (so the retired id can never alias the next occupant)
-    /// and returns the slot to the free list.
-    fn free_request(&mut self, rid: RequestId) -> ReqState {
-        let slot = &mut self.requests[rid.index()];
-        debug_assert_eq!(slot.generation, rid.generation(), "freeing stale request id {rid}");
-        let state = slot.state.take().expect("freeing an empty request slot");
-        slot.generation = slot.generation.wrapping_add(1);
-        self.free_slots.push(rid.index() as u32);
-        self.slab.live -= 1;
-        state
+        self.requests.is_live(rid)
     }
 
     /// Emits one component span under `rid`'s root span. No-op when
@@ -556,7 +492,7 @@ impl Cloud {
         if self.trace.is_none() {
             return;
         }
-        let Some(parent) = self.req(rid).root_span else { return };
+        let Some(parent) = self.cold(rid).root_span else { return };
         let tracer = self.trace.as_mut().expect("checked above");
         let span_id = tracer.alloc_id();
         tracer.emit(SpanRecord {
@@ -576,9 +512,8 @@ impl Cloud {
         if self.trace.is_none() {
             return;
         }
-        let req = self.req(rid);
-        let Some(span_id) = req.root_span else { return };
-        let start = req.issued_at;
+        let Some(span_id) = self.cold(rid).root_span else { return };
+        let start = self.hot(rid).issued_at;
         let tracer = self.trace.as_mut().expect("checked above");
         tracer.emit(SpanRecord {
             span_id,
@@ -597,9 +532,9 @@ impl Cloud {
     /// (its `ExecDone` is scheduled by the hop's completion, which a
     /// cancelled hop never performs).
     fn free_cancelled(&mut self, rid: RequestId) {
-        let state = self.free_request(rid);
-        if let RequestOrigin::Internal { parent } = state.origin {
-            if self.is_live(parent) && self.req(parent).cancelled {
+        let (_, cold) = self.requests.free(rid);
+        if let RequestOrigin::Internal { parent } = cold.origin {
+            if self.is_live(parent) && self.hot(parent).cancelled() {
                 self.free_cancelled(parent);
             }
         }
@@ -613,28 +548,28 @@ impl Cloud {
     /// retired by whichever handler or queue pop touches it next. An
     /// in-flight chain hop is cancelled along with its producer.
     fn on_cancel(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
-        if !self.is_live(rid) || self.req(rid).cancelled {
+        if !self.is_live(rid) || self.hot(rid).cancelled() {
             return;
         }
-        if let Some(child) = self.req(rid).chain_child {
+        if let Some(child) = self.cold(rid).chain_child {
             if self.is_live(child) {
                 self.on_cancel(now, child, sched);
             }
         }
-        self.req_mut(rid).cancelled = true;
+        self.hot_mut(rid).set_cancelled();
         self.cancel_stats.cancelled += 1;
         self.metrics.inc(metric::REQUESTS_CANCELLED);
-        if self.fault_plan.is_some() && self.req(rid).origin.is_external() {
+        if self.fault_plan.is_some() && self.cold(rid).origin.is_external() {
             self.fault_stats.cancelled += 1;
         }
 
         let (fid, instance, assigned_at, busy_ms) = {
-            let req = self.req(rid);
-            let b = &req.breakdown;
+            let hot = self.hot(rid);
+            let b = &self.cold(rid).breakdown;
             (
-                req.function,
-                req.instance,
-                req.assigned_at,
+                hot.function,
+                hot.instance,
+                hot.assigned_at,
                 b.steer_ms + b.handling_ms + b.payload_get_ms + b.exec_ms + b.chain_ms,
             )
         };
@@ -661,6 +596,7 @@ impl Cloud {
                 state.usage.on_release(iid.idx as usize, now);
                 state.n_busy -= 1;
                 state.n_idle += 1;
+                state.loads[iid.idx as usize] -= 1;
                 state.idle_stack.push(iid.idx);
             }
             // The freed instance can take new work immediately.
@@ -696,11 +632,11 @@ impl Cloud {
         code: u16,
         sched: &mut Scheduler<CloudEvent>,
     ) {
-        debug_assert!(self.req(rid).origin.is_external(), "faults only hit external requests");
+        debug_assert!(self.cold(rid).origin.is_external(), "faults only hit external requests");
         let prop_back_ms = self.cfg.network.prop_delay_ms.sample(&mut self.rng_faults);
-        let req = self.req_mut(rid);
-        req.error = Some(code);
-        req.breakdown.prop_back_ms = prop_back_ms;
+        let cold = self.cold_mut(rid);
+        cold.error = Some(code);
+        cold.breakdown.prop_back_ms = prop_back_ms;
         sched.schedule_in(now, SimTime::from_millis(prop_back_ms), CloudEvent::Completed(rid));
     }
 
@@ -716,7 +652,7 @@ impl Cloud {
         sched: &mut Scheduler<CloudEvent>,
     ) {
         let fid = iid.function();
-        let started = self.req(rid).assigned_at.expect("crashed request was never assigned");
+        let started = self.hot(rid).assigned_at.expect("crashed request was never assigned");
         self.fault_stats.injected += 1;
         self.fault_stats.crashes += 1;
         self.fault_stats.wasted_busy_ms += (now - started).as_millis();
@@ -725,6 +661,7 @@ impl Cloud {
         {
             let state = self.fstate_mut(fid);
             state.instances[iid.idx as usize].crash(rid);
+            state.unlive(iid.idx);
             // Bank the busy span, then the lifetime: the instance is gone.
             state.usage.on_release(iid.idx as usize, now);
             state.usage.on_reap(iid.idx as usize, now);
@@ -734,7 +671,7 @@ impl Cloud {
             let orphaned = std::mem::take(&mut self.fstate_mut(fid).committed[iid.idx as usize]);
             self.fstate_mut(fid).committed_total -= orphaned.len() as u32;
             for orphan in orphaned {
-                if self.req(orphan).cancelled {
+                if self.hot(orphan).cancelled() {
                     self.free_cancelled(orphan);
                 } else {
                     let cap = self.committed_cap(fid).expect("checked above");
@@ -760,6 +697,7 @@ impl Cloud {
             for idx in 0..state.instances.len() {
                 let epoch = state.instances[idx].epoch();
                 if state.instances[idx].try_reap(epoch) {
+                    state.unlive(idx as u32);
                     state.usage.on_reap(idx, now);
                     state.n_idle -= 1;
                     self.stats.reaps += 1;
@@ -783,7 +721,7 @@ impl Cloud {
         rid: RequestId,
         sched: &mut Scheduler<CloudEvent>,
     ) {
-        if self.req(rid).cancelled {
+        if self.hot(rid).cancelled() {
             self.free_cancelled(rid);
             return;
         }
@@ -792,7 +730,7 @@ impl Cloud {
         // first hit wins; every draw comes from the fault stream.
         if let Some(plan) = self.fault_plan.take() {
             let mut hit = None;
-            if self.req(rid).origin.is_external() {
+            if self.cold(rid).origin.is_external() {
                 for t in &plan.transients {
                     if self.rng_faults.bernoulli(t.p) {
                         hit = Some(t.code);
@@ -816,7 +754,7 @@ impl Cloud {
         let routing_ms = overhead * shares.routing;
 
         // Inline payload travels with the request into the datacenter.
-        let xfer = self.req(rid).xfer_in;
+        let xfer = self.cold(rid).xfer_in;
         let inline_ms = match xfer {
             Some(x) if x.mode == TransferMode::Inline => {
                 let bw = self.cfg.network.inline_bandwidth_mbps.sample(&mut self.rng_net).max(0.01);
@@ -825,11 +763,11 @@ impl Cloud {
             _ => 0.0,
         };
 
-        let req = self.req_mut(rid);
-        req.warm_overhead_ms = overhead;
-        req.breakdown.frontend_ms = frontend_ms;
-        req.breakdown.routing_ms = routing_ms;
-        req.breakdown.inline_transfer_ms = inline_ms;
+        let cold = self.cold_mut(rid);
+        cold.warm_overhead_ms = overhead;
+        cold.breakdown.frontend_ms = frontend_ms;
+        cold.breakdown.routing_ms = routing_ms;
+        cold.breakdown.inline_transfer_ms = inline_ms;
         let delay = SimTime::from_millis(frontend_ms + routing_ms + inline_ms);
         if self.trace.is_some() {
             // Cumulative boundaries telescope, so the spans tile
@@ -847,22 +785,22 @@ impl Cloud {
     }
 
     fn on_routing_done(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
-        if self.req(rid).cancelled {
+        if self.hot(rid).cancelled() {
             self.free_cancelled(rid);
             return;
         }
         let outcome = self.dispatch.dispatch(now, &mut self.rng_lb);
-        self.req_mut(rid).breakdown.dispatch_wait_ms = (outcome.ready_at - now).as_millis();
+        self.cold_mut(rid).breakdown.dispatch_wait_ms = (outcome.ready_at - now).as_millis();
         self.emit_span(rid, span_tag::DISPATCH_WAIT, now, outcome.ready_at);
         sched.schedule_at(outcome.ready_at, CloudEvent::Enqueued(rid));
     }
 
     fn on_enqueued(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
-        if self.req(rid).cancelled {
+        if self.hot(rid).cancelled() {
             self.free_cancelled(rid);
             return;
         }
-        let fid = self.req(rid).function;
+        let fid = self.hot(rid).function;
 
         // Admission control (graceful degradation): an external request
         // arriving at a queue already `shed_limit` deep is refused with an
@@ -873,16 +811,16 @@ impl Cloud {
                 let state = self.fstate(fid);
                 state.queue.len() as u32 + state.committed_total
             };
-            if depth >= limit && self.req(rid).origin.is_external() {
+            if depth >= limit && self.cold(rid).origin.is_external() {
                 self.fault_stats.injected += 1;
                 self.metrics.inc(metric::FAULTS_INJECTED);
                 self.metrics.inc(metric::FAULTS_SHED);
-                self.req_mut(rid).shed = true;
+                self.hot_mut(rid).set_shed();
                 self.fail_request(now, rid, 503, sched);
                 return;
             }
         }
-        self.req_mut(rid).wait_started = Some(now);
+        self.hot_mut(rid).wait_started = Some(now);
 
         // LB lookup miss: a dedicated spawn for this request. Misses are a
         // concurrency artefact (racing idle-instance lookups), so they
@@ -927,15 +865,25 @@ impl Cloud {
         cap: usize,
         sched: &mut Scheduler<CloudEvent>,
     ) {
+        // One contiguous sweep over the u32 load cache (dead slots are
+        // pinned at MAX and can never win); recomputing load() per
+        // instance would touch two scattered arrays per candidate, and
+        // this scan runs once per request.
+        #[cfg(debug_assertions)]
+        self.fstate(fid).check_loads();
         let best = {
             let state = self.fstate(fid);
-            state
-                .instances
-                .iter()
-                .enumerate()
-                .filter(|(_, inst)| !inst.is_dead())
-                .map(|(idx, _)| (state.load(idx), idx))
-                .min()
+            // Two passes, both of which vectorize: the minimum load, then
+            // the first slot holding it. That pair is exactly the `min`
+            // over `(load, idx)` tuples — ties break to the lowest index.
+            match state.loads.iter().copied().min() {
+                None | Some(u32::MAX) => None,
+                Some(min) => {
+                    let idx =
+                        state.loads.iter().position(|&l| l == min).expect("minimum just found");
+                    Some((min as usize, idx))
+                }
+            }
         };
         let headroom =
             self.fstate(fid).total_instances() < self.cfg.limits.max_instances_per_function;
@@ -960,6 +908,7 @@ impl Cloud {
         } else {
             state.committed[target_idx].push_back(rid);
             state.committed_total += 1;
+            state.loads[target_idx] += 1;
         }
     }
 
@@ -979,6 +928,7 @@ impl Cloud {
                 match queue.pop_front() {
                     Some(rid) => {
                         state.committed_total -= 1;
+                        state.loads[iid.idx as usize] -= 1;
                         Some(rid)
                     }
                     None => None,
@@ -987,7 +937,7 @@ impl Cloud {
             match next {
                 // A commitment cancelled while queued: retire it and
                 // offer the instance to the next one.
-                Some(rid) if self.req(rid).cancelled => self.free_cancelled(rid),
+                Some(rid) if self.hot(rid).cancelled() => self.free_cancelled(rid),
                 Some(rid) => {
                     self.assign(now, rid, iid, sched);
                     return true;
@@ -1023,7 +973,7 @@ impl Cloud {
             match next {
                 // A queued request cancelled before being served: retire
                 // it and return the instance for the next entry.
-                Some((rid, iid)) if self.req(rid).cancelled => {
+                Some((rid, iid)) if self.hot(rid).cancelled() => {
                     self.free_cancelled(rid);
                     self.fstate_mut(fid).idle_stack.push(iid.idx);
                 }
@@ -1148,6 +1098,7 @@ impl Cloud {
         let state = self.fstate_mut(fid);
         let iid = InstanceId { function: fid, idx: state.instances.len() as u32 };
         state.instances.push(Instance::boot(iid, now, ready_at));
+        state.loads.push(0);
         state.committed.push(std::collections::VecDeque::new());
         state.usage.on_spawn();
         state.n_booting += 1;
@@ -1186,6 +1137,7 @@ impl Cloud {
             {
                 let state = self.fstate_mut(fid);
                 state.instances[iid.idx as usize].fail_boot();
+                state.unlive(iid.idx);
                 state.n_booting -= 1;
             }
             let replacement = self.spawn_instance(now, fid, sched);
@@ -1193,7 +1145,9 @@ impl Cloud {
                 self.sticky.insert(replacement, rid);
             }
             let orphaned = std::mem::take(&mut self.fstate_mut(fid).committed[iid.idx as usize]);
-            self.fstate_mut(fid).committed[replacement.idx as usize].extend(orphaned);
+            let state = self.fstate_mut(fid);
+            state.loads[replacement.idx as usize] += orphaned.len() as u32;
+            state.committed[replacement.idx as usize].extend(orphaned);
             return;
         }
 
@@ -1206,7 +1160,7 @@ impl Cloud {
             state.idle_stack.push(iid.idx);
         }
         if let Some(rid) = self.sticky.remove(&iid) {
-            if self.req(rid).cancelled {
+            if self.hot(rid).cancelled() {
                 // The request this instance was spawned for is gone:
                 // retire it and let the instance serve the general pool.
                 self.free_cancelled(rid);
@@ -1246,6 +1200,7 @@ impl Cloud {
             state.usage.on_assign(iid.idx as usize, now);
             state.n_idle -= 1;
             state.n_busy += 1;
+            state.loads[iid.idx as usize] += 1;
             first_use
         };
         self.metrics.inc(if first_use { metric::COLD_STARTS } else { metric::WARM_STARTS });
@@ -1260,7 +1215,7 @@ impl Cloud {
             self.functions[fid.index()].spec.exec_ms.sample(&mut self.rng_exec) * throttle;
 
         // Consumer-side payload retrieval for storage transfers (step ⑧).
-        let xfer = self.req(rid).xfer_in;
+        let xfer = self.cold(rid).xfer_in;
         let payload_get_ms = match xfer {
             Some(x) if x.mode == TransferMode::Storage => {
                 self.payload_store.get_ms(x.payload_bytes)
@@ -1269,20 +1224,26 @@ impl Cloud {
         };
 
         let cold_breakdown = first_use.then(|| self.cold_breakdowns.get(&iid).copied()).flatten();
-        let req = self.req_mut(rid);
-        req.instance = Some(iid);
-        req.assigned_at = Some(now);
-        req.cold = first_use;
-        let steer_ms = req.warm_overhead_ms * shares.steer;
-        let handling_ms = req.warm_overhead_ms * shares.handling;
-        req.breakdown.steer_ms = steer_ms;
-        req.breakdown.handling_ms = handling_ms;
-        req.breakdown.payload_get_ms = payload_get_ms;
-        req.breakdown.exec_ms = exec_ms;
-        if let Some(started) = req.wait_started {
-            req.breakdown.queue_wait_ms = (now - started).as_millis();
+        let wait_started = {
+            let hot = self.hot_mut(rid);
+            hot.instance = Some(iid);
+            hot.assigned_at = Some(now);
+            if first_use {
+                hot.set_cold_start();
+            }
+            hot.wait_started
+        };
+        let cold = self.cold_mut(rid);
+        let steer_ms = cold.warm_overhead_ms * shares.steer;
+        let handling_ms = cold.warm_overhead_ms * shares.handling;
+        cold.breakdown.steer_ms = steer_ms;
+        cold.breakdown.handling_ms = handling_ms;
+        cold.breakdown.payload_get_ms = payload_get_ms;
+        cold.breakdown.exec_ms = exec_ms;
+        if let Some(started) = wait_started {
+            cold.breakdown.queue_wait_ms = (now - started).as_millis();
         }
-        req.breakdown.cold = cold_breakdown;
+        cold.breakdown.cold = cold_breakdown;
 
         // Record the transfer sample at the instant the payload is in the
         // consumer's hands (paper §V methodology).
@@ -1299,7 +1260,7 @@ impl Cloud {
         }
 
         if self.trace.is_some() {
-            if let Some(started) = self.req(rid).wait_started {
+            if let Some(started) = self.hot(rid).wait_started {
                 self.emit_span(rid, span_tag::QUEUE_WAIT, started, now);
             }
             let t1 = now + SimTime::from_millis(steer_ms);
@@ -1326,14 +1287,14 @@ impl Cloud {
         iid: InstanceId,
         sched: &mut Scheduler<CloudEvent>,
     ) {
-        if self.req(rid).cancelled {
+        if self.hot(rid).cancelled() {
             // Cancelled mid-execution: the cancel already freed the
             // instance; this stale event retires the slot. No chain hop
             // is spawned for a dead request.
             self.free_cancelled(rid);
             return;
         }
-        let fid = self.req(rid).function;
+        let fid = self.hot(rid).function;
         let chain = self.fstate(fid).spec.chain;
         // Mid-execution instance crash: the instance dies at the end of
         // user compute, the finished work is wasted, and the client gets
@@ -1342,7 +1303,7 @@ impl Cloud {
         if chain.is_none() {
             if let Some(plan) = self.fault_plan.take() {
                 let roll = plan.crash_p > 0.0
-                    && self.req(rid).origin.is_external()
+                    && self.cold(rid).origin.is_external()
                     && self.rng_faults.bernoulli(plan.crash_p);
                 self.fault_plan = Some(plan);
                 if roll {
@@ -1356,10 +1317,10 @@ impl Cloud {
                 // Producer side of a chain hop (step ⑨): PUT (for storage
                 // transfers), then invoke the consumer and wait for it.
                 let chain_span = self.trace.as_mut().map(Tracer::alloc_id);
-                let req = self.req_mut(rid);
-                req.chain_started = Some(now);
-                req.chain_span = chain_span;
-                let tag = req.tag;
+                let cold = self.cold_mut(rid);
+                cold.chain_started = Some(now);
+                cold.chain_span = chain_span;
+                let tag = cold.tag;
                 self.metrics.inc(metric::CHAIN_INVOCATIONS);
                 let child_issue_at = match chain.mode {
                     TransferMode::Inline => now,
@@ -1382,7 +1343,7 @@ impl Cloud {
                     }),
                 );
                 self.stats.internal += 1;
-                self.req_mut(rid).chain_child = Some(child);
+                self.cold_mut(rid).chain_child = Some(child);
                 sched.schedule_at(child_issue_at, CloudEvent::FrontendArrive(child));
                 // The producer instance stays busy until the child returns.
             }
@@ -1399,7 +1360,7 @@ impl Cloud {
         iid: InstanceId,
         sched: &mut Scheduler<CloudEvent>,
     ) {
-        if self.req(rid).cancelled {
+        if self.hot(rid).cancelled() {
             // Cancelled between compute finishing and the response
             // leaving: the cancel already released the instance.
             self.free_cancelled(rid);
@@ -1412,11 +1373,12 @@ impl Cloud {
             state.usage.on_release(iid.idx as usize, now);
             state.n_busy -= 1;
             state.n_idle += 1;
+            state.loads[iid.idx as usize] -= 1;
             state.idle_stack.push(iid.idx);
         }
 
-        let is_external = self.req(rid).origin.is_external();
-        let response_ms = self.req(rid).warm_overhead_ms * self.cfg.warm_path.shares.response;
+        let is_external = self.cold(rid).origin.is_external();
+        let response_ms = self.cold(rid).warm_overhead_ms * self.cfg.warm_path.shares.response;
         let mut prop_back_ms = if is_external {
             self.cfg.network.prop_delay_ms.sample(&mut self.rng_net)
         } else {
@@ -1429,9 +1391,9 @@ impl Cloud {
             prop_back_ms *= plan.inflation_factor((now - SimTime::ZERO).as_millis());
         }
         {
-            let req = self.req_mut(rid);
-            req.breakdown.response_ms = response_ms;
-            req.breakdown.prop_back_ms = prop_back_ms;
+            let breakdown = &mut self.cold_mut(rid).breakdown;
+            breakdown.response_ms = response_ms;
+            breakdown.prop_back_ms = prop_back_ms;
         }
         if self.trace.is_some() {
             let r1 = now + SimTime::from_millis(response_ms);
@@ -1459,34 +1421,34 @@ impl Cloud {
     }
 
     fn on_completed(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
-        if self.req(rid).cancelled {
+        if self.hot(rid).cancelled() {
             // A response for a cancelled request arrives dead: no
             // completion is recorded (the wasted work was booked at
             // cancel time) and the slot is retired.
             self.free_cancelled(rid);
             return;
         }
-        let origin = {
-            let req = self.req_mut(rid);
-            assert!(!req.done, "request {rid} completed twice");
-            req.done = true;
-            req.origin
-        };
+        {
+            let hot = self.hot_mut(rid);
+            assert!(!hot.done(), "request {rid} completed twice");
+            hot.set_done();
+        }
+        let origin = self.cold(rid).origin;
         match origin {
             RequestOrigin::External => {
                 self.stats.completed += 1;
                 self.metrics.inc(metric::REQUESTS_COMPLETED);
                 self.emit_root_span(rid, now, None);
-                // The request is finished: take its state by value and
-                // recycle the slot.
-                let req = self.free_request(rid);
+                // The request is finished: copy both halves of its state
+                // out and recycle the slot.
+                let (hot, cold) = self.requests.free(rid);
                 // Terminal-bucket accounting, once per request: a
                 // submitted request is exactly one of shed / failed /
                 // completed (cancels are booked at cancel time).
                 if self.fault_plan.is_some() {
-                    if req.shed {
+                    if hot.shed() {
                         self.fault_stats.shed += 1;
-                    } else if req.error.is_some() {
+                    } else if cold.error.is_some() {
                         self.fault_stats.failed += 1;
                     } else {
                         self.fault_stats.completed += 1;
@@ -1494,33 +1456,29 @@ impl Cloud {
                 }
                 self.completions.push(Completion {
                     id: rid,
-                    function: req.function,
-                    tag: req.tag,
+                    function: hot.function,
+                    tag: cold.tag,
                     origin,
-                    issued_at: req.issued_at,
+                    issued_at: hot.issued_at,
                     completed_at: now,
-                    cold: req.cold,
-                    breakdown: req.breakdown,
-                    error: req.error,
+                    cold: hot.cold_start(),
+                    breakdown: cold.breakdown,
+                    error: cold.error,
                 });
             }
             RequestOrigin::Internal { parent } => {
                 // Resume the producer: its chain round-trip is over.
-                let (pinst, chain_started) = {
-                    let preq = self.req(parent);
-                    (
-                        preq.instance.expect("parent without instance"),
-                        preq.chain_started.expect("parent without chain start"),
-                    )
-                };
+                let pinst = self.hot(parent).instance.expect("parent without instance");
+                let chain_started =
+                    self.cold(parent).chain_started.expect("parent without chain start");
                 {
-                    let preq = self.req_mut(parent);
-                    preq.breakdown.chain_ms = (now - chain_started).as_millis();
-                    preq.chain_child = None;
+                    let pcold = self.cold_mut(parent);
+                    pcold.breakdown.chain_ms = (now - chain_started).as_millis();
+                    pcold.chain_child = None;
                 }
-                let chain_span = self.req(parent).chain_span;
+                let chain_span = self.cold(parent).chain_span;
                 if let Some(chain_id) = chain_span {
-                    let producer_root = self.req(parent).root_span;
+                    let producer_root = self.cold(parent).root_span;
                     if let Some(tracer) = self.trace.as_mut() {
                         tracer.emit(SpanRecord {
                             span_id: chain_id,
@@ -1533,7 +1491,7 @@ impl Cloud {
                     }
                 }
                 self.emit_root_span(rid, now, chain_span);
-                self.free_request(rid);
+                self.requests.free(rid);
                 sched.schedule_at(now, CloudEvent::ExecDone(parent, pinst));
             }
         }
@@ -1560,6 +1518,7 @@ impl Cloud {
     fn on_reap_check(&mut self, now: SimTime, iid: InstanceId, epoch: u64) {
         let state = self.fstate_mut(iid.function());
         if state.instances[iid.idx as usize].try_reap(epoch) {
+            state.unlive(iid.idx);
             state.usage.on_reap(iid.idx as usize, now);
             state.n_idle -= 1;
             self.stats.reaps += 1;
@@ -1703,6 +1662,14 @@ impl CloudSim {
         }
         let image_mb = cloud.cfg.runtimes.model(spec.runtime).base_image_mb + spec.extra_image_mb;
         let fid = FunctionId(cloud.functions.len() as u32);
+        // Expected per-request service time: median execution plus the
+        // in-instance shares of the warm overhead. Feeds load-dependent
+        // commit caps (`CostAware`); everything it reads is fixed for the
+        // function's lifetime, so the cap is computed once here.
+        let service_estimate_ms = spec.exec_ms.median_exact().unwrap_or(0.0)
+            + cloud.cfg.warm_path.overhead_ms.median_exact().unwrap_or(10.0)
+                * (cloud.cfg.warm_path.shares.steer + cloud.cfg.warm_path.shares.handling);
+        let function_commit_cap = commit_cap(&cloud.cfg.scaling.policy, service_estimate_ms);
         // Pre-size instance bookkeeping from the provider limit so the
         // first scale-out burst never reallocates; capped so deployments
         // under a generous limit stay cheap.
@@ -1714,10 +1681,12 @@ impl CloudSim {
             committed: Vec::with_capacity(cap),
             committed_total: 0,
             idle_stack: Vec::with_capacity(cap),
+            loads: Vec::with_capacity(cap),
             n_idle: 0,
             n_busy: 0,
             n_booting: 0,
             scale_tick_armed: false,
+            commit_cap: function_commit_cap,
             image_mb,
             usage: UsageTracker::default(),
         });
@@ -1750,7 +1719,7 @@ impl CloudSim {
             prop_ms *= plan.inflation_factor((at - SimTime::ZERO).as_millis());
         }
         let rid = cloud.create_request(function, RequestOrigin::External, tag, at, None);
-        cloud.req_mut(rid).breakdown.prop_out_ms = prop_ms;
+        cloud.cold_mut(rid).breakdown.prop_out_ms = prop_ms;
         cloud.emit_span(rid, span_tag::PROPAGATION, at, at + SimTime::from_millis(prop_ms));
         let arrive_at = at + SimTime::from_millis(prop_ms);
         match self.seq_block.as_mut() {
@@ -1862,6 +1831,16 @@ impl CloudSim {
     pub fn reserve_requests(&mut self, expected: usize) {
         self.reserve_submissions(expected);
         self.sim.model_mut().completions.reserve(expected);
+    }
+
+    /// Announces `expected` upcoming submissions to the event queue
+    /// *without* pre-sizing the request slab or completion buffer — the
+    /// sizing hint streaming drivers want. Besides reserving capacity,
+    /// the hint lets the adaptive backend promote to the calendar queue
+    /// once, up front, instead of re-discovering the backlog at the
+    /// promotion threshold mid-run.
+    pub fn reserve_event_hint(&mut self, expected: usize) {
+        self.sim.reserve_events(expected + expected / 4);
     }
 
     /// Like [`CloudSim::reserve_requests`] but without pre-sizing the
@@ -2011,7 +1990,7 @@ impl CloudSim {
     /// this should stay O(slice + active requests) no matter how many
     /// invocations the run submits in total.
     pub fn request_slab_stats(&self) -> RequestSlabStats {
-        self.sim.model().slab
+        self.sim.model().requests.stats()
     }
 
     /// Self-correction counters of the calendar event queue, or `None`
@@ -2020,13 +1999,53 @@ impl CloudSim {
         self.sim.queue_stats()
     }
 
+    /// How many times the adaptive event queue promoted its heap to the
+    /// calendar backend (0 on fixed backends; at most 1 per run).
+    pub fn promotions(&self) -> u64 {
+        self.sim.promotions()
+    }
+
+    /// Enables per-event cost profiling: every subsequent event dispatch
+    /// is timed and bucketed by [`CloudEvent`] class. Profiling observes
+    /// wall-clock time only — it draws no randomness and schedules no
+    /// events, so a profiled run is bit-identical to an unprofiled one.
+    /// Idempotent.
+    pub fn enable_event_profiling(&mut self) {
+        self.sim.enable_event_profiling();
+    }
+
+    /// The cost profile accumulated so far, or `None` when
+    /// [`CloudSim::enable_event_profiling`] was never called.
+    pub fn event_profile(&self) -> Option<&simkit::profile::EventProfile> {
+        self.sim.event_profile()
+    }
+
+    /// Folds the per-event cost profile into the metrics registry under
+    /// the [`metric::PROFILE_COUNT`] / [`metric::PROFILE_NS`] /
+    /// [`metric::PROFILE_LOOP_NS`] names. No-op when profiling is off.
+    /// Call once, after the run finishes: the profile holds lifetime
+    /// totals, so calling this repeatedly double-counts.
+    pub fn record_profile_metrics(&mut self) {
+        let Some(profile) = self.sim.event_profile() else { return };
+        debug_assert_eq!(profile.names.len(), metric::PROFILE_NS.len());
+        let count = profile.count.clone();
+        let ns = profile.ns.clone();
+        let loop_ns = profile.loop_ns;
+        let metrics = &mut self.sim.model_mut().metrics;
+        for i in 0..metric::PROFILE_NS.len() {
+            metrics.add(metric::PROFILE_COUNT[i], count[i]);
+            metrics.add(metric::PROFILE_NS[i], ns[i]);
+        }
+        metrics.add(metric::PROFILE_LOOP_NS, loop_ns);
+    }
+
     /// Folds the request-slab counters and (when on the calendar backend)
     /// the event-queue self-correction counters into the metrics
     /// registry under the `metric::REQUEST_SLOTS_*` / `metric::CALQUEUE_*`
     /// names. Call once, after the run finishes: the counters are
     /// lifetime totals, so calling this repeatedly double-counts.
     pub fn record_queue_metrics(&mut self) {
-        let slab = self.sim.model().slab;
+        let slab = self.sim.model().requests.stats();
         let queue = self.sim.queue_stats();
         let metrics = &mut self.sim.model_mut().metrics;
         metrics.add(metric::REQUEST_SLOTS_ALLOCATED, slab.slots_allocated);
@@ -2042,5 +2061,27 @@ impl CloudSim {
     /// The provider configuration this cloud runs.
     pub fn config(&self) -> &ProviderConfig {
         &self.sim.model().cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use simkit::profile::EventClass;
+
+    use super::metric;
+    use crate::events::CloudEvent;
+
+    /// The profiler metric arrays must stay parallel to
+    /// `CloudEvent::CLASS_NAMES`: `record_profile_metrics` folds profile
+    /// slot `i` into `PROFILE_*[i]`, so a reorder would silently
+    /// misattribute costs.
+    #[test]
+    fn profile_metric_names_match_event_classes() {
+        assert_eq!(metric::PROFILE_NS.len(), CloudEvent::CLASS_NAMES.len());
+        assert_eq!(metric::PROFILE_COUNT.len(), CloudEvent::CLASS_NAMES.len());
+        for (i, class) in CloudEvent::CLASS_NAMES.iter().enumerate() {
+            assert_eq!(metric::PROFILE_NS[i], format!("profile_ns_{class}"));
+            assert_eq!(metric::PROFILE_COUNT[i], format!("profile_count_{class}"));
+        }
     }
 }

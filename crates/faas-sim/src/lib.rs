@@ -34,6 +34,7 @@
 //! assert!(completions[1..].iter().all(|c| !c.cold));
 //! ```
 
+pub(crate) mod arena;
 pub mod billing;
 pub mod cloud;
 pub mod config;

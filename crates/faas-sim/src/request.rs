@@ -51,7 +51,11 @@ pub struct ColdBreakdown {
 }
 
 /// Per-request latency attribution, all in milliseconds.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// `Copy` (13 `f64`s plus the optional cold decomposition) so the request
+/// arena can move breakdowns between its cold side-array and completions
+/// without drop glue.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Breakdown {
     /// Client→datacenter propagation (0 for internal requests).
     pub prop_out_ms: f64,

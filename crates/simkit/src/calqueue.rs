@@ -1,6 +1,6 @@
 //! A calendar-queue event scheduler with amortized O(1) operations.
 //!
-//! The engine's default [`BinaryHeap`] backend costs O(log n) per
+//! The engine's binary-heap backend costs O(log n) per
 //! `schedule`/`pop`, which at millions of pending events (a full
 //! client-submission schedule, say) turns the event queue itself into the
 //! simulation bottleneck. [`CalendarQueue`] is the classic alternative
@@ -39,9 +39,7 @@
 //! for occasional inspection, not per-event polling (the engine's run loop
 //! does not use it).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::soa::{EventKey, KeyedHeap};
 use crate::time::SimTime;
 
 /// Smallest wheel size; also the initial size.
@@ -52,34 +50,45 @@ const MAX_BUCKETS: usize = 1 << 18;
 /// Consecutive empty days scanned before `pop` gives up hunting and
 /// direct-searches the wheel for the next occupied day.
 const HUNT_LIMIT: u64 = 64;
+/// How many wheel revolutions ahead of the current day an event may be
+/// stored in the wheel before spilling to the overflow heap. Rebuilds size
+/// the wheel for the *total* pending count (overflow included), so events
+/// spread over several revolutions still average O(1) per bucket — the pop
+/// scan already day-filters them — while every event admitted here is
+/// spared the two O(log n) heap passes (push, then migrate-pop) that
+/// overflow residency costs. A bulk-loaded schedule spanning many seconds
+/// is the motivating case: with a single-revolution horizon most of it
+/// double-handles through the heap and the wheel's O(1) regime never kicks
+/// in.
+const FUTURE_REVOLUTIONS: u64 = 8;
 /// Direct-search fallbacks tolerated before forcing a rebuild with a
 /// fresh width estimate.
 const MISS_LIMIT: u32 = 8;
 
-struct Slot<E> {
-    at_ns: u64,
-    seq: u64,
-    event: E,
+/// One wheel day, stored structure-of-arrays: the pop scan that hunts for
+/// the earliest in-day event reads only the dense 16-byte key array;
+/// payloads sit in a parallel array touched once per removal.
+struct Bucket<E> {
+    keys: Vec<EventKey>,
+    events: Vec<E>,
 }
 
-/// Overflow-heap wrapper: reversed `(at, seq)` order so the max-heap
-/// yields the earliest event first.
-struct Far<E>(Slot<E>);
+impl<E> Bucket<E> {
+    fn new() -> Self {
+        Bucket { keys: Vec::new(), events: Vec::new() }
+    }
 
-impl<E> PartialEq for Far<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.at_ns == other.0.at_ns && self.0.seq == other.0.seq
+    fn len(&self) -> usize {
+        self.keys.len()
     }
-}
-impl<E> Eq for Far<E> {}
-impl<E> PartialOrd for Far<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+    fn push(&mut self, key: EventKey, event: E) {
+        self.keys.push(key);
+        self.events.push(event);
     }
-}
-impl<E> Ord for Far<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.0.at_ns.cmp(&self.0.at_ns).then_with(|| other.0.seq.cmp(&self.0.seq))
+
+    fn swap_remove(&mut self, i: usize) -> (EventKey, E) {
+        (self.keys.swap_remove(i), self.events.swap_remove(i))
     }
 }
 
@@ -105,16 +114,21 @@ pub struct CalQueueStats {
 /// A bucketed timer wheel with an overflow heap; see the module docs.
 pub struct CalendarQueue<E> {
     /// The wheel: bucket `b` holds events whose day is ≡ `b` (mod buckets).
-    buckets: Vec<Vec<Slot<E>>>,
-    /// Span of simulated time covered by one bucket, ns (≥ 1).
+    buckets: Vec<Bucket<E>>,
+    /// Span of simulated time covered by one bucket, ns. Always a power of
+    /// two (= `1 << width_shift`): the width only tunes performance, never
+    /// pop order, and rounding it up lets `day_of` — executed for every
+    /// key a pop scans — be a shift instead of a 64-bit division.
     width_ns: u64,
+    /// `log2(width_ns)`, the hot-path form of the width.
+    width_shift: u32,
     /// The day currently being searched; all wheel events normally live in
     /// days `[day, day + buckets)`.
     day: u64,
     /// Events resident in the wheel.
     wheel_len: usize,
-    /// Events beyond the current wheel revolution.
-    overflow: BinaryHeap<Far<E>>,
+    /// Events beyond the current wheel revolution (SoA min-heap).
+    overflow: KeyedHeap<E>,
     /// Total pending events (wheel + overflow).
     len: usize,
     /// EWMA of the gap between consecutively popped events, ns (0 until
@@ -154,10 +168,11 @@ impl<E> CalendarQueue<E> {
     pub fn new() -> Self {
         CalendarQueue {
             buckets: Vec::new(),
-            width_ns: 1_000_000, // 1 ms: a sane default for a latency simulator
+            width_ns: 1 << 20, // ~1 ms: a sane default for a latency simulator
+            width_shift: 20,
             day: 0,
             wheel_len: 0,
-            overflow: BinaryHeap::new(),
+            overflow: KeyedHeap::new(),
             len: 0,
             gap_ewma_ns: 0.0,
             last_pop_ns: 0,
@@ -195,12 +210,20 @@ impl<E> CalendarQueue<E> {
     /// Allocates the minimum wheel on first use (see [`CalendarQueue::new`]).
     fn ensure_wheel(&mut self) {
         if self.buckets.is_empty() {
-            self.buckets = (0..MIN_BUCKETS).map(|_| Vec::new()).collect();
+            self.buckets = (0..MIN_BUCKETS).map(|_| Bucket::new()).collect();
         }
     }
 
     fn day_of(&self, at_ns: u64) -> u64 {
-        at_ns / self.width_ns
+        at_ns >> self.width_shift
+    }
+
+    /// Installs `width` rounded up to a power of two (capped so the shift
+    /// stays valid), keeping `width_ns` and `width_shift` in sync.
+    fn set_width(&mut self, width: u64) {
+        let w = width.max(1).checked_next_power_of_two().unwrap_or(1 << 63);
+        self.width_ns = w;
+        self.width_shift = w.trailing_zeros();
     }
 
     fn mask(&self) -> usize {
@@ -208,7 +231,7 @@ impl<E> CalendarQueue<E> {
     }
 
     fn horizon_day(&self) -> u64 {
-        self.day.saturating_add(self.buckets.len() as u64)
+        self.day.saturating_add(self.buckets.len() as u64 * FUTURE_REVOLUTIONS)
     }
 
     /// Schedules `event` at `(at, seq)`. `seq` must be the engine's
@@ -216,12 +239,12 @@ impl<E> CalendarQueue<E> {
     /// own on `at` (the engine's not-in-the-past check happens upstream).
     pub fn schedule(&mut self, at: SimTime, seq: u64, event: E) {
         self.ensure_wheel();
-        let slot = Slot { at_ns: at.as_nanos(), seq, event };
+        let key = EventKey { at, seq };
         if self.len == 0 {
             // Empty queue: re-anchor the wheel on the new event.
-            self.day = self.day_of(slot.at_ns);
+            self.day = self.day_of(key.at.as_nanos());
         }
-        self.insert_slot(slot);
+        self.insert(key, event);
         if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
             let target = self.len.max(self.capacity_hint);
             self.rebuild(target);
@@ -229,11 +252,11 @@ impl<E> CalendarQueue<E> {
     }
 
     /// Inserts without resize checks (shared by `schedule` and `rebuild`).
-    fn insert_slot(&mut self, slot: Slot<E>) {
-        let d = self.day_of(slot.at_ns);
+    fn insert(&mut self, key: EventKey, event: E) {
+        let d = self.day_of(key.at.as_nanos());
         self.len += 1;
         if d >= self.horizon_day() {
-            self.overflow.push(Far(slot));
+            self.overflow.push(key, event);
         } else {
             if d < self.day {
                 // A push-back below the search day (run_until restoring an
@@ -243,7 +266,7 @@ impl<E> CalendarQueue<E> {
                 self.day = d;
             }
             let b = (d & self.mask() as u64) as usize;
-            self.buckets[b].push(slot);
+            self.buckets[b].push(key, event);
             self.wheel_len += 1;
         }
     }
@@ -260,30 +283,33 @@ impl<E> CalendarQueue<E> {
         let mut empty_scanned = 0u64;
         loop {
             let b = (self.day & self.mask() as u64) as usize;
-            let mut best: Option<usize> = None;
-            for (i, s) in self.buckets[b].iter().enumerate() {
-                if self.day_of(s.at_ns) == self.day
-                    && best.is_none_or(|j: usize| {
-                        let t = &self.buckets[b][j];
-                        (s.at_ns, s.seq) < (t.at_ns, t.seq)
-                    })
-                {
-                    best = Some(i);
+            // The scan touches only the key array; payloads stay cold
+            // until the single swap_remove on a hit.
+            let mut best: Option<(usize, EventKey)> = None;
+            let keys = &self.buckets[b].keys;
+            for (i, &k) in keys.iter().enumerate() {
+                if self.day_of(k.at.as_nanos()) == self.day && best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((i, k));
                 }
             }
-            if let Some(i) = best {
+            if let Some((i, _)) = best {
                 self.scan_work += self.buckets[b].len() as u64;
-                let slot = self.buckets[b].swap_remove(i);
+                let (key, event) = self.buckets[b].swap_remove(i);
                 self.wheel_len -= 1;
                 self.len -= 1;
-                self.note_pop(slot.at_ns);
+                self.note_pop(key.at.as_nanos());
                 self.pops_since_rebuild += 1;
                 if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+                    // Shrinking is proof the reserve() hint overstated the
+                    // *concurrent* pending set (a streaming client submits
+                    // its bulk load in slices); drop it so later growth
+                    // rebuilds size the wheel to reality, not the hint.
+                    self.capacity_hint = 0;
                     self.rebuild(self.len);
                 } else {
                     self.check_overcrowding();
                 }
-                return Some((SimTime::from_nanos(slot.at_ns), slot.seq, slot.event));
+                return Some((key.at, key.seq, event));
             }
             // Day empty: advance, letting newly in-range overflow events in.
             self.day += 1;
@@ -302,11 +328,11 @@ impl<E> CalendarQueue<E> {
                 let wheel_min = self
                     .buckets
                     .iter()
-                    .flatten()
-                    .map(|s| self.day_of(s.at_ns))
+                    .flat_map(|bucket| &bucket.keys)
+                    .map(|k| self.day_of(k.at.as_nanos()))
                     .min()
                     .expect("wheel_len > 0 but no slot found");
-                let over_min = self.overflow.peek().map(|f| self.day_of(f.0.at_ns));
+                let over_min = self.overflow.peek_key().map(|k| self.day_of(k.at.as_nanos()));
                 self.day = over_min.map_or(wheel_min, |o| wheel_min.min(o));
                 self.migrate_overflow();
                 empty_scanned = 0;
@@ -326,8 +352,8 @@ impl<E> CalendarQueue<E> {
     /// O(buckets + pending) — meant for occasional inspection, not
     /// per-event polling.
     pub fn peek_time(&self) -> Option<SimTime> {
-        let wheel = self.buckets.iter().flatten().map(|s| s.at_ns).min();
-        let over = self.overflow.peek().map(|f| f.0.at_ns);
+        let wheel = self.buckets.iter().flat_map(|b| &b.keys).map(|k| k.at.as_nanos()).min();
+        let over = self.overflow.peek_key().map(|k| k.at.as_nanos());
         match (wheel, over) {
             (Some(a), Some(b)) => Some(SimTime::from_nanos(a.min(b))),
             (Some(a), None) | (None, Some(a)) => Some(SimTime::from_nanos(a)),
@@ -338,8 +364,8 @@ impl<E> CalendarQueue<E> {
     /// Points the wheel at the earliest overflow event and pulls the newly
     /// in-range overflow events in.
     fn jump_to_overflow(&mut self) {
-        if let Some(far) = self.overflow.peek() {
-            self.day = self.day_of(far.0.at_ns);
+        if let Some(k) = self.overflow.peek_key() {
+            self.day = self.day_of(k.at.as_nanos());
             self.migrate_overflow();
         }
     }
@@ -347,14 +373,14 @@ impl<E> CalendarQueue<E> {
     /// Moves overflow events that now fall inside the wheel revolution.
     fn migrate_overflow(&mut self) {
         let horizon = self.horizon_day();
-        while let Some(far) = self.overflow.peek() {
-            if self.day_of(far.0.at_ns) >= horizon {
+        while let Some(k) = self.overflow.peek_key() {
+            if self.day_of(k.at.as_nanos()) >= horizon {
                 break;
             }
-            let Far(slot) = self.overflow.pop().expect("peeked entry vanished");
-            let d = self.day_of(slot.at_ns);
+            let (key, event) = self.overflow.pop().expect("peeked entry vanished");
+            let d = self.day_of(key.at.as_nanos());
             let b = (d & self.mask() as u64) as usize;
-            self.buckets[b].push(slot);
+            self.buckets[b].push(key, event);
             self.wheel_len += 1;
         }
     }
@@ -404,23 +430,28 @@ impl<E> CalendarQueue<E> {
     fn rebuild(&mut self, target_len: usize) {
         self.stats.rebuilds += 1;
         let new_n = target_len.max(1).next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
-        let mut slots: Vec<Slot<E>> = Vec::with_capacity(self.len);
+        let mut keys: Vec<EventKey> = Vec::with_capacity(self.len);
+        let mut events: Vec<E> = Vec::with_capacity(self.len);
         for bucket in &mut self.buckets {
-            slots.append(bucket);
+            keys.append(&mut bucket.keys);
+            events.append(&mut bucket.events);
         }
-        slots.extend(self.overflow.drain().map(|Far(s)| s));
+        for (k, e) in self.overflow.drain() {
+            keys.push(k);
+            events.push(e);
+        }
 
         let width = if self.gap_ewma_ns >= 1.0 {
             // Two bucket-widths per observed gap keeps ~1 event per day
             // with headroom for jitter.
             (self.gap_ewma_ns * 2.0).min(u64::MAX as f64) as u64
-        } else if slots.len() > 1 {
+        } else if keys.len() > 1 {
             // No pop-gap signal yet: estimate from the pending events
             // themselves. The *median* inter-event gap, not span/len — a
             // single far-future timer (a keep-alive expiry, say) amid a
             // dense bulk load would blow a span-based width up by orders
             // of magnitude, cramming the whole workload into one day.
-            let mut times: Vec<u64> = slots.iter().map(|s| s.at_ns).collect();
+            let mut times: Vec<u64> = keys.iter().map(|k| k.at.as_nanos()).collect();
             times.sort_unstable();
             let mut gaps: Vec<u64> =
                 times.windows(2).map(|w| w[1] - w[0]).filter(|&g| g > 0).collect();
@@ -434,27 +465,23 @@ impl<E> CalendarQueue<E> {
         } else {
             self.width_ns
         };
-        self.width_ns = width.max(1);
+        self.set_width(width);
 
-        if self.buckets.len() == new_n {
-            for bucket in &mut self.buckets {
-                bucket.clear();
-            }
-        } else {
-            self.buckets = (0..new_n).map(|_| Vec::new()).collect();
+        if self.buckets.len() != new_n {
+            self.buckets = (0..new_n).map(|_| Bucket::new()).collect();
         }
         self.len = 0;
         self.wheel_len = 0;
         self.misses = 0;
         self.scan_work = 0;
         self.pops_since_rebuild = 0;
-        self.day = slots
+        self.day = keys
             .iter()
-            .map(|s| self.day_of(s.at_ns))
+            .map(|k| self.day_of(k.at.as_nanos()))
             .min()
             .unwrap_or_else(|| self.day_of(self.last_pop_ns));
-        for slot in slots {
-            self.insert_slot(slot);
+        for (k, e) in keys.into_iter().zip(events) {
+            self.insert(k, e);
         }
     }
 }

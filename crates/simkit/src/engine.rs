@@ -10,10 +10,9 @@
 //! monotone sequence number breaks ties), which makes simulations fully
 //! deterministic.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use crate::calqueue::{CalQueueStats, CalendarQueue};
+use crate::profile::{EventClass, EventProfile, Profiler};
+use crate::soa::{EventKey, KeyedHeap};
 use crate::time::SimTime;
 
 /// Which pending-event queue implementation a [`Scheduler`] uses.
@@ -84,49 +83,40 @@ pub trait Model {
     fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// The interchangeable queue implementations behind a [`Scheduler`].
+///
+/// Both heap variants store events structure-of-arrays ([`KeyedHeap`]):
+/// sifting compares and streams only the dense 16-byte [`EventKey`] array,
+/// with payloads swapped in lockstep from a parallel allocation.
 enum Backend<E> {
-    Heap(BinaryHeap<Entry<E>>),
+    Heap(KeyedHeap<E>),
     Calendar(CalendarQueue<E>),
     /// The adaptive backend's start state: a binary heap that promotes
     /// itself to `Calendar` once pending exceeds [`PROMOTE_PENDING`]
     /// (or a `reserve` announces that many events are coming).
-    Adaptive(BinaryHeap<Entry<E>>),
+    Adaptive(KeyedHeap<E>),
 }
 
 impl<E> Backend<E> {
-    fn push(&mut self, entry: Entry<E>) {
+    /// Inserts an event; returns `true` if this push promoted the
+    /// adaptive backend to the calendar queue.
+    fn push(&mut self, key: EventKey, event: E) -> bool {
         match self {
-            Backend::Heap(h) => h.push(entry),
-            Backend::Calendar(c) => c.schedule(entry.at, entry.seq, entry.event),
+            Backend::Heap(h) => {
+                h.push(key, event);
+                false
+            }
+            Backend::Calendar(c) => {
+                c.schedule(key.at, key.seq, event);
+                false
+            }
             Backend::Adaptive(h) => {
-                h.push(entry);
+                h.push(key, event);
                 if h.len() > PROMOTE_PENDING {
                     self.promote(0);
+                    true
+                } else {
+                    false
                 }
             }
         }
@@ -140,20 +130,20 @@ impl<E> Backend<E> {
     /// exactly as if they had been scheduled there all along.
     fn promote(&mut self, expected: usize) {
         if let Backend::Adaptive(heap) = self {
-            let heap = std::mem::take(heap);
+            let mut heap = std::mem::take(heap);
             let mut cal = CalendarQueue::new();
             cal.reserve(expected.max(heap.len()));
-            for Entry { at, seq, event } in heap {
-                cal.schedule(at, seq, event);
+            for (key, event) in heap.drain() {
+                cal.schedule(key.at, key.seq, event);
             }
             *self = Backend::Calendar(cal);
         }
     }
 
-    fn pop(&mut self) -> Option<Entry<E>> {
+    fn pop(&mut self) -> Option<(EventKey, E)> {
         match self {
             Backend::Heap(h) | Backend::Adaptive(h) => h.pop(),
-            Backend::Calendar(c) => c.pop().map(|(at, seq, event)| Entry { at, seq, event }),
+            Backend::Calendar(c) => c.pop().map(|(at, seq, event)| (EventKey { at, seq }, event)),
         }
     }
 
@@ -166,23 +156,37 @@ impl<E> Backend<E> {
 
     fn peek_time(&self) -> Option<SimTime> {
         match self {
-            Backend::Heap(h) | Backend::Adaptive(h) => h.peek().map(|e| e.at),
+            Backend::Heap(h) | Backend::Adaptive(h) => h.peek_key().map(|k| k.at),
             Backend::Calendar(c) => c.peek_time(),
         }
     }
 
-    fn reserve(&mut self, additional: usize) {
+    /// Pre-sizes for `additional` more events; returns `true` if the
+    /// reservation promoted the adaptive backend.
+    fn reserve(&mut self, additional: usize) -> bool {
         match self {
-            Backend::Heap(h) => h.reserve(additional),
-            Backend::Calendar(c) => c.reserve(additional),
+            Backend::Heap(h) => {
+                h.reserve(additional);
+                false
+            }
+            Backend::Calendar(c) => {
+                c.reserve(additional);
+                false
+            }
             Backend::Adaptive(h) => {
                 // A reservation announcing a large workload promotes
                 // immediately: the calendar gets the capacity hint and
-                // sizes its wheel in one rebuild instead of doubling.
-                if h.len() + additional > PROMOTE_PENDING {
-                    self.promote(additional);
+                // sizes its wheel in one rebuild instead of doubling. The
+                // hint covers the events already pending plus the
+                // announced batch — forwarding only `additional` would
+                // undersell the wheel by the current backlog.
+                let expected = h.len() + additional;
+                if expected > PROMOTE_PENDING {
+                    self.promote(expected);
+                    true
                 } else {
                     h.reserve(additional);
+                    false
                 }
             }
         }
@@ -247,6 +251,7 @@ pub struct Scheduler<E> {
     queue: Backend<E>,
     seq: u64,
     now: SimTime,
+    promotions: u64,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -262,11 +267,11 @@ impl<E> Scheduler<E> {
 
     fn with_queue(kind: QueueKind) -> Self {
         let queue = match kind {
-            QueueKind::BinaryHeap => Backend::Heap(BinaryHeap::new()),
+            QueueKind::BinaryHeap => Backend::Heap(KeyedHeap::new()),
             QueueKind::Calendar => Backend::Calendar(CalendarQueue::new()),
-            QueueKind::Adaptive => Backend::Adaptive(BinaryHeap::new()),
+            QueueKind::Adaptive => Backend::Adaptive(KeyedHeap::new()),
         };
-        Scheduler { queue, seq: 0, now: SimTime::ZERO }
+        Scheduler { queue, seq: 0, now: SimTime::ZERO, promotions: 0 }
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -278,7 +283,9 @@ impl<E> Scheduler<E> {
         assert!(at >= self.now, "cannot schedule in the past: {at} < {}", self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry { at, seq, event });
+        if self.queue.push(EventKey { at, seq }, event) {
+            self.promotions += 1;
+        }
     }
 
     /// Schedules `event` at `now + delay`.
@@ -306,7 +313,9 @@ impl<E> Scheduler<E> {
     pub fn schedule_at_with_seq(&mut self, at: SimTime, seq: u64, event: E) {
         assert!(at >= self.now, "cannot schedule in the past: {at} < {}", self.now);
         assert!(seq < self.seq, "seq {seq} was not reserved");
-        self.queue.push(Entry { at, seq, event });
+        if self.queue.push(EventKey { at, seq }, event) {
+            self.promotions += 1;
+        }
     }
 
     /// Lifetime self-correction counters of the calendar backend; `None`
@@ -338,19 +347,31 @@ impl<E> Scheduler<E> {
     /// Reserves capacity for at least `additional` more pending events, so
     /// a workload of known size never reallocates the queue mid-run.
     pub fn reserve(&mut self, additional: usize) {
-        self.queue.reserve(additional);
+        if self.queue.reserve(additional) {
+            self.promotions += 1;
+        }
+    }
+
+    /// How many times the adaptive backend has promoted its binary heap
+    /// to the calendar queue. Promotion is one-way, so for a healthy
+    /// adaptive run this is 0 (stayed small) or 1; a bulk `reserve` that
+    /// forwards its hint correctly promotes exactly once, up front.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
     }
 
     /// Pops the earliest entry without advancing the clock.
-    fn pop_entry(&mut self) -> Option<Entry<E>> {
+    fn pop_entry(&mut self) -> Option<(EventKey, E)> {
         self.queue.pop()
     }
 
     /// Puts back an entry just popped by [`Scheduler::pop_entry`],
     /// preserving its original sequence number (used by `run_until` when
     /// the earliest event lies beyond the horizon).
-    fn restore(&mut self, entry: Entry<E>) {
-        self.queue.push(entry);
+    fn restore(&mut self, key: EventKey, event: E) {
+        if self.queue.push(key, event) {
+            self.promotions += 1;
+        }
     }
 }
 
@@ -372,6 +393,7 @@ pub struct Simulation<M: Model> {
     model: M,
     sched: Scheduler<M::Event>,
     processed: u64,
+    profiler: Option<Profiler<M::Event>>,
 }
 
 impl<M: Model + std::fmt::Debug> std::fmt::Debug for Simulation<M> {
@@ -380,6 +402,7 @@ impl<M: Model + std::fmt::Debug> std::fmt::Debug for Simulation<M> {
             .field("model", &self.model)
             .field("sched", &self.sched)
             .field("processed", &self.processed)
+            .field("profiled", &self.profiler.is_some())
             .finish()
     }
 }
@@ -388,14 +411,38 @@ impl<M: Model> Simulation<M> {
     /// Creates a simulation around `model` with an empty event queue at
     /// time zero, using the default queue backend ([`QueueKind::Adaptive`]).
     pub fn new(model: M) -> Self {
-        Simulation { model, sched: Scheduler::new(), processed: 0 }
+        Simulation { model, sched: Scheduler::new(), processed: 0, profiler: None }
     }
 
     /// Creates a simulation with an explicit queue backend. Results are
     /// bit-identical across backends (see [`QueueKind`]); this exists for
     /// performance comparison and as an escape hatch.
     pub fn with_queue(model: M, kind: QueueKind) -> Self {
-        Simulation { model, sched: Scheduler::with_queue(kind), processed: 0 }
+        Simulation { model, sched: Scheduler::with_queue(kind), processed: 0, profiler: None }
+    }
+
+    /// Turns on per-event wall-clock profiling (see [`crate::profile`]).
+    ///
+    /// Only the `run`/`run_until` dispatch loops are instrumented; when
+    /// profiling is off they carry no timestamping. Idempotent — calling
+    /// twice keeps the accumulated profile.
+    pub fn enable_event_profiling(&mut self)
+    where
+        M::Event: EventClass,
+    {
+        if self.profiler.is_none() {
+            self.profiler = Some(Profiler::new());
+        }
+    }
+
+    /// The accumulated event-cost profile, if profiling is enabled.
+    pub fn event_profile(&self) -> Option<&EventProfile> {
+        self.profiler.as_ref().map(Profiler::profile)
+    }
+
+    /// Adaptive-backend promotion count (see [`Scheduler::promotions`]).
+    pub fn promotions(&self) -> u64 {
+        self.sched.promotions()
     }
 
     /// Current simulated time (time of the last dispatched event).
@@ -456,11 +503,11 @@ impl<M: Model> Simulation<M> {
     /// is empty.
     pub fn step(&mut self) -> bool {
         match self.sched.pop_entry() {
-            Some(entry) => {
-                debug_assert!(entry.at >= self.sched.now);
-                self.sched.now = entry.at;
+            Some((key, event)) => {
+                debug_assert!(key.at >= self.sched.now);
+                self.sched.now = key.at;
                 self.processed += 1;
-                self.model.handle(entry.at, entry.event, &mut self.sched);
+                self.model.handle(key.at, event, &mut self.sched);
                 true
             }
             None => false,
@@ -469,6 +516,10 @@ impl<M: Model> Simulation<M> {
 
     /// Runs until the event queue is empty.
     pub fn run(&mut self) {
+        if self.profiler.is_some() {
+            self.run_profiled(None);
+            return;
+        }
         while self.step() {}
     }
 
@@ -484,18 +535,54 @@ impl<M: Model> Simulation<M> {
     /// loop O(1) per event on the calendar backend, where peeking is as
     /// expensive as a full bucket scan.
     pub fn run_until(&mut self, horizon: SimTime) {
-        while let Some(entry) = self.sched.pop_entry() {
-            if entry.at > horizon {
-                self.sched.restore(entry);
-                break;
+        if self.profiler.is_some() {
+            self.run_profiled(Some(horizon));
+        } else {
+            while let Some((key, event)) = self.sched.pop_entry() {
+                if key.at > horizon {
+                    self.sched.restore(key, event);
+                    break;
+                }
+                self.sched.now = key.at;
+                self.processed += 1;
+                self.model.handle(key.at, event, &mut self.sched);
             }
-            self.sched.now = entry.at;
-            self.processed += 1;
-            self.model.handle(entry.at, entry.event, &mut self.sched);
         }
         if self.sched.now < horizon {
             self.sched.now = horizon;
         }
+    }
+
+    /// The instrumented dispatch loop behind `run`/`run_until` when
+    /// profiling is enabled.
+    ///
+    /// One wall-clock timestamp is taken per dispatched event; the delta
+    /// since the previous timestamp is attributed to that event's class,
+    /// so it covers the pop, the classification and the handler. The
+    /// per-class sums therefore telescope to the loop's wall time (the
+    /// only unattributed work is the final failed pop), which is what
+    /// lets the cost table's total stand in for measured wall time.
+    fn run_profiled(&mut self, horizon: Option<SimTime>) {
+        use std::time::Instant;
+        let profiler = self.profiler.as_mut().expect("run_profiled requires a profiler");
+        let loop_start = Instant::now();
+        let mut last = loop_start;
+        while let Some((key, event)) = self.sched.pop_entry() {
+            if let Some(h) = horizon {
+                if key.at > h {
+                    self.sched.restore(key, event);
+                    break;
+                }
+            }
+            self.sched.now = key.at;
+            self.processed += 1;
+            let class = profiler.class_of(&event);
+            self.model.handle(key.at, event, &mut self.sched);
+            let t = Instant::now();
+            profiler.record(class, (t - last).as_nanos() as u64);
+            last = t;
+        }
+        profiler.record_loop(loop_start.elapsed().as_nanos() as u64);
     }
 }
 
@@ -729,5 +816,97 @@ mod tests {
         sim.run();
         let model = sim.into_model();
         assert_eq!(model.seen, vec![(SimTime::ZERO, 7)]);
+    }
+
+    /// Promotion is one-way and counted: an adaptive run that crosses the
+    /// threshold (by pushes or by one bulk reservation) promotes exactly
+    /// once, and the non-adaptive backends never promote.
+    #[test]
+    fn promotions_counted_exactly_once() {
+        let mut by_push = Simulation::with_queue(Recorder::default(), QueueKind::Adaptive);
+        for id in 0..(PROMOTE_PENDING + 100) as u32 {
+            by_push.schedule_at(SimTime::from_millis(f64::from(id)), Ev::Mark(id));
+        }
+        assert_eq!(by_push.promotions(), 1);
+        by_push.run();
+        assert_eq!(by_push.promotions(), 1, "draining never re-promotes");
+
+        let mut by_reserve = Simulation::with_queue(Recorder::default(), QueueKind::Adaptive);
+        by_reserve.reserve_events(PROMOTE_PENDING + 1);
+        assert_eq!(by_reserve.promotions(), 1);
+        by_reserve.reserve_events(PROMOTE_PENDING + 1);
+        assert_eq!(by_reserve.promotions(), 1, "an already-promoted queue stays promoted");
+
+        for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
+            let mut sim = Simulation::with_queue(Recorder::default(), kind);
+            sim.reserve_events(PROMOTE_PENDING * 2);
+            sim.schedule_at(SimTime::ZERO, Ev::Mark(0));
+            sim.run();
+            assert_eq!(sim.promotions(), 0, "backend {kind:?}");
+        }
+    }
+
+    /// A `reserve` on an adaptive queue that already holds events must
+    /// forward pending + additional as the wheel-sizing hint: a backlog
+    /// just under the threshold plus a small reservation still promotes.
+    #[test]
+    fn reserve_hint_counts_existing_backlog() {
+        let mut sim = Simulation::with_queue(Recorder::default(), QueueKind::Adaptive);
+        for id in 0..PROMOTE_PENDING as u32 {
+            sim.schedule_at(SimTime::from_millis(f64::from(id)), Ev::Mark(id));
+        }
+        assert!(sim.queue_stats().is_none(), "exactly at threshold stays on the heap");
+        sim.reserve_events(1);
+        assert!(sim.queue_stats().is_some(), "backlog + reservation crosses the threshold");
+        assert_eq!(sim.promotions(), 1);
+    }
+
+    impl crate::profile::EventClass for Ev {
+        const CLASS_NAMES: &'static [&'static str] = &["mark", "chain"];
+
+        fn class(&self) -> usize {
+            match self {
+                Ev::Mark(_) => 0,
+                Ev::Chain(_) => 1,
+            }
+        }
+    }
+
+    /// The instrumented loop attributes every dispatched event to its
+    /// class and the attributed time telescopes to the loop wall time.
+    #[test]
+    fn profiler_counts_every_event_and_covers_loop_time() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.enable_event_profiling();
+        sim.schedule_at(SimTime::ZERO, Ev::Chain(50));
+        for id in 0..10 {
+            sim.schedule_at(SimTime::from_millis(f64::from(id)), Ev::Mark(id));
+        }
+        sim.run_until(SimTime::from_millis(5.0));
+        sim.run();
+        let profile = sim.event_profile().expect("profiling enabled");
+        assert_eq!(profile.total_events(), sim.processed());
+        assert_eq!(profile.count, [10, 51]);
+        assert!(profile.loop_ns > 0);
+        assert!(profile.total_ns() <= profile.loop_ns, "attribution cannot exceed wall");
+        assert!(profile.coverage() > 0.5, "coverage {} too low", profile.coverage());
+    }
+
+    /// Profiled and unprofiled runs dispatch identically — profiling only
+    /// observes, never perturbs.
+    #[test]
+    fn profiled_run_is_bit_identical() {
+        let run = |profiled: bool| {
+            let mut sim = Simulation::new(Recorder::default());
+            if profiled {
+                sim.enable_event_profiling();
+            }
+            sim.schedule_at(SimTime::ZERO, Ev::Chain(40));
+            sim.schedule_at(SimTime::from_millis(3.0), Ev::Mark(99));
+            sim.run_until(SimTime::from_millis(20.0));
+            sim.run();
+            sim.into_model().seen
+        };
+        assert_eq!(run(false), run(true));
     }
 }

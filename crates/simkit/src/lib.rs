@@ -43,9 +43,11 @@ pub mod calqueue;
 pub mod dist;
 pub mod engine;
 pub mod metrics;
+pub mod profile;
 pub mod queue;
 pub mod ratelimit;
 pub mod rng;
+pub mod soa;
 pub mod time;
 pub mod trace;
 
@@ -53,6 +55,8 @@ pub use calqueue::CalendarQueue;
 pub use dist::Dist;
 pub use engine::{Model, QueueKind, Scheduler, Simulation};
 pub use metrics::{MetricSample, Metrics};
+pub use profile::{EventClass, EventProfile};
 pub use rng::Rng;
+pub use soa::{EventKey, KeyedHeap};
 pub use time::SimTime;
 pub use trace::{RingCollector, SpanRecord, TraceSink, Tracer};

@@ -1,0 +1,198 @@
+//! Opt-in per-event wall-clock cost profiling.
+//!
+//! Answers "where does the constant factor go" for a simulation run: wall
+//! nanoseconds and counts bucketed per event *class* (for the cloud model,
+//! per `CloudEvent` variant). Profiling is opt-in per [`Simulation`]
+//! (`enable_event_profiling`); when off, the dispatch loop carries no
+//! timestamping at all.
+//!
+//! # Attribution
+//!
+//! The instrumented loop takes one wall-clock timestamp per dispatched
+//! event and attributes the *delta since the previous timestamp* to the
+//! event's class. Each delta therefore covers the queue pop, the class
+//! lookup and the model handler for that event — the full marginal cost of
+//! dispatching it — and the per-class sums telescope to the loop's wall
+//! time by construction (up to one trailing failed pop per `run*` call).
+//! That makes the cost table's total a meaningful cross-check against
+//! externally measured wall time, which the CI smoke run asserts.
+//!
+//! [`Simulation`]: crate::engine::Simulation
+
+/// Maps events of a model onto a small dense set of profiling classes.
+///
+/// Implemented by event enums that want per-variant cost attribution;
+/// `class()` returns an index into [`CLASS_NAMES`](Self::CLASS_NAMES).
+pub trait EventClass {
+    /// Human-readable class names, indexed by [`class`](Self::class).
+    const CLASS_NAMES: &'static [&'static str];
+
+    /// The class of this event; must be `< CLASS_NAMES.len()`.
+    fn class(&self) -> usize;
+}
+
+/// Accumulated wall-clock cost per event class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventProfile {
+    /// Class names, indexed like `count` and `ns`.
+    pub names: &'static [&'static str],
+    /// Events dispatched per class.
+    pub count: Vec<u64>,
+    /// Wall nanoseconds attributed per class.
+    pub ns: Vec<u64>,
+    /// Total wall nanoseconds spent inside instrumented dispatch loops.
+    pub loop_ns: u64,
+}
+
+impl EventProfile {
+    /// An empty profile over the classes of `E`.
+    pub fn new<E: EventClass>() -> EventProfile {
+        let names = E::CLASS_NAMES;
+        EventProfile { names, count: vec![0; names.len()], ns: vec![0; names.len()], loop_ns: 0 }
+    }
+
+    /// Total events dispatched under profiling.
+    pub fn total_events(&self) -> u64 {
+        self.count.iter().sum()
+    }
+
+    /// Total wall nanoseconds attributed to event classes.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Fraction of instrumented loop wall time attributed to classes
+    /// (1.0 when every loop nanosecond landed in a bucket). Returns 1.0
+    /// for an empty profile.
+    pub fn coverage(&self) -> f64 {
+        if self.loop_ns == 0 {
+            return 1.0;
+        }
+        self.total_ns() as f64 / self.loop_ns as f64
+    }
+
+    /// Folds another profile (same class set) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class sets differ.
+    pub fn merge(&mut self, other: &EventProfile) {
+        assert_eq!(self.names, other.names, "merging profiles over different event classes");
+        for (mine, theirs) in self.count.iter_mut().zip(&other.count) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.ns.iter_mut().zip(&other.ns) {
+            *mine += theirs;
+        }
+        self.loop_ns += other.loop_ns;
+    }
+}
+
+/// Profiler state carried by an instrumented [`Simulation`].
+///
+/// Stores the classifier as a plain function pointer so the engine's
+/// dispatch loop needs no `EventClass` bound — the bound is required only
+/// at `enable_event_profiling` time, where the pointer is taken.
+///
+/// [`Simulation`]: crate::engine::Simulation
+#[derive(Debug)]
+pub struct Profiler<E> {
+    classify: fn(&E) -> usize,
+    profile: EventProfile,
+}
+
+impl<E: EventClass> Default for Profiler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Profiler<E> {
+    /// A profiler over `E`'s event classes.
+    pub fn new() -> Profiler<E>
+    where
+        E: EventClass,
+    {
+        Profiler { classify: E::class, profile: EventProfile::new::<E>() }
+    }
+
+    /// The class index of `event`.
+    pub fn class_of(&self, event: &E) -> usize {
+        (self.classify)(event)
+    }
+
+    /// Attributes `ns` wall nanoseconds to `class` and counts one event.
+    pub fn record(&mut self, class: usize, ns: u64) {
+        self.profile.ns[class] += ns;
+        self.profile.count[class] += 1;
+    }
+
+    /// Adds `ns` to the instrumented-loop wall-time total.
+    pub fn record_loop(&mut self, ns: u64) {
+        self.profile.loop_ns += ns;
+    }
+
+    /// The accumulated profile.
+    pub fn profile(&self) -> &EventProfile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    enum Tick {
+        Fast,
+        Slow,
+    }
+
+    impl EventClass for Tick {
+        const CLASS_NAMES: &'static [&'static str] = &["fast", "slow"];
+
+        fn class(&self) -> usize {
+            match self {
+                Tick::Fast => 0,
+                Tick::Slow => 1,
+            }
+        }
+    }
+
+    #[test]
+    fn records_per_class_and_loop_totals() {
+        let mut p = Profiler::<Tick>::new();
+        p.record(p.class_of(&Tick::Fast), 10);
+        p.record(p.class_of(&Tick::Slow), 100);
+        p.record(p.class_of(&Tick::Fast), 15);
+        p.record_loop(130);
+        let profile = p.profile();
+        assert_eq!(profile.count, [2, 1]);
+        assert_eq!(profile.ns, [25, 100]);
+        assert_eq!(profile.total_events(), 3);
+        assert_eq!(profile.total_ns(), 125);
+        assert!((profile.coverage() - 125.0 / 130.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_has_full_coverage() {
+        let p = EventProfile::new::<Tick>();
+        assert_eq!(p.coverage(), 1.0);
+        assert_eq!(p.total_events(), 0);
+    }
+
+    #[test]
+    fn merge_sums_all_buckets() {
+        let mut a = EventProfile::new::<Tick>();
+        a.count[0] = 2;
+        a.ns[0] = 20;
+        a.loop_ns = 25;
+        let mut b = EventProfile::new::<Tick>();
+        b.count[1] = 1;
+        b.ns[1] = 50;
+        b.loop_ns = 55;
+        a.merge(&b);
+        assert_eq!(a.count, [2, 1]);
+        assert_eq!(a.ns, [20, 50]);
+        assert_eq!(a.loop_ns, 80);
+    }
+}

@@ -1,22 +1,15 @@
 //! Instrumented FIFO queues.
 //!
-//! [`FifoQueue`] is a `VecDeque` wrapper that records arrival timestamps so
-//! that the simulator can account queueing delay per item (e.g. invocations
-//! buffered at the load balancer while the cluster scheduler spawns new
-//! instances, paper Fig 1 step ③).
+//! [`FifoQueue`] records arrival timestamps so that the simulator can
+//! account queueing delay per item (e.g. invocations buffered at the load
+//! balancer while the cluster scheduler spawns new instances, paper Fig 1
+//! step ③). Timestamps and payloads live in parallel deques
+//! (structure-of-arrays): depth checks and wait-time math touch only the
+//! dense timestamp array, never the payload bytes.
 
 use std::collections::VecDeque;
 
 use crate::time::SimTime;
-
-/// An item waiting in a [`FifoQueue`] together with its arrival time.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Queued<T> {
-    /// When the item entered the queue.
-    pub enqueued_at: SimTime,
-    /// The queued payload.
-    pub item: T,
-}
 
 /// A FIFO queue that tracks arrival times and high-watermark statistics.
 ///
@@ -35,7 +28,9 @@ pub struct Queued<T> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FifoQueue<T> {
-    items: VecDeque<Queued<T>>,
+    /// Arrival time of `items[i]` is `enqueued_at[i]`.
+    enqueued_at: VecDeque<SimTime>,
+    items: VecDeque<T>,
     max_len: usize,
     total_enqueued: u64,
 }
@@ -54,12 +49,18 @@ pub struct Dequeued<T> {
 impl<T> FifoQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        FifoQueue { items: VecDeque::new(), max_len: 0, total_enqueued: 0 }
+        FifoQueue {
+            enqueued_at: VecDeque::new(),
+            items: VecDeque::new(),
+            max_len: 0,
+            total_enqueued: 0,
+        }
     }
 
     /// Appends an item arriving at time `now`.
     pub fn push(&mut self, now: SimTime, item: T) {
-        self.items.push_back(Queued { enqueued_at: now, item });
+        self.enqueued_at.push_back(now);
+        self.items.push_back(item);
         self.total_enqueued += 1;
         self.max_len = self.max_len.max(self.items.len());
     }
@@ -73,15 +74,16 @@ impl<T> FifoQueue<T> {
     /// Panics if `now` is earlier than the item's enqueue time (time moving
     /// backwards indicates a simulator bug).
     pub fn pop(&mut self, now: SimTime) -> Option<Dequeued<T>> {
-        self.items.pop_front().map(|q| {
-            assert!(now >= q.enqueued_at, "dequeue before enqueue");
-            Dequeued { wait: now - q.enqueued_at, enqueued_at: q.enqueued_at, item: q.item }
-        })
+        let enqueued_at = self.enqueued_at.pop_front()?;
+        let item = self.items.pop_front().expect("timestamps and items in lockstep");
+        assert!(now >= enqueued_at, "dequeue before enqueue");
+        Some(Dequeued { wait: now - enqueued_at, enqueued_at, item })
     }
 
-    /// Looks at the oldest item without removing it.
-    pub fn peek(&self) -> Option<&Queued<T>> {
-        self.items.front()
+    /// Looks at the oldest item and its arrival time without removing it.
+    pub fn peek(&self) -> Option<(SimTime, &T)> {
+        let at = *self.enqueued_at.front()?;
+        Some((at, self.items.front().expect("timestamps and items in lockstep")))
     }
 
     /// Current number of queued items.
@@ -104,14 +106,14 @@ impl<T> FifoQueue<T> {
         self.total_enqueued
     }
 
-    /// Iterates over queued items from oldest to newest.
-    pub fn iter(&self) -> impl Iterator<Item = &Queued<T>> {
-        self.items.iter()
+    /// Iterates over queued `(arrival, item)` pairs from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &T)> {
+        self.enqueued_at.iter().copied().zip(self.items.iter())
     }
 
-    /// Removes and returns all items, oldest first.
-    pub fn drain(&mut self) -> Vec<Queued<T>> {
-        self.items.drain(..).collect()
+    /// Removes and returns all `(arrival, item)` pairs, oldest first.
+    pub fn drain(&mut self) -> Vec<(SimTime, T)> {
+        self.enqueued_at.drain(..).zip(self.items.drain(..)).collect()
     }
 }
 
@@ -153,13 +155,15 @@ mod tests {
     }
 
     #[test]
-    fn peek_and_drain() {
+    fn peek_iter_and_drain_stay_in_lockstep() {
         let mut q = FifoQueue::new();
         q.push(SimTime::ZERO, "x");
-        q.push(SimTime::ZERO, "y");
-        assert_eq!(q.peek().unwrap().item, "x");
+        q.push(SimTime::from_millis(1.0), "y");
+        assert_eq!(q.peek(), Some((SimTime::ZERO, &"x")));
+        let pairs: Vec<(SimTime, &&str)> = q.iter().collect();
+        assert_eq!(pairs, vec![(SimTime::ZERO, &"x"), (SimTime::from_millis(1.0), &"y")]);
         let all = q.drain();
-        assert_eq!(all.len(), 2);
+        assert_eq!(all, vec![(SimTime::ZERO, "x"), (SimTime::from_millis(1.0), "y")]);
         assert!(q.is_empty());
     }
 

@@ -1,0 +1,316 @@
+//! Structure-of-arrays storage for scheduled events.
+//!
+//! The event queues used to move whole `(time, seq, payload)` entries
+//! through heap sifts and calendar-bucket scans. At 10^6 pending events the
+//! comparisons themselves are cheap; what dominates is the memory traffic of
+//! dragging payload bytes through every swap and scan. [`KeyedHeap`] splits
+//! an entry into a dense array of 16-byte [`EventKey`]s — the only thing
+//! ordering ever inspects — and a parallel payload array that is touched
+//! only to swap in lockstep. Sifting therefore streams a contiguous key
+//! array through cache while payloads move exactly as often as before, just
+//! from a separate allocation.
+//!
+//! Ordering is the engine's dispatch contract: ascending `(time, seq)`,
+//! i.e. earliest deadline first with FIFO tie-breaking on the monotone
+//! sequence number. [`EventKey`]'s derived `Ord` is exactly that
+//! lexicographic order, so a *min*-heap over keys needs no reversed
+//! comparator (the previous `BinaryHeap<Entry>` inverted `Ord` to turn
+//! `std`'s max-heap into a min-heap).
+
+use crate::time::SimTime;
+
+/// The 16-byte ordering key of a scheduled event: deadline, then FIFO rank.
+///
+/// Derived `Ord` is lexicographic `(at, seq)` — the engine's dispatch
+/// order. `seq` is unique per scheduler, so two keys never compare equal
+/// unless they are the same scheduled entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Simulated deadline of the event.
+    pub at: SimTime,
+    /// Scheduler-assigned FIFO rank, unique and monotone.
+    pub seq: u64,
+}
+
+// Heap sifting and bucket scans budget one 16-byte load per candidate; a
+// fatter key silently doubles hot-path memory traffic.
+const _: () = assert!(std::mem::size_of::<EventKey>() == 16);
+
+/// A binary min-heap over [`EventKey`]s with payloads in a parallel array.
+///
+/// `keys[i]` orders `payloads[i]`; every sift swap moves both in lockstep,
+/// but comparisons read only the key array. Pop order is ascending
+/// `(at, seq)` — identical to the `BinaryHeap<Entry>` it replaces.
+#[derive(Debug, Clone)]
+pub struct KeyedHeap<E> {
+    keys: Vec<EventKey>,
+    payloads: Vec<E>,
+}
+
+impl<E> Default for KeyedHeap<E> {
+    fn default() -> Self {
+        KeyedHeap::new()
+    }
+}
+
+impl<E> KeyedHeap<E> {
+    /// An empty heap; allocates nothing until the first push.
+    pub fn new() -> Self {
+        KeyedHeap { keys: Vec::new(), payloads: Vec::new() }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Pre-sizes both arrays for `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.keys.reserve(additional);
+        self.payloads.reserve(additional);
+    }
+
+    /// The minimum key, if any, without removing it.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.keys.first().copied()
+    }
+
+    /// Inserts an event.
+    pub fn push(&mut self, key: EventKey, payload: E) {
+        self.keys.push(key);
+        self.payloads.push(payload);
+        self.sift_up(self.keys.len() - 1);
+    }
+
+    /// Removes and returns the minimum-key event.
+    ///
+    /// Uses the bottom-up deletion strategy (as `std`'s `BinaryHeap` does):
+    /// the root hole is walked down the min-child path all the way to a
+    /// leaf — one comparison per level instead of two — and the displaced
+    /// last element is then sifted *up* from there. The last element of a
+    /// heap is almost always leaf-sized, so the upward correction is O(1)
+    /// in practice while the classic swap-down pays two comparisons per
+    /// level fighting an early exit that never fires. Pop order is
+    /// unaffected: `(at, seq)` keys are unique, so every valid min-heap
+    /// pops the identical sequence regardless of internal layout.
+    pub fn pop(&mut self) -> Option<(EventKey, E)> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let last = self.keys.len() - 1;
+        self.keys.swap(0, last);
+        self.payloads.swap(0, last);
+        let key = self.keys.pop().expect("checked non-empty");
+        let payload = self.payloads.pop().expect("keys and payloads in lockstep");
+        if !self.keys.is_empty() {
+            self.sift_down(0);
+        }
+        Some((key, payload))
+    }
+
+    /// Drains all events in *arbitrary* order (heap order, not sorted).
+    ///
+    /// Used when migrating the backlog to another queue that re-sorts on
+    /// insert; avoids n log n pops for an O(n) handoff.
+    pub fn drain(&mut self) -> impl Iterator<Item = (EventKey, E)> + '_ {
+        self.keys.drain(..).zip(self.payloads.drain(..))
+    }
+
+    /// Hole-based sift: the element at `pos` is lifted out once, greater
+    /// parents are *copied* (not swapped) down into the hole, and the
+    /// element is written back exactly once at its final slot — half the
+    /// memory traffic of swap-based sifting on a path of length d.
+    ///
+    /// SAFETY invariant shared by both sifts: between the `ptr::read` and
+    /// the final `ptr::write` the hole slot is logically vacant but still
+    /// inside the vector. Nothing in between can panic — `EventKey` is two
+    /// integers and its `Ord` cannot unwind — so the value can neither
+    /// leak nor double-drop.
+    fn sift_up(&mut self, pos: usize) {
+        let key = self.keys[pos];
+        // SAFETY: `pos < len` (checked by the indexing above); all hole
+        // indices are parents of `pos`, hence also in bounds; the hole is
+        // filled exactly once by the trailing writes.
+        unsafe {
+            let payload = std::ptr::read(self.payloads.as_ptr().add(pos));
+            let mut i = pos;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if *self.keys.get_unchecked(parent) <= key {
+                    break;
+                }
+                std::ptr::copy_nonoverlapping(
+                    self.keys.as_ptr().add(parent),
+                    self.keys.as_mut_ptr().add(i),
+                    1,
+                );
+                std::ptr::copy_nonoverlapping(
+                    self.payloads.as_ptr().add(parent),
+                    self.payloads.as_mut_ptr().add(i),
+                    1,
+                );
+                i = parent;
+            }
+            *self.keys.get_unchecked_mut(i) = key;
+            std::ptr::write(self.payloads.as_mut_ptr().add(i), payload);
+        }
+    }
+
+    /// Bottom-up sift-down (Wegener's trick, also used by `std`'s
+    /// `BinaryHeap`): walk the hole down the min-child path all the way to
+    /// a leaf — one comparison per level instead of two — then sift the
+    /// lifted element back *up* from the leaf. `pop` refills the root with
+    /// the array's last element, which is almost always leaf-sized, so the
+    /// upward correction terminates immediately in practice.
+    fn sift_down(&mut self, pos: usize) {
+        let n = self.keys.len();
+        let key = self.keys[pos];
+        // SAFETY: `pos < n` (checked by the indexing above); `left`,
+        // `right` and `parent` are guarded against `n` / `pos` before
+        // every unchecked access; the hole moves along the traversed path
+        // and is filled exactly once by the trailing writes.
+        unsafe {
+            let payload = std::ptr::read(self.payloads.as_ptr().add(pos));
+            let mut i = pos;
+            loop {
+                let left = 2 * i + 1;
+                if left >= n {
+                    break;
+                }
+                let right = left + 1;
+                let child = if right < n
+                    && self.keys.get_unchecked(right) < self.keys.get_unchecked(left)
+                {
+                    right
+                } else {
+                    left
+                };
+                std::ptr::copy_nonoverlapping(
+                    self.keys.as_ptr().add(child),
+                    self.keys.as_mut_ptr().add(i),
+                    1,
+                );
+                std::ptr::copy_nonoverlapping(
+                    self.payloads.as_ptr().add(child),
+                    self.payloads.as_mut_ptr().add(i),
+                    1,
+                );
+                i = child;
+            }
+            while i > pos {
+                let parent = (i - 1) / 2;
+                if *self.keys.get_unchecked(parent) <= key {
+                    break;
+                }
+                std::ptr::copy_nonoverlapping(
+                    self.keys.as_ptr().add(parent),
+                    self.keys.as_mut_ptr().add(i),
+                    1,
+                );
+                std::ptr::copy_nonoverlapping(
+                    self.payloads.as_ptr().add(parent),
+                    self.payloads.as_mut_ptr().add(i),
+                    1,
+                );
+                i = parent;
+            }
+            *self.keys.get_unchecked_mut(i) = key;
+            std::ptr::write(self.payloads.as_mut_ptr().add(i), payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(ns: u64, seq: u64) -> EventKey {
+        EventKey { at: SimTime::from_nanos(ns), seq }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut h = KeyedHeap::new();
+        h.push(key(30, 2), "d");
+        h.push(key(10, 0), "a");
+        h.push(key(10, 1), "b");
+        h.push(key(20, 3), "c");
+        let order: Vec<&str> = std::iter::from_fn(|| h.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ["a", "b", "c", "d"]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_keys_break_ties_by_seq() {
+        let mut h = KeyedHeap::new();
+        for seq in (0..64).rev() {
+            h.push(key(5, seq), seq);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop().map(|(_, p)| p)).collect();
+        let expected: Vec<u64> = (0..64).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn keys_and_payloads_stay_in_lockstep() {
+        let mut h = KeyedHeap::new();
+        // Pseudo-random interleaving of pushes and pops; each payload
+        // records the key it was pushed with so a desync is detectable.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut seq = 0u64;
+        let mut pushed = 0usize;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if !state.is_multiple_of(3) || pushed == 0 {
+                let at = state >> 32;
+                h.push(key(at, seq), (at, seq));
+                seq += 1;
+                pushed += 1;
+            } else {
+                let before = h.peek_key().expect("non-empty");
+                let (k, (at, s)) = h.pop().expect("non-empty");
+                assert_eq!(k, before, "pop disagrees with peek");
+                assert_eq!((k.at.as_nanos(), k.seq), (at, s), "payload desynced from key");
+                // Everything still queued must be >= what just popped.
+                if let Some(next) = h.peek_key() {
+                    assert!(next >= k, "heap property violated");
+                }
+                pushed -= 1;
+            }
+        }
+        assert_eq!(h.len(), pushed);
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut h = KeyedHeap::new();
+        assert_eq!(h.peek_key(), None);
+        h.push(key(7, 1), ());
+        h.push(key(3, 0), ());
+        assert_eq!(h.peek_key(), Some(key(3, 0)));
+        let (k, ()) = h.pop().expect("non-empty");
+        assert_eq!(k, key(3, 0));
+        assert_eq!(h.peek_key(), Some(key(7, 1)));
+    }
+
+    #[test]
+    fn drain_hands_back_every_entry() {
+        let mut h = KeyedHeap::new();
+        for seq in 0..100 {
+            h.push(key(seq * 17 % 29, seq), seq);
+        }
+        let mut drained: Vec<u64> = h.drain().map(|(_, p)| p).collect();
+        drained.sort_unstable();
+        let expected: Vec<u64> = (0..100).collect();
+        assert_eq!(drained, expected);
+        assert!(h.is_empty());
+        // The heap is reusable after a drain.
+        h.push(key(1, 100), 100);
+        assert_eq!(h.pop().map(|(_, p)| p), Some(100));
+    }
+}

@@ -19,6 +19,10 @@
 //!   million-invocation runs never materialise their full latency vector;
 //! * [`table`] — plain-text table rendering for the benchmark harness.
 
+// No internal code may call the deprecated LogHistogram shim: new users
+// get the sketch, and the shim's own impl/tests opt back in locally.
+#![deny(deprecated)]
+
 pub mod bootstrap;
 pub mod cdf;
 pub mod histogram;
