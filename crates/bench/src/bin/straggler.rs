@@ -1,0 +1,14 @@
+//! Regenerates the join-straggler-amplification artifact (join p99 vs
+//! fan-out width per provider, with and without hedge-p95); `--samples
+//! N` overrides the default 3000-sample methodology.
+
+fn main() {
+    let samples = bench::report::PAPER_SAMPLES;
+    let samples = std::env::args()
+        .skip_while(|a| a != "--samples")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(samples);
+    let report = bench::experiments::straggler::measure(samples).report();
+    println!("{}", report.render());
+}

@@ -14,4 +14,5 @@ pub mod hedge;
 pub mod keepalive;
 pub mod metastable;
 pub mod mmpp;
+pub mod straggler;
 pub mod table1;

@@ -23,6 +23,11 @@ pub struct RunOptions {
     /// Fault model: a preset name (`throttle-5pct`, `outage-10s`, …), a
     /// path to a fault-spec JSON, or `none` for the fault-free baseline.
     pub faults: Option<String>,
+    /// Application workflow: a preset name (`web-api`, `thumbnail`,
+    /// `video`, …), a path to a DAG-spec JSON, or `none` for the legacy
+    /// single-function baseline. Replaces the static function set with
+    /// the workflow's DAG.
+    pub app: Option<String>,
     /// Measured samples when `--runtime` is omitted.
     pub samples: u32,
     /// Warm-up arrivals when `--runtime` is omitted.
@@ -107,6 +112,10 @@ pub struct SweepOptions {
     /// JSON paths, or `none` for the fault-free baseline. Empty = no
     /// fault axis (and byte-identical legacy output).
     pub faults: Vec<String>,
+    /// Application workflows swept as an extra grid axis: preset names,
+    /// DAG-spec JSON paths, or `none` for the single-function baseline.
+    /// Empty = no app axis (and byte-identical legacy output).
+    pub apps: Vec<String>,
     /// Worker threads; 0 selects the machine's parallelism.
     pub threads: usize,
     /// Write the CSV report here instead of stdout.
@@ -174,6 +183,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut workload = None;
             let mut policy = None;
             let mut faults = None;
+            let mut app = None;
             let mut samples = 100u32;
             let mut warmup = 0u32;
             let mut provider = "aws-like".to_string();
@@ -195,6 +205,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--workload" => workload = Some(value("--workload")?),
                     "--policy" => policy = Some(value("--policy")?),
                     "--faults" => faults = Some(value("--faults")?),
+                    "--app" => app = Some(value("--app")?),
                     "--samples" => {
                         samples =
                             value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?;
@@ -222,9 +233,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unknown flag: {other}")),
                 }
             }
-            if workload.is_none() && (static_path.is_none() || runtime_path.is_none()) {
+            if workload.is_none()
+                && app.is_none()
+                && (static_path.is_none() || runtime_path.is_none())
+            {
                 return Err(
-                    "run needs --static <file> and --runtime <file>, or --workload <file|preset>"
+                    "run needs --static <file> and --runtime <file>, or --workload <file|preset>, \
+                     or --app <file|preset>"
                         .to_string(),
                 );
             }
@@ -234,6 +249,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 workload,
                 policy,
                 faults,
+                app,
                 samples,
                 warmup,
                 provider,
@@ -258,6 +274,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut workloads: Vec<String> = Vec::new();
             let mut policies: Vec<String> = Vec::new();
             let mut faults: Vec<String> = Vec::new();
+            let mut apps: Vec<String> = Vec::new();
             let mut threads = 0usize;
             let mut out = None;
             let mut queue = QueueKind::default();
@@ -332,6 +349,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             return Err("--faults needs at least one name or file".to_string());
                         }
                     }
+                    "--app" | "--apps" => {
+                        apps = value("--app")?
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                        if apps.is_empty() {
+                            return Err("--app needs at least one name or file".to_string());
+                        }
+                    }
                     "--out" => out = Some(value("--out")?),
                     "--queue" => queue = parse_queue(&value("--queue")?)?,
                     "--quantile-mode" => {
@@ -351,6 +378,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 workloads,
                 policies,
                 faults,
+                apps,
                 threads,
                 out,
                 queue,
@@ -439,6 +467,13 @@ RUN OPTIONS:
                              crash-2pct, purge-storm, outage-10s,
                              brownout-2x, shed-64, outage-throttle), a
                              fault-spec JSON, or none (fault-free)
+    --app <name|file>        application workflow: a preset (web-api,
+                             thumbnail, ml-inference, video, map-reduce,
+                             scatter-gather), a DAG-spec JSON, or none
+                             (single-function baseline); replaces the
+                             static function set, makes --static/--runtime
+                             optional, and prints a per-stage breakdown
+                             with join straggler amplification
     --samples <n>            measured arrivals without --runtime
                              [default: 100]
     --warmup <n>             warm-up arrivals without --runtime [default: 0]
@@ -475,6 +510,10 @@ SWEEP OPTIONS:
     --faults <a,b,c>         fault models swept as an extra grid axis:
                              comma-separated presets, spec JSON paths or
                              none; adds retry_amp/goodput columns to the CSV
+    --app <a,b,c>            application workflows swept as an extra grid
+                             axis: comma-separated presets, DAG-spec JSON
+                             paths or none; adds a join_amp column to the
+                             CSV (labels: provider@app)
     --threads <n>            worker threads, 0 = all cores [default: 0]
     --out <file>             write the CSV report here instead of stdout
     --queue <kind>           event queue: adaptive, calendar or binary-heap
@@ -643,6 +682,26 @@ mod tests {
     }
 
     #[test]
+    fn run_app_flag_parses_and_relaxes_configs() {
+        let cmd = parse_args(&strs(&["run", "--app", "video", "--samples", "30"])).unwrap();
+        let Command::Run(opts) = cmd else { panic!("expected run") };
+        assert_eq!(opts.app.as_deref(), Some("video"));
+        assert_eq!(opts.static_path, None);
+        assert_eq!(opts.runtime_path, None);
+        assert_eq!(opts.samples, 30);
+        assert!(parse_args(&strs(&["run", "--app"])).is_err());
+    }
+
+    #[test]
+    fn sweep_app_axis_parses_comma_separated() {
+        let cmd = parse_args(&strs(&["sweep", "--app", "none,web-api,video"])).unwrap();
+        let Command::Sweep(opts) = cmd else { panic!("expected sweep") };
+        assert_eq!(opts.apps, ["none", "web-api", "video"]);
+        assert!(parse_args(&strs(&["sweep", "--apps", "thumbnail"])).is_ok(), "plural alias");
+        assert!(parse_args(&strs(&["sweep", "--app", ""])).is_err());
+    }
+
+    #[test]
     fn unknown_flags_and_commands_error() {
         assert!(parse_args(&strs(&["run", "--static", "a", "--runtime", "b", "--bogus"])).is_err());
         assert!(parse_args(&strs(&["frobnicate"])).is_err());
@@ -697,6 +756,7 @@ mod tests {
         assert_eq!(opts.workloads, Vec::<String>::new());
         assert_eq!(opts.policies, Vec::<String>::new());
         assert_eq!(opts.faults, Vec::<String>::new());
+        assert_eq!(opts.apps, Vec::<String>::new());
         assert_eq!(opts.threads, 8);
         assert_eq!(opts.out.as_deref(), Some("report.csv"));
         assert_eq!(opts.queue, QueueKind::BinaryHeap);

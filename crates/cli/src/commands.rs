@@ -122,6 +122,33 @@ fn faults_axis_label(name_or_path: &str) -> String {
         .map_or_else(|| name_or_path.to_string(), |s| s.to_string_lossy().into_owned())
 }
 
+/// Resolves an `--app` entry: `none` is the single-function baseline,
+/// otherwise a preset name, an inline DAG-spec JSON object, or a path to
+/// a DAG-spec JSON file.
+fn resolve_app(name_or_path: &str) -> Result<Option<faas_sim::dag::DagSpec>, CliError> {
+    if name_or_path == "none" {
+        return Ok(None);
+    }
+    if appsuite::preset(name_or_path).is_some() || name_or_path.trim_start().starts_with('{') {
+        return appsuite::resolve(name_or_path).map(Some).map_err(CliError::Config);
+    }
+    let text = read(name_or_path)?;
+    appsuite::from_json(&text)
+        .map(Some)
+        .map_err(|e| CliError::Config(format!("{name_or_path}: {e}")))
+}
+
+/// Short label for an app axis entry: `none`, the preset name, or the
+/// file stem of a spec path.
+fn app_axis_label(name_or_path: &str) -> String {
+    if name_or_path == "none" || appsuite::preset(name_or_path).is_some() {
+        return name_or_path.to_string();
+    }
+    std::path::Path::new(name_or_path)
+        .file_stem()
+        .map_or_else(|| name_or_path.to_string(), |s| s.to_string_lossy().into_owned())
+}
+
 /// Short label for a workload axis entry: the preset name, or the file
 /// stem of a spec path.
 fn workload_label(name_or_path: &str) -> String {
@@ -200,6 +227,10 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
     if let Some(name) = &opts.faults {
         runtime_cfg.faults = resolve_faults(name)?;
     }
+    let app_spec = match &opts.app {
+        Some(name) => resolve_app(name)?,
+        None => None,
+    };
     let provider = resolve_provider(&opts.provider)?;
     let provider_name = provider.name.clone();
 
@@ -211,15 +242,17 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
         QuantileMode::Exact => MeasureSpec::exact(),
         QuantileMode::Sketch => MeasureSpec::sketch().with_keep_samples(needs_samples),
     };
-    let outcome = Experiment::new(provider)
+    let mut experiment = Experiment::new(provider)
         .functions(static_cfg)
         .workload(runtime_cfg)
         .seed(opts.seed)
         .queue(opts.queue)
         .measure(measure)
-        .profile_events(opts.profile_events)
-        .run()
-        .map_err(CliError::Experiment)?;
+        .profile_events(opts.profile_events);
+    if let Some(spec) = app_spec {
+        experiment = experiment.app(spec);
+    }
+    let outcome = experiment.run().map_err(CliError::Experiment)?;
 
     let mut out = String::new();
     out.push_str(&format!("provider {provider_name}, seed {}: {}\n", opts.seed, outcome.summary));
@@ -289,6 +322,34 @@ fn run(opts: &RunOptions) -> Result<String, CliError> {
             ));
         }
     }
+    // Workflow runs report the per-stage latency breakdown and the join
+    // straggler accounting; a run without --app prints exactly the lines
+    // it always did.
+    if let Some(d) = &outcome.dag {
+        out.push_str(&format!(
+            "application {}: {} stages, straggler amplification {:.2}x\n",
+            d.app,
+            d.stages.len(),
+            d.straggler_amplification,
+        ));
+        out.push_str(&format!(
+            "  {:<20} {:>8} {:>12} {:>12}\n",
+            "stage", "count", "median_ms", "p99_ms"
+        ));
+        for s in &d.stages {
+            out.push_str(&format!(
+                "  {:<20} {:>8} {:>12.3} {:>12.3}\n",
+                s.name, s.count, s.median_ms, s.p99_ms,
+            ));
+        }
+        for j in &d.joins {
+            out.push_str(&format!(
+                "  join {}: fired {}, stragglers {}, branch p99 {:.3} ms, \
+                 join p99 {:.3} ms, amplification {:.2}x\n",
+                j.stage, j.fired, j.stragglers, j.branch_p99_ms, j.join_p99_ms, j.amplification,
+            ));
+        }
+    }
     if opts.profile_events {
         out.push_str(&render_event_profile(&outcome.metrics));
     }
@@ -341,6 +402,21 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
         })
         .collect::<Result<Vec<_>, CliError>>()?;
     let seeds: Vec<u64> = (opts.base_seed..opts.base_seed + opts.seeds).collect();
+    // The app axis crosses innermost, directly on the provider scenarios,
+    // so every other axis composes on top: labels read
+    // "{provider}@{app}/{workload}+{policy}~{fault}".
+    let apps = opts
+        .apps
+        .iter()
+        .map(|name| Ok((app_axis_label(name), resolve_app(name)?)))
+        .collect::<Result<Vec<_>, CliError>>()?;
+    let scenarios = if apps.is_empty() {
+        scenarios
+    } else {
+        let aaxis: Vec<(&str, Option<faas_sim::dag::DagSpec>)> =
+            apps.iter().map(|(label, spec)| (label.as_str(), spec.clone())).collect();
+        SweepGrid::cross_apps(scenarios, &aaxis, seeds.clone()).scenarios
+    };
     let workloads = opts
         .workloads
         .iter()
@@ -407,6 +483,9 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
     // The summary deliberately omits the worker count: the report must be
     // byte-identical however the sweep was parallelised.
     let mut axes = format!("{} providers", opts.providers.len());
+    if !opts.apps.is_empty() {
+        axes.push_str(&format!(" x {} apps", opts.apps.len()));
+    }
     if !opts.workloads.is_empty() {
         axes.push_str(&format!(" x {} workloads", opts.workloads.len()));
     }
@@ -432,10 +511,13 @@ fn sweep(opts: &SweepOptions) -> Result<String, CliError> {
     if opts.profile_events {
         out.push_str(&render_event_profile(&report.metrics));
     }
-    // Policy and fault sweeps get the extended CSV (policy outcome,
+    // App sweeps get the app CSV (extended columns plus join_amp); policy
+    // and fault sweeps get the extended CSV (policy outcome,
     // retry-amplification and goodput columns); plain sweeps keep today's
     // byte-identical base CSV.
-    let csv = if opts.policies.is_empty() && opts.faults.is_empty() {
+    let csv = if !opts.apps.is_empty() {
+        report.to_csv_app()
+    } else if opts.policies.is_empty() && opts.faults.is_empty() {
         report.to_csv()
     } else {
         report.to_csv_extended()
@@ -616,6 +698,7 @@ mod tests {
             workload: None,
             policy: None,
             faults: None,
+            app: None,
             samples: 100,
             warmup: 0,
             provider: "google-like".into(),
@@ -654,6 +737,7 @@ mod tests {
             workload: None,
             policy: None,
             faults: None,
+            app: None,
             samples: 100,
             warmup: 0,
             provider: "aws-like".into(),
@@ -685,6 +769,7 @@ mod tests {
             workload: Some("poisson".into()),
             policy: None,
             faults: None,
+            app: None,
             samples: 40,
             warmup: 2,
             provider: "aws-like".into(),
@@ -718,6 +803,7 @@ mod tests {
             workloads: vec![],
             policies: vec![],
             faults: vec![],
+            apps: vec![],
             threads: 1,
             out: None,
             queue: QueueKind::Adaptive,
@@ -772,6 +858,7 @@ mod tests {
             workloads: vec![],
             policies: vec![],
             faults: vec![],
+            apps: vec![],
             threads: 1,
             out: None,
             queue: QueueKind::Calendar,
@@ -818,6 +905,7 @@ mod tests {
             workloads: vec![],
             policies: vec![],
             faults: vec![],
+            apps: vec![],
             threads: 0,
             out: Some(out_path.clone()),
             queue: QueueKind::Calendar,
@@ -845,6 +933,7 @@ mod tests {
             workload: None,
             policy: None,
             faults: None,
+            app: None,
             samples: 100,
             warmup: 0,
             provider: "aws-like".into(),
@@ -869,6 +958,7 @@ mod tests {
             workload: None,
             policy: None,
             faults: None,
+            app: None,
             samples: 100,
             warmup: 0,
             provider: "aws-like".into(),
@@ -900,6 +990,7 @@ mod tests {
             workload: Some("mmpp-burst".into()),
             policy: None,
             faults: None,
+            app: None,
             samples: 60,
             warmup: 5,
             provider: "aws-like".into(),
@@ -930,6 +1021,7 @@ mod tests {
             workload: Some(spec_path),
             policy: None,
             faults: None,
+            app: None,
             samples: 30,
             warmup: 0,
             provider: "aws-like".into(),
@@ -950,6 +1042,7 @@ mod tests {
             runtime_path: None,
             policy: None,
             faults: None,
+            app: None,
             samples: 10,
             warmup: 0,
             provider: "aws-like".into(),
@@ -977,6 +1070,7 @@ mod tests {
             workloads: vec!["poisson".into(), "mmpp-burst".into()],
             policies: vec![],
             faults: vec![],
+            apps: vec![],
             threads: 1,
             out: None,
             queue: QueueKind::Calendar,
@@ -1005,6 +1099,7 @@ mod tests {
             workload: Some("poisson".into()),
             policy: None,
             faults: None,
+            app: None,
             samples: 30,
             warmup: 2,
             provider: "aws-like".into(),
@@ -1052,6 +1147,7 @@ mod tests {
             workloads: vec![],
             policies: vec!["none".into(), "tied-2".into()],
             faults: vec![],
+            apps: vec![],
             threads: 1,
             out: None,
             queue: QueueKind::Calendar,
@@ -1083,6 +1179,7 @@ mod tests {
             workload: Some("poisson".into()),
             policy: None,
             faults: None,
+            app: None,
             samples: 60,
             warmup: 2,
             provider: "aws-like".into(),
@@ -1141,6 +1238,7 @@ mod tests {
             workloads: vec![],
             policies: vec![],
             faults: vec!["none".into(), "throttle-5pct".into()],
+            apps: vec![],
             threads: 1,
             out: None,
             queue: QueueKind::Calendar,
@@ -1165,5 +1263,92 @@ mod tests {
                 .unwrap();
         assert!(both.contains("1 providers x 1 policies x 2 fault models x 2 seeds"), "{both}");
         assert!(both.contains("aws-like+tied-2~throttle-5pct"), "{both}");
+    }
+
+    #[test]
+    fn run_with_app_reports_stage_breakdown_and_none_is_baseline() {
+        let base = RunOptions {
+            static_path: None,
+            runtime_path: None,
+            workload: Some("poisson".into()),
+            policy: None,
+            faults: None,
+            app: None,
+            samples: 30,
+            warmup: 2,
+            provider: "aws-like".into(),
+            seed: 5,
+            breakdown: false,
+            cdf: false,
+            csv: None,
+            svg: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
+            profile_events: false,
+        };
+        let plain = execute(&Command::Run(base.clone())).unwrap();
+        assert!(!plain.contains("application"), "{plain}");
+
+        // `--app none` is the baseline: byte-identical to no flag.
+        let none = execute(&Command::Run(RunOptions { app: Some("none".into()), ..base.clone() }))
+            .unwrap();
+        assert_eq!(plain, none, "--app none must not change the run");
+
+        let fan = execute(&Command::Run(RunOptions {
+            app: Some("scatter-gather".into()),
+            ..base.clone()
+        }))
+        .unwrap();
+        assert!(fan.contains("application scatter-gather"), "{fan}");
+        assert!(fan.contains("straggler amplification"), "{fan}");
+        assert!(fan.contains("join gather:"), "{fan}");
+        assert!(fan.contains("median_ms"), "{fan}");
+
+        // Every preset resolves; an unknown name that is not a file errors.
+        for name in appsuite::preset_names() {
+            assert!(resolve_app(name).unwrap().is_some(), "{name} must resolve");
+        }
+        assert!(
+            execute(&Command::Run(RunOptions { app: Some("no-such-app".into()), ..base })).is_err()
+        );
+    }
+
+    #[test]
+    fn sweep_app_axis_is_byte_identical_across_threads() {
+        let base = SweepOptions {
+            static_path: None,
+            runtime_path: None,
+            providers: vec!["aws-like".into()],
+            seeds: 2,
+            base_seed: 0,
+            samples: 20,
+            workloads: vec![],
+            policies: vec![],
+            faults: vec![],
+            apps: vec!["none".into(), "thumbnail".into()],
+            threads: 1,
+            out: None,
+            queue: QueueKind::Calendar,
+            quantile_mode: QuantileMode::Exact,
+            profile_events: false,
+        };
+        let serial = execute(&Command::Sweep(base.clone())).unwrap();
+        let threaded =
+            execute(&Command::Sweep(SweepOptions { threads: 4, ..base.clone() })).unwrap();
+        assert_eq!(serial, threaded, "app sweep must not depend on worker count");
+        assert!(
+            serial.contains("1 providers x 2 apps x 2 seeds = 4 cells (4 ok, 0 failed)"),
+            "{serial}"
+        );
+        assert!(serial.contains("join_amp"), "{serial}");
+        assert!(serial.contains("aws-like@none"), "{serial}");
+        assert!(serial.contains("aws-like@thumbnail"), "{serial}");
+
+        // Apps compose with the workload axis: "{provider}@{app}/{workload}".
+        let both =
+            execute(&Command::Sweep(SweepOptions { workloads: vec!["poisson".into()], ..base }))
+                .unwrap();
+        assert!(both.contains("1 providers x 2 apps x 1 workloads x 2 seeds"), "{both}");
+        assert!(both.contains("aws-like@thumbnail/poisson"), "{both}");
     }
 }

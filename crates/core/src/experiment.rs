@@ -4,8 +4,9 @@
 //! so that benchmark code (and downstream users) can express a paper
 //! experiment in a few lines.
 
-use faas_sim::cloud::CloudSim;
+use faas_sim::cloud::{CloudSim, DagDeployment, DeployError};
 use faas_sim::config::ProviderConfig;
+use faas_sim::dag::{DagPlan, DagSpec};
 use simkit::engine::QueueKind;
 use simkit::metrics::Metrics;
 use simkit::trace::SpanRecord;
@@ -13,7 +14,7 @@ use stats::Summary;
 
 use crate::client::{run_workload_spec, run_workload_with, ClientError, MeasureSpec, RunResult};
 use crate::config::{RuntimeConfig, StaticConfig};
-use crate::deployer::deploy;
+use crate::deployer::{deploy, Deployment, Endpoint};
 
 /// Errors from running an experiment.
 #[derive(Debug)]
@@ -75,6 +76,56 @@ pub struct Experiment {
     measure: MeasureSpec,
     queue: QueueKind,
     profile_events: bool,
+    dag: Option<DagSpec>,
+}
+
+/// Latency breakdown of one workflow stage (DAG node), over every
+/// invocation of the stage (warm-up rounds included — stages run once
+/// per workflow traversal, not once per measured sample).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Node name from the [`DagSpec`].
+    pub name: String,
+    /// Stage invocations observed.
+    pub count: u64,
+    /// Median stage latency, ms. A stage's latency excludes its
+    /// downstream round trip (`total − chain`), so stages don't
+    /// double-count their subtrees.
+    pub median_ms: f64,
+    /// 99th-percentile stage latency, ms.
+    pub p99_ms: f64,
+}
+
+/// Straggler accounting of one join stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinReport {
+    /// Join node name from the [`DagSpec`].
+    pub stage: String,
+    /// Barrier firings.
+    pub fired: u64,
+    /// Branches that arrived after their barrier fired (k-of-n joins).
+    pub stragglers: u64,
+    /// p99 of individual branch latencies, ms.
+    pub branch_p99_ms: f64,
+    /// p99 of barrier-fire latencies (max over counted branches), ms.
+    pub join_p99_ms: f64,
+    /// `join_p99_ms / branch_p99_ms`: tail-at-scale amplification.
+    pub amplification: f64,
+}
+
+/// Per-stage and join statistics of a workflow run (see
+/// [`Experiment::app`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagRunStats {
+    /// Workflow name.
+    pub app: String,
+    /// One entry per stage, in plan-node order.
+    pub stages: Vec<StageStats>,
+    /// One entry per join stage, in plan-node order.
+    pub joins: Vec<JoinReport>,
+    /// Worst join amplification across the workflow (`0` without joins):
+    /// the headline straggler metric.
+    pub straggler_amplification: f64,
 }
 
 /// What an experiment produced.
@@ -91,6 +142,9 @@ pub struct Outcome {
     pub spans: Vec<SpanRecord>,
     /// Lifecycle counters maintained by the cloud (always on).
     pub metrics: Metrics,
+    /// Per-stage breakdown and straggler accounting; `None` unless the
+    /// experiment ran an application workflow ([`Experiment::app`]).
+    pub dag: Option<DagRunStats>,
 }
 
 impl Outcome {
@@ -116,7 +170,19 @@ impl Experiment {
             measure: MeasureSpec::default(),
             queue: QueueKind::default(),
             profile_events: false,
+            dag: None,
         }
+    }
+
+    /// Runs an application workflow instead of the static function set:
+    /// `spec` is compiled, deployed as one function per node, and the
+    /// workload drives the workflow's root. Per-stage latency and
+    /// straggler statistics land in [`Outcome::dag`]. Mutually exclusive
+    /// with a legacy chain configuration; node execution-time models
+    /// override the runtime `exec_ms`.
+    pub fn app(mut self, spec: DagSpec) -> Experiment {
+        self.dag = Some(spec);
+        self
     }
 
     /// Sets the static (deployer) configuration.
@@ -186,7 +252,34 @@ impl Experiment {
         if self.profile_events {
             cloud.enable_event_profiling();
         }
-        let deployment = deploy(&mut cloud, &self.static_cfg, &self.runtime_cfg)?;
+        let dag_plan = match &self.dag {
+            Some(spec) => {
+                if self.runtime_cfg.chain.is_some() {
+                    return Err(ExperimentError::Deploy(DeployError::InvalidSpec(
+                        "an application workflow and a legacy chain are mutually exclusive"
+                            .to_string(),
+                    )));
+                }
+                Some(spec.compile().map_err(DeployError::InvalidSpec)?)
+            }
+            None => None,
+        };
+        let (deployment, dag_deployment) = match &dag_plan {
+            Some(plan) => {
+                self.runtime_cfg.validate().map_err(DeployError::InvalidSpec)?;
+                let dep = cloud.deploy_dag(plan)?;
+                // Per-stage reporting needs the internal hops; recording
+                // draws no randomness, so results are unperturbed.
+                cloud.record_internal_completions(true);
+                let endpoint = Endpoint {
+                    url: format!("https://{}.sim/{}", cloud.config().name, plan.name),
+                    function: dep.root,
+                    name: plan.name.clone(),
+                };
+                (Deployment { endpoints: vec![endpoint] }, Some(dep))
+            }
+            None => (deploy(&mut cloud, &self.static_cfg, &self.runtime_cfg)?, None),
+        };
         // Install the fault schedule (if any) before submitting work.
         // Inert specs compile to inert plans, which the cloud skips —
         // so a `faults: none` run stays byte-identical to a faults-off
@@ -242,6 +335,10 @@ impl Experiment {
         if cloud.faults_installed() {
             result.faults = Some(cloud.fault_stats());
         }
+        let dag = match (&dag_plan, &dag_deployment) {
+            (Some(plan), Some(dep)) => Some(dag_run_stats(&mut cloud, plan, dep, &result)),
+            _ => None,
+        };
         let spans = cloud.drain_spans();
         // Fold end-of-run slab and event-queue counters into the metrics
         // registry so reports can audit memory behaviour; likewise the
@@ -249,8 +346,78 @@ impl Experiment {
         cloud.record_queue_metrics();
         cloud.record_profile_metrics();
         let metrics = cloud.metrics().clone();
-        Ok(Outcome { result, summary, transfer_summary, spans, metrics })
+        Ok(Outcome { result, summary, transfer_summary, spans, metrics, dag })
     }
+}
+
+/// Builds the per-stage breakdown and straggler report of a workflow run.
+///
+/// Stage latency is `total − chain` per completion — a stage's own
+/// contribution (infrastructure, execution, response) excluding the
+/// downstream round trip it waited on, so stages don't double-count their
+/// subtrees. Root-stage samples come from the client's completions
+/// (warm-up included), the other stages from the recorded internal
+/// completions.
+fn dag_run_stats(
+    cloud: &mut CloudSim,
+    plan: &DagPlan,
+    dep: &DagDeployment,
+    result: &RunResult,
+) -> DagRunStats {
+    use std::collections::HashMap;
+    // fid -> plan node index.
+    let node_of: HashMap<usize, usize> =
+        dep.functions.iter().enumerate().map(|(node, fid)| (fid.index(), node)).collect();
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); plan.nodes.len()];
+    let internal = cloud.drain_internal_completions();
+    for c in
+        result.completions.iter().chain(result.warmup_completions.iter()).chain(internal.iter())
+    {
+        if let Some(&node) = node_of.get(&c.function.index()) {
+            samples[node].push(c.breakdown.total_ms() - c.breakdown.chain_ms);
+        }
+    }
+    let stages = plan
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let s = &mut samples[i];
+            s.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            StageStats {
+                name: node.name.clone(),
+                count: s.len() as u64,
+                median_ms: quantile_sorted(s, 0.5),
+                p99_ms: quantile_sorted(s, 0.99),
+            }
+        })
+        .collect();
+    let mut joins: Vec<JoinReport> = cloud
+        .dag_join_stats()
+        .into_iter()
+        .filter_map(|j| {
+            node_of.get(&j.function.index()).map(|&node| JoinReport {
+                stage: plan.nodes[node].name.clone(),
+                fired: j.fired,
+                stragglers: j.stragglers,
+                branch_p99_ms: j.branch_p99_ms,
+                join_p99_ms: j.join_p99_ms,
+                amplification: j.amplification,
+            })
+        })
+        .collect();
+    joins.sort_by_key(|j| plan.nodes.iter().position(|n| n.name == j.stage));
+    let straggler_amplification = joins.iter().map(|j| j.amplification).fold(0.0, f64::max);
+    DagRunStats { app: plan.name.clone(), stages, joins, straggler_amplification }
+}
+
+/// Quantile of an already-sorted sample set (nearest-rank); 0 when empty.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
 }
 
 /// Lifts a legacy [`crate::config::IatSpec`] into the equivalent
@@ -374,5 +541,92 @@ mod tests {
             Some(ChainConfig { length: 2, mode: TransferMode::Inline, payload_bytes: 100_000_000 });
         let err = Experiment::new(test_provider()).workload(runtime).run().unwrap_err();
         assert!(matches!(err, ExperimentError::Deploy(_)));
+    }
+
+    fn fan_two() -> faas_sim::dag::DagSpec {
+        use faas_sim::dag::{DagNodeSpec, DagSpec};
+        use simkit::dist::Dist;
+        DagSpec::new("fan2")
+            .node(DagNodeSpec::new("start").exec_ms(Dist::constant(5.0)))
+            .node(DagNodeSpec::new("w0").exec_ms(Dist::constant(20.0)))
+            .node(DagNodeSpec::new("w1").exec_ms(Dist::constant(40.0)))
+            .node(DagNodeSpec::new("join").exec_ms(Dist::constant(5.0)))
+            .edge("start", "w0", TransferMode::Inline, Dist::constant(1024.0))
+            .edge("start", "w1", TransferMode::Inline, Dist::constant(1024.0))
+            .edge("w0", "join", TransferMode::Inline, Dist::constant(512.0))
+            .edge("w1", "join", TransferMode::Inline, Dist::constant(512.0))
+    }
+
+    #[test]
+    fn app_experiment_reports_stage_breakdown() {
+        let mut runtime = RuntimeConfig::single(IatSpec::Fixed { ms: 500.0 }, 20);
+        runtime.warmup_rounds = 2;
+        let outcome = Experiment::new(test_provider())
+            .app(fan_two())
+            .workload(runtime)
+            .seed(3)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.summary.count, 20);
+        let dag = outcome.dag.expect("app runs report per-stage statistics");
+        assert_eq!(dag.app, "fan2");
+        assert_eq!(dag.stages.len(), 4);
+        for stage in &dag.stages {
+            assert_eq!(stage.count, 22, "{}: warm-up rounds traverse the DAG too", stage.name);
+            assert!(stage.median_ms > 0.0);
+            assert!(stage.p99_ms >= stage.median_ms);
+        }
+        assert_eq!(dag.joins.len(), 1);
+        assert_eq!(dag.joins[0].stage, "join");
+        assert_eq!(dag.joins[0].fired, 22);
+        assert_eq!(dag.joins[0].stragglers, 0, "all-of-n joins have no stragglers");
+        assert!(
+            dag.straggler_amplification >= 1.0,
+            "an all-of-n join waits on its slowest branch: {}",
+            dag.straggler_amplification
+        );
+    }
+
+    #[test]
+    fn app_runs_are_reproducible_and_queue_independent() {
+        use simkit::engine::QueueKind;
+        let run = |queue| {
+            Experiment::new(test_provider())
+                .app(fan_two())
+                .workload(RuntimeConfig::single(IatSpec::short(), 30))
+                .seed(9)
+                .queue(queue)
+                .run()
+                .unwrap()
+                .latencies_ms()
+        };
+        assert_eq!(run(QueueKind::BinaryHeap), run(QueueKind::BinaryHeap));
+        assert_eq!(run(QueueKind::BinaryHeap), run(QueueKind::Calendar));
+    }
+
+    #[test]
+    fn app_and_chain_are_mutually_exclusive() {
+        let mut runtime = RuntimeConfig::single(IatSpec::short(), 10);
+        runtime.chain =
+            Some(ChainConfig { length: 2, mode: TransferMode::Inline, payload_bytes: 1_000 });
+        let err =
+            Experiment::new(test_provider()).app(fan_two()).workload(runtime).run().unwrap_err();
+        assert!(matches!(err, ExperimentError::Deploy(_)), "got {err}");
+        assert!(err.to_string().contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn invalid_app_spec_is_a_deploy_error() {
+        use faas_sim::dag::{DagNodeSpec, DagSpec};
+        use simkit::dist::Dist;
+        let cyclic = DagSpec::new("bad")
+            .node(DagNodeSpec::new("root"))
+            .node(DagNodeSpec::new("a"))
+            .node(DagNodeSpec::new("b"))
+            .edge("root", "a", TransferMode::Inline, Dist::constant(1024.0))
+            .edge("a", "b", TransferMode::Inline, Dist::constant(1024.0))
+            .edge("b", "a", TransferMode::Inline, Dist::constant(1024.0));
+        let err = Experiment::new(test_provider()).app(cyclic).run().unwrap_err();
+        assert!(err.to_string().contains("cycle"), "got {err}");
     }
 }

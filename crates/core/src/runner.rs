@@ -53,6 +53,8 @@ pub struct Scenario {
     pub static_cfg: StaticConfig,
     /// Client workload configuration.
     pub runtime_cfg: RuntimeConfig,
+    /// Application workflow; `None` runs the static function set.
+    pub dag: Option<faas_sim::dag::DagSpec>,
 }
 
 impl Scenario {
@@ -66,7 +68,16 @@ impl Scenario {
                 functions: vec![crate::config::StaticFunction::python_zip("fn")],
             },
             runtime_cfg: RuntimeConfig::single(crate::config::IatSpec::short(), 100),
+            dag: None,
         }
+    }
+
+    /// Attaches an application workflow (consuming): the cell deploys
+    /// `spec`'s DAG and drives its root instead of the static function
+    /// set (see [`Experiment::app`]).
+    pub fn app(mut self, spec: faas_sim::dag::DagSpec) -> Scenario {
+        self.dag = Some(spec);
+        self
     }
 
     /// Replaces the static (deployer) configuration.
@@ -163,6 +174,35 @@ impl SweepGrid {
                     let mut cell = s.clone();
                     cell.label = format!("{}/{name}", s.label);
                     cell.runtime_cfg.workload = Some(spec.clone());
+                    cell
+                })
+            })
+            .collect();
+        SweepGrid::new(crossed, seeds)
+    }
+
+    /// Builds a grid with the application workflow as an explicit sweep
+    /// axis: every scenario is crossed with every named app, producing
+    /// `scenarios × apps × seeds` cells labelled `"{scenario}@{app}"`.
+    /// A `None` app is the static-function baseline, labelled
+    /// `"{scenario}@none"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty.
+    pub fn cross_apps(
+        scenarios: Vec<Scenario>,
+        apps: &[(&str, Option<faas_sim::dag::DagSpec>)],
+        seeds: Vec<u64>,
+    ) -> SweepGrid {
+        assert!(!apps.is_empty(), "sweep grid needs at least one app");
+        let crossed = scenarios
+            .into_iter()
+            .flat_map(|s| {
+                apps.iter().map(move |(name, spec)| {
+                    let mut cell = s.clone();
+                    cell.label = format!("{}@{name}", s.label);
+                    cell.dag = spec.clone();
                     cell
                 })
             })
@@ -270,6 +310,10 @@ pub struct CellStats {
     /// ([`faults::FaultStats::availability`]); `None` unless the cell
     /// ran a fault schedule.
     pub goodput: Option<f64>,
+    /// Worst join-p99 amplification across the cell's workflow
+    /// ([`crate::experiment::DagRunStats::straggler_amplification`]);
+    /// `None` unless the cell ran an application workflow.
+    pub join_amp: Option<f64>,
 }
 
 impl CellStats {
@@ -298,6 +342,7 @@ impl CellStats {
             policy,
             retry_amp: outcome.result.policy.as_ref().map(policy::PolicyStats::retry_amplification),
             goodput: outcome.result.faults.as_ref().map(faults::FaultStats::availability),
+            join_amp: outcome.dag.as_ref().map(|d| d.straggler_amplification),
         }
     }
 }
@@ -440,6 +485,71 @@ impl SweepReport {
         }
         out
     }
+
+    /// [`SweepReport::to_csv_extended`] plus the application column
+    /// (`join_amp`, the cell's worst straggler amplification). Cells
+    /// without a workflow leave it empty. Kept separate so the extended
+    /// layout stays frozen for existing pipelines.
+    pub fn to_csv_app(&self) -> String {
+        let mut out = String::from(
+            "cell,scenario,seed,status,samples,median_ms,p95_ms,p99_ms,tmr,cold_fraction,\
+             p999_ms,hedge_rate,wasted_fraction,duplicate_successes,abandoned,retry_amp,goodput,\
+             join_amp,error\n",
+        );
+        for row in &self.rows {
+            match &row.result {
+                Ok(s) => {
+                    out.push_str(&format!(
+                        "{},{},{},ok,{},{:.3},{:.3},{:.3},{:.3},{:.4},",
+                        row.index,
+                        csv_field(&row.scenario),
+                        row.seed,
+                        s.count,
+                        s.median_ms,
+                        s.p95_ms,
+                        s.p99_ms,
+                        s.tmr,
+                        s.cold_fraction,
+                    ));
+                    match &s.policy {
+                        Some(p) => out.push_str(&format!(
+                            "{:.3},{:.4},{:.4},{},{},",
+                            p.p999_ms,
+                            p.hedge_rate,
+                            p.wasted_fraction,
+                            p.duplicate_successes,
+                            p.abandoned,
+                        )),
+                        None => out.push_str(",,,,,"),
+                    }
+                    match s.retry_amp {
+                        Some(amp) => out.push_str(&format!("{amp:.3},")),
+                        None => out.push(','),
+                    }
+                    match s.goodput {
+                        Some(g) => out.push_str(&format!("{g:.4},")),
+                        None => out.push(','),
+                    }
+                    match s.join_amp {
+                        Some(amp) => out.push_str(&format!("{amp:.3},")),
+                        None => out.push(','),
+                    }
+                    out.push('\n');
+                }
+                Err(msg) => {
+                    out.push_str(&format!(
+                        "{},{},{},error{},{}\n",
+                        row.index,
+                        csv_field(&row.scenario),
+                        row.seed,
+                        ",".repeat(14),
+                        csv_field(msg)
+                    ));
+                }
+            }
+        }
+        out
+    }
 }
 
 /// RFC 4180 field escaping: fields containing a comma, double quote or
@@ -570,14 +680,17 @@ fn run_cell(
 ) -> CellResult {
     let (scenario, seed) = grid.cell(index);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        Experiment::new(scenario.provider.clone())
+        let mut experiment = Experiment::new(scenario.provider.clone())
             .functions(scenario.static_cfg.clone())
             .workload(scenario.runtime_cfg.clone())
             .seed(seed)
             .queue(queue)
             .measure(*measure)
-            .profile_events(profile_events)
-            .run()
+            .profile_events(profile_events);
+        if let Some(dag) = &scenario.dag {
+            experiment = experiment.app(dag.clone());
+        }
+        experiment.run()
     }));
     let (result, metrics, agg) = match outcome {
         Ok(Ok(outcome)) => (
@@ -913,6 +1026,74 @@ mod tests {
             throttled.count,
             baseline.count
         );
+    }
+
+    fn app_grid() -> SweepGrid {
+        use faas_sim::dag::{DagNodeSpec, DagSpec};
+        use faas_sim::types::TransferMode;
+        use simkit::dist::Dist;
+        let fan = DagSpec::new("fan2")
+            .node(DagNodeSpec::new("start").exec_ms(Dist::constant(5.0)))
+            .node(DagNodeSpec::new("w0").exec_ms(Dist::constant(20.0)))
+            .node(DagNodeSpec::new("w1").exec_ms(Dist::constant(40.0)))
+            .node(DagNodeSpec::new("join").exec_ms(Dist::constant(5.0)))
+            .edge("start", "w0", TransferMode::Inline, Dist::constant(1024.0))
+            .edge("start", "w1", TransferMode::Inline, Dist::constant(1024.0))
+            .edge("w0", "join", TransferMode::Inline, Dist::constant(512.0))
+            .edge("w1", "join", TransferMode::Inline, Dist::constant(512.0));
+        let base = Scenario::new("base", test_provider())
+            .workload(RuntimeConfig::single(IatSpec::short(), 25));
+        SweepGrid::cross_apps(vec![base], &[("none", None), ("fan2", Some(fan))], vec![1, 2])
+    }
+
+    #[test]
+    fn app_axis_crosses_scenarios_and_labels_cells() {
+        let grid = app_grid();
+        assert_eq!(grid.scenarios.len(), 2);
+        assert_eq!(grid.scenarios[0].label, "base@none");
+        assert_eq!(grid.scenarios[1].label, "base@fan2");
+        assert!(grid.scenarios[0].dag.is_none());
+        let report = SweepRunner::new(2).run(&grid);
+        assert_eq!(report.ok_count(), 4);
+        let baseline = report.rows[0].result.as_ref().expect("baseline cell ran");
+        assert!(baseline.join_amp.is_none());
+        let app = report.rows[2].result.as_ref().expect("app cell ran");
+        let amp = app.join_amp.expect("app cells report straggler amplification");
+        assert!(amp >= 1.0, "all-of-n join amplifies the branch tail: {amp}");
+    }
+
+    #[test]
+    fn app_csv_adds_join_amp_without_touching_frozen_layouts() {
+        let grid = app_grid();
+        let report = SweepRunner::new(2).run(&grid);
+        let extended = report.to_csv_extended();
+        assert!(extended.starts_with(
+            "cell,scenario,seed,status,samples,median_ms,p95_ms,p99_ms,tmr,cold_fraction,\
+             p999_ms,hedge_rate,wasted_fraction,duplicate_successes,abandoned,retry_amp,goodput,\
+             error\n"
+        ));
+        let app_csv = report.to_csv_app();
+        assert!(app_csv.contains("goodput,join_amp,error"));
+        let baseline_row = app_csv.lines().nth(1).unwrap();
+        assert!(baseline_row.contains("base@none"));
+        let fields: Vec<&str> = baseline_row.split(',').collect();
+        assert_eq!(fields.len(), 19, "baseline row: {baseline_row}");
+        assert!(fields[17].is_empty(), "baseline leaves join_amp empty");
+        let app_row = app_csv.lines().nth(3).unwrap();
+        assert!(app_row.contains("base@fan2"));
+        let fields: Vec<&str> = app_row.split(',').collect();
+        let amp: f64 = fields[17].parse().expect("join_amp populated");
+        assert!(amp >= 1.0, "app row: {app_row}");
+    }
+
+    #[test]
+    fn app_sweep_is_identical_across_thread_counts() {
+        let grid = app_grid();
+        let run = |threads| SweepRunner::new(threads).run(&grid);
+        let r1 = run(1);
+        let r8 = run(8);
+        assert_eq!(r1.to_csv(), r8.to_csv());
+        assert_eq!(r1.to_csv_app(), r8.to_csv_app());
     }
 
     #[test]

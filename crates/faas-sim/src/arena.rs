@@ -33,6 +33,10 @@ pub(crate) mod flags {
     pub const COLD: u8 = 1 << 3;
     /// Admission control shed the request.
     pub const SHED: u8 = 1 << 4;
+    /// Spawned by the DAG engine (direct fan-out child or fired join),
+    /// as opposed to a legacy/compiled `ChainSpec` hop. Drives the
+    /// per-node conservation counters.
+    pub const DAG_SPAWN: u8 = 1 << 5;
 }
 
 /// Per-event-hot request state: everything the frequent handler prologues
@@ -97,6 +101,16 @@ impl HotReq {
     pub fn set_shed(&mut self) {
         self.flags |= flags::SHED;
     }
+
+    /// Whether the DAG engine spawned this request (see
+    /// [`flags::DAG_SPAWN`]).
+    pub fn dag_spawn(&self) -> bool {
+        self.flags & flags::DAG_SPAWN != 0
+    }
+
+    pub fn set_dag_spawn(&mut self) {
+        self.flags |= flags::DAG_SPAWN;
+    }
 }
 
 /// Cross-function data transfer info attached to a consumer request.
@@ -134,6 +148,14 @@ pub(crate) struct ColdReq {
     /// Provider-style error injected into this request (fault plan),
     /// carried into its [`crate::request::Completion`].
     pub error: Option<u16>,
+    /// Unresolved DAG obligations (fan-out children and join arrivals)
+    /// this request spawned at `ComputeDone`; the instance is released
+    /// once the count drains to zero. Always zero for chain producers.
+    pub dag_pending: u32,
+    /// The external root of the workflow this request belongs to; `None`
+    /// for external requests themselves (a root's workflow key is its own
+    /// id) and for requests outside any workflow. Keys the join barriers.
+    pub wf_root: Option<RequestId>,
 }
 
 impl ColdReq {
@@ -155,6 +177,8 @@ impl ColdReq {
             root_span,
             chain_span: None,
             error: None,
+            dag_pending: 0,
+            wf_root: None,
         }
     }
 }

@@ -7,9 +7,10 @@
 //! [`simkit::engine::Model`] over [`CloudEvent`]s; each event corresponds
 //! to a hand-off point of the invocation lifecycle in the paper's Fig 1.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use simkit::calqueue::CalQueueStats;
+use simkit::dist::Dist;
 use simkit::engine::{Model, Scheduler, SeqBlock, Simulation};
 use simkit::metrics::Metrics;
 use simkit::queue::FifoQueue;
@@ -21,6 +22,7 @@ pub use crate::arena::RequestSlabStats;
 use crate::arena::{ColdReq, HotReq, RequestArena, XferInfo};
 use crate::billing::{ResourceUsage, UsageTracker};
 use crate::config::{ProviderConfig, ScalePolicy};
+use crate::dag::DagPlan;
 use crate::events::CloudEvent;
 use crate::instance::Instance;
 use crate::loadbalancer::DispatchServer;
@@ -120,12 +122,20 @@ pub mod metric {
     pub const FAULTS_SHED: &str = "faults_shed";
     /// Idle instances reaped by purge-storm events.
     pub const FAULTS_PURGED_INSTANCES: &str = "faults_purged_instances";
+    /// Internal invocations issued by the DAG engine (fan-out children
+    /// plus fired joins; compiled linear segments count as
+    /// [`CHAIN_INVOCATIONS`]).
+    pub const DAG_INVOCATIONS: &str = "dag_invocations";
+    /// Join barriers fired.
+    pub const JOINS_FIRED: &str = "joins_fired";
+    /// Branch arrivals that reached a k-of-n join after it fired.
+    pub const JOIN_STRAGGLERS: &str = "join_stragglers";
 
     /// Per-event-class dispatch counts from a profiled run, one counter
     /// per [`crate::events::CloudEvent`] variant, in `CLASS_NAMES` order.
     /// Recorded by [`super::CloudSim::record_profile_metrics`]; absent
     /// unless profiling was enabled.
-    pub const PROFILE_COUNT: [&str; 12] = [
+    pub const PROFILE_COUNT: [&str; 13] = [
         "profile_count_frontend_arrive",
         "profile_count_routing_done",
         "profile_count_enqueued",
@@ -138,10 +148,11 @@ pub mod metric {
         "profile_count_scale_tick",
         "profile_count_telemetry_tick",
         "profile_count_fault_storm",
+        "profile_count_join_arrive",
     ];
     /// Per-event-class wall-clock cost in nanoseconds (pop + dispatch +
     /// handler), parallel to [`PROFILE_COUNT`].
-    pub const PROFILE_NS: [&str; 12] = [
+    pub const PROFILE_NS: [&str; 13] = [
         "profile_ns_frontend_arrive",
         "profile_ns_routing_done",
         "profile_ns_enqueued",
@@ -154,6 +165,7 @@ pub mod metric {
         "profile_ns_scale_tick",
         "profile_ns_telemetry_tick",
         "profile_ns_fault_storm",
+        "profile_ns_join_arrive",
     ];
     /// Total wall-clock nanoseconds of the profiled event loop; the
     /// denominator of the cost table's coverage figure.
@@ -292,6 +304,10 @@ struct FunctionState {
     image_mb: f64,
     /// Lifetime/busy-time resource accounting.
     usage: UsageTracker,
+    /// `(dag index, node index)` when this function was deployed as a
+    /// DAG node; `None` for plain deployments. Gates every DAG arm in
+    /// the hot path, so non-DAG runs stay byte-identical.
+    dag_node: Option<(u32, u32)>,
 }
 
 impl FunctionState {
@@ -309,7 +325,9 @@ impl FunctionState {
     }
 
     /// Outstanding load committed to instance `idx`: queued commitments
-    /// plus the request it is executing.
+    /// plus the request it is executing. Ground truth for the debug-only
+    /// load-cache lockstep check; release builds read the cache alone.
+    #[cfg(debug_assertions)]
     fn load(&self, idx: usize) -> usize {
         self.committed[idx].len() + usize::from(self.instances[idx].is_busy())
     }
@@ -349,6 +367,142 @@ fn commit_cap(policy: &ScalePolicy, service_estimate_ms: f64) -> Option<usize> {
             Some(cap.clamp(1.0, 10_000.0) as usize)
         }
     }
+}
+
+/// Handles to a deployed workflow (see [`CloudSim::deploy_dag`]).
+#[derive(Debug, Clone)]
+pub struct DagDeployment {
+    /// The workflow's entry function: submit external requests here.
+    pub root: FunctionId,
+    /// One function per plan node, indexed like [`DagPlan::nodes`].
+    pub functions: Vec<FunctionId>,
+}
+
+/// Straggler-amplification statistics of one join node, computed over
+/// every barrier firing of the run (see [`CloudSim::dag_join_stats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinStats {
+    /// The join function.
+    pub function: FunctionId,
+    /// Barriers fired (one per workflow invocation that reached the join).
+    pub fired: u64,
+    /// Arrivals that reached a k-of-n barrier after it fired.
+    pub stragglers: u64,
+    /// Branch arrivals observed.
+    pub branch_samples: u64,
+    /// p99 of individual branch latencies (branch issue to barrier
+    /// arrival), ms.
+    pub branch_p99_ms: f64,
+    /// p99 of barrier-fire latencies (earliest counted branch issue to
+    /// the k-th arrival), ms — governed by the max over branches.
+    pub join_p99_ms: f64,
+    /// `join_p99_ms / branch_p99_ms`: the tail-at-scale amplification a
+    /// fan-out/fan-in stage adds over a single branch.
+    pub amplification: f64,
+}
+
+/// Per-node conservation counters for DAG-engine-spawned requests
+/// (fan-out children and fired joins; compiled linear hops are accounted
+/// by the legacy chain path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DagNodeCounters {
+    /// Requests the DAG engine spawned for this node.
+    pub spawned: u64,
+    /// Spawned requests that completed.
+    pub completed: u64,
+    /// Spawned requests retired by a cancellation cascade.
+    pub cancelled: u64,
+}
+
+/// One resolved out-edge of a deployed DAG node.
+#[derive(Debug, Clone)]
+struct RuntimeEdge {
+    /// Target function.
+    target: FunctionId,
+    mode: TransferMode,
+    /// Payload-size distribution, bytes.
+    payload: Dist,
+    /// `Some((k, n))` when the target is a fan-in barrier needing `k` of
+    /// `n` arrivals; `None` spawns a direct child request.
+    join: Option<(u32, u32)>,
+}
+
+/// Runtime view of one deployed DAG node: just the out-edges the fork
+/// handler walks (linear-compiled edges are lowered into `spec.chain`
+/// and excluded here).
+#[derive(Debug, Clone)]
+struct RuntimeNode {
+    out: Vec<RuntimeEdge>,
+}
+
+/// A deployed workflow's runtime edge table.
+#[derive(Debug, Clone)]
+struct InstalledDag {
+    nodes: Vec<RuntimeNode>,
+}
+
+/// One branch arrival recorded at a join barrier before it fires.
+#[derive(Debug, Clone, Copy)]
+struct JoinArrival {
+    /// The producer request now blocked on the barrier.
+    parent: RequestId,
+    mode: TransferMode,
+    payload_bytes: u64,
+    send_start: SimTime,
+    parent_tag: u64,
+}
+
+/// Barrier state of one (workflow, join-function) pair.
+#[derive(Debug)]
+struct JoinBarrier {
+    /// Arrivals required to fire.
+    needed: u32,
+    /// Total inbound edges (all arrivals ever expected).
+    total: u32,
+    /// Arrivals seen so far (counted and stragglers).
+    arrived: u32,
+    /// Whether the barrier has fired; set exactly once.
+    fired: bool,
+    /// Earliest issue time over counted arrivals' producers (join-latency
+    /// numerator base).
+    min_issue: SimTime,
+    /// Counted arrivals, in arrival order; drained into [`JoinMeta`] at
+    /// fire time.
+    arrivals: Vec<JoinArrival>,
+}
+
+/// Side table of a fired join request: who to resume at its completion
+/// and the per-edge transfer records to emit at assignment.
+#[derive(Debug)]
+struct JoinMeta {
+    /// Producers blocked on the join round trip, in arrival order.
+    parents: Vec<RequestId>,
+    /// The counted arrivals (per-edge transfer accounting).
+    edges: Vec<JoinArrival>,
+}
+
+/// Payload metadata for an in-flight [`CloudEvent::JoinArrive`], keyed by
+/// `(producer packed id, join function index)` — the event itself stays
+/// a two-id `Copy`.
+#[derive(Debug, Clone, Copy)]
+struct PendingArrival {
+    mode: TransferMode,
+    payload_bytes: u64,
+    send_start: SimTime,
+    /// Barrier parameters of the target (k, n).
+    needed: u32,
+    total: u32,
+}
+
+/// Latency accumulator of one join function.
+#[derive(Debug, Default)]
+struct JoinAccum {
+    /// Per-branch latencies: producer issue to barrier arrival, ms.
+    branch_ms: Vec<f64>,
+    /// Per-firing latencies: earliest counted issue to fire, ms.
+    join_ms: Vec<f64>,
+    stragglers: u64,
+    fired: u64,
 }
 
 /// The cloud model (see module docs). Use through [`CloudSim`].
@@ -400,6 +554,37 @@ pub struct Cloud {
     fault_plan: Option<faults::FaultPlan>,
     /// Injection and degradation counters (all zero without a plan).
     fault_stats: faults::FaultStats,
+    /// Deployed workflow edge tables; indexed by `FunctionState::dag_node`.
+    dags: Vec<InstalledDag>,
+    /// Dedicated DAG stream (per-edge payload draws). Forked
+    /// unconditionally — forking hashes the label without advancing the
+    /// parent — and only consulted by deployed workflows, so DAG-free
+    /// runs stay byte-identical.
+    rng_dag: Rng,
+    /// Join barriers keyed by `(workflow root packed id, join function
+    /// index)`. BTreeMap: iteration/removal order must be deterministic —
+    /// it feeds slot-reuse order, which feeds trace digests.
+    join_barriers: BTreeMap<(u64, u32), JoinBarrier>,
+    /// Fired-join side tables keyed by the join request's packed id.
+    join_meta: BTreeMap<u64, JoinMeta>,
+    /// DAG children spawned by each producer (packed id), for the
+    /// cancellation cascade. Cleared when the producer's obligations
+    /// resolve.
+    dag_children: BTreeMap<u64, Vec<RequestId>>,
+    /// In-flight `JoinArrive` payload metadata, keyed by `(producer
+    /// packed id, join function index)`.
+    pending_arrivals: BTreeMap<(u64, u32), PendingArrival>,
+    /// Per-join-function latency accumulators, keyed by function index.
+    join_accums: BTreeMap<u32, JoinAccum>,
+    /// Per-node conservation counters, keyed by function index.
+    dag_counters: BTreeMap<u32, DagNodeCounters>,
+    /// Internal (chain hop, fan-out child, join) completions, recorded
+    /// only when `record_internal` is set — the main `completions`
+    /// stream drives client expected-count logic and must stay
+    /// external-only.
+    internal_completions: Vec<Completion>,
+    /// Whether to record internal completions (per-stage breakdowns).
+    record_internal: bool,
 }
 
 impl Cloud {
@@ -420,6 +605,16 @@ impl Cloud {
             rng_faults: root.fork("faults"),
             fault_plan: None,
             fault_stats: faults::FaultStats::default(),
+            dags: Vec::new(),
+            rng_dag: root.fork("dag"),
+            join_barriers: BTreeMap::new(),
+            join_meta: BTreeMap::new(),
+            dag_children: BTreeMap::new(),
+            pending_arrivals: BTreeMap::new(),
+            join_accums: BTreeMap::new(),
+            dag_counters: BTreeMap::new(),
+            internal_completions: Vec::new(),
+            record_internal: false,
             cfg,
             functions: Vec::new(),
             requests: RequestArena::default(),
@@ -484,6 +679,14 @@ impl Cloud {
         self.requests.is_live(rid)
     }
 
+    /// The external root of `rid`'s workflow: the propagated ancestor for
+    /// spawned requests, the request itself for external roots. Keys the
+    /// join barriers so concurrent invocations of one DAG never share
+    /// state.
+    fn wf_root_of(&self, rid: RequestId) -> RequestId {
+        self.cold(rid).wf_root.unwrap_or(rid)
+    }
+
     /// Emits one component span under `rid`'s root span. No-op when
     /// tracing is off or the request predates it. Emission draws no
     /// randomness and schedules no events, so enabling a trace cannot
@@ -525,36 +728,109 @@ impl Cloud {
         });
     }
 
-    /// Retires a cancelled request's slot. If it is a chain hop whose
-    /// producer was cancelled along with it, the producer's slot is
-    /// retired too: once a producer's `ComputeDone` has fired, this hop
-    /// is the only reference that can ever reach the producer again
-    /// (its `ExecDone` is scheduled by the hop's completion, which a
-    /// cancelled hop never performs).
+    /// Retires a cancelled request's slot, then walks every reference
+    /// that can never be reached again: a chain hop's producer (once the
+    /// producer's `ComputeDone` has fired, the hop is the only remaining
+    /// reference — its `ExecDone` is scheduled by the hop's completion,
+    /// which a cancelled hop never performs), and, for a fired join, the
+    /// branch producers blocked on its round trip. An iterative worklist
+    /// rather than recursion: a deep chain cancelled mid-flight would
+    /// otherwise nest one stack frame per hop.
     fn free_cancelled(&mut self, rid: RequestId) {
-        let (_, cold) = self.requests.free(rid);
-        if let RequestOrigin::Internal { parent } = cold.origin {
-            if self.is_live(parent) && self.hot(parent).cancelled() {
-                self.free_cancelled(parent);
+        let mut work = vec![rid];
+        while let Some(r) = work.pop() {
+            // A slot can be queued for freeing through two paths (e.g. a
+            // producer referenced by two cancelled children); the first
+            // free bumps the generation so later visits are no-ops.
+            if !self.is_live(r) {
+                continue;
+            }
+            let (hot, cold) = self.requests.free(r);
+            if hot.dag_spawn() {
+                self.dag_counters.entry(hot.function.0).or_default().cancelled += 1;
+            }
+            self.dag_children.remove(&r.packed());
+            if let Some(meta) = self.join_meta.remove(&r.packed()) {
+                for parent in meta.parents {
+                    if self.is_live(parent) && self.hot(parent).cancelled() {
+                        work.push(parent);
+                    }
+                }
+            }
+            if let RequestOrigin::Internal { parent } = cold.origin {
+                if self.is_live(parent) && self.hot(parent).cancelled() {
+                    work.push(parent);
+                }
             }
         }
     }
 
     /// Executes a client cancellation. The request may legitimately be
     /// gone (completed in the same event batch) or already cancelled —
-    /// both are no-ops. Otherwise the request is marked; if it is
-    /// executing, its instance is freed *now* and the elapsed busy time
-    /// booked as waste; if it is queued or mid-pipeline, the slot is
-    /// retired by whichever handler or queue pop touches it next. An
-    /// in-flight chain hop is cancelled along with its producer.
+    /// both are no-ops. Otherwise the whole in-flight workflow below it
+    /// is collected (chain hops and DAG children alike) and cancelled
+    /// deepest-first — iteratively, so an N-deep chain costs O(N) heap
+    /// instead of N stack frames — and any join barriers keyed under the
+    /// request are torn down, freeing branch producers that were blocked
+    /// on them. Each cancelled request is marked; if it is executing,
+    /// its instance is freed *now* and the elapsed busy time booked as
+    /// waste; if it is queued or mid-pipeline, the slot is retired by
+    /// whichever handler or queue pop touches it next.
     fn on_cancel(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
         if !self.is_live(rid) || self.hot(rid).cancelled() {
             return;
         }
-        if let Some(child) = self.cold(rid).chain_child {
-            if self.is_live(child) {
-                self.on_cancel(now, child, sched);
+        // Preorder collection of the spawn tree...
+        let mut order = vec![rid];
+        let mut i = 0;
+        while i < order.len() {
+            let r = order[i];
+            i += 1;
+            if let Some(child) = self.cold(r).chain_child {
+                if self.is_live(child) {
+                    order.push(child);
+                }
             }
+            if let Some(kids) = self.dag_children.get(&r.packed()) {
+                for &kid in kids {
+                    if self.is_live(kid) {
+                        order.push(kid);
+                    }
+                }
+            }
+        }
+        // ...processed reversed (deepest-first), matching the recursive
+        // cascade's event-scheduling order exactly: each cancel may free
+        // an instance and pull queued work, so the order is part of the
+        // deterministic event sequence.
+        for j in (0..order.len()).rev() {
+            self.cancel_one(now, order[j], sched);
+        }
+        // Tear down any barriers of the workflow rooted here: producers
+        // recorded as arrivals have no pending lifecycle event of their
+        // own (they were waiting for the barrier to fire), so they are
+        // freed now or never.
+        let root_key = rid.packed();
+        let barrier_keys: Vec<(u64, u32)> = self
+            .join_barriers
+            .range((root_key, 0)..=(root_key, u32::MAX))
+            .map(|(key, _)| *key)
+            .collect();
+        for key in barrier_keys {
+            let barrier = self.join_barriers.remove(&key).expect("key just listed");
+            for arrival in barrier.arrivals {
+                if self.is_live(arrival.parent) && self.hot(arrival.parent).cancelled() {
+                    self.free_cancelled(arrival.parent);
+                }
+            }
+        }
+    }
+
+    /// Marks and unwinds one request of a cancellation cascade (the body
+    /// the recursive `on_cancel` used to run per hop).
+    fn cancel_one(&mut self, now: SimTime, rid: RequestId, sched: &mut Scheduler<CloudEvent>) {
+        if !self.is_live(rid) || self.hot(rid).cancelled() {
+            return;
         }
         self.hot_mut(rid).set_cancelled();
         self.cancel_stats.cancelled += 1;
@@ -1246,8 +1522,22 @@ impl Cloud {
         cold.breakdown.cold = cold_breakdown;
 
         // Record the transfer sample at the instant the payload is in the
-        // consumer's hands (paper §V methodology).
-        if let Some(x) = xfer {
+        // consumer's hands (paper §V methodology). A fired join records
+        // one sample per counted inbound edge instead of its aggregate
+        // `xfer_in` (which only drives the cost model above).
+        if let Some(meta) = self.join_meta.get(&rid.packed()) {
+            let received = now + SimTime::from_millis(steer_ms + handling_ms + payload_get_ms);
+            for edge in &meta.edges {
+                self.transfers.push(TransferSample {
+                    parent: edge.parent,
+                    parent_tag: edge.parent_tag,
+                    mode: edge.mode,
+                    payload_bytes: edge.payload_bytes,
+                    send_start: edge.send_start,
+                    received,
+                });
+            }
+        } else if let Some(x) = xfer {
             let received = now + SimTime::from_millis(steer_ms + handling_ms + payload_get_ms);
             self.transfers.push(TransferSample {
                 parent: x.parent,
@@ -1296,11 +1586,19 @@ impl Cloud {
         }
         let fid = self.hot(rid).function;
         let chain = self.fstate(fid).spec.chain;
+        // Whether this function forks DAG out-edges after execution.
+        // `dag_node` is `None` for every plain deployment, so DAG-free
+        // runs take the exact legacy control flow.
+        let dag_forks = chain.is_none()
+            && self.fstate(fid).dag_node.is_some_and(|(dag, node)| {
+                !self.dags[dag as usize].nodes[node as usize].out.is_empty()
+            });
         // Mid-execution instance crash: the instance dies at the end of
         // user compute, the finished work is wasted, and the client gets
         // a 500. Injected only into chainless external executions —
-        // crashing a producer mid-chain would orphan its hop.
-        if chain.is_none() {
+        // crashing a producer mid-chain (or mid-fork) would orphan its
+        // hops.
+        if chain.is_none() && !dag_forks {
             if let Some(plan) = self.fault_plan.take() {
                 let roll = plan.crash_p > 0.0
                     && self.cold(rid).origin.is_external()
@@ -1343,14 +1641,264 @@ impl Cloud {
                     }),
                 );
                 self.stats.internal += 1;
+                // Propagate the workflow root through compiled linear
+                // segments so a downstream fork or join arrival keys the
+                // right barrier. Pure bookkeeping: no draws, no events,
+                // so legacy chain runs stay byte-identical.
+                let root = self.wf_root_of(rid);
+                self.cold_mut(child).wf_root = Some(root);
                 self.cold_mut(rid).chain_child = Some(child);
                 sched.schedule_at(child_issue_at, CloudEvent::FrontendArrive(child));
                 // The producer instance stays busy until the child returns.
+            }
+            None if dag_forks => {
+                let (dag, node) = self.fstate(fid).dag_node.expect("dag_forks checked");
+                self.dag_fork(now, rid, dag, node, sched);
             }
             None => {
                 sched.schedule_at(now, CloudEvent::ExecDone(rid, iid));
             }
         }
+    }
+
+    /// Producer side of a DAG fan-out (the multi-successor analogue of
+    /// the chain arm above): one obligation per out-edge — a direct child
+    /// request for plain successors, a [`CloudEvent::JoinArrive`] for
+    /// fan-in successors — with the producer's instance held busy until
+    /// every obligation resolves.
+    fn dag_fork(
+        &mut self,
+        now: SimTime,
+        rid: RequestId,
+        dag: u32,
+        node: u32,
+        sched: &mut Scheduler<CloudEvent>,
+    ) {
+        // Take the edge table out of `self` so edge payloads can be
+        // sampled while spawning (the fault-plan take/restore idiom).
+        let dags = std::mem::take(&mut self.dags);
+        let edges = &dags[dag as usize].nodes[node as usize].out;
+        let chain_span = self.trace.as_mut().map(Tracer::alloc_id);
+        let tag = {
+            let cold = self.cold_mut(rid);
+            cold.chain_started = Some(now);
+            cold.chain_span = chain_span;
+            cold.dag_pending = edges.len() as u32;
+            cold.tag
+        };
+        let root = self.wf_root_of(rid);
+        let inline_cap = self.cfg.network.max_inline_payload;
+        for edge in edges {
+            let mut payload_bytes = edge.payload.sample(&mut self.rng_dag).round().max(1.0) as u64;
+            if edge.mode == TransferMode::Inline {
+                payload_bytes = payload_bytes.min(inline_cap);
+            }
+            let issue_at = match edge.mode {
+                TransferMode::Inline => now,
+                TransferMode::Storage => {
+                    let put_ms = self.payload_store.put_ms(payload_bytes);
+                    now + SimTime::from_millis(put_ms)
+                }
+            };
+            self.metrics.inc(metric::DAG_INVOCATIONS);
+            match edge.join {
+                None => {
+                    let child = self.create_request(
+                        edge.target,
+                        RequestOrigin::Internal { parent: rid },
+                        tag,
+                        issue_at,
+                        Some(XferInfo {
+                            mode: edge.mode,
+                            payload_bytes,
+                            send_start: now,
+                            parent: rid,
+                            parent_tag: tag,
+                        }),
+                    );
+                    self.stats.internal += 1;
+                    self.dag_counters.entry(edge.target.0).or_default().spawned += 1;
+                    {
+                        let hot = self.hot_mut(child);
+                        hot.set_dag_spawn();
+                    }
+                    self.cold_mut(child).wf_root = Some(root);
+                    self.dag_children.entry(rid.packed()).or_default().push(child);
+                    sched.schedule_at(issue_at, CloudEvent::FrontendArrive(child));
+                }
+                Some((needed, total)) => {
+                    self.pending_arrivals.insert(
+                        (rid.packed(), edge.target.0),
+                        PendingArrival {
+                            mode: edge.mode,
+                            payload_bytes,
+                            send_start: now,
+                            needed,
+                            total,
+                        },
+                    );
+                    sched.schedule_at(issue_at, CloudEvent::JoinArrive(rid, edge.target));
+                }
+            }
+        }
+        self.dags = dags;
+    }
+
+    /// A branch reaches a join barrier. Counted arrivals accumulate until
+    /// the k-th fires the barrier, spawning the join request; later
+    /// arrivals are stragglers whose producers resume immediately.
+    fn on_join_arrive(
+        &mut self,
+        now: SimTime,
+        parent: RequestId,
+        jfid: FunctionId,
+        sched: &mut Scheduler<CloudEvent>,
+    ) {
+        let Some(pending) = self.pending_arrivals.remove(&(parent.packed(), jfid.0)) else {
+            // The producer's slot was already torn down (its workflow was
+            // cancelled and freed before this event fired).
+            return;
+        };
+        if !self.is_live(parent) {
+            return;
+        }
+        if self.hot(parent).cancelled() {
+            self.free_cancelled(parent);
+            return;
+        }
+        let root = self.wf_root_of(parent);
+        let issued_at = self.hot(parent).issued_at;
+        let parent_tag = self.cold(parent).tag;
+        let branch_ms = (now - issued_at).as_millis();
+        self.join_accums.entry(jfid.0).or_default().branch_ms.push(branch_ms);
+
+        let key = (root.packed(), jfid.0);
+        let barrier = self.join_barriers.entry(key).or_insert(JoinBarrier {
+            needed: pending.needed,
+            total: pending.total,
+            arrived: 0,
+            fired: false,
+            min_issue: issued_at,
+            arrivals: Vec::new(),
+        });
+        barrier.arrived += 1;
+        if barrier.fired {
+            // Straggler: the barrier fired without this branch; its
+            // producer's obligation resolves right here instead of at the
+            // join round trip.
+            let done = barrier.arrived == barrier.total;
+            if done {
+                self.join_barriers.remove(&key);
+            }
+            let accum = self.join_accums.entry(jfid.0).or_default();
+            accum.stragglers += 1;
+            self.metrics.inc(metric::JOIN_STRAGGLERS);
+            self.resolve_dag_obligation(now, parent, sched);
+            return;
+        }
+        barrier.min_issue = barrier.min_issue.min(issued_at);
+        barrier.arrivals.push(JoinArrival {
+            parent,
+            mode: pending.mode,
+            payload_bytes: pending.payload_bytes,
+            send_start: pending.send_start,
+            parent_tag,
+        });
+        if barrier.arrived < barrier.needed {
+            return;
+        }
+        // Fire: exactly once per (workflow, join) — the `fired` flag
+        // turns every later arrival into a straggler.
+        debug_assert!(!barrier.fired, "join barrier fired twice");
+        barrier.fired = true;
+        let min_issue = barrier.min_issue;
+        let arrivals = std::mem::take(&mut barrier.arrivals);
+        if barrier.arrived == barrier.total {
+            self.join_barriers.remove(&key);
+        }
+        {
+            let accum = self.join_accums.entry(jfid.0).or_default();
+            accum.join_ms.push((now - min_issue).as_millis());
+            accum.fired += 1;
+        }
+        self.metrics.inc(metric::JOINS_FIRED);
+
+        // The join request aggregates its inbound payloads: storage mode
+        // if any edge used storage, total bytes across counted edges. The
+        // aggregate drives the consumer-side cost model; per-edge
+        // transfer samples are recorded at assignment from the meta
+        // table.
+        let firing = arrivals.last().expect("barrier fired with no arrivals").parent;
+        let agg_mode = if arrivals.iter().any(|a| a.mode == TransferMode::Storage) {
+            TransferMode::Storage
+        } else {
+            TransferMode::Inline
+        };
+        let agg_bytes = arrivals.iter().map(|a| a.payload_bytes).sum();
+        let send_start = arrivals.iter().map(|a| a.send_start).min().expect("non-empty");
+        let tag = self.cold(firing).tag;
+        let jrid = self.create_request(
+            jfid,
+            RequestOrigin::Internal { parent: firing },
+            tag,
+            now,
+            Some(XferInfo {
+                mode: agg_mode,
+                payload_bytes: agg_bytes,
+                send_start,
+                parent: firing,
+                parent_tag: tag,
+            }),
+        );
+        self.stats.internal += 1;
+        self.dag_counters.entry(jfid.0).or_default().spawned += 1;
+        self.hot_mut(jrid).set_dag_spawn();
+        self.cold_mut(jrid).wf_root = Some(root);
+        self.dag_children.entry(firing.packed()).or_default().push(jrid);
+        self.join_meta.insert(
+            jrid.packed(),
+            JoinMeta { parents: arrivals.iter().map(|a| a.parent).collect(), edges: arrivals },
+        );
+        sched.schedule_at(now, CloudEvent::FrontendArrive(jrid));
+    }
+
+    /// Resolves one DAG obligation of `parent`; when the last one drains
+    /// the producer's chain wait ends and its instance moves on to the
+    /// response path (the fan-out analogue of the chain resume in
+    /// `on_completed`).
+    fn resolve_dag_obligation(
+        &mut self,
+        now: SimTime,
+        parent: RequestId,
+        sched: &mut Scheduler<CloudEvent>,
+    ) {
+        let remaining = {
+            let cold = self.cold_mut(parent);
+            debug_assert!(cold.dag_pending > 0, "resolving with no pending obligations");
+            cold.dag_pending -= 1;
+            cold.dag_pending
+        };
+        if remaining > 0 {
+            return;
+        }
+        let chain_started = self.cold(parent).chain_started.expect("fork without a start time");
+        self.cold_mut(parent).breakdown.chain_ms = (now - chain_started).as_millis();
+        self.dag_children.remove(&parent.packed());
+        if let Some(chain_id) = self.cold(parent).chain_span {
+            let producer_root = self.cold(parent).root_span;
+            if let Some(tracer) = self.trace.as_mut() {
+                tracer.emit(SpanRecord {
+                    span_id: chain_id,
+                    parent: producer_root,
+                    request: parent.packed(),
+                    component: span_tag::CHAIN,
+                    start: chain_started,
+                    end: now,
+                });
+            }
+        }
+        let pinst = self.hot(parent).instance.expect("forking producer without instance");
+        sched.schedule_at(now, CloudEvent::ExecDone(parent, pinst));
     }
 
     fn on_exec_done(
@@ -1467,34 +2015,79 @@ impl Cloud {
                 });
             }
             RequestOrigin::Internal { parent } => {
-                // Resume the producer: its chain round-trip is over.
-                let pinst = self.hot(parent).instance.expect("parent without instance");
-                let chain_started =
-                    self.cold(parent).chain_started.expect("parent without chain start");
-                {
-                    let pcold = self.cold_mut(parent);
-                    pcold.breakdown.chain_ms = (now - chain_started).as_millis();
-                    pcold.chain_child = None;
-                }
-                let chain_span = self.cold(parent).chain_span;
-                if let Some(chain_id) = chain_span {
-                    let producer_root = self.cold(parent).root_span;
-                    if let Some(tracer) = self.trace.as_mut() {
-                        tracer.emit(SpanRecord {
-                            span_id: chain_id,
-                            parent: producer_root,
-                            request: parent.packed(),
-                            component: span_tag::CHAIN,
-                            start: chain_started,
-                            end: now,
-                        });
+                if let Some(meta) = self.join_meta.remove(&rid.packed()) {
+                    // A fired join's round trip is over: resume every
+                    // branch producer that was counted into the barrier.
+                    let chain_span = self.cold(parent).chain_span;
+                    self.emit_root_span(rid, now, chain_span);
+                    self.record_internal_completion(rid, now);
+                    self.dag_counters.entry(self.hot(rid).function.0).or_default().completed += 1;
+                    self.requests.free(rid);
+                    for p in meta.parents {
+                        self.resolve_dag_obligation(now, p, sched);
                     }
+                } else if self.cold(parent).chain_child == Some(rid) {
+                    // Resume the producer: its chain round-trip is over.
+                    let pinst = self.hot(parent).instance.expect("parent without instance");
+                    let chain_started =
+                        self.cold(parent).chain_started.expect("parent without chain start");
+                    {
+                        let pcold = self.cold_mut(parent);
+                        pcold.breakdown.chain_ms = (now - chain_started).as_millis();
+                        pcold.chain_child = None;
+                    }
+                    let chain_span = self.cold(parent).chain_span;
+                    if let Some(chain_id) = chain_span {
+                        let producer_root = self.cold(parent).root_span;
+                        if let Some(tracer) = self.trace.as_mut() {
+                            tracer.emit(SpanRecord {
+                                span_id: chain_id,
+                                parent: producer_root,
+                                request: parent.packed(),
+                                component: span_tag::CHAIN,
+                                start: chain_started,
+                                end: now,
+                            });
+                        }
+                    }
+                    self.emit_root_span(rid, now, chain_span);
+                    self.record_internal_completion(rid, now);
+                    self.requests.free(rid);
+                    sched.schedule_at(now, CloudEvent::ExecDone(parent, pinst));
+                } else {
+                    // A direct DAG fan-out child: one obligation of its
+                    // forking producer resolves.
+                    let chain_span = self.cold(parent).chain_span;
+                    self.emit_root_span(rid, now, chain_span);
+                    self.record_internal_completion(rid, now);
+                    self.dag_counters.entry(self.hot(rid).function.0).or_default().completed += 1;
+                    self.requests.free(rid);
+                    self.resolve_dag_obligation(now, parent, sched);
                 }
-                self.emit_root_span(rid, now, chain_span);
-                self.requests.free(rid);
-                sched.schedule_at(now, CloudEvent::ExecDone(parent, pinst));
             }
         }
+    }
+
+    /// Records an internal completion when per-stage recording is on.
+    /// Call before freeing the slot; recording draws no randomness and
+    /// schedules no events, so enabling it cannot perturb results.
+    fn record_internal_completion(&mut self, rid: RequestId, now: SimTime) {
+        if !self.record_internal {
+            return;
+        }
+        let hot = *self.hot(rid);
+        let cold = *self.cold(rid);
+        self.internal_completions.push(Completion {
+            id: rid,
+            function: hot.function,
+            tag: cold.tag,
+            origin: cold.origin,
+            issued_at: hot.issued_at,
+            completed_at: now,
+            cold: hot.cold_start(),
+            breakdown: cold.breakdown,
+            error: cold.error,
+        });
     }
 
     fn maybe_schedule_reap(
@@ -1562,6 +2155,18 @@ impl Cloud {
     }
 }
 
+/// Exact p99 by sorting: the straggler accumulators hold every sample, so
+/// no sketch is needed (and the exactness keeps the bench pins stable).
+fn exact_p99(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+    let idx = ((sorted.len() as f64) * 0.99).ceil() as usize;
+    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 impl Model for Cloud {
     type Event = CloudEvent;
 
@@ -1579,6 +2184,7 @@ impl Model for Cloud {
             CloudEvent::ScaleTick(fid) => self.on_scale_tick(now, fid, sched),
             CloudEvent::TelemetryTick => self.on_telemetry_tick(now, sched),
             CloudEvent::FaultStorm => self.on_fault_storm(now, sched),
+            CloudEvent::JoinArrive(rid, fid) => self.on_join_arrive(now, rid, fid, sched),
         }
     }
 }
@@ -1689,8 +2295,170 @@ impl CloudSim {
             commit_cap: function_commit_cap,
             image_mb,
             usage: UsageTracker::default(),
+            dag_node: None,
         });
         Ok(fid)
+    }
+
+    /// Deploys a compiled workflow: one function per plan node (named
+    /// `{workflow}/{node}`), wired for fan-out/fan-in execution.
+    ///
+    /// Linear segments — a single out-edge into an in-degree-1 node with
+    /// a constant payload — are lowered onto the legacy `ChainSpec` hot
+    /// path, so a fully linear plan runs byte-identical to the same
+    /// functions deployed with [`crate::spec::FunctionSpecBuilder::chain`].
+    /// All other
+    /// edges are installed in the DAG runtime table: the producer forks
+    /// one obligation per edge at compute-done and stays busy until every
+    /// obligation resolves (downstream completion, or the k-th arrival
+    /// firing a join barrier).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::InlinePayloadTooLarge`] when a constant
+    /// inline edge payload exceeds the provider cap (sampled payloads are
+    /// clamped to the cap at fork time instead), or any error from the
+    /// per-node [`CloudSim::deploy`] calls.
+    pub fn deploy_dag(&mut self, plan: &DagPlan) -> Result<DagDeployment, DeployError> {
+        // Check every constant inline payload up front so a failed deploy
+        // never leaves a partially-installed workflow behind.
+        let limit = self.sim.model().cfg.network.max_inline_payload;
+        for node in &plan.nodes {
+            for e in &node.out {
+                if e.mode == TransferMode::Inline {
+                    if let Some(bytes) = e.constant_payload() {
+                        if bytes > limit {
+                            return Err(DeployError::InlinePayloadTooLarge {
+                                requested: bytes,
+                                limit,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // A node's only out-edge compiles onto the legacy chain path when
+        // the target cannot be a barrier and the payload needs no draw.
+        let chain_target = |i: usize| -> Option<usize> {
+            let node = &plan.nodes[i];
+            if node.out.len() != 1 {
+                return None;
+            }
+            let e = &node.out[0];
+            if plan.nodes[e.to].in_degree != 1 {
+                return None;
+            }
+            e.constant_payload().map(|_| e.to)
+        };
+        // Deploy in reverse topological order so every chain target
+        // already exists when its producer's spec is validated.
+        let mut fids: Vec<FunctionId> = vec![FunctionId(u32::MAX); plan.nodes.len()];
+        for &i in plan.topo.iter().rev() {
+            let node = &plan.nodes[i];
+            let mut builder = FunctionSpec::builder(format!("{}/{}", plan.name, node.name))
+                .runtime(node.runtime)
+                .deployment(node.deployment)
+                .memory_mb(node.memory_mb)
+                .extra_image_mb(node.extra_image_mb)
+                .exec_ms(node.exec_ms.clone());
+            if let Some(to) = chain_target(i) {
+                let e = &node.out[0];
+                let bytes = e.constant_payload().expect("chain_target checked constant");
+                builder = builder.chain(fids[to], e.mode, bytes);
+            }
+            fids[i] = self.deploy(builder.build())?;
+        }
+        let nodes = plan
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let out = if chain_target(i).is_some() {
+                    Vec::new()
+                } else {
+                    node.out
+                        .iter()
+                        .map(|e| {
+                            let tgt = &plan.nodes[e.to];
+                            RuntimeEdge {
+                                target: fids[e.to],
+                                mode: e.mode,
+                                payload: e.payload.clone(),
+                                join: tgt.is_join().then_some((tgt.join_k, tgt.in_degree)),
+                            }
+                        })
+                        .collect()
+                };
+                RuntimeNode { out }
+            })
+            .collect();
+        let cloud = self.sim.model_mut();
+        let dag_idx = cloud.dags.len() as u32;
+        cloud.dags.push(InstalledDag { nodes });
+        for (i, &fid) in fids.iter().enumerate() {
+            cloud.functions[fid.index()].dag_node = Some((dag_idx, i as u32));
+        }
+        Ok(DagDeployment { root: fids[plan.root], functions: fids })
+    }
+
+    /// Straggler-amplification statistics per join function, over every
+    /// barrier firing so far. Empty when no workflow with a join ran.
+    pub fn dag_join_stats(&self) -> Vec<JoinStats> {
+        let cloud = self.sim.model();
+        cloud
+            .join_accums
+            .iter()
+            .map(|(&fid, acc)| {
+                let branch_p99_ms = exact_p99(&acc.branch_ms);
+                let join_p99_ms = exact_p99(&acc.join_ms);
+                JoinStats {
+                    function: FunctionId(fid),
+                    fired: acc.fired,
+                    stragglers: acc.stragglers,
+                    branch_samples: acc.branch_ms.len() as u64,
+                    branch_p99_ms,
+                    join_p99_ms,
+                    amplification: if branch_p99_ms > 0.0 {
+                        join_p99_ms / branch_p99_ms
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Per-function conservation counters for DAG-engine-spawned requests
+    /// (fan-out children and fired joins). Every spawned request must end
+    /// up completed or cancelled by the time the run drains.
+    pub fn dag_node_counters(&self) -> Vec<(FunctionId, DagNodeCounters)> {
+        self.sim.model().dag_counters.iter().map(|(&f, &c)| (FunctionId(f), c)).collect()
+    }
+
+    /// Enables recording of *internal* completions (chain hops, fan-out
+    /// children, fired joins) for per-stage reporting. Off by default:
+    /// the main completion stream stays external-only either way, and
+    /// recording draws no randomness, so toggling this cannot change
+    /// simulation results.
+    pub fn record_internal_completions(&mut self, on: bool) {
+        self.sim.model_mut().record_internal = on;
+    }
+
+    /// Drains internal completions recorded since the last drain (see
+    /// [`CloudSim::record_internal_completions`]).
+    pub fn drain_internal_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.sim.model_mut().internal_completions)
+    }
+
+    /// Whether every DAG side table has drained — true at idle for any
+    /// run in which all workflows finished or were cancelled. Leak check
+    /// for the invariant tests.
+    pub fn dag_tables_empty(&self) -> bool {
+        let cloud = self.sim.model();
+        cloud.join_barriers.is_empty()
+            && cloud.join_meta.is_empty()
+            && cloud.dag_children.is_empty()
+            && cloud.pending_arrivals.is_empty()
     }
 
     /// Submits an external invocation of `function` issued at `at`,
@@ -2083,5 +2851,206 @@ mod tests {
             assert_eq!(metric::PROFILE_NS[i], format!("profile_ns_{class}"));
             assert_eq!(metric::PROFILE_COUNT[i], format!("profile_count_{class}"));
         }
+    }
+
+    use simkit::dist::Dist;
+    use simkit::time::SimTime;
+
+    use super::CloudSim;
+    use crate::dag::{DagNodeSpec, DagSpec, JoinSpec};
+    use crate::spec::FunctionSpec;
+    use crate::testutil::test_provider;
+    use crate::types::TransferMode;
+
+    /// Runs `sim` forward in 50 ms steps until at least `depth` request
+    /// slots are simultaneously live (root plus internal hops), so a
+    /// cancel lands mid-flight at a known cascade depth.
+    fn run_until_depth(sim: &mut CloudSim, depth: u64) {
+        let mut t = 0.0;
+        while sim.request_slab_stats().live < depth {
+            t += 50.0;
+            assert!(t < 60_000.0, "never reached {depth} simultaneously live requests");
+            sim.run_until(SimTime::from_millis(t));
+        }
+    }
+
+    /// Regression for the cancellation cascade: a ≥3-deep chain cancelled
+    /// mid-flight must free every hop, not just the first `chain_child`.
+    #[test]
+    fn deep_chain_cancel_mid_flight_frees_all_hops() {
+        let mut sim = CloudSim::new(test_provider(), 7);
+        // Deploy tail-first so each producer can reference its successor.
+        let d = sim.deploy(FunctionSpec::builder("d").exec_constant_ms(400.0).build()).unwrap();
+        let c = sim
+            .deploy(
+                FunctionSpec::builder("c")
+                    .exec_constant_ms(5.0)
+                    .chain(d, TransferMode::Inline, 1024)
+                    .build(),
+            )
+            .unwrap();
+        let b = sim
+            .deploy(
+                FunctionSpec::builder("b")
+                    .exec_constant_ms(5.0)
+                    .chain(c, TransferMode::Inline, 1024)
+                    .build(),
+            )
+            .unwrap();
+        let a = sim
+            .deploy(
+                FunctionSpec::builder("a")
+                    .exec_constant_ms(5.0)
+                    .chain(b, TransferMode::Inline, 1024)
+                    .build(),
+            )
+            .unwrap();
+        let rid = sim.submit(a, 0, SimTime::ZERO);
+        // Chain depth 3: a blocked on b blocked on c blocked on d.
+        run_until_depth(&mut sim, 4);
+        sim.cancel(rid);
+        sim.run_to_idle();
+        assert_eq!(sim.request_slab_stats().live, 0, "cancel cascade leaked request slots");
+        assert_eq!(sim.cancel_stats().cancelled, 4, "root plus all three hops must cancel");
+        assert!(sim.drain_completions().is_empty(), "cancelled chain must not complete");
+    }
+
+    fn diamond() -> DagSpec {
+        DagSpec::new("diamond")
+            .node(DagNodeSpec::new("split").exec_ms(Dist::constant(5.0)))
+            .node(DagNodeSpec::new("left").exec_ms(Dist::constant(10.0)))
+            .node(DagNodeSpec::new("right").exec_ms(Dist::constant(30.0)))
+            .node(DagNodeSpec::new("merge").exec_ms(Dist::constant(5.0)))
+            .edge("split", "left", TransferMode::Inline, Dist::constant(2048.0))
+            .edge("split", "right", TransferMode::Inline, Dist::constant(2048.0))
+            .edge("left", "merge", TransferMode::Inline, Dist::constant(1024.0))
+            .edge("right", "merge", TransferMode::Inline, Dist::constant(1024.0))
+    }
+
+    /// End-to-end fan-out/fan-in: one submission to the diamond's root
+    /// yields one external completion, one barrier firing, clean tables
+    /// and balanced conservation counters.
+    #[test]
+    fn fan_out_join_completes_and_drains() {
+        let mut sim = CloudSim::new(test_provider(), 11);
+        let plan = diamond().compile().unwrap();
+        let dep = sim.deploy_dag(&plan).unwrap();
+        sim.record_internal_completions(true);
+        sim.submit(dep.root, 0, SimTime::ZERO);
+        sim.run_to_idle();
+
+        let done = sim.drain_completions();
+        assert_eq!(done.len(), 1, "exactly one external completion");
+        assert!(done[0].is_ok());
+        assert!(done[0].breakdown.chain_ms > 0.0, "fork round trip must be attributed");
+
+        // left, right, and the fired merge ran as internal requests.
+        let internal = sim.drain_internal_completions();
+        assert_eq!(internal.len(), 3);
+        assert_eq!(sim.stats().internal, 3);
+
+        let joins = sim.dag_join_stats();
+        assert_eq!(joins.len(), 1);
+        assert_eq!(joins[0].function, dep.functions[3]);
+        assert_eq!(joins[0].fired, 1);
+        assert_eq!(joins[0].stragglers, 0);
+        assert_eq!(joins[0].branch_samples, 2);
+        assert!(joins[0].join_p99_ms >= joins[0].branch_p99_ms);
+
+        for (_, counters) in sim.dag_node_counters() {
+            assert_eq!(counters.spawned, counters.completed + counters.cancelled);
+            assert_eq!(counters.cancelled, 0);
+        }
+        assert!(sim.dag_tables_empty(), "DAG side tables must drain at idle");
+        assert_eq!(sim.request_slab_stats().live, 0);
+    }
+
+    /// A k-of-n quorum join fires at the k-th arrival and counts the
+    /// remaining branches as stragglers; their producers still resolve.
+    #[test]
+    fn k_of_n_join_counts_stragglers() {
+        let spec = DagSpec::new("quorum")
+            .node(DagNodeSpec::new("scatter").exec_ms(Dist::constant(5.0)))
+            .node(DagNodeSpec::new("w1").exec_ms(Dist::constant(10.0)))
+            .node(DagNodeSpec::new("w2").exec_ms(Dist::constant(20.0)))
+            .node(DagNodeSpec::new("w3").exec_ms(Dist::constant(500.0)))
+            .node(
+                DagNodeSpec::new("gather")
+                    .exec_ms(Dist::constant(5.0))
+                    .join(JoinSpec::KOfN { k: 2 }),
+            )
+            .edge("scatter", "w1", TransferMode::Inline, Dist::constant(1024.0))
+            .edge("scatter", "w2", TransferMode::Inline, Dist::constant(1024.0))
+            .edge("scatter", "w3", TransferMode::Inline, Dist::constant(1024.0))
+            .edge("w1", "gather", TransferMode::Inline, Dist::constant(512.0))
+            .edge("w2", "gather", TransferMode::Inline, Dist::constant(512.0))
+            .edge("w3", "gather", TransferMode::Inline, Dist::constant(512.0));
+        let mut sim = CloudSim::new(test_provider(), 13);
+        let dep = sim.deploy_dag(&spec.compile().unwrap()).unwrap();
+        sim.submit(dep.root, 0, SimTime::ZERO);
+        sim.run_to_idle();
+
+        let done = sim.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].is_ok());
+        let joins = sim.dag_join_stats();
+        assert_eq!(joins.len(), 1);
+        assert_eq!(joins[0].fired, 1, "quorum barrier fires exactly once");
+        assert_eq!(joins[0].stragglers, 1, "the slow branch arrives after the fire");
+        assert_eq!(joins[0].branch_samples, 3);
+        assert!(sim.dag_tables_empty());
+        assert_eq!(sim.request_slab_stats().live, 0);
+    }
+
+    /// Cancelling a workflow root mid-flight retires every branch, join
+    /// barrier and pending arrival — nothing leaks, counters balance.
+    #[test]
+    fn dag_cancel_cascades_through_branches_and_barriers() {
+        let spec = DagSpec::new("wide")
+            .node(DagNodeSpec::new("fork").exec_ms(Dist::constant(5.0)))
+            .node(DagNodeSpec::new("s1").exec_ms(Dist::constant(2_000.0)))
+            .node(DagNodeSpec::new("s2").exec_ms(Dist::constant(2_000.0)))
+            .node(DagNodeSpec::new("s3").exec_ms(Dist::constant(2_000.0)))
+            .node(DagNodeSpec::new("join").exec_ms(Dist::constant(5.0)))
+            .edge("fork", "s1", TransferMode::Inline, Dist::constant(1024.0))
+            .edge("fork", "s2", TransferMode::Inline, Dist::constant(1024.0))
+            .edge("fork", "s3", TransferMode::Inline, Dist::constant(1024.0))
+            .edge("s1", "join", TransferMode::Inline, Dist::constant(512.0))
+            .edge("s2", "join", TransferMode::Inline, Dist::constant(512.0))
+            .edge("s3", "join", TransferMode::Inline, Dist::constant(512.0));
+        let mut sim = CloudSim::new(test_provider(), 17);
+        let dep = sim.deploy_dag(&spec.compile().unwrap()).unwrap();
+        let rid = sim.submit(dep.root, 0, SimTime::ZERO);
+        // Root plus three executing branches in flight.
+        run_until_depth(&mut sim, 4);
+        sim.cancel(rid);
+        sim.run_to_idle();
+
+        assert_eq!(sim.request_slab_stats().live, 0, "cancel leaked request slots");
+        assert!(sim.dag_tables_empty(), "cancel leaked barrier or arrival state");
+        assert!(sim.drain_completions().is_empty());
+        for (_, counters) in sim.dag_node_counters() {
+            assert_eq!(counters.spawned, counters.completed + counters.cancelled);
+        }
+        assert_eq!(sim.cancel_stats().cancelled, 4, "root and all three branches cancel");
+    }
+
+    /// A fully linear plan compiles every hop onto the legacy chain path:
+    /// no DAG spawns, no barriers, identical hop accounting.
+    #[test]
+    fn linear_plan_lowers_to_legacy_chain() {
+        use crate::dag::DagPlan;
+        let plan = DagPlan::linear("line", 3, TransferMode::Inline, 1024, Dist::constant(5.0));
+        let mut sim = CloudSim::new(test_provider(), 19);
+        let dep = sim.deploy_dag(&plan).unwrap();
+        sim.submit(dep.root, 0, SimTime::ZERO);
+        sim.run_to_idle();
+        let done = sim.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].is_ok());
+        assert_eq!(sim.stats().internal, 2, "two chain hops");
+        assert!(sim.dag_node_counters().is_empty(), "no DAG-engine spawns on a pure chain");
+        assert!(sim.dag_join_stats().is_empty());
+        assert!(sim.dag_tables_empty());
     }
 }

@@ -46,6 +46,10 @@ pub enum CloudEvent {
     /// Keepalive-purge storm tick (fault injection): reaps every idle
     /// instance, then reschedules itself while the run is still active.
     FaultStorm,
+    /// A DAG branch produced by the request reaches the join barrier of
+    /// the given fan-in function (delayed by the storage PUT for storage
+    /// transfers). The k-th arrival fires the barrier.
+    JoinArrive(RequestId, FunctionId),
 }
 
 // Queue payload moves must stay memcpy-trivial: two 8-byte ids plus the
@@ -66,6 +70,7 @@ impl EventClass for CloudEvent {
         "scale_tick",
         "telemetry_tick",
         "fault_storm",
+        "join_arrive",
     ];
 
     fn class(&self) -> usize {
@@ -82,6 +87,7 @@ impl EventClass for CloudEvent {
             CloudEvent::ScaleTick(_) => 9,
             CloudEvent::TelemetryTick => 10,
             CloudEvent::FaultStorm => 11,
+            CloudEvent::JoinArrive(_, _) => 12,
         }
     }
 }
@@ -122,6 +128,7 @@ mod tests {
             CloudEvent::ScaleTick(fid),
             CloudEvent::TelemetryTick,
             CloudEvent::FaultStorm,
+            CloudEvent::JoinArrive(rid, fid),
         ];
         assert_eq!(all.len(), CloudEvent::CLASS_NAMES.len());
         for (i, ev) in all.iter().enumerate() {

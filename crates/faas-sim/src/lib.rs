@@ -38,6 +38,7 @@ pub(crate) mod arena;
 pub mod billing;
 pub mod cloud;
 pub mod config;
+pub mod dag;
 pub mod events;
 pub mod instance;
 pub mod loadbalancer;
